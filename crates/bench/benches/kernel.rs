@@ -1,0 +1,53 @@
+//! Criterion microbenches for the simulation kernel: raw event throughput
+//! and process handoff cost — the quantities that bound how large an
+//! experiment the harness can run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ftmpi_sim::{Sim, SimDuration, SimTime};
+
+/// Schedule-and-drain N pure events.
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/events");
+    for n in [1_000u64, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Sim::new();
+                for i in 0..n {
+                    sim.schedule(SimTime::from_nanos(i), |_sc| {});
+                }
+                sim.run().unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Ping-pong token handoff between the kernel and parked processes.
+fn bench_process_handoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/handoff");
+    g.sample_size(10);
+    for (procs, steps) in [(2usize, 1_000u64), (16, 200), (64, 50)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{procs}p_x{steps}")),
+            &(procs, steps),
+            |b, &(procs, steps)| {
+                b.iter(|| {
+                    let mut sim = Sim::new();
+                    for p in 0..procs {
+                        sim.spawn(format!("p{p}"), move |mut ctx| {
+                            for _ in 0..steps {
+                                ctx.sleep(SimDuration::from_nanos(10));
+                            }
+                        });
+                    }
+                    sim.run().unwrap()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_throughput, bench_process_handoff);
+criterion_main!(benches);

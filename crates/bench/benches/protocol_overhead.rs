@@ -1,0 +1,70 @@
+//! Criterion benches of end-to-end protocol simulation cost: how long it
+//! takes (wall-clock) to simulate one small job under each protocol, and
+//! the incremental cost of a checkpoint wave. These guard against
+//! performance regressions in the protocol engines themselves.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ftmpi_core::{run_job, FtConfig, JobSpec, ProtocolChoice};
+use ftmpi_mpi::AppFn;
+use ftmpi_sim::SimDuration;
+
+fn ring(iters: usize) -> AppFn {
+    Arc::new(move |mpi| {
+        let n = mpi.size();
+        let right = (mpi.rank() + 1) % n;
+        let left = (mpi.rank() + n - 1) % n;
+        for i in 0..iters {
+            let req = mpi.irecv(Some(left), Some((i % 1000) as i32));
+            mpi.send(right, (i % 1000) as i32, 4096);
+            mpi.wait(req);
+            mpi.compute(SimDuration::from_millis(10));
+        }
+    })
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol/ring8x200");
+    g.sample_size(10);
+    for proto in [ProtocolChoice::Dummy, ProtocolChoice::Vcl, ProtocolChoice::Pcl] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{proto:?}")),
+            &proto,
+            |b, &proto| {
+                b.iter(|| {
+                    let mut spec = JobSpec::new(8, proto, ring(200));
+                    spec.servers = 2;
+                    spec.ft = FtConfig {
+                        period: SimDuration::from_millis(500),
+                        image_bytes: 4 << 20,
+                        ..FtConfig::default()
+                    };
+                    run_job(spec).unwrap()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_collectives_sim_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol/allreduce_sweep");
+    g.sample_size(10);
+    for n in [8usize, 32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let app: AppFn = Arc::new(|mpi| {
+                for _ in 0..50 {
+                    mpi.allreduce(8 * 1024);
+                    mpi.compute(SimDuration::from_millis(5));
+                }
+            });
+            b.iter(|| run_job(JobSpec::new(n, ProtocolChoice::Dummy, Arc::clone(&app))).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_collectives_sim_cost);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Run every figure/table harness in sequence (fast mode by default).
+//!
+//! ```sh
+//! cargo run --release -p ftmpi-bench --bin all_figures [-- --full]
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let pass_full = std::env::args().any(|a| a == "--full");
+    let bins = [
+        "calibrate",
+        "fig5_servers",
+        "fig6_scaling",
+        "fig7_myrinet",
+        "fig8_myrinet_scaling",
+        "fig9_grid400",
+        "fig10_grid_scaling",
+        "netpipe",
+        "recovery_cost",
+        "ablation_design",
+        "mttf_period",
+        "logging_vs_coordinated",
+        "future_work",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n################ {bin} ################");
+        let mut cmd = Command::new(dir.join(bin));
+        if pass_full && bin != "calibrate" && bin != "netpipe" {
+            cmd.arg("--full");
+        }
+        let status = cmd.status().unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nAll experiments done; records in results/*.json");
+}

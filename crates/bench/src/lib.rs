@@ -1,0 +1,250 @@
+//! Experiment harness shared by the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure of the paper
+//! (see DESIGN.md §3 for the index). This library holds what they share:
+//! experiment records, an aligned-table printer, JSON persistence under
+//! `results/`, and spec builders for the paper's standard configurations.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use serde::Serialize;
+
+use ftmpi_core::{FtConfig, JobResult, JobSpec, Platform, ProtocolChoice};
+use ftmpi_nas::{bt, cg, Machine, NasClass, Workload};
+use ftmpi_net::{LinkConfig, SoftwareStack};
+use ftmpi_sim::{SimDuration, SimTime};
+
+/// One measured configuration, persisted as JSON for EXPERIMENTS.md.
+#[derive(Debug, Clone, Serialize)]
+pub struct Record {
+    /// Experiment id, e.g. `"fig5"`.
+    pub experiment: String,
+    /// Workload name, e.g. `"bt.B.64"`.
+    pub workload: String,
+    /// Protocol name: `dummy` / `vcl` / `pcl`.
+    pub protocol: String,
+    /// Software stack.
+    pub stack: String,
+    /// Sweep variable name.
+    pub x_name: String,
+    /// Sweep variable value.
+    pub x: f64,
+    /// Completion time in seconds.
+    pub completion_secs: f64,
+    /// Committed checkpoint waves.
+    pub waves: u64,
+    /// Mean committed-wave duration in seconds (0 if none).
+    pub wave_secs_mean: f64,
+    /// Checkpoint bytes shipped.
+    pub ckpt_bytes: u64,
+    /// Messages logged (Vcl channel state).
+    pub msgs_logged: u64,
+    /// Sends delayed (Pcl blocking).
+    pub sends_delayed: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+impl Record {
+    /// Build a record from a job result.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_result(
+        experiment: &str,
+        workload: &str,
+        protocol: ProtocolChoice,
+        stack: &str,
+        x_name: &str,
+        x: f64,
+        res: &JobResult,
+    ) -> Record {
+        Record {
+            experiment: experiment.to_string(),
+            workload: workload.to_string(),
+            protocol: proto_name(protocol).to_string(),
+            stack: stack.to_string(),
+            x_name: x_name.to_string(),
+            x,
+            completion_secs: res.completion_secs(),
+            waves: res.waves(),
+            wave_secs_mean: res
+                .ft
+                .mean_wave_duration()
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0),
+            ckpt_bytes: res.ft.image_bytes_sent + res.ft.log_bytes_sent,
+            msgs_logged: res.ft.msgs_logged,
+            sends_delayed: res.ft.sends_delayed,
+            restarts: res.rt.restarts,
+        }
+    }
+}
+
+/// Short protocol label.
+pub fn proto_name(p: ProtocolChoice) -> &'static str {
+    match p {
+        ProtocolChoice::Dummy => "dummy",
+        ProtocolChoice::Vcl => "vcl",
+        ProtocolChoice::Pcl => "pcl",
+        ProtocolChoice::Mlog => "mlog",
+    }
+}
+
+/// Parsed common CLI flags.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Reduced sweep for quick runs (the default); `--full` restores the
+    /// paper's complete parameter grid.
+    pub fast: bool,
+    /// Where to write the JSON records.
+    pub out_dir: PathBuf,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            fast: true,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parse `std::env::args`: recognises `--full`, `--fast`, `--out DIR`.
+    pub fn parse() -> HarnessArgs {
+        let mut out = HarnessArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => out.fast = false,
+                "--fast" => out.fast = true,
+                "--out" => {
+                    out.out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
+                }
+                other => panic!("unknown flag {other}; supported: --fast --full --out DIR"),
+            }
+        }
+        out
+    }
+}
+
+/// Write records as pretty JSON to `results/<name>.json`.
+pub fn save_records(args: &HarnessArgs, name: &str, records: &[Record]) {
+    std::fs::create_dir_all(&args.out_dir).expect("create results dir");
+    let path = args.out_dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create results file");
+    let json = serde_json::to_string_pretty(records).expect("serialize records");
+    f.write_all(json.as_bytes()).expect("write records");
+    println!("\n[records written to {}]", path.display());
+}
+
+/// Print an aligned table: header row then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// The paper's BT machine calibration (memory-bound NPB on Opteron 248).
+pub fn bt_machine() -> Machine {
+    Machine::mflops(100.0)
+}
+
+/// The paper's CG machine calibration (CG sustains less than BT).
+pub fn cg_machine() -> Machine {
+    Machine::mflops(80.0)
+}
+
+/// Standard GigE-cluster spec around a workload (paper §5.2).
+pub fn cluster_spec(
+    wl: &Workload,
+    nranks: usize,
+    protocol: ProtocolChoice,
+    servers: usize,
+    period: SimDuration,
+) -> JobSpec {
+    let mut spec = JobSpec::new(nranks, protocol, Arc::clone(&wl.app));
+    spec.platform = Platform::Cluster(LinkConfig::gige());
+    spec.servers = servers;
+    spec.ft = FtConfig {
+        period,
+        image_bytes: wl.image_bytes,
+        ..FtConfig::default()
+    };
+    spec.max_virtual_time = Some(SimTime::from_nanos(4 * 3_600 * 1_000_000_000));
+    spec
+}
+
+/// Myrinet-cluster spec (paper §5.3).
+pub fn myrinet_spec(
+    wl: &Workload,
+    nranks: usize,
+    protocol: ProtocolChoice,
+    stack: SoftwareStack,
+    servers: usize,
+    period: SimDuration,
+) -> JobSpec {
+    let mut spec = cluster_spec(wl, nranks, protocol, servers, period);
+    spec.platform = Platform::Cluster(LinkConfig::myrinet2000());
+    spec.stack = Some(stack);
+    spec
+}
+
+/// Grid spec (paper §5.4): local checkpoint servers per cluster.
+pub fn grid_spec(
+    wl: &Workload,
+    nranks: usize,
+    protocol: ProtocolChoice,
+    period: SimDuration,
+) -> JobSpec {
+    let mut spec = JobSpec::new(nranks, protocol, Arc::clone(&wl.app));
+    spec.platform = Platform::Grid;
+    // The paper deployed several checkpoint servers local to each cluster
+    // ("a local machine (among 4)"); four per cluster keeps the per-server
+    // fan-in near the paper's ratio for the largest cluster.
+    spec.servers = 4;
+    spec.ft = FtConfig {
+        period,
+        image_bytes: wl.image_bytes,
+        ..FtConfig::default()
+    };
+    spec.max_virtual_time = Some(SimTime::from_nanos(8 * 3_600 * 1_000_000_000));
+    spec
+}
+
+/// BT workload at the harness calibration.
+pub fn bt_workload(class: NasClass, nranks: usize) -> Workload {
+    bt::workload(class, nranks, bt_machine())
+}
+
+/// CG workload at the harness calibration.
+pub fn cg_workload(class: NasClass, nranks: usize) -> Workload {
+    cg::workload(class, nranks, cg_machine())
+}
+
+/// Format seconds with 1 decimal.
+pub fn secs(x: f64) -> String {
+    format!("{x:.1}")
+}

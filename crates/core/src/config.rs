@@ -1,0 +1,103 @@
+//! Fault-tolerance configuration.
+
+use ftmpi_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the checkpointing machinery (both protocols).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FtConfig {
+    /// Time between checkpoint waves. Per the paper, the timer for the next
+    /// wave starts once every process has transferred its image.
+    pub period: SimDuration,
+    /// Delay before the first wave of a run.
+    pub first_wave_delay: SimDuration,
+    /// Per-rank checkpoint image size (system-level image: ∝ memory
+    /// footprint; set per workload/class).
+    pub image_bytes: u64,
+    /// Pause of the main process while `fork` duplicates the address space
+    /// (copy-on-write setup).
+    pub fork_cost: SimDuration,
+    /// Chunk size of image/log streams: the granularity at which checkpoint
+    /// traffic interleaves (fair-shares) with MPI messages on the NICs.
+    pub chunk_bytes: u64,
+    /// Also write the image to the local disk (the clone writes a file the
+    /// daemon pipelines to the server); enables local-disk restart.
+    pub write_local_disk: bool,
+    /// Dispatcher respawn cost after a failure (process cleanup + parallel
+    /// ssh relaunch + reconnection).
+    pub restart_delay: SimDuration,
+    /// Restart the *failed* rank from the checkpoint server (its local
+    /// image is considered lost with the task); survivors restore from
+    /// local disk when `write_local_disk` is set.
+    pub fetch_failed_from_server: bool,
+    /// Maximum number of processes the Vcl implementation supports — the
+    /// paper's `select()`-based daemon cannot multiplex beyond ~300
+    /// processes (1024 fd-set limit, ~3 sockets per process).
+    pub vcl_process_limit: usize,
+    /// Size of protocol control messages (markers, acks) on the wire.
+    pub control_bytes: u64,
+    /// Extra per-operation progress-engine delay a rank suffers while its
+    /// checkpoint image is streaming to the server under the *blocking*
+    /// implementation: MPICH2's single-threaded channel multiplexes image
+    /// chunks with MPI requests, so MPI operations are delayed for the whole
+    /// transfer window (longer with fewer servers — the bandwidth-contention
+    /// effect of Fig. 5). The non-blocking implementation streams from the
+    /// forked clone through the separate daemon process: "the whole
+    /// computation is never interrupted during a checkpoint phase" (§4.1).
+    pub blocking_stream_drag: SimDuration,
+    /// Ablation: process blocking-protocol markers immediately on arrival
+    /// instead of waiting for the process to enter the MPI library. Isolates
+    /// how much of Pcl's overhead is progress-engine gating (the paper's
+    /// explanation for the synchronization cost) versus channel flushing.
+    pub pcl_async_markers: bool,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            period: SimDuration::from_secs(30),
+            first_wave_delay: SimDuration::from_secs(1),
+            image_bytes: 50 << 20,
+            fork_cost: SimDuration::from_millis(30),
+            chunk_bytes: 256 << 10,
+            write_local_disk: true,
+            restart_delay: SimDuration::from_secs(3),
+            fetch_failed_from_server: true,
+            vcl_process_limit: 300,
+            control_bytes: 64,
+            blocking_stream_drag: SimDuration::from_millis(1),
+            pcl_async_markers: false,
+        }
+    }
+}
+
+impl FtConfig {
+    /// Convenience: set the wave period in seconds.
+    pub fn with_period_secs(mut self, s: f64) -> Self {
+        self.period = SimDuration::from_secs_f64(s);
+        self
+    }
+
+    /// Convenience: set the per-rank image size.
+    pub fn with_image_bytes(mut self, b: u64) -> Self {
+        self.image_bytes = b;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = FtConfig::default()
+            .with_period_secs(12.5)
+            .with_image_bytes(123);
+        assert_eq!(cfg.period, SimDuration::from_secs_f64(12.5));
+        assert_eq!(cfg.image_bytes, 123);
+        // Untouched fields keep their defaults.
+        assert_eq!(cfg.control_bytes, 64);
+        assert!(!cfg.pcl_async_markers);
+    }
+}

@@ -1,0 +1,119 @@
+//! Failure injection.
+//!
+//! The paper emulates failures "by killing the task, not the operating
+//! system", with immediate detection through the broken TCP connection.
+//! [`FailurePlan`] expresses either explicit kills (deterministic tests and
+//! recovery experiments) or an MTTF-driven Poisson process (the extension
+//! experiments suggested by the paper's conclusion: the best wave period is
+//! tied to the system MTTF).
+
+use ftmpi_mpi::Rank;
+use ftmpi_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A schedule of task kills.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    /// `(time, victim rank)` pairs, in any order.
+    pub kills: Vec<(SimTime, Rank)>,
+}
+
+impl FailurePlan {
+    /// No failures (the paper's performance figures are failure-free).
+    pub fn none() -> FailurePlan {
+        FailurePlan::default()
+    }
+
+    /// A single kill of `victim` at `at`.
+    pub fn kill_at(at: SimTime, victim: Rank) -> FailurePlan {
+        FailurePlan {
+            kills: vec![(at, victim)],
+        }
+    }
+
+    /// Poisson failure process: system-wide exponential inter-arrival times
+    /// with the given mean (`mttf`), uniformly random victims, until
+    /// `horizon`. Deterministic for a given seed.
+    pub fn poisson(mttf: SimDuration, horizon: SimTime, nranks: usize, seed: u64) -> FailurePlan {
+        assert!(nranks > 0 && !mttf.is_zero());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut kills = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            // Inverse-CDF exponential sampling.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let gap = SimDuration::from_secs_f64(-mttf.as_secs_f64() * u.ln());
+            t = t + gap;
+            if t > horizon {
+                break;
+            }
+            kills.push((t, rng.gen_range(0..nranks)));
+        }
+        FailurePlan { kills }
+    }
+
+    /// Number of scheduled kills.
+    pub fn len(&self) -> usize {
+        self.kills.len()
+    }
+
+    /// True when no kills are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let a = FailurePlan::poisson(
+            SimDuration::from_secs(100),
+            SimTime::from_nanos(3_600_000_000_000),
+            16,
+            42,
+        );
+        let b = FailurePlan::poisson(
+            SimDuration::from_secs(100),
+            SimTime::from_nanos(3_600_000_000_000),
+            16,
+            42,
+        );
+        assert_eq!(a.kills, b.kills);
+        let c = FailurePlan::poisson(
+            SimDuration::from_secs(100),
+            SimTime::from_nanos(3_600_000_000_000),
+            16,
+            43,
+        );
+        assert_ne!(a.kills, c.kills);
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_right() {
+        // 1 hour horizon, 100 s MTTF → ≈36 failures.
+        let plan = FailurePlan::poisson(
+            SimDuration::from_secs(100),
+            SimTime::from_nanos(3_600_000_000_000),
+            8,
+            7,
+        );
+        assert!(
+            (20..=60).contains(&plan.len()),
+            "unexpected failure count {}",
+            plan.len()
+        );
+        assert!(plan.kills.iter().all(|(_, v)| *v < 8));
+    }
+
+    #[test]
+    fn kill_at_builds_single_entry() {
+        let p = FailurePlan::kill_at(SimTime::from_nanos(5), 3);
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        assert!(FailurePlan::none().is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Chunked background flows: checkpoint images and message logs streamed to
+//! the checkpoint servers.
+//!
+//! A flow transfers `bytes` from one node to another in chunks; each chunk
+//! is a separate network reservation, so MPI messages interleave with the
+//! stream on the shared NICs — the fair-sharing behaviour behind Fig. 5's
+//! server-scaling result and the Pcl contention discussion. When
+//! `also_disk` is set the flow simultaneously writes the local disk file
+//! (clone writing + daemon pipelining read→send), and each chunk completes
+//! at the slower of the two.
+//!
+//! All entry points take `&mut World`: the caller already holds the world
+//! lock (the lock is not reentrant); only *later* chunks re-acquire it from
+//! their scheduled events.
+
+use ftmpi_mpi::World;
+use ftmpi_net::NodeId;
+use ftmpi_sim::{SimCtx, SimTime};
+
+/// Parameters of one background flow.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Total bytes to move.
+    pub bytes: u64,
+    /// Chunk granularity.
+    pub chunk: u64,
+    /// Mirror the stream to the source node's local disk.
+    pub also_disk: bool,
+}
+
+type DoneFn = Box<dyn FnOnce(&mut World, &SimCtx, SimTime) + Send>;
+
+/// Start a flow; `on_done(world, sc, finish_time)` runs when the last chunk
+/// lands. The flow aborts silently if the job epoch changes (a
+/// failure-restart) — exactly like a TCP stream dying with its process.
+pub fn start_flow(
+    w: &mut World,
+    sc: &SimCtx,
+    spec: FlowSpec,
+    on_done: impl FnOnce(&mut World, &SimCtx, SimTime) + Send + 'static,
+) {
+    let epoch = w.rt.epoch;
+    advance_chunk(w, sc, spec, 0, epoch, Box::new(on_done));
+}
+
+fn advance_chunk(
+    w: &mut World,
+    sc: &SimCtx,
+    spec: FlowSpec,
+    sent: u64,
+    epoch: u64,
+    on_done: DoneFn,
+) {
+    if sent >= spec.bytes {
+        let now = sc.now();
+        on_done(w, sc, now);
+        return;
+    }
+    let len = spec.chunk.max(1).min(spec.bytes - sent);
+    let net_done = w.rt.net.transfer(spec.src, spec.dst, len, sc.now()).delivered;
+    let done = if spec.also_disk {
+        let disk_done = w.rt.net.disk_write(spec.src, len, sc.now());
+        net_done.max(disk_done)
+    } else {
+        net_done
+    };
+    let handle = w.rt.world_handle();
+    sc.schedule(done, move |sc| {
+        let Some(strong) = handle.upgrade() else { return };
+        let mut w = strong.lock();
+        if w.rt.epoch != epoch {
+            return; // stream died with the failure
+        }
+        advance_chunk(&mut w, sc, spec, sent + len, epoch, on_done);
+    });
+}
+
+/// One-shot control message between protocol endpoints (markers from the
+/// checkpoint scheduler, acknowledgements, commit notifications). Delivered
+/// through the network model with an epoch guard.
+pub fn send_control(
+    w: &mut World,
+    sc: &SimCtx,
+    src: NodeId,
+    dst: NodeId,
+    bytes: u64,
+    on_arrival: impl FnOnce(&mut World, &SimCtx) + Send + 'static,
+) {
+    let epoch = w.rt.epoch;
+    let at = w.rt.net.transfer(src, dst, bytes, sc.now()).delivered;
+    let handle = w.rt.world_handle();
+    sc.schedule(at, move |sc| {
+        let Some(strong) = handle.upgrade() else { return };
+        let mut w = strong.lock();
+        if w.rt.epoch != epoch {
+            return;
+        }
+        on_arrival(&mut w, sc);
+    });
+}

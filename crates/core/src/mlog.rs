@@ -1,0 +1,331 @@
+//! Mlog: uncoordinated checkpointing with **pessimistic receiver-based
+//! message logging** — the alternative family the paper positions itself
+//! against (§2, and the MPICH-V line of work it builds on).
+//!
+//! Mechanics:
+//!
+//! * every application message is **logged to the rank's checkpoint server
+//!   before it is delivered** (pessimistic: no process state may depend on
+//!   an unlogged reception). The synchronous log round-trip is the
+//!   protocol's failure-free overhead — the reason §2 notes that message
+//!   logging "decreases the performance in reliable environments, such as
+//!   clusters";
+//! * every rank takes **independent periodic checkpoints** (no markers, no
+//!   coordination, staggered start); committing an image prunes the log
+//!   prefix it supersedes;
+//! * on a failure **only the failed rank rolls back**: it restores its last
+//!   image, replays its logged receptions in order, receives the messages
+//!   buffered while it was down, and suppresses the duplicates of its
+//!   re-executed sends at the receivers. No orphans can exist because no
+//!   delivery precedes its log record.
+
+use std::any::Any;
+
+use ftmpi_mpi::{AppMsg, ArrivalAction, Protocol, Rank, RankStatus, RuntimeCore, SendAction, World, WorldRef};
+use ftmpi_net::NodeId;
+use ftmpi_sim::{SimCtx, SimTime};
+
+use crate::config::FtConfig;
+use crate::deploy::Deployment;
+use crate::flow::{start_flow, FlowSpec};
+use crate::image::RankImage;
+use crate::server::{CheckpointStore, StoredImage};
+use crate::stats::{FtStats, WaveTiming};
+
+/// Per-rank logging / checkpoint state.
+struct MlogRank {
+    /// Receiver-based log: every delivered message since the last committed
+    /// image, in delivery order.
+    log: Vec<AppMsg>,
+    /// Messages whose synchronous log write is still in flight (arrived but
+    /// not yet stable). On a failure these are re-injected in arrival order
+    /// so the channel never reorders across the restart.
+    in_flight: Vec<AppMsg>,
+    /// Last committed image, with the log position it supersedes.
+    image: Option<RankImage>,
+    /// Image version counter (stale flow completions are ignored).
+    image_version: u64,
+    /// An image capture+stream is in flight.
+    ckpt_in_flight: bool,
+}
+
+/// The uncoordinated message-logging engine.
+pub struct Mlog {
+    cfg: FtConfig,
+    server_node_of: Vec<NodeId>,
+    /// Protocol statistics (wave numbers count per-rank checkpoints).
+    pub stats: FtStats,
+    /// Server control-plane state.
+    pub store: CheckpointStore,
+    ranks: Vec<MlogRank>,
+    /// Images captured but whose stream has not landed yet.
+    pending_images: Vec<(Rank, u64, RankImage)>,
+}
+
+impl Mlog {
+    /// Build the engine for a deployment.
+    pub fn new(cfg: FtConfig, dep: &Deployment) -> Mlog {
+        Mlog {
+            cfg,
+            server_node_of: (0..dep.nranks()).map(|r| dep.server_node_of(r)).collect(),
+            stats: FtStats::default(),
+            store: CheckpointStore::default(),
+            ranks: (0..dep.nranks())
+                .map(|_| MlogRank {
+                    log: Vec::new(),
+                    in_flight: Vec::new(),
+                    image: None,
+                    image_version: 0,
+                    ckpt_in_flight: false,
+                })
+                .collect(),
+            pending_images: Vec::new(),
+        }
+    }
+
+    fn with<R>(w: &mut World, f: impl FnOnce(&mut Mlog, &mut RuntimeCore) -> R) -> R {
+        let World { rt, proto } = w;
+        let mlog = proto
+            .as_any_mut()
+            .downcast_mut::<Mlog>()
+            .expect("world protocol is not Mlog");
+        f(mlog, rt)
+    }
+
+    /// Enable the runtime semantics single-rank restart needs and arm the
+    /// staggered per-rank checkpoint timers.
+    pub fn start(world: &WorldRef, sc: &SimCtx) {
+        let mut w = world.lock();
+        w.rt.suppress_duplicate_seq = true;
+        let n = w.rt.size();
+        let (first, period) = Mlog::with(&mut w, |m, _| (m.cfg.first_wave_delay, m.cfg.period));
+        let handle = w.rt.world_handle();
+        drop(w);
+        for r in 0..n {
+            // Stagger: rank r starts its cycle r/n of a period late, so the
+            // servers never see a synchronized burst (the point of
+            // uncoordinated checkpointing).
+            let at = sc.now() + first + (period * r as u64) / n as u64;
+            Mlog::schedule_rank_ckpt(sc, handle.clone(), r, at, 0);
+        }
+    }
+
+    /// Public re-arm hook used by the single-rank recovery path.
+    pub(crate) fn schedule_rank_ckpt_pub(
+        sc: &SimCtx,
+        handle: std::sync::Weak<parking_lot::Mutex<World>>,
+        r: Rank,
+        at: SimTime,
+        incarnation: u64,
+    ) {
+        Mlog::schedule_rank_ckpt(sc, handle, r, at, incarnation);
+    }
+
+    /// Arm rank `r`'s next checkpoint at `at` (incarnation-guarded).
+    fn schedule_rank_ckpt(
+        sc: &SimCtx,
+        handle: std::sync::Weak<parking_lot::Mutex<World>>,
+        r: Rank,
+        at: SimTime,
+        incarnation: u64,
+    ) {
+        sc.schedule(at, move |sc| {
+            let Some(world) = handle.upgrade() else { return };
+            let mut w = world.lock();
+            if w.rt.job_complete() || w.rt.ranks[r].incarnation != incarnation {
+                return;
+            }
+            if w.rt.ranks[r].status == RankStatus::Dead {
+                return; // restart will re-arm
+            }
+            Mlog::take_rank_checkpoint(&mut w, sc, r);
+        });
+    }
+
+    /// Capture and stream rank `r`'s image; commit on completion.
+    fn take_rank_checkpoint(w: &mut World, sc: &SimCtx, r: Rank) {
+        let handle = w.rt.world_handle();
+        let incarnation = w.rt.ranks[r].incarnation;
+        let mut flow: Option<(FlowSpec, u64, u64)> = None;
+        Mlog::with(w, |m, rt| {
+            let mr = &mut m.ranks[r];
+            if mr.ckpt_in_flight {
+                return;
+            }
+            mr.ckpt_in_flight = true;
+            m.stats.waves_started += 1;
+            rt.add_penalty(r, m.cfg.fork_cost);
+            let rs = &rt.ranks[r];
+            let credit = rt.capture_credit(r, sc.now());
+            let image = RankImage {
+                ops_completed: rs.ops_completed,
+                time_credit: credit,
+                taken_at: sc.now(),
+                pending: rt.snapshot_pending(r),
+                expect_seq: rt.expect_seq_snapshot(r),
+                send_seq: rt.send_seq_snapshot(r),
+            };
+            mr.image_version += 1;
+            let version = mr.image_version;
+            let log_mark = mr.log.len() as u64;
+            // Stash the candidate image alongside the flow; committed only
+            // when the stream lands (kept in the closure below).
+            flow = Some((
+                FlowSpec {
+                    src: rt.placement.node_of(r),
+                    dst: m.server_node_of[r],
+                    bytes: m.cfg.image_bytes,
+                    chunk: m.cfg.chunk_bytes,
+                    also_disk: m.cfg.write_local_disk,
+                },
+                version,
+                log_mark,
+            ));
+            // The image commits only when the stream lands.
+            m.pending_images.push((r, version, image));
+        });
+        if let Some((spec, version, log_mark)) = flow {
+            start_flow(w, sc, spec, move |w, sc, done_at| {
+                let _ = handle;
+                Mlog::image_stored(w, sc, r, version, log_mark, done_at, incarnation);
+            });
+        }
+    }
+
+    /// A rank's image finished streaming: commit it, prune the log, re-arm.
+    #[allow(clippy::too_many_arguments)]
+    fn image_stored(
+        w: &mut World,
+        sc: &SimCtx,
+        r: Rank,
+        version: u64,
+        log_mark: u64,
+        done_at: SimTime,
+        incarnation: u64,
+    ) {
+        let handle = w.rt.world_handle();
+        let mut next: Option<SimTime> = None;
+        Mlog::with(w, |m, rt| {
+            let Some(pos) = m
+                .pending_images
+                .iter()
+                .position(|(pr, pv, _)| *pr == r && *pv == version)
+            else {
+                return;
+            };
+            let (_, _, image) = m.pending_images.remove(pos);
+            let taken_at = image.taken_at;
+            let mr = &mut m.ranks[r];
+            if mr.image_version != version {
+                return; // superseded
+            }
+            mr.ckpt_in_flight = false;
+            // Commit: the log prefix before the capture is superseded.
+            mr.log.drain(..(log_mark as usize).min(mr.log.len()));
+            mr.image = Some(image);
+            m.stats.image_bytes_sent += m.cfg.image_bytes;
+            m.stats.waves_committed += 1;
+            m.stats.wave_timings.push(WaveTiming {
+                wave: m.stats.waves_committed,
+                started_at: taken_at,
+                committed_at: done_at,
+            });
+            m.store.record_image(
+                version,
+                r,
+                StoredImage {
+                    server: m.server_node_of[r],
+                    bytes: m.cfg.image_bytes,
+                    stored_at: done_at,
+                },
+            );
+            if rt.ranks[r].incarnation == incarnation {
+                next = Some(sc.now() + m.cfg.period);
+            }
+        });
+        if let Some(at) = next {
+            Mlog::schedule_rank_ckpt(sc, handle, r, at, incarnation);
+        }
+    }
+
+    /// Restore data for a single-rank restart.
+    pub(crate) fn restore_of(&self, r: Rank) -> (Option<RankImage>, Vec<AppMsg>, NodeId) {
+        (
+            self.ranks[r].image.clone(),
+            self.ranks[r].log.clone(),
+            self.server_node_of[r],
+        )
+    }
+
+    /// Take the messages whose log writes were in flight when the rank
+    /// failed; the restart re-injects them in arrival order (their pending
+    /// completions die on the incarnation guard).
+    pub(crate) fn take_in_flight(&mut self, r: Rank) -> Vec<AppMsg> {
+        std::mem::take(&mut self.ranks[r].in_flight)
+    }
+
+    /// Reset rank `r`'s protocol state after its restart is orchestrated.
+    pub(crate) fn on_rank_restarted(&mut self, r: Rank) {
+        let mr = &mut self.ranks[r];
+        mr.ckpt_in_flight = false;
+        self.stats.restarts += 1;
+    }
+}
+
+impl Protocol for Mlog {
+    fn name(&self) -> &'static str {
+        "mlog"
+    }
+
+    fn on_runtime_entry(&mut self, _rt: &mut RuntimeCore, _sc: &SimCtx, _rank: Rank) {}
+
+    fn on_send_post(&mut self, _rt: &mut RuntimeCore, _sc: &SimCtx, _msg: &AppMsg) -> SendAction {
+        SendAction::Proceed
+    }
+
+    fn on_arrival(&mut self, rt: &mut RuntimeCore, sc: &SimCtx, msg: &AppMsg) -> ArrivalAction {
+        // Pessimistic logging: ship a copy to the receiver's server and
+        // deliver only once the log record is stable. The synchronous
+        // round-trip (plus the log traffic on the NIC) is the failure-free
+        // price of the protocol.
+        let dst_node = rt.placement.node_of(msg.dst);
+        let server = self.server_node_of[msg.dst];
+        let stored = rt
+            .net
+            .transfer(dst_node, server, msg.bytes.max(64), sc.now())
+            .delivered;
+        let ack = rt.net.transfer(server, dst_node, 64, stored).delivered;
+        self.stats.msgs_logged += 1;
+        self.stats.log_bytes_sent += msg.bytes.max(64);
+        self.ranks[msg.dst].in_flight.push(msg.clone());
+        let handle = rt.world_handle();
+        let epoch = rt.epoch;
+        let incarnation = rt.ranks[msg.dst].incarnation;
+        let msg = msg.clone();
+        sc.schedule(ack, move |sc| {
+            let Some(world) = handle.upgrade() else { return };
+            let mut w = world.lock();
+            if w.rt.epoch != epoch {
+                return;
+            }
+            if w.rt.ranks[msg.dst].incarnation != incarnation {
+                // The rank died before the log record stabilized. The
+                // restart already re-injected this message from the
+                // in-flight set, in channel order — this stale completion
+                // simply dies.
+                return;
+            }
+            Mlog::with(&mut w, |m, _| {
+                let mr = &mut m.ranks[msg.dst];
+                mr.in_flight.retain(|f| !(f.src == msg.src && f.seq == msg.seq));
+                mr.log.push(msg.clone());
+            });
+            w.rt.deliver_to_matching(sc, msg);
+        });
+        ArrivalAction::Hold
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,528 @@
+//! Pcl: the **blocking** coordinated checkpointing protocol (MPICH2-Pcl).
+//!
+//! The protocol synchronizes the processes to *empty the communication
+//! layer* before images are taken, so no channel state needs saving
+//! (§3 and §4.2 of the paper):
+//!
+//! * the MPI process of rank 0 periodically starts a wave and sends markers
+//!   to every other process;
+//! * on its first marker a process enters the `checkpointing` state and
+//!   sends markers to every other process;
+//! * after sending its markers a process **delays every send post** until
+//!   its checkpoint is taken (MPICH2: the hook in the request-posting
+//!   function; the delayed messages are part of the image and are sent
+//!   again after a restart);
+//! * after receiving a marker on a channel the process **delays receptions
+//!   from that channel** (Nemesis: the delayed receive queue, discarded at
+//!   restart because the sender re-sends);
+//! * when a process holds every marker it forks, streams its image to the
+//!   checkpoint server, releases its delayed queues and resumes; rank 0
+//!   commits the wave once every process reports its image stored, and only
+//!   then arms the next timer.
+//!
+//! Crucially, markers are only *processed* when the process is inside the
+//! MPI library (its progress engine runs): a process deep in a compute
+//! phase stalls the whole wave — the synchronization cost that makes the
+//! blocking protocol expensive at high checkpoint frequencies.
+
+use std::any::Any;
+
+use ftmpi_mpi::{AppMsg, ArrivalAction, Protocol, Rank, RankStatus, RuntimeCore, SendAction, World, WorldRef};
+use ftmpi_net::NodeId;
+use ftmpi_sim::{SimCtx, SimTime};
+
+use crate::config::FtConfig;
+use crate::deploy::Deployment;
+use crate::flow::{send_control, start_flow, FlowSpec};
+use crate::image::{RankImage, WaveRecord};
+use crate::server::{CheckpointStore, StoredImage};
+use crate::stats::{FtStats, WaveTiming};
+
+/// Deferred control items awaiting the rank's next library activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PclCtl {
+    /// Rank 0's periodic wave initiation.
+    Initiate,
+    /// Channel marker from a peer.
+    Marker { from: Rank },
+}
+
+/// In-flight wave state.
+struct PclWave {
+    rec: WaveRecord,
+    /// Rank has entered the `checkpointing` state (markers sent).
+    in_wave: Vec<bool>,
+    /// `marker_arrived[dst][src]`: transport-level marker arrival (set even
+    /// while processing is deferred — reception blocking is enforced below
+    /// the matching engine, like Nemesis' delayed receive queue).
+    marker_arrived: Vec<Vec<bool>>,
+    /// Markers *processed* per rank.
+    markers_processed: Vec<usize>,
+    /// Deferred control items per rank.
+    pending_ctl: Vec<Vec<PclCtl>>,
+    /// Local checkpoint taken.
+    ckpt_taken: Vec<bool>,
+    /// Sends delayed during the wave, per source rank.
+    delayed_sends: Vec<Vec<AppMsg>>,
+    /// Arrivals delayed during the wave, per destination rank.
+    delayed_arrivals: Vec<Vec<AppMsg>>,
+    /// Images reported stored to rank 0.
+    images_stored: usize,
+}
+
+impl PclWave {
+    fn new(wave: u64, n: usize, started_at: SimTime) -> PclWave {
+        PclWave {
+            rec: WaveRecord::new(wave, n, started_at),
+            in_wave: vec![false; n],
+            marker_arrived: (0..n).map(|_| vec![false; n]).collect(),
+            markers_processed: vec![0; n],
+            pending_ctl: vec![Vec::new(); n],
+            ckpt_taken: vec![false; n],
+            delayed_sends: vec![Vec::new(); n],
+            delayed_arrivals: vec![Vec::new(); n],
+            images_stored: 0,
+        }
+    }
+}
+
+/// The blocking protocol engine.
+pub struct Pcl {
+    cfg: FtConfig,
+    server_node_of: Vec<NodeId>,
+    /// Protocol statistics.
+    pub stats: FtStats,
+    /// Server control-plane state.
+    pub store: CheckpointStore,
+    /// Last committed wave (restart source).
+    pub committed: Option<WaveRecord>,
+    cur: Option<PclWave>,
+    wave_counter: u64,
+    /// Wave-timer generation (see Vcl): stale timers die on mismatch.
+    timer_gen: u64,
+}
+
+impl Pcl {
+    /// Build the engine for a deployment.
+    pub fn new(cfg: FtConfig, dep: &Deployment) -> Pcl {
+        let server_node_of = (0..dep.nranks()).map(|r| dep.server_node_of(r)).collect();
+        Pcl {
+            cfg,
+            server_node_of,
+            stats: FtStats::default(),
+            store: CheckpointStore::default(),
+            committed: None,
+            cur: None,
+            wave_counter: 0,
+            timer_gen: 0,
+        }
+    }
+
+    /// Checkpoint-server node of every rank (restore planning).
+    pub(crate) fn server_nodes_of_ranks(&self) -> Vec<NodeId> {
+        self.server_node_of.clone()
+    }
+
+    /// Invalidate pending periodic wave timers; returns the new generation.
+    pub(crate) fn bump_timer_gen(w: &mut World) -> u64 {
+        Pcl::with(w, |p, _| {
+            p.timer_gen += 1;
+            p.timer_gen
+        })
+    }
+
+    /// Abort any in-flight wave (failure-restart).
+    pub(crate) fn abort_wave(w: &mut World) {
+        Pcl::with(w, |pcl, _| pcl.cur = None);
+    }
+
+    fn with<R>(w: &mut World, f: impl FnOnce(&mut Pcl, &mut RuntimeCore) -> R) -> R {
+        let World { rt, proto } = w;
+        let pcl = proto
+            .as_any_mut()
+            .downcast_mut::<Pcl>()
+            .expect("world protocol is not Pcl");
+        f(pcl, rt)
+    }
+
+    /// Arm the first wave timer.
+    pub fn start(world: &WorldRef, sc: &SimCtx) {
+        let (at, handle, epoch, gen) = {
+            let mut w = world.lock();
+            let (delay, gen) = Pcl::with(&mut w, |pcl, _| {
+                pcl.timer_gen += 1;
+                (pcl.cfg.first_wave_delay, pcl.timer_gen)
+            });
+            (sc.now() + delay, w.rt.world_handle(), w.rt.epoch, gen)
+        };
+        Pcl::schedule_wave_at(sc, handle, at, epoch, gen);
+    }
+
+    /// Proactively start a wave *now* (failure-prediction trigger from the
+    /// paper's conclusion). No-op if a wave is already in flight;
+    /// supersedes the pending periodic timer.
+    pub fn trigger_wave_now(world: &WorldRef, sc: &SimCtx) {
+        let mut w = world.lock();
+        if w.rt.job_complete() {
+            return;
+        }
+        let fresh = Pcl::with(&mut w, |pcl, _| {
+            pcl.timer_gen += 1;
+            pcl.cur.is_none()
+        });
+        if fresh {
+            Pcl::initiate_wave(&mut w, sc);
+        }
+    }
+
+    /// Schedule a wave initiation at `at` (epoch- and generation-guarded).
+    pub fn schedule_wave_at(
+        sc: &SimCtx,
+        handle: std::sync::Weak<parking_lot::Mutex<World>>,
+        at: SimTime,
+        epoch: u64,
+        gen: u64,
+    ) {
+        sc.schedule(at, move |sc| {
+            let Some(world) = handle.upgrade() else { return };
+            let mut w = world.lock();
+            if w.rt.epoch != epoch || w.rt.job_complete() {
+                return;
+            }
+            let fresh = Pcl::with(&mut w, |pcl, _| pcl.timer_gen == gen && pcl.cur.is_none());
+            if fresh {
+                Pcl::initiate_wave(&mut w, sc);
+            }
+        });
+    }
+
+    /// Create the wave state and hand the initiation to rank 0.
+    fn initiate_wave(w: &mut World, sc: &SimCtx) {
+        let n = w.rt.size();
+        Pcl::with(w, |pcl, _| {
+            pcl.wave_counter += 1;
+            pcl.stats.waves_started += 1;
+            pcl.cur = Some(PclWave::new(pcl.wave_counter, n, sc.now()));
+        });
+        // Rank 0 initiates: processed when its progress engine runs.
+        Pcl::queue_ctl(w, sc, 0, PclCtl::Initiate);
+    }
+
+    /// Queue a control item for `rank`, processing immediately if the rank
+    /// is inside the library (parked in a blocking op) or no longer running
+    /// application code.
+    fn queue_ctl(w: &mut World, sc: &SimCtx, rank: Rank, ctl: PclCtl) {
+        let in_lib = {
+            let rs = &w.rt.ranks[rank];
+            rs.blocked_in_lib || rs.status != RankStatus::Running
+        };
+        let in_lib = in_lib || Pcl::with(w, |pcl, _| pcl.cfg.pcl_async_markers);
+        if in_lib {
+            Pcl::process_ctl(w, sc, rank, ctl);
+        } else {
+            Pcl::with(w, |pcl, _| {
+                if let Some(cur) = pcl.cur.as_mut() {
+                    cur.pending_ctl[rank].push(ctl);
+                }
+            });
+        }
+    }
+
+    /// Drain deferred control items for `rank` (library entry).
+    fn drain_ctl(w: &mut World, sc: &SimCtx, rank: Rank) {
+        loop {
+            let next = Pcl::with(w, |pcl, _| {
+                pcl.cur.as_mut().and_then(|cur| {
+                    if cur.pending_ctl[rank].is_empty() {
+                        None
+                    } else {
+                        Some(cur.pending_ctl[rank].remove(0))
+                    }
+                })
+            });
+            match next {
+                Some(ctl) => Pcl::process_ctl(w, sc, rank, ctl),
+                None => break,
+            }
+        }
+    }
+
+    fn process_ctl(w: &mut World, sc: &SimCtx, rank: Rank, ctl: PclCtl) {
+        Pcl::enter_wave(w, sc, rank);
+        if let PclCtl::Marker { from } = ctl {
+            let all_markers = Pcl::with(w, |pcl, _| {
+                let Some(cur) = pcl.cur.as_mut() else { return false };
+                cur.markers_processed[rank] += 1;
+                let n = cur.in_wave.len();
+                let _ = from; // dedup already happened at transport arrival
+                cur.markers_processed[rank] == n - 1 && !cur.ckpt_taken[rank]
+            });
+            if all_markers {
+                Pcl::take_checkpoint(w, sc, rank);
+            }
+        } else {
+            // Single-process job: the initiator checkpoints immediately.
+            let solo = w.rt.size() == 1;
+            if solo {
+                Pcl::take_checkpoint(w, sc, rank);
+            }
+        }
+    }
+
+    /// Enter the `checkpointing` state: send markers on every channel; all
+    /// subsequent sends are delayed until the local checkpoint.
+    fn enter_wave(w: &mut World, sc: &SimCtx, rank: Rank) {
+        let handle = w.rt.world_handle();
+        let epoch = w.rt.epoch;
+        let mut targets: Vec<(Rank, NodeId, NodeId)> = Vec::new();
+        let mut wave = 0;
+        Pcl::with(w, |pcl, rt| {
+            let Some(cur) = pcl.cur.as_mut() else { return };
+            if cur.in_wave[rank] {
+                return;
+            }
+            cur.in_wave[rank] = true;
+            wave = cur.rec.wave;
+            let src_node = rt.placement.node_of(rank);
+            for s in 0..cur.in_wave.len() {
+                if s != rank {
+                    targets.push((s, src_node, rt.placement.node_of(s)));
+                }
+            }
+        });
+        // Markers travel the same channels as application messages (FIFO).
+        let ctl_bytes = Pcl::with(w, |pcl, _| pcl.cfg.control_bytes);
+        let penalty = w.rt.cfg.profile.message_penalty(ctl_bytes);
+        for (s, src_node, dst_node) in targets {
+            let delivered =
+                w.rt
+                    .net
+                    .transfer_with_overhead(src_node, dst_node, ctl_bytes, sc.now(), penalty)
+                    .delivered;
+            let h = handle.clone();
+            sc.schedule(delivered, move |sc| {
+                let Some(world) = h.upgrade() else { return };
+                let mut w = world.lock();
+                if w.rt.epoch != epoch {
+                    return;
+                }
+                Pcl::on_marker_arrival(&mut w, sc, rank, s, wave);
+            });
+        }
+    }
+
+    /// Transport-level marker arrival on channel `from → to`.
+    fn on_marker_arrival(w: &mut World, sc: &SimCtx, from: Rank, to: Rank, wave: u64) {
+        let relevant = Pcl::with(w, |pcl, _| {
+            let Some(cur) = pcl.cur.as_mut() else { return false };
+            if cur.rec.wave != wave || cur.marker_arrived[to][from] {
+                return false;
+            }
+            cur.marker_arrived[to][from] = true;
+            true
+        });
+        if relevant {
+            Pcl::queue_ctl(w, sc, to, PclCtl::Marker { from });
+        }
+    }
+
+    /// All markers held: fork, record the image, stream it, and release the
+    /// delayed queues ("after having taken its checkpoint, a process can
+    /// send and receive any messages").
+    fn take_checkpoint(w: &mut World, sc: &SimCtx, rank: Rank) {
+        let _handle = w.rt.world_handle();
+        let mut image_flow: Option<(FlowSpec, u64)> = None;
+        let mut release_sends: Vec<AppMsg> = Vec::new();
+        let mut release_arrivals: Vec<AppMsg> = Vec::new();
+        Pcl::with(w, |pcl, rt| {
+            let Some(cur) = pcl.cur.as_mut() else { return };
+            if cur.ckpt_taken[rank] {
+                return;
+            }
+            cur.ckpt_taken[rank] = true;
+            rt.add_penalty(rank, pcl.cfg.fork_cost);
+            let rs = &rt.ranks[rank];
+            let credit = rt.capture_credit(rank, sc.now());
+            // Delayed sends are in-memory buffered messages: they are part
+            // of the image and will be *sent again* after a restart.
+            cur.rec.delayed_sends[rank] = cur.delayed_sends[rank].clone();
+            cur.rec.images[rank] = RankImage {
+                ops_completed: rs.ops_completed,
+                time_credit: credit,
+                taken_at: sc.now(),
+                pending: rt.snapshot_pending(rank),
+                expect_seq: Vec::new(), // coordinated: global restarts reset
+                send_seq: Vec::new(),
+            };
+            // While the image streams through the process's own channel,
+            // every MPI operation pays the progress-engine sharing drag.
+            rt.ranks[rank].op_drag = pcl.cfg.blocking_stream_drag;
+            release_sends = std::mem::take(&mut cur.delayed_sends[rank]);
+            // The delayed receive queue is delivered now (post-checkpoint);
+            // on restart it is *discarded* — senders re-send.
+            release_arrivals = std::mem::take(&mut cur.delayed_arrivals[rank]);
+            image_flow = Some((
+                FlowSpec {
+                    src: rt.placement.node_of(rank),
+                    dst: pcl.server_node_of[rank],
+                    bytes: pcl.cfg.image_bytes,
+                    chunk: pcl.cfg.chunk_bytes,
+                    also_disk: pcl.cfg.write_local_disk,
+                },
+                cur.rec.wave,
+            ));
+        });
+        for msg in release_sends {
+            w.rt.launch_send(sc, msg);
+        }
+        for msg in release_arrivals {
+            w.rt.deliver_to_matching(sc, msg);
+        }
+        if let Some((spec, wave)) = image_flow {
+            start_flow(w, sc, spec, move |w, sc, done_at| {
+                Pcl::image_stored(w, sc, rank, wave, done_at);
+            });
+        }
+    }
+
+    /// Image stored: notify rank 0 ("sends a message to the MPI process of
+    /// rank 0 such that a new checkpoint wave can be scheduled").
+    fn image_stored(w: &mut World, sc: &SimCtx, rank: Rank, wave: u64, done_at: SimTime) {
+        let _handle = w.rt.world_handle();
+        let mut notify: Option<(NodeId, NodeId, u64)> = None;
+        Pcl::with(w, |pcl, rt| {
+            rt.ranks[rank].op_drag = ftmpi_sim::SimDuration::ZERO;
+            pcl.stats.image_bytes_sent += pcl.cfg.image_bytes;
+            pcl.store.record_image(
+                wave,
+                rank,
+                StoredImage {
+                    server: pcl.server_node_of[rank],
+                    bytes: pcl.cfg.image_bytes,
+                    stored_at: done_at,
+                },
+            );
+            notify = Some((
+                rt.placement.node_of(rank),
+                rt.placement.node_of(0),
+                pcl.cfg.control_bytes,
+            ));
+        });
+        if let Some((src, dst, bytes)) = notify {
+            send_control(w, sc, src, dst, bytes, move |w, sc| {
+                Pcl::on_image_report(w, sc, wave);
+            });
+        }
+    }
+
+    /// Rank 0 collects image-stored reports; commits when all arrived.
+    fn on_image_report(w: &mut World, sc: &SimCtx, wave: u64) {
+        let handle = w.rt.world_handle();
+        let epoch = w.rt.epoch;
+        let n = w.rt.size();
+        let mut next_at: Option<(SimTime, u64)> = None;
+        Pcl::with(w, |pcl, _| {
+            let Some(cur) = pcl.cur.as_mut() else { return };
+            if cur.rec.wave != wave {
+                return;
+            }
+            cur.images_stored += 1;
+            if cur.images_stored < n {
+                return;
+            }
+            let mut wave_state = pcl.cur.take().expect("current wave");
+            wave_state.rec.committed_at = sc.now();
+            pcl.stats.waves_committed += 1;
+            pcl.stats.wave_timings.push(WaveTiming {
+                wave,
+                started_at: wave_state.rec.started_at,
+                committed_at: sc.now(),
+            });
+            pcl.store.commit(wave);
+            pcl.committed = Some(wave_state.rec);
+            pcl.timer_gen += 1;
+            next_at = Some((sc.now() + pcl.cfg.period, pcl.timer_gen));
+        });
+        if let Some((at, gen)) = next_at {
+            Pcl::schedule_wave_at(sc, handle, at, epoch, gen);
+        }
+    }
+}
+
+impl Protocol for Pcl {
+    fn name(&self) -> &'static str {
+        "pcl"
+    }
+
+    fn on_runtime_entry(&mut self, rt: &mut RuntimeCore, sc: &SimCtx, rank: Rank) {
+        // The progress engine runs: handle deferred initiations/markers.
+        // Self-scheduling is impossible here (we *are* the protocol, called
+        // with the world already borrowed), so drain via the world pattern:
+        // take items out, process with local methods that only need rt.
+        // To keep the borrow simple the actual drain happens through
+        // `Pcl::drain_via_hook`, which mirrors `drain_ctl` but works on
+        // `&mut self` + `&mut RuntimeCore`.
+        self.drain_via_hook(rt, sc, rank);
+    }
+
+    fn on_send_post(&mut self, _rt: &mut RuntimeCore, _sc: &SimCtx, msg: &AppMsg) -> SendAction {
+        if let Some(cur) = self.cur.as_mut() {
+            if cur.in_wave[msg.src] && !cur.ckpt_taken[msg.src] {
+                cur.delayed_sends[msg.src].push(msg.clone());
+                self.stats.sends_delayed += 1;
+                return SendAction::Hold;
+            }
+        }
+        SendAction::Proceed
+    }
+
+    fn on_arrival(&mut self, _rt: &mut RuntimeCore, _sc: &SimCtx, msg: &AppMsg) -> ArrivalAction {
+        if msg.src != msg.dst {
+            if let Some(cur) = self.cur.as_mut() {
+                if cur.marker_arrived[msg.dst][msg.src] && !cur.ckpt_taken[msg.dst] {
+                    cur.delayed_arrivals[msg.dst].push(msg.clone());
+                    self.stats.arrivals_delayed += 1;
+                    return ArrivalAction::Hold;
+                }
+            }
+        }
+        ArrivalAction::Deliver
+    }
+
+    fn on_rank_finished(&mut self, rt: &mut RuntimeCore, sc: &SimCtx, rank: Rank) {
+        // A finished rank's library stays responsive: process anything
+        // pending so a wave cannot stall on it.
+        self.drain_via_hook(rt, sc, rank);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl Pcl {
+    /// Hook-context drain: like [`Pcl::drain_ctl`] but callable while the
+    /// protocol itself is the active borrow. Heavy work (marker fan-out,
+    /// checkpoint capture) needs the full world, so it is deferred to an
+    /// immediate event.
+    fn drain_via_hook(&mut self, rt: &mut RuntimeCore, sc: &SimCtx, rank: Rank) {
+        let has_pending = self
+            .cur
+            .as_ref()
+            .map(|cur| !cur.pending_ctl[rank].is_empty())
+            .unwrap_or(false);
+        if !has_pending {
+            return;
+        }
+        let handle = rt.world_handle();
+        let epoch = rt.epoch;
+        sc.schedule(sc.now(), move |sc| {
+            let Some(world) = handle.upgrade() else { return };
+            let mut w = world.lock();
+            if w.rt.epoch != epoch {
+                return;
+            }
+            Pcl::drain_ctl(&mut w, sc, rank);
+        });
+    }
+}

@@ -1,0 +1,288 @@
+//! The dispatcher's failure handling: kill the job, restore every rank from
+//! the last committed wave, replay channel state, and respawn.
+//!
+//! Matches §4 of the paper: "the dispatcher signals all the other processes
+//! to exit" (coordinated checkpointing rolls *all* ranks back), failure
+//! detection is immediate (tasks are killed, sockets close), survivors
+//! restore "from the local checkpoint stored on the disk if it exists;
+//! otherwise they obtain it from the checkpoint server".
+
+use ftmpi_mpi::{spawn_rank, AppFn, RankStatus, World, WorldRef};
+use ftmpi_net::NodeId;
+use ftmpi_sim::{SimCtx, SimTime};
+
+use crate::config::FtConfig;
+use crate::image::WaveRecord;
+use crate::pcl::Pcl;
+use crate::runner::ProtocolChoice;
+use crate::vcl::Vcl;
+
+/// Restore data pulled out of a protocol engine at failure time.
+pub(crate) struct RestoreData {
+    pub wave: Option<WaveRecord>,
+    pub server_node_of: Vec<NodeId>,
+}
+
+impl Vcl {
+    pub(crate) fn prepare_restart(w: &mut World) -> RestoreData {
+        let World { proto, .. } = w;
+        let vcl = proto
+            .as_any_mut()
+            .downcast_mut::<Vcl>()
+            .expect("protocol is not Vcl");
+        vcl.stats.restarts += 1;
+        RestoreData {
+            wave: vcl.committed.clone(),
+            server_node_of: vcl.server_nodes_of_ranks(),
+        }
+    }
+}
+
+impl Pcl {
+    pub(crate) fn prepare_restart(w: &mut World) -> RestoreData {
+        let World { proto, .. } = w;
+        let pcl = proto
+            .as_any_mut()
+            .downcast_mut::<Pcl>()
+            .expect("protocol is not Pcl");
+        pcl.stats.restarts += 1;
+        RestoreData {
+            wave: pcl.committed.clone(),
+            server_node_of: pcl.server_nodes_of_ranks(),
+        }
+    }
+}
+
+/// Fail the job (as if `victim`'s task was killed) and orchestrate the
+/// restart from the last committed wave (or from scratch if none).
+///
+/// No-op if the job already completed.
+pub fn fail_and_restart(
+    sc: &SimCtx,
+    world: &WorldRef,
+    app: &AppFn,
+    kind: ProtocolChoice,
+    victim: usize,
+    ft: &FtConfig,
+) {
+    let mut w = world.lock();
+    if w.rt.job_complete() {
+        return;
+    }
+    let n = w.rt.size();
+    let handle = w.rt.world_handle();
+
+    // 1. Detection is immediate; the dispatcher kills every process.
+    for r in 0..n {
+        let rs = &mut w.rt.ranks[r];
+        if let Some(pid) = rs.pid.take() {
+            sc.kill(pid);
+        }
+        rs.status = RankStatus::Dead;
+    }
+    w.rt.epoch += 1;
+    let epoch = w.rt.epoch;
+    w.rt.stats.finished_ranks = 0;
+    w.rt.stats.restarts += 1;
+    let now = sc.now();
+    w.rt.net.reset_queues(now);
+
+    // 2. Pull restore data from the protocol (aborts any in-flight wave —
+    //    its flows and timers die on the epoch guards).
+    let restore = match kind {
+        ProtocolChoice::Dummy => None,
+        ProtocolChoice::Mlog => {
+            unreachable!("Mlog failures route through mlog_fail_and_restart")
+        }
+        ProtocolChoice::Vcl => {
+            let data = Vcl::prepare_restart(&mut w);
+            Vcl::abort_wave(&mut w);
+            Some(data)
+        }
+        ProtocolChoice::Pcl => {
+            let data = Pcl::prepare_restart(&mut w);
+            Pcl::abort_wave(&mut w);
+            Some(data)
+        }
+    };
+    let wave = restore.as_ref().and_then(|d| d.wave.clone());
+
+    // 3. Per-rank restore: reset runtime state, compute the time at which
+    //    the rank's image is back in memory, schedule replay + respawn.
+    let base = now + ft.restart_delay;
+    let mut latest_ready = base;
+    for r in 0..n {
+        let (skip, credit) = match &wave {
+            Some(rec) => (rec.images[r].ops_completed, rec.images[r].time_credit),
+            None => (0, ftmpi_sim::SimDuration::ZERO),
+        };
+        w.rt.ranks[r].reset_for_restart(skip, credit);
+        let node = w.rt.placement.node_of(r);
+        let ready: SimTime = match (&wave, &restore) {
+            (Some(_), Some(data)) => {
+                let from_server = (r == victim && ft.fetch_failed_from_server)
+                    || !ft.write_local_disk;
+                if from_server {
+                    w.rt
+                        .net
+                        .transfer(data.server_node_of[r], node, ft.image_bytes, base)
+                        .delivered
+                } else {
+                    w.rt.net.disk_read(node, ft.image_bytes, base)
+                }
+            }
+            _ => base,
+        };
+        latest_ready = latest_ready.max(ready);
+
+        // Restore the rank's library memory *now*, before any restarted
+        // peer's re-executed sends can arrive: first the image's pending
+        // messages, then the Chandy–Lamport channel logs — the arrival
+        // order of the consistent cut.
+        if let Some(rec) = &wave {
+            for m in rec.images[r].pending.clone() {
+                w.rt.inject_restored(sc, m);
+            }
+            for m in rec.logs[r].clone() {
+                w.rt.inject_restored(sc, m);
+            }
+        }
+        // Blocking protocol: "every message delayed in emission will be
+        // sent again after the restart" — when the process resumes.
+        let delayed_sends = wave
+            .as_ref()
+            .map(|rec| rec.delayed_sends[r].clone())
+            .unwrap_or_default();
+        let h = handle.clone();
+        let app = app.clone();
+        sc.schedule(ready, move |sc| {
+            let Some(world) = h.upgrade() else { return };
+            {
+                let mut w = world.lock();
+                if w.rt.epoch != epoch {
+                    return;
+                }
+                for mut m in delayed_sends {
+                    m.epoch = epoch;
+                    w.rt.launch_send(sc, m);
+                }
+            }
+            spawn_rank(sc, &world, r, app);
+        });
+    }
+
+    // 4. Re-arm the wave timer once the platform is back.
+    let next_wave = latest_ready + ft.period;
+    match kind {
+        ProtocolChoice::Dummy | ProtocolChoice::Mlog => {}
+        ProtocolChoice::Vcl => {
+            let gen = Vcl::bump_timer_gen(&mut w);
+            Vcl::schedule_wave_at(sc, handle, next_wave, epoch, gen);
+        }
+        ProtocolChoice::Pcl => {
+            let gen = Pcl::bump_timer_gen(&mut w);
+            Pcl::schedule_wave_at(sc, handle, next_wave, epoch, gen);
+        }
+    }
+}
+
+/// Single-rank failure handling for the uncoordinated message-logging
+/// protocol: only the victim rolls back; everyone else keeps computing.
+///
+/// The victim restores its own last image, replays its receiver-based log,
+/// and re-executes from there; its re-sent messages are suppressed as
+/// duplicates at the receivers, and messages addressed to it while it was
+/// down wait in the runtime (sender-side transport retransmission).
+pub fn mlog_fail_and_restart(
+    sc: &SimCtx,
+    world: &WorldRef,
+    app: &AppFn,
+    victim: usize,
+    ft: &FtConfig,
+) {
+    use crate::mlog::Mlog;
+
+    let mut w = world.lock();
+    if w.rt.job_complete() || w.rt.ranks[victim].status != RankStatus::Running {
+        return;
+    }
+    let handle = w.rt.world_handle();
+    let now = sc.now();
+
+    // Kill only the victim's task.
+    if let Some(pid) = w.rt.ranks[victim].pid.take() {
+        sc.kill(pid);
+    }
+    w.rt.stats.restarts += 1;
+
+    // Pull the victim's restore data out of the protocol.
+    let (image, log, server, in_flight) = {
+        let World { proto, .. } = &mut *w;
+        let mlog = proto
+            .as_any_mut()
+            .downcast_mut::<Mlog>()
+            .expect("protocol is not Mlog");
+        let (image, log, server) = mlog.restore_of(victim);
+        let in_flight = mlog.take_in_flight(victim);
+        mlog.on_rank_restarted(victim);
+        (image, log, server, in_flight)
+    };
+
+    // Roll the victim back (bumps its incarnation: stale per-rank events
+    // and timers die) and rebuild its pre-crash runtime memory.
+    let (skip, credit) = image
+        .as_ref()
+        .map(|i| (i.ops_completed, i.time_credit))
+        .unwrap_or((0, ftmpi_sim::SimDuration::ZERO));
+    w.rt.ranks[victim].reset_for_restart(skip, credit);
+    let incarnation = w.rt.ranks[victim].incarnation;
+    let n = w.rt.size();
+    match &image {
+        Some(img) => {
+            w.rt.set_expect_seq(victim, img.expect_seq.clone());
+            w.rt.set_send_seq(victim, img.send_seq.clone());
+        }
+        None => w.rt.set_expect_seq(victim, vec![0; n]),
+    }
+    if let Some(img) = &image {
+        for m in img.pending.clone() {
+            w.rt.inject_restored(sc, m);
+        }
+    }
+    // Replay the receiver-based log, in delivery order.
+    for m in log {
+        w.rt.inject_restored(sc, m);
+    }
+    // Messages whose log writes were cut short by the failure re-enter
+    // arrival handling in their original order (they re-log under the new
+    // incarnation); doing this before any later traffic preserves the
+    // per-channel FIFO the duplicate watermark depends on.
+    for m in in_flight {
+        w.handle_arrival(sc, m);
+    }
+
+    // Image fetch from the victim's server, then respawn and re-arm its
+    // independent checkpoint cycle.
+    let node = w.rt.placement.node_of(victim);
+    let base = now + ft.restart_delay;
+    let ready = if image.is_some() {
+        w.rt.net.transfer(server, node, ft.image_bytes, base).delivered
+    } else {
+        base
+    };
+    let period = ft.period;
+    let app = app.clone();
+    drop(w);
+    sc.schedule(ready, move |sc| {
+        let Some(world) = handle.upgrade() else { return };
+        {
+            let w = world.lock();
+            if w.rt.ranks[victim].incarnation != incarnation {
+                return;
+            }
+        }
+        spawn_rank(sc, &world, victim, app);
+        let handle2 = world.lock().rt.world_handle();
+        Mlog::schedule_rank_ckpt_pub(sc, handle2, victim, sc.now() + period, incarnation);
+    });
+}

@@ -1,0 +1,294 @@
+//! Job assembly and execution: platform + deployment + protocol + workload
+//! in one call, returning the metrics every experiment consumes.
+
+use std::sync::Arc;
+
+use ftmpi_mpi::{
+    spawn_rank, AppFn, DummyProtocol, Placement, Protocol, RuntimeConfig, RuntimeCore,
+    RuntimeStats, World, WorldRef,
+};
+use ftmpi_net::{LinkConfig, NetModel, SoftwareStack};
+use ftmpi_sim::{Sim, SimDuration, SimTime};
+
+use crate::config::FtConfig;
+use crate::deploy::Deployment;
+use crate::failure::FailurePlan;
+use crate::mlog::Mlog;
+use crate::pcl::Pcl;
+use crate::recovery::{fail_and_restart, mlog_fail_and_restart};
+use crate::stats::FtStats;
+use crate::vcl::Vcl;
+
+/// Which fault-tolerance implementation runs the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolChoice {
+    /// No fault tolerance (Vdummy / plain MPICH2 runs).
+    Dummy,
+    /// Non-blocking coordinated checkpointing (MPICH-Vcl).
+    Vcl,
+    /// Blocking coordinated checkpointing (MPICH2-Pcl).
+    Pcl,
+    /// Uncoordinated checkpointing + pessimistic receiver-based message
+    /// logging (the §2 alternative; single-rank recovery).
+    Mlog,
+}
+
+/// Which platform hosts the job.
+#[derive(Debug, Clone)]
+pub enum Platform {
+    /// A single cluster with the given intra-cluster link.
+    Cluster(LinkConfig),
+    /// The six-cluster Grid5000 subset of §5.4.
+    Grid,
+}
+
+/// Everything needed to run one experiment configuration.
+pub struct JobSpec {
+    /// Number of MPI ranks.
+    pub nranks: usize,
+    /// Protocol under test.
+    pub protocol: ProtocolChoice,
+    /// Software stack carrying messages. `None` picks the protocol's
+    /// natural stack: the Vcl daemon stack for Vcl, TCP sockets otherwise.
+    pub stack: Option<SoftwareStack>,
+    /// Checkpointing parameters.
+    pub ft: FtConfig,
+    /// Platform.
+    pub platform: Platform,
+    /// Checkpoint servers (total for clusters, per cluster for the grid).
+    pub servers: usize,
+    /// Ranks above this use two-per-node placement (clusters; paper: 144).
+    pub single_threshold: usize,
+    /// The application every rank runs.
+    pub app: AppFn,
+    /// Failure schedule.
+    pub failures: FailurePlan,
+    /// Abort the run at this virtual time (guard against protocol bugs).
+    pub max_virtual_time: Option<SimTime>,
+    /// Override the deployment's rank→node placement (platform
+    /// characterization tools that pin ranks to specific nodes).
+    pub placement_override: Option<Vec<ftmpi_net::NodeId>>,
+    /// Proactive checkpoint triggers: a wave is initiated at each time
+    /// (failure-prediction hooks from the paper's conclusion). No-ops for
+    /// the Dummy protocol or while a wave is already in flight.
+    pub wave_triggers: Vec<SimTime>,
+}
+
+impl JobSpec {
+    /// A spec with paper-style defaults on a GigE cluster.
+    pub fn new(nranks: usize, protocol: ProtocolChoice, app: AppFn) -> JobSpec {
+        JobSpec {
+            nranks,
+            protocol,
+            stack: None,
+            ft: FtConfig::default(),
+            platform: Platform::Cluster(LinkConfig::gige()),
+            servers: 1,
+            single_threshold: 144,
+            app,
+            failures: FailurePlan::none(),
+            max_virtual_time: None,
+            placement_override: None,
+            wave_triggers: Vec::new(),
+        }
+    }
+}
+
+/// Metrics of a completed job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Job completion time (first spawn to last finalize).
+    pub completion: SimDuration,
+    /// Fault-tolerance statistics (all-zero for the Dummy protocol).
+    pub ft: FtStats,
+    /// Runtime statistics.
+    pub rt: RuntimeStats,
+    /// Kernel events executed (simulation cost indicator).
+    pub events: u64,
+    /// Messages delivered but never consumed (must be 0 for well-formed
+    /// applications; nonzero after a restart indicates a broken cut).
+    pub leftover_unexpected: usize,
+    /// Receives posted but never matched (0 for well-formed applications).
+    pub leftover_posted: usize,
+}
+
+impl JobResult {
+    /// Committed checkpoint waves.
+    pub fn waves(&self) -> u64 {
+        self.ft.waves_committed
+    }
+
+    /// Completion time in seconds.
+    pub fn completion_secs(&self) -> f64 {
+        self.completion.as_secs_f64()
+    }
+}
+
+/// Why a job could not run or finish.
+#[derive(Debug)]
+pub enum JobError {
+    /// The Vcl implementation does not scale past its `select()` limit
+    /// (the paper could not run Vcl beyond ~300 processes).
+    VclProcessLimit {
+        /// Requested job size.
+        requested: usize,
+        /// Implementation limit.
+        limit: usize,
+    },
+    /// The simulation failed (deadlock or panic — a protocol/model bug).
+    Sim(String),
+    /// The run ended without every rank finishing (hit the time guard).
+    /// Carries a per-rank status dump for diagnosis.
+    Incomplete {
+        /// One line per rank: status, ops completed, blocked flag.
+        ranks: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::VclProcessLimit { requested, limit } => write!(
+                f,
+                "Vcl cannot run {requested} processes: select() multiplexing \
+                 caps it at {limit} (see §5.4)"
+            ),
+            JobError::Sim(e) => write!(f, "simulation error: {e}"),
+            JobError::Incomplete { ranks } => {
+                write!(f, "job did not complete; ranks: {}", ranks.join("; "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Build the deployment for a spec.
+pub fn build_deployment(spec: &JobSpec) -> Deployment {
+    match &spec.platform {
+        Platform::Cluster(link) => Deployment::cluster(
+            spec.nranks,
+            spec.servers.max(1),
+            link.clone(),
+            spec.single_threshold,
+        ),
+        Platform::Grid => Deployment::grid(spec.nranks, spec.servers.max(1)),
+    }
+}
+
+/// Run one job to completion and collect its metrics.
+pub fn run_job(spec: JobSpec) -> Result<JobResult, JobError> {
+    if spec.protocol == ProtocolChoice::Vcl && spec.nranks > spec.ft.vcl_process_limit {
+        return Err(JobError::VclProcessLimit {
+            requested: spec.nranks,
+            limit: spec.ft.vcl_process_limit,
+        });
+    }
+    let dep = build_deployment(&spec);
+    let stack = spec.stack.unwrap_or(match spec.protocol {
+        // Both MPICH-V protocol families ride the daemon architecture.
+        ProtocolChoice::Vcl | ProtocolChoice::Mlog => SoftwareStack::VclDaemon,
+        _ => SoftwareStack::TcpSock,
+    });
+    let placement: Placement = match &spec.placement_override {
+        Some(nodes) => Placement::explicit(nodes.clone()),
+        None => dep.placement.clone(),
+    };
+    let rt = RuntimeCore::new(
+        NetModel::new(dep.topo.clone()),
+        placement,
+        RuntimeConfig::for_stack(stack),
+    );
+    let proto: Box<dyn Protocol> = match spec.protocol {
+        ProtocolChoice::Dummy => Box::new(DummyProtocol),
+        ProtocolChoice::Vcl => Box::new(Vcl::new(spec.ft.clone(), &dep)),
+        ProtocolChoice::Pcl => Box::new(Pcl::new(spec.ft.clone(), &dep)),
+        ProtocolChoice::Mlog => Box::new(Mlog::new(spec.ft.clone(), &dep)),
+    };
+    let world: WorldRef = World::new_ref(rt, proto);
+
+    let mut sim = Sim::new();
+    if let Some(t) = spec.max_virtual_time {
+        sim.set_max_time(t);
+    }
+
+    let w2 = Arc::clone(&world);
+    let app = Arc::clone(&spec.app);
+    let nranks = spec.nranks;
+    let protocol = spec.protocol;
+    sim.schedule(SimTime::ZERO, move |sc| {
+        for r in 0..nranks {
+            spawn_rank(sc, &w2, r, Arc::clone(&app));
+        }
+        match protocol {
+            ProtocolChoice::Dummy => {}
+            ProtocolChoice::Vcl => Vcl::start(&w2, sc),
+            ProtocolChoice::Pcl => Pcl::start(&w2, sc),
+            ProtocolChoice::Mlog => Mlog::start(&w2, sc),
+        }
+    });
+
+    for &at in &spec.wave_triggers {
+        let w2 = Arc::clone(&world);
+        sim.schedule(at, move |sc| match protocol {
+            ProtocolChoice::Dummy | ProtocolChoice::Mlog => {}
+            ProtocolChoice::Vcl => Vcl::trigger_wave_now(&w2, sc),
+            ProtocolChoice::Pcl => Pcl::trigger_wave_now(&w2, sc),
+        });
+    }
+
+    for (at, victim) in spec.failures.kills.clone() {
+        let w2 = Arc::clone(&world);
+        let app = Arc::clone(&spec.app);
+        let ft = spec.ft.clone();
+        sim.schedule(at, move |sc| {
+            if protocol == ProtocolChoice::Mlog {
+                mlog_fail_and_restart(sc, &w2, &app, victim, &ft);
+            } else {
+                fail_and_restart(sc, &w2, &app, protocol, victim, &ft);
+            }
+        });
+    }
+
+    let report = sim.run().map_err(|e| JobError::Sim(e.to_string()))?;
+
+    let w = world.lock();
+    let completion = match w.rt.stats.completion_time {
+        Some(t) => t.saturating_since(SimTime::ZERO),
+        None => {
+            let ranks = w
+                .rt
+                .ranks
+                .iter()
+                .enumerate()
+                .map(|(r, rs)| format!("r{r}: {}", rs.debug_summary()))
+                .collect();
+            return Err(JobError::Incomplete { ranks });
+        }
+    };
+    let rt_stats = w.rt.stats.clone();
+    let (leftover_unexpected, leftover_posted) = w.rt.leftover_messages();
+    drop(w);
+    // Pull protocol stats (needs the mutable downcast hook).
+    let ft_stats = {
+        let mut w = world.lock();
+        let World { proto, .. } = &mut *w;
+        if let Some(vcl) = proto.as_any_mut().downcast_mut::<Vcl>() {
+            vcl.stats.clone()
+        } else if let Some(pcl) = proto.as_any_mut().downcast_mut::<Pcl>() {
+            pcl.stats.clone()
+        } else if let Some(mlog) = proto.as_any_mut().downcast_mut::<Mlog>() {
+            mlog.stats.clone()
+        } else {
+            FtStats::default()
+        }
+    };
+    Ok(JobResult {
+        completion,
+        ft: ft_stats,
+        rt: rt_stats,
+        events: report.events_executed,
+        leftover_unexpected,
+        leftover_posted,
+    })
+}

@@ -1,0 +1,116 @@
+//! Checkpoint-server bookkeeping.
+//!
+//! The data-plane cost of a checkpoint server is its node's NIC and the
+//! flows streaming into it (see [`crate::flow`]); this module keeps the
+//! control-plane state: which server stores which rank's image of which
+//! wave, and the commit status of waves — the distributed database the
+//! paper's FTPM maintains ("to locate which checkpoint server holds which
+//! local checkpoint").
+
+use std::collections::HashMap;
+
+use ftmpi_mpi::Rank;
+use ftmpi_net::NodeId;
+use ftmpi_sim::SimTime;
+
+/// One stored image record.
+#[derive(Debug, Clone, Copy)]
+pub struct StoredImage {
+    /// Server node holding the image.
+    pub server: NodeId,
+    /// Image size.
+    pub bytes: u64,
+    /// Time the last byte arrived at the server.
+    pub stored_at: SimTime,
+}
+
+/// Control-plane state of the checkpoint-server fleet.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    /// (wave, rank) → stored image.
+    images: HashMap<(u64, Rank), StoredImage>,
+    /// Last committed wave number, if any.
+    committed: Option<u64>,
+}
+
+impl CheckpointStore {
+    /// Record a fully-received image.
+    pub fn record_image(&mut self, wave: u64, rank: Rank, img: StoredImage) {
+        self.images.insert((wave, rank), img);
+    }
+
+    /// Is the image of (wave, rank) fully stored?
+    pub fn has_image(&self, wave: u64, rank: Rank) -> bool {
+        self.images.contains_key(&(wave, rank))
+    }
+
+    /// Which server holds rank `rank`'s image of `wave`?
+    pub fn locate(&self, wave: u64, rank: Rank) -> Option<StoredImage> {
+        self.images.get(&(wave, rank)).copied()
+    }
+
+    /// Mark `wave` committed and garbage-collect superseded waves —
+    /// "simple garbage collection reduces the size needed to store the
+    /// checkpoints".
+    pub fn commit(&mut self, wave: u64) {
+        self.committed = Some(wave);
+        self.images.retain(|(w, _), _| *w >= wave);
+    }
+
+    /// Last committed wave.
+    pub fn committed_wave(&self) -> Option<u64> {
+        self.committed
+    }
+
+    /// Bytes currently held across all servers.
+    pub fn stored_bytes(&self) -> u64 {
+        self.images.values().map(|i| i.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(bytes: u64) -> StoredImage {
+        StoredImage {
+            server: NodeId(0),
+            bytes,
+            stored_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn commit_garbage_collects_old_waves() {
+        let mut store = CheckpointStore::default();
+        for r in 0..4 {
+            store.record_image(1, r, img(100));
+        }
+        for r in 0..4 {
+            store.record_image(2, r, img(100));
+        }
+        assert_eq!(store.stored_bytes(), 800);
+        store.commit(2);
+        assert_eq!(store.committed_wave(), Some(2));
+        assert_eq!(store.stored_bytes(), 400);
+        assert!(!store.has_image(1, 0));
+        assert!(store.has_image(2, 3));
+    }
+
+    #[test]
+    fn locate_finds_the_server() {
+        let mut store = CheckpointStore::default();
+        store.record_image(
+            3,
+            7,
+            StoredImage {
+                server: NodeId(42),
+                bytes: 5,
+                stored_at: SimTime::from_nanos(9),
+            },
+        );
+        let found = store.locate(3, 7).unwrap();
+        assert_eq!(found.server, NodeId(42));
+        assert!(store.locate(3, 8).is_none());
+    }
+}

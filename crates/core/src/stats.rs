@@ -1,0 +1,93 @@
+//! Fault-tolerance statistics collected over a run.
+
+use ftmpi_sim::{SimDuration, SimTime};
+
+/// Per-wave timing record.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveTiming {
+    /// Wave number (1-based).
+    pub wave: u64,
+    /// Initiation time (scheduler / rank-0 marker emission).
+    pub started_at: SimTime,
+    /// Commit time (all acknowledgements collected).
+    pub committed_at: SimTime,
+}
+
+impl WaveTiming {
+    /// Wall duration of the wave.
+    pub fn duration(&self) -> SimDuration {
+        self.committed_at.saturating_since(self.started_at)
+    }
+}
+
+/// Counters kept by the protocol engines.
+#[derive(Debug, Clone, Default)]
+pub struct FtStats {
+    /// Waves initiated.
+    pub waves_started: u64,
+    /// Waves fully committed.
+    pub waves_committed: u64,
+    /// Per-committed-wave timings.
+    pub wave_timings: Vec<WaveTiming>,
+    /// Checkpoint image bytes shipped to servers.
+    pub image_bytes_sent: u64,
+    /// Channel-state (log) bytes shipped to servers (non-blocking protocol).
+    pub log_bytes_sent: u64,
+    /// Messages logged as channel state (non-blocking protocol).
+    pub msgs_logged: u64,
+    /// Application sends delayed by a wave (blocking protocol).
+    pub sends_delayed: u64,
+    /// Arrivals parked in the delayed receive queue (blocking protocol).
+    pub arrivals_delayed: u64,
+    /// Failure-restarts performed.
+    pub restarts: u64,
+}
+
+impl FtStats {
+    /// Mean committed-wave duration, if any wave committed.
+    pub fn mean_wave_duration(&self) -> Option<SimDuration> {
+        if self.wave_timings.is_empty() {
+            return None;
+        }
+        let total: u64 = self
+            .wave_timings
+            .iter()
+            .map(|w| w.duration().as_nanos())
+            .sum();
+        Some(SimDuration::from_nanos(
+            total / self.wave_timings.len() as u64,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wave_duration_is_commit_minus_start() {
+        let w = WaveTiming {
+            wave: 1,
+            started_at: SimTime::from_nanos(100),
+            committed_at: SimTime::from_nanos(350),
+        };
+        assert_eq!(w.duration(), SimDuration::from_nanos(250));
+    }
+
+    #[test]
+    fn mean_wave_duration_over_waves() {
+        let mut s = FtStats::default();
+        assert!(s.mean_wave_duration().is_none());
+        for (a, b) in [(0u64, 100u64), (200, 500)] {
+            s.wave_timings.push(WaveTiming {
+                wave: 0,
+                started_at: SimTime::from_nanos(a),
+                committed_at: SimTime::from_nanos(b),
+            });
+        }
+        assert_eq!(
+            s.mean_wave_duration(),
+            Some(SimDuration::from_nanos(200)) // (100 + 300) / 2
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Tests for the uncoordinated message-logging protocol (Mlog): failure-free
+//! overhead behaviour, independent checkpoint cycles, and single-rank
+//! recovery correctness.
+
+use std::sync::Arc;
+
+use ftmpi_core::{run_job, FailurePlan, FtConfig, JobSpec, ProtocolChoice};
+use ftmpi_mpi::AppFn;
+use ftmpi_net::SoftwareStack;
+use ftmpi_sim::{SimDuration, SimTime};
+
+fn ring_app(iters: usize, bytes: u64, compute: SimDuration) -> AppFn {
+    Arc::new(move |mpi| {
+        let n = mpi.size();
+        let right = (mpi.rank() + 1) % n;
+        let left = (mpi.rank() + n - 1) % n;
+        for i in 0..iters {
+            mpi.shift(right, left, (i % 997) as i32, bytes);
+            mpi.compute(compute);
+        }
+    })
+}
+
+fn base_spec(nranks: usize, app: AppFn) -> JobSpec {
+    let mut spec = JobSpec::new(nranks, ProtocolChoice::Mlog, app);
+    spec.servers = 2;
+    spec.ft = FtConfig {
+        period: SimDuration::from_secs(3),
+        first_wave_delay: SimDuration::from_millis(500),
+        image_bytes: 2 << 20,
+        ..FtConfig::default()
+    };
+    spec.max_virtual_time = Some(ftmpi_sim::SimTime::from_nanos(300_000_000_000));
+    spec
+}
+
+#[test]
+fn logs_every_message_and_checkpoints_independently() {
+    let res = run_job(base_spec(6, ring_app(100, 4_096, SimDuration::from_millis(100))))
+        .expect("mlog run");
+    // Every application message is logged before delivery.
+    assert_eq!(res.ft.msgs_logged, res.rt.msgs_sent);
+    assert!(res.ft.log_bytes_sent > 0);
+    // Uncoordinated: per-rank checkpoints, several cycles over ~10 s.
+    assert!(res.ft.waves_committed >= 6, "waves {}", res.ft.waves_committed);
+    assert_eq!(res.leftover_unexpected, 0);
+    assert_eq!(res.leftover_posted, 0);
+}
+
+#[test]
+fn failure_free_overhead_exceeds_coordinated_checkpointing() {
+    // §2: "the overhead induced during failure-free execution decreases the
+    // performance in reliable environments" — message logging pays a
+    // synchronous round-trip per message; coordinated checkpointing does
+    // not touch the message path.
+    let app = ring_app(300, 16_384, SimDuration::from_millis(20));
+    let mk = |proto| {
+        let mut spec = base_spec(6, Arc::clone(&app));
+        spec.protocol = proto;
+        // Same stack for a fair protocol-only comparison.
+        spec.stack = Some(SoftwareStack::TcpSock);
+        run_job(spec).expect("run")
+    };
+    let mlog = mk(ProtocolChoice::Mlog);
+    let vcl = mk(ProtocolChoice::Vcl);
+    assert!(
+        mlog.completion_secs() > vcl.completion_secs() * 1.02,
+        "logging should cost more than coordinated on a reliable cluster: {} vs {}",
+        mlog.completion_secs(),
+        vcl.completion_secs()
+    );
+}
+
+#[test]
+fn single_rank_recovery_does_not_roll_back_the_others() {
+    let app = ring_app(120, 4_096, SimDuration::from_millis(80));
+    let clean = run_job(base_spec(5, Arc::clone(&app))).expect("clean");
+    let mut spec = base_spec(5, app);
+    let kill = SimTime::from_nanos((clean.completion_secs() * 0.5 * 1e9) as u64);
+    spec.failures = FailurePlan::kill_at(kill, 2);
+    let failed = run_job(spec).expect("failed run");
+    assert_eq!(failed.rt.restarts, 1);
+    assert!(failed.completion_secs() >= clean.completion_secs());
+    // Single-rank rollback: the whole-job slowdown stays well under a
+    // coordinated restart's (which reruns everyone from the last wave).
+    assert_eq!(failed.leftover_unexpected, 0);
+    assert_eq!(failed.leftover_posted, 0);
+}
+
+#[test]
+fn recovery_before_any_checkpoint_replays_the_whole_log() {
+    let app = ring_app(60, 2_048, SimDuration::from_millis(50));
+    let mut spec = base_spec(4, app);
+    spec.ft.first_wave_delay = SimDuration::from_secs(1_000); // never checkpoints
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(1_200_000_000), 1);
+    let res = run_job(spec).expect("run");
+    assert_eq!(res.rt.restarts, 1);
+    // The restart found no image: the victim replayed its entire log from
+    // the beginning. (Its post-restart checkpoint cycle re-arms with the
+    // normal period, so later waves may still commit.)
+    assert_eq!(res.leftover_unexpected, 0);
+    assert_eq!(res.leftover_posted, 0);
+}
+
+#[test]
+fn survives_repeated_failures_of_different_ranks() {
+    let app = ring_app(150, 2_048, SimDuration::from_millis(60));
+    let mut spec = base_spec(5, app);
+    spec.failures = FailurePlan {
+        kills: vec![
+            (SimTime::from_nanos(2_000_000_000), 1),
+            (SimTime::from_nanos(5_000_000_000), 3),
+            (SimTime::from_nanos(8_000_000_000), 1),
+        ],
+    };
+    let res = run_job(spec).expect("run");
+    assert_eq!(res.rt.restarts, 3);
+    assert_eq!(res.leftover_unexpected, 0);
+    assert_eq!(res.leftover_posted, 0);
+}
+
+#[test]
+fn mlog_runs_are_deterministic() {
+    let mk = || {
+        let app = ring_app(80, 2_048, SimDuration::from_millis(40));
+        let mut spec = base_spec(4, app);
+        spec.failures = FailurePlan::kill_at(SimTime::from_nanos(1_500_000_000), 0);
+        let res = run_job(spec).expect("run");
+        (res.completion.as_nanos(), res.ft.msgs_logged, res.rt.restarts)
+    };
+    assert_eq!(mk(), mk());
+}

@@ -1,0 +1,406 @@
+//! Integration tests for the checkpointing protocols: failure-free overhead
+//! behaviour, wave mechanics, and end-to-end recovery correctness.
+
+use std::sync::Arc;
+
+use ftmpi_core::{run_job, FailurePlan, FtConfig, JobError, JobResult, JobSpec, ProtocolChoice};
+use ftmpi_mpi::AppFn;
+use ftmpi_net::SoftwareStack;
+use ftmpi_sim::{SimDuration, SimTime};
+
+/// Ring workload: each iteration sends `bytes` to the right neighbour,
+/// receives from the left, then computes.
+fn ring_app(iters: usize, bytes: u64, compute: SimDuration) -> AppFn {
+    Arc::new(move |mpi| {
+        let n = mpi.size();
+        let right = (mpi.rank() + 1) % n;
+        let left = (mpi.rank() + n - 1) % n;
+        for i in 0..iters {
+            let req = mpi.irecv(Some(left), Some(i as i32));
+            mpi.send(right, i as i32, bytes);
+            mpi.wait(req);
+            mpi.compute(compute);
+        }
+    })
+}
+
+/// Allreduce-heavy workload (CG-like: latency bound, frequent syncs).
+fn allreduce_app(iters: usize, bytes: u64, compute: SimDuration) -> AppFn {
+    Arc::new(move |mpi| {
+        for _ in 0..iters {
+            mpi.compute(compute);
+            mpi.allreduce(bytes);
+        }
+    })
+}
+
+fn base_spec(nranks: usize, protocol: ProtocolChoice, app: AppFn) -> JobSpec {
+    let mut spec = JobSpec::new(nranks, protocol, app);
+    spec.servers = 2;
+    spec.ft = FtConfig {
+        period: SimDuration::from_secs(5),
+        first_wave_delay: SimDuration::from_secs(2),
+        image_bytes: 4 << 20,
+        ..FtConfig::default()
+    };
+    spec
+}
+
+fn run(spec: JobSpec) -> JobResult {
+    run_job(spec).expect("job failed")
+}
+
+fn assert_clean(res: &JobResult) {
+    assert_eq!(res.leftover_unexpected, 0, "stray unconsumed messages");
+    assert_eq!(res.leftover_posted, 0, "unmatched posted receives");
+}
+
+#[test]
+fn dummy_baseline_runs_without_waves() {
+    let res = run(base_spec(
+        8,
+        ProtocolChoice::Dummy,
+        ring_app(20, 10_000, SimDuration::from_millis(100)),
+    ));
+    assert_eq!(res.waves(), 0);
+    assert!(res.completion_secs() > 1.9, "{}", res.completion_secs());
+    assert_clean(&res);
+}
+
+#[test]
+fn vcl_checkpoints_with_modest_overhead() {
+    let app = |p| base_spec(8, p, ring_app(100, 10_000, SimDuration::from_millis(200)));
+    let dummy = run(app(ProtocolChoice::Dummy));
+    let vcl = run(app(ProtocolChoice::Vcl));
+    assert!(vcl.waves() >= 2, "expected waves, got {}", vcl.waves());
+    assert!(vcl.ft.image_bytes_sent > 0);
+    // Non-blocking: communication continues; overhead stays bounded.
+    let ratio = vcl.completion_secs() / dummy.completion_secs();
+    assert!(ratio < 1.6, "Vcl overhead too high: {ratio}");
+    assert_clean(&vcl);
+}
+
+#[test]
+fn pcl_checkpoints_and_synchronizes() {
+    let app = |p| base_spec(8, p, ring_app(100, 10_000, SimDuration::from_millis(200)));
+    let dummy = run(app(ProtocolChoice::Dummy));
+    let pcl = run(app(ProtocolChoice::Pcl));
+    assert!(pcl.waves() >= 2, "expected waves, got {}", pcl.waves());
+    assert!(pcl.completion_secs() > dummy.completion_secs());
+    assert_clean(&pcl);
+}
+
+#[test]
+fn pcl_overhead_grows_with_checkpoint_frequency() {
+    let mk = |period_s: f64| {
+        let mut spec = base_spec(
+            8,
+            ProtocolChoice::Pcl,
+            allreduce_app(300, 4_000, SimDuration::from_millis(100)),
+        );
+        spec.ft.period = SimDuration::from_secs_f64(period_s);
+        run(spec)
+    };
+    let frequent = mk(1.0);
+    let rare = mk(15.0);
+    assert!(frequent.waves() > rare.waves());
+    assert!(
+        frequent.completion_secs() > rare.completion_secs(),
+        "frequent {} vs rare {}",
+        frequent.completion_secs(),
+        rare.completion_secs()
+    );
+}
+
+/// Producer/consumer stream: rank 0 fires `count` eager sends back-to-back
+/// (building a deep NIC backlog), rank 1 consumes slowly. A checkpoint wave
+/// arriving mid-stream finds messages genuinely *in the channel*.
+fn stream_app(count: usize, bytes: u64, consume: SimDuration) -> AppFn {
+    Arc::new(move |mpi| match mpi.rank() {
+        0 => {
+            for i in 0..count {
+                mpi.send(1, (i % 1000) as i32, bytes);
+            }
+        }
+        1 => {
+            for i in 0..count {
+                mpi.recv(Some(0), Some((i % 1000) as i32));
+                mpi.compute(consume);
+            }
+        }
+        _ => {}
+    })
+}
+
+#[test]
+fn vcl_logs_in_transit_messages() {
+    let mut spec = base_spec(2, ProtocolChoice::Vcl, stream_app(200, 256 << 10, SimDuration::from_millis(2)));
+    // Strike while ~50 MB of sends are still queued on the channel.
+    spec.ft.first_wave_delay = SimDuration::from_millis(200);
+    spec.ft.period = SimDuration::from_secs(1);
+    let res = run(spec);
+    assert!(res.waves() >= 1);
+    assert!(
+        res.ft.msgs_logged > 0,
+        "Chandy–Lamport should log channel state"
+    );
+    assert!(res.ft.log_bytes_sent > 0);
+    assert_clean(&res);
+}
+
+#[test]
+fn vcl_recovers_with_logged_channel_state() {
+    // Burst (builds channel backlog caught by the wave's log), long quiet
+    // phase (lets the wave commit), then more exchanges. Killing during the
+    // quiet phase forces a restart whose correctness depends on replaying
+    // the logged channel state.
+    let app: AppFn = Arc::new(|mpi| {
+        let count = 100usize;
+        match mpi.rank() {
+            0 => {
+                for i in 0..count {
+                    mpi.send(1, (i % 1000) as i32, 256 << 10);
+                }
+                mpi.compute(SimDuration::from_secs(3));
+                for i in 0..10 {
+                    mpi.send(1, 2000 + i, 64);
+                    mpi.recv(Some(1), Some(3000 + i));
+                }
+            }
+            _ => {
+                for i in 0..count {
+                    mpi.recv(Some(0), Some((i % 1000) as i32));
+                    mpi.compute(SimDuration::from_millis(2));
+                }
+                mpi.compute(SimDuration::from_secs(3));
+                for i in 0..10 {
+                    mpi.recv(Some(0), Some(2000 + i));
+                    mpi.send(0, 3000 + i, 64);
+                }
+            }
+        }
+    });
+    let mut spec = base_spec(2, ProtocolChoice::Vcl, app);
+    spec.ft.first_wave_delay = SimDuration::from_millis(100);
+    spec.ft.period = SimDuration::from_secs(60); // exactly one wave
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(1_500_000_000), 1);
+    spec.max_virtual_time = Some(SimTime::from_nanos(120_000_000_000));
+    let res = run(spec);
+    assert_eq!(res.rt.restarts, 1);
+    assert_eq!(res.waves(), 1);
+    assert!(res.ft.msgs_logged > 0, "wave should have logged messages");
+    assert_clean(&res);
+}
+
+#[test]
+fn pcl_delays_traffic_during_waves() {
+    let res = run(base_spec(
+        8,
+        ProtocolChoice::Pcl,
+        ring_app(2_000, 50_000, SimDuration::from_millis(10)),
+    ));
+    assert!(res.waves() >= 1);
+    assert!(
+        res.ft.sends_delayed > 0,
+        "blocking protocol should delay send posts"
+    );
+    assert_clean(&res);
+}
+
+#[test]
+fn wave_timings_are_ordered_and_disjoint() {
+    let res = run(base_spec(
+        6,
+        ProtocolChoice::Pcl,
+        ring_app(150, 20_000, SimDuration::from_millis(150)),
+    ));
+    let w = &res.ft.wave_timings;
+    assert!(w.len() >= 2);
+    for t in w {
+        assert!(t.committed_at > t.started_at);
+    }
+    for pair in w.windows(2) {
+        // Next wave starts only after the previous committed (+period).
+        assert!(pair[1].started_at > pair[0].committed_at);
+    }
+}
+
+#[test]
+fn vcl_recovers_from_a_failure() {
+    let app = ring_app(120, 10_000, SimDuration::from_millis(200));
+    let mut spec = base_spec(6, ProtocolChoice::Vcl, Arc::clone(&app));
+    let clean = run_job(JobSpec {
+        app: Arc::clone(&app),
+        ..base_spec(6, ProtocolChoice::Vcl, Arc::clone(&app))
+    })
+    .unwrap();
+    // Kill rank 3 mid-run (after at least one wave should have committed).
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(12_000_000_000), 3);
+    let failed = run(spec);
+    assert_eq!(failed.ft.restarts, 1);
+    assert_eq!(failed.rt.restarts, 1);
+    assert!(
+        failed.completion_secs() > clean.completion_secs(),
+        "failure must cost time: {} vs {}",
+        failed.completion_secs(),
+        clean.completion_secs()
+    );
+    // Rollback bounded: lost work ≤ period + wave + restart costs. Allow 3×.
+    assert!(
+        failed.completion_secs() < clean.completion_secs() * 3.0,
+        "recovery too expensive: {} vs {}",
+        failed.completion_secs(),
+        clean.completion_secs()
+    );
+    assert_clean(&failed);
+}
+
+#[test]
+fn pcl_recovers_from_a_failure() {
+    let app = ring_app(120, 10_000, SimDuration::from_millis(200));
+    let clean = run(base_spec(6, ProtocolChoice::Pcl, Arc::clone(&app)));
+    let mut spec = base_spec(6, ProtocolChoice::Pcl, app);
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(12_000_000_000), 2);
+    let failed = run(spec);
+    assert_eq!(failed.ft.restarts, 1);
+    assert!(failed.completion_secs() > clean.completion_secs());
+    assert!(failed.completion_secs() < clean.completion_secs() * 3.0);
+    assert_clean(&failed);
+}
+
+#[test]
+fn failure_before_first_commit_restarts_from_scratch() {
+    let app = ring_app(40, 10_000, SimDuration::from_millis(100));
+    let mut spec = base_spec(6, ProtocolChoice::Pcl, app);
+    spec.ft.first_wave_delay = SimDuration::from_secs(1_000); // never checkpoints
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(2_000_000_000), 0);
+    let res = run(spec);
+    assert_eq!(res.waves(), 0);
+    assert_eq!(res.rt.restarts, 1);
+    // Completed from scratch: roughly 2 s wasted + full rerun.
+    assert!(res.completion_secs() > 4.0);
+    assert_clean(&res);
+}
+
+#[test]
+fn dummy_protocol_restarts_from_scratch() {
+    let app = ring_app(40, 10_000, SimDuration::from_millis(100));
+    let clean = run(base_spec(6, ProtocolChoice::Dummy, Arc::clone(&app)));
+    let mut spec = base_spec(6, ProtocolChoice::Dummy, app);
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(3_000_000_000), 1);
+    let res = run(spec);
+    assert_eq!(res.rt.restarts, 1);
+    assert!(res.completion_secs() > clean.completion_secs() * 1.5);
+    assert_clean(&res);
+}
+
+#[test]
+fn survives_multiple_failures() {
+    let app = ring_app(150, 10_000, SimDuration::from_millis(150));
+    let mut spec = base_spec(6, ProtocolChoice::Vcl, app);
+    spec.failures = FailurePlan {
+        kills: vec![
+            (SimTime::from_nanos(10_000_000_000), 1),
+            (SimTime::from_nanos(25_000_000_000), 4),
+        ],
+    };
+    let res = run(spec);
+    assert_eq!(res.rt.restarts, 2);
+    assert_clean(&res);
+}
+
+#[test]
+fn failure_after_completion_is_ignored() {
+    let app = ring_app(5, 1_000, SimDuration::from_millis(10));
+    let mut spec = base_spec(4, ProtocolChoice::Pcl, app);
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(3_600_000_000_000), 0);
+    let res = run(spec);
+    assert_eq!(res.rt.restarts, 0);
+}
+
+#[test]
+fn vcl_rejects_jobs_beyond_select_limit() {
+    let app = ring_app(1, 100, SimDuration::ZERO);
+    let spec = JobSpec::new(301, ProtocolChoice::Vcl, app);
+    match run_job(spec) {
+        Err(JobError::VclProcessLimit { requested, limit }) => {
+            assert_eq!(requested, 301);
+            assert_eq!(limit, 300);
+        }
+        other => panic!("expected VclProcessLimit, got {other:?}"),
+    }
+}
+
+#[test]
+fn protocol_runs_are_deterministic() {
+    let mk = || {
+        let res = run(base_spec(
+            6,
+            ProtocolChoice::Pcl,
+            allreduce_app(100, 4_000, SimDuration::from_millis(50)),
+        ));
+        (res.completion.as_nanos(), res.waves(), res.ft.sends_delayed)
+    };
+    assert_eq!(mk(), mk());
+}
+
+#[test]
+fn nemesis_stack_outperforms_daemon_stack_on_latency_bound_app() {
+    // CG-like latency-bound workload: Pcl/Nemesis vs Vcl/daemon without
+    // any checkpoints (pure stack comparison, as in the paper's no-ckpt
+    // baselines of Fig. 7).
+    let app = allreduce_app(400, 2_000, SimDuration::from_millis(5));
+    let mut nem = base_spec(8, ProtocolChoice::Dummy, Arc::clone(&app));
+    nem.stack = Some(SoftwareStack::NemesisGm);
+    let mut vcl = base_spec(8, ProtocolChoice::Dummy, app);
+    vcl.stack = Some(SoftwareStack::VclDaemon);
+    let t_nem = run(nem).completion_secs();
+    let t_vcl = run(vcl).completion_secs();
+    assert!(
+        t_nem < t_vcl,
+        "OS-bypass should beat the daemon stack: {t_nem} vs {t_vcl}"
+    );
+}
+
+#[test]
+fn restore_from_a_wave_committed_after_an_earlier_restart() {
+    // Regression: a checkpoint image captured *after* a restart must record
+    // the rank's total logical progress, not ops-since-restart; otherwise a
+    // second failure restores a corrupted cut (skip points at the start of
+    // the program while the channel state belongs to a late iteration).
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        let app = ring_app(200, 8_192, SimDuration::from_millis(60));
+        let mut spec = base_spec(5, proto, app);
+        spec.ft.period = SimDuration::from_secs(2);
+        spec.ft.first_wave_delay = SimDuration::from_millis(500);
+        spec.failures = FailurePlan {
+            kills: vec![
+                // First kill: restore from an epoch-0 wave.
+                (SimTime::from_nanos(4_000_000_000), 1),
+                // Second kill: restore from a wave committed after restart 1.
+                (SimTime::from_nanos(14_000_000_000), 3),
+            ],
+        };
+        spec.max_virtual_time = Some(SimTime::from_nanos(600_000_000_000));
+        let res = run(spec);
+        assert_eq!(res.rt.restarts, 2, "{proto:?}");
+        assert!(res.waves() >= 2, "{proto:?}");
+        assert_clean(&res);
+    }
+}
+
+#[test]
+fn single_rank_vcl_commits_waves() {
+    // Regression: a solo job has no channels, so log_done must not wait for
+    // channel markers that will never arrive.
+    let app: AppFn = Arc::new(|mpi| {
+        for _ in 0..40 {
+            mpi.compute(SimDuration::from_millis(100));
+        }
+    });
+    let mut spec = base_spec(1, ProtocolChoice::Vcl, app);
+    spec.ft.first_wave_delay = SimDuration::from_millis(200);
+    spec.ft.period = SimDuration::from_millis(800);
+    let res = run(spec);
+    assert!(res.waves() >= 2, "solo Vcl must commit waves, got {}", res.waves());
+}

@@ -1,0 +1,204 @@
+//! Collective operations built over point-to-point messages.
+//!
+//! Algorithms follow the classic MPICH choices: binomial trees for
+//! bcast/reduce, recursive doubling for power-of-two allreduce (reduce+bcast
+//! otherwise), dissemination barrier, ring allgather, and pairwise
+//! alltoall. Each collective instance draws a fresh tag block from the
+//! rank-local collective round counter, so concurrent collectives cannot
+//! cross-match (all ranks call collectives in the same order, as MPI
+//! requires).
+//!
+//! Because collectives decompose into ordinary countable operations,
+//! skip-replay after a restart works through them unchanged.
+
+use crate::handle::Mpi;
+use crate::types::{Rank, Tag};
+
+/// Tags below this value are reserved for collectives.
+const COLL_TAG_BASE: Tag = -1_000;
+/// Distinct tag slots per collective instance.
+const COLL_TAG_STRIDE: Tag = 8;
+
+impl Mpi {
+    /// A fresh tag for phase `phase` of the next collective instance.
+    fn coll_tag(&self, phase: Tag) -> Tag {
+        debug_assert!(phase < COLL_TAG_STRIDE);
+        COLL_TAG_BASE - (self.coll_seq as Tag % 1_000_000) * COLL_TAG_STRIDE - phase
+    }
+
+    fn begin_coll(&mut self) -> u64 {
+        let seq = self.coll_seq;
+        self.coll_seq += 1;
+        seq
+    }
+
+    /// Dissemination barrier: ceil(log2 n) rounds of pairwise exchange.
+    pub fn barrier(&mut self) {
+        self.begin_coll();
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let me = self.rank();
+        let tag = self.coll_tag(0);
+        let mut dist = 1;
+        while dist < n {
+            let to = (me + dist) % n;
+            let from = (me + n - dist) % n;
+            self.shift(to, from, tag, 1);
+            dist <<= 1;
+        }
+    }
+
+    /// Binomial-tree broadcast of `bytes` from `root`.
+    pub fn bcast(&mut self, root: Rank, bytes: u64) {
+        self.begin_coll();
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let me = self.rank();
+        let tag = self.coll_tag(1);
+        let vrank = (me + n - root) % n;
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask != 0 {
+                let vsrc = vrank - mask;
+                self.recv(Some((vsrc + root) % n), Some(tag));
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if vrank + mask < n && vrank & (mask - 1) == 0 && vrank & mask == 0 {
+                let vdst = vrank + mask;
+                self.send((vdst + root) % n, tag, bytes);
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Binomial-tree reduction of `bytes` to `root`.
+    pub fn reduce(&mut self, root: Rank, bytes: u64) {
+        self.begin_coll();
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let me = self.rank();
+        let tag = self.coll_tag(2);
+        let vrank = (me + n - root) % n;
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask == 0 {
+                let vsrc = vrank + mask;
+                if vsrc < n {
+                    self.recv(Some((vsrc + root) % n), Some(tag));
+                }
+            } else {
+                let vdst = vrank - mask;
+                self.send((vdst + root) % n, tag, bytes);
+                break;
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// Allreduce of `bytes`: recursive doubling when the size is a power of
+    /// two, reduce-to-0 + bcast otherwise.
+    pub fn allreduce(&mut self, bytes: u64) {
+        let n = self.size();
+        if n <= 1 {
+            self.begin_coll();
+            return;
+        }
+        if n.is_power_of_two() {
+            self.begin_coll();
+            let me = self.rank();
+            let tag = self.coll_tag(3);
+            let mut mask = 1usize;
+            while mask < n {
+                let partner = me ^ mask;
+                self.exchange(partner, tag, bytes);
+                mask <<= 1;
+            }
+        } else {
+            self.reduce(0, bytes);
+            self.bcast(0, bytes);
+        }
+    }
+
+    /// Ring allgather: each rank contributes a block of `block_bytes`.
+    pub fn allgather(&mut self, block_bytes: u64) {
+        self.begin_coll();
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let me = self.rank();
+        let tag = self.coll_tag(4);
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        for _ in 0..n - 1 {
+            self.shift(right, left, tag, block_bytes);
+        }
+    }
+
+    /// Pairwise alltoall: each rank sends a distinct block of `block_bytes`
+    /// to every other rank.
+    pub fn alltoall(&mut self, block_bytes: u64) {
+        self.begin_coll();
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let me = self.rank();
+        let tag = self.coll_tag(5);
+        for i in 1..n {
+            let to = (me + i) % n;
+            let from = (me + n - i) % n;
+            self.shift(to, from, tag, block_bytes);
+        }
+    }
+
+    /// Linear gather of one `block_bytes` block per rank to `root`.
+    pub fn gather(&mut self, root: Rank, block_bytes: u64) {
+        self.begin_coll();
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let me = self.rank();
+        let tag = self.coll_tag(6);
+        if me == root {
+            for r in 0..n {
+                if r != root {
+                    self.recv(Some(r), Some(tag));
+                }
+            }
+        } else {
+            self.send(root, tag, block_bytes);
+        }
+    }
+
+    /// Linear scatter of one `block_bytes` block per rank from `root`.
+    pub fn scatter(&mut self, root: Rank, block_bytes: u64) {
+        self.begin_coll();
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let me = self.rank();
+        let tag = self.coll_tag(7);
+        if me == root {
+            for r in 0..n {
+                if r != root {
+                    self.send(r, tag, block_bytes);
+                }
+            }
+        } else {
+            self.recv(Some(root), Some(tag));
+        }
+    }
+}

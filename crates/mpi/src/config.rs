@@ -1,0 +1,28 @@
+//! Runtime configuration.
+
+use ftmpi_net::{SoftwareStack, StackProfile};
+
+/// Parameters of the message-passing runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Which software stack carries messages (selects per-message costs).
+    pub stack: SoftwareStack,
+    /// Resolved per-message cost profile (derived from `stack` by default).
+    pub profile: StackProfile,
+}
+
+impl RuntimeConfig {
+    /// Configuration for a given stack with its default cost profile.
+    pub fn for_stack(stack: SoftwareStack) -> RuntimeConfig {
+        RuntimeConfig {
+            stack,
+            profile: StackProfile::for_stack(stack),
+        }
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig::for_stack(SoftwareStack::TcpSock)
+    }
+}

@@ -1,0 +1,82 @@
+//! Core vocabulary: ranks, tags, message envelopes.
+
+use ftmpi_sim::SimTime;
+
+/// An MPI rank (0-based).
+pub type Rank = usize;
+
+/// An MPI message tag.
+pub type Tag = i32;
+
+/// Wildcard source for receives.
+pub const ANY_SOURCE: Option<Rank> = None;
+
+/// Wildcard tag for receives.
+pub const ANY_TAG: Option<Tag> = None;
+
+/// Per-channel application message sequence number (assigned at send post,
+/// used by tests to verify FIFO delivery and by logs for replay ordering).
+pub type MsgSeq = u64;
+
+/// A directed channel between two ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelKey {
+    /// Sending rank.
+    pub src: Rank,
+    /// Receiving rank.
+    pub dst: Rank,
+}
+
+/// An application message in flight (metadata only; the simulation tracks
+/// sizes and timing, not payload contents — see DESIGN.md §5.3).
+#[derive(Debug, Clone)]
+pub struct AppMsg {
+    /// Sending rank.
+    pub src: Rank,
+    /// Receiving rank.
+    pub dst: Rank,
+    /// MPI tag.
+    pub tag: Tag,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Per-channel sequence number.
+    pub seq: MsgSeq,
+    /// Job epoch at send time (stale-epoch messages are dropped).
+    pub epoch: u64,
+    /// Virtual time the send was posted by the application.
+    pub posted_at: SimTime,
+}
+
+impl AppMsg {
+    /// The directed channel this message travels on.
+    pub fn channel(&self) -> ChannelKey {
+        ChannelKey {
+            src: self.src,
+            dst: self.dst,
+        }
+    }
+}
+
+/// What a completed receive reports back to the application.
+#[derive(Debug, Clone, Copy)]
+pub struct RecvInfo {
+    /// Actual source rank.
+    pub src: Rank,
+    /// Actual tag.
+    pub tag: Tag,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+impl RecvInfo {
+    /// Placeholder returned by skip-replayed receives (contents are never
+    /// inspected by replayed code — those operations already ran before the
+    /// checkpoint).
+    pub fn replayed() -> RecvInfo {
+        RecvInfo {
+            src: 0,
+            tag: 0,
+            bytes: 0,
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! BT (Block Tri-diagonal) skeleton.
+//!
+//! NPB BT runs on a **square** number of processes arranged as a p×p grid
+//! (the multi-partition decomposition). Every time step computes the
+//! right-hand side, then performs ADI sweeps along x, y and z; each sweep
+//! exchanges cell faces with grid neighbours (forward then backward
+//! substitution). The skeleton issues, per phase, one forward and one
+//! backward exchange carrying the phase's aggregate face volume
+//! (`5 doubles × N²/p` bytes per direction), with the NPB flop budget
+//! spread over the iteration — the pattern of moderately large
+//! nearest-neighbour messages separated by compute that makes BT the
+//! paper's bandwidth/compute stress test.
+
+use std::sync::Arc;
+
+use ftmpi_mpi::{AppFn, Rank};
+
+use crate::machine::Machine;
+use crate::params::BtParams;
+use crate::{NasClass, Workload};
+
+/// Cap on *simulated* pipeline stages per sweep. The multi-partition sweep
+/// has p−1 physical stages; beyond this cap, consecutive stages are batched
+/// (message sizes scale up so the per-phase volume is exact, while the
+/// per-stage latency count saturates). Keeps the event count of very large
+/// jobs (p up to 23 on the grid) tractable on one host; raise it for
+/// full-fidelity latency studies.
+pub const MAX_SIM_STAGES: usize = 8;
+
+/// Is `p` a valid BT process count (a perfect square)?
+pub fn valid_procs(p: usize) -> bool {
+    let r = (p as f64).sqrt().round() as usize;
+    r * r == p && p > 0
+}
+
+/// The square process counts in `lo..=hi` (experiment sweeps).
+pub fn square_sizes(lo: usize, hi: usize) -> Vec<usize> {
+    (1..)
+        .map(|k| k * k)
+        .skip_while(|&s| s < lo)
+        .take_while(|&s| s <= hi)
+        .collect()
+}
+
+/// Per-rank checkpoint image size: base runtime footprint plus this rank's
+/// share of the solution/RHS/metric arrays (≈ 40 doubles per grid point).
+pub fn image_bytes(class: NasClass, nprocs: usize) -> u64 {
+    let p = BtParams::of(class);
+    let points = p.problem_size.pow(3);
+    let data = points * 40 * 8 / nprocs as u64;
+    30_000_000 + data
+}
+
+/// Build the BT application for `nprocs` ranks.
+pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
+    assert!(
+        valid_procs(nprocs),
+        "BT requires a square number of processes, got {nprocs}"
+    );
+    let params = BtParams::of(class);
+    let p = (nprocs as f64).sqrt().round() as usize; // grid side
+    let n = params.problem_size;
+    // Per physical pipeline stage, one cell face travels: 5 doubles per
+    // face point over an (N/p)² face. Simulated stages batch the physical
+    // ones beyond MAX_SIM_STAGES, preserving total volume.
+    let phys_stages = p.saturating_sub(1); // multi-partition sweep depth
+    let stages = phys_stages.min(MAX_SIM_STAGES);
+    let stage_bytes = if stages == 0 {
+        64
+    } else {
+        (5 * 8 * (n / p as u64).max(1).pow(2) * phys_stages as u64 / stages as u64).max(64)
+    };
+    let flops_per_iter = params.total_flops / (params.niter as f64 * nprocs as f64);
+    let machine = machine;
+    let niter = params.niter as usize;
+
+    Arc::new(move |mpi| {
+        let me = mpi.rank();
+        let (row, col) = (me / p, me % p);
+        let at = |r: usize, c: usize| -> Rank { (r % p) * p + (c % p) };
+        // Sweep partners: x along the row, y along the column, z along the
+        // cell diagonal (multi-partition successor).
+        let x_next = at(row, col + 1);
+        let x_prev = at(row, col + p - 1);
+        let y_next = at(row + 1, col);
+        let y_prev = at(row + p - 1, col);
+        let z_next = at(row + 1, col + 1);
+        let z_prev = at(row + p - 1, col + p - 1);
+
+        let t_rhs = machine.time_for(flops_per_iter * 0.4);
+        let t_solve = machine.time_for(flops_per_iter * 0.2);
+        // Each sweep direction interleaves compute slices with its pipeline
+        // stages (forward then backward substitution).
+        let t_slice = if stages > 0 { t_solve / (2 * stages as u64) } else { t_solve };
+
+        for iter in 0..niter {
+            let tag = (iter % 500) as i32 * 2;
+            mpi.compute(t_rhs);
+            for &(next, prev) in &[(x_next, x_prev), (y_next, y_prev), (z_next, z_prev)] {
+                if stages == 0 {
+                    mpi.compute(t_solve);
+                    continue;
+                }
+                // Forward substitution: recv from prev, send to next, one
+                // cell per stage (multi-partition keeps every rank busy).
+                for _ in 0..stages {
+                    mpi.shift(next, prev, tag, stage_bytes);
+                    mpi.compute(t_slice);
+                }
+                // Backward substitution runs the pipeline in reverse.
+                for _ in 0..stages {
+                    mpi.shift(prev, next, tag + 1, stage_bytes);
+                    mpi.compute(t_slice);
+                }
+            }
+        }
+        // Verification step: a reduction of the residual norms.
+        mpi.allreduce(5 * 8);
+    })
+}
+
+/// BT as a [`Workload`].
+pub fn workload(class: NasClass, nprocs: usize, machine: Machine) -> Workload {
+    Workload {
+        name: format!("bt.{}.{}", class.letter(), nprocs),
+        app: app(class, nprocs, machine),
+        image_bytes: image_bytes(class, nprocs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_validation() {
+        assert!(valid_procs(1));
+        assert!(valid_procs(64));
+        assert!(valid_procs(529));
+        assert!(!valid_procs(50));
+        assert_eq!(square_sizes(4, 36), vec![4, 9, 16, 25, 36]);
+    }
+
+    #[test]
+    fn image_size_shrinks_with_more_ranks() {
+        assert!(image_bytes(NasClass::B, 4) > image_bytes(NasClass::B, 64));
+        // But never below the base runtime footprint.
+        assert!(image_bytes(NasClass::B, 1024) >= 30_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        app(NasClass::S, 6, Machine::default());
+    }
+}

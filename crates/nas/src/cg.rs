@@ -1,0 +1,119 @@
+//! CG (Conjugate Gradient) skeleton.
+//!
+//! NPB CG runs on a **power-of-two** number of processes arranged as an
+//! `nprows × npcols` grid. Every inner CG iteration performs a sparse
+//! matrix-vector product whose result is summed across each process row
+//! (log₂(npcols) pairwise exchange steps carrying vector segments),
+//! followed by scalar reductions for ρ and the residual norm. The result is
+//! the paper's *latency-bound* benchmark: "a lot of small communications" —
+//! which is what exposes the Vcl daemon's per-message overhead on fast
+//! networks (Fig. 7).
+
+use std::sync::Arc;
+
+use ftmpi_mpi::AppFn;
+
+use crate::machine::Machine;
+use crate::params::CgParams;
+use crate::{NasClass, Workload};
+
+/// Is `p` a valid CG process count (a power of two)?
+pub fn valid_procs(p: usize) -> bool {
+    p.is_power_of_two()
+}
+
+/// NPB CG process grid: `nprows × npcols`, both powers of two with
+/// `nprows >= npcols` (`npcols = nprows` or `2·npcols = nprows`).
+pub fn grid(p: usize) -> (usize, usize) {
+    assert!(valid_procs(p), "CG requires a power-of-two process count");
+    let log = p.trailing_zeros();
+    let npcols = 1usize << (log / 2);
+    let nprows = p / npcols;
+    (nprows, npcols)
+}
+
+/// Per-rank checkpoint image size: base footprint plus this rank's share of
+/// the sparse matrix (≈ 14 nonzeros per row, 12 bytes each) and vectors.
+pub fn image_bytes(class: NasClass, nprocs: usize) -> u64 {
+    let p = CgParams::of(class);
+    let matrix = p.na * 14 * 12;
+    let vectors = p.na * 6 * 8;
+    30_000_000 + (matrix + vectors) / nprocs as u64
+}
+
+/// Build the CG application for `nprocs` ranks.
+pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
+    let params = CgParams::of(class);
+    let (nprows, npcols) = grid(nprocs);
+    let _ = nprows;
+    // Vector segment exchanged within a row-sum step.
+    let seg_bytes = (8 * params.na / npcols as u64).max(64);
+    let inner_total = params.niter * params.cgitmax;
+    let flops_per_inner = params.total_flops / (inner_total as f64 * nprocs as f64);
+    let niter = params.niter as usize;
+    let cgitmax = params.cgitmax as usize;
+
+    Arc::new(move |mpi| {
+        let me = mpi.rank();
+        let t_spmv = machine.time_for(flops_per_inner * 0.85);
+        let t_axpy = machine.time_for(flops_per_inner * 0.15);
+        let exchange_steps = npcols.trailing_zeros() as usize;
+        for _outer in 0..niter {
+            for it in 0..cgitmax {
+                let tag = (it % 1000) as i32;
+                mpi.compute(t_spmv);
+                // Row-sum of the SpMV result: pairwise exchange with the
+                // transpose partners (recursive halving over the row).
+                for step in 0..exchange_steps {
+                    let partner = me ^ (1 << step);
+                    if partner < mpi.size() {
+                        mpi.exchange(partner, tag, seg_bytes);
+                    }
+                }
+                mpi.compute(t_axpy);
+                // ρ reduction: one tiny allreduce per inner iteration.
+                mpi.allreduce(8);
+            }
+            // Residual norm at the end of the outer iteration.
+            mpi.allreduce(8);
+        }
+    })
+}
+
+/// CG as a [`Workload`].
+pub fn workload(class: NasClass, nprocs: usize, machine: Machine) -> Workload {
+    Workload {
+        name: format!("cg.{}.{}", class.letter(), nprocs),
+        app: app(class, nprocs, machine),
+        image_bytes: image_bytes(class, nprocs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_match_npb_shapes() {
+        assert_eq!(grid(1), (1, 1));
+        assert_eq!(grid(2), (2, 1));
+        assert_eq!(grid(4), (2, 2));
+        assert_eq!(grid(8), (4, 2));
+        assert_eq!(grid(16), (4, 4));
+        assert_eq!(grid(64), (8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_rejected() {
+        grid(6);
+    }
+
+    #[test]
+    fn segment_shrinks_with_more_columns() {
+        let p = CgParams::of(NasClass::C);
+        let (_, c64) = grid(64);
+        let (_, c4) = grid(4);
+        assert!((8 * p.na / c64 as u64) < (8 * p.na / c4 as u64));
+    }
+}

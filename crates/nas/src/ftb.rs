@@ -1,0 +1,49 @@
+//! FT (3D FFT) skeleton — the all-to-all stress pattern.
+//!
+//! NPB FT transposes a 3D array between pencil decompositions every
+//! iteration: one large `alltoall` whose aggregate volume is the whole
+//! dataset. (Named `ftb` to avoid clashing with the crate prefix.)
+
+use std::sync::Arc;
+
+use ftmpi_mpi::AppFn;
+
+use crate::machine::Machine;
+use crate::params::FtParams;
+use crate::{NasClass, Workload};
+
+/// Per-rank checkpoint image size.
+pub fn image_bytes(class: NasClass, nprocs: usize) -> u64 {
+    let p = FtParams::of(class);
+    // Complex doubles, two copies of the dataset.
+    30_000_000 + p.nx.pow(3) * 16 * 2 / nprocs as u64
+}
+
+/// Build the FT application.
+pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
+    let params = FtParams::of(class);
+    let dataset = params.nx.pow(3) * 16; // complex doubles
+    let block = (dataset / (nprocs as u64 * nprocs as u64)).max(64);
+    let flops_per_iter = params.total_flops / (params.niter as f64 * nprocs as f64);
+    let niter = params.niter as usize;
+
+    Arc::new(move |mpi| {
+        let t_fft = machine.time_for(flops_per_iter);
+        for _ in 0..niter {
+            mpi.compute(t_fft);
+            // Global transpose.
+            mpi.alltoall(block);
+            // Checksum reduction.
+            mpi.allreduce(16);
+        }
+    })
+}
+
+/// FT as a [`Workload`].
+pub fn workload(class: NasClass, nprocs: usize, machine: Machine) -> Workload {
+    Workload {
+        name: format!("ft.{}.{}", class.letter(), nprocs),
+        app: app(class, nprocs, machine),
+        image_bytes: image_bytes(class, nprocs),
+    }
+}

@@ -1,0 +1,108 @@
+//! LU (SSOR) skeleton.
+//!
+//! NPB LU runs on a 2D process grid and performs SSOR sweeps whose lower-
+//! and upper-triangular solves propagate as *wavefronts*: each rank
+//! receives thin pencil messages from its north/west neighbours, computes,
+//! and forwards south/east — many small messages with tight dependencies.
+
+use std::sync::Arc;
+
+use ftmpi_mpi::AppFn;
+
+use crate::machine::Machine;
+use crate::params::LuParams;
+use crate::{NasClass, Workload};
+
+/// LU accepts any process count ≥ 1; NPB factors it into a near-square
+/// grid (power-of-two in the original; we accept rectangles).
+pub fn grid(p: usize) -> (usize, usize) {
+    assert!(p > 0);
+    let mut rows = (p as f64).sqrt().floor() as usize;
+    while p % rows != 0 {
+        rows -= 1;
+    }
+    (rows, p / rows)
+}
+
+/// Per-rank checkpoint image size.
+pub fn image_bytes(class: NasClass, nprocs: usize) -> u64 {
+    let p = LuParams::of(class);
+    30_000_000 + p.problem_size.pow(3) * 25 * 8 / nprocs as u64
+}
+
+/// Build the LU application.
+pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
+    let params = LuParams::of(class);
+    let (rows, cols) = grid(nprocs);
+    let n = params.problem_size;
+    // Pencil exchanged per wavefront block: 5 doubles × (N/side) × nz-block.
+    let pencil = (5 * 8 * n / rows.max(1) as u64 * 8).max(64);
+    let flops_per_iter = params.total_flops / (params.niter as f64 * nprocs as f64);
+    let niter = params.niter as usize;
+
+    Arc::new(move |mpi| {
+        let me = mpi.rank();
+        let (r, c) = (me / cols, me % cols);
+        let north = if r > 0 { Some(me - cols) } else { None };
+        let south = if r + 1 < rows { Some(me + cols) } else { None };
+        let west = if c > 0 { Some(me - 1) } else { None };
+        let east = if c + 1 < cols { Some(me + 1) } else { None };
+        let t_block = machine.time_for(flops_per_iter / 4.0);
+        for iter in 0..niter {
+            let tag = (iter % 1000) as i32;
+            // Lower-triangular sweep: wavefront from the north-west.
+            if let Some(n) = north {
+                mpi.recv(Some(n), Some(tag));
+            }
+            if let Some(w) = west {
+                mpi.recv(Some(w), Some(tag));
+            }
+            mpi.compute(t_block * 2);
+            if let Some(s) = south {
+                mpi.send(s, tag, pencil);
+            }
+            if let Some(e) = east {
+                mpi.send(e, tag, pencil);
+            }
+            // Upper-triangular sweep: wavefront from the south-east.
+            let utag = tag + 1000;
+            if let Some(s) = south {
+                mpi.recv(Some(s), Some(utag));
+            }
+            if let Some(e) = east {
+                mpi.recv(Some(e), Some(utag));
+            }
+            mpi.compute(t_block * 2);
+            if let Some(n) = north {
+                mpi.send(n, utag, pencil);
+            }
+            if let Some(w) = west {
+                mpi.send(w, utag, pencil);
+            }
+        }
+        mpi.allreduce(5 * 8);
+    })
+}
+
+/// LU as a [`Workload`].
+pub fn workload(class: NasClass, nprocs: usize, machine: Machine) -> Workload {
+    Workload {
+        name: format!("lu.{}.{}", class.letter(), nprocs),
+        app: app(class, nprocs, machine),
+        image_bytes: image_bytes(class, nprocs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_factorization() {
+        assert_eq!(grid(1), (1, 1));
+        assert_eq!(grid(4), (2, 2));
+        assert_eq!(grid(6), (2, 3));
+        assert_eq!(grid(8), (2, 4));
+        assert_eq!(grid(7), (1, 7));
+    }
+}

@@ -1,0 +1,50 @@
+//! Per-process compute-rate model.
+
+use ftmpi_sim::SimDuration;
+
+/// Sustained floating-point rate of one MPI process.
+///
+/// The paper's nodes are 2 GHz AMD Opteron 248s (peak 4 GFlop/s per
+/// processor). NPB kernels are memory-bound and sustain a small fraction of
+/// peak; the default (150 MFlop/s) lands the BT.B/64 completion time in the
+/// low hundreds of seconds, the regime of the paper's cluster figures.
+/// EXPERIMENTS.md records the calibration.
+#[derive(Debug, Clone, Copy)]
+pub struct Machine {
+    /// Sustained flops per second per process.
+    pub flops_per_sec: f64,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine {
+            flops_per_sec: 150e6,
+        }
+    }
+}
+
+impl Machine {
+    /// A machine with the given sustained MFlop/s.
+    pub fn mflops(m: f64) -> Machine {
+        Machine {
+            flops_per_sec: m * 1e6,
+        }
+    }
+
+    /// Time to execute `flops` floating-point operations.
+    pub fn time_for(&self, flops: f64) -> SimDuration {
+        SimDuration::from_secs_f64(flops / self.flops_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_conversion() {
+        let m = Machine::mflops(100.0);
+        assert_eq!(m.time_for(1e8), SimDuration::from_secs(1));
+        assert_eq!(m.time_for(5e7), SimDuration::from_millis(500));
+    }
+}

@@ -1,0 +1,69 @@
+//! MG (Multi-Grid) skeleton.
+//!
+//! NPB MG performs V-cycles over a grid hierarchy: halo exchanges whose
+//! message sizes shrink geometrically towards the coarse levels and grow
+//! back — a mix of large and tiny messages in quick succession.
+
+use std::sync::Arc;
+
+use ftmpi_mpi::AppFn;
+
+use crate::machine::Machine;
+use crate::params::MgParams;
+use crate::{NasClass, Workload};
+
+/// Per-rank checkpoint image size.
+pub fn image_bytes(class: NasClass, nprocs: usize) -> u64 {
+    let p = MgParams::of(class);
+    30_000_000 + p.problem_size.pow(3) * 8 * 4 / nprocs as u64
+}
+
+/// Build the MG application (any process count; neighbours on a ring for
+/// the halo pattern).
+pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
+    let params = MgParams::of(class);
+    let levels = (params.problem_size as f64).log2().floor() as usize;
+    let n = params.problem_size;
+    let flops_per_iter = params.total_flops / (params.niter as f64 * nprocs as f64);
+    let niter = params.niter as usize;
+
+    Arc::new(move |mpi| {
+        let me = mpi.rank();
+        let p = mpi.size();
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        let t_level = machine.time_for(flops_per_iter / (2.0 * levels as f64));
+        for iter in 0..niter {
+            // Down the V: halos shrink by 4× per level.
+            for level in 0..levels {
+                let face = ((n * n * 8) >> (2 * level)).max(64) / p as u64;
+                let face = face.max(64);
+                let tag = ((iter * 64 + level) % 1000) as i32;
+                if p > 1 {
+                    mpi.shift(right, left, tag, face);
+                }
+                mpi.compute(t_level);
+            }
+            // Back up the V.
+            for level in (0..levels).rev() {
+                let face = ((n * n * 8) >> (2 * level)).max(64) / p as u64;
+                let face = face.max(64);
+                let tag = ((iter * 64 + level) % 1000) as i32 + 1000;
+                if p > 1 {
+                    mpi.shift(left, right, tag, face);
+                }
+                mpi.compute(t_level);
+            }
+        }
+        mpi.allreduce(8);
+    })
+}
+
+/// MG as a [`Workload`].
+pub fn workload(class: NasClass, nprocs: usize, machine: Machine) -> Workload {
+    Workload {
+        name: format!("mg.{}.{}", class.letter(), nprocs),
+        app: app(class, nprocs, machine),
+        image_bytes: image_bytes(class, nprocs),
+    }
+}

@@ -1,0 +1,187 @@
+//! Link, WAN and software-stack parameter sets.
+//!
+//! Default values are order-of-magnitude calibrations for the paper's
+//! platforms (2 GHz Opteron 248 nodes, Gigabit-Ethernet, Myrinet2000
+//! M3-E64 + Lanai XP NICs, Renater inter-cluster links, SATA disks, 2006
+//! software stacks). Absolute numbers are not meant to match the testbed;
+//! the *ratios* that drive the paper's conclusions are.
+
+use ftmpi_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Intra-cluster link parameters (one per cluster).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// NIC bandwidth per direction, bytes/second.
+    pub nic_bw: f64,
+    /// One-way wire + switch latency inside a cluster.
+    pub latency: SimDuration,
+    /// Local disk streaming bandwidth, bytes/second (checkpoint files).
+    pub disk_bw: f64,
+    /// Shared-memory loopback bandwidth for ranks on the same node.
+    pub loopback_bw: f64,
+    /// Loopback latency (one memcpy handoff).
+    pub loopback_latency: SimDuration,
+}
+
+impl LinkConfig {
+    /// Gigabit-Ethernet cluster (Orsay-like): 1 Gb/s, ~45 µs TCP one-way.
+    pub fn gige() -> LinkConfig {
+        LinkConfig {
+            nic_bw: 125e6,
+            latency: SimDuration::from_micros(45),
+            disk_bw: 60e6,
+            loopback_bw: 1.2e9,
+            loopback_latency: SimDuration::from_micros(2),
+        }
+    }
+
+    /// Myrinet2000 cluster (Bordeaux-like): 2 Gb/s links.
+    /// This is the *physical* link; per-message software costs are in
+    /// [`StackProfile`] (TCP emulation vs. GM OS-bypass differ hugely).
+    pub fn myrinet2000() -> LinkConfig {
+        LinkConfig {
+            nic_bw: 250e6,
+            latency: SimDuration::from_micros(4),
+            disk_bw: 60e6,
+            loopback_bw: 1.2e9,
+            loopback_latency: SimDuration::from_micros(2),
+        }
+    }
+}
+
+/// Inter-cluster (grid) link parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WanConfig {
+    /// Capacity of each cluster's access pipe (shared by all of the
+    /// cluster's inter-cluster flows), bytes/second.
+    pub access_bw: f64,
+    /// Throughput a single flow achieves across the WAN, bytes/second.
+    /// NetPIPE in §5.4 observed intra-cluster ≈20× faster than
+    /// inter-cluster, hence the default `nic_bw / 20`.
+    pub per_flow_bw: f64,
+    /// One-way inter-cluster latency (≈2 orders of magnitude above the
+    /// intra-cluster latency per §5.4).
+    pub latency: SimDuration,
+}
+
+impl WanConfig {
+    /// Renater-like defaults matching the paper's NetPIPE observations.
+    pub fn renater() -> WanConfig {
+        WanConfig {
+            access_bw: 125e6,
+            per_flow_bw: 125e6 / 20.0,
+            latency: SimDuration::from_millis(5),
+        }
+    }
+
+    /// Placeholder for single-cluster platforms (never exercised).
+    pub fn unused() -> WanConfig {
+        WanConfig {
+            access_bw: 0.0,
+            per_flow_bw: 0.0,
+            latency: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Which communication software stack carries MPI messages.
+///
+/// These mirror the implementations compared in the paper:
+/// * `TcpSock` — MPICH2 `sock`-style TCP channel (Pcl – Socket).
+/// * `VclDaemon` — MPICH-V `ch_v` device: every message crosses two extra
+///   Unix sockets through the communication daemon, adding copies and
+///   latency (the paper's explanation for Vcl losing on Myrinet, §5.3).
+/// * `NemesisGm` — MPICH2 Nemesis channel over GM: OS-bypass, lowest
+///   latency (Pcl – Nemesis/GM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SoftwareStack {
+    /// TCP sockets (works on GigE or as Ethernet emulation on Myrinet).
+    TcpSock,
+    /// TCP plus the MPICH-V communication-daemon indirection.
+    VclDaemon,
+    /// OS-bypass user-level networking (Myrinet GM via Nemesis).
+    NemesisGm,
+}
+
+/// Per-message software costs of a [`SoftwareStack`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StackProfile {
+    /// Sender-side CPU time per message (posting, packetizing).
+    pub send_overhead: SimDuration,
+    /// Receiver-side CPU time per message (matching, completion).
+    pub recv_overhead: SimDuration,
+    /// Extra one-way latency added by the stack (kernel crossings,
+    /// daemon hops).
+    pub added_latency: SimDuration,
+    /// Extra per-byte cost of additional memory copies (seconds/byte);
+    /// the Vcl daemon performs two extra copies per message.
+    pub copy_cost_per_byte: f64,
+}
+
+impl StackProfile {
+    /// Costs for `stack` when run over the given physical link kind.
+    pub fn for_stack(stack: SoftwareStack) -> StackProfile {
+        match stack {
+            SoftwareStack::TcpSock => StackProfile {
+                // Kernel socket buffers: one copy per side.
+                send_overhead: SimDuration::from_micros(4),
+                recv_overhead: SimDuration::from_micros(4),
+                added_latency: SimDuration::from_micros(8),
+                copy_cost_per_byte: 1.0e-9,
+            },
+            SoftwareStack::VclDaemon => StackProfile {
+                // A Unix-socket hop on each side of the TCP path — two extra
+                // copies per side: the paper calls these "unnecessary copies
+                // and a high latency overhead" for latency-bound benchmarks.
+                send_overhead: SimDuration::from_micros(7),
+                recv_overhead: SimDuration::from_micros(7),
+                added_latency: SimDuration::from_micros(60),
+                copy_cost_per_byte: 4.5e-9,
+            },
+            SoftwareStack::NemesisGm => StackProfile {
+                send_overhead: SimDuration::from_micros(1),
+                recv_overhead: SimDuration::from_micros(1),
+                added_latency: SimDuration::from_micros(2),
+                copy_cost_per_byte: 0.0,
+            },
+        }
+    }
+
+    /// Total extra one-way delay this stack adds to a message of `bytes`.
+    pub fn message_penalty(&self, bytes: u64) -> SimDuration {
+        self.added_latency + SimDuration::from_secs_f64(self.copy_cost_per_byte * bytes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_latency_ordering_matches_paper() {
+        // Nemesis/GM < TCP sock < Vcl daemon for small messages.
+        let nem = StackProfile::for_stack(SoftwareStack::NemesisGm).message_penalty(64);
+        let tcp = StackProfile::for_stack(SoftwareStack::TcpSock).message_penalty(64);
+        let vcl = StackProfile::for_stack(SoftwareStack::VclDaemon).message_penalty(64);
+        assert!(nem < tcp, "{nem:?} !< {tcp:?}");
+        assert!(tcp < vcl, "{tcp:?} !< {vcl:?}");
+    }
+
+    #[test]
+    fn daemon_copy_cost_grows_with_size() {
+        let p = StackProfile::for_stack(SoftwareStack::VclDaemon);
+        assert!(p.message_penalty(1 << 20) > p.message_penalty(64));
+    }
+
+    #[test]
+    fn wan_is_twenty_times_slower_per_flow() {
+        let link = LinkConfig::gige();
+        let wan = WanConfig::renater();
+        let ratio = link.nic_bw / wan.per_flow_bw;
+        assert!((19.0..21.0).contains(&ratio), "ratio {ratio}");
+        // ~two orders of magnitude latency gap.
+        let lat_ratio = wan.latency.as_secs_f64() / link.latency.as_secs_f64();
+        assert!(lat_ratio > 50.0, "latency ratio {lat_ratio}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Network resource / topology model for the `ftmpi` simulation.
+//!
+//! This crate models the three experimental platforms of the paper —
+//! Gigabit-Ethernet clusters, Myrinet clusters, and a multi-cluster grid —
+//! as a hierarchy of *serialized resources*:
+//!
+//! * per-node NIC transmit and receive queues (full duplex),
+//! * per-node local disk,
+//! * per-cluster WAN uplink and downlink.
+//!
+//! A message reserves each resource along its path in order
+//! (store-and-forward at message granularity), which yields the first-order
+//! effects the paper's evaluation hinges on: bandwidth contention between
+//! checkpoint-image streams and MPI traffic on a node's NIC, checkpoint
+//! *server* NICs as the bottleneck when few servers are deployed (Fig. 5),
+//! NIC sharing between the two ranks of a dual-processor node (the dip above
+//! 144 processes in Fig. 6), and the ≈20× lower bandwidth / ≈100× higher
+//! latency of inter-cluster grid links (§5.4).
+//!
+//! The model is *passive*: it computes reservation times but schedules
+//! nothing. The MPI runtime and the checkpointing protocols own the event
+//! scheduling and call into [`NetModel`] under their own state lock.
+
+#![warn(missing_docs)]
+
+mod config;
+mod model;
+mod resource;
+mod topology;
+
+pub use config::{LinkConfig, SoftwareStack, StackProfile, WanConfig};
+pub use model::{Delivery, NetModel, PathKind, SMALL_BYPASS_BYTES};
+pub use resource::Resource;
+pub use topology::{ClusterId, ClusterSpec, NodeId, Topology, TopologySpec};

@@ -1,0 +1,375 @@
+//! The platform model: resources instantiated from a [`Topology`] plus the
+//! path logic that computes message delivery times.
+
+use std::collections::HashMap;
+
+use ftmpi_sim::{SimDuration, SimTime};
+
+use crate::resource::Resource;
+use crate::topology::{NodeId, Topology};
+
+/// Messages at or below this size interleave with bulk traffic at packet
+/// granularity instead of queueing behind whole messages (one-MTU packets
+/// slip through a busy NIC in microseconds). Per-channel FIFO order is
+/// still enforced through the pair-delivery floor.
+pub const SMALL_BYPASS_BYTES: u64 = 2048;
+
+/// Which kind of path a transfer took (reported for tests / tracing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// Same node: shared-memory loopback.
+    Loopback,
+    /// Same cluster: NIC → switch → NIC.
+    IntraCluster,
+    /// Different clusters: NIC → WAN uplink → WAN downlink → NIC.
+    InterCluster,
+}
+
+/// Result of a transfer reservation.
+#[derive(Debug, Clone, Copy)]
+pub struct Delivery {
+    /// When the first byte left the sender (after queueing).
+    pub start: SimTime,
+    /// When the last byte arrived at the receiver.
+    pub delivered: SimTime,
+    /// Path classification.
+    pub path: PathKind,
+}
+
+struct NodeRes {
+    nic_tx: Resource,
+    nic_rx: Resource,
+    disk: Resource,
+}
+
+struct ClusterRes {
+    wan_up: Resource,
+    wan_down: Resource,
+}
+
+/// Mutable platform state: one resource set per node and per cluster.
+///
+/// All methods take `&mut self`; the owning layer guards the model with its
+/// single state lock (the simulation is logically single-threaded).
+pub struct NetModel {
+    topo: Topology,
+    nodes: Vec<NodeRes>,
+    clusters: Vec<ClusterRes>,
+    /// Last delivery time per directed node pair: the FIFO floor that keeps
+    /// bypassed small messages from overtaking earlier traffic on the same
+    /// channel (TCP connections are FIFO; Chandy–Lamport markers rely on
+    /// this).
+    pair_last: HashMap<(NodeId, NodeId), SimTime>,
+}
+
+impl NetModel {
+    /// Instantiate resources for a topology.
+    pub fn new(topo: Topology) -> NetModel {
+        let nodes = (0..topo.node_count())
+            .map(|n| {
+                let link = topo.link_of(NodeId(n));
+                NodeRes {
+                    nic_tx: Resource::new(link.nic_bw),
+                    nic_rx: Resource::new(link.nic_bw),
+                    disk: Resource::new(link.disk_bw),
+                }
+            })
+            .collect();
+        let clusters = (0..topo.cluster_count())
+            .map(|_| ClusterRes {
+                wan_up: Resource::new(topo.spec().wan.access_bw),
+                wan_down: Resource::new(topo.spec().wan.access_bw),
+            })
+            .collect();
+        NetModel {
+            topo,
+            nodes,
+            clusters,
+            pair_last: HashMap::new(),
+        }
+    }
+
+    /// The platform topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Reserve the physical path for one message of `bytes` from `src` to
+    /// `dst`, no earlier than `earliest`. Software-stack costs (overheads,
+    /// daemon copies) are *not* included — the runtime layers add those.
+    ///
+    /// Messages of at most [`SMALL_BYPASS_BYTES`] interleave through busy
+    /// resources at packet granularity, but never overtake earlier traffic
+    /// on the same `(src, dst)` channel.
+    pub fn transfer(&mut self, src: NodeId, dst: NodeId, bytes: u64, earliest: SimTime) -> Delivery {
+        self.transfer_with_overhead(src, dst, bytes, earliest, SimDuration::ZERO)
+    }
+
+    /// Like [`transfer`](NetModel::transfer), with a per-message software
+    /// overhead (stack latency, daemon copies) added *before* the FIFO
+    /// floor: on a real TCP channel the receiver-side copies happen in
+    /// stream order, so a cheap-to-copy small message still cannot overtake
+    /// an expensive large one sent earlier on the same channel.
+    pub fn transfer_with_overhead(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        earliest: SimTime,
+        overhead: SimDuration,
+    ) -> Delivery {
+        let small = bytes <= SMALL_BYPASS_BYTES;
+        let (start, delivered, path) = if src == dst {
+            let link = self.topo.link_of(src);
+            let dur = SimDuration::for_transfer(bytes, link.loopback_bw);
+            (
+                earliest,
+                earliest + link.loopback_latency + dur,
+                PathKind::Loopback,
+            )
+        } else {
+            let src_link = self.topo.link_of(src).clone();
+            let (tx_start, tx_end) = if small {
+                self.nodes[src.0].nic_tx.bypass(earliest, bytes)
+            } else {
+                self.nodes[src.0].nic_tx.reserve(earliest, bytes)
+            };
+            if self.topo.same_cluster(src, dst) {
+                let arrival = tx_end + src_link.latency;
+                let (_, rx_end) = if small {
+                    self.nodes[dst.0].nic_rx.bypass(arrival, bytes)
+                } else {
+                    self.nodes[dst.0].nic_rx.reserve(arrival, bytes)
+                };
+                (tx_start, rx_end, PathKind::IntraCluster)
+            } else {
+                let wan = self.topo.spec().wan.clone();
+                let cs = self.topo.cluster_of(src);
+                let cd = self.topo.cluster_of(dst);
+                // Uplink: shared access pipe, per-flow WAN throughput.
+                let up_arrival = tx_end + src_link.latency;
+                let (_, up_end) = if small {
+                    self.clusters[cs.0].wan_up.bypass(up_arrival, bytes)
+                } else {
+                    self.clusters[cs.0]
+                        .wan_up
+                        .reserve_with_rate(up_arrival, bytes, wan.per_flow_bw)
+                };
+                // WAN propagation, then the destination cluster's pipe.
+                let down_arrival = up_end + wan.latency;
+                let (_, down_end) = if small {
+                    self.clusters[cd.0].wan_down.bypass(down_arrival, bytes)
+                } else {
+                    self.clusters[cd.0]
+                        .wan_down
+                        .reserve_with_rate(down_arrival, bytes, wan.per_flow_bw)
+                };
+                let dst_link = self.topo.link_of(dst);
+                let rx_arrival = down_end + dst_link.latency;
+                let (_, rx_end) = if small {
+                    self.nodes[dst.0].nic_rx.bypass(rx_arrival, bytes)
+                } else {
+                    self.nodes[dst.0].nic_rx.reserve(rx_arrival, bytes)
+                };
+                (tx_start, rx_end, PathKind::InterCluster)
+            }
+        };
+        // Per-channel FIFO floor (applied after software overheads).
+        let delivered = delivered + overhead;
+        let floor = self.pair_last.entry((src, dst)).or_insert(SimTime::ZERO);
+        let delivered = delivered.max(*floor);
+        *floor = delivered;
+        Delivery {
+            start,
+            delivered,
+            path,
+        }
+    }
+
+    /// Reserve a local-disk write of `bytes` on `node` (checkpoint files).
+    /// Returns the completion time.
+    pub fn disk_write(&mut self, node: NodeId, bytes: u64, earliest: SimTime) -> SimTime {
+        let (_, end) = self.nodes[node.0].disk.reserve(earliest, bytes);
+        end
+    }
+
+    /// Reserve a local-disk read of `bytes` on `node` (restart image load).
+    pub fn disk_read(&mut self, node: NodeId, bytes: u64, earliest: SimTime) -> SimTime {
+        // Same spindle as writes at this granularity.
+        self.disk_write(node, bytes, earliest)
+    }
+
+    /// NIC transmit utilisation counters of a node (bytes, busy time).
+    pub fn nic_tx_stats(&self, node: NodeId) -> (u64, SimDuration) {
+        let r = &self.nodes[node.0].nic_tx;
+        (r.bytes_total(), r.busy_time())
+    }
+
+    /// NIC receive utilisation counters of a node.
+    pub fn nic_rx_stats(&self, node: NodeId) -> (u64, SimDuration) {
+        let r = &self.nodes[node.0].nic_rx;
+        (r.bytes_total(), r.busy_time())
+    }
+
+    /// Drop all queued backlog (platform reboot after a failure-restart).
+    pub fn reset_queues(&mut self, now: SimTime) {
+        for n in &mut self.nodes {
+            n.nic_tx.reset_queue(now);
+            n.nic_rx.reset_queue(now);
+            n.disk.reset_queue(now);
+        }
+        for c in &mut self.clusters {
+            c.wan_up.reset_queue(now);
+            c.wan_down.reset_queue(now);
+        }
+        // TCP connections died with the job: no FIFO carry-over.
+        self.pair_last.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LinkConfig;
+    use crate::topology::Topology;
+
+    fn gige4() -> NetModel {
+        NetModel::new(Topology::single_cluster(4, LinkConfig::gige()))
+    }
+
+    #[test]
+    fn loopback_beats_network() {
+        let mut net = gige4();
+        let same = net.transfer(NodeId(0), NodeId(0), 1024, SimTime::ZERO);
+        let cross = net.transfer(NodeId(1), NodeId(2), 1024, SimTime::ZERO);
+        assert_eq!(same.path, PathKind::Loopback);
+        assert_eq!(cross.path, PathKind::IntraCluster);
+        assert!(same.delivered < cross.delivered);
+    }
+
+    #[test]
+    fn intra_cluster_delivery_time_formula() {
+        let mut net = gige4();
+        let d = net.transfer(NodeId(0), NodeId(1), 125_000, SimTime::ZERO);
+        // 125 kB at 125 MB/s = 1 ms per NIC stage, + 45 µs switch latency.
+        let expect = 0.001 + 45e-6 + 0.001;
+        assert!(
+            (d.delivered.as_secs_f64() - expect).abs() < 1e-9,
+            "got {} want {expect}",
+            d.delivered.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn per_channel_fifo_delivery() {
+        // Messages sent in order on the same src→dst pair must deliver in order.
+        let mut net = gige4();
+        let mut last = SimTime::ZERO;
+        let mut earliest = SimTime::ZERO;
+        for i in 0..50 {
+            let bytes = if i % 3 == 0 { 1 << 20 } else { 64 };
+            let d = net.transfer(NodeId(0), NodeId(1), bytes, earliest);
+            assert!(d.delivered >= last, "delivery order violated at msg {i}");
+            last = d.delivered;
+            earliest = earliest + SimDuration::from_micros(10);
+        }
+    }
+
+    #[test]
+    fn sender_nic_contention_serializes() {
+        let mut net = gige4();
+        // Two megabyte messages from the same node to different peers
+        // serialize on the sender's NIC.
+        let d1 = net.transfer(NodeId(0), NodeId(1), 1 << 20, SimTime::ZERO);
+        let d2 = net.transfer(NodeId(0), NodeId(2), 1 << 20, SimTime::ZERO);
+        assert!(d2.start >= d1.start + SimDuration::for_transfer(1 << 20, 125e6));
+    }
+
+    #[test]
+    fn receiver_nic_is_the_fanin_bottleneck() {
+        // Many nodes streaming to one "checkpoint server" node: completion
+        // scales with the number of senders (server NIC serialization).
+        let mut net = NetModel::new(Topology::single_cluster(9, LinkConfig::gige()));
+        let bytes = 10 << 20;
+        let mut completions = Vec::new();
+        for src in 1..9 {
+            let d = net.transfer(NodeId(src), NodeId(0), bytes, SimTime::ZERO);
+            completions.push(d.delivered.as_secs_f64());
+        }
+        let per_image = bytes as f64 / 125e6;
+        let last = completions.last().unwrap();
+        assert!(
+            *last >= 8.0 * per_image,
+            "8 images should serialize on the server rx NIC: {last} vs {}",
+            8.0 * per_image
+        );
+    }
+
+    #[test]
+    fn grid_wan_path_is_much_slower() {
+        let mut net = NetModel::new(Topology::grid5000());
+        // bordeaux node 0 → lille node 48.
+        let inter = net.transfer(NodeId(0), NodeId(48), 1 << 20, SimTime::ZERO);
+        assert_eq!(inter.path, PathKind::InterCluster);
+        let mut net2 = NetModel::new(Topology::grid5000());
+        let intra = net2.transfer(NodeId(0), NodeId(1), 1 << 20, SimTime::ZERO);
+        let ratio = inter.delivered.as_secs_f64() / intra.delivered.as_secs_f64();
+        assert!(ratio > 10.0, "WAN should dominate: ratio {ratio}");
+    }
+
+    #[test]
+    fn wan_latency_dominates_small_messages() {
+        let mut net = NetModel::new(Topology::grid5000());
+        let inter = net.transfer(NodeId(0), NodeId(48), 8, SimTime::ZERO);
+        let lat = inter.delivered.as_secs_f64();
+        assert!(lat >= 5e-3, "one-way WAN latency missing: {lat}");
+    }
+
+    #[test]
+    fn small_messages_bypass_bulk_queues_from_other_channels() {
+        let mut net = gige4();
+        // Saturate node 2's rx with bulk from node 1.
+        for _ in 0..20 {
+            net.transfer(NodeId(1), NodeId(2), 10 << 20, SimTime::ZERO);
+        }
+        // A 64-byte control message from node 3 slips through.
+        let d = net.transfer(NodeId(3), NodeId(2), 64, SimTime::ZERO);
+        assert!(
+            d.delivered.as_secs_f64() < 0.001,
+            "small message stuck behind bulk: {}",
+            d.delivered.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn small_messages_never_overtake_their_own_channel() {
+        let mut net = gige4();
+        let bulk = net.transfer(NodeId(1), NodeId(2), 10 << 20, SimTime::ZERO);
+        // Same channel: the marker-sized message honours FIFO.
+        let marker = net.transfer(NodeId(1), NodeId(2), 64, SimTime::ZERO);
+        assert!(
+            marker.delivered >= bulk.delivered,
+            "FIFO violated: marker {} before bulk {}",
+            marker.delivered,
+            bulk.delivered
+        );
+    }
+
+    #[test]
+    fn disk_serializes_writes() {
+        let mut net = gige4();
+        let e1 = net.disk_write(NodeId(0), 60_000_000, SimTime::ZERO); // 1 s
+        let e2 = net.disk_write(NodeId(0), 60_000_000, SimTime::ZERO);
+        assert_eq!(e1.as_secs_f64(), 1.0);
+        assert_eq!(e2.as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn reset_queues_drains_backlog() {
+        let mut net = gige4();
+        net.transfer(NodeId(0), NodeId(1), 1 << 30, SimTime::ZERO); // huge
+        net.reset_queues(SimTime::from_nanos(1));
+        let d = net.transfer(NodeId(0), NodeId(1), 64, SimTime::from_nanos(1));
+        assert!(d.delivered.as_secs_f64() < 0.001);
+    }
+}

@@ -1,0 +1,180 @@
+//! Platform topologies: clusters of nodes, optionally joined by WAN links.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{LinkConfig, WanConfig};
+
+/// Index of a compute node in the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Index of a cluster in the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClusterId(pub usize);
+
+/// Description of one cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Human-readable name (site name in the grid figures).
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Intra-cluster link parameters.
+    pub link: LinkConfig,
+}
+
+/// Full platform description consumed by [`crate::NetModel`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// The clusters, in node-numbering order.
+    pub clusters: Vec<ClusterSpec>,
+    /// Inter-cluster link parameters (ignored for single-cluster platforms).
+    pub wan: WanConfig,
+}
+
+/// Resolved topology: node→cluster mapping plus the spec.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    spec: TopologySpec,
+    /// `node_cluster[n]` = cluster of node `n`.
+    node_cluster: Vec<ClusterId>,
+    /// First node index of each cluster.
+    cluster_base: Vec<usize>,
+}
+
+impl Topology {
+    /// Resolve a spec into a topology.
+    pub fn new(spec: TopologySpec) -> Topology {
+        assert!(!spec.clusters.is_empty(), "topology needs at least one cluster");
+        let mut node_cluster = Vec::new();
+        let mut cluster_base = Vec::with_capacity(spec.clusters.len());
+        for (ci, c) in spec.clusters.iter().enumerate() {
+            assert!(c.nodes > 0, "cluster '{}' has no nodes", c.name);
+            cluster_base.push(node_cluster.len());
+            node_cluster.extend(std::iter::repeat(ClusterId(ci)).take(c.nodes));
+        }
+        Topology {
+            spec,
+            node_cluster,
+            cluster_base,
+        }
+    }
+
+    /// A single homogeneous cluster of `nodes` nodes.
+    pub fn single_cluster(nodes: usize, link: LinkConfig) -> Topology {
+        Topology::new(TopologySpec {
+            clusters: vec![ClusterSpec {
+                name: "cluster".to_string(),
+                nodes,
+                link,
+            }],
+            wan: WanConfig::unused(),
+        })
+    }
+
+    /// The Grid5000 subset used in §5.4: six Opteron clusters.
+    ///
+    /// Sites and sizes from the paper: Bordeaux 48, Lille 53, Orsay 216,
+    /// Rennes 64, Sophia 105, Toulouse 58 (544 nodes total).
+    pub fn grid5000() -> Topology {
+        let sites: &[(&str, usize)] = &[
+            ("bordeaux", 48),
+            ("lille", 53),
+            ("orsay", 216),
+            ("rennes", 64),
+            ("sophia", 105),
+            ("toulouse", 58),
+        ];
+        Topology::new(TopologySpec {
+            clusters: sites
+                .iter()
+                .map(|&(name, nodes)| ClusterSpec {
+                    name: name.to_string(),
+                    nodes,
+                    link: LinkConfig::gige(),
+                })
+                .collect(),
+            wan: WanConfig::renater(),
+        })
+    }
+
+    /// The raw spec.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_cluster.len()
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.spec.clusters.len()
+    }
+
+    /// Cluster of a node.
+    pub fn cluster_of(&self, node: NodeId) -> ClusterId {
+        self.node_cluster[node.0]
+    }
+
+    /// Link parameters of a node's cluster.
+    pub fn link_of(&self, node: NodeId) -> &LinkConfig {
+        &self.spec.clusters[self.cluster_of(node).0].link
+    }
+
+    /// Nodes of a cluster as a range of ids.
+    pub fn nodes_of(&self, cluster: ClusterId) -> impl Iterator<Item = NodeId> {
+        let base = self.cluster_base[cluster.0];
+        let n = self.spec.clusters[cluster.0].nodes;
+        (base..base + n).map(NodeId)
+    }
+
+    /// Are two nodes in the same cluster?
+    pub fn same_cluster(&self, a: NodeId, b: NodeId) -> bool {
+        self.cluster_of(a) == self.cluster_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cluster_layout() {
+        let t = Topology::single_cluster(4, LinkConfig::gige());
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.cluster_count(), 1);
+        assert!(t.same_cluster(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn grid5000_matches_paper_sites() {
+        let t = Topology::grid5000();
+        assert_eq!(t.cluster_count(), 6);
+        assert_eq!(t.node_count(), 48 + 53 + 216 + 64 + 105 + 58);
+        // Orsay is the third cluster and the largest.
+        assert_eq!(t.spec().clusters[2].name, "orsay");
+        assert_eq!(t.spec().clusters[2].nodes, 216);
+    }
+
+    #[test]
+    fn cluster_membership_is_contiguous() {
+        let t = Topology::grid5000();
+        let bordeaux: Vec<NodeId> = t.nodes_of(ClusterId(0)).collect();
+        assert_eq!(bordeaux.first(), Some(&NodeId(0)));
+        assert_eq!(bordeaux.last(), Some(&NodeId(47)));
+        let lille: Vec<NodeId> = t.nodes_of(ClusterId(1)).collect();
+        assert_eq!(lille.first(), Some(&NodeId(48)));
+        assert!(!t.same_cluster(NodeId(47), NodeId(48)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn empty_topology_rejected() {
+        Topology::new(TopologySpec {
+            clusters: vec![],
+            wan: WanConfig::unused(),
+        });
+    }
+}

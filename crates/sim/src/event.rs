@@ -1,0 +1,142 @@
+//! The kernel event queue.
+//!
+//! Events are totally ordered by `(time, sequence)`. The sequence number is
+//! assigned when the event is scheduled; because simulated execution is
+//! sequential and cooperative, scheduling order — and therefore tie-breaking
+//! among same-time events — is deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::kernel::SimCtx;
+use crate::process::Pid;
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u64);
+
+pub(crate) enum EventKind {
+    /// Run a model closure on the kernel loop.
+    Call(Box<dyn FnOnce(&SimCtx) + Send>),
+    /// Hand the execution token to a parked process.
+    Resume(Pid, crate::process::WakeKind),
+}
+
+pub(crate) struct Event {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-queue of pending events plus a tombstone set for cancellation.
+#[derive(Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    /// Total number of events ever scheduled (for run reports).
+    pub scheduled_total: u64,
+}
+
+impl EventQueue {
+    pub fn push(&mut self, time: SimTime, kind: EventKind) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Event { time, seq, kind });
+        EventId(seq)
+    }
+
+    /// Mark an event cancelled; it is skipped when popped.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            return Some(ev);
+        }
+        None
+    }
+
+    #[allow(dead_code)] // used by tests and future schedulers
+    pub fn is_empty(&self) -> bool {
+        // Cancelled-but-unpopped events don't count as pending work.
+        self.heap.len() <= self.cancelled.len()
+    }
+
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call() -> EventKind {
+        EventKind::Call(Box::new(|_| {}))
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = EventQueue::default();
+        q.push(SimTime::from_nanos(20), call());
+        q.push(SimTime::from_nanos(10), call());
+        q.push(SimTime::from_nanos(10), call());
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        let c = q.pop().unwrap();
+        assert_eq!(a.time, SimTime::from_nanos(10));
+        assert_eq!(b.time, SimTime::from_nanos(10));
+        assert!(a.seq < b.seq, "same-time events pop in scheduling order");
+        assert_eq!(c.time, SimTime::from_nanos(20));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::default();
+        let id = q.push(SimTime::from_nanos(5), call());
+        q.push(SimTime::from_nanos(6), call());
+        q.cancel(id);
+        assert_eq!(q.len(), 1);
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.time, SimTime::from_nanos(6));
+    }
+
+    #[test]
+    fn empty_accounts_for_cancellations() {
+        let mut q = EventQueue::default();
+        let id = q.push(SimTime::from_nanos(5), call());
+        assert!(!q.is_empty());
+        q.cancel(id);
+        assert!(q.is_empty());
+    }
+}

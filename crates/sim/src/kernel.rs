@@ -1,0 +1,643 @@
+//! The simulation kernel: event loop, process table, and the [`SimCtx`]
+//! service handle exposed to model code.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::event::{EventId, EventKind, EventQueue};
+use crate::process::{Handoff, Pid, ProcCtx, ProcessExit, ResumeOutcome, WakeKind};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceKind, Tracer};
+use crate::KilledSignal;
+
+struct ProcEntry {
+    name: Arc<str>,
+    handoff: Arc<Handoff>,
+    alive: bool,
+    join: Option<JoinHandle<()>>,
+    /// The event scheduled by the process's current `exec` call, if any.
+    /// Cancelled when the process dies so a dead process's pending request
+    /// neither mutates model state nor advances the clock.
+    pending_exec: Option<EventId>,
+}
+
+pub(crate) struct KernelState {
+    queue: EventQueue,
+    now: SimTime,
+    procs: HashMap<Pid, ProcEntry>,
+    next_pid: u64,
+    stop_requested: bool,
+    executed: u64,
+    max_events: Option<u64>,
+    max_time: Option<SimTime>,
+    tracer: Tracer,
+    /// Exit records in completion order.
+    exits: Vec<(Pid, Arc<str>, ProcessExit)>,
+}
+
+/// Shared kernel handle. Internal; exposed types are [`Sim`] and [`SimCtx`].
+pub struct Shared {
+    pub(crate) state: Mutex<KernelState>,
+}
+
+impl Shared {
+    /// Schedule a model closure. Used by both [`SimCtx`] and [`ProcCtx`].
+    pub(crate) fn schedule_call(
+        self: &Arc<Self>,
+        at: SimTime,
+        f: impl FnOnce(&SimCtx) + Send + 'static,
+    ) -> EventId {
+        let mut st = self.state.lock();
+        let now = st.now;
+        debug_assert!(at >= now, "scheduling into the past: at={at:?} now={now:?}");
+        st.queue.push(at.max(now), EventKind::Call(Box::new(f)))
+    }
+
+    fn schedule_resume(&self, at: SimTime, pid: Pid, kind: WakeKind) -> EventId {
+        let mut st = self.state.lock();
+        let at = at.max(st.now);
+        st.queue.push(at, EventKind::Resume(pid, kind))
+    }
+
+    /// Schedule the model closure of a [`ProcCtx::exec`] call, remembering it
+    /// so it can be cancelled if the process is killed before it runs.
+    pub(crate) fn schedule_exec(
+        self: &Arc<Self>,
+        pid: Pid,
+        at: SimTime,
+        f: impl FnOnce(&SimCtx) + Send + 'static,
+    ) {
+        let mut st = self.state.lock();
+        let at = at.max(st.now);
+        // The wrapper clears the pending marker as soon as the call runs, so
+        // `pending_exec` is `Some` exactly while the event is still queued
+        // (keeping cancellation tombstones precise).
+        let id = st.queue.push(
+            at,
+            EventKind::Call(Box::new(move |sc: &SimCtx| {
+                if let Some(e) = sc.shared().state.lock().procs.get_mut(&pid) {
+                    e.pending_exec = None;
+                }
+                f(sc);
+            })),
+        );
+        if let Some(entry) = st.procs.get_mut(&pid) {
+            entry.pending_exec = Some(id);
+        }
+    }
+}
+
+/// Why a run ended unsuccessfully.
+#[derive(Debug)]
+pub enum SimError {
+    /// The event queue drained while processes were still parked.
+    Deadlock(DeadlockInfo),
+    /// A simulated process panicked (model or application bug).
+    ProcessPanicked {
+        /// Name of the panicking process.
+        name: String,
+        /// Rendered panic message.
+        message: String,
+    },
+    /// The configured event budget was exhausted (runaway model).
+    EventBudgetExhausted {
+        /// Number of events executed before giving up.
+        executed: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock(info) => {
+                write!(
+                    f,
+                    "simulation deadlock at {}: {} parked process(es): {}",
+                    info.time,
+                    info.parked.len(),
+                    info.parked.join(", ")
+                )
+            }
+            SimError::ProcessPanicked { name, message } => {
+                write!(f, "simulated process '{name}' panicked: {message}")
+            }
+            SimError::EventBudgetExhausted { executed } => {
+                write!(f, "event budget exhausted after {executed} events")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Details of a detected deadlock.
+#[derive(Debug)]
+pub struct DeadlockInfo {
+    /// Virtual time at which the queue drained.
+    pub time: SimTime,
+    /// Names of the processes still parked.
+    pub parked: Vec<String>,
+}
+
+/// Summary of a completed run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Kernel clock when the run ended.
+    pub final_time: SimTime,
+    /// Number of events executed.
+    pub events_executed: u64,
+    /// Exit records `(pid, name, status)` in completion order.
+    pub exits: Vec<(Pid, String, ProcessExit)>,
+    /// Collected trace (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+    /// Whether the run ended because [`SimCtx::request_stop`] was called.
+    pub stopped: bool,
+}
+
+/// Service handle available to model closures while they run on the kernel
+/// loop. All methods are safe to call at any point inside an event handler.
+pub struct SimCtx {
+    shared: Arc<Shared>,
+    now: SimTime,
+}
+
+impl SimCtx {
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// The current event's virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `f` at absolute time `at` (clamped to now if in the past).
+    pub fn schedule(&self, at: SimTime, f: impl FnOnce(&SimCtx) + Send + 'static) -> EventId {
+        self.shared.schedule_call(at.max(self.now), f)
+    }
+
+    /// Schedule `f` after a delay.
+    pub fn schedule_in(&self, d: SimDuration, f: impl FnOnce(&SimCtx) + Send + 'static) -> EventId {
+        self.shared.schedule_call(self.now + d, f)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-executed
+    /// event is a harmless no-op.
+    pub fn cancel(&self, id: EventId) {
+        self.shared.state.lock().queue.cancel(id);
+    }
+
+    /// Wake a parked process now (no-op if it has exited).
+    pub fn resume(&self, pid: Pid) {
+        self.shared.schedule_resume(self.now, pid, WakeKind::Normal);
+    }
+
+    /// Wake a parked process at a future time.
+    pub fn resume_at(&self, pid: Pid, at: SimTime) {
+        self.shared.schedule_resume(at, pid, WakeKind::Normal);
+    }
+
+    /// Kill a process: its next kernel interaction (or its current park)
+    /// unwinds the thread. No-op for already-dead processes.
+    pub fn kill(&self, pid: Pid) {
+        {
+            let mut st = self.shared.state.lock();
+            let Some(entry) = st.procs.get(&pid) else {
+                return;
+            };
+            if !entry.alive {
+                return;
+            }
+            if st.tracer.enabled() {
+                let detail = format!("kill {pid}");
+                st.tracer.record(TraceEvent {
+                    time: self.now,
+                    kind: TraceKind::Kill,
+                    pid: Some(pid),
+                    detail,
+                });
+            }
+        }
+        self.shared.schedule_resume(self.now, pid, WakeKind::Killed);
+    }
+
+    /// Is the process still alive (spawned and not yet exited)?
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.shared
+            .state
+            .lock()
+            .procs
+            .get(&pid)
+            .map(|e| e.alive)
+            .unwrap_or(false)
+    }
+
+    /// Spawn a new simulated process that starts at time `at`.
+    pub fn spawn_at(
+        &self,
+        at: SimTime,
+        name: impl Into<String>,
+        f: impl FnOnce(ProcCtx) + Send + 'static,
+    ) -> Pid {
+        spawn_inner(&self.shared, at.max(self.now), name.into(), f)
+    }
+
+    /// Spawn a new simulated process that starts immediately.
+    pub fn spawn(&self, name: impl Into<String>, f: impl FnOnce(ProcCtx) + Send + 'static) -> Pid {
+        self.spawn_at(self.now, name, f)
+    }
+
+    /// Ask the kernel loop to stop after the current event.
+    pub fn request_stop(&self) {
+        self.shared.state.lock().stop_requested = true;
+    }
+
+    /// Record a model trace event (cheap no-op when tracing is disabled).
+    pub fn trace(&self, label: &'static str, pid: Option<Pid>, detail: impl FnOnce() -> String) {
+        let mut st = self.shared.state.lock();
+        if st.tracer.enabled() {
+            let ev = TraceEvent {
+                time: self.now,
+                kind: TraceKind::Model(label),
+                pid,
+                detail: detail(),
+            };
+            st.tracer.record(ev);
+        }
+    }
+}
+
+fn spawn_inner(
+    shared: &Arc<Shared>,
+    start_at: SimTime,
+    name: String,
+    f: impl FnOnce(ProcCtx) + Send + 'static,
+) -> Pid {
+    let name: Arc<str> = Arc::from(name.as_str());
+    let handoff = Handoff::new();
+    let pid;
+    {
+        let mut st = shared.state.lock();
+        pid = Pid(st.next_pid);
+        st.next_pid += 1;
+        if st.tracer.enabled() {
+            let detail = format!("spawn '{name}'");
+            let now = st.now;
+            st.tracer.record(TraceEvent {
+                time: now,
+                kind: TraceKind::Spawn,
+                pid: Some(pid),
+                detail,
+            });
+        }
+    }
+    let thread_shared = Arc::clone(shared);
+    let thread_handoff = Arc::clone(&handoff);
+    let thread_name = Arc::clone(&name);
+    let join = std::thread::Builder::new()
+        .name(format!("sim-{pid}-{name}"))
+        .stack_size(256 * 1024)
+        .spawn(move || {
+            let (kind, now) = thread_handoff.wait_first_wake();
+            if matches!(kind, WakeKind::Killed) {
+                thread_handoff.exit(ProcessExit::Killed);
+                return;
+            }
+            let ctx = ProcCtx {
+                pid,
+                name: thread_name,
+                handoff: Arc::clone(&thread_handoff),
+                shared: thread_shared,
+                local_time: now,
+            };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
+            let status = match result {
+                Ok(()) => ProcessExit::Normal,
+                Err(payload) => {
+                    if payload.downcast_ref::<KilledSignal>().is_some() {
+                        ProcessExit::Killed
+                    } else {
+                        ProcessExit::Panicked(panic_message(payload))
+                    }
+                }
+            };
+            thread_handoff.exit(status);
+        })
+        .expect("failed to spawn simulated process thread");
+    {
+        let mut st = shared.state.lock();
+        st.procs.insert(
+            pid,
+            ProcEntry {
+                name,
+                handoff,
+                alive: true,
+                join: Some(join),
+                pending_exec: None,
+            },
+        );
+        let now = st.now;
+        st.queue
+            .push(start_at.max(now), EventKind::Resume(pid, WakeKind::Normal));
+    }
+    pid
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The simulation: owns the kernel state and drives the event loop.
+pub struct Sim {
+    shared: Arc<Shared>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Install (once per process) a panic hook that silences the expected
+/// [`KilledSignal`] unwinds of killed simulated processes while delegating
+/// every real panic to the previous hook.
+fn install_kill_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<KilledSignal>().is_some() {
+                return; // expected failure-injection unwind
+            }
+            previous(info);
+        }));
+    });
+}
+
+impl Sim {
+    /// Create an empty simulation at time zero.
+    pub fn new() -> Sim {
+        install_kill_quiet_hook();
+        Sim {
+            shared: Arc::new(Shared {
+                state: Mutex::new(KernelState {
+                    queue: EventQueue::default(),
+                    now: SimTime::ZERO,
+                    procs: HashMap::new(),
+                    next_pid: 0,
+                    stop_requested: false,
+                    executed: 0,
+                    max_events: None,
+                    max_time: None,
+                    tracer: Tracer::default(),
+                    exits: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Cap the number of events (defence against runaway models).
+    pub fn set_max_events(&mut self, n: u64) {
+        self.shared.state.lock().max_events = Some(n);
+    }
+
+    /// Stop the run once the kernel clock passes `t` (remaining processes are
+    /// killed during teardown).
+    pub fn set_max_time(&mut self, t: SimTime) {
+        self.shared.state.lock().max_time = Some(t);
+    }
+
+    /// Enable trace collection (returned in the [`RunReport`]).
+    pub fn enable_trace(&mut self) {
+        self.shared.state.lock().tracer.set_enabled(true);
+    }
+
+    /// Convenience constructor for a [`SharedFlag`].
+    pub fn shared_flag(&self) -> crate::process::SharedFlag {
+        crate::process::SharedFlag::new()
+    }
+
+    /// Spawn an initial process starting at time zero.
+    pub fn spawn(&mut self, name: impl Into<String>, f: impl FnOnce(ProcCtx) + Send + 'static) -> Pid {
+        spawn_inner(&self.shared, SimTime::ZERO, name.into(), f)
+    }
+
+    /// Spawn an initial process starting at `at`.
+    pub fn spawn_at(
+        &mut self,
+        at: SimTime,
+        name: impl Into<String>,
+        f: impl FnOnce(ProcCtx) + Send + 'static,
+    ) -> Pid {
+        spawn_inner(&self.shared, at, name.into(), f)
+    }
+
+    /// Schedule a model closure before the run starts.
+    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&SimCtx) + Send + 'static) -> EventId {
+        self.shared.schedule_call(at, f)
+    }
+
+    /// Drive the event loop to completion.
+    ///
+    /// Ends when the queue drains with no parked processes, when a stop is
+    /// requested, or when a budget/deadline triggers. On success all process
+    /// threads have been joined.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        let result = self.run_loop();
+        // Always tear down remaining threads, even on error paths, so that
+        // dropping the Sim never leaks parked threads.
+        self.teardown();
+        let mut st = self.shared.state.lock();
+        let report = RunReport {
+            final_time: st.now,
+            events_executed: st.executed,
+            exits: st
+                .exits
+                .iter()
+                .map(|(p, n, e)| (*p, n.to_string(), e.clone()))
+                .collect(),
+            trace: st.tracer.take(),
+            stopped: st.stop_requested,
+        };
+        drop(st);
+        result.map(|()| report)
+    }
+
+    fn run_loop(&mut self) -> Result<(), SimError> {
+        loop {
+            let (event, budget_hit) = {
+                let mut st = self.shared.state.lock();
+                if st.stop_requested {
+                    return Ok(());
+                }
+                if let Some(max) = st.max_events {
+                    if st.executed >= max {
+                        return Err(SimError::EventBudgetExhausted {
+                            executed: st.executed,
+                        });
+                    }
+                }
+                match st.queue.pop() {
+                    None => {
+                        // Queue drained: success if nothing is parked.
+                        let parked: Vec<String> = st
+                            .procs
+                            .values()
+                            .filter(|e| e.alive)
+                            .map(|e| e.name.to_string())
+                            .collect();
+                        if parked.is_empty() {
+                            return Ok(());
+                        }
+                        return Err(SimError::Deadlock(DeadlockInfo {
+                            time: st.now,
+                            parked,
+                        }));
+                    }
+                    Some(ev) => {
+                        // Resumes aimed at dead processes are stale: drop them
+                        // without advancing the clock, so a killed process's
+                        // pending wakes don't distort the final time.
+                        if let EventKind::Resume(pid, _) = ev.kind {
+                            let alive = st.procs.get(&pid).map(|e| e.alive).unwrap_or(false);
+                            if !alive {
+                                continue;
+                            }
+                        }
+                        debug_assert!(ev.time >= st.now, "event queue went backwards");
+                        // Past the horizon: stop without consuming the event
+                        // (the clock must not advance beyond max_time).
+                        if st.max_time.map(|mt| ev.time > mt).unwrap_or(false) {
+                            st.stop_requested = true;
+                            return Ok(());
+                        }
+                        st.now = ev.time;
+                        st.executed += 1;
+                        (ev, false)
+                    }
+                }
+            };
+            if budget_hit {
+                // Past the configured horizon: stop silently (used by
+                // experiments that only care about a prefix of the run).
+                let mut st = self.shared.state.lock();
+                st.stop_requested = true;
+                return Ok(());
+            }
+            match event.kind {
+                EventKind::Call(f) => {
+                    let sc = SimCtx {
+                        shared: Arc::clone(&self.shared),
+                        now: event.time,
+                    };
+                    f(&sc);
+                }
+                EventKind::Resume(pid, kind) => {
+                    if let Some(err) = self.resume_process(pid, kind, event.time) {
+                        return Err(err);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hand the token to `pid`; returns an error for real panics.
+    fn resume_process(&self, pid: Pid, kind: WakeKind, now: SimTime) -> Option<SimError> {
+        let handoff = {
+            let st = self.shared.state.lock();
+            match st.procs.get(&pid) {
+                Some(e) if e.alive => Arc::clone(&e.handoff),
+                _ => return None, // stale resume for a dead process
+            }
+        };
+        match handoff.resume(kind, now) {
+            ResumeOutcome::Parked => None,
+            ResumeOutcome::Exited(status) => {
+                let mut st = self.shared.state.lock();
+                let name = if let Some(e) = st.procs.get_mut(&pid) {
+                    e.alive = false;
+                    let pending = e.pending_exec.take();
+                    let name = Arc::clone(&e.name);
+                    if let Some(id) = pending {
+                        st.queue.cancel(id);
+                    }
+                    name
+                } else {
+                    Arc::from("?")
+                };
+                if st.tracer.enabled() {
+                    let detail = format!("exit '{name}': {status:?}");
+                    st.tracer.record(TraceEvent {
+                        time: now,
+                        kind: TraceKind::Exit,
+                        pid: Some(pid),
+                        detail,
+                    });
+                }
+                st.exits.push((pid, Arc::clone(&name), status.clone()));
+                if let ProcessExit::Panicked(message) = status {
+                    return Some(SimError::ProcessPanicked {
+                        name: name.to_string(),
+                        message,
+                    });
+                }
+                None
+            }
+        }
+    }
+
+    /// Kill every remaining process and join all threads.
+    fn teardown(&mut self) {
+        loop {
+            let victim = {
+                let st = self.shared.state.lock();
+                st.procs
+                    .iter()
+                    .filter(|(_, e)| e.alive)
+                    .map(|(pid, e)| (*pid, Arc::clone(&e.handoff), Arc::clone(&e.name)))
+                    .min_by_key(|(pid, _, _)| *pid)
+            };
+            let Some((pid, handoff, name)) = victim else {
+                break;
+            };
+            let now = self.shared.state.lock().now;
+            if let ResumeOutcome::Exited(status) = handoff.resume(WakeKind::Killed, now) {
+                let mut st = self.shared.state.lock();
+                if let Some(e) = st.procs.get_mut(&pid) {
+                    e.alive = false;
+                }
+                st.exits.push((pid, name, status));
+            } else {
+                // A process that parks again after a kill wake would be a
+                // trampoline bug; mark it dead to guarantee loop progress.
+                let mut st = self.shared.state.lock();
+                if let Some(e) = st.procs.get_mut(&pid) {
+                    e.alive = false;
+                }
+            }
+        }
+        // Join every thread.
+        let joins: Vec<JoinHandle<()>> = {
+            let mut st = self.shared.state.lock();
+            st.procs.values_mut().filter_map(|e| e.join.take()).collect()
+        };
+        for j in joins {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}

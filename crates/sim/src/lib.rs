@@ -1,0 +1,64 @@
+//! Deterministic process-oriented discrete-event simulation kernel.
+//!
+//! This crate is the substrate every other `ftmpi` crate runs on. It provides
+//! a virtual clock, an event queue ordered by `(time, sequence)`, and
+//! *simulated processes*: ordinary Rust closures running on dedicated OS
+//! threads that are scheduled **cooperatively** — exactly one thread (either
+//! the kernel loop or a single simulated process) runs at any instant, so
+//! every run with the same inputs takes the same scheduling decisions and
+//! produces bit-identical virtual timings.
+//!
+//! # Lazy local clocks
+//!
+//! Simulated computation is free: [`ProcCtx::advance`] only bumps the
+//! process-local clock. The kernel is involved only when a process interacts
+//! with shared model state through [`ProcCtx::exec`], which schedules a
+//! closure *at the process's local time* and parks the thread until the model
+//! wakes it through a [`Reply`]. This keeps event counts proportional to
+//! communication operations, not compute phases.
+//!
+//! # Failure injection
+//!
+//! Processes can be killed at any virtual time ([`SimCtx::kill`]). A killed
+//! process unwinds at its next kernel interaction via a panic payload that the
+//! process trampoline catches, mirroring the "task killed by the operating
+//! system" failure model of the paper this workspace reproduces.
+//!
+//! # Example
+//!
+//! ```
+//! use ftmpi_sim::{Sim, SimDuration};
+//!
+//! let mut sim = Sim::new();
+//! let done = sim.shared_flag();
+//! sim.spawn("worker", move |mut ctx| {
+//!     ctx.advance(SimDuration::from_secs_f64(2.5)); // simulated compute
+//!     ctx.sleep_until_local();                      // sync with the kernel
+//!     done.set();
+//! });
+//! let report = sim.run().unwrap();
+//! assert!(report.final_time.as_secs_f64() >= 2.5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod kernel;
+mod process;
+mod reply;
+mod time;
+mod trace;
+
+pub use event::EventId;
+pub use kernel::{DeadlockInfo, RunReport, Sim, SimCtx, SimError};
+pub use process::{Pid, ProcCtx, ProcessExit, SharedFlag};
+pub use reply::Reply;
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceKind, Tracer};
+
+/// Panic payload used to unwind a simulated process that has been killed.
+///
+/// Process code never observes this type: the trampoline installed by
+/// [`Sim::spawn`] catches it and records a [`ProcessExit::Killed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KilledSignal;

@@ -1,0 +1,236 @@
+//! Simulated processes: OS threads scheduled cooperatively by the kernel.
+//!
+//! Exactly one thread runs at a time. The kernel hands the *execution token*
+//! to a process through its [`Handoff`] slot and blocks until the process
+//! either parks again or exits. Because of this strict alternation, model
+//! state never sees concurrent access even though it is shared across
+//! threads, and all scheduling decisions are deterministic.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::kernel::SimCtx;
+use crate::reply::Reply;
+use crate::time::{SimDuration, SimTime};
+use crate::KilledSignal;
+
+/// Identifier of a simulated process. Never reused within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub(crate) u64);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// How a process's life ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcessExit {
+    /// The process function returned.
+    Normal,
+    /// The process was killed by the failure injector / kernel teardown.
+    Killed,
+    /// The process function panicked (a bug in model or application code).
+    Panicked(String),
+}
+
+/// Why a parked process is being resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WakeKind {
+    Normal,
+    Killed,
+}
+
+enum HandoffState {
+    /// The kernel (or nobody yet) holds the token.
+    KernelHeld,
+    /// The process holds the token and should run.
+    ProcessHeld(WakeKind, SimTime),
+    /// The process thread has terminated.
+    Exited(ProcessExit),
+}
+
+/// Outcome observed by the kernel after handing the token to a process.
+pub(crate) enum ResumeOutcome {
+    Parked,
+    Exited(ProcessExit),
+}
+
+/// The token-passing rendezvous between the kernel loop and one process.
+pub(crate) struct Handoff {
+    state: Mutex<HandoffState>,
+    cv: Condvar,
+}
+
+impl Handoff {
+    pub fn new() -> Arc<Handoff> {
+        Arc::new(Handoff {
+            state: Mutex::new(HandoffState::KernelHeld),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Kernel side: give the token to the process and wait until it parks or
+    /// exits. Must be called *without* holding the kernel state lock.
+    pub fn resume(&self, kind: WakeKind, now: SimTime) -> ResumeOutcome {
+        let mut st = self.state.lock();
+        match *st {
+            HandoffState::Exited(ref e) => return ResumeOutcome::Exited(e.clone()),
+            HandoffState::KernelHeld => {
+                *st = HandoffState::ProcessHeld(kind, now);
+                self.cv.notify_all();
+            }
+            HandoffState::ProcessHeld(..) => {
+                unreachable!("kernel resumed a process that already holds the token")
+            }
+        }
+        loop {
+            match *st {
+                HandoffState::KernelHeld => return ResumeOutcome::Parked,
+                HandoffState::Exited(ref e) => return ResumeOutcome::Exited(e.clone()),
+                HandoffState::ProcessHeld(..) => self.cv.wait(&mut st),
+            }
+        }
+    }
+
+    /// Process side: give the token back and wait for the next wake.
+    /// Returns the wake kind and the kernel time of the resume.
+    pub fn park(&self) -> (WakeKind, SimTime) {
+        let mut st = self.state.lock();
+        debug_assert!(
+            matches!(*st, HandoffState::ProcessHeld(..)),
+            "park() called by a process that does not hold the token"
+        );
+        *st = HandoffState::KernelHeld;
+        self.cv.notify_all();
+        loop {
+            if let HandoffState::ProcessHeld(kind, now) = *st {
+                return (kind, now);
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Process side: wait for the very first wake after spawn.
+    pub fn wait_first_wake(&self) -> (WakeKind, SimTime) {
+        let mut st = self.state.lock();
+        loop {
+            if let HandoffState::ProcessHeld(kind, now) = *st {
+                return (kind, now);
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Process side: announce termination and release the token.
+    pub fn exit(&self, status: ProcessExit) {
+        let mut st = self.state.lock();
+        *st = HandoffState::Exited(status);
+        self.cv.notify_all();
+    }
+}
+
+/// Per-process handle given to the process closure.
+///
+/// Carries the *lazy local clock*: [`advance`](ProcCtx::advance) models
+/// computation without kernel interaction, while [`exec`](ProcCtx::exec)
+/// synchronizes with the kernel at the process's local time.
+pub struct ProcCtx {
+    pub(crate) pid: Pid,
+    pub(crate) name: Arc<str>,
+    pub(crate) handoff: Arc<Handoff>,
+    pub(crate) shared: Arc<crate::kernel::Shared>,
+    pub(crate) local_time: SimTime,
+}
+
+impl ProcCtx {
+    /// This process's identifier.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The process name given at spawn time.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The process-local virtual clock. Always at or ahead of kernel time.
+    pub fn now(&self) -> SimTime {
+        self.local_time
+    }
+
+    /// Model `d` of local computation: advances only the local clock.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.local_time += d;
+    }
+
+    /// Schedule `f` on the kernel at this process's local time and park until
+    /// the model completes the [`Reply`]. Returns the reply value; the local
+    /// clock is advanced to the completion time.
+    ///
+    /// `f` must either call [`Reply::complete`] (or a variant) before
+    /// returning, or stash the reply in model state so that a later event
+    /// completes it. Waking a process without filling its reply is a model
+    /// bug and panics.
+    pub fn exec<R, F>(&mut self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&SimCtx, Reply<R>) + Send + 'static,
+    {
+        let slot: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+        let reply = Reply::new(self.pid, Arc::clone(&slot));
+        self.shared
+            .schedule_exec(self.pid, self.local_time, move |sc| f(sc, reply));
+        let (kind, resume_time) = self.handoff.park();
+        if matches!(kind, WakeKind::Killed) {
+            std::panic::panic_any(KilledSignal);
+        }
+        if resume_time > self.local_time {
+            self.local_time = resume_time;
+        }
+        let value = slot
+            .lock()
+            .take()
+            .expect("process woken without a completed reply (model bug)");
+        value
+    }
+
+    /// Park until the kernel clock catches up with the local clock.
+    ///
+    /// Useful to make locally-accumulated compute time observable (e.g. at
+    /// the end of a process, or before reading shared state).
+    pub fn sleep_until_local(&mut self) {
+        self.exec::<(), _>(|sc, reply| reply.complete(sc, ()));
+    }
+
+    /// Advance the local clock by `d` and synchronize with the kernel:
+    /// a timed wait during which other processes run.
+    pub fn sleep(&mut self, d: SimDuration) {
+        self.advance(d);
+        self.sleep_until_local();
+    }
+}
+
+/// A tiny thread-safe boolean used by tests and examples to observe
+/// completion from outside the simulation.
+#[derive(Debug, Clone, Default)]
+pub struct SharedFlag(Arc<AtomicBool>);
+
+impl SharedFlag {
+    /// Create an unset flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Raise the flag.
+    pub fn set(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+    /// Read the flag.
+    pub fn get(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,48 @@
+//! Completion tokens connecting model event handlers to parked processes.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::SimCtx;
+use crate::process::Pid;
+use crate::time::SimTime;
+
+/// The write-half of a pending [`ProcCtx::exec`](crate::ProcCtx::exec) call.
+///
+/// Model code receives a `Reply<R>` together with the request. It must
+/// eventually call [`complete`](Reply::complete) (immediately or from a later
+/// event) to deliver the result and wake the process. Dropping a `Reply`
+/// without completing it leaves the process parked forever — the kernel
+/// reports this as a deadlock, which is the desired loud failure for a model
+/// bug (or the correct silent behaviour for a process that is about to be
+/// killed).
+#[derive(Debug)]
+pub struct Reply<R> {
+    pid: Pid,
+    slot: Arc<Mutex<Option<R>>>,
+}
+
+impl<R: Send + 'static> Reply<R> {
+    pub(crate) fn new(pid: Pid, slot: Arc<Mutex<Option<R>>>) -> Self {
+        Reply { pid, slot }
+    }
+
+    /// The process waiting on this reply.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Deliver `value` and wake the process at the current event time.
+    pub fn complete(self, sc: &SimCtx, value: R) {
+        *self.slot.lock() = Some(value);
+        sc.resume(self.pid);
+    }
+
+    /// Deliver `value` and wake the process at the (future) time `at`.
+    pub fn complete_at(self, sc: &SimCtx, at: SimTime, value: R) {
+        let Reply { pid, slot } = self;
+        *slot.lock() = Some(value);
+        sc.resume_at(pid, at);
+    }
+}

@@ -1,0 +1,61 @@
+//! Optional structured trace of kernel-level happenings.
+//!
+//! Disabled by default (zero cost beyond a branch); tests and debugging
+//! sessions enable it with [`crate::Sim::enable_trace`] and inspect the
+//! collected [`TraceEvent`]s from the run report.
+
+use crate::process::Pid;
+use crate::time::SimTime;
+
+/// Category of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A process was spawned.
+    Spawn,
+    /// A process terminated (normally, killed, or by panic).
+    Exit,
+    /// A process was killed by the failure injector.
+    Kill,
+    /// Model-defined record (the label names the subsystem).
+    Model(&'static str),
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Virtual time of the record.
+    pub time: SimTime,
+    /// Category.
+    pub kind: TraceKind,
+    /// Process the record concerns, if any.
+    pub pid: Option<Pid>,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// Trace collector owned by the kernel.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    pub(crate) fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    pub(crate) fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}

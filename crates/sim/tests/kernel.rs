@@ -1,0 +1,308 @@
+//! Integration tests for the simulation kernel: scheduling, lazy clocks,
+//! parking/waking, kill semantics, determinism and deadlock detection.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ftmpi_sim::{ProcessExit, Reply, Sim, SimDuration, SimError, SimTime};
+
+#[test]
+fn empty_simulation_completes_at_time_zero() {
+    let mut sim = Sim::new();
+    let report = sim.run().unwrap();
+    assert_eq!(report.final_time, SimTime::ZERO);
+    assert_eq!(report.events_executed, 0);
+}
+
+#[test]
+fn scheduled_closures_run_in_time_order() {
+    let mut sim = Sim::new();
+    let log: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    for &t in &[30u64, 10, 20] {
+        let log = Arc::clone(&log);
+        sim.schedule(SimTime::from_nanos(t), move |sc| {
+            log.lock().push(sc.now().as_nanos());
+        });
+    }
+    let report = sim.run().unwrap();
+    assert_eq!(*log.lock(), vec![10, 20, 30]);
+    assert_eq!(report.final_time, SimTime::from_nanos(30));
+}
+
+#[test]
+fn lazy_compute_advances_virtual_time_without_events() {
+    let mut sim = Sim::new();
+    sim.spawn("computer", |mut ctx| {
+        ctx.advance(SimDuration::from_secs(100));
+        ctx.sleep_until_local();
+    });
+    let report = sim.run().unwrap();
+    assert_eq!(report.final_time, SimTime::from_nanos(100_000_000_000));
+    // Spawn resume + one exec round-trip: compute itself cost no events.
+    assert!(report.events_executed <= 4, "got {}", report.events_executed);
+}
+
+#[test]
+fn sleep_interleaves_processes_deterministically() {
+    let mut sim = Sim::new();
+    let log: Arc<Mutex<Vec<(String, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    for (name, step) in [("a", 3u64), ("b", 5u64)] {
+        let log = Arc::clone(&log);
+        sim.spawn(name, move |mut ctx| {
+            for _ in 0..3 {
+                ctx.sleep(SimDuration::from_secs(step));
+                log.lock().push((ctx.name().to_string(), ctx.now().as_nanos() / 1_000_000_000));
+            }
+        });
+    }
+    sim.run().unwrap();
+    let got = log.lock().clone();
+    let expect = vec![
+        ("a".to_string(), 3),
+        ("b".to_string(), 5),
+        ("a".to_string(), 6),
+        ("a".to_string(), 9),
+        ("b".to_string(), 10),
+        ("b".to_string(), 15),
+    ];
+    assert_eq!(got, expect);
+}
+
+/// A tiny one-slot mailbox model: demonstrates (and tests) the
+/// park/Reply/complete protocol between processes and model state.
+#[derive(Default)]
+struct Mailbox {
+    value: Option<u64>,
+    waiter: Option<Reply<u64>>,
+}
+
+#[test]
+fn reply_wakes_parked_process_with_value() {
+    let mut sim = Sim::new();
+    let mbox: Arc<Mutex<Mailbox>> = Arc::new(Mutex::new(Mailbox::default()));
+
+    let mb = Arc::clone(&mbox);
+    sim.spawn("receiver", move |mut ctx| {
+        let got = ctx.exec::<u64, _>(move |sc, reply| {
+            let mut m = mb.lock();
+            if let Some(v) = m.value.take() {
+                reply.complete(sc, v);
+            } else {
+                m.waiter = Some(reply);
+            }
+        });
+        assert_eq!(got, 42);
+        assert_eq!(ctx.now(), SimTime::from_nanos(7));
+    });
+
+    let mb = Arc::clone(&mbox);
+    sim.schedule(SimTime::from_nanos(7), move |sc| {
+        let mut m = mb.lock();
+        if let Some(w) = m.waiter.take() {
+            w.complete(sc, 42);
+        } else {
+            m.value = Some(42);
+        }
+    });
+
+    let report = sim.run().unwrap();
+    assert!(report
+        .exits
+        .iter()
+        .all(|(_, _, e)| *e == ProcessExit::Normal));
+}
+
+#[test]
+fn complete_at_delays_the_wake() {
+    let mut sim = Sim::new();
+    sim.spawn("sleeper", |mut ctx| {
+        let v = ctx.exec::<u32, _>(|sc, reply| {
+            let at = sc.now() + SimDuration::from_secs(9);
+            reply.complete_at(sc, at, 5);
+        });
+        assert_eq!(v, 5);
+        assert_eq!(ctx.now().as_secs_f64(), 9.0);
+    });
+    let report = sim.run().unwrap();
+    assert_eq!(report.final_time, SimTime::from_nanos(9_000_000_000));
+}
+
+#[test]
+fn killed_process_unwinds_and_reports_killed_exit() {
+    let mut sim = Sim::new();
+    let flag = sim.shared_flag();
+    let f2 = flag.clone();
+    let victim = sim.spawn("victim", move |mut ctx| {
+        ctx.sleep(SimDuration::from_secs(1_000_000));
+        f2.set(); // must never run
+    });
+    sim.schedule(SimTime::from_nanos(5), move |sc| sc.kill(victim));
+    let report = sim.run().unwrap();
+    assert!(!flag.get());
+    let exit = report
+        .exits
+        .iter()
+        .find(|(pid, _, _)| *pid == victim)
+        .map(|(_, _, e)| e.clone())
+        .unwrap();
+    assert_eq!(exit, ProcessExit::Killed);
+    // The pending sleep-wake must not resurrect the process.
+    assert_eq!(report.final_time, SimTime::from_nanos(5));
+}
+
+#[test]
+fn kill_is_noop_for_finished_process() {
+    let mut sim = Sim::new();
+    let p = sim.spawn("quick", |_ctx| {});
+    sim.schedule(SimTime::from_nanos(100), move |sc| {
+        assert!(!sc.is_alive(p));
+        sc.kill(p); // must not panic or hang
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn process_panic_surfaces_as_error() {
+    let mut sim = Sim::new();
+    sim.spawn("buggy", |_ctx| panic!("boom"));
+    match sim.run() {
+        Err(SimError::ProcessPanicked { name, message }) => {
+            assert_eq!(name, "buggy");
+            assert!(message.contains("boom"));
+        }
+        other => panic!("expected panic error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unwakeable_process_is_reported_as_deadlock() {
+    let mut sim = Sim::new();
+    sim.spawn("stuck", |mut ctx| {
+        // Park with a reply nobody will ever complete.
+        ctx.exec::<(), _>(|_sc, _reply| {
+            // drop the reply
+        });
+    });
+    match sim.run() {
+        Err(SimError::Deadlock(info)) => {
+            assert_eq!(info.parked, vec!["stuck".to_string()]);
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn event_budget_guards_against_runaway_models() {
+    let mut sim = Sim::new();
+    sim.set_max_events(100);
+    fn reschedule(sc: &ftmpi_sim::SimCtx) {
+        sc.schedule_in(SimDuration::from_nanos(1), reschedule);
+    }
+    sim.schedule(SimTime::ZERO, reschedule);
+    match sim.run() {
+        Err(SimError::EventBudgetExhausted { executed }) => assert_eq!(executed, 100),
+        other => panic!("expected budget error, got {other:?}"),
+    }
+}
+
+#[test]
+fn max_time_stops_the_run() {
+    let mut sim = Sim::new();
+    sim.set_max_time(SimTime::from_nanos(50));
+    sim.spawn("late", |mut ctx| {
+        ctx.sleep(SimDuration::from_nanos(200));
+        panic!("must not run past the horizon");
+    });
+    let report = sim.run().unwrap();
+    assert!(report.stopped);
+    assert!(report.final_time <= SimTime::from_nanos(200));
+}
+
+#[test]
+fn processes_spawned_from_events_run() {
+    let mut sim = Sim::new();
+    let flag = sim.shared_flag();
+    let f2 = flag.clone();
+    sim.schedule(SimTime::from_nanos(10), move |sc| {
+        let f3 = f2.clone();
+        sc.spawn("child", move |mut ctx| {
+            ctx.sleep(SimDuration::from_nanos(5));
+            f3.set();
+        });
+    });
+    let report = sim.run().unwrap();
+    assert!(flag.get());
+    assert_eq!(report.final_time, SimTime::from_nanos(15));
+}
+
+#[test]
+fn identical_runs_produce_identical_reports() {
+    fn run_once() -> (u64, u64) {
+        let mut sim = Sim::new();
+        for i in 0..10u64 {
+            sim.spawn(format!("p{i}"), move |mut ctx| {
+                for k in 0..5 {
+                    ctx.sleep(SimDuration::from_nanos(1 + (i * 7 + k) % 13));
+                }
+            });
+        }
+        let report = sim.run().unwrap();
+        (report.final_time.as_nanos(), report.events_executed)
+    }
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn trace_collects_lifecycle_events() {
+    let mut sim = Sim::new();
+    sim.enable_trace();
+    let p = sim.spawn("traced", |mut ctx| ctx.sleep(SimDuration::from_nanos(3)));
+    sim.schedule(SimTime::from_nanos(1), move |sc| {
+        sc.trace("test", Some(p), || "hello".to_string());
+    });
+    let report = sim.run().unwrap();
+    assert!(report
+        .trace
+        .iter()
+        .any(|e| matches!(e.kind, ftmpi_sim::TraceKind::Spawn)));
+    assert!(report
+        .trace
+        .iter()
+        .any(|e| matches!(e.kind, ftmpi_sim::TraceKind::Model("test")) && e.detail == "hello"));
+    assert!(report
+        .trace
+        .iter()
+        .any(|e| matches!(e.kind, ftmpi_sim::TraceKind::Exit)));
+}
+
+#[test]
+fn many_processes_scale() {
+    let mut sim = Sim::new();
+    let counter = Arc::new(Mutex::new(0u64));
+    for i in 0..600 {
+        let c = Arc::clone(&counter);
+        sim.spawn(format!("w{i}"), move |mut ctx| {
+            ctx.sleep(SimDuration::from_nanos(i));
+            *c.lock() += 1;
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(*counter.lock(), 600);
+}
+
+#[test]
+fn max_time_never_advances_past_the_horizon() {
+    let mut sim = Sim::new();
+    sim.set_max_time(SimTime::from_nanos(50));
+    sim.schedule(SimTime::from_nanos(200), |_sc| {
+        panic!("must not run past the horizon");
+    });
+    let report = sim.run().unwrap();
+    assert!(report.stopped);
+    assert!(
+        report.final_time <= SimTime::from_nanos(50),
+        "clock advanced past max_time: {:?}",
+        report.final_time
+    );
+}

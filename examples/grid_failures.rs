@@ -1,0 +1,48 @@
+//! Domain example: a long BT run across the multi-cluster grid under a
+//! Poisson failure process, protected by the blocking protocol — the
+//! scenario motivating the paper's conclusion that the checkpoint period
+//! should track the platform MTTF.
+//!
+//! ```sh
+//! cargo run --release --example grid_failures
+//! ```
+
+use ftmpi::ft::{run_job, FailurePlan, FtConfig, JobSpec, Platform, ProtocolChoice};
+use ftmpi::nas::{bt, Machine, NasClass};
+use ftmpi::sim::{SimDuration, SimTime};
+
+fn main() {
+    let nranks = 100;
+    let wl = bt::workload(NasClass::A, nranks, Machine::mflops(100.0));
+    println!("workload: {} over the 6-cluster grid", wl.name);
+
+    let mttf = SimDuration::from_secs(60);
+    let horizon = SimTime::from_nanos(1_800_000_000_000);
+
+    println!(
+        "{:>10} {:>10} {:>8} {:>9}",
+        "period(s)", "time(s)", "waves", "restarts"
+    );
+    for period_s in [10u64, 30, 60, 120, 600] {
+        let mut spec = JobSpec::new(nranks, ProtocolChoice::Pcl, wl.app.clone());
+        spec.platform = Platform::Grid;
+        spec.servers = 1; // one checkpoint server per cluster
+        spec.ft = FtConfig {
+            period: SimDuration::from_secs(period_s),
+            image_bytes: wl.image_bytes,
+            ..FtConfig::default()
+        };
+        spec.failures = FailurePlan::poisson(mttf, horizon, nranks, 2024);
+        let res = run_job(spec).expect("grid run");
+        println!(
+            "{:>10} {:>10.1} {:>8} {:>9}",
+            period_s,
+            res.completion_secs(),
+            res.waves(),
+            res.rt.restarts
+        );
+    }
+    println!("\nWith failures every ~{} s, checkpointing too rarely loses whole", mttf.as_secs_f64());
+    println!("periods of work per failure, while checkpointing too often pays wave");
+    println!("synchronization continuously — the sweet spot tracks the MTTF.");
+}

@@ -1,0 +1,51 @@
+//! Domain example: compare the two checkpointing protocols on NAS BT over a
+//! Gigabit-Ethernet cluster — a miniature of the paper's §5.2 study.
+//!
+//! ```sh
+//! cargo run --release --example nas_cluster
+//! ```
+
+use ftmpi::ft::{run_job, FtConfig, JobSpec, Platform, ProtocolChoice};
+use ftmpi::nas::{bt, Machine, NasClass};
+use ftmpi::net::LinkConfig;
+use ftmpi::sim::SimDuration;
+
+fn main() {
+    let nranks = 16;
+    let machine = Machine::mflops(150.0);
+    let wl = bt::workload(NasClass::A, nranks, machine);
+    println!("workload: {} ({} MiB images)", wl.name, wl.image_bytes >> 20);
+    println!(
+        "{:<8} {:>10} {:>7} {:>12} {:>14}",
+        "proto", "time (s)", "waves", "overhead", "ckpt data"
+    );
+
+    let mut baseline = None;
+    for proto in [ProtocolChoice::Dummy, ProtocolChoice::Vcl, ProtocolChoice::Pcl] {
+        let mut spec = JobSpec::new(nranks, proto, wl.app.clone());
+        spec.platform = Platform::Cluster(LinkConfig::gige());
+        spec.servers = 2;
+        spec.ft = FtConfig {
+            period: SimDuration::from_secs(10),
+            image_bytes: wl.image_bytes,
+            ..FtConfig::default()
+        };
+        let res = run_job(spec).expect("run");
+        let t = res.completion_secs();
+        let base = *baseline.get_or_insert(t);
+        println!(
+            "{:<8} {:>10.2} {:>7} {:>11.1}% {:>10.1} MiB",
+            match proto {
+                ProtocolChoice::Dummy => "none",
+                ProtocolChoice::Vcl => "vcl",
+                ProtocolChoice::Pcl => "pcl",
+                ProtocolChoice::Mlog => "mlog",
+            },
+            t,
+            res.waves(),
+            (t / base - 1.0) * 100.0,
+            (res.ft.image_bytes_sent + res.ft.log_bytes_sent) as f64 / (1 << 20) as f64,
+        );
+    }
+    println!("\nVcl never interrupts communication; Pcl synchronizes every wave.");
+}

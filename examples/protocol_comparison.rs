@@ -1,0 +1,50 @@
+//! Domain example: the paper's central comparison in miniature — blocking
+//! vs. non-blocking coordinated checkpointing across checkpoint frequencies
+//! on a latency-bound workload (CG over Myrinet), showing the crossover the
+//! paper reports in Fig. 7.
+//!
+//! ```sh
+//! cargo run --release --example protocol_comparison
+//! ```
+
+use ftmpi::ft::{run_job, FtConfig, JobSpec, Platform, ProtocolChoice};
+use ftmpi::nas::{cg, Machine, NasClass};
+use ftmpi::net::{LinkConfig, SoftwareStack};
+use ftmpi::sim::SimDuration;
+
+fn main() {
+    let nranks = 16;
+    let wl = cg::workload(NasClass::B, nranks, Machine::mflops(80.0));
+    println!("workload: {} on a Myrinet cluster\n", wl.name);
+    println!(
+        "{:>10} | {:>16} | {:>16}",
+        "period(s)", "pcl-nemesis (s)", "vcl-daemon (s)"
+    );
+
+    for period_s in [2u64, 5, 10, 30, 120] {
+        let mut times = Vec::new();
+        for (proto, stack) in [
+            (ProtocolChoice::Pcl, SoftwareStack::NemesisGm),
+            (ProtocolChoice::Vcl, SoftwareStack::VclDaemon),
+        ] {
+            let mut spec = JobSpec::new(nranks, proto, wl.app.clone());
+            spec.platform = Platform::Cluster(LinkConfig::myrinet2000());
+            spec.stack = Some(stack);
+            spec.servers = 2;
+            spec.ft = FtConfig {
+                period: SimDuration::from_secs(period_s),
+                image_bytes: wl.image_bytes,
+                ..FtConfig::default()
+            };
+            let res = run_job(spec).expect("run");
+            times.push((res.completion_secs(), res.waves()));
+        }
+        println!(
+            "{:>10} | {:>10.1} w={:<3} | {:>10.1} w={:<3}",
+            period_s, times[0].0, times[0].1, times[1].0, times[1].1
+        );
+    }
+    println!("\nThe blocking protocol over the fast OS-bypass stack wins at sensible");
+    println!("frequencies; the non-blocking protocol's per-message daemon cost only");
+    println!("pays off when checkpoints are taken very frequently (paper §5.3).");
+}

@@ -1,0 +1,42 @@
+//! `ftmpi` — blocking vs. non-blocking coordinated checkpointing for
+//! fault-tolerant MPI, reproduced as a deterministic simulation study.
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! * [`sim`] — deterministic process-oriented discrete-event kernel;
+//! * [`net`] — cluster / Myrinet / grid network resource model;
+//! * [`mpi`] — MPI-like runtime with protocol hooks;
+//! * [`ft`] — the checkpointing protocols (Vcl, Pcl), checkpoint servers,
+//!   failure injection and recovery — the paper's contribution;
+//! * [`nas`] — NAS Parallel Benchmark skeleton workloads.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ftmpi::ft::{run_job, JobSpec, ProtocolChoice};
+//! use ftmpi::sim::SimDuration;
+//!
+//! // Four ranks exchange a ring token 50 times under the blocking
+//! // checkpointing protocol.
+//! let app: ftmpi::mpi::AppFn = Arc::new(|mpi| {
+//!     let n = mpi.size();
+//!     let (right, left) = ((mpi.rank() + 1) % n, (mpi.rank() + n - 1) % n);
+//!     for i in 0..50 {
+//!         let req = mpi.irecv(Some(left), Some(i));
+//!         mpi.send(right, i, 1024);
+//!         mpi.wait(req);
+//!         mpi.compute(SimDuration::from_millis(20));
+//!     }
+//! });
+//! let mut spec = JobSpec::new(4, ProtocolChoice::Pcl, app);
+//! spec.ft.period = SimDuration::from_millis(300);
+//! let result = run_job(spec).unwrap();
+//! assert!(result.waves() >= 1);
+//! ```
+
+pub use ftmpi_core as ft;
+pub use ftmpi_mpi as mpi;
+pub use ftmpi_nas as nas;
+pub use ftmpi_net as net;
+pub use ftmpi_sim as sim;
