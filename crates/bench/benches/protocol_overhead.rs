@@ -28,7 +28,11 @@ fn ring(iters: usize) -> AppFn {
 fn bench_protocols(c: &mut Criterion) {
     let mut g = c.benchmark_group("protocol/ring8x200");
     g.sample_size(10);
-    for proto in [ProtocolChoice::Dummy, ProtocolChoice::Vcl, ProtocolChoice::Pcl] {
+    for proto in [
+        ProtocolChoice::Dummy,
+        ProtocolChoice::Vcl,
+        ProtocolChoice::Pcl,
+    ] {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{proto:?}")),
             &proto,

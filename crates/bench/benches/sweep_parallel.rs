@@ -1,0 +1,56 @@
+//! Sequential vs. parallel sweep execution on a mid-size multi-point
+//! sweep — the evidence behind the `--jobs` speedup claim in
+//! EXPERIMENTS.md. Each point is an independent bt.S job, so the sweep
+//! should scale with the worker count until admission control (4× cores of
+//! simulated ranks) kicks in.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ftmpi_bench::SweepRunner;
+use ftmpi_core::{FtConfig, JobSpec, ProtocolChoice};
+use ftmpi_nas::{bt, Machine, NasClass};
+use ftmpi_sim::SimDuration;
+
+/// The sweep under test: 12 bt.S.9 points at varying checkpoint periods.
+fn queue_sweep(runner: &mut SweepRunner) {
+    let wl = bt::workload(NasClass::S, 9, Machine::mflops(50.0));
+    for i in 0..12u64 {
+        let mut spec = JobSpec::new(9, ProtocolChoice::Pcl, Arc::clone(&wl.app));
+        spec.servers = 2;
+        spec.ft = FtConfig {
+            period: SimDuration::from_millis(400 + 100 * i),
+            image_bytes: 4 << 20,
+            ..FtConfig::default()
+        };
+        runner.add(format!("point{i}"), move || spec);
+    }
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep/bt_s_9x12");
+    g.sample_size(10);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    for jobs in [1usize, 2, 4, cores] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("jobs{jobs}")),
+            &jobs,
+            |b, &jobs| {
+                b.iter(move || {
+                    let mut runner = SweepRunner::new(jobs);
+                    queue_sweep(&mut runner);
+                    for r in runner.run() {
+                        r.expect("sweep point");
+                    }
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

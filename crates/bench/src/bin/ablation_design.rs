@@ -1,98 +1,13 @@
-//! Ablation benches for the design choices DESIGN.md calls out:
-//!
-//! 1. **Marker gating** — Pcl markers handled only when the progress engine
-//!    runs (faithful) vs. asynchronously on arrival: how much of the
-//!    blocking protocol's cost is the wait for compute phases to end?
-//! 2. **Stream chunk size** — the granularity at which checkpoint streams
-//!    interleave with MPI traffic.
-//! 3. **Fork cost** — the pause every checkpoint inflicts on its rank.
-//! 4. **Progress-engine drag** — the blocking implementation's
-//!    image-streaming interference (set to zero, Pcl transfers become as
-//!    invisible as Vcl's, flattening Fig. 5's Pcl curve).
+//! Thin wrapper over [`ftmpi_bench::figures::ablation_design`] — see that module for
+//! the experiment's documentation.
 //!
 //! ```sh
-//! cargo run --release -p ftmpi-bench --bin ablation_design [-- --full]
+//! cargo run --release -p ftmpi-bench --bin ablation_design [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{bt_workload, cg_workload, cluster_spec, myrinet_spec, print_table, save_records, secs, HarnessArgs, Record};
-use ftmpi_core::{run_job, ProtocolChoice};
-use ftmpi_nas::NasClass;
-use ftmpi_net::SoftwareStack;
-use ftmpi_sim::SimDuration;
+use ftmpi_bench::{figures, HarnessArgs, MemoCache};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let mut records = Vec::new();
-
-    // 1. Marker gating (CG is latency-bound: gating matters most there).
-    {
-        let wl = cg_workload(NasClass::B, 16);
-        let mut rows = Vec::new();
-        for (label, async_markers) in [("in-library (paper)", false), ("async (ablation)", true)] {
-            let mut spec = myrinet_spec(&wl, 16, ProtocolChoice::Pcl, SoftwareStack::NemesisGm, 2, SimDuration::from_secs(5));
-            spec.ft.pcl_async_markers = async_markers;
-            let res = run_job(spec).expect("run");
-            rows.push(vec![label.into(), res.waves().to_string(), secs(res.completion_secs())]);
-            records.push(Record::from_result(
-                "ablation-markers", &wl.name, ProtocolChoice::Pcl, "nemesis",
-                "async", async_markers as u8 as f64, &res,
-            ));
-        }
-        print_table("Ablation 1 — Pcl marker handling (cg.B.16, 5 s period)", &["markers", "waves", "time(s)"], &rows);
-    }
-
-    // 2. Chunk size.
-    {
-        let wl = bt_workload(NasClass::A, 16);
-        let mut rows = Vec::new();
-        let chunks: &[u64] = if args.fast { &[64 << 10, 256 << 10, 4 << 20] } else { &[16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20] };
-        for &chunk in chunks {
-            let mut spec = cluster_spec(&wl, 16, ProtocolChoice::Vcl, 1, SimDuration::from_secs(5));
-            spec.ft.chunk_bytes = chunk;
-            let res = run_job(spec).expect("run");
-            rows.push(vec![format!("{}K", chunk >> 10), res.waves().to_string(), secs(res.completion_secs())]);
-            records.push(Record::from_result(
-                "ablation-chunk", &wl.name, ProtocolChoice::Vcl, "vcl-daemon",
-                "chunk_kib", (chunk >> 10) as f64, &res,
-            ));
-        }
-        print_table("Ablation 2 — checkpoint stream chunk size (bt.A.16, Vcl, 5 s period)", &["chunk", "waves", "time(s)"], &rows);
-    }
-
-    // 3. Fork cost.
-    {
-        let wl = bt_workload(NasClass::A, 16);
-        let mut rows = Vec::new();
-        for fork_ms in [0u64, 30, 200, 1000] {
-            let mut spec = cluster_spec(&wl, 16, ProtocolChoice::Pcl, 2, SimDuration::from_secs(5));
-            spec.ft.fork_cost = SimDuration::from_millis(fork_ms);
-            let res = run_job(spec).expect("run");
-            rows.push(vec![format!("{fork_ms}ms"), res.waves().to_string(), secs(res.completion_secs())]);
-            records.push(Record::from_result(
-                "ablation-fork", &wl.name, ProtocolChoice::Pcl, "tcp",
-                "fork_ms", fork_ms as f64, &res,
-            ));
-        }
-        print_table("Ablation 3 — fork pause (bt.A.16, Pcl, 5 s period)", &["fork", "waves", "time(s)"], &rows);
-    }
-
-    // 4. Progress-engine drag.
-    {
-        let wl = bt_workload(NasClass::B, 64);
-        let mut rows = Vec::new();
-        for drag_ms in [0u64, 1, 2, 5] {
-            let mut spec = cluster_spec(&wl, 64, ProtocolChoice::Pcl, 1, SimDuration::from_secs(30));
-            spec.single_threshold = 32;
-            spec.ft.blocking_stream_drag = SimDuration::from_millis(drag_ms);
-            let res = run_job(spec).expect("run");
-            rows.push(vec![format!("{drag_ms}ms"), res.waves().to_string(), secs(res.completion_secs())]);
-            records.push(Record::from_result(
-                "ablation-drag", &wl.name, ProtocolChoice::Pcl, "tcp",
-                "drag_ms", drag_ms as f64, &res,
-            ));
-        }
-        print_table("Ablation 4 — blocking-stream drag (bt.B.64, Pcl, 1 server, 30 s period)", &["drag/op", "waves", "time(s)"], &rows);
-    }
-
-    save_records(&args, "ablations", &records);
+    figures::ablation_design::run(&args, &MemoCache::new());
 }

@@ -1,38 +1,24 @@
-//! Run every figure/table harness in sequence (fast mode by default).
+//! Run every figure/table harness in one process (fast mode by default),
+//! sharing one `MemoCache` so configurations that recur across figures
+//! (e.g. Fig. 7's and Fig. 8's common baselines) are simulated once.
 //!
 //! ```sh
-//! cargo run --release -p ftmpi-bench --bin all_figures [-- --full]
+//! cargo run --release -p ftmpi-bench --bin all_figures [-- --full] [-- --jobs N]
 //! ```
 
-use std::process::Command;
+use ftmpi_bench::{figures, HarnessArgs, MemoCache};
 
 fn main() {
-    let pass_full = std::env::args().any(|a| a == "--full");
-    let bins = [
-        "calibrate",
-        "fig5_servers",
-        "fig6_scaling",
-        "fig7_myrinet",
-        "fig8_myrinet_scaling",
-        "fig9_grid400",
-        "fig10_grid_scaling",
-        "netpipe",
-        "recovery_cost",
-        "ablation_design",
-        "mttf_period",
-        "logging_vs_coordinated",
-        "future_work",
-    ];
-    let exe = std::env::current_exe().expect("current exe");
-    let dir = exe.parent().expect("bin dir");
-    for bin in bins {
-        println!("\n################ {bin} ################");
-        let mut cmd = Command::new(dir.join(bin));
-        if pass_full && bin != "calibrate" && bin != "netpipe" {
-            cmd.arg("--full");
-        }
-        let status = cmd.status().unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
-        assert!(status.success(), "{bin} failed with {status}");
+    let args = HarnessArgs::parse();
+    let cache = MemoCache::new();
+    for (name, run) in figures::ALL {
+        println!("\n################ {name} ################");
+        run(&args, &cache);
     }
+    let (hits, misses) = cache.stats();
     println!("\nAll experiments done; records in results/*.json");
+    println!(
+        "memo cache: {} configurations, {hits} hits / {misses} misses",
+        cache.len()
+    );
 }

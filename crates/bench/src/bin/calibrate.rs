@@ -1,96 +1,13 @@
-//! Calibration probe: prints the simulated completion time, wave behaviour
-//! and simulation cost of the headline configurations, so the machine rates
-//! and FT parameters recorded in EXPERIMENTS.md can be sanity-checked.
+//! Thin wrapper over [`ftmpi_bench::figures::calibrate`] — see that module for
+//! the experiment's documentation.
+//!
+//! ```sh
+//! cargo run --release -p ftmpi-bench --bin calibrate [-- --full] [-- --jobs N]
+//! ```
 
-use std::time::Instant;
-
-use ftmpi_bench::{bt_workload, cg_workload, cluster_spec, myrinet_spec, print_table, secs};
-use ftmpi_core::{run_job, ProtocolChoice};
-use ftmpi_nas::NasClass;
-use ftmpi_net::SoftwareStack;
-use ftmpi_sim::SimDuration;
+use ftmpi_bench::{figures, HarnessArgs, MemoCache};
 
 fn main() {
-    let mut rows = Vec::new();
-    for (label, spec) in [
-        (
-            "bt.B.64 nockpt",
-            cluster_spec(
-                &bt_workload(NasClass::B, 64),
-                64,
-                ProtocolChoice::Dummy,
-                4,
-                SimDuration::from_secs(30),
-            ),
-        ),
-        (
-            "bt.B.64 pcl/30s/4srv",
-            cluster_spec(
-                &bt_workload(NasClass::B, 64),
-                64,
-                ProtocolChoice::Pcl,
-                4,
-                SimDuration::from_secs(30),
-            ),
-        ),
-        (
-            "bt.B.64 vcl/30s/4srv",
-            cluster_spec(
-                &bt_workload(NasClass::B, 64),
-                64,
-                ProtocolChoice::Vcl,
-                4,
-                SimDuration::from_secs(30),
-            ),
-        ),
-        (
-            "cg.C.64 nockpt/nemesis",
-            myrinet_spec(
-                &cg_workload(NasClass::C, 64),
-                64,
-                ProtocolChoice::Dummy,
-                SoftwareStack::NemesisGm,
-                2,
-                SimDuration::from_secs(30),
-            ),
-        ),
-        (
-            "cg.C.64 pcl/nemesis/30s",
-            myrinet_spec(
-                &cg_workload(NasClass::C, 64),
-                64,
-                ProtocolChoice::Pcl,
-                SoftwareStack::NemesisGm,
-                2,
-                SimDuration::from_secs(30),
-            ),
-        ),
-        (
-            "cg.C.64 vcl/30s",
-            myrinet_spec(
-                &cg_workload(NasClass::C, 64),
-                64,
-                ProtocolChoice::Vcl,
-                SoftwareStack::VclDaemon,
-                2,
-                SimDuration::from_secs(30),
-            ),
-        ),
-    ] {
-        let wall = Instant::now();
-        let res = run_job(spec).expect(label);
-        rows.push(vec![
-            label.to_string(),
-            secs(res.completion_secs()),
-            res.waves().to_string(),
-            secs(res.ft.mean_wave_duration().map(|d| d.as_secs_f64()).unwrap_or(0.0)),
-            res.events.to_string(),
-            format!("{:.1}", wall.elapsed().as_secs_f64()),
-        ]);
-    }
-    print_table(
-        "calibration",
-        &["config", "T(s)", "waves", "wave(s)", "events", "wall(s)"],
-        &rows,
-    );
+    let args = HarnessArgs::parse();
+    figures::calibrate::run(&args, &MemoCache::new());
 }

@@ -1,79 +1,13 @@
-//! Fig. 10 — Impact of large scale on blocking checkpointing: BT class B at
-//! a varying number of processes distributed over the grid; completion time
-//! without checkpoints, with a 60 s wave period, and the number of waves.
-//!
-//! Paper shapes: BT.B does not scale on a grid deployment (it is a stress
-//! test); the checkpoint-free execution slows at 529 processes (remote,
-//! heterogeneous clusters join in), which gives the checkpointed execution
-//! time for more waves — and since completion time is proportional to wave
-//! count, the gap widens at the largest size. The Vcl implementation cannot
-//! run at all at this scale (select() limit), as the paper reports.
+//! Thin wrapper over [`ftmpi_bench::figures::fig10_grid_scaling`] — see that module for
+//! the experiment's documentation.
 //!
 //! ```sh
-//! cargo run --release -p ftmpi-bench --bin fig10_grid_scaling [-- --full]
+//! cargo run --release -p ftmpi-bench --bin fig10_grid_scaling [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{bt_workload, grid_spec, print_table, save_records, secs, HarnessArgs, Record};
-use ftmpi_core::{run_job, JobError, ProtocolChoice};
-use ftmpi_nas::NasClass;
-use ftmpi_sim::SimDuration;
+use ftmpi_bench::{figures, HarnessArgs, MemoCache};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let sizes: &[usize] = if args.fast {
-        &[100, 256, 400, 529]
-    } else {
-        &[100, 169, 256, 324, 400, 529]
-    };
-    // The paper uses 60 s between checkpoints; our grid runs are ≈10×
-    // shorter (see fig9_grid400's note), so 10 s lands in the same
-    // waves-per-run regime.
-    let period = SimDuration::from_secs(10);
-
-    // The paper could not run Vcl beyond ~300 processes: demonstrate the
-    // same failure mode up front.
-    {
-        let wl = bt_workload(NasClass::B, 400);
-        let mut spec = grid_spec(&wl, 400, ProtocolChoice::Vcl, period);
-        spec.stack = None;
-        match run_job(spec) {
-            Err(JobError::VclProcessLimit { requested, limit }) => println!(
-                "vcl at {requested} processes: refused (select() multiplexing limit {limit}) — as in §5.4"
-            ),
-            other => panic!("expected Vcl scale failure, got {other:?}"),
-        }
-    }
-
-    let mut rows = Vec::new();
-    let mut records = Vec::new();
-    for &n in sizes {
-        let wl = bt_workload(NasClass::B, n);
-        // At 529 ranks the grid only has room for 2 servers per cluster
-        // (544 nodes total).
-        let servers = if n > 500 { 2 } else { 4 };
-        let mut base_spec = grid_spec(&wl, n, ProtocolChoice::Dummy, period);
-        base_spec.servers = servers;
-        let base = run_job(base_spec).expect("baseline");
-        let mut ckpt_spec = grid_spec(&wl, n, ProtocolChoice::Pcl, period);
-        ckpt_spec.servers = servers;
-        let ckpt = run_job(ckpt_spec).expect("pcl");
-        rows.push(vec![
-            n.to_string(),
-            secs(base.completion_secs()),
-            secs(ckpt.completion_secs()),
-            ckpt.waves().to_string(),
-        ]);
-        records.push(Record::from_result(
-            "fig10", &wl.name, ProtocolChoice::Dummy, "tcp-grid", "nprocs", n as f64, &base,
-        ));
-        records.push(Record::from_result(
-            "fig10", &wl.name, ProtocolChoice::Pcl, "tcp-grid", "nprocs", n as f64, &ckpt,
-        ));
-    }
-    print_table(
-        "Fig.10 — BT.B on the grid vs. #processes (Pcl, 10 s period)",
-        &["procs", "nockpt(s)", "ckpt10s(s)", "waves"],
-        &rows,
-    );
-    save_records(&args, "fig10", &records);
+    figures::fig10_grid_scaling::run(&args, &MemoCache::new());
 }

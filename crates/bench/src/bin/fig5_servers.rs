@@ -1,72 +1,13 @@
-//! Fig. 5 — Impact of the number of checkpoint servers on BT class B for 64
-//! processes with a 30 s period between checkpoints.
-//!
-//! Paper shape: Pcl's completion time decreases as checkpoint servers are
-//! added (image transfers stop contending for bandwidth and the wave cycle
-//! shortens) while Vcl's stays almost constant — the time saved on
-//! transfers is spent running *more* waves (bottom panel).
+//! Thin wrapper over [`ftmpi_bench::figures::fig5_servers`] — see that module for
+//! the experiment's documentation.
 //!
 //! ```sh
-//! cargo run --release -p ftmpi-bench --bin fig5_servers [-- --full]
+//! cargo run --release -p ftmpi-bench --bin fig5_servers [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{bt_workload, cluster_spec, print_table, proto_name, save_records, secs, HarnessArgs, Record};
-use ftmpi_core::{run_job, ProtocolChoice};
-use ftmpi_nas::NasClass;
-use ftmpi_sim::SimDuration;
+use ftmpi_bench::{figures, HarnessArgs, MemoCache};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let nranks = 64;
-    let wl = bt_workload(NasClass::B, nranks);
-    let period = SimDuration::from_secs(30);
-    let servers: &[usize] = &[1, 2, 4, 8];
-
-    let mut rows = Vec::new();
-    let mut records = Vec::new();
-    // No-checkpoint reference.
-    {
-        let mut spec = cluster_spec(&wl, nranks, ProtocolChoice::Dummy, 1, period);
-        spec.single_threshold = 32; // 64 procs over 32 dual-processor nodes
-        let res = run_job(spec).expect("baseline");
-        rows.push(vec![
-            "nockpt".into(),
-            "-".into(),
-            secs(res.completion_secs()),
-            "0".into(),
-            "-".into(),
-        ]);
-        records.push(Record::from_result(
-            "fig5", &wl.name, ProtocolChoice::Dummy, "tcp", "servers", 0.0, &res,
-        ));
-    }
-    for &proto in &[ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
-        for &s in servers {
-            let mut spec = cluster_spec(&wl, nranks, proto, s, period);
-            spec.single_threshold = 32;
-            let res = run_job(spec).expect("run");
-            rows.push(vec![
-                proto_name(proto).into(),
-                s.to_string(),
-                secs(res.completion_secs()),
-                res.waves().to_string(),
-                secs(res.ft.mean_wave_duration().map(|d| d.as_secs_f64()).unwrap_or(0.0)),
-            ]);
-            records.push(Record::from_result(
-                "fig5",
-                &wl.name,
-                proto,
-                if proto == ProtocolChoice::Vcl { "vcl-daemon" } else { "tcp" },
-                "servers",
-                s as f64,
-                &res,
-            ));
-        }
-    }
-    print_table(
-        "Fig.5 — BT.B/64, 30 s period: completion time and waves vs. #checkpoint servers",
-        &["proto", "servers", "time(s)", "waves", "wave(s)"],
-        &rows,
-    );
-    save_records(&args, "fig5", &records);
+    figures::fig5_servers::run(&args, &MemoCache::new());
 }

@@ -1,89 +1,13 @@
-//! Fig. 6 — Execution time of BT class B as a function of the number of
-//! processes, for four times between checkpoints (10/30/60/120 s), with 9
-//! checkpoint servers; compared to checkpoint-free executions.
-//!
-//! Paper shapes: without checkpoints both implementations scale similarly;
-//! a slowdown appears above 144 processes when two ranks share a node's NIC
-//! (the dip at 169); at 10 s periods the blocking protocol degrades badly
-//! (it "spends most of the time synchronizing"), while for sensible periods
-//! checkpointing overhead does not grow with the number of nodes.
+//! Thin wrapper over [`ftmpi_bench::figures::fig6_scaling`] — see that module for
+//! the experiment's documentation.
 //!
 //! ```sh
-//! cargo run --release -p ftmpi-bench --bin fig6_scaling [-- --full]
+//! cargo run --release -p ftmpi-bench --bin fig6_scaling [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{bt_workload, cluster_spec, print_table, save_records, secs, HarnessArgs, Record};
-use ftmpi_core::{run_job, ProtocolChoice};
-use ftmpi_nas::NasClass;
-use ftmpi_net::SoftwareStack;
-use ftmpi_sim::SimDuration;
+use ftmpi_bench::{figures, HarnessArgs, MemoCache};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let sizes: Vec<usize> = if args.fast {
-        vec![4, 16, 36, 64, 100, 144, 169, 196, 256]
-    } else {
-        ftmpi_nas::bt::square_sizes(4, 256)
-    };
-    let periods_s: &[u64] = if args.fast { &[10, 60] } else { &[10, 30, 60, 120] };
-
-    let mut records = Vec::new();
-    for &period_s in periods_s {
-        let period = SimDuration::from_secs(period_s);
-        let mut rows = Vec::new();
-        for &n in &sizes {
-            let wl = bt_workload(NasClass::B, n);
-            let mut cells = vec![n.to_string()];
-            // Checkpoint-free baselines of both implementations.
-            for (label, proto, stack) in [
-                ("mpich2", ProtocolChoice::Dummy, SoftwareStack::TcpSock),
-                ("mpichv", ProtocolChoice::Dummy, SoftwareStack::VclDaemon),
-            ] {
-                let mut spec = cluster_spec(&wl, n, ProtocolChoice::Dummy, 9, period);
-                spec.stack = Some(stack);
-                let res = run_job(spec).expect("baseline");
-                cells.push(secs(res.completion_secs()));
-                records.push(Record::from_result(
-                    &format!("fig6-{period_s}s"),
-                    &wl.name,
-                    proto,
-                    label,
-                    "nprocs",
-                    n as f64,
-                    &res,
-                ));
-            }
-            // Checkpointing runs.
-            for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
-                let spec = cluster_spec(&wl, n, proto, 9, period);
-                match run_job(spec) {
-                    Ok(res) => {
-                        cells.push(secs(res.completion_secs()));
-                        cells.push(res.waves().to_string());
-                        records.push(Record::from_result(
-                            &format!("fig6-{period_s}s"),
-                            &wl.name,
-                            proto,
-                            if proto == ProtocolChoice::Vcl { "vcl-daemon" } else { "tcp" },
-                            "nprocs",
-                            n as f64,
-                            &res,
-                        ));
-                    }
-                    Err(e) => {
-                        // Vcl's select() limit would trip above 300 procs.
-                        cells.push(format!("({e:.0?})").chars().take(8).collect());
-                        cells.push("-".into());
-                    }
-                }
-            }
-            rows.push(cells);
-        }
-        print_table(
-            &format!("Fig.6 — BT.B vs. #processes, {period_s} s between checkpoints, 9 servers"),
-            &["procs", "nockpt-mpich2", "nockpt-mpichv", "pcl", "pcl-w", "vcl", "vcl-w"],
-            &rows,
-        );
-    }
-    save_records(&args, "fig6", &records);
+    figures::fig6_scaling::run(&args, &MemoCache::new());
 }

@@ -1,66 +1,13 @@
-//! Fig. 8 — Impact of the size of the system for a varying number of
-//! checkpoint waves over the high-speed network: CG class C at 4–64
-//! processes, Pcl over Nemesis/GM.
-//!
-//! Paper shapes: every size's completion time grows linearly with the
-//! number of waves with approximately the same slope (the checkpoint cost
-//! is not sensitive to the process count up to these sizes), and the 32-
-//! and 64-process curves nearly coincide because CG.C is I/O bound and the
-//! 64-process deployment shares each node's NIC between two ranks.
+//! Thin wrapper over [`ftmpi_bench::figures::fig8_myrinet_scaling`] — see that module for
+//! the experiment's documentation.
 //!
 //! ```sh
-//! cargo run --release -p ftmpi-bench --bin fig8_myrinet_scaling [-- --full]
+//! cargo run --release -p ftmpi-bench --bin fig8_myrinet_scaling [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{cg_workload, myrinet_spec, print_table, save_records, secs, HarnessArgs, Record};
-use ftmpi_core::{run_job, ProtocolChoice};
-use ftmpi_nas::NasClass;
-use ftmpi_net::SoftwareStack;
-use ftmpi_sim::SimDuration;
+use ftmpi_bench::{figures, HarnessArgs, MemoCache};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let sizes: &[usize] = if args.fast { &[4, 16, 32, 64] } else { &[4, 8, 16, 32, 64] };
-    let periods_s: Vec<f64> = if args.fast {
-        vec![f64::INFINITY, 20.0, 5.0]
-    } else {
-        vec![f64::INFINITY, 60.0, 20.0, 10.0, 5.0]
-    };
-
-    let mut rows = Vec::new();
-    let mut records = Vec::new();
-    for &n in sizes {
-        let wl = cg_workload(NasClass::C, n);
-        for &p in &periods_s {
-            let (proto, period) = if p.is_infinite() {
-                (ProtocolChoice::Dummy, SimDuration::from_secs(3600))
-            } else {
-                (ProtocolChoice::Pcl, SimDuration::from_secs_f64(p))
-            };
-            let mut spec = myrinet_spec(&wl, n, proto, SoftwareStack::NemesisGm, 2, period);
-            spec.single_threshold = 32; // 64 procs → two per node
-            let res = run_job(spec).expect("run");
-            rows.push(vec![
-                n.to_string(),
-                if p.is_infinite() { "-".into() } else { format!("{p:.0}") },
-                res.waves().to_string(),
-                secs(res.completion_secs()),
-            ]);
-            records.push(Record::from_result(
-                "fig8",
-                &wl.name,
-                proto,
-                "pcl-nemesis",
-                "waves",
-                res.waves() as f64,
-                &res,
-            ));
-        }
-    }
-    print_table(
-        "Fig.8 — CG.C at 4..64 procs over Nemesis/GM: completion vs. waves",
-        &["procs", "period(s)", "waves", "time(s)"],
-        &rows,
-    );
-    save_records(&args, "fig8", &records);
+    figures::fig8_myrinet_scaling::run(&args, &MemoCache::new());
 }

@@ -1,68 +1,13 @@
-//! Fig. 9 — Impact of checkpoint frequency on blocking checkpointing at
-//! large scale: BT class B with 400 processes distributed over the grid,
-//! each node using a checkpoint server local to its cluster.
-//!
-//! Paper shapes (left panel): as the time between checkpoints shrinks, the
-//! number of completed waves grows and the completion time grows with it;
-//! (right panel, same data re-keyed): even on a grid deployment, execution
-//! time is linear in the number of checkpoint waves.
-//!
-//! Period scaling: the simulated BT.B/400 grid run is ≈10× shorter than
-//! the paper's (the WAN pipeline is simulated with batched sweep stages —
-//! see `ftmpi_nas::bt::MAX_SIM_STAGES`), so the sweep uses periods ≈10×
-//! shorter than the paper's 30–480 s to land in the same waves-per-run
-//! regime. The claims under test (waves ∝ frequency, time linear in
-//! waves) are scale-free.
+//! Thin wrapper over [`ftmpi_bench::figures::fig9_grid400`] — see that module for
+//! the experiment's documentation.
 //!
 //! ```sh
-//! cargo run --release -p ftmpi-bench --bin fig9_grid400 [-- --full]
+//! cargo run --release -p ftmpi-bench --bin fig9_grid400 [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{bt_workload, grid_spec, print_table, save_records, secs, HarnessArgs, Record};
-use ftmpi_core::{run_job, ProtocolChoice};
-use ftmpi_nas::NasClass;
-use ftmpi_sim::SimDuration;
+use ftmpi_bench::{figures, HarnessArgs, MemoCache};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let nranks = 400;
-    let wl = bt_workload(NasClass::B, nranks);
-    let periods_s: Vec<f64> = if args.fast {
-        vec![f64::INFINITY, 15.0, 5.0, 1.0]
-    } else {
-        vec![f64::INFINITY, 30.0, 15.0, 10.0, 5.0, 3.0, 1.0]
-    };
-
-    let mut rows = Vec::new();
-    let mut records = Vec::new();
-    for &p in &periods_s {
-        let (proto, period) = if p.is_infinite() {
-            (ProtocolChoice::Dummy, SimDuration::from_secs(3600))
-        } else {
-            (ProtocolChoice::Pcl, SimDuration::from_secs_f64(p))
-        };
-        let spec = grid_spec(&wl, nranks, proto, period);
-        let res = run_job(spec).expect("run");
-        rows.push(vec![
-            if p.is_infinite() { "nockpt".into() } else { format!("{p:.0}") },
-            res.waves().to_string(),
-            secs(res.completion_secs()),
-        ]);
-        records.push(Record::from_result(
-            "fig9",
-            &wl.name,
-            proto,
-            "tcp-grid",
-            "period_s",
-            if p.is_infinite() { 0.0 } else { p },
-            &res,
-        ));
-    }
-    print_table(
-        "Fig.9 — BT.B/400 on the grid (Pcl): period → waves → completion",
-        &["period(s)", "waves", "time(s)"],
-        &rows,
-    );
-    println!("(right panel = the same rows keyed by the waves column)");
-    save_records(&args, "fig9", &records);
+    figures::fig9_grid400::run(&args, &MemoCache::new());
 }

@@ -1,115 +1,13 @@
-//! The paper's stated future work, evaluated ahead of time:
-//!
-//! 1. **Vcl over Nemesis** — "We plan to integrate this protocol in the
-//!    MPICH2-Nemesis framework in order to improve its performances and
-//!    evaluate it on high speed networks." In the simulation this is just
-//!    the non-blocking engine over the OS-bypass stack: it keeps Vcl's
-//!    flat wave-cost curve while shedding the daemon's per-message copies.
-//!
-//! 2. **Failure-prediction triggers** — "Components detecting an
-//!    increasing failure probability (e.g. through their CPU temperature
-//!    probe) should also trigger a checkpoint wave": a proactive wave
-//!    fired shortly before a (predicted) failure bounds the lost work to
-//!    the prediction horizon instead of the checkpoint period.
+//! Thin wrapper over [`ftmpi_bench::figures::future_work`] — see that module for
+//! the experiment's documentation.
 //!
 //! ```sh
-//! cargo run --release -p ftmpi-bench --bin future_work [-- --full]
+//! cargo run --release -p ftmpi-bench --bin future_work [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{cg_workload, myrinet_spec, print_table, save_records, secs, HarnessArgs, Record};
-use ftmpi_core::{run_job, FailurePlan, ProtocolChoice};
-use ftmpi_nas::NasClass;
-use ftmpi_net::SoftwareStack;
-use ftmpi_sim::{SimDuration, SimTime};
+use ftmpi_bench::{figures, HarnessArgs, MemoCache};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let mut records = Vec::new();
-
-    // ---- Part 1: Vcl over Nemesis on the Myrinet CG benchmark (Fig. 7's
-    // setting, adding the series the paper wished it had).
-    {
-        let nranks = if args.fast { 16 } else { 64 };
-        let class = if args.fast { NasClass::B } else { NasClass::C };
-        let wl = cg_workload(class, nranks);
-        let periods: &[f64] = if args.fast { &[f64::INFINITY, 15.0, 5.0] } else { &[f64::INFINITY, 30.0, 15.0, 10.0, 5.0] };
-        let mut rows = Vec::new();
-        for &(label, proto, stack) in &[
-            ("pcl-nemesis", ProtocolChoice::Pcl, SoftwareStack::NemesisGm),
-            ("vcl-daemon", ProtocolChoice::Vcl, SoftwareStack::VclDaemon),
-            ("vcl-nemesis (future)", ProtocolChoice::Vcl, SoftwareStack::NemesisGm),
-        ] {
-            for &p in periods {
-                let (proto_eff, period) = if p.is_infinite() {
-                    (ProtocolChoice::Dummy, SimDuration::from_secs(3600))
-                } else {
-                    (proto, SimDuration::from_secs_f64(p))
-                };
-                let mut spec = myrinet_spec(&wl, nranks, proto_eff, stack, 2, period);
-                spec.single_threshold = 32;
-                let res = run_job(spec).expect(label);
-                rows.push(vec![
-                    label.into(),
-                    if p.is_infinite() { "-".into() } else { format!("{p:.0}") },
-                    res.waves().to_string(),
-                    secs(res.completion_secs()),
-                ]);
-                records.push(Record::from_result(
-                    "future-vcl-nemesis", &wl.name, proto_eff, label, "waves",
-                    res.waves() as f64, &res,
-                ));
-            }
-        }
-        print_table(
-            &format!("Future work 1 — Vcl over Nemesis ({}, Myrinet)", wl.name),
-            &["series", "period(s)", "waves", "time(s)"],
-            &rows,
-        );
-        println!("(non-blocking + OS-bypass: flat in waves *and* low base — best of both)");
-    }
-
-    // ---- Part 2: proactive wave triggered just before a predicted failure.
-    {
-        let wl = ftmpi_bench::bt_workload(NasClass::A, 16);
-        let kill_s = 40.0;
-        let mk = |proto: ProtocolChoice, period_s: f64, predict_lead: Option<f64>| {
-            let mut spec = ftmpi_bench::cluster_spec(
-                &wl, 16, proto, 2, SimDuration::from_secs_f64(period_s),
-            );
-            spec.failures = FailurePlan::kill_at(
-                SimTime::from_nanos((kill_s * 1e9) as u64), 7,
-            );
-            if let Some(lead) = predict_lead {
-                let at = SimTime::from_nanos(((kill_s - lead) * 1e9) as u64);
-                spec.wave_triggers = vec![at];
-            }
-            run_job(spec).expect("run")
-        };
-        let mut rows = Vec::new();
-        for (label, proto, period, lead) in [
-            ("pcl, 120 s period", ProtocolChoice::Pcl, 120.0, None),
-            ("pcl, 120 s + predictor", ProtocolChoice::Pcl, 120.0, Some(5.0)),
-            ("vcl, 120 s period", ProtocolChoice::Vcl, 120.0, None),
-            ("vcl, 120 s + predictor", ProtocolChoice::Vcl, 120.0, Some(5.0)),
-        ] {
-            let res = mk(proto, period, lead);
-            rows.push(vec![
-                label.into(),
-                res.waves().to_string(),
-                secs(res.completion_secs()),
-            ]);
-            records.push(Record::from_result(
-                "future-proactive", &wl.name, proto, "tcp", "predictor",
-                lead.unwrap_or(0.0), &res,
-            ));
-        }
-        print_table(
-            "Future work 2 — failure-prediction trigger (bt.A.16, kill at 40 s)",
-            &["config", "waves", "time(s)"],
-            &rows,
-        );
-        println!("(a proactive wave 5 s before the failure bounds the rollback)");
-    }
-
-    save_records(&args, "future_work", &records);
+    figures::future_work::run(&args, &MemoCache::new());
 }

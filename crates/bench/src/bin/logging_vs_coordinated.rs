@@ -1,77 +1,13 @@
-//! §2 comparison — message logging vs. coordinated checkpointing.
-//!
-//! The paper motivates coordinated checkpointing by noting that message
-//! logging's "overhead induced during failure-free execution decreases the
-//! performance in reliable environments, such as clusters", while its
-//! advantage is cheap recovery (only the failed rank rolls back). This
-//! bench quantifies both sides of that trade-off in one table:
-//!
-//! * failure-free completion time (logging pays a synchronous log
-//!   round-trip per message — worst for latency-bound CG);
-//! * completion time with one mid-run failure (coordinated rolls every
-//!   rank back to the last wave; logging restarts one rank).
+//! Thin wrapper over [`ftmpi_bench::figures::logging_vs_coordinated`] — see that module for
+//! the experiment's documentation.
 //!
 //! ```sh
-//! cargo run --release -p ftmpi-bench --bin logging_vs_coordinated [-- --full]
+//! cargo run --release -p ftmpi-bench --bin logging_vs_coordinated [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{bt_workload, cg_workload, cluster_spec, print_table, proto_name, save_records, secs, HarnessArgs, Record};
-use ftmpi_core::{run_job, FailurePlan, ProtocolChoice};
-use ftmpi_nas::NasClass;
-use ftmpi_net::SoftwareStack;
-use ftmpi_sim::{SimDuration, SimTime};
+use ftmpi_bench::{figures, HarnessArgs, MemoCache};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let mut records = Vec::new();
-
-    let cases: Vec<(&str, ftmpi_nas::Workload, usize)> = vec![
-        ("bt (bandwidth/compute)", bt_workload(NasClass::A, 16), 16),
-        ("cg (latency-bound)", cg_workload(NasClass::B, 16), 16),
-    ];
-    for (label, wl, nranks) in cases {
-        let clean_base = {
-            let mut spec = cluster_spec(&wl, nranks, ProtocolChoice::Dummy, 2, SimDuration::from_secs(10));
-            spec.stack = Some(SoftwareStack::TcpSock);
-            run_job(spec).expect("baseline").completion_secs()
-        };
-        let kill = SimTime::from_nanos((clean_base * 0.6 * 1e9) as u64);
-        let mut rows = Vec::new();
-        for proto in [ProtocolChoice::Vcl, ProtocolChoice::Pcl, ProtocolChoice::Mlog] {
-            let mk = |failures: FailurePlan| {
-                let mut spec =
-                    cluster_spec(&wl, nranks, proto, 2, SimDuration::from_secs(10));
-                // Identical stack isolates the protocol cost itself.
-                spec.stack = Some(SoftwareStack::TcpSock);
-                spec.failures = failures;
-                run_job(spec).expect("run")
-            };
-            let clean = mk(FailurePlan::none());
-            let failed = mk(FailurePlan::kill_at(kill, nranks / 2));
-            rows.push(vec![
-                proto_name(proto).into(),
-                secs(clean.completion_secs()),
-                format!("{:+.1}%", (clean.completion_secs() / clean_base - 1.0) * 100.0),
-                secs(failed.completion_secs()),
-                secs(failed.completion_secs() - clean.completion_secs()),
-            ]);
-            records.push(Record::from_result(
-                "logging-vs-coordinated-clean", &wl.name, proto, "tcp", "case", 0.0, &clean,
-            ));
-            records.push(Record::from_result(
-                "logging-vs-coordinated-failed", &wl.name, proto, "tcp", "case", 1.0, &failed,
-            ));
-        }
-        print_table(
-            &format!(
-                "§2 trade-off — {} ({}), 10 s checkpoint period, baseline {:.1} s",
-                wl.name, label, clean_base
-            ),
-            &["proto", "clean(s)", "overhead", "1 failure(s)", "failure cost(s)"],
-            &rows,
-        );
-    }
-    println!("\nCoordinated protocols are near-free without failures but roll everyone");
-    println!("back on one; logging taxes every message but restarts a single rank.");
-    save_records(&args, "logging_vs_coordinated", &records);
+    figures::logging_vs_coordinated::run(&args, &MemoCache::new());
 }

@@ -1,65 +1,13 @@
-//! Extension experiment — recovery cost: the paper validates that both
-//! protocols restart from the last committed wave; here we measure what a
-//! failure costs end-to-end for each protocol, and how the cost moves with
-//! the checkpoint period (the conclusion's observation that the best period
-//! tracks the system MTTF).
+//! Thin wrapper over [`ftmpi_bench::figures::recovery_cost`] — see that module for
+//! the experiment's documentation.
 //!
 //! ```sh
-//! cargo run --release -p ftmpi-bench --bin recovery_cost [-- --full]
+//! cargo run --release -p ftmpi-bench --bin recovery_cost [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{bt_workload, cluster_spec, print_table, proto_name, save_records, secs, HarnessArgs, Record};
-use ftmpi_core::{run_job, FailurePlan, ProtocolChoice};
-use ftmpi_nas::NasClass;
-use ftmpi_sim::{SimDuration, SimTime};
+use ftmpi_bench::{figures, HarnessArgs, MemoCache};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let nranks = 16;
-    let wl = bt_workload(NasClass::A, nranks);
-
-    // Failure-free baseline.
-    let base = run_job(cluster_spec(
-        &wl,
-        nranks,
-        ProtocolChoice::Dummy,
-        2,
-        SimDuration::from_secs(30),
-    ))
-    .expect("baseline");
-    println!("bt.A.16 failure-free baseline: {:.1} s", base.completion_secs());
-
-    let kill_at = SimTime::from_nanos((base.completion_secs() * 0.6 * 1e9) as u64);
-    let periods: &[f64] = if args.fast { &[5.0, 15.0, 60.0] } else { &[2.0, 5.0, 10.0, 15.0, 30.0, 60.0] };
-
-    let mut rows = Vec::new();
-    let mut records = Vec::new();
-    for &proto in &[ProtocolChoice::Pcl, ProtocolChoice::Vcl, ProtocolChoice::Dummy] {
-        for &p in periods {
-            if proto == ProtocolChoice::Dummy && p != periods[0] {
-                continue; // period is meaningless without checkpoints
-            }
-            let mut spec = cluster_spec(&wl, nranks, proto, 2, SimDuration::from_secs_f64(p));
-            spec.failures = FailurePlan::kill_at(kill_at, nranks / 2);
-            let res = run_job(spec).expect("run");
-            let lost = res.completion_secs() - base.completion_secs();
-            rows.push(vec![
-                proto_name(proto).into(),
-                if proto == ProtocolChoice::Dummy { "-".into() } else { format!("{p:.0}") },
-                res.waves().to_string(),
-                secs(res.completion_secs()),
-                secs(lost),
-            ]);
-            records.push(Record::from_result(
-                "recovery", &wl.name, proto, "tcp", "period_s", p, &res,
-            ));
-        }
-    }
-    print_table(
-        "Recovery cost — bt.A.16, one task killed at 60% of the run",
-        &["proto", "period(s)", "waves", "time(s)", "cost-vs-base(s)"],
-        &rows,
-    );
-    println!("(dummy = restart from scratch: the whole prefix is lost)");
-    save_records(&args, "recovery", &records);
+    figures::recovery_cost::run(&args, &MemoCache::new());
 }

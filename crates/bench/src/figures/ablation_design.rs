@@ -1,0 +1,200 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Marker gating** — Pcl markers handled only when the progress engine
+//!    runs (faithful) vs. asynchronously on arrival: how much of the
+//!    blocking protocol's cost is the wait for compute phases to end?
+//! 2. **Stream chunk size** — the granularity at which checkpoint streams
+//!    interleave with MPI traffic.
+//! 3. **Fork cost** — the pause every checkpoint inflicts on its rank.
+//! 4. **Progress-engine drag** — the blocking implementation's
+//!    image-streaming interference (set to zero, Pcl transfers become as
+//!    invisible as Vcl's, flattening Fig. 5's Pcl curve).
+
+use std::sync::Arc;
+
+use ftmpi_core::ProtocolChoice;
+use ftmpi_nas::NasClass;
+use ftmpi_net::SoftwareStack;
+use ftmpi_sim::SimDuration;
+
+use crate::{
+    bt_workload, cg_workload, cluster_spec, myrinet_spec, print_table, save_records, secs,
+    HarnessArgs, MemoCache, Record,
+};
+
+/// Run all four ablations as one sweep and render their tables + records.
+pub fn run(args: &HarnessArgs, cache: &Arc<MemoCache>) {
+    let mut runner = args.sweep(cache);
+
+    // 1. Marker gating (CG is latency-bound: gating matters most there).
+    let wl_markers = cg_workload(NasClass::B, 16);
+    const MARKER_MODES: [(&str, bool); 2] =
+        [("in-library (paper)", false), ("async (ablation)", true)];
+    for (label, async_markers) in MARKER_MODES {
+        let mut spec = myrinet_spec(
+            &wl_markers,
+            16,
+            ProtocolChoice::Pcl,
+            SoftwareStack::NemesisGm,
+            2,
+            SimDuration::from_secs(5),
+        );
+        spec.ft.pcl_async_markers = async_markers;
+        runner.add_spec(format!("ablation/markers/{label}"), &wl_markers.name, spec);
+    }
+
+    // 2. Chunk size.
+    let wl_small = bt_workload(NasClass::A, 16);
+    let chunks: &[u64] = if args.fast {
+        &[64 << 10, 256 << 10, 4 << 20]
+    } else {
+        &[16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20]
+    };
+    for &chunk in chunks {
+        let mut spec = cluster_spec(
+            &wl_small,
+            16,
+            ProtocolChoice::Vcl,
+            1,
+            SimDuration::from_secs(5),
+        );
+        spec.ft.chunk_bytes = chunk;
+        runner.add_spec(format!("ablation/chunk/{chunk}"), &wl_small.name, spec);
+    }
+
+    // 3. Fork cost.
+    const FORK_MS: [u64; 4] = [0, 30, 200, 1000];
+    for fork_ms in FORK_MS {
+        let mut spec = cluster_spec(
+            &wl_small,
+            16,
+            ProtocolChoice::Pcl,
+            2,
+            SimDuration::from_secs(5),
+        );
+        spec.ft.fork_cost = SimDuration::from_millis(fork_ms);
+        runner.add_spec(format!("ablation/fork/{fork_ms}"), &wl_small.name, spec);
+    }
+
+    // 4. Progress-engine drag.
+    let wl_big = bt_workload(NasClass::B, 64);
+    const DRAG_MS: [u64; 4] = [0, 1, 2, 5];
+    for drag_ms in DRAG_MS {
+        let mut spec = cluster_spec(
+            &wl_big,
+            64,
+            ProtocolChoice::Pcl,
+            1,
+            SimDuration::from_secs(30),
+        );
+        spec.single_threshold = 32;
+        spec.ft.blocking_stream_drag = SimDuration::from_millis(drag_ms);
+        runner.add_spec(format!("ablation/drag/{drag_ms}"), &wl_big.name, spec);
+    }
+
+    let mut results = runner.run().into_iter();
+    let mut records = Vec::new();
+
+    {
+        let mut rows = Vec::new();
+        for (label, async_markers) in MARKER_MODES {
+            let res = results.next().unwrap().expect("run");
+            rows.push(vec![
+                label.into(),
+                res.waves().to_string(),
+                secs(res.completion_secs()),
+            ]);
+            records.push(Record::from_result(
+                "ablation-markers",
+                &wl_markers.name,
+                ProtocolChoice::Pcl,
+                "nemesis",
+                "async",
+                async_markers as u8 as f64,
+                &res,
+            ));
+        }
+        print_table(
+            "Ablation 1 — Pcl marker handling (cg.B.16, 5 s period)",
+            &["markers", "waves", "time(s)"],
+            &rows,
+        );
+    }
+    {
+        let mut rows = Vec::new();
+        for &chunk in chunks {
+            let res = results.next().unwrap().expect("run");
+            rows.push(vec![
+                format!("{}K", chunk >> 10),
+                res.waves().to_string(),
+                secs(res.completion_secs()),
+            ]);
+            records.push(Record::from_result(
+                "ablation-chunk",
+                &wl_small.name,
+                ProtocolChoice::Vcl,
+                "vcl-daemon",
+                "chunk_kib",
+                (chunk >> 10) as f64,
+                &res,
+            ));
+        }
+        print_table(
+            "Ablation 2 — checkpoint stream chunk size (bt.A.16, Vcl, 5 s period)",
+            &["chunk", "waves", "time(s)"],
+            &rows,
+        );
+    }
+    {
+        let mut rows = Vec::new();
+        for fork_ms in FORK_MS {
+            let res = results.next().unwrap().expect("run");
+            rows.push(vec![
+                format!("{fork_ms}ms"),
+                res.waves().to_string(),
+                secs(res.completion_secs()),
+            ]);
+            records.push(Record::from_result(
+                "ablation-fork",
+                &wl_small.name,
+                ProtocolChoice::Pcl,
+                "tcp",
+                "fork_ms",
+                fork_ms as f64,
+                &res,
+            ));
+        }
+        print_table(
+            "Ablation 3 — fork pause (bt.A.16, Pcl, 5 s period)",
+            &["fork", "waves", "time(s)"],
+            &rows,
+        );
+    }
+    {
+        let mut rows = Vec::new();
+        for drag_ms in DRAG_MS {
+            let res = results.next().unwrap().expect("run");
+            rows.push(vec![
+                format!("{drag_ms}ms"),
+                res.waves().to_string(),
+                secs(res.completion_secs()),
+            ]);
+            records.push(Record::from_result(
+                "ablation-drag",
+                &wl_big.name,
+                ProtocolChoice::Pcl,
+                "tcp",
+                "drag_ms",
+                drag_ms as f64,
+                &res,
+            ));
+        }
+        print_table(
+            "Ablation 4 — blocking-stream drag (bt.B.64, Pcl, 1 server, 30 s period)",
+            &["drag/op", "waves", "time(s)"],
+            &rows,
+        );
+    }
+
+    save_records(args, "ablations", &records);
+}

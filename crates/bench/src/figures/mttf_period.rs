@@ -1,0 +1,90 @@
+//! Extension experiment from the paper's conclusion: "Evaluating the MTTF
+//! of the system can significantly improve performances, since the best
+//! value for the checkpoint wave frequency is close to the MTTF."
+//!
+//! Runs BT under a Poisson failure process at a fixed MTTF and sweeps the
+//! checkpoint period: too-frequent waves waste time checkpointing,
+//! too-rare waves lose too much work per failure. The sweet spot sits near
+//! the MTTF.
+
+use std::sync::Arc;
+
+use ftmpi_core::{FailurePlan, ProtocolChoice};
+use ftmpi_nas::NasClass;
+use ftmpi_sim::{SimDuration, SimTime};
+
+use crate::{
+    bt_workload, cluster_spec, print_table, save_records, secs, HarnessArgs, MemoCache, Record,
+};
+
+/// Run the sweep and render table + records.
+pub fn run(args: &HarnessArgs, cache: &Arc<MemoCache>) {
+    let nranks = 16;
+    let wl = bt_workload(NasClass::A, nranks);
+    let mttf = SimDuration::from_secs(40);
+    let horizon = SimTime::from_nanos(3_600_000_000_000); // plan failures for 1 h
+    let seeds: &[u64] = if args.fast {
+        &[11, 23]
+    } else {
+        &[11, 23, 37, 41, 53]
+    };
+    let periods: &[f64] = if args.fast {
+        &[5.0, 20.0, 40.0, 160.0]
+    } else {
+        &[2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0]
+    };
+
+    // The fingerprint covers the materialized kill schedule, so distinct
+    // seeds memoize as distinct configurations.
+    let mut runner = args.sweep(cache);
+    for &p in periods {
+        for &seed in seeds {
+            let mut spec = cluster_spec(
+                &wl,
+                nranks,
+                ProtocolChoice::Pcl,
+                2,
+                SimDuration::from_secs_f64(p),
+            );
+            spec.failures = FailurePlan::poisson(mttf, horizon, nranks, seed);
+            runner.add_spec(format!("mttf/{p}/{seed}"), &wl.name, spec);
+        }
+    }
+
+    let mut results = runner.run().into_iter();
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for &p in periods {
+        let mut total = 0.0;
+        let mut restarts = 0;
+        for _ in seeds {
+            let res = results.next().unwrap().expect("run");
+            total += res.completion_secs();
+            restarts += res.rt.restarts;
+            records.push(Record::from_result(
+                "mttf-period",
+                &wl.name,
+                ProtocolChoice::Pcl,
+                "tcp",
+                "period_s",
+                p,
+                &res,
+            ));
+        }
+        rows.push(vec![
+            format!("{p:.0}"),
+            secs(total / seeds.len() as f64),
+            format!("{:.1}", restarts as f64 / seeds.len() as f64),
+        ]);
+    }
+    print_table(
+        &format!(
+            "MTTF-matched period — bt.A.16, Pcl, Poisson failures (MTTF {} s, {} seeds)",
+            mttf.as_secs_f64(),
+            seeds.len()
+        ),
+        &["period(s)", "mean time(s)", "mean restarts"],
+        &rows,
+    );
+    save_records(args, "mttf_period", &records);
+}

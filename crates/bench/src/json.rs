@@ -1,0 +1,127 @@
+//! Minimal JSON writer for experiment records.
+//!
+//! The offline build cannot use `serde_json`, so records are serialized by
+//! hand in the exact layout `serde_json::to_string_pretty` produced for the
+//! seed repo (2-space indent, `": "` separators, shortest-roundtrip float
+//! formatting) — existing tooling parsing `results/*.json` keeps working,
+//! and byte-identical output is what the `--jobs` determinism guarantee is
+//! stated against.
+
+use std::fmt::Write as _;
+
+/// A JSON value assembled by the record writers.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// A string (escaped on output).
+    Str(String),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float, printed in shortest-roundtrip form (`1.0`, `123.456`).
+    Float(f64),
+}
+
+/// An object as an ordered list of `(key, value)` pairs.
+pub type JsonObject = Vec<(&'static str, JsonValue)>;
+
+/// Serialize a list of objects as a pretty-printed JSON array.
+pub fn to_string_pretty(objects: &[JsonObject]) -> String {
+    let mut out = String::new();
+    if objects.is_empty() {
+        out.push_str("[]");
+        return out;
+    }
+    out.push_str("[\n");
+    for (i, obj) in objects.iter().enumerate() {
+        out.push_str("  {\n");
+        for (j, (key, value)) in obj.iter().enumerate() {
+            let _ = write!(out, "    \"{key}\": ");
+            write_value(&mut out, value);
+            if j + 1 < obj.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  }");
+        if i + 1 < objects.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn write_value(out: &mut String, value: &JsonValue) {
+    match value {
+        JsonValue::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        JsonValue::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        JsonValue::Float(x) => {
+            if x.is_finite() {
+                // `{:?}` is shortest-roundtrip, matching serde_json/ryu for
+                // every value the harness emits (e.g. `0.0`, `64.0`).
+                let _ = write!(out, "{x:?}");
+            } else {
+                out.push_str("null"); // serde_json's encoding of non-finite
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_array() {
+        assert_eq!(to_string_pretty(&[]), "[]");
+    }
+
+    #[test]
+    fn matches_serde_json_pretty_layout() {
+        let objs = vec![vec![
+            ("name", JsonValue::Str("bt.B.64".into())),
+            ("x", JsonValue::Float(64.0)),
+            ("waves", JsonValue::UInt(3)),
+        ]];
+        let expect =
+            "[\n  {\n    \"name\": \"bt.B.64\",\n    \"x\": 64.0,\n    \"waves\": 3\n  }\n]";
+        assert_eq!(to_string_pretty(&objs), expect);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let objs = vec![vec![("s", JsonValue::Str("a\"b\\c\nd".into()))]];
+        assert!(to_string_pretty(&objs).contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn float_formats_are_shortest_roundtrip() {
+        let objs = vec![vec![
+            ("a", JsonValue::Float(0.0)),
+            ("b", JsonValue::Float(123.456)),
+            ("c", JsonValue::Float(1e-9)),
+        ]];
+        let s = to_string_pretty(&objs);
+        assert!(s.contains("0.0"), "{s}");
+        assert!(s.contains("123.456"), "{s}");
+        assert!(s.contains("1e-9"), "{s}");
+    }
+}

@@ -3,21 +3,29 @@
 //! Every binary in `src/bin/` reproduces one table or figure of the paper
 //! (see DESIGN.md §3 for the index). This library holds what they share:
 //! experiment records, an aligned-table printer, JSON persistence under
-//! `results/`, and spec builders for the paper's standard configurations.
+//! `results/`, spec builders for the paper's standard configurations, the
+//! parallel [`sweep`] engine every harness runs on, and the [`figures`]
+//! modules the thin binaries delegate to.
 
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use serde::Serialize;
+pub mod figures;
+pub mod json;
+pub mod sweep;
+
+pub use sweep::{spec_fingerprint, JobOutcome, MemoCache, SweepRunner};
 
 use ftmpi_core::{FtConfig, JobResult, JobSpec, Platform, ProtocolChoice};
 use ftmpi_nas::{bt, cg, Machine, NasClass, Workload};
 use ftmpi_net::{LinkConfig, SoftwareStack};
 use ftmpi_sim::{SimDuration, SimTime};
 
+use json::JsonValue;
+
 /// One measured configuration, persisted as JSON for EXPERIMENTS.md.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Record {
     /// Experiment id, e.g. `"fig5"`.
     pub experiment: String,
@@ -79,6 +87,26 @@ impl Record {
             restarts: res.rt.restarts,
         }
     }
+
+    /// The record as an ordered JSON object (field order matches the seed
+    /// repo's serde layout, keeping `results/*.json` stable).
+    fn to_json(&self) -> json::JsonObject {
+        vec![
+            ("experiment", JsonValue::Str(self.experiment.clone())),
+            ("workload", JsonValue::Str(self.workload.clone())),
+            ("protocol", JsonValue::Str(self.protocol.clone())),
+            ("stack", JsonValue::Str(self.stack.clone())),
+            ("x_name", JsonValue::Str(self.x_name.clone())),
+            ("x", JsonValue::Float(self.x)),
+            ("completion_secs", JsonValue::Float(self.completion_secs)),
+            ("waves", JsonValue::UInt(self.waves)),
+            ("wave_secs_mean", JsonValue::Float(self.wave_secs_mean)),
+            ("ckpt_bytes", JsonValue::UInt(self.ckpt_bytes)),
+            ("msgs_logged", JsonValue::UInt(self.msgs_logged)),
+            ("sends_delayed", JsonValue::UInt(self.sends_delayed)),
+            ("restarts", JsonValue::UInt(self.restarts)),
+        ]
+    }
 }
 
 /// Short protocol label.
@@ -99,6 +127,9 @@ pub struct HarnessArgs {
     pub fast: bool,
     /// Where to write the JSON records.
     pub out_dir: PathBuf,
+    /// Worker threads for the sweep engine (`--jobs N`); defaults to the
+    /// machine's available parallelism.
+    pub jobs: usize,
 }
 
 impl Default for HarnessArgs {
@@ -106,26 +137,57 @@ impl Default for HarnessArgs {
         HarnessArgs {
             fast: true,
             out_dir: PathBuf::from("results"),
+            jobs: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
         }
     }
 }
 
+const USAGE: &str = "supported flags: --fast | --full | --out DIR | --jobs N";
+
 impl HarnessArgs {
-    /// Parse `std::env::args`: recognises `--full`, `--fast`, `--out DIR`.
+    /// Parse `std::env::args`; prints a usage message and exits non-zero on
+    /// unknown or malformed flags.
     pub fn parse() -> HarnessArgs {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Flag parsing proper, separated from process exit for testing.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<HarnessArgs, String> {
         let mut out = HarnessArgs::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--full" => out.fast = false,
                 "--fast" => out.fast = true,
                 "--out" => {
-                    out.out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
+                    out.out_dir =
+                        PathBuf::from(args.next().ok_or("--out needs a directory argument")?);
                 }
-                other => panic!("unknown flag {other}; supported: --fast --full --out DIR"),
+                "--jobs" => {
+                    let n = args.next().ok_or("--jobs needs a worker count")?;
+                    out.jobs = n
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--jobs needs a positive integer, got '{n}'"))?;
+                }
+                other => return Err(format!("unknown flag '{other}'")),
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// A sweep runner honouring `--jobs`, wired to `cache`.
+    pub fn sweep(&self, cache: &Arc<MemoCache>) -> SweepRunner {
+        SweepRunner::new(self.jobs).with_cache(Arc::clone(cache))
     }
 }
 
@@ -134,7 +196,8 @@ pub fn save_records(args: &HarnessArgs, name: &str, records: &[Record]) {
     std::fs::create_dir_all(&args.out_dir).expect("create results dir");
     let path = args.out_dir.join(format!("{name}.json"));
     let mut f = std::fs::File::create(&path).expect("create results file");
-    let json = serde_json::to_string_pretty(records).expect("serialize records");
+    let objects: Vec<json::JsonObject> = records.iter().map(|r| r.to_json()).collect();
+    let json = json::to_string_pretty(&objects);
     f.write_all(json.as_bytes()).expect("write records");
     println!("\n[records written to {}]", path.display());
 }
@@ -247,4 +310,39 @@ pub fn cg_workload(class: NasClass, nranks: usize) -> Workload {
 /// Format seconds with 1 decimal.
 pub fn secs(x: f64) -> String {
     format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn default_args_are_fast_with_machine_parallelism() {
+        let a = parse(&[]).unwrap();
+        assert!(a.fast);
+        assert_eq!(a.out_dir, PathBuf::from("results"));
+        assert!(a.jobs >= 1);
+    }
+
+    #[test]
+    fn all_flags_round_trip() {
+        let a = parse(&["--full", "--out", "tmp", "--jobs", "3"]).unwrap();
+        assert!(!a.fast);
+        assert_eq!(a.out_dir, PathBuf::from("tmp"));
+        assert_eq!(a.jobs, 3);
+        assert!(parse(&["--fast"]).unwrap().fast);
+    }
+
+    #[test]
+    fn malformed_flags_are_rejected_not_panicked() {
+        assert!(parse(&["--nope"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+        assert!(parse(&["--out"]).is_err());
+    }
 }

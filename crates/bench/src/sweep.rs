@@ -1,0 +1,494 @@
+//! Parallel experiment engine.
+//!
+//! Every figure/table binary reproduces a paper sweep by running dozens of
+//! independent jobs — each with its own [`Sim`](ftmpi_sim::Sim), `World`
+//! and network model. [`SweepRunner`] executes them on a bounded worker
+//! pool and returns results **in input order**, so tables and JSON records
+//! are byte-identical to a sequential run regardless of `--jobs`.
+//!
+//! Because each simulated rank is an OS thread (parked almost always, but
+//! holding a stack), admission is weighted by `JobSpec::nranks`: the pool
+//! never lets the total number of simulated-process threads exceed
+//! [`ThreadBudget::max`] (≈4× the machine's cores), so a sweep of 400-rank
+//! grid jobs cannot exhaust memory or the OS thread limit.
+//!
+//! A [`MemoCache`] keyed by a deterministic spec fingerprint lets callers
+//! skip re-simulating configurations shared across figures (`all_figures`
+//! runs every harness in one process against one cache).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ftmpi_core::{run_job, JobError, JobResult, JobSpec, Platform};
+
+/// Deterministic fingerprint of everything that decides a job's result.
+///
+/// `workload_tag` must uniquely identify the application closure *and its
+/// calibration* — the figure harness passes `Workload::name` because its
+/// machine rates are fixed per benchmark ([`crate::bt_machine`] /
+/// [`crate::cg_machine`]); callers with varying calibrations must fold the
+/// machine rate into the tag. Jobs whose app closures have side effects
+/// (e.g. NetPIPE sample collectors) must not be memoized at all: a cache
+/// hit skips the run that would fill the side channel.
+pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
+    use std::fmt::Write as _;
+    let mut key = String::with_capacity(256);
+    let _ = write!(
+        key,
+        "wl={workload_tag};n={};proto={:?};stack={:?};servers={};single={};",
+        spec.nranks, spec.protocol, spec.stack, spec.servers, spec.single_threshold
+    );
+    match &spec.platform {
+        Platform::Cluster(link) => {
+            let _ = write!(
+                key,
+                "plat=cluster(bw={:?},lat={},disk={:?},lo={:?},lolat={});",
+                link.nic_bw,
+                link.latency.as_nanos(),
+                link.disk_bw,
+                link.loopback_bw,
+                link.loopback_latency.as_nanos()
+            );
+        }
+        Platform::Grid => key.push_str("plat=grid;"),
+    }
+    let ft = &spec.ft;
+    let _ = write!(
+        key,
+        "ft=({},{},{},{},{},{},{},{},{},{},{},{});",
+        ft.period.as_nanos(),
+        ft.first_wave_delay.as_nanos(),
+        ft.image_bytes,
+        ft.fork_cost.as_nanos(),
+        ft.chunk_bytes,
+        ft.write_local_disk,
+        ft.restart_delay.as_nanos(),
+        ft.fetch_failed_from_server,
+        ft.vcl_process_limit,
+        ft.control_bytes,
+        ft.blocking_stream_drag.as_nanos(),
+        ft.pcl_async_markers
+    );
+    let _ = write!(
+        key,
+        "maxt={:?};",
+        spec.max_virtual_time.map(|t| t.as_nanos())
+    );
+    if let Some(nodes) = &spec.placement_override {
+        let _ = write!(
+            key,
+            "place={:?};",
+            nodes.iter().map(|n| n.0).collect::<Vec<_>>()
+        );
+    }
+    if !spec.wave_triggers.is_empty() {
+        let _ = write!(
+            key,
+            "trig={:?};",
+            spec.wave_triggers
+                .iter()
+                .map(|t| t.as_nanos())
+                .collect::<Vec<_>>()
+        );
+    }
+    if !spec.failures.is_empty() {
+        let _ = write!(
+            key,
+            "kills={:?};",
+            spec.failures
+                .kills
+                .iter()
+                .map(|(t, v)| (t.as_nanos(), *v))
+                .collect::<Vec<_>>()
+        );
+    }
+    key
+}
+
+/// Cross-sweep memoization of successful job results.
+///
+/// Only `Ok` results are cached: errors are either instant to recompute
+/// (the Vcl process-limit refusal) or indicate model bugs worth re-hitting.
+#[derive(Default)]
+pub struct MemoCache {
+    map: Mutex<HashMap<String, JobResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoCache {
+    /// A fresh, shareable cache.
+    pub fn new() -> Arc<MemoCache> {
+        Arc::new(MemoCache::default())
+    }
+
+    /// Look up a fingerprint, counting the hit/miss.
+    pub fn get(&self, key: &str) -> Option<JobResult> {
+        let found = self.map.lock().unwrap().get(key).cloned();
+        match found {
+            Some(r) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(r)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a successful result under its fingerprint.
+    pub fn put(&self, key: String, result: JobResult) {
+        self.map.lock().unwrap().insert(key, result);
+    }
+
+    /// `(hits, misses)` counters since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached configurations.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().unwrap().is_empty()
+    }
+}
+
+/// Weighted admission: bounds the total simulated-process thread count.
+struct ThreadBudget {
+    max: usize,
+    used: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl ThreadBudget {
+    fn new(max: usize) -> ThreadBudget {
+        ThreadBudget {
+            max: max.max(1),
+            used: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Acquire `weight` permits (clamped to the budget so one oversized job
+    /// can still run alone). Blocks until enough simulated threads retired.
+    fn acquire(&self, weight: usize) -> usize {
+        let weight = weight.clamp(1, self.max);
+        let mut used = self.used.lock().unwrap();
+        while *used + weight > self.max {
+            used = self.freed.wait(used).unwrap();
+        }
+        *used += weight;
+        weight
+    }
+
+    fn release(&self, weight: usize) {
+        let mut used = self.used.lock().unwrap();
+        *used -= weight;
+        drop(used);
+        self.freed.notify_all();
+    }
+}
+
+/// One planned job: a display label, an optional memoization key, and the
+/// spec-producing closure (built lazily, on the worker that runs it).
+struct PlannedJob {
+    label: String,
+    key: Option<String>,
+    build: Box<dyn FnOnce() -> JobSpec + Send>,
+}
+
+/// Everything the runner knows about one finished job.
+pub struct JobOutcome {
+    /// The label given at [`SweepRunner::add`] time.
+    pub label: String,
+    /// The job's result (or why it could not run).
+    pub result: Result<JobResult, JobError>,
+    /// Wall-clock the job took on its worker (≈0 for cache hits).
+    pub wall: Duration,
+    /// Whether the result came from the [`MemoCache`].
+    pub cached: bool,
+}
+
+/// Parallel sweep executor. See the module docs for the guarantees.
+pub struct SweepRunner {
+    workers: usize,
+    cache: Option<Arc<MemoCache>>,
+    jobs: Vec<PlannedJob>,
+}
+
+impl SweepRunner {
+    /// A runner executing on `workers` worker threads (1 = sequential).
+    pub fn new(workers: usize) -> SweepRunner {
+        SweepRunner {
+            workers: workers.max(1),
+            cache: None,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Attach a memo cache consulted for every keyed job.
+    pub fn with_cache(mut self, cache: Arc<MemoCache>) -> SweepRunner {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Queue a job. Returns its index into the results of [`run`].
+    ///
+    /// [`run`]: SweepRunner::run
+    pub fn add(
+        &mut self,
+        label: impl Into<String>,
+        build: impl FnOnce() -> JobSpec + Send + 'static,
+    ) -> usize {
+        self.jobs.push(PlannedJob {
+            label: label.into(),
+            key: None,
+            build: Box::new(build),
+        });
+        self.jobs.len() - 1
+    }
+
+    /// Queue an already-built spec under its [`spec_fingerprint`] — the
+    /// common case for the figure harnesses, whose specs are cheap to
+    /// construct up front (the app closure is shared via `Arc`).
+    pub fn add_spec(
+        &mut self,
+        label: impl Into<String>,
+        workload_tag: &str,
+        spec: JobSpec,
+    ) -> usize {
+        let key = spec_fingerprint(workload_tag, &spec);
+        self.add_keyed(label, key, move || spec)
+    }
+
+    /// Queue a memoizable job: `workload_tag` + the built spec fingerprint
+    /// identify the configuration across sweeps (see [`spec_fingerprint`]
+    /// for the caller's obligations).
+    pub fn add_keyed(
+        &mut self,
+        label: impl Into<String>,
+        key: String,
+        build: impl FnOnce() -> JobSpec + Send + 'static,
+    ) -> usize {
+        self.jobs.push(PlannedJob {
+            label: label.into(),
+            key: Some(key),
+            build: Box::new(build),
+        });
+        self.jobs.len() - 1
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Execute every queued job; results in input order.
+    pub fn run(self) -> Vec<Result<JobResult, JobError>> {
+        self.run_detailed().into_iter().map(|o| o.result).collect()
+    }
+
+    /// Execute every queued job; outcomes (result + wall + cache flag) in
+    /// input order.
+    pub fn run_detailed(self) -> Vec<JobOutcome> {
+        let n = self.jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        let cache = self.cache;
+        if workers <= 1 {
+            return self
+                .jobs
+                .into_iter()
+                .map(|j| execute(j, cache.as_deref(), None))
+                .collect();
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        let budget = ThreadBudget::new(4 * cores);
+        let slots: Vec<Mutex<Option<PlannedJob>>> =
+            self.jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let outcomes: Vec<Mutex<Option<JobOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let job = slots[i].lock().unwrap().take().expect("job claimed twice");
+                    let outcome = execute(job, cache.as_deref(), Some(&budget));
+                    *outcomes[i].lock().unwrap() = Some(outcome);
+                });
+            }
+        });
+        outcomes
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("worker pool exited with a job unfinished")
+            })
+            .collect()
+    }
+}
+
+fn execute(
+    job: PlannedJob,
+    cache: Option<&MemoCache>,
+    budget: Option<&ThreadBudget>,
+) -> JobOutcome {
+    let start = Instant::now();
+    let spec = (job.build)();
+    if let (Some(cache), Some(key)) = (cache, job.key.as_deref()) {
+        if let Some(hit) = cache.get(key) {
+            return JobOutcome {
+                label: job.label,
+                result: Ok(hit),
+                wall: start.elapsed(),
+                cached: true,
+            };
+        }
+    }
+    let permits = budget.map(|b| (b, b.acquire(spec.nranks.max(1))));
+    let result = run_job(spec);
+    if let Some((b, w)) = permits {
+        b.release(w);
+    }
+    if let (Some(cache), Some(key), Ok(res)) = (cache, job.key, result.as_ref()) {
+        cache.put(key, res.clone());
+    }
+    JobOutcome {
+        label: job.label,
+        result,
+        wall: start.elapsed(),
+        cached: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmpi_core::ProtocolChoice;
+    use ftmpi_nas::synth;
+    use ftmpi_sim::SimDuration;
+
+    /// Tiny deterministic job: a 4-rank token ring, `laps * 4` messages.
+    fn ring_spec(laps: usize) -> JobSpec {
+        JobSpec::new(4, ProtocolChoice::Dummy, synth::token_ring(laps, 256))
+    }
+
+    /// Everything that must be bit-identical between runs of the same spec.
+    fn digest(r: &JobResult) -> (u64, u64, u64, u64) {
+        (r.completion.as_nanos(), r.events, r.rt.msgs_sent, r.waves())
+    }
+
+    #[test]
+    fn results_are_returned_in_input_order() {
+        // Mixed-duration jobs on several workers: completion order differs
+        // from input order, result order must not.
+        let laps = [40usize, 1, 25, 3, 10, 2];
+        let mut runner = SweepRunner::new(4);
+        for l in laps {
+            runner.add(format!("laps{l}"), move || ring_spec(l));
+        }
+        let outcomes = runner.run_detailed();
+        let labels: Vec<&str> = outcomes.iter().map(|o| o.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["laps40", "laps1", "laps25", "laps3", "laps10", "laps2"]
+        );
+        for (o, l) in outcomes.iter().zip(laps) {
+            assert_eq!(o.result.as_ref().unwrap().rt.msgs_sent, (l * 4) as u64);
+            assert!(!o.cached);
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_bit_for_bit() {
+        let run_with = |workers: usize| {
+            let mut runner = SweepRunner::new(workers);
+            for laps in 1..=8usize {
+                runner.add(format!("j{laps}"), move || ring_spec(laps * 5));
+            }
+            runner
+                .run()
+                .into_iter()
+                .map(|r| digest(&r.unwrap()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_with(1), run_with(8));
+    }
+
+    #[test]
+    fn memo_cache_returns_identical_metrics_without_resimulating() {
+        let cache = MemoCache::new();
+        let run = || {
+            let mut r = SweepRunner::new(2).with_cache(Arc::clone(&cache));
+            r.add_spec("job", "ring12", ring_spec(12));
+            r.run_detailed().pop().unwrap()
+        };
+        let first = run();
+        assert!(!first.cached);
+        let second = run();
+        assert!(second.cached, "identical spec should hit the cache");
+        assert_eq!(
+            digest(first.result.as_ref().unwrap()),
+            digest(second.result.as_ref().unwrap())
+        );
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_every_varied_dimension() {
+        let base = ring_spec(12);
+        let key = |s: &JobSpec| spec_fingerprint("ring12", s);
+        assert_eq!(key(&base), key(&ring_spec(12)), "fingerprint is stable");
+        assert_ne!(key(&base), spec_fingerprint("ring13", &base));
+
+        let mut other = ring_spec(12);
+        other.ft.period = SimDuration::from_millis(123);
+        assert_ne!(key(&base), key(&other));
+
+        let mut other = ring_spec(12);
+        other.servers = 7;
+        assert_ne!(key(&base), key(&other));
+
+        let mut other = ring_spec(12);
+        other.platform = Platform::Grid;
+        assert_ne!(key(&base), key(&other));
+
+        let mut other = ring_spec(12);
+        other.failures = ftmpi_core::FailurePlan::kill_at(ftmpi_sim::SimTime::from_nanos(5), 1);
+        assert_ne!(key(&base), key(&other));
+    }
+
+    #[test]
+    fn thread_budget_clamps_oversized_jobs() {
+        let b = ThreadBudget::new(4);
+        // A 100-rank job still gets admitted (alone) instead of deadlocking.
+        let got = b.acquire(100);
+        assert_eq!(got, 4);
+        b.release(got);
+        assert_eq!(b.acquire(2), 2);
+    }
+}

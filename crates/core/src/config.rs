@@ -1,10 +1,9 @@
 //! Fault-tolerance configuration.
 
 use ftmpi_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the checkpointing machinery (both protocols).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FtConfig {
     /// Time between checkpoint waves. Per the paper, the timer for the next
     /// wave starts once every process has transferred its image.

@@ -44,8 +44,9 @@ impl Deployment {
         } else {
             Placement::two_per_node(&topo, nranks)
         };
-        let server_nodes: Vec<NodeId> =
-            (compute_nodes..compute_nodes + servers).map(NodeId).collect();
+        let server_nodes: Vec<NodeId> = (compute_nodes..compute_nodes + servers)
+            .map(NodeId)
+            .collect();
         // "The computing nodes were distributed equally among the
         //  checkpoint servers."
         let server_of_rank = (0..nranks).map(|r| r % servers).collect();
@@ -77,10 +78,10 @@ impl Deployment {
             let (comp, srv) = nodes.split_at(nodes.len() - servers_per_cluster);
             compute.extend_from_slice(comp);
             servers.extend_from_slice(srv);
-            server_cluster.extend(std::iter::repeat(ClusterId(ci)).take(servers_per_cluster));
+            server_cluster.extend(std::iter::repeat_n(ClusterId(ci), servers_per_cluster));
         }
         assert!(
-            nranks <= compute.len() - 1,
+            nranks < compute.len(),
             "grid holds at most {} ranks (one node reserved for services)",
             compute.len() - 1
         );

@@ -44,7 +44,7 @@ impl FailurePlan {
             // Inverse-CDF exponential sampling.
             let u: f64 = rng.gen_range(f64::EPSILON..1.0);
             let gap = SimDuration::from_secs_f64(-mttf.as_secs_f64() * u.ln());
-            t = t + gap;
+            t += gap;
             if t > horizon {
                 break;
             }

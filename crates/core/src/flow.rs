@@ -61,7 +61,10 @@ fn advance_chunk(
         return;
     }
     let len = spec.chunk.max(1).min(spec.bytes - sent);
-    let net_done = w.rt.net.transfer(spec.src, spec.dst, len, sc.now()).delivered;
+    let net_done =
+        w.rt.net
+            .transfer(spec.src, spec.dst, len, sc.now())
+            .delivered;
     let done = if spec.also_disk {
         let disk_done = w.rt.net.disk_write(spec.src, len, sc.now());
         net_done.max(disk_done)
@@ -70,7 +73,9 @@ fn advance_chunk(
     };
     let handle = w.rt.world_handle();
     sc.schedule(done, move |sc| {
-        let Some(strong) = handle.upgrade() else { return };
+        let Some(strong) = handle.upgrade() else {
+            return;
+        };
         let mut w = strong.lock();
         if w.rt.epoch != epoch {
             return; // stream died with the failure
@@ -94,7 +99,9 @@ pub fn send_control(
     let at = w.rt.net.transfer(src, dst, bytes, sc.now()).delivered;
     let handle = w.rt.world_handle();
     sc.schedule(at, move |sc| {
-        let Some(strong) = handle.upgrade() else { return };
+        let Some(strong) = handle.upgrade() else {
+            return;
+        };
         let mut w = strong.lock();
         if w.rt.epoch != epoch {
             return;

@@ -21,7 +21,9 @@
 
 use std::any::Any;
 
-use ftmpi_mpi::{AppMsg, ArrivalAction, Protocol, Rank, RankStatus, RuntimeCore, SendAction, World, WorldRef};
+use ftmpi_mpi::{
+    AppMsg, ArrivalAction, Protocol, Rank, RankStatus, RuntimeCore, SendAction, World, WorldRef,
+};
 use ftmpi_net::NodeId;
 use ftmpi_sim::{SimCtx, SimTime};
 
@@ -130,7 +132,9 @@ impl Mlog {
         incarnation: u64,
     ) {
         sc.schedule(at, move |sc| {
-            let Some(world) = handle.upgrade() else { return };
+            let Some(world) = handle.upgrade() else {
+                return;
+            };
             let mut w = world.lock();
             if w.rt.job_complete() || w.rt.ranks[r].incarnation != incarnation {
                 return;
@@ -303,7 +307,9 @@ impl Protocol for Mlog {
         let incarnation = rt.ranks[msg.dst].incarnation;
         let msg = msg.clone();
         sc.schedule(ack, move |sc| {
-            let Some(world) = handle.upgrade() else { return };
+            let Some(world) = handle.upgrade() else {
+                return;
+            };
             let mut w = world.lock();
             if w.rt.epoch != epoch {
                 return;
@@ -317,7 +323,8 @@ impl Protocol for Mlog {
             }
             Mlog::with(&mut w, |m, _| {
                 let mr = &mut m.ranks[msg.dst];
-                mr.in_flight.retain(|f| !(f.src == msg.src && f.seq == msg.seq));
+                mr.in_flight
+                    .retain(|f| !(f.src == msg.src && f.seq == msg.seq));
                 mr.log.push(msg.clone());
             });
             w.rt.deliver_to_matching(sc, msg);

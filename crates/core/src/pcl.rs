@@ -27,7 +27,9 @@
 
 use std::any::Any;
 
-use ftmpi_mpi::{AppMsg, ArrivalAction, Protocol, Rank, RankStatus, RuntimeCore, SendAction, World, WorldRef};
+use ftmpi_mpi::{
+    AppMsg, ArrivalAction, Protocol, Rank, RankStatus, RuntimeCore, SendAction, World, WorldRef,
+};
 use ftmpi_net::NodeId;
 use ftmpi_sim::{SimCtx, SimTime};
 
@@ -184,7 +186,9 @@ impl Pcl {
         gen: u64,
     ) {
         sc.schedule(at, move |sc| {
-            let Some(world) = handle.upgrade() else { return };
+            let Some(world) = handle.upgrade() else {
+                return;
+            };
             let mut w = world.lock();
             if w.rt.epoch != epoch || w.rt.job_complete() {
                 return;
@@ -251,7 +255,9 @@ impl Pcl {
         Pcl::enter_wave(w, sc, rank);
         if let PclCtl::Marker { from } = ctl {
             let all_markers = Pcl::with(w, |pcl, _| {
-                let Some(cur) = pcl.cur.as_mut() else { return false };
+                let Some(cur) = pcl.cur.as_mut() else {
+                    return false;
+                };
                 cur.markers_processed[rank] += 1;
                 let n = cur.in_wave.len();
                 let _ = from; // dedup already happened at transport arrival
@@ -295,8 +301,7 @@ impl Pcl {
         let penalty = w.rt.cfg.profile.message_penalty(ctl_bytes);
         for (s, src_node, dst_node) in targets {
             let delivered =
-                w.rt
-                    .net
+                w.rt.net
                     .transfer_with_overhead(src_node, dst_node, ctl_bytes, sc.now(), penalty)
                     .delivered;
             let h = handle.clone();
@@ -314,7 +319,9 @@ impl Pcl {
     /// Transport-level marker arrival on channel `from → to`.
     fn on_marker_arrival(w: &mut World, sc: &SimCtx, from: Rank, to: Rank, wave: u64) {
         let relevant = Pcl::with(w, |pcl, _| {
-            let Some(cur) = pcl.cur.as_mut() else { return false };
+            let Some(cur) = pcl.cur.as_mut() else {
+                return false;
+            };
             if cur.rec.wave != wave || cur.marker_arrived[to][from] {
                 return false;
             }
@@ -517,7 +524,9 @@ impl Pcl {
         let handle = rt.world_handle();
         let epoch = rt.epoch;
         sc.schedule(sc.now(), move |sc| {
-            let Some(world) = handle.upgrade() else { return };
+            let Some(world) = handle.upgrade() else {
+                return;
+            };
             let mut w = world.lock();
             if w.rt.epoch != epoch {
                 return;

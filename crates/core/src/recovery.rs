@@ -120,11 +120,10 @@ pub fn fail_and_restart(
         let node = w.rt.placement.node_of(r);
         let ready: SimTime = match (&wave, &restore) {
             (Some(_), Some(data)) => {
-                let from_server = (r == victim && ft.fetch_failed_from_server)
-                    || !ft.write_local_disk;
+                let from_server =
+                    (r == victim && ft.fetch_failed_from_server) || !ft.write_local_disk;
                 if from_server {
-                    w.rt
-                        .net
+                    w.rt.net
                         .transfer(data.server_node_of[r], node, ft.image_bytes, base)
                         .delivered
                 } else {
@@ -266,7 +265,9 @@ pub fn mlog_fail_and_restart(
     let node = w.rt.placement.node_of(victim);
     let base = now + ft.restart_delay;
     let ready = if image.is_some() {
-        w.rt.net.transfer(server, node, ft.image_bytes, base).delivered
+        w.rt.net
+            .transfer(server, node, ft.image_bytes, base)
+            .delivered
     } else {
         base
     };
@@ -274,7 +275,9 @@ pub fn mlog_fail_and_restart(
     let app = app.clone();
     drop(w);
     sc.schedule(ready, move |sc| {
-        let Some(world) = handle.upgrade() else { return };
+        let Some(world) = handle.upgrade() else {
+            return;
+        };
         {
             let w = world.lock();
             if w.rt.ranks[victim].incarnation != incarnation {

@@ -256,13 +256,12 @@ pub fn run_job(spec: JobSpec) -> Result<JobResult, JobError> {
     let completion = match w.rt.stats.completion_time {
         Some(t) => t.saturating_since(SimTime::ZERO),
         None => {
-            let ranks = w
-                .rt
-                .ranks
-                .iter()
-                .enumerate()
-                .map(|(r, rs)| format!("r{r}: {}", rs.debug_summary()))
-                .collect();
+            let ranks =
+                w.rt.ranks
+                    .iter()
+                    .enumerate()
+                    .map(|(r, rs)| format!("r{r}: {}", rs.debug_summary()))
+                    .collect();
             return Err(JobError::Incomplete { ranks });
         }
     };

@@ -22,7 +22,9 @@
 
 use std::any::Any;
 
-use ftmpi_mpi::{AppMsg, ArrivalAction, Protocol, Rank, RankStatus, RuntimeCore, SendAction, World, WorldRef};
+use ftmpi_mpi::{
+    AppMsg, ArrivalAction, Protocol, Rank, RankStatus, RuntimeCore, SendAction, World, WorldRef,
+};
 use ftmpi_net::NodeId;
 use ftmpi_sim::{SimCtx, SimTime};
 
@@ -173,7 +175,9 @@ impl Vcl {
         gen: u64,
     ) {
         sc.schedule(at, move |sc| {
-            let Some(world) = handle.upgrade() else { return };
+            let Some(world) = handle.upgrade() else {
+                return;
+            };
             let mut w = world.lock();
             if w.rt.epoch != epoch || w.rt.job_complete() {
                 return;
@@ -196,10 +200,14 @@ impl Vcl {
             vcl.wave_counter += 1;
             vcl.stats.waves_started += 1;
             vcl.cur = Some(VclWave::new(vcl.wave_counter, n, sc.now()));
-            let targets: Vec<(Rank, NodeId)> = (0..n)
-                .map(|r| (r, rt.placement.node_of(r)))
-                .collect();
-            (vcl.wave_counter, vcl.scheduler_node, vcl.cfg.control_bytes, targets)
+            let targets: Vec<(Rank, NodeId)> =
+                (0..n).map(|r| (r, rt.placement.node_of(r))).collect();
+            (
+                vcl.wave_counter,
+                vcl.scheduler_node,
+                vcl.cfg.control_bytes,
+                targets,
+            )
         });
         for (r, node) in targets {
             let h = handle.clone();
@@ -229,9 +237,15 @@ impl Vcl {
             let rs = &rt.ranks[r];
             let credit = rt.capture_credit(r, sc.now());
             if std::env::var("FTMPI_DEBUG").is_ok() {
-                eprintln!("[vcl] capture r{r} at {} ops={} pending_seqs={:?}",
-                    sc.now(), rs.ops_completed,
-                    rt.snapshot_pending(r).iter().map(|m| (m.src, m.seq)).collect::<Vec<_>>());
+                eprintln!(
+                    "[vcl] capture r{r} at {} ops={} pending_seqs={:?}",
+                    sc.now(),
+                    rs.ops_completed,
+                    rt.snapshot_pending(r)
+                        .iter()
+                        .map(|m| (m.src, m.seq))
+                        .collect::<Vec<_>>()
+                );
             }
             cur.rec.images[r] = RankImage {
                 ops_completed: rs.ops_completed,
@@ -261,11 +275,10 @@ impl Vcl {
         for (s, src_node, dst_node) in marker_targets {
             let ctl_bytes = Vcl::with(w, |vcl, _| vcl.cfg.control_bytes);
             let penalty = w.rt.cfg.profile.message_penalty(ctl_bytes);
-            let delivered = w
-                .rt
-                .net
-                .transfer_with_overhead(src_node, dst_node, ctl_bytes, sc.now(), penalty)
-                .delivered;
+            let delivered =
+                w.rt.net
+                    .transfer_with_overhead(src_node, dst_node, ctl_bytes, sc.now(), penalty)
+                    .delivered;
             let h = handle.clone();
             let epoch = w.rt.epoch;
             sc.schedule(delivered, move |sc| {
@@ -419,8 +432,10 @@ impl Vcl {
             vcl.store.commit(wave);
             if std::env::var("FTMPI_DEBUG").is_ok() {
                 for (d, log) in wave_state.rec.logs.iter().enumerate() {
-                    eprintln!("[vcl] wave {wave} log[{d}] seqs={:?}",
-                        log.iter().map(|m| (m.src, m.seq)).collect::<Vec<_>>());
+                    eprintln!(
+                        "[vcl] wave {wave} log[{d}] seqs={:?}",
+                        log.iter().map(|m| (m.src, m.seq)).collect::<Vec<_>>()
+                    );
                 }
             }
             vcl.committed = Some(wave_state.rec);

@@ -36,13 +36,20 @@ fn base_spec(nranks: usize, app: AppFn) -> JobSpec {
 
 #[test]
 fn logs_every_message_and_checkpoints_independently() {
-    let res = run_job(base_spec(6, ring_app(100, 4_096, SimDuration::from_millis(100))))
-        .expect("mlog run");
+    let res = run_job(base_spec(
+        6,
+        ring_app(100, 4_096, SimDuration::from_millis(100)),
+    ))
+    .expect("mlog run");
     // Every application message is logged before delivery.
     assert_eq!(res.ft.msgs_logged, res.rt.msgs_sent);
     assert!(res.ft.log_bytes_sent > 0);
     // Uncoordinated: per-rank checkpoints, several cycles over ~10 s.
-    assert!(res.ft.waves_committed >= 6, "waves {}", res.ft.waves_committed);
+    assert!(
+        res.ft.waves_committed >= 6,
+        "waves {}",
+        res.ft.waves_committed
+    );
     assert_eq!(res.leftover_unexpected, 0);
     assert_eq!(res.leftover_posted, 0);
 }
@@ -126,7 +133,11 @@ fn mlog_runs_are_deterministic() {
         let mut spec = base_spec(4, app);
         spec.failures = FailurePlan::kill_at(SimTime::from_nanos(1_500_000_000), 0);
         let res = run_job(spec).expect("run");
-        (res.completion.as_nanos(), res.ft.msgs_logged, res.rt.restarts)
+        (
+            res.completion.as_nanos(),
+            res.ft.msgs_logged,
+            res.rt.restarts,
+        )
     };
     assert_eq!(mk(), mk());
 }

@@ -134,7 +134,11 @@ fn stream_app(count: usize, bytes: u64, consume: SimDuration) -> AppFn {
 
 #[test]
 fn vcl_logs_in_transit_messages() {
-    let mut spec = base_spec(2, ProtocolChoice::Vcl, stream_app(200, 256 << 10, SimDuration::from_millis(2)));
+    let mut spec = base_spec(
+        2,
+        ProtocolChoice::Vcl,
+        stream_app(200, 256 << 10, SimDuration::from_millis(2)),
+    );
     // Strike while ~50 MB of sends are still queued on the channel.
     spec.ft.first_wave_delay = SimDuration::from_millis(200);
     spec.ft.period = SimDuration::from_secs(1);
@@ -402,5 +406,9 @@ fn single_rank_vcl_commits_waves() {
     spec.ft.first_wave_delay = SimDuration::from_millis(200);
     spec.ft.period = SimDuration::from_millis(800);
     let res = run(spec);
-    assert!(res.waves() >= 2, "solo Vcl must commit waves, got {}", res.waves());
+    assert!(
+        res.waves() >= 2,
+        "solo Vcl must commit waves, got {}",
+        res.waves()
+    );
 }

@@ -248,7 +248,9 @@ impl Mpi {
             // Send was completed before the checkpoint; only the receive
             // replays (the message comes from the restored channel state).
             self.ctx.exec::<RecvInfo, _>(move |sc, reply| {
-                world.lock().post_recv_blocking(sc, me, Some(from), Some(tag), reply);
+                world
+                    .lock()
+                    .post_recv_blocking(sc, me, Some(from), Some(tag), reply);
             })
         }
     }

@@ -319,7 +319,8 @@ impl RuntimeCore {
         rank.arrival_counter += 1;
         // Find the first posted receive matching (src, tag), in post order.
         let pos = rank.posted.iter().position(|p| {
-            p.src.map(|s| s == msg.src).unwrap_or(true) && p.tag.map(|t| t == msg.tag).unwrap_or(true)
+            p.src.map(|s| s == msg.src).unwrap_or(true)
+                && p.tag.map(|t| t == msg.tag).unwrap_or(true)
         });
         let info = RecvInfo {
             src: msg.src,

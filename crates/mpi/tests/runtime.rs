@@ -13,10 +13,7 @@ use ftmpi_sim::{Sim, SimDuration, SimTime};
 
 /// Run `app` on `nranks` ranks (one per node, GigE, TCP stack); returns the
 /// job completion time and the world for post-run inspection.
-fn run_app(
-    nranks: usize,
-    app: impl Fn(&mut Mpi) + Send + Sync + 'static,
-) -> (SimTime, WorldRef) {
+fn run_app(nranks: usize, app: impl Fn(&mut Mpi) + Send + Sync + 'static) -> (SimTime, WorldRef) {
     run_app_placed(nranks, nranks, false, app)
 }
 

@@ -71,7 +71,6 @@ pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
         (5 * 8 * (n / p as u64).max(1).pow(2) * phys_stages as u64 / stages as u64).max(64)
     };
     let flops_per_iter = params.total_flops / (params.niter as f64 * nprocs as f64);
-    let machine = machine;
     let niter = params.niter as usize;
 
     Arc::new(move |mpi| {
@@ -91,7 +90,11 @@ pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
         let t_solve = machine.time_for(flops_per_iter * 0.2);
         // Each sweep direction interleaves compute slices with its pipeline
         // stages (forward then backward substitution).
-        let t_slice = if stages > 0 { t_solve / (2 * stages as u64) } else { t_solve };
+        let t_slice = if stages > 0 {
+            t_solve / (2 * stages as u64)
+        } else {
+            t_solve
+        };
 
         for iter in 0..niter {
             let tag = (iter % 500) as i32 * 2;

@@ -18,7 +18,7 @@ use crate::{NasClass, Workload};
 pub fn grid(p: usize) -> (usize, usize) {
     assert!(p > 0);
     let mut rows = (p as f64).sqrt().floor() as usize;
-    while p % rows != 0 {
+    while !p.is_multiple_of(rows) {
         rows -= 1;
     }
     (rows, p / rows)

@@ -7,10 +7,9 @@
 //! the *ratios* that drive the paper's conclusions are.
 
 use ftmpi_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Intra-cluster link parameters (one per cluster).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinkConfig {
     /// NIC bandwidth per direction, bytes/second.
     pub nic_bw: f64,
@@ -51,7 +50,7 @@ impl LinkConfig {
 }
 
 /// Inter-cluster (grid) link parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WanConfig {
     /// Capacity of each cluster's access pipe (shared by all of the
     /// cluster's inter-cluster flows), bytes/second.
@@ -94,7 +93,7 @@ impl WanConfig {
 ///   latency (the paper's explanation for Vcl losing on Myrinet, §5.3).
 /// * `NemesisGm` — MPICH2 Nemesis channel over GM: OS-bypass, lowest
 ///   latency (Pcl – Nemesis/GM).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SoftwareStack {
     /// TCP sockets (works on GigE or as Ethernet emulation on Myrinet).
     TcpSock,
@@ -105,7 +104,7 @@ pub enum SoftwareStack {
 }
 
 /// Per-message software costs of a [`SoftwareStack`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StackProfile {
     /// Sender-side CPU time per message (posting, packetizing).
     pub send_overhead: SimDuration,

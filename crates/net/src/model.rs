@@ -101,7 +101,13 @@ impl NetModel {
     /// Messages of at most [`SMALL_BYPASS_BYTES`] interleave through busy
     /// resources at packet granularity, but never overtake earlier traffic
     /// on the same `(src, dst)` channel.
-    pub fn transfer(&mut self, src: NodeId, dst: NodeId, bytes: u64, earliest: SimTime) -> Delivery {
+    pub fn transfer(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        earliest: SimTime,
+    ) -> Delivery {
         self.transfer_with_overhead(src, dst, bytes, earliest, SimDuration::ZERO)
     }
 
@@ -160,9 +166,11 @@ impl NetModel {
                 let (_, down_end) = if small {
                     self.clusters[cd.0].wan_down.bypass(down_arrival, bytes)
                 } else {
-                    self.clusters[cd.0]
-                        .wan_down
-                        .reserve_with_rate(down_arrival, bytes, wan.per_flow_bw)
+                    self.clusters[cd.0].wan_down.reserve_with_rate(
+                        down_arrival,
+                        bytes,
+                        wan.per_flow_bw,
+                    )
                 };
                 let dst_link = self.topo.link_of(dst);
                 let rx_arrival = down_end + dst_link.latency;
@@ -271,7 +279,7 @@ mod tests {
             let d = net.transfer(NodeId(0), NodeId(1), bytes, earliest);
             assert!(d.delivered >= last, "delivery order violated at msg {i}");
             last = d.delivered;
-            earliest = earliest + SimDuration::from_micros(10);
+            earliest += SimDuration::from_micros(10);
         }
     }
 

@@ -1,19 +1,17 @@
 //! Platform topologies: clusters of nodes, optionally joined by WAN links.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::{LinkConfig, WanConfig};
 
 /// Index of a compute node in the platform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub usize);
 
 /// Index of a cluster in the platform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClusterId(pub usize);
 
 /// Description of one cluster.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterSpec {
     /// Human-readable name (site name in the grid figures).
     pub name: String,
@@ -24,7 +22,7 @@ pub struct ClusterSpec {
 }
 
 /// Full platform description consumed by [`crate::NetModel`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TopologySpec {
     /// The clusters, in node-numbering order.
     pub clusters: Vec<ClusterSpec>,
@@ -45,13 +43,16 @@ pub struct Topology {
 impl Topology {
     /// Resolve a spec into a topology.
     pub fn new(spec: TopologySpec) -> Topology {
-        assert!(!spec.clusters.is_empty(), "topology needs at least one cluster");
+        assert!(
+            !spec.clusters.is_empty(),
+            "topology needs at least one cluster"
+        );
         let mut node_cluster = Vec::new();
         let mut cluster_base = Vec::with_capacity(spec.clusters.len());
         for (ci, c) in spec.clusters.iter().enumerate() {
             assert!(c.nodes > 0, "cluster '{}' has no nodes", c.name);
             cluster_base.push(node_cluster.len());
-            node_cluster.extend(std::iter::repeat(ClusterId(ci)).take(c.nodes));
+            node_cluster.extend(std::iter::repeat_n(ClusterId(ci), c.nodes));
         }
         Topology {
             spec,

@@ -50,6 +50,11 @@ impl Ord for Event {
     }
 }
 
+/// Tombstone count below which [`EventQueue::cancel`] never compacts; keeps
+/// small queues (the common case: a handful of pending timers) from paying
+/// rebuild costs for no win.
+const COMPACT_MIN_TOMBSTONES: usize = 64;
+
 /// Min-queue of pending events plus a tombstone set for cancellation.
 #[derive(Default)]
 pub(crate) struct EventQueue {
@@ -72,6 +77,31 @@ impl EventQueue {
     /// Mark an event cancelled; it is skipped when popped.
     pub fn cancel(&mut self, id: EventId) {
         self.cancelled.insert(id.0);
+        // Once tombstones rival live events, pops spend more time skipping
+        // corpses than returning work and `len`/`is_empty` drift (a tombstone
+        // for an already-popped event is never reclaimed). Rebuilding is
+        // O(heap) but amortized: compaction empties the tombstone set, so it
+        // takes as many fresh cancellations as there are live events before
+        // it can trigger again.
+        if self.cancelled.len() >= COMPACT_MIN_TOMBSTONES
+            && self.cancelled.len() * 2 >= self.heap.len()
+        {
+            self.compact();
+        }
+    }
+
+    /// Drop every cancelled event from the heap and clear the tombstone set.
+    ///
+    /// Tombstones that match nothing in the heap belong to events that were
+    /// already executed; discarding them restores exact `len`/`is_empty`
+    /// accounting.
+    fn compact(&mut self) {
+        let cancelled = std::mem::take(&mut self.cancelled);
+        self.heap = std::mem::take(&mut self.heap)
+            .into_vec()
+            .into_iter()
+            .filter(|ev| !cancelled.contains(&ev.seq))
+            .collect();
     }
 
     pub fn pop(&mut self) -> Option<Event> {
@@ -138,5 +168,65 @@ mod tests {
         assert!(!q.is_empty());
         q.cancel(id);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn compaction_drops_tombstones_and_keeps_len_exact() {
+        let mut q = EventQueue::default();
+        let ids: Vec<EventId> = (0..200)
+            .map(|i| q.push(SimTime::from_nanos(i), call()))
+            .collect();
+        // Cancelling half the queue crosses both thresholds (>= 64 tombstones
+        // and tombstones >= half the heap) exactly at the 100th cancel.
+        for id in &ids[..100] {
+            q.cancel(*id);
+        }
+        assert!(q.cancelled.is_empty(), "compaction should clear tombstones");
+        assert_eq!(q.heap.len(), 100, "cancelled events physically removed");
+        // Below-threshold cancels stay lazy but len() remains exact.
+        for id in &ids[100..150] {
+            q.cancel(*id);
+        }
+        assert_eq!(q.cancelled.len(), 50);
+        assert_eq!(q.len(), 50);
+        // Survivors pop in order with no skipped corpses in between.
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|ev| ev.time.as_nanos())
+            .collect();
+        assert_eq!(times, (150u64..200).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn compaction_purges_stale_tombstones_from_executed_events() {
+        let mut q = EventQueue::default();
+        let stale: Vec<EventId> = (0..super::COMPACT_MIN_TOMBSTONES as u64)
+            .map(|i| q.push(SimTime::from_nanos(i), call()))
+            .collect();
+        while q.pop().is_some() {}
+        // Cancelling already-popped events leaves tombstones that match
+        // nothing; without compaction they would make len() undercount the
+        // live events pushed afterwards.
+        for id in &stale {
+            q.cancel(*id);
+        }
+        assert!(q.cancelled.is_empty(), "stale tombstones purged");
+        for i in 0..10 {
+            q.push(SimTime::from_nanos(1_000 + i), call());
+        }
+        assert_eq!(q.len(), 10);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn small_queues_skip_compaction() {
+        let mut q = EventQueue::default();
+        let id = q.push(SimTime::from_nanos(1), call());
+        q.cancel(id);
+        // Below COMPACT_MIN_TOMBSTONES the tombstone stays; lazily skipped on
+        // pop as before.
+        assert_eq!(q.cancelled.len(), 1);
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
     }
 }

@@ -1,7 +1,7 @@
 //! The simulation kernel: event loop, process table, and the [`SimCtx`]
 //! service handle exposed to model code.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -9,6 +9,7 @@ use parking_lot::Mutex;
 
 use crate::event::{EventId, EventKind, EventQueue};
 use crate::process::{Handoff, Pid, ProcCtx, ProcessExit, ResumeOutcome, WakeKind};
+use crate::table::ProcTable;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, TraceKind, Tracer};
 use crate::KilledSignal;
@@ -27,7 +28,9 @@ struct ProcEntry {
 pub(crate) struct KernelState {
     queue: EventQueue,
     now: SimTime,
-    procs: HashMap<Pid, ProcEntry>,
+    /// Dense pid-indexed table: pids are sequential and never reused, so
+    /// the kernel hot path (resume/kill/exec) avoids hashing entirely.
+    procs: ProcTable<ProcEntry>,
     next_pid: u64,
     stop_requested: bool,
     executed: u64,
@@ -41,6 +44,11 @@ pub(crate) struct KernelState {
 /// Shared kernel handle. Internal; exposed types are [`Sim`] and [`SimCtx`].
 pub struct Shared {
     pub(crate) state: Mutex<KernelState>,
+    /// Lock-free mirror of the tracer's enabled flag, so the per-message
+    /// trace calls on the hot path ([`SimCtx::trace`], [`SimCtx::kill`])
+    /// skip the state mutex when tracing is off (the common case: only
+    /// tests and debugging sessions enable it).
+    trace_on: AtomicBool,
 }
 
 impl Shared {
@@ -78,13 +86,13 @@ impl Shared {
         let id = st.queue.push(
             at,
             EventKind::Call(Box::new(move |sc: &SimCtx| {
-                if let Some(e) = sc.shared().state.lock().procs.get_mut(&pid) {
+                if let Some(e) = sc.shared().state.lock().procs.get_mut(pid) {
                     e.pending_exec = None;
                 }
                 f(sc);
             })),
         );
-        if let Some(entry) = st.procs.get_mut(&pid) {
+        if let Some(entry) = st.procs.get_mut(pid) {
             entry.pending_exec = Some(id);
         }
     }
@@ -203,25 +211,30 @@ impl SimCtx {
     /// Kill a process: its next kernel interaction (or its current park)
     /// unwinds the thread. No-op for already-dead processes.
     pub fn kill(&self, pid: Pid) {
-        {
-            let mut st = self.shared.state.lock();
-            let Some(entry) = st.procs.get(&pid) else {
-                return;
-            };
-            if !entry.alive {
-                return;
-            }
-            if st.tracer.enabled() {
-                let detail = format!("kill {pid}");
-                st.tracer.record(TraceEvent {
-                    time: self.now,
-                    kind: TraceKind::Kill,
-                    pid: Some(pid),
-                    detail,
-                });
-            }
+        // Pre-format the trace detail outside the lock; with tracing off
+        // (the common case) the whole call takes one lock acquisition.
+        let trace_detail = self
+            .shared
+            .trace_on
+            .load(Ordering::Relaxed)
+            .then(|| format!("kill {pid}"));
+        let mut st = self.shared.state.lock();
+        let Some(entry) = st.procs.get(pid) else {
+            return;
+        };
+        if !entry.alive {
+            return;
         }
-        self.shared.schedule_resume(self.now, pid, WakeKind::Killed);
+        if let Some(detail) = trace_detail {
+            st.tracer.record(TraceEvent {
+                time: self.now,
+                kind: TraceKind::Kill,
+                pid: Some(pid),
+                detail,
+            });
+        }
+        let at = self.now.max(st.now);
+        st.queue.push(at, EventKind::Resume(pid, WakeKind::Killed));
     }
 
     /// Is the process still alive (spawned and not yet exited)?
@@ -230,7 +243,7 @@ impl SimCtx {
             .state
             .lock()
             .procs
-            .get(&pid)
+            .get(pid)
             .map(|e| e.alive)
             .unwrap_or(false)
     }
@@ -255,18 +268,19 @@ impl SimCtx {
         self.shared.state.lock().stop_requested = true;
     }
 
-    /// Record a model trace event (cheap no-op when tracing is disabled).
+    /// Record a model trace event. With tracing disabled (the common case)
+    /// this is a single relaxed atomic load — no lock, no formatting.
     pub fn trace(&self, label: &'static str, pid: Option<Pid>, detail: impl FnOnce() -> String) {
-        let mut st = self.shared.state.lock();
-        if st.tracer.enabled() {
-            let ev = TraceEvent {
-                time: self.now,
-                kind: TraceKind::Model(label),
-                pid,
-                detail: detail(),
-            };
-            st.tracer.record(ev);
+        if !self.shared.trace_on.load(Ordering::Relaxed) {
+            return;
         }
+        let ev = TraceEvent {
+            time: self.now,
+            kind: TraceKind::Model(label),
+            pid,
+            detail: detail(),
+        };
+        self.shared.state.lock().tracer.record(ev);
     }
 }
 
@@ -392,7 +406,7 @@ impl Sim {
                 state: Mutex::new(KernelState {
                     queue: EventQueue::default(),
                     now: SimTime::ZERO,
-                    procs: HashMap::new(),
+                    procs: ProcTable::default(),
                     next_pid: 0,
                     stop_requested: false,
                     executed: 0,
@@ -401,6 +415,7 @@ impl Sim {
                     tracer: Tracer::default(),
                     exits: Vec::new(),
                 }),
+                trace_on: AtomicBool::new(false),
             }),
         }
     }
@@ -419,6 +434,7 @@ impl Sim {
     /// Enable trace collection (returned in the [`RunReport`]).
     pub fn enable_trace(&mut self) {
         self.shared.state.lock().tracer.set_enabled(true);
+        self.shared.trace_on.store(true, Ordering::Relaxed);
     }
 
     /// Convenience constructor for a [`SharedFlag`].
@@ -427,7 +443,11 @@ impl Sim {
     }
 
     /// Spawn an initial process starting at time zero.
-    pub fn spawn(&mut self, name: impl Into<String>, f: impl FnOnce(ProcCtx) + Send + 'static) -> Pid {
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(ProcCtx) + Send + 'static,
+    ) -> Pid {
         spawn_inner(&self.shared, SimTime::ZERO, name.into(), f)
     }
 
@@ -508,7 +528,7 @@ impl Sim {
                         // without advancing the clock, so a killed process's
                         // pending wakes don't distort the final time.
                         if let EventKind::Resume(pid, _) = ev.kind {
-                            let alive = st.procs.get(&pid).map(|e| e.alive).unwrap_or(false);
+                            let alive = st.procs.get(pid).map(|e| e.alive).unwrap_or(false);
                             if !alive {
                                 continue;
                             }
@@ -554,7 +574,7 @@ impl Sim {
     fn resume_process(&self, pid: Pid, kind: WakeKind, now: SimTime) -> Option<SimError> {
         let handoff = {
             let st = self.shared.state.lock();
-            match st.procs.get(&pid) {
+            match st.procs.get(pid) {
                 Some(e) if e.alive => Arc::clone(&e.handoff),
                 _ => return None, // stale resume for a dead process
             }
@@ -563,7 +583,7 @@ impl Sim {
             ResumeOutcome::Parked => None,
             ResumeOutcome::Exited(status) => {
                 let mut st = self.shared.state.lock();
-                let name = if let Some(e) = st.procs.get_mut(&pid) {
+                let name = if let Some(e) = st.procs.get_mut(pid) {
                     e.alive = false;
                     let pending = e.pending_exec.take();
                     let name = Arc::clone(&e.name);
@@ -603,7 +623,7 @@ impl Sim {
                 st.procs
                     .iter()
                     .filter(|(_, e)| e.alive)
-                    .map(|(pid, e)| (*pid, Arc::clone(&e.handoff), Arc::clone(&e.name)))
+                    .map(|(pid, e)| (pid, Arc::clone(&e.handoff), Arc::clone(&e.name)))
                     .min_by_key(|(pid, _, _)| *pid)
             };
             let Some((pid, handoff, name)) = victim else {
@@ -612,7 +632,7 @@ impl Sim {
             let now = self.shared.state.lock().now;
             if let ResumeOutcome::Exited(status) = handoff.resume(WakeKind::Killed, now) {
                 let mut st = self.shared.state.lock();
-                if let Some(e) = st.procs.get_mut(&pid) {
+                if let Some(e) = st.procs.get_mut(pid) {
                     e.alive = false;
                 }
                 st.exits.push((pid, name, status));
@@ -620,7 +640,7 @@ impl Sim {
                 // A process that parks again after a kill wake would be a
                 // trampoline bug; mark it dead to guarantee loop progress.
                 let mut st = self.shared.state.lock();
-                if let Some(e) = st.procs.get_mut(&pid) {
+                if let Some(e) = st.procs.get_mut(pid) {
                     e.alive = false;
                 }
             }
@@ -628,7 +648,10 @@ impl Sim {
         // Join every thread.
         let joins: Vec<JoinHandle<()>> = {
             let mut st = self.shared.state.lock();
-            st.procs.values_mut().filter_map(|e| e.join.take()).collect()
+            st.procs
+                .values_mut()
+                .filter_map(|e| e.join.take())
+                .collect()
         };
         for j in joins {
             let _ = j.join();

@@ -46,6 +46,7 @@ mod event;
 mod kernel;
 mod process;
 mod reply;
+mod table;
 mod time;
 mod trace;
 

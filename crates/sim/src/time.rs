@@ -10,12 +10,10 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// An absolute instant on the virtual clock (nanoseconds since start).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimTime(u64);
 
 /// A span of virtual time (nanoseconds).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -109,7 +107,7 @@ impl SimDuration {
     /// A zero or non-finite rate yields `ZERO` (infinitely fast resources are
     /// how models disable a stage of a path).
     pub fn for_transfer(bytes: u64, bytes_per_sec: f64) -> SimDuration {
-        if !(bytes_per_sec > 0.0) || bytes == 0 {
+        if bytes == 0 || bytes_per_sec.is_nan() || bytes_per_sec <= 0.0 {
             return SimDuration::ZERO;
         }
         SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec)
@@ -205,7 +203,10 @@ mod tests {
     fn negative_and_nan_seconds_clamp_to_zero() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -40,7 +40,11 @@ fn lazy_compute_advances_virtual_time_without_events() {
     let report = sim.run().unwrap();
     assert_eq!(report.final_time, SimTime::from_nanos(100_000_000_000));
     // Spawn resume + one exec round-trip: compute itself cost no events.
-    assert!(report.events_executed <= 4, "got {}", report.events_executed);
+    assert!(
+        report.events_executed <= 4,
+        "got {}",
+        report.events_executed
+    );
 }
 
 #[test]
@@ -52,7 +56,8 @@ fn sleep_interleaves_processes_deterministically() {
         sim.spawn(name, move |mut ctx| {
             for _ in 0..3 {
                 ctx.sleep(SimDuration::from_secs(step));
-                log.lock().push((ctx.name().to_string(), ctx.now().as_nanos() / 1_000_000_000));
+                log.lock()
+                    .push((ctx.name().to_string(), ctx.now().as_nanos() / 1_000_000_000));
             }
         });
     }
@@ -289,6 +294,94 @@ fn many_processes_scale() {
     }
     sim.run().unwrap();
     assert_eq!(*counter.lock(), 600);
+}
+
+/// Kill/respawn churn: pids stay sequential and are never reused, killed
+/// pids keep resolving (as not-alive) instead of aliasing later processes,
+/// and replacements spawned after kills get fresh slots. This is the access
+/// pattern the dense process table must support.
+#[test]
+fn kill_respawn_churn_keeps_pids_distinct() {
+    let mut sim = Sim::new();
+    let finished: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut pids = Vec::new();
+    for i in 0..8u64 {
+        let f = Arc::clone(&finished);
+        pids.push(sim.spawn(format!("gen0-{i}"), move |mut ctx| {
+            ctx.sleep(SimDuration::from_secs(10));
+            f.lock().push(i);
+        }));
+    }
+    // Allocation is strictly increasing (pids are sequential, never reused).
+    assert!(pids.windows(2).all(|w| w[0] < w[1]));
+
+    // Kill the odd pids mid-run, then spawn replacements from the event;
+    // their pids must continue the sequence, not reuse the dead slots.
+    let victims: Vec<_> = pids.iter().copied().skip(1).step_by(2).collect();
+    let survivors: Vec<_> = pids.iter().copied().step_by(2).collect();
+    let v2 = victims.clone();
+    let f = Arc::clone(&finished);
+    sim.schedule(SimTime::from_nanos(5), move |sc| {
+        for pid in &v2 {
+            assert!(sc.is_alive(*pid));
+            sc.kill(*pid);
+            sc.kill(*pid); // double kill must stay a no-op
+        }
+        for (k, pid) in v2.iter().enumerate() {
+            let f = f.clone();
+            let new = sc.spawn(format!("gen1-{k}"), move |mut ctx| {
+                ctx.sleep(SimDuration::from_secs(1));
+                f.lock().push(100 + k as u64);
+            });
+            assert!(new > *pid, "pid {new} reused or preceded {pid}");
+        }
+    });
+    let report = sim.run().unwrap();
+    for pid in &victims {
+        let exit = report
+            .exits
+            .iter()
+            .find(|(p, _, _)| p == pid)
+            .map(|(_, _, e)| e.clone());
+        assert_eq!(exit, Some(ProcessExit::Killed), "{pid}");
+    }
+    for pid in &survivors {
+        let exit = report
+            .exits
+            .iter()
+            .find(|(p, _, _)| p == pid)
+            .map(|(_, _, e)| e.clone());
+        assert_eq!(exit, Some(ProcessExit::Normal), "{pid}");
+    }
+    let mut done = finished.lock().clone();
+    done.sort_unstable();
+    assert_eq!(done, vec![0, 2, 4, 6, 100, 101, 102, 103]);
+}
+
+/// Killing with tracing disabled takes the lock-free fast path; killing with
+/// tracing enabled must still record the event. Both paths must agree on
+/// semantics.
+#[test]
+fn kill_traces_only_when_tracing_enabled() {
+    for tracing in [false, true] {
+        let mut sim = Sim::new();
+        if tracing {
+            sim.enable_trace();
+        }
+        let victim = sim.spawn("victim", |mut ctx| ctx.sleep(SimDuration::from_secs(5)));
+        sim.schedule(SimTime::from_nanos(3), move |sc| sc.kill(victim));
+        let report = sim.run().unwrap();
+        let kills = report
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, ftmpi_sim::TraceKind::Kill))
+            .count();
+        assert_eq!(kills, usize::from(tracing));
+        assert!(report
+            .exits
+            .iter()
+            .any(|(p, _, e)| *p == victim && *e == ProcessExit::Killed));
+    }
 }
 
 #[test]

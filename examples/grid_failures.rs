@@ -42,7 +42,10 @@ fn main() {
             res.rt.restarts
         );
     }
-    println!("\nWith failures every ~{} s, checkpointing too rarely loses whole", mttf.as_secs_f64());
+    println!(
+        "\nWith failures every ~{} s, checkpointing too rarely loses whole",
+        mttf.as_secs_f64()
+    );
     println!("periods of work per failure, while checkpointing too often pays wave");
     println!("synchronization continuously — the sweet spot tracks the MTTF.");
 }

@@ -14,14 +14,22 @@ fn main() {
     let nranks = 16;
     let machine = Machine::mflops(150.0);
     let wl = bt::workload(NasClass::A, nranks, machine);
-    println!("workload: {} ({} MiB images)", wl.name, wl.image_bytes >> 20);
+    println!(
+        "workload: {} ({} MiB images)",
+        wl.name,
+        wl.image_bytes >> 20
+    );
     println!(
         "{:<8} {:>10} {:>7} {:>12} {:>14}",
         "proto", "time (s)", "waves", "overhead", "ckpt data"
     );
 
     let mut baseline = None;
-    for proto in [ProtocolChoice::Dummy, ProtocolChoice::Vcl, ProtocolChoice::Pcl] {
+    for proto in [
+        ProtocolChoice::Dummy,
+        ProtocolChoice::Vcl,
+        ProtocolChoice::Pcl,
+    ] {
         let mut spec = JobSpec::new(nranks, proto, wl.app.clone());
         spec.platform = Platform::Cluster(LinkConfig::gige());
         spec.servers = 2;

@@ -29,8 +29,8 @@ fn main() {
     });
 
     // Failure-free baseline without any checkpointing.
-    let baseline = run_job(JobSpec::new(6, ProtocolChoice::Dummy, Arc::clone(&app)))
-        .expect("baseline run");
+    let baseline =
+        run_job(JobSpec::new(6, ProtocolChoice::Dummy, Arc::clone(&app))).expect("baseline run");
 
     // The same job under Pcl, checkpointing every 2 s, with rank 3 killed
     // at t = 6.5 s.
@@ -40,7 +40,10 @@ fn main() {
     spec.failures = FailurePlan::kill_at(SimTime::from_nanos(6_500_000_000), 3);
     let result = run_job(spec).expect("fault-tolerant run");
 
-    println!("baseline (no checkpoints, no failure): {:7.2} s", baseline.completion_secs());
+    println!(
+        "baseline (no checkpoints, no failure): {:7.2} s",
+        baseline.completion_secs()
+    );
     println!(
         "Pcl, 2 s waves, rank 3 killed at 6.5 s:  {:7.2} s",
         result.completion_secs()
@@ -51,10 +54,7 @@ fn main() {
         "  checkpoint data shipped:    {:.1} MiB",
         result.ft.image_bytes_sent as f64 / (1 << 20) as f64
     );
-    println!(
-        "  sends delayed by waves:     {}",
-        result.ft.sends_delayed
-    );
+    println!("  sends delayed by waves:     {}", result.ft.sends_delayed);
     assert_eq!(result.rt.restarts, 1);
     assert_eq!(result.leftover_unexpected, 0, "recovery cut must be clean");
     println!("\nThe job lost less than one checkpoint period of work and completed.");

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Repo CI gate: formatting, lints, then the tier-1 verify
+# (build + full test suite). Run from the repo root:
+#
+#   sh scripts/ci.sh
+#
+# Fails fast: the first failing step aborts the run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --workspace
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --workspace
+
+echo "CI green."

@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace's
+//! benches run on this minimal, API-compatible harness: it executes each
+//! benchmark for a fixed number of timed samples (after one warm-up run)
+//! and prints mean / min / max wall-clock per iteration. No statistics
+//! engine, no HTML reports — enough to compare configurations and catch
+//! order-of-magnitude regressions, which is all the workspace benches use
+//! Criterion for.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-implementation of `std::hint::black_box` passthrough used by benches.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Label of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a benchmark by its parameter value alone.
+    pub fn from_parameter<D: Display>(p: D) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Identify a benchmark by function name and parameter.
+    pub fn new<D: Display>(name: &str, p: D) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            _c: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(20);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Benchmark an input-free closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// End the group (printing is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; times the routine as soon as it is given
+/// (real Criterion defers the runs, but deferring would force a `'static`
+/// bound the real `Bencher::iter` does not have).
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            times: Vec::new(),
+        }
+    }
+
+    /// Run and time the routine. The value it returns is dropped inside
+    /// the timed region, as in real Criterion.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        self.times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.times.push(t.elapsed());
+        }
+    }
+
+    fn report(self, label: &str) {
+        if self.times.is_empty() {
+            println!("{label}: no routine registered");
+            return;
+        }
+        let total: Duration = self.times.iter().sum();
+        let mean = total / self.times.len() as u32;
+        let min = self.times.iter().min().copied().unwrap_or_default();
+        let max = self.times.iter().max().copied().unwrap_or_default();
+        println!(
+            "{label}: mean {} (min {}, max {}, {} samples)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            fmt_duration(max),
+            self.times.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Build a function that runs a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point: run every group. Accepts and ignores cargo-bench CLI args.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -3,6 +3,8 @@
 
 use std::sync::Arc;
 
+use ftmpi_bench::SweepRunner;
+
 use ftmpi::ft::{run_job, FailurePlan, FtConfig, JobSpec, Platform, ProtocolChoice};
 use ftmpi::nas::{bt, cg, ftb, lu, mg, synth, Machine, NasClass};
 use ftmpi::net::{LinkConfig, SoftwareStack};
@@ -29,11 +31,22 @@ fn spec_for(
     spec
 }
 
+const PROTOS: [ProtocolChoice; 3] = [
+    ProtocolChoice::Dummy,
+    ProtocolChoice::Vcl,
+    ProtocolChoice::Pcl,
+];
+
 #[test]
 fn bt_runs_under_all_protocols() {
     let wl = bt::workload(NasClass::S, 4, machine());
-    for proto in [ProtocolChoice::Dummy, ProtocolChoice::Vcl, ProtocolChoice::Pcl] {
-        let res = run_job(spec_for(&wl, 4, proto, 0.5)).expect("bt run");
+    let mut runner = SweepRunner::new(PROTOS.len());
+    for proto in PROTOS {
+        let spec = spec_for(&wl, 4, proto, 0.5);
+        runner.add(format!("bt/{proto:?}"), move || spec);
+    }
+    for (proto, result) in PROTOS.into_iter().zip(runner.run()) {
+        let res = result.expect("bt run");
         assert_eq!(res.leftover_unexpected, 0);
         assert_eq!(res.leftover_posted, 0);
         if proto != ProtocolChoice::Dummy {
@@ -45,8 +58,13 @@ fn bt_runs_under_all_protocols() {
 #[test]
 fn cg_runs_under_all_protocols() {
     let wl = cg::workload(NasClass::S, 8, machine());
-    for proto in [ProtocolChoice::Dummy, ProtocolChoice::Vcl, ProtocolChoice::Pcl] {
-        let res = run_job(spec_for(&wl, 8, proto, 0.2)).expect("cg run");
+    let mut runner = SweepRunner::new(PROTOS.len());
+    for proto in PROTOS {
+        let spec = spec_for(&wl, 8, proto, 0.2);
+        runner.add(format!("cg/{proto:?}"), move || spec);
+    }
+    for result in runner.run() {
+        let res = result.expect("cg run");
         assert_eq!(res.leftover_unexpected, 0);
         assert_eq!(res.leftover_posted, 0);
     }
@@ -60,10 +78,15 @@ fn extra_nas_kernels_complete() {
         mg::workload(NasClass::S, 4, m),
         ftb::workload(NasClass::S, 4, m),
     ];
+    let names: Vec<String> = workloads.iter().map(|wl| wl.name.clone()).collect();
+    let mut runner = SweepRunner::new(workloads.len());
     for wl in workloads {
-        let res = run_job(spec_for(&wl, wl_nranks(&wl.name), ProtocolChoice::Pcl, 0.5))
-            .unwrap_or_else(|e| panic!("{} failed: {e}", wl.name));
-        assert_eq!(res.leftover_unexpected, 0, "{}", wl.name);
+        let spec = spec_for(&wl, wl_nranks(&wl.name), ProtocolChoice::Pcl, 0.5);
+        runner.add(wl.name.clone(), move || spec);
+    }
+    for (name, result) in names.into_iter().zip(runner.run()) {
+        let res = result.unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        assert_eq!(res.leftover_unexpected, 0, "{name}");
     }
 }
 
@@ -81,7 +104,10 @@ fn bt_recovers_from_failure_under_both_protocols() {
         spec.failures = FailurePlan::kill_at(kill, 1);
         let failed = run_job(spec).expect("failed run");
         assert_eq!(failed.rt.restarts, 1, "{proto:?}");
-        assert!(failed.completion_secs() > clean.completion_secs(), "{proto:?}");
+        assert!(
+            failed.completion_secs() > clean.completion_secs(),
+            "{proto:?}"
+        );
         assert_eq!(failed.leftover_unexpected, 0, "{proto:?}");
         assert_eq!(failed.leftover_posted, 0, "{proto:?}");
     }
@@ -149,8 +175,10 @@ fn netpipe_ratios_match_the_paper() {
         let app = synth::netpipe_app(1 << 20, 2, Arc::clone(&results));
         let mut spec = JobSpec::new(2, ProtocolChoice::Dummy, app);
         spec.platform = Platform::Grid;
-        spec.placement_override =
-            Some(vec![ftmpi::net::NodeId(nodes[0]), ftmpi::net::NodeId(nodes[1])]);
+        spec.placement_override = Some(vec![
+            ftmpi::net::NodeId(nodes[0]),
+            ftmpi::net::NodeId(nodes[1]),
+        ]);
         run_job(spec).expect("netpipe");
         let out = results.lock().clone();
         out
