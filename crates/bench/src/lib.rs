@@ -312,6 +312,84 @@ pub fn secs(x: f64) -> String {
     format!("{x:.1}")
 }
 
+/// Checker probe configurations: one spec per figure-workload family
+/// (GigE cluster, Myrinet stacks, grid) for each checkpointing protocol,
+/// shrunk enough to re-run several times under perturbation seeds.
+///
+/// `fast` selects the tiny sample class (CI smoke); the full set runs
+/// class A at the paper's smallest rank counts. Periods are compressed so
+/// every probe commits multiple waves within its short runtime. Each call
+/// returns fresh specs, so callers can request two copies and attach a
+/// failure schedule to one.
+pub fn figure_probe_specs(fast: bool) -> Vec<(String, JobSpec)> {
+    let class = if fast { NasClass::S } else { NasClass::A };
+    let cls = if fast { "S" } else { "A" };
+    let (bt_n, cg_n) = if fast { (4, 4) } else { (9, 8) };
+    let mut probes = Vec::new();
+    let mut push = |name: String, mut spec: JobSpec, period_s: f64| {
+        spec.ft.period = SimDuration::from_secs_f64(period_s);
+        spec.ft.first_wave_delay = SimDuration::from_secs_f64(period_s / 2.0);
+        probes.push((name, spec));
+    };
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        let p = proto_name(proto);
+        let bt = bt_workload(class, bt_n);
+        let cg = cg_workload(class, cg_n);
+        // §5.2 GigE cluster (figures 5/6/8).
+        push(
+            format!("bt.{cls}.{bt_n}.gige.{p}"),
+            cluster_spec(
+                &bt,
+                bt_n,
+                proto,
+                2,
+                SimDuration::from_secs_f64(if fast { 0.25 } else { 30.0 }),
+            ),
+            if fast { 0.25 } else { 30.0 },
+        );
+        push(
+            format!("cg.{cls}.{cg_n}.gige.{p}"),
+            cluster_spec(
+                &cg,
+                cg_n,
+                proto,
+                2,
+                SimDuration::from_secs_f64(if fast { 0.1 } else { 10.0 }),
+            ),
+            if fast { 0.1 } else { 10.0 },
+        );
+        // §5.3 Myrinet with the protocol's natural stack (figure 7).
+        let stack = match proto {
+            ProtocolChoice::Vcl | ProtocolChoice::Mlog => SoftwareStack::VclDaemon,
+            _ => SoftwareStack::TcpSock,
+        };
+        push(
+            format!("bt.{cls}.{bt_n}.myri.{p}"),
+            myrinet_spec(
+                &bt,
+                bt_n,
+                proto,
+                stack,
+                2,
+                SimDuration::from_secs_f64(if fast { 0.25 } else { 30.0 }),
+            ),
+            if fast { 0.25 } else { 30.0 },
+        );
+        // §5.4 grid deployment (figure 9).
+        push(
+            format!("bt.{cls}.{bt_n}.grid.{p}"),
+            grid_spec(
+                &bt,
+                bt_n,
+                proto,
+                SimDuration::from_secs_f64(if fast { 0.25 } else { 30.0 }),
+            ),
+            if fast { 0.25 } else { 30.0 },
+        );
+    }
+    probes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

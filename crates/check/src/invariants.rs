@@ -1,0 +1,674 @@
+//! Consistent-cut invariants over protocol traces.
+//!
+//! The checker splits a trace into eras (spans between global restarts)
+//! and proves, per era:
+//!
+//! * every message carries the epoch of the era it was launched in;
+//! * per channel, deliveries replay the send order exactly (FIFO), with
+//!   no duplication, and — in the final era — no loss;
+//! * deliveries of pre-restart messages are preceded by a recorded
+//!   `Replay` (a checkpointed message re-injected during recovery);
+//!
+//! and, for every *committed* checkpoint wave:
+//!
+//! * each rank forked exactly once before the commit;
+//! * exactly one channel marker crossed every ordered rank pair, each
+//!   matching a recorded marker send;
+//! * no orphan messages (sent after the source's fork yet delivered
+//!   before the destination's — a message "from the future" that would
+//!   be received twice after a rollback);
+//! * blocking protocol (Pcl): channels are empty at fork — every message
+//!   sent before the source forked was delivered before the destination
+//!   forked;
+//! * non-blocking protocol (Vcl): the channel logs hold *exactly* the
+//!   messages crossing the cut (sent before the source's fork, delivered
+//!   after the destination's).
+
+use std::collections::BTreeMap;
+
+use ftmpi_core::ProtocolChoice;
+use ftmpi_sim::{ProtoEvent, TraceEvent};
+
+use crate::proto::{eras, proto_count, Era};
+
+/// One invariant violation found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A message was launched with an epoch different from its era.
+    SendEpochMismatch {
+        /// Era the send was recorded in.
+        era: u64,
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Channel sequence number.
+        seq: u64,
+        /// Epoch stamped on the message.
+        epoch: u64,
+    },
+    /// Restart events did not arrive in epoch order.
+    EraOutOfOrder {
+        /// Expected era number at this position.
+        expected: u64,
+        /// Era number actually recorded.
+        got: u64,
+    },
+    /// Per-channel delivery order diverged from send order.
+    FifoMismatch {
+        /// Era of the channel segment.
+        era: u64,
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Position in the channel's delivery order.
+        pos: usize,
+        /// Sequence number sent at that position.
+        sent: u64,
+        /// Sequence number delivered at that position.
+        delivered: u64,
+    },
+    /// More deliveries than sends on a channel (duplication).
+    DuplicatedDelivery {
+        /// Era of the channel segment.
+        era: u64,
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Number of surplus deliveries.
+        extra: usize,
+    },
+    /// The final era ended with sent-but-never-delivered messages.
+    LostMessages {
+        /// Era of the channel segment (the last one).
+        era: u64,
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Number of undelivered sends.
+        missing: usize,
+    },
+    /// A pre-restart message was delivered without a recorded replay.
+    UnreplayedDelivery {
+        /// Era the delivery happened in.
+        era: u64,
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Channel sequence number.
+        seq: u64,
+        /// Epoch stamped on the message.
+        epoch: u64,
+    },
+    /// A committed wave saw `count` forks for a rank instead of one.
+    ForkCount {
+        /// Wave number.
+        wave: u64,
+        /// The rank concerned.
+        rank: usize,
+        /// Forks recorded before the commit.
+        count: usize,
+    },
+    /// A committed wave saw `recvs` marker receptions on an ordered rank
+    /// pair instead of exactly one.
+    MarkerMismatch {
+        /// Wave number.
+        wave: u64,
+        /// Marker origin rank.
+        from: usize,
+        /// Marker destination rank.
+        to: usize,
+        /// Receptions recorded before the commit.
+        recvs: usize,
+    },
+    /// A marker was received without a matching recorded send.
+    UnmatchedMarker {
+        /// Wave number.
+        wave: u64,
+        /// Marker origin rank.
+        from: usize,
+        /// Marker destination rank.
+        to: usize,
+    },
+    /// Orphan message: sent after the source's fork, delivered before the
+    /// destination's — it would be resent *and* already consumed after a
+    /// rollback to this wave.
+    OrphanMessage {
+        /// Wave number.
+        wave: u64,
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Channel sequence number.
+        seq: u64,
+    },
+    /// Blocking protocol: a message was still in the channel when the
+    /// endpoint forked (Pcl's synchronization exists to prevent this).
+    ChannelNotEmptyAtFork {
+        /// Wave number.
+        wave: u64,
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Channel sequence number.
+        seq: u64,
+    },
+    /// Vcl: a channel's log differs from the messages that actually
+    /// crossed the cut.
+    LogMismatch {
+        /// Wave number.
+        wave: u64,
+        /// Sending rank of the channel.
+        src: usize,
+        /// Receiving (logging) rank of the channel.
+        dst: usize,
+        /// Seqnos crossing the cut per the send/deliver records.
+        crossing: Vec<u64>,
+        /// Seqnos actually logged.
+        logged: Vec<u64>,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::SendEpochMismatch {
+                era,
+                src,
+                dst,
+                seq,
+                epoch,
+            } => write!(
+                f,
+                "era {era}: send {src}->{dst} seq {seq} stamped epoch {epoch}"
+            ),
+            Violation::EraOutOfOrder { expected, got } => {
+                write!(
+                    f,
+                    "restart out of order: expected era {expected}, got {got}"
+                )
+            }
+            Violation::FifoMismatch {
+                era,
+                src,
+                dst,
+                pos,
+                sent,
+                delivered,
+            } => write!(
+                f,
+                "era {era}: channel {src}->{dst} position {pos} sent seq {sent} \
+                 but delivered seq {delivered}"
+            ),
+            Violation::DuplicatedDelivery {
+                era,
+                src,
+                dst,
+                extra,
+            } => write!(
+                f,
+                "era {era}: channel {src}->{dst} delivered {extra} more message(s) than sent"
+            ),
+            Violation::LostMessages {
+                era,
+                src,
+                dst,
+                missing,
+            } => write!(
+                f,
+                "era {era}: channel {src}->{dst} lost {missing} message(s)"
+            ),
+            Violation::UnreplayedDelivery {
+                era,
+                src,
+                dst,
+                seq,
+                epoch,
+            } => write!(
+                f,
+                "era {era}: delivery of epoch-{epoch} message {src}->{dst} seq {seq} \
+                 without a recorded replay"
+            ),
+            Violation::ForkCount { wave, rank, count } => write!(
+                f,
+                "wave {wave}: rank {rank} forked {count} time(s) before commit (expected 1)"
+            ),
+            Violation::MarkerMismatch {
+                wave,
+                from,
+                to,
+                recvs,
+            } => write!(
+                f,
+                "wave {wave}: marker {from}->{to} received {recvs} time(s) before commit \
+                 (expected 1)"
+            ),
+            Violation::UnmatchedMarker { wave, from, to } => {
+                write!(
+                    f,
+                    "wave {wave}: marker {from}->{to} received but never sent"
+                )
+            }
+            Violation::OrphanMessage {
+                wave,
+                src,
+                dst,
+                seq,
+            } => write!(
+                f,
+                "wave {wave}: orphan message {src}->{dst} seq {seq} (sent after source fork, \
+                 delivered before destination fork)"
+            ),
+            Violation::ChannelNotEmptyAtFork {
+                wave,
+                src,
+                dst,
+                seq,
+            } => write!(
+                f,
+                "wave {wave}: channel {src}->{dst} not empty at fork (seq {seq} in transit)"
+            ),
+            Violation::LogMismatch {
+                wave,
+                src,
+                dst,
+                crossing,
+                logged,
+            } => write!(
+                f,
+                "wave {wave}: channel {src}->{dst} log mismatch: crossing seqs {crossing:?} \
+                 vs logged {logged:?}"
+            ),
+        }
+    }
+}
+
+/// Result of checking one trace.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Every violation found, in detection order.
+    pub violations: Vec<Violation>,
+    /// Protocol events examined.
+    pub proto_events: usize,
+    /// Eras (1 + restarts) in the trace.
+    pub eras: usize,
+    /// Committed waves whose cut was verified.
+    pub waves_checked: usize,
+}
+
+impl CheckReport {
+    /// `true` when no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+type Chan = (usize, usize);
+
+/// Bookkeeping for one era, filled by a single pass over its events.
+#[derive(Default)]
+struct EraData {
+    /// Per channel: `(trace idx, seq)` of current-epoch sends, in order.
+    sends: BTreeMap<Chan, Vec<(usize, u64)>>,
+    /// Per channel: `(trace idx, seq)` of current-epoch deliveries.
+    delivers: BTreeMap<Chan, Vec<(usize, u64)>>,
+    /// Replayed checkpointed messages not yet claimed by a delivery.
+    replays: Vec<(usize, usize, u64, u64)>,
+    /// Per wave: `(trace idx, rank)` of forks.
+    forks: BTreeMap<u64, Vec<(usize, usize)>>,
+    /// Marker sends seen, keyed `(wave, from, to)`.
+    marker_sends: BTreeMap<(u64, usize, usize), usize>,
+    /// Per wave: `(trace idx, from, to)` of marker receptions.
+    marker_recvs: BTreeMap<u64, Vec<(usize, usize, usize)>>,
+    /// Per wave: logged channel-state entries `(src, dst, seq)`.
+    logs: BTreeMap<u64, Vec<(usize, usize, u64)>>,
+    /// Per wave: trace idx of the commit.
+    commits: BTreeMap<u64, usize>,
+}
+
+/// Check every invariant the trace supports for `protocol`.
+///
+/// `nranks` is the job size (defines the marker/fork completeness
+/// expectations); `trace` is the raw record from
+/// [`ftmpi_core::run_job_with`] with tracing enabled.
+pub fn check_trace(protocol: ProtocolChoice, nranks: usize, trace: &[TraceEvent]) -> CheckReport {
+    let mut report = CheckReport {
+        proto_events: proto_count(trace),
+        ..CheckReport::default()
+    };
+    let split = eras(trace);
+    report.eras = split.len();
+    for (pos, era) in split.iter().enumerate() {
+        if era.era != pos as u64 {
+            report.violations.push(Violation::EraOutOfOrder {
+                expected: pos as u64,
+                got: era.era,
+            });
+        }
+        let is_final = pos + 1 == split.len();
+        check_era(protocol, nranks, era, is_final, &mut report);
+    }
+    report
+}
+
+fn check_era(
+    protocol: ProtocolChoice,
+    nranks: usize,
+    era: &Era,
+    is_final: bool,
+    report: &mut CheckReport,
+) {
+    let data = collect_era(era, &mut report.violations);
+    check_fifo(era.era, &data, is_final, &mut report.violations);
+    check_waves(protocol, nranks, &data, report);
+}
+
+/// Single pass: bucket the era's events and validate epoch stamping and
+/// replay pairing, which depend on in-era ordering.
+fn collect_era(era: &Era, violations: &mut Vec<Violation>) -> EraData {
+    let mut data = EraData::default();
+    for ind in &era.events {
+        match ind.ev {
+            ProtoEvent::Send {
+                src,
+                dst,
+                seq,
+                epoch,
+                ..
+            } => {
+                if epoch != era.era {
+                    violations.push(Violation::SendEpochMismatch {
+                        era: era.era,
+                        src,
+                        dst,
+                        seq,
+                        epoch,
+                    });
+                }
+                data.sends
+                    .entry((src, dst))
+                    .or_default()
+                    .push((ind.idx, seq));
+            }
+            ProtoEvent::Deliver {
+                src,
+                dst,
+                seq,
+                epoch,
+            } => {
+                if epoch == era.era {
+                    data.delivers
+                        .entry((src, dst))
+                        .or_default()
+                        .push((ind.idx, seq));
+                } else {
+                    // A pre-restart message: legitimate only as the
+                    // re-injection of a checkpointed message, which records
+                    // a Replay just before.
+                    let found = data
+                        .replays
+                        .iter()
+                        .position(|&(s, d, q, e)| (s, d, q, e) == (src, dst, seq, epoch));
+                    match found {
+                        Some(i) => {
+                            data.replays.swap_remove(i);
+                        }
+                        None => violations.push(Violation::UnreplayedDelivery {
+                            era: era.era,
+                            src,
+                            dst,
+                            seq,
+                            epoch,
+                        }),
+                    }
+                }
+            }
+            ProtoEvent::Replay {
+                src,
+                dst,
+                seq,
+                epoch,
+            } => {
+                data.replays.push((src, dst, seq, epoch));
+            }
+            ProtoEvent::MarkerSend { wave, from, to } => {
+                *data.marker_sends.entry((wave, from, to)).or_default() += 1;
+            }
+            ProtoEvent::MarkerRecv { wave, from, to } => {
+                data.marker_recvs
+                    .entry(wave)
+                    .or_default()
+                    .push((ind.idx, from, to));
+            }
+            ProtoEvent::Fork { wave, rank, .. } => {
+                data.forks.entry(wave).or_default().push((ind.idx, rank));
+            }
+            ProtoEvent::LogMsg {
+                wave,
+                src,
+                dst,
+                seq,
+            } => {
+                data.logs.entry(wave).or_default().push((src, dst, seq));
+            }
+            ProtoEvent::WaveCommit { wave } => {
+                data.commits.insert(wave, ind.idx);
+            }
+            ProtoEvent::WaveStart { .. } | ProtoEvent::Restart { .. } => {}
+        }
+    }
+    data
+}
+
+/// Per-channel FIFO: deliveries must replay the send order as a prefix
+/// (exactly, in the final era). Replayed pre-restart messages are checked
+/// separately in [`collect_era`]; duplicate-suppressed replays are legal.
+fn check_fifo(era: u64, data: &EraData, is_final: bool, violations: &mut Vec<Violation>) {
+    for (&(src, dst), dvec) in &data.delivers {
+        let svec = data
+            .sends
+            .get(&(src, dst))
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        if dvec.len() > svec.len() {
+            violations.push(Violation::DuplicatedDelivery {
+                era,
+                src,
+                dst,
+                extra: dvec.len() - svec.len(),
+            });
+        }
+        for (pos, &(_, dseq)) in dvec.iter().enumerate() {
+            let Some(&(_, sseq)) = svec.get(pos) else {
+                break;
+            };
+            if dseq != sseq {
+                violations.push(Violation::FifoMismatch {
+                    era,
+                    src,
+                    dst,
+                    pos,
+                    sent: sseq,
+                    delivered: dseq,
+                });
+                break;
+            }
+        }
+    }
+    if is_final {
+        for (&(src, dst), svec) in &data.sends {
+            let delivered = data.delivers.get(&(src, dst)).map(Vec::len).unwrap_or(0);
+            if delivered < svec.len() {
+                violations.push(Violation::LostMessages {
+                    era,
+                    src,
+                    dst,
+                    missing: svec.len() - delivered,
+                });
+            }
+        }
+    }
+}
+
+/// Cut consistency for every committed wave of the era.
+fn check_waves(protocol: ProtocolChoice, nranks: usize, data: &EraData, report: &mut CheckReport) {
+    for (&wave, &commit_idx) in &data.commits {
+        report.waves_checked += 1;
+        // Exactly one fork per rank, before the commit.
+        let mut fork_of: Vec<Option<usize>> = vec![None; nranks];
+        let mut fork_count = vec![0usize; nranks];
+        for &(idx, rank) in data.forks.get(&wave).map(Vec::as_slice).unwrap_or(&[]) {
+            if rank < nranks && idx < commit_idx {
+                fork_count[rank] += 1;
+                fork_of[rank].get_or_insert(idx);
+            }
+        }
+        for (rank, &count) in fork_count.iter().enumerate() {
+            if count != 1 {
+                report
+                    .violations
+                    .push(Violation::ForkCount { wave, rank, count });
+            }
+        }
+        // Exactly one marker per ordered pair, each matching a send.
+        let mut recv_count: BTreeMap<Chan, usize> = BTreeMap::new();
+        for &(idx, from, to) in data
+            .marker_recvs
+            .get(&wave)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+        {
+            if idx < commit_idx {
+                *recv_count.entry((from, to)).or_default() += 1;
+                if data
+                    .marker_sends
+                    .get(&(wave, from, to))
+                    .copied()
+                    .unwrap_or(0)
+                    == 0
+                {
+                    report
+                        .violations
+                        .push(Violation::UnmatchedMarker { wave, from, to });
+                }
+            }
+        }
+        for from in 0..nranks {
+            for to in 0..nranks {
+                if from == to {
+                    continue;
+                }
+                let recvs = recv_count.get(&(from, to)).copied().unwrap_or(0);
+                if recvs != 1 {
+                    report.violations.push(Violation::MarkerMismatch {
+                        wave,
+                        from,
+                        to,
+                        recvs,
+                    });
+                }
+            }
+        }
+        // Per-channel cut checks need the fork on both endpoints.
+        for (&(src, dst), svec) in &data.sends {
+            if src == dst {
+                continue; // self-channels never cross the cut
+            }
+            let (Some(fs), Some(fd)) = (
+                fork_of.get(src).copied().flatten(),
+                fork_of.get(dst).copied().flatten(),
+            ) else {
+                continue; // fork violations already reported above
+            };
+            let dvec = data
+                .delivers
+                .get(&(src, dst))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let mut crossing: Vec<u64> = Vec::new();
+            for (pos, &(sidx, seq)) in svec.iter().enumerate() {
+                // Positional pairing; if FIFO already failed the pairing is
+                // unreliable, but those traces are rejected regardless.
+                match dvec.get(pos) {
+                    Some(&(didx, _)) => {
+                        if sidx > fs && didx < fd {
+                            report.violations.push(Violation::OrphanMessage {
+                                wave,
+                                src,
+                                dst,
+                                seq,
+                            });
+                        }
+                        if sidx < fs && didx > fd {
+                            crossing.push(seq);
+                        }
+                    }
+                    None => {
+                        // Sent before the fork but never delivered this
+                        // era: the message was in the channel at the cut.
+                        if sidx < fs {
+                            crossing.push(seq);
+                        }
+                    }
+                }
+            }
+            match protocol {
+                ProtocolChoice::Pcl => {
+                    for &seq in &crossing {
+                        report.violations.push(Violation::ChannelNotEmptyAtFork {
+                            wave,
+                            src,
+                            dst,
+                            seq,
+                        });
+                    }
+                }
+                ProtocolChoice::Vcl => {
+                    let mut logged: Vec<u64> = data
+                        .logs
+                        .get(&wave)
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter(|&&(s, d, _)| (s, d) == (src, dst))
+                        .map(|&(_, _, q)| q)
+                        .collect();
+                    let mut crossing = crossing;
+                    crossing.sort_unstable();
+                    logged.sort_unstable();
+                    if crossing != logged {
+                        report.violations.push(Violation::LogMismatch {
+                            wave,
+                            src,
+                            dst,
+                            crossing,
+                            logged,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Vcl: logged entries on channels that never sent anything are
+        // fabrications (the per-channel loop above cannot see them).
+        if protocol == ProtocolChoice::Vcl {
+            for &(src, dst, seq) in data.logs.get(&wave).map(Vec::as_slice).unwrap_or(&[]) {
+                if !data.sends.contains_key(&(src, dst)) {
+                    report.violations.push(Violation::LogMismatch {
+                        wave,
+                        src,
+                        dst,
+                        crossing: Vec::new(),
+                        logged: vec![seq],
+                    });
+                }
+            }
+        }
+    }
+}

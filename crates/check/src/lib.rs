@@ -1,0 +1,36 @@
+//! `ftmpi-check`: machine verification of the checkpointing protocols.
+//!
+//! Three layers, each consuming the structured protocol traces recorded by
+//! [`ftmpi_sim::SimCtx::trace_proto`]:
+//!
+//! * [`invariants`] — proves, for every committed checkpoint wave in a
+//!   trace, that the recorded global state is a *consistent cut*: no orphan
+//!   messages, the Vcl channel logs hold exactly the in-transit messages,
+//!   Pcl channels are empty at fork, and every channel stays FIFO with no
+//!   loss or duplication across failures and restarts.
+//! * [`perturb`] — a determinism/race detector: re-runs a configuration
+//!   under seeded perturbations of same-time event tiebreaks and compares
+//!   order-canonical trace [`fingerprint`]s. Divergence means some model
+//!   state depends on the accidental order of independent events.
+//! * [`lint`] — a hand-rolled source lint enforcing the workspace's
+//!   determinism rules (no wall-clock reads in simulation crates, no
+//!   iteration over `HashMap` feeding ordered output, no `unwrap()` in
+//!   `crates/core`).
+//!
+//! The `ftmpi-check` binary exposes them as `lint`, `smoke`, and `figures`
+//! subcommands; `scripts/ci.sh` runs the first two on every change.
+
+#![warn(missing_docs)]
+
+pub mod fingerprint;
+pub mod invariants;
+pub mod lint;
+pub mod perturb;
+pub mod proto;
+pub mod suite;
+
+pub use fingerprint::trace_fingerprint;
+pub use invariants::{check_trace, CheckReport, Violation};
+pub use lint::{lint_source, run_lint, LintHit};
+pub use perturb::{perturbation_check, PerturbReport};
+pub use suite::{figures_suite, run_checked, run_checked_with_churn, smoke_probes, ProbeOutcome};

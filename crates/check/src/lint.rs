@@ -1,0 +1,341 @@
+//! Hand-rolled workspace lint (no external dependencies, no syn).
+//!
+//! Three rules guard the determinism contract of the simulation:
+//!
+//! * `wallclock-in-sim` — no `std::time::Instant` / `SystemTime` in the
+//!   simulation and protocol crates (`sim`, `net`, `mpi`, `core`, `nas`).
+//!   Wall-clock reads there would leak host timing into virtual-time
+//!   decisions. The bench harness measures real elapsed time and is
+//!   exempt.
+//! * `hashmap-order` — no iteration over a `HashMap` feeding ordered
+//!   output. `HashMap` iteration order is randomized per process; it may
+//!   only be iterated into an order-insensitive sink (`sum`, `count`,
+//!   `any`, `all`, …) or followed by an explicit sort within a few lines.
+//! * `core-unwrap` — no `.unwrap()` in `crates/core/src`: protocol code
+//!   must carry an explanation (`expect`) or handle the `None`/`Err`.
+//!
+//! Escape hatch: a `lint:allow(<rule>)` comment on the offending line or
+//! the line above suppresses the finding.
+//!
+//! The scanner strips line comments and string literals before matching,
+//! so rule needles inside doc comments or message strings don't trip it.
+
+use std::path::Path;
+
+/// Rule id: wall-clock reads in simulation crates.
+pub const RULE_WALLCLOCK: &str = "wallclock-in-sim";
+/// Rule id: HashMap iteration feeding ordered output.
+pub const RULE_HASHMAP_ORDER: &str = "hashmap-order";
+/// Rule id: `.unwrap()` in `crates/core`.
+pub const RULE_CORE_UNWRAP: &str = "core-unwrap";
+
+/// Crates whose `src/` must not read the wall clock.
+const WALLCLOCK_CRATES: &[&str] = &["sim", "net", "mpi", "core", "nas"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintHit {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LintHit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Strip string literals and `//` comments from one source line, keeping
+/// byte positions stable where possible (stripped spans become spaces).
+fn scrub(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    let mut in_char_escape = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            if in_char_escape {
+                in_char_escape = false;
+            } else if c == '\\' {
+                in_char_escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            out.push(' ');
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(' ');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// The identifier a `HashMap` declaration binds, if recognizable:
+/// `name: HashMap<...>` (field or typed let) or `name = HashMap::new()`.
+fn hashmap_binding(scrubbed: &str) -> Option<String> {
+    let at = scrubbed.find("HashMap")?;
+    let before = scrubbed[..at].trim_end();
+    let before = before
+        .strip_suffix(':')
+        .or_else(|| before.strip_suffix('='))
+        .map(str::trim_end)?;
+    let name: String = before
+        .chars()
+        .rev()
+        .take_while(|&c| is_ident_char(c))
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Iteration methods whose order reaches the caller.
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain()",
+];
+
+/// Sinks that collapse iteration order on the same line.
+const ORDER_FREE_SINKS: &[&str] = &[
+    ".sum()", ".sum::", ".count()", ".any(", ".all(", ".min()", ".max()", ".len()", ".fold(0",
+];
+
+/// How far (in lines) a sort may follow an iteration to sanction it.
+const SORT_WINDOW: usize = 8;
+
+fn allowed(lines: &[&str], i: usize, rule: &str) -> bool {
+    let marker = format!("lint:allow({rule})");
+    lines[i].contains(&marker) || (i > 0 && lines[i - 1].contains(&marker))
+}
+
+/// Lint one file's text. `relpath` is the workspace-relative path (it
+/// selects which rules apply).
+pub fn lint_source(relpath: &str, text: &str) -> Vec<LintHit> {
+    let mut hits = Vec::new();
+    let lines: Vec<&str> = text.lines().collect();
+    let scrubbed: Vec<String> = lines.iter().map(|l| scrub(l)).collect();
+    let norm = relpath.replace('\\', "/");
+
+    let in_wallclock_scope = WALLCLOCK_CRATES
+        .iter()
+        .any(|c| norm.starts_with(&format!("crates/{c}/src/")));
+    let in_core_src = norm.starts_with("crates/core/src/");
+
+    // Pass 1: collect HashMap-typed bindings declared in this file.
+    let mut map_names: Vec<String> = Vec::new();
+    for s in &scrubbed {
+        if let Some(name) = hashmap_binding(s) {
+            if !map_names.contains(&name) {
+                map_names.push(name);
+            }
+        }
+    }
+
+    for (i, s) in scrubbed.iter().enumerate() {
+        let lineno = i + 1;
+        if in_wallclock_scope {
+            for needle in [
+                "std::time::Instant",
+                "std::time::SystemTime",
+                "Instant::now",
+                "SystemTime::now",
+            ] {
+                if s.contains(needle) && !allowed(&lines, i, RULE_WALLCLOCK) {
+                    hits.push(LintHit {
+                        file: norm.clone(),
+                        line: lineno,
+                        rule: RULE_WALLCLOCK,
+                        msg: format!(
+                            "wall-clock read `{needle}` in a simulation crate \
+                             (virtual time only)"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+        if in_core_src && s.contains(".unwrap()") && !allowed(&lines, i, RULE_CORE_UNWRAP) {
+            hits.push(LintHit {
+                file: norm.clone(),
+                line: lineno,
+                rule: RULE_CORE_UNWRAP,
+                msg: "`.unwrap()` in protocol code: use `expect` with an \
+                      invariant message or handle the case"
+                    .to_string(),
+            });
+        }
+        for name in &map_names {
+            let Some(call) = ITER_METHODS
+                .iter()
+                .find(|m| contains_member_call(s, name, m))
+            else {
+                continue;
+            };
+            let order_free = ORDER_FREE_SINKS.iter().any(|sink| s.contains(sink));
+            let sorted_soon = scrubbed[i..scrubbed.len().min(i + SORT_WINDOW)]
+                .iter()
+                .any(|l| l.contains("sort"));
+            if !order_free && !sorted_soon && !allowed(&lines, i, RULE_HASHMAP_ORDER) {
+                hits.push(LintHit {
+                    file: norm.clone(),
+                    line: lineno,
+                    rule: RULE_HASHMAP_ORDER,
+                    msg: format!(
+                        "`{name}{call}` iterates a HashMap in arbitrary order; \
+                         sort the result, use an order-free sink, or switch to BTreeMap"
+                    ),
+                });
+            }
+        }
+    }
+    hits
+}
+
+/// `true` if `line` contains `name<method>` with `name` not preceded by an
+/// identifier character (so `pair_last.iter()` doesn't match `last`).
+fn contains_member_call(line: &str, name: &str, method: &str) -> bool {
+    let needle = format!("{name}{method}");
+    let mut from = 0;
+    while let Some(at) = line[from..].find(&needle) {
+        let abs = from + at;
+        let preceded = line[..abs].chars().next_back().is_some_and(is_ident_char);
+        if !preceded {
+            return true;
+        }
+        from = abs + 1;
+    }
+    false
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for determinism.
+fn rust_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = rd.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint every `.rs` file under `<root>/crates`, returning all findings.
+pub fn run_lint(root: &Path) -> Vec<LintHit> {
+    let mut files = Vec::new();
+    rust_files(&root.join("crates"), &mut files);
+    let mut hits = Vec::new();
+    for path in files {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .into_owned();
+        hits.extend(lint_source(&rel, &text));
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wallclock_flagged_only_in_sim_crates() {
+        let src = "use std::time::Instant;\n";
+        assert_eq!(lint_source("crates/sim/src/kernel.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/core/src/vcl.rs", src).len(), 1);
+        assert!(lint_source("crates/bench/src/sweep.rs", src).is_empty());
+        assert!(lint_source("crates/sim/tests/e2e.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_in_comments_and_strings_is_ignored() {
+        let src = "// std::time::Instant is banned here\nlet s = \"Instant::now\";\n";
+        assert!(lint_source("crates/sim/src/kernel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn core_unwrap_flagged_with_allow_escape() {
+        let src = "let x = y.unwrap();\n";
+        let hits = lint_source("crates/core/src/pcl.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RULE_CORE_UNWRAP);
+        assert!(lint_source("crates/mpi/src/runtime.rs", src).is_empty());
+        let allowed = "// lint:allow(core-unwrap)\nlet x = y.unwrap();\n";
+        assert!(lint_source("crates/core/src/pcl.rs", allowed).is_empty());
+        // `unwrap_or` is not `unwrap`.
+        assert!(lint_source("crates/core/src/pcl.rs", "y.unwrap_or(0);\n").is_empty());
+    }
+
+    #[test]
+    fn hashmap_iteration_rules() {
+        let decl = "    requests: HashMap<u64, Req>,\n";
+        let bad = format!("{decl}    for r in requests.values() {{ out.push(r); }}\n");
+        let hits = lint_source("crates/mpi/src/runtime.rs", &bad);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, RULE_HASHMAP_ORDER);
+
+        let summed = format!("{decl}    let n: u64 = requests.values().map(|r| r.n).sum();\n");
+        assert!(lint_source("crates/mpi/src/runtime.rs", &summed).is_empty());
+
+        let sorted =
+            format!("{decl}    let mut v: Vec<_> = requests.values().collect();\n    v.sort();\n");
+        assert!(lint_source("crates/mpi/src/runtime.rs", &sorted).is_empty());
+
+        // An unrelated identifier sharing a suffix does not match.
+        let other = format!("{decl}    best_requests.iter();\n");
+        assert!(lint_source("crates/mpi/src/runtime.rs", &other).is_empty());
+    }
+
+    #[test]
+    fn hashmap_binding_extraction() {
+        assert_eq!(
+            hashmap_binding("    pair_last: HashMap<(NodeId, NodeId), SimTime>,"),
+            Some("pair_last".to_string())
+        );
+        assert_eq!(
+            hashmap_binding("let mut m = HashMap::new();"),
+            Some("m".to_string())
+        );
+        assert_eq!(hashmap_binding("use std::collections::HashMap;"), None);
+    }
+}

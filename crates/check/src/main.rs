@@ -1,0 +1,183 @@
+//! `ftmpi-check` — protocol invariant checker, schedule-perturbation race
+//! detector, and workspace lint.
+//!
+//! Subcommands:
+//!
+//! * `lint` — scan the workspace sources for determinism hazards
+//!   (wall-clock reads in sim crates, HashMap iteration order, `unwrap`
+//!   in protocol code). Exits non-zero on any finding.
+//! * `smoke` — run the CI probe set (both protocols, 8 ranks, one
+//!   failure each) through the invariant checker, plus a perturbation
+//!   pass over seeded tiebreak schedules. Exits non-zero on violations.
+//! * `figures [--full]` — drive every figure workload family through the
+//!   checker with churn variants. `--full` uses the paper-sized classes.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ftmpi_check::{
+    figures_suite, perturbation_check, run_checked_with_churn, run_lint, smoke_probes, ProbeOutcome,
+};
+
+fn workspace_root() -> PathBuf {
+    // The binary runs from the workspace (CI, `cargo run`); fall back to
+    // the manifest's parent-of-parent for out-of-tree invocations.
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if cwd.join("crates").is_dir() {
+        cwd
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(PathBuf::from)
+            .unwrap_or(cwd)
+    }
+}
+
+fn cmd_lint() -> ExitCode {
+    let root = workspace_root();
+    let hits = run_lint(&root);
+    if hits.is_empty() {
+        println!("lint: ok ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        for h in &hits {
+            println!("{h}");
+        }
+        eprintln!("lint: {} finding(s)", hits.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn print_outcome(o: &ProbeOutcome) {
+    println!(
+        "{:32} waves={:<3} restarts={:<2} proto-events={:<7} {}",
+        o.name,
+        o.waves,
+        o.restarts,
+        o.report.proto_events,
+        if o.ok() { "ok" } else { "FAIL" }
+    );
+    for v in &o.report.violations {
+        println!("    violation: {v}");
+    }
+}
+
+fn cmd_smoke() -> ExitCode {
+    let mut failed = false;
+    for (name, _) in smoke_probes() {
+        let mk = {
+            let name = name.clone();
+            move || {
+                smoke_probes()
+                    .into_iter()
+                    .find(|(n, _)| *n == name)
+                    .expect("probe name stable")
+                    .1
+            }
+        };
+        match run_checked_with_churn(&name, mk) {
+            Ok(outcomes) => {
+                for o in &outcomes {
+                    print_outcome(o);
+                    if !o.ok() || o.report.waves_checked == 0 {
+                        failed = true;
+                        if o.report.waves_checked == 0 {
+                            println!("    violation: no wave committed — probe too short");
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                println!("{name:32} error: {e:?}");
+                failed = true;
+            }
+        }
+    }
+
+    // Perturbation pass: the first clean probe of each protocol, three
+    // seeded tiebreak schedules each.
+    for (name, _) in smoke_probes().iter().filter(|(n, _)| !n.ends_with(".kill")) {
+        let label = name.clone();
+        let mk = {
+            let name = name.clone();
+            move || {
+                smoke_probes()
+                    .into_iter()
+                    .find(|(n, _)| *n == name)
+                    .expect("probe name stable")
+                    .1
+            }
+        };
+        match perturbation_check(mk, &[1, 2, 3]) {
+            Ok(rep) => {
+                let div = rep.divergent();
+                println!(
+                    "{:32} fingerprint={:016x} seeds=3 {}",
+                    format!("perturb.{label}"),
+                    rep.baseline,
+                    if div.is_empty() {
+                        "ok".to_string()
+                    } else {
+                        failed = true;
+                        format!("DIVERGENT under seeds {div:?}")
+                    }
+                );
+            }
+            Err(e) => {
+                println!("perturb.{label:24} error: {e:?}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        eprintln!("smoke: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("smoke: ok");
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_figures(full: bool) -> ExitCode {
+    match figures_suite(!full) {
+        Ok(outcomes) => {
+            let mut failed = false;
+            for o in &outcomes {
+                print_outcome(o);
+                if !o.ok() || o.report.waves_checked == 0 {
+                    failed = true;
+                    if o.report.waves_checked == 0 {
+                        println!("    violation: no wave committed — probe too short");
+                    }
+                }
+            }
+            let checked = outcomes.len();
+            if failed {
+                eprintln!("figures: FAILED ({checked} probes)");
+                ExitCode::FAILURE
+            } else {
+                println!("figures: ok ({checked} probes)");
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("figures: error: {e:?}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(),
+        Some("smoke") => cmd_smoke(),
+        Some("figures") => cmd_figures(args.iter().any(|a| a == "--full")),
+        _ => {
+            eprintln!("usage: ftmpi-check <lint|smoke|figures [--full]>");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Structured views over raw kernel traces.
+//!
+//! The checker reasons about *trace indices* — positions in the recorded
+//! execution order — rather than virtual timestamps, because many protocol
+//! steps share an instant and only their execution order defines the cut.
+
+use ftmpi_sim::{ProtoEvent, SimTime, TraceEvent, TraceKind};
+
+/// A protocol event with its position in the execution order and the
+/// virtual time it was recorded at.
+#[derive(Debug, Clone, Copy)]
+pub struct Indexed {
+    /// Position among the trace's protocol events, in execution order.
+    pub idx: usize,
+    /// Virtual time of the record.
+    pub time: SimTime,
+    /// The event itself.
+    pub ev: ProtoEvent,
+}
+
+/// The protocol events of one era: the span between two global restarts
+/// (or the run's start/end). Era `k` is the execution after the `k`-th
+/// restart, so era numbers coincide with message epochs.
+#[derive(Debug, Clone)]
+pub struct Era {
+    /// Era number as claimed by the `Restart` event that opened it
+    /// (0 for the initial era).
+    pub era: u64,
+    /// Events of the era, in execution order. `Restart` markers themselves
+    /// are not included; they live in the boundary between eras.
+    pub events: Vec<Indexed>,
+}
+
+/// Extract the protocol events of a trace, split into eras at `Restart`
+/// boundaries. Non-protocol records (spawns, exits, model lines) are
+/// skipped but do not perturb the index numbering of protocol events.
+pub fn eras(trace: &[TraceEvent]) -> Vec<Era> {
+    let mut out = vec![Era {
+        era: 0,
+        events: Vec::new(),
+    }];
+    let mut idx = 0;
+    for te in trace {
+        if let TraceKind::Proto(ev) = te.kind {
+            let i = idx;
+            idx += 1;
+            if let ProtoEvent::Restart { epoch } = ev {
+                out.push(Era {
+                    era: epoch,
+                    events: Vec::new(),
+                });
+                continue;
+            }
+            let cur = out.last_mut().expect("era list starts non-empty");
+            cur.events.push(Indexed {
+                idx: i,
+                time: te.time,
+                ev,
+            });
+        }
+    }
+    out
+}
+
+/// Total number of protocol events in a trace.
+pub fn proto_count(trace: &[TraceEvent]) -> usize {
+    trace
+        .iter()
+        .filter(|te| matches!(te.kind, TraceKind::Proto(_)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn te(ev: ProtoEvent) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::ZERO,
+            kind: TraceKind::Proto(ev),
+            pid: None,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn splits_on_restarts_and_keeps_global_indices() {
+        let trace = vec![
+            te(ProtoEvent::WaveStart { wave: 1 }),
+            TraceEvent {
+                time: SimTime::ZERO,
+                kind: TraceKind::Spawn,
+                pid: None,
+                detail: String::new(),
+            },
+            te(ProtoEvent::Restart { epoch: 1 }),
+            te(ProtoEvent::WaveStart { wave: 2 }),
+        ];
+        let e = eras(&trace);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].era, 0);
+        assert_eq!(e[0].events.len(), 1);
+        assert_eq!(e[0].events[0].idx, 0);
+        assert_eq!(e[1].era, 1);
+        // The non-proto Spawn record does not consume a protocol index.
+        assert_eq!(e[1].events[0].idx, 2);
+        assert_eq!(proto_count(&trace), 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! Checker-enabled probe suites.
+//!
+//! [`smoke_probes`] is the CI set: synthetic workloads with known timing
+//! (ring, allreduce, producer/consumer stream) at 8 ranks under both
+//! protocols, each with one mid-run failure, plus a logging-heavy Vcl
+//! stream. [`figures_suite`] drives every figure-workload family from the
+//! bench crate through the checker, adding a churn variant that kills a
+//! rank shortly after the first committed wave.
+
+use std::sync::Arc;
+
+use ftmpi_core::{
+    run_job_with, FailurePlan, FtConfig, JobError, JobSpec, ProtocolChoice, RunOptions,
+};
+use ftmpi_mpi::AppFn;
+use ftmpi_sim::{ProtoEvent, SimDuration, SimTime, TraceKind};
+
+use crate::invariants::{check_trace, CheckReport};
+
+/// Outcome of one checked probe run.
+#[derive(Debug)]
+pub struct ProbeOutcome {
+    /// Probe label.
+    pub name: String,
+    /// Committed checkpoint waves.
+    pub waves: u64,
+    /// Failure-restarts performed.
+    pub restarts: u64,
+    /// The invariant-checker verdict.
+    pub report: CheckReport,
+}
+
+impl ProbeOutcome {
+    /// `true` when no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.report.ok()
+    }
+}
+
+/// Ring workload: each iteration sends to the right neighbour, receives
+/// from the left, then computes (the BT-like probe app).
+pub fn ring_app(iters: usize, bytes: u64, compute: SimDuration) -> AppFn {
+    Arc::new(move |mpi| {
+        let n = mpi.size();
+        let right = (mpi.rank() + 1) % n;
+        let left = (mpi.rank() + n - 1) % n;
+        for i in 0..iters {
+            let req = mpi.irecv(Some(left), Some(i as i32));
+            mpi.send(right, i as i32, bytes);
+            mpi.wait(req);
+            mpi.compute(compute);
+        }
+    })
+}
+
+/// Producer/consumer stream: rank 0 fires eager sends back-to-back, rank 1
+/// consumes slowly — a wave arriving mid-stream finds messages genuinely
+/// in the channel (the Vcl logging probe).
+pub fn stream_app(count: usize, bytes: u64, consume: SimDuration) -> AppFn {
+    Arc::new(move |mpi| match mpi.rank() {
+        0 => {
+            for i in 0..count {
+                mpi.send(1, (i % 1000) as i32, bytes);
+            }
+        }
+        1 => {
+            for i in 0..count {
+                mpi.recv(Some(0), Some((i % 1000) as i32));
+                mpi.compute(consume);
+            }
+        }
+        _ => {}
+    })
+}
+
+fn smoke_spec(nranks: usize, protocol: ProtocolChoice, app: AppFn) -> JobSpec {
+    let mut spec = JobSpec::new(nranks, protocol, app);
+    spec.servers = 2;
+    spec.ft = FtConfig {
+        period: SimDuration::from_secs(5),
+        first_wave_delay: SimDuration::from_secs(2),
+        image_bytes: 4 << 20,
+        ..FtConfig::default()
+    };
+    spec.max_virtual_time = Some(SimTime::from_nanos(600_000_000_000));
+    spec
+}
+
+/// The CI smoke probes: both protocols at 8 ranks, plus a logging-heavy
+/// Vcl stream. Churn (mid-run kill) variants are derived per probe by
+/// [`run_checked_with_churn`].
+pub fn smoke_probes() -> Vec<(String, JobSpec)> {
+    let mut probes = Vec::new();
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        let name = match proto {
+            ProtocolChoice::Pcl => "pcl",
+            _ => "vcl",
+        };
+        let mut clean = smoke_spec(
+            8,
+            proto,
+            ring_app(100, 10_000, SimDuration::from_millis(200)),
+        );
+        clean.ft.period = SimDuration::from_secs(4);
+        probes.push((format!("smoke.ring8.{name}"), clean));
+    }
+    let mut stream = smoke_spec(
+        2,
+        ProtocolChoice::Vcl,
+        stream_app(200, 256 << 10, SimDuration::from_millis(2)),
+    );
+    stream.ft.first_wave_delay = SimDuration::from_millis(200);
+    stream.ft.period = SimDuration::from_secs(1);
+    probes.push(("smoke.stream2.vcl".to_string(), stream));
+    probes
+}
+
+/// Run one spec with tracing enabled and check every invariant.
+pub fn run_checked(name: &str, spec: JobSpec) -> Result<ProbeOutcome, JobError> {
+    let nranks = spec.nranks;
+    let protocol = spec.protocol;
+    let (res, trace) = run_job_with(
+        spec,
+        RunOptions {
+            trace: true,
+            tiebreak_seed: None,
+        },
+    )?;
+    Ok(ProbeOutcome {
+        name: name.to_string(),
+        waves: res.waves(),
+        restarts: res.rt.restarts,
+        report: check_trace(protocol, nranks, &trace),
+    })
+}
+
+/// Run a probe, then — if it committed a wave — re-run it with a failure
+/// injected between the first commit and completion, checking both traces.
+/// The kill time is derived from the clean run, so the churn variant works
+/// for workloads whose duration is not known a priori.
+pub fn run_checked_with_churn(
+    name: &str,
+    mk_spec: impl Fn() -> JobSpec,
+) -> Result<Vec<ProbeOutcome>, JobError> {
+    let spec = mk_spec();
+    let nranks = spec.nranks;
+    let protocol = spec.protocol;
+    let (res, trace) = run_job_with(
+        spec,
+        RunOptions {
+            trace: true,
+            tiebreak_seed: None,
+        },
+    )?;
+    let first_commit = trace.iter().find_map(|te| match te.kind {
+        TraceKind::Proto(ProtoEvent::WaveCommit { .. }) => Some(te.time.as_nanos()),
+        _ => None,
+    });
+    let mut out = vec![ProbeOutcome {
+        name: name.to_string(),
+        waves: res.waves(),
+        restarts: res.rt.restarts,
+        report: check_trace(protocol, nranks, &trace),
+    }];
+    if let Some(commit_ns) = first_commit {
+        let end_ns = res.completion.as_nanos();
+        if commit_ns < end_ns {
+            // Strike a quarter of the way from the commit to the end:
+            // comfortably after the checkpoint, comfortably before the
+            // finish line.
+            let kill_ns = commit_ns + (end_ns - commit_ns) / 4;
+            let mut churn = mk_spec();
+            churn.failures = FailurePlan::kill_at(SimTime::from_nanos(kill_ns), nranks - 1);
+            out.push(run_checked(&format!("{name}.kill"), churn)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Drive every figure-workload probe (both protocols, all platform
+/// families) through the checker, with churn variants.
+pub fn figures_suite(fast: bool) -> Result<Vec<ProbeOutcome>, JobError> {
+    let names: Vec<String> = ftmpi_bench::figure_probe_specs(fast)
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
+    let mut out = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let mk = || {
+            ftmpi_bench::figure_probe_specs(fast)
+                .into_iter()
+                .nth(i)
+                .expect("probe index in range")
+                .1
+        };
+        out.extend(run_checked_with_churn(name, mk)?);
+    }
+    Ok(out)
+}

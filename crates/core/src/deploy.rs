@@ -86,7 +86,7 @@ impl Deployment {
             compute.len() - 1
         );
         // The service node is the last free compute-class node.
-        let service_node = *compute.last().unwrap();
+        let service_node = *compute.last().expect("grid clusters provide compute nodes");
         let placement = Placement::explicit(compute[..nranks].to_vec());
         // Every rank uses a server in its own cluster, round-robin.
         let mut per_cluster_counter = vec![0usize; topo.cluster_count()];

@@ -15,7 +15,7 @@
 
 use ftmpi_mpi::World;
 use ftmpi_net::NodeId;
-use ftmpi_sim::{SimCtx, SimTime};
+use ftmpi_sim::{SimCtx, SimDuration, SimTime};
 
 /// Parameters of one background flow.
 #[derive(Debug, Clone)]
@@ -34,9 +34,33 @@ pub struct FlowSpec {
 
 type DoneFn = Box<dyn FnOnce(&mut World, &SimCtx, SimTime) + Send>;
 
+/// Tiebreak-lane namespace for flow-chunk events, disjoint from process
+/// lanes by the high bit (a collision would only merge lanes, which is
+/// always safe — it can only *preserve* more order).
+const FLOW_LANE_BASE: u64 = 1 << 63;
+
+/// Lane shared by every flow converging on `dst`: concurrent checkpoint
+/// streams contend FIFO for the destination server's ingest queue, so the
+/// order of their same-instant chunk reservations is arbitration state that
+/// a perturbation seed must not scramble (it would swap which rank's image
+/// lands last and move the wave-commit instant).
+fn flow_lane(dst: NodeId) -> u64 {
+    FLOW_LANE_BASE | dst.0 as u64
+}
+
 /// Start a flow; `on_done(world, sc, finish_time)` runs when the last chunk
 /// lands. The flow aborts silently if the job epoch changes (a
 /// failure-restart) — exactly like a TCP stream dying with its process.
+///
+/// The first chunk is deferred by a per-source-node nanosecond stagger
+/// rather than reserved synchronously: checkpoint forks of several ranks
+/// can land on the same virtual instant, and without the stagger the order
+/// in which their streams hit the shared server queue would be whatever
+/// order the fork events happened to execute in — an accident of
+/// scheduling that a tiebreak perturbation seed would scramble, swapping
+/// which rank's image lands last. The stagger (≤ a few ns against multi-ms
+/// transfers) makes the arbitration a deterministic function of the
+/// platform, not of the schedule.
 pub fn start_flow(
     w: &mut World,
     sc: &SimCtx,
@@ -44,7 +68,20 @@ pub fn start_flow(
     on_done: impl FnOnce(&mut World, &SimCtx, SimTime) + Send + 'static,
 ) {
     let epoch = w.rt.epoch;
-    advance_chunk(w, sc, spec, 0, epoch, Box::new(on_done));
+    let at = sc.now() + SimDuration::from_nanos(spec.src.0 as u64);
+    let handle = w.rt.world_handle();
+    let lane = Some(flow_lane(spec.dst));
+    let on_done: DoneFn = Box::new(on_done);
+    sc.schedule_keyed(at, lane, move |sc| {
+        let Some(strong) = handle.upgrade() else {
+            return;
+        };
+        let mut w = strong.lock();
+        if w.rt.epoch != epoch {
+            return; // the failure beat the stream's first byte
+        }
+        advance_chunk(&mut w, sc, spec, 0, epoch, on_done);
+    });
 }
 
 fn advance_chunk(
@@ -72,7 +109,8 @@ fn advance_chunk(
         net_done
     };
     let handle = w.rt.world_handle();
-    sc.schedule(done, move |sc| {
+    let lane = Some(flow_lane(spec.dst));
+    sc.schedule_keyed(done, lane, move |sc| {
         let Some(strong) = handle.upgrade() else {
             return;
         };
@@ -86,19 +124,23 @@ fn advance_chunk(
 
 /// One-shot control message between protocol endpoints (markers from the
 /// checkpoint scheduler, acknowledgements, commit notifications). Delivered
-/// through the network model with an epoch guard.
+/// through the network model with an epoch guard. `lane` is the tiebreak
+/// lane of the arrival event — pass the destination process's lane when the
+/// message races same-time traffic to one rank (scheduler markers), `None`
+/// for order-insensitive sinks (ack and report counters).
 pub fn send_control(
     w: &mut World,
     sc: &SimCtx,
     src: NodeId,
     dst: NodeId,
     bytes: u64,
+    lane: Option<u64>,
     on_arrival: impl FnOnce(&mut World, &SimCtx) + Send + 'static,
 ) {
     let epoch = w.rt.epoch;
     let at = w.rt.net.transfer(src, dst, bytes, sc.now()).delivered;
     let handle = w.rt.world_handle();
-    sc.schedule(at, move |sc| {
+    sc.schedule_keyed(at, lane, move |sc| {
         let Some(strong) = handle.upgrade() else {
             return;
         };

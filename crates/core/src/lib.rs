@@ -48,6 +48,8 @@ pub use deploy::Deployment;
 pub use failure::FailurePlan;
 pub use mlog::Mlog;
 pub use pcl::Pcl;
-pub use runner::{run_job, JobError, JobResult, JobSpec, Platform, ProtocolChoice};
+pub use runner::{
+    run_job, run_job_with, JobError, JobResult, JobSpec, Platform, ProtocolChoice, RunOptions,
+};
 pub use stats::FtStats;
 pub use vcl::Vcl;

@@ -203,11 +203,13 @@ impl Pcl {
     /// Create the wave state and hand the initiation to rank 0.
     fn initiate_wave(w: &mut World, sc: &SimCtx) {
         let n = w.rt.size();
-        Pcl::with(w, |pcl, _| {
+        let wave = Pcl::with(w, |pcl, _| {
             pcl.wave_counter += 1;
             pcl.stats.waves_started += 1;
             pcl.cur = Some(PclWave::new(pcl.wave_counter, n, sc.now()));
+            pcl.wave_counter
         });
+        sc.trace_proto(ftmpi_sim::ProtoEvent::WaveStart { wave });
         // Rank 0 initiates: processed when its progress engine runs.
         Pcl::queue_ctl(w, sc, 0, PclCtl::Initiate);
     }
@@ -280,7 +282,7 @@ impl Pcl {
     fn enter_wave(w: &mut World, sc: &SimCtx, rank: Rank) {
         let handle = w.rt.world_handle();
         let epoch = w.rt.epoch;
-        let mut targets: Vec<(Rank, NodeId, NodeId)> = Vec::new();
+        let mut targets: Vec<(Rank, NodeId, NodeId, Option<u64>)> = Vec::new();
         let mut wave = 0;
         Pcl::with(w, |pcl, rt| {
             let Some(cur) = pcl.cur.as_mut() else { return };
@@ -292,20 +294,28 @@ impl Pcl {
             let src_node = rt.placement.node_of(rank);
             for s in 0..cur.in_wave.len() {
                 if s != rank {
-                    targets.push((s, src_node, rt.placement.node_of(s)));
+                    let lane = rt.ranks[s].pid.map(ftmpi_sim::Pid::lane);
+                    targets.push((s, src_node, rt.placement.node_of(s), lane));
                 }
             }
         });
         // Markers travel the same channels as application messages (FIFO).
         let ctl_bytes = Pcl::with(w, |pcl, _| pcl.cfg.control_bytes);
         let penalty = w.rt.cfg.profile.message_penalty(ctl_bytes);
-        for (s, src_node, dst_node) in targets {
+        for (s, src_node, dst_node, lane) in targets {
+            sc.trace_proto(ftmpi_sim::ProtoEvent::MarkerSend {
+                wave,
+                from: rank,
+                to: s,
+            });
             let delivered =
                 w.rt.net
                     .transfer_with_overhead(src_node, dst_node, ctl_bytes, sc.now(), penalty)
                     .delivered;
             let h = handle.clone();
-            sc.schedule(delivered, move |sc| {
+            // Same lane as app messages to rank `s`: the marker's position
+            // in the channel relative to data arrivals is protocol state.
+            sc.schedule_keyed(delivered, lane, move |sc| {
                 let Some(world) = h.upgrade() else { return };
                 let mut w = world.lock();
                 if w.rt.epoch != epoch {
@@ -329,6 +339,7 @@ impl Pcl {
             true
         });
         if relevant {
+            sc.trace_proto(ftmpi_sim::ProtoEvent::MarkerRecv { wave, from, to });
             Pcl::queue_ctl(w, sc, to, PclCtl::Marker { from });
         }
     }
@@ -341,6 +352,7 @@ impl Pcl {
         let mut image_flow: Option<(FlowSpec, u64)> = None;
         let mut release_sends: Vec<AppMsg> = Vec::new();
         let mut release_arrivals: Vec<AppMsg> = Vec::new();
+        let mut fork_info: Option<(u64, u64)> = None;
         Pcl::with(w, |pcl, rt| {
             let Some(cur) = pcl.cur.as_mut() else { return };
             if cur.ckpt_taken[rank] {
@@ -349,6 +361,7 @@ impl Pcl {
             cur.ckpt_taken[rank] = true;
             rt.add_penalty(rank, pcl.cfg.fork_cost);
             let rs = &rt.ranks[rank];
+            fork_info = Some((cur.rec.wave, rs.ops_completed));
             let credit = rt.capture_credit(rank, sc.now());
             // Delayed sends are in-memory buffered messages: they are part
             // of the image and will be *sent again* after a restart.
@@ -379,6 +392,9 @@ impl Pcl {
                 cur.rec.wave,
             ));
         });
+        if let Some((wave, ops)) = fork_info {
+            sc.trace_proto(ftmpi_sim::ProtoEvent::Fork { wave, rank, ops });
+        }
         for msg in release_sends {
             w.rt.launch_send(sc, msg);
         }
@@ -416,7 +432,7 @@ impl Pcl {
             ));
         });
         if let Some((src, dst, bytes)) = notify {
-            send_control(w, sc, src, dst, bytes, move |w, sc| {
+            send_control(w, sc, src, dst, bytes, None, move |w, sc| {
                 Pcl::on_image_report(w, sc, wave);
             });
         }
@@ -450,6 +466,9 @@ impl Pcl {
             pcl.timer_gen += 1;
             next_at = Some((sc.now() + pcl.cfg.period, pcl.timer_gen));
         });
+        if next_at.is_some() {
+            sc.trace_proto(ftmpi_sim::ProtoEvent::WaveCommit { wave });
+        }
         if let Some((at, gen)) = next_at {
             Pcl::schedule_wave_at(sc, handle, at, epoch, gen);
         }

@@ -82,6 +82,7 @@ pub fn fail_and_restart(
     }
     w.rt.epoch += 1;
     let epoch = w.rt.epoch;
+    sc.trace_proto(ftmpi_sim::ProtoEvent::Restart { epoch });
     w.rt.stats.finished_ranks = 0;
     w.rt.stats.restarts += 1;
     let now = sc.now();

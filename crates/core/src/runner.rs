@@ -176,8 +176,29 @@ pub fn build_deployment(spec: &JobSpec) -> Deployment {
     }
 }
 
+/// Observation and perturbation knobs for a run (see [`run_job_with`]).
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Record the structured protocol trace (checker input). Off by
+    /// default: tracing is behind a lock-free gate and costs nothing when
+    /// disabled.
+    pub trace: bool,
+    /// Perturb same-time event tiebreaks with this seed (race detection).
+    /// `None` keeps the canonical deterministic schedule.
+    pub tiebreak_seed: Option<u64>,
+}
+
 /// Run one job to completion and collect its metrics.
 pub fn run_job(spec: JobSpec) -> Result<JobResult, JobError> {
+    run_job_with(spec, RunOptions::default()).map(|(res, _)| res)
+}
+
+/// Like [`run_job`] but with observation options, also returning the
+/// recorded trace (empty unless `opts.trace` is set).
+pub fn run_job_with(
+    spec: JobSpec,
+    opts: RunOptions,
+) -> Result<(JobResult, Vec<ftmpi_sim::TraceEvent>), JobError> {
     if spec.protocol == ProtocolChoice::Vcl && spec.nranks > spec.ft.vcl_process_limit {
         return Err(JobError::VclProcessLimit {
             requested: spec.nranks,
@@ -210,6 +231,12 @@ pub fn run_job(spec: JobSpec) -> Result<JobResult, JobError> {
     let mut sim = Sim::new();
     if let Some(t) = spec.max_virtual_time {
         sim.set_max_time(t);
+    }
+    if opts.trace {
+        sim.enable_trace();
+    }
+    if let Some(seed) = opts.tiebreak_seed {
+        sim.set_tiebreak_seed(seed);
     }
 
     let w2 = Arc::clone(&world);
@@ -282,12 +309,15 @@ pub fn run_job(spec: JobSpec) -> Result<JobResult, JobError> {
             FtStats::default()
         }
     };
-    Ok(JobResult {
-        completion,
-        ft: ft_stats,
-        rt: rt_stats,
-        events: report.events_executed,
-        leftover_unexpected,
-        leftover_posted,
-    })
+    Ok((
+        JobResult {
+            completion,
+            ft: ft_stats,
+            rt: rt_stats,
+            events: report.events_executed,
+            leftover_unexpected,
+            leftover_posted,
+        },
+        report.trace,
+    ))
 }

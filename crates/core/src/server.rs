@@ -109,7 +109,7 @@ mod tests {
                 stored_at: SimTime::from_nanos(9),
             },
         );
-        let found = store.locate(3, 7).unwrap();
+        let found = store.locate(3, 7).expect("image recorded above");
         assert_eq!(found.server, NodeId(42));
         assert!(store.locate(3, 8).is_none());
     }

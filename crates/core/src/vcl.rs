@@ -209,12 +209,25 @@ impl Vcl {
                 targets,
             )
         });
+        sc.trace_proto(ftmpi_sim::ProtoEvent::WaveStart { wave });
         for (r, node) in targets {
             let h = handle.clone();
-            send_control(w, sc, scheduler_node, node, ctl_bytes, move |w, sc| {
-                let _ = &h;
-                Vcl::start_local_ckpt(w, sc, r, wave);
-            });
+            // Scheduler markers race data arrivals at each rank: key by the
+            // destination process so the fork's op boundary is schedule-
+            // independent.
+            let lane = w.rt.ranks[r].pid.map(ftmpi_sim::Pid::lane);
+            send_control(
+                w,
+                sc,
+                scheduler_node,
+                node,
+                ctl_bytes,
+                lane,
+                move |w, sc| {
+                    let _ = &h;
+                    Vcl::start_local_ckpt(w, sc, r, wave);
+                },
+            );
         }
     }
 
@@ -225,6 +238,7 @@ impl Vcl {
         let n = w.rt.size();
         let mut marker_targets: Vec<(Rank, NodeId, NodeId)> = Vec::new();
         let mut image_flow: Option<FlowSpec> = None;
+        let mut fork_ops: Option<u64> = None;
         Vcl::with(w, |vcl, rt| {
             let Some(cur) = vcl.cur.as_mut() else { return };
             if cur.rec.wave != wave || cur.started[r] {
@@ -247,6 +261,7 @@ impl Vcl {
                         .collect::<Vec<_>>()
                 );
             }
+            fork_ops = Some(rs.ops_completed);
             cur.rec.images[r] = RankImage {
                 ops_completed: rs.ops_completed,
                 time_credit: credit,
@@ -270,9 +285,17 @@ impl Vcl {
                 also_disk: vcl.cfg.write_local_disk,
             });
         });
+        if let Some(ops) = fork_ops {
+            sc.trace_proto(ftmpi_sim::ProtoEvent::Fork { wave, rank: r, ops });
+        }
         // Inject channel markers through the same network path as app
         // messages (per-channel FIFO is what Chandy–Lamport relies on).
         for (s, src_node, dst_node) in marker_targets {
+            sc.trace_proto(ftmpi_sim::ProtoEvent::MarkerSend {
+                wave,
+                from: r,
+                to: s,
+            });
             let ctl_bytes = Vcl::with(w, |vcl, _| vcl.cfg.control_bytes);
             let penalty = w.rt.cfg.profile.message_penalty(ctl_bytes);
             let delivered =
@@ -281,7 +304,10 @@ impl Vcl {
                     .delivered;
             let h = handle.clone();
             let epoch = w.rt.epoch;
-            sc.schedule(delivered, move |sc| {
+            // Same lane as app messages to rank `s`: the marker's position
+            // in the channel relative to data arrivals is protocol state.
+            let lane = w.rt.ranks[s].pid.map(ftmpi_sim::Pid::lane);
+            sc.schedule_keyed(delivered, lane, move |sc| {
                 let Some(world) = h.upgrade() else { return };
                 let mut w = world.lock();
                 if w.rt.epoch != epoch {
@@ -305,12 +331,14 @@ impl Vcl {
         Vcl::start_local_ckpt(w, sc, to, wave);
         let handle = w.rt.world_handle();
         let mut log_flow: Option<(FlowSpec, u64)> = None;
+        let mut fresh = false;
         Vcl::with(w, |vcl, rt| {
             let Some(cur) = vcl.cur.as_mut() else { return };
             if cur.rec.wave != wave || cur.marker_from[to][from] {
                 return;
             }
             cur.marker_from[to][from] = true;
+            fresh = true;
             cur.markers_missing[to] -= 1;
             if cur.markers_missing[to] == 0 {
                 cur.channels_closed[to] = true;
@@ -332,6 +360,9 @@ impl Vcl {
                 }
             }
         });
+        if fresh {
+            sc.trace_proto(ftmpi_sim::ProtoEvent::MarkerRecv { wave, from, to });
+        }
         match log_flow {
             Some((spec, bytes)) => {
                 let h = handle.clone();
@@ -397,7 +428,7 @@ impl Vcl {
             ));
         });
         if let Some((src, dst, bytes)) = send {
-            send_control(w, sc, src, dst, bytes, move |w, sc| {
+            send_control(w, sc, src, dst, bytes, None, move |w, sc| {
                 Vcl::on_ack(w, sc, wave);
             });
         }
@@ -442,6 +473,9 @@ impl Vcl {
             vcl.timer_gen += 1;
             next_at = Some((sc.now() + vcl.cfg.period, vcl.timer_gen));
         });
+        if next_at.is_some() {
+            sc.trace_proto(ftmpi_sim::ProtoEvent::WaveCommit { wave });
+        }
         if let Some((at, gen)) = next_at {
             Vcl::schedule_wave_at(sc, handle, at, epoch, gen);
         }
@@ -462,12 +496,18 @@ impl Protocol for Vcl {
         SendAction::Proceed // never blocks communication
     }
 
-    fn on_arrival(&mut self, rt: &mut RuntimeCore, _sc: &SimCtx, msg: &AppMsg) -> ArrivalAction {
+    fn on_arrival(&mut self, rt: &mut RuntimeCore, sc: &SimCtx, msg: &AppMsg) -> ArrivalAction {
         // Chandy–Lamport channel-state recording: log messages received
         // after the local checkpoint and before the sender's marker.
         if msg.src != msg.dst {
             if let Some(cur) = self.cur.as_mut() {
                 if cur.started[msg.dst] && !cur.marker_from[msg.dst][msg.src] {
+                    sc.trace_proto(ftmpi_sim::ProtoEvent::LogMsg {
+                        wave: cur.rec.wave,
+                        src: msg.src,
+                        dst: msg.dst,
+                        seq: msg.seq,
+                    });
                     cur.rec.logs[msg.dst].push(msg.clone());
                     self.stats.msgs_logged += 1;
                 }

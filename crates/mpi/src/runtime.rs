@@ -282,6 +282,13 @@ impl RuntimeCore {
     pub fn launch_send(&mut self, sc: &SimCtx, msg: AppMsg) {
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += msg.bytes;
+        sc.trace_proto(ftmpi_sim::ProtoEvent::Send {
+            src: msg.src,
+            dst: msg.dst,
+            seq: msg.seq,
+            bytes: msg.bytes,
+            epoch: msg.epoch,
+        });
         let src_node = self.placement.node_of(msg.src);
         let dst_node = self.placement.node_of(msg.dst);
         let penalty = self.cfg.profile.message_penalty(msg.bytes);
@@ -291,7 +298,11 @@ impl RuntimeCore {
         let arrive_at = delivery.delivered;
         let world = self.world.clone();
         let epoch = self.epoch;
-        sc.schedule(arrive_at, move |sc| {
+        // Keyed by the destination process: a data arrival racing a marker
+        // or wakeup at the same rank has defined order (channel FIFO), which
+        // the tiebreak perturbation must not scramble.
+        let lane = self.ranks[msg.dst].pid.map(ftmpi_sim::Pid::lane);
+        sc.schedule_keyed(arrive_at, lane, move |sc| {
             let Some(world) = world.upgrade() else { return };
             let mut w = world.lock();
             if w.rt.epoch != epoch {
@@ -313,6 +324,12 @@ impl RuntimeCore {
             rank.expect_seq_from[msg.src] = msg.seq + 1;
         }
         self.stats.msgs_delivered += 1;
+        sc.trace_proto(ftmpi_sim::ProtoEvent::Deliver {
+            src: msg.src,
+            dst: msg.dst,
+            seq: msg.seq,
+            epoch: msg.epoch,
+        });
         let o_recv = self.cfg.profile.recv_overhead;
         let rank = &mut self.ranks[msg.dst];
         let arrival_idx = rank.arrival_counter;
@@ -369,6 +386,12 @@ impl RuntimeCore {
     /// rebuilt) while still advancing the expected-sequence watermark so
     /// later *network* duplicates are caught.
     pub fn inject_restored(&mut self, sc: &SimCtx, msg: AppMsg) {
+        sc.trace_proto(ftmpi_sim::ProtoEvent::Replay {
+            src: msg.src,
+            dst: msg.dst,
+            seq: msg.seq,
+            epoch: msg.epoch,
+        });
         {
             let rank = &mut self.ranks[msg.dst];
             let e = &mut rank.expect_seq_from[msg.src];

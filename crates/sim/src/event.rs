@@ -26,6 +26,10 @@ pub(crate) enum EventKind {
 pub(crate) struct Event {
     pub time: SimTime,
     pub seq: u64,
+    /// Secondary sort key among same-time events. Equal to `seq` in normal
+    /// runs; a seeded permutation of it under tiebreak perturbation (the
+    /// race detector's probe for schedule-sensitive model state).
+    pub tiekey: u64,
     pub kind: EventKind,
 }
 
@@ -42,12 +46,24 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        // BinaryHeap is a max-heap; invert so the earliest
+        // (time, tiekey, seq) pops first. `seq` keeps the order total even
+        // if a perturbation seed produced colliding tiekeys.
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.tiekey.cmp(&self.tiekey))
             .then_with(|| other.seq.cmp(&self.seq))
     }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed bijection on `u64` used to
+/// derive perturbed tiebreak keys from (seed, seq).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// Tombstone count below which [`EventQueue::cancel`] never compacts; keeps
@@ -61,16 +77,42 @@ pub(crate) struct EventQueue {
     heap: BinaryHeap<Event>,
     next_seq: u64,
     cancelled: std::collections::HashSet<u64>,
+    /// When set, same-time tiebreaks follow a seeded permutation of the
+    /// scheduling order instead of the scheduling order itself. Causality is
+    /// preserved (an event scheduled by another still runs after it); only
+    /// the order of *independent* same-time events changes.
+    tiebreak_seed: Option<u64>,
     /// Total number of events ever scheduled (for run reports).
     pub scheduled_total: u64,
 }
 
 impl EventQueue {
-    pub fn push(&mut self, time: SimTime, kind: EventKind) -> EventId {
+    /// Perturb same-time event ordering with `seed` (race detection).
+    pub fn set_tiebreak_seed(&mut self, seed: u64) {
+        self.tiebreak_seed = Some(seed);
+    }
+
+    /// Schedule an event. `lane` groups events that race on shared state
+    /// (e.g. everything targeting one process): same-time events in the same
+    /// lane always pop in scheduling order, even under a perturbation seed,
+    /// because their relative order is defined model semantics. Unkeyed
+    /// (`None`) events are treated as independent and permute freely.
+    pub fn push(&mut self, time: SimTime, lane: Option<u64>, kind: EventKind) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Event { time, seq, kind });
+        let tiekey = match self.tiebreak_seed {
+            None => seq,
+            // Same lane ⇒ same tiekey ⇒ the `seq` tiebreak preserves the
+            // scheduling order; distinct lanes land in a seeded order.
+            Some(seed) => splitmix64(seed ^ lane.unwrap_or(seq)),
+        };
+        self.heap.push(Event {
+            time,
+            seq,
+            tiekey,
+            kind,
+        });
         EventId(seq)
     }
 
@@ -137,9 +179,9 @@ mod tests {
     #[test]
     fn pops_in_time_then_seq_order() {
         let mut q = EventQueue::default();
-        q.push(SimTime::from_nanos(20), call());
-        q.push(SimTime::from_nanos(10), call());
-        q.push(SimTime::from_nanos(10), call());
+        q.push(SimTime::from_nanos(20), None, call());
+        q.push(SimTime::from_nanos(10), None, call());
+        q.push(SimTime::from_nanos(10), None, call());
         let a = q.pop().unwrap();
         let b = q.pop().unwrap();
         let c = q.pop().unwrap();
@@ -153,8 +195,8 @@ mod tests {
     #[test]
     fn cancellation_skips_events() {
         let mut q = EventQueue::default();
-        let id = q.push(SimTime::from_nanos(5), call());
-        q.push(SimTime::from_nanos(6), call());
+        let id = q.push(SimTime::from_nanos(5), None, call());
+        q.push(SimTime::from_nanos(6), None, call());
         q.cancel(id);
         assert_eq!(q.len(), 1);
         let ev = q.pop().unwrap();
@@ -164,7 +206,7 @@ mod tests {
     #[test]
     fn empty_accounts_for_cancellations() {
         let mut q = EventQueue::default();
-        let id = q.push(SimTime::from_nanos(5), call());
+        let id = q.push(SimTime::from_nanos(5), None, call());
         assert!(!q.is_empty());
         q.cancel(id);
         assert!(q.is_empty());
@@ -174,7 +216,7 @@ mod tests {
     fn compaction_drops_tombstones_and_keeps_len_exact() {
         let mut q = EventQueue::default();
         let ids: Vec<EventId> = (0..200)
-            .map(|i| q.push(SimTime::from_nanos(i), call()))
+            .map(|i| q.push(SimTime::from_nanos(i), None, call()))
             .collect();
         // Cancelling half the queue crosses both thresholds (>= 64 tombstones
         // and tombstones >= half the heap) exactly at the 100th cancel.
@@ -201,7 +243,7 @@ mod tests {
     fn compaction_purges_stale_tombstones_from_executed_events() {
         let mut q = EventQueue::default();
         let stale: Vec<EventId> = (0..super::COMPACT_MIN_TOMBSTONES as u64)
-            .map(|i| q.push(SimTime::from_nanos(i), call()))
+            .map(|i| q.push(SimTime::from_nanos(i), None, call()))
             .collect();
         while q.pop().is_some() {}
         // Cancelling already-popped events leaves tombstones that match
@@ -212,16 +254,67 @@ mod tests {
         }
         assert!(q.cancelled.is_empty(), "stale tombstones purged");
         for i in 0..10 {
-            q.push(SimTime::from_nanos(1_000 + i), call());
+            q.push(SimTime::from_nanos(1_000 + i), None, call());
         }
         assert_eq!(q.len(), 10);
         assert!(!q.is_empty());
     }
 
     #[test]
+    fn tiebreak_seed_permutes_only_same_time_events() {
+        let order_with = |seed: Option<u64>| {
+            let mut q = EventQueue::default();
+            if let Some(s) = seed {
+                q.set_tiebreak_seed(s);
+            }
+            // Four events at t=10 (a permutable tie), one each at 5 and 20.
+            for t in [10, 5, 10, 10, 20, 10] {
+                q.push(SimTime::from_nanos(t), None, call());
+            }
+            std::iter::from_fn(|| q.pop())
+                .map(|ev| (ev.time.as_nanos(), ev.seq))
+                .collect::<Vec<_>>()
+        };
+        let baseline = order_with(None);
+        // Time order always holds, and the unperturbed tie order is seq.
+        let times: Vec<u64> = baseline.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, [5, 10, 10, 10, 10, 20]);
+        assert_eq!(
+            baseline.iter().map(|(_, s)| *s).collect::<Vec<_>>(),
+            [1, 0, 2, 3, 5, 4]
+        );
+        // A seed keeps the time order but permutes within the t=10 bucket;
+        // the same seed reproduces the same permutation.
+        let perturbed = order_with(Some(7));
+        assert_eq!(perturbed.iter().map(|(t, _)| *t).collect::<Vec<_>>(), times);
+        assert_eq!(perturbed, order_with(Some(7)));
+        let mid: std::collections::BTreeSet<u64> =
+            perturbed[1..5].iter().map(|(_, s)| *s).collect();
+        assert_eq!(mid, [0u64, 2, 3, 5].into_iter().collect());
+    }
+
+    #[test]
+    fn same_lane_events_keep_scheduling_order_under_any_seed() {
+        for seed in 0..32 {
+            let mut q = EventQueue::default();
+            q.set_tiebreak_seed(seed);
+            // Two lanes interleaved at one instant: intra-lane order must
+            // survive every seed, inter-lane order is fair game.
+            let a0 = q.push(SimTime::from_nanos(10), Some(1), call()).0;
+            let b0 = q.push(SimTime::from_nanos(10), Some(2), call()).0;
+            let a1 = q.push(SimTime::from_nanos(10), Some(1), call()).0;
+            let b1 = q.push(SimTime::from_nanos(10), Some(2), call()).0;
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|ev| ev.seq).collect();
+            let pos = |s: u64| order.iter().position(|&x| x == s).unwrap();
+            assert!(pos(a0) < pos(a1), "lane 1 order violated under seed {seed}");
+            assert!(pos(b0) < pos(b1), "lane 2 order violated under seed {seed}");
+        }
+    }
+
+    #[test]
     fn small_queues_skip_compaction() {
         let mut q = EventQueue::default();
-        let id = q.push(SimTime::from_nanos(1), call());
+        let id = q.push(SimTime::from_nanos(1), None, call());
         q.cancel(id);
         // Below COMPACT_MIN_TOMBSTONES the tombstone stays; lazily skipped on
         // pop as before.

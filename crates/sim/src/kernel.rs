@@ -56,18 +56,21 @@ impl Shared {
     pub(crate) fn schedule_call(
         self: &Arc<Self>,
         at: SimTime,
+        lane: Option<u64>,
         f: impl FnOnce(&SimCtx) + Send + 'static,
     ) -> EventId {
         let mut st = self.state.lock();
         let now = st.now;
         debug_assert!(at >= now, "scheduling into the past: at={at:?} now={now:?}");
-        st.queue.push(at.max(now), EventKind::Call(Box::new(f)))
+        st.queue
+            .push(at.max(now), lane, EventKind::Call(Box::new(f)))
     }
 
     fn schedule_resume(&self, at: SimTime, pid: Pid, kind: WakeKind) -> EventId {
         let mut st = self.state.lock();
         let at = at.max(st.now);
-        st.queue.push(at, EventKind::Resume(pid, kind))
+        st.queue
+            .push(at, Some(pid.lane()), EventKind::Resume(pid, kind))
     }
 
     /// Schedule the model closure of a [`ProcCtx::exec`] call, remembering it
@@ -85,6 +88,7 @@ impl Shared {
         // (keeping cancellation tombstones precise).
         let id = st.queue.push(
             at,
+            Some(pid.lane()),
             EventKind::Call(Box::new(move |sc: &SimCtx| {
                 if let Some(e) = sc.shared().state.lock().procs.get_mut(pid) {
                     e.pending_exec = None;
@@ -184,12 +188,29 @@ impl SimCtx {
 
     /// Schedule `f` at absolute time `at` (clamped to now if in the past).
     pub fn schedule(&self, at: SimTime, f: impl FnOnce(&SimCtx) + Send + 'static) -> EventId {
-        self.shared.schedule_call(at.max(self.now), f)
+        self.shared.schedule_call(at.max(self.now), None, f)
+    }
+
+    /// Schedule `f` at `at` in a tiebreak *lane*: same-time events in the
+    /// same lane always run in scheduling order, even under a perturbation
+    /// seed ([`Sim::set_tiebreak_seed`]). Model code keys an event by the
+    /// entity whose state it mutates — e.g. message arrivals by the
+    /// destination process's [`Pid::lane`] — so that the defined semantics
+    /// of same-entity ordering (channel FIFO, op boundaries) survive
+    /// perturbation while independent events still permute. `None` marks
+    /// the event as freely permutable, same as [`SimCtx::schedule`].
+    pub fn schedule_keyed(
+        &self,
+        at: SimTime,
+        lane: Option<u64>,
+        f: impl FnOnce(&SimCtx) + Send + 'static,
+    ) -> EventId {
+        self.shared.schedule_call(at.max(self.now), lane, f)
     }
 
     /// Schedule `f` after a delay.
     pub fn schedule_in(&self, d: SimDuration, f: impl FnOnce(&SimCtx) + Send + 'static) -> EventId {
-        self.shared.schedule_call(self.now + d, f)
+        self.shared.schedule_call(self.now + d, None, f)
     }
 
     /// Cancel a previously scheduled event. Cancelling an already-executed
@@ -234,7 +255,11 @@ impl SimCtx {
             });
         }
         let at = self.now.max(st.now);
-        st.queue.push(at, EventKind::Resume(pid, WakeKind::Killed));
+        st.queue.push(
+            at,
+            Some(pid.lane()),
+            EventKind::Resume(pid, WakeKind::Killed),
+        );
     }
 
     /// Is the process still alive (spawned and not yet exited)?
@@ -281,6 +306,23 @@ impl SimCtx {
             detail: detail(),
         };
         self.shared.state.lock().tracer.record(ev);
+    }
+
+    /// Record a typed protocol event (see [`crate::ProtoEvent`]). Same
+    /// lock-free gate as [`SimCtx::trace`]: with tracing disabled this is a
+    /// single relaxed atomic load, so protocol hot paths (every message
+    /// send/delivery) stay zero-cost in ordinary runs.
+    pub fn trace_proto(&self, ev: crate::trace::ProtoEvent) {
+        if !self.shared.trace_on.load(Ordering::Relaxed) {
+            return;
+        }
+        let rec = TraceEvent {
+            time: self.now,
+            kind: TraceKind::Proto(ev),
+            pid: None,
+            detail: String::new(),
+        };
+        self.shared.state.lock().tracer.record(rec);
     }
 }
 
@@ -354,8 +396,11 @@ fn spawn_inner(
             },
         );
         let now = st.now;
-        st.queue
-            .push(start_at.max(now), EventKind::Resume(pid, WakeKind::Normal));
+        st.queue.push(
+            start_at.max(now),
+            Some(pid.lane()),
+            EventKind::Resume(pid, WakeKind::Normal),
+        );
     }
     pid
 }
@@ -437,6 +482,19 @@ impl Sim {
         self.shared.trace_on.store(true, Ordering::Relaxed);
     }
 
+    /// Perturb same-time event tiebreaks with a seeded permutation.
+    ///
+    /// Every run remains fully deterministic for a given seed; what changes
+    /// is the execution order of *independent* events scheduled for the
+    /// same virtual instant (causal chains are unaffected: an event
+    /// scheduled by another still runs after it). The `ftmpi-check` race
+    /// detector re-runs configurations under several seeds and compares
+    /// trace fingerprints — a difference means some model or protocol state
+    /// depends on the arbitrary tie order. Call before the run starts.
+    pub fn set_tiebreak_seed(&mut self, seed: u64) {
+        self.shared.state.lock().queue.set_tiebreak_seed(seed);
+    }
+
     /// Convenience constructor for a [`SharedFlag`].
     pub fn shared_flag(&self) -> crate::process::SharedFlag {
         crate::process::SharedFlag::new()
@@ -463,7 +521,7 @@ impl Sim {
 
     /// Schedule a model closure before the run starts.
     pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&SimCtx) + Send + 'static) -> EventId {
-        self.shared.schedule_call(at, f)
+        self.shared.schedule_call(at, None, f)
     }
 
     /// Drive the event loop to completion.

@@ -55,7 +55,7 @@ pub use kernel::{DeadlockInfo, RunReport, Sim, SimCtx, SimError};
 pub use process::{Pid, ProcCtx, ProcessExit, SharedFlag};
 pub use reply::Reply;
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceEvent, TraceKind, Tracer};
+pub use trace::{ProtoEvent, TraceEvent, TraceKind, Tracer};
 
 /// Panic payload used to unwind a simulated process that has been killed.
 ///

@@ -27,6 +27,17 @@ impl fmt::Display for Pid {
     }
 }
 
+impl Pid {
+    /// Tiebreak lane for events targeting this process (see
+    /// [`SimCtx::schedule_keyed`](crate::SimCtx::schedule_keyed)): same-time
+    /// events aimed at one process always run in scheduling order, even
+    /// under a perturbation seed, because their order is model semantics
+    /// (channel FIFO, op boundaries) rather than an accident.
+    pub fn lane(self) -> u64 {
+        self.0
+    }
+}
+
 /// How a process's life ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProcessExit {

@@ -7,6 +7,111 @@
 use crate::process::Pid;
 use crate::time::SimTime;
 
+/// Typed protocol event, recorded through [`crate::SimCtx::trace_proto`].
+///
+/// These are the machine-checkable records the `ftmpi-check` invariant
+/// checker consumes: per-channel message sequence numbers on send and
+/// delivery, checkpoint-wave markers, image forks, wave commits, and
+/// failure restarts. The kernel knows nothing about their semantics — the
+/// fields are plain integers (ranks, seqnos, wave numbers) so the type can
+/// live below the model crates and stay `Copy`.
+///
+/// All variants order and hash structurally, which lets checkers build
+/// deterministic indices over them without auxiliary keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtoEvent {
+    /// An application message was injected into the network.
+    Send {
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Per-channel (src → dst) sequence number.
+        seq: u64,
+        /// Payload size.
+        bytes: u64,
+        /// Job epoch the message was launched in.
+        epoch: u64,
+    },
+    /// An application message reached the destination's matching engine.
+    Deliver {
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Per-channel sequence number (as stamped at send time).
+        seq: u64,
+        /// Epoch stamped on the message at launch.
+        epoch: u64,
+    },
+    /// A checkpointed message (image-pending or channel-log entry) was
+    /// re-injected into the destination's runtime during a restart.
+    Replay {
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Per-channel sequence number of the original message.
+        seq: u64,
+        /// Epoch the original message was launched in (pre-restart).
+        epoch: u64,
+    },
+    /// A checkpoint-wave marker left `from` towards `to`.
+    MarkerSend {
+        /// Wave number.
+        wave: u64,
+        /// Marker origin rank.
+        from: usize,
+        /// Marker destination rank.
+        to: usize,
+    },
+    /// A checkpoint-wave marker from `from` was accepted at `to`
+    /// (transport arrival, after duplicate filtering).
+    MarkerRecv {
+        /// Wave number.
+        wave: u64,
+        /// Marker origin rank.
+        from: usize,
+        /// Marker destination rank.
+        to: usize,
+    },
+    /// A rank forked and captured its local checkpoint image.
+    Fork {
+        /// Wave number.
+        wave: u64,
+        /// The rank taking its checkpoint.
+        rank: usize,
+        /// Completed application operations recorded in the image.
+        ops: u64,
+    },
+    /// A message was recorded as channel state (Chandy–Lamport log).
+    LogMsg {
+        /// Wave number.
+        wave: u64,
+        /// Sending rank of the logged message.
+        src: usize,
+        /// Receiving (logging) rank.
+        dst: usize,
+        /// Per-channel sequence number of the logged message.
+        seq: u64,
+    },
+    /// A checkpoint wave was initiated.
+    WaveStart {
+        /// Wave number.
+        wave: u64,
+    },
+    /// A checkpoint wave committed (every image and log stored).
+    WaveCommit {
+        /// Wave number.
+        wave: u64,
+    },
+    /// A global failure-restart: all ranks rolled back, epoch bumped.
+    Restart {
+        /// The new job epoch.
+        epoch: u64,
+    },
+}
+
 /// Category of a trace record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
@@ -18,6 +123,8 @@ pub enum TraceKind {
     Kill,
     /// Model-defined record (the label names the subsystem).
     Model(&'static str),
+    /// Typed protocol event (see [`ProtoEvent`]).
+    Proto(ProtoEvent),
 }
 
 /// One trace record.

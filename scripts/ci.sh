@@ -21,4 +21,10 @@ cargo build --release --workspace
 echo "==> tier-1: cargo test -q"
 cargo test -q --workspace
 
+echo "==> ftmpi-check lint"
+cargo run -q --release -p ftmpi-check -- lint
+
+echo "==> ftmpi-check smoke (invariants + perturbation)"
+cargo run -q --release -p ftmpi-check -- smoke
+
 echo "CI green."
