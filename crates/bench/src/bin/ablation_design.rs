@@ -5,9 +5,8 @@
 //! cargo run --release -p ftmpi-bench --bin ablation_design [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{figures, HarnessArgs, MemoCache};
+use ftmpi_bench::figures;
 
 fn main() {
-    let args = HarnessArgs::parse();
-    figures::ablation_design::run(&args, &MemoCache::new());
+    figures::run_standalone(figures::ablation_design::run);
 }

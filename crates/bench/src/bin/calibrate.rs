@@ -5,9 +5,8 @@
 //! cargo run --release -p ftmpi-bench --bin calibrate [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{figures, HarnessArgs, MemoCache};
+use ftmpi_bench::figures;
 
 fn main() {
-    let args = HarnessArgs::parse();
-    figures::calibrate::run(&args, &MemoCache::new());
+    figures::run_standalone(figures::calibrate::run);
 }

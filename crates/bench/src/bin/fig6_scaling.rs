@@ -5,9 +5,8 @@
 //! cargo run --release -p ftmpi-bench --bin fig6_scaling [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{figures, HarnessArgs, MemoCache};
+use ftmpi_bench::figures;
 
 fn main() {
-    let args = HarnessArgs::parse();
-    figures::fig6_scaling::run(&args, &MemoCache::new());
+    figures::run_standalone(figures::fig6_scaling::run);
 }

@@ -5,9 +5,8 @@
 //! cargo run --release -p ftmpi-bench --bin fig7_myrinet [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{figures, HarnessArgs, MemoCache};
+use ftmpi_bench::figures;
 
 fn main() {
-    let args = HarnessArgs::parse();
-    figures::fig7_myrinet::run(&args, &MemoCache::new());
+    figures::run_standalone(figures::fig7_myrinet::run);
 }

@@ -5,9 +5,8 @@
 //! cargo run --release -p ftmpi-bench --bin fig9_grid400 [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{figures, HarnessArgs, MemoCache};
+use ftmpi_bench::figures;
 
 fn main() {
-    let args = HarnessArgs::parse();
-    figures::fig9_grid400::run(&args, &MemoCache::new());
+    figures::run_standalone(figures::fig9_grid400::run);
 }

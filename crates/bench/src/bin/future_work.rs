@@ -5,9 +5,8 @@
 //! cargo run --release -p ftmpi-bench --bin future_work [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{figures, HarnessArgs, MemoCache};
+use ftmpi_bench::figures;
 
 fn main() {
-    let args = HarnessArgs::parse();
-    figures::future_work::run(&args, &MemoCache::new());
+    figures::run_standalone(figures::future_work::run);
 }

@@ -5,9 +5,8 @@
 //! cargo run --release -p ftmpi-bench --bin logging_vs_coordinated [-- --full] [-- --jobs N]
 //! ```
 
-use ftmpi_bench::{figures, HarnessArgs, MemoCache};
+use ftmpi_bench::figures;
 
 fn main() {
-    let args = HarnessArgs::parse();
-    figures::logging_vs_coordinated::run(&args, &MemoCache::new());
+    figures::run_standalone(figures::logging_vs_coordinated::run);
 }

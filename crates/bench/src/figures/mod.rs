@@ -28,6 +28,17 @@ pub mod recovery_cost;
 /// Signature every figure harness implements.
 pub type FigureFn = fn(&HarnessArgs, &Arc<MemoCache>);
 
+/// Shared `main()` body for the thin per-figure binaries: parse the CLI,
+/// open the persistent cache under `<out>/.cache/`, run the figure, then
+/// report cache effectiveness and rank-thread pool occupancy.
+pub fn run_standalone(run: FigureFn) {
+    let args = HarnessArgs::parse();
+    let cache = args.cache();
+    run(&args, &cache);
+    println!("\n{}", cache.summary());
+    println!("{}", ftmpi_sim::pool_stats().summary());
+}
+
 /// Every harness, in the order `all_figures` runs them.
 pub const ALL: &[(&str, FigureFn)] = &[
     ("calibrate", calibrate::run),

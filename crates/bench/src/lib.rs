@@ -189,6 +189,14 @@ impl HarnessArgs {
     pub fn sweep(&self, cache: &Arc<MemoCache>) -> SweepRunner {
         SweepRunner::new(self.jobs).with_cache(Arc::clone(cache))
     }
+
+    /// The harness's result cache: persistent under `<out_dir>/.cache/`
+    /// unless `FTMPI_NO_CACHE` is set (then memory-only). A warm rerun of
+    /// any figure against the same output directory performs zero
+    /// simulations.
+    pub fn cache(&self) -> Arc<MemoCache> {
+        MemoCache::persistent(self.out_dir.join(".cache"))
+    }
 }
 
 /// Write records as pretty JSON to `results/<name>.json`.

@@ -7,18 +7,26 @@
 //! are byte-identical to a sequential run regardless of `--jobs`.
 //!
 //! Because each simulated rank is an OS thread (parked almost always, but
-//! holding a stack), admission is weighted by `JobSpec::nranks`: the pool
-//! never lets the total number of simulated-process threads exceed
-//! [`ThreadBudget::max`] (≈4× the machine's cores), so a sweep of 400-rank
-//! grid jobs cannot exhaust memory or the OS thread limit.
+//! holding a stack), admission is gated on the rank-thread pool's *live
+//! thread* gauge ([`ftmpi_sim::wait_live_below`]): a job is admitted as
+//! soon as the process-wide count of leased simulated-process threads dips
+//! below the watermark (default 1024, `FTMPI_THREAD_CAP` to override).
+//! Unlike the earlier per-job `nranks` reservation, the gauge counts
+//! threads that actually exist, so two large jobs overlap freely — their
+//! ranks are mostly parked, not competing for CPU — while a runaway sweep
+//! still cannot exhaust memory or the OS thread limit.
 //!
 //! A [`MemoCache`] keyed by a deterministic spec fingerprint lets callers
 //! skip re-simulating configurations shared across figures (`all_figures`
-//! runs every harness in one process against one cache).
+//! runs every harness in one process against one cache). With
+//! [`MemoCache::persistent`] the cache gains a disk tier (one file per
+//! fingerprint, written atomically) shared across processes: a warm rerun
+//! of a figure performs zero simulations.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ftmpi_core::{run_job, JobError, JobResult, JobSpec, Platform};
@@ -107,44 +115,202 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
     key
 }
 
+/// On-disk entry header; bumped whenever [`JobResult::encode`] or the entry
+/// layout changes, so stale caches self-invalidate instead of decoding
+/// garbage.
+const CACHE_VERSION: &str = "ftmpi-cache v1";
+
+/// FNV-1a over `s` starting from `h` (two different bases give the two
+/// halves of the 128-bit cache filename, making accidental collisions
+/// between distinct fingerprints implausible).
+fn fnv1a(s: &str, mut h: u64) -> u64 {
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn key_hash(key: &str) -> String {
+    format!(
+        "{:016x}{:016x}",
+        fnv1a(key, 0xcbf2_9ce4_8422_2325),
+        fnv1a(key, 0x8422_2325_cbf2_9ce4)
+    )
+}
+
 /// Cross-sweep memoization of successful job results.
 ///
 /// Only `Ok` results are cached: errors are either instant to recompute
 /// (the Vcl process-limit refusal) or indicate model bugs worth re-hitting.
+///
+/// Created with [`MemoCache::persistent`], the cache also maintains a disk
+/// tier: one file per fingerprint under the given directory, containing a
+/// version header, the full fingerprint (hash collisions are detected, not
+/// trusted), a payload length, and the integer-encoded result. Files are
+/// written atomically (unique temp file + rename) so concurrent processes
+/// sharing the directory can only ever observe complete entries; anything
+/// that fails validation — truncated, bit-flipped, version-mismatched —
+/// is deleted and recomputed, never an error.
+///
+/// A second namespace of free-form *blobs* ([`MemoCache::get_blob`] /
+/// [`MemoCache::put_blob`]) serves sweeps whose product is not a
+/// [`JobResult`] — e.g. the NetPIPE harness caches its sample series, which
+/// a plain result memo could not capture (the samples live in a side
+/// channel filled during the run).
 #[derive(Default)]
 pub struct MemoCache {
     map: Mutex<HashMap<String, JobResult>>,
+    blobs: Mutex<HashMap<String, String>>,
+    disk: Option<PathBuf>,
     hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl MemoCache {
-    /// A fresh, shareable cache.
+    /// A fresh, shareable, memory-only cache.
     pub fn new() -> Arc<MemoCache> {
         Arc::new(MemoCache::default())
     }
 
-    /// Look up a fingerprint, counting the hit/miss.
-    pub fn get(&self, key: &str) -> Option<JobResult> {
-        let found = self.map.lock().unwrap().get(key).cloned();
-        match found {
-            Some(r) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(r)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+    /// A cache backed by `dir` (created on first write). Setting
+    /// `FTMPI_NO_CACHE` disables the disk tier, yielding a memory-only
+    /// cache — the escape hatch for timing measurements and CI baselines.
+    pub fn persistent(dir: impl Into<PathBuf>) -> Arc<MemoCache> {
+        if std::env::var_os("FTMPI_NO_CACHE").is_some() {
+            return MemoCache::new();
         }
+        Arc::new(MemoCache {
+            disk: Some(dir.into()),
+            ..MemoCache::default()
+        })
     }
 
-    /// Store a successful result under its fingerprint.
+    /// The disk tier's directory, if this cache has one.
+    pub fn disk_dir(&self) -> Option<&std::path::Path> {
+        self.disk.as_deref()
+    }
+
+    /// Look up a fingerprint, counting the hit/miss. Memory first, then the
+    /// disk tier (a disk hit is promoted into memory).
+    pub fn get(&self, key: &str) -> Option<JobResult> {
+        if let Some(r) = self.map.lock().unwrap().get(key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(r);
+        }
+        if let Some(payload) = self.load_disk("r", key) {
+            match JobResult::decode(&payload) {
+                Some(result) => {
+                    self.map
+                        .lock()
+                        .unwrap()
+                        .insert(key.to_string(), result.clone());
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(result);
+                }
+                None => self.discard_disk("r", key),
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Store a successful result under its fingerprint (and on disk, for
+    /// persistent caches).
     pub fn put(&self, key: String, result: JobResult) {
+        self.store_disk("r", &key, &result.encode());
         self.map.lock().unwrap().insert(key, result);
     }
 
-    /// `(hits, misses)` counters since creation.
+    /// Look up a free-form blob (see the type docs), counting the hit/miss.
+    pub fn get_blob(&self, key: &str) -> Option<String> {
+        if let Some(b) = self.blobs.lock().unwrap().get(key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(b);
+        }
+        if let Some(payload) = self.load_disk("b", key) {
+            self.blobs
+                .lock()
+                .unwrap()
+                .insert(key.to_string(), payload.clone());
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(payload);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Store a free-form blob under a fingerprint-style key.
+    pub fn put_blob(&self, key: String, payload: String) {
+        self.store_disk("b", &key, &payload);
+        self.blobs.lock().unwrap().insert(key, payload);
+    }
+
+    fn cache_path(&self, kind: &str, key: &str) -> Option<PathBuf> {
+        self.disk
+            .as_ref()
+            .map(|dir| dir.join(format!("{kind}-{}", key_hash(key))))
+    }
+
+    /// Read and validate one disk entry; corrupt entries are deleted.
+    fn load_disk(&self, kind: &str, key: &str) -> Option<String> {
+        let path = self.cache_path(kind, key)?;
+        let text = std::fs::read_to_string(&path).ok()?;
+        let parsed = (|| {
+            let rest = text.strip_prefix(CACHE_VERSION)?.strip_prefix('\n')?;
+            let rest = rest.strip_prefix("kind=")?.strip_prefix(kind)?;
+            let rest = rest.strip_prefix("\nkey=")?.strip_prefix(key)?;
+            let rest = rest.strip_prefix("\nlen=")?;
+            let (len_line, payload) = rest.split_once('\n')?;
+            let len: usize = len_line.parse().ok()?;
+            (payload.len() == len).then(|| payload.to_string())
+        })();
+        if parsed.is_none() {
+            let _ = std::fs::remove_file(&path);
+        }
+        parsed
+    }
+
+    fn discard_disk(&self, kind: &str, key: &str) {
+        if let Some(path) = self.cache_path(kind, key) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Best-effort atomic write: failures (full disk, bad permissions) just
+    /// mean the entry stays memory-only.
+    fn store_disk(&self, kind: &str, key: &str, payload: &str) {
+        let Some(dir) = self.disk.as_ref() else {
+            return;
+        };
+        let Some(path) = self.cache_path(kind, key) else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let entry = format!(
+            "{CACHE_VERSION}\nkind={kind}\nkey={key}\nlen={}\n{payload}",
+            payload.len()
+        );
+        if std::fs::write(&tmp, entry).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// `(hits, misses)` counters since creation (blob lookups included;
+    /// disk hits count as hits).
     pub fn stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
@@ -152,7 +318,12 @@ impl MemoCache {
         )
     }
 
-    /// Number of cached configurations.
+    /// Hits served from the disk tier.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached configurations in memory (blobs not counted).
     pub fn len(&self) -> usize {
         self.map.lock().unwrap().len()
     }
@@ -161,42 +332,28 @@ impl MemoCache {
     pub fn is_empty(&self) -> bool {
         self.map.lock().unwrap().is_empty()
     }
+
+    /// One-line human summary, printed by the bench binaries (and grepped
+    /// by the CI cache round-trip check).
+    pub fn summary(&self) -> String {
+        let (hits, misses) = self.stats();
+        format!(
+            "memo cache: {} configurations, {hits} hits ({} from disk) / {misses} misses",
+            self.len(),
+            self.disk_hits()
+        )
+    }
 }
 
-/// Weighted admission: bounds the total simulated-process thread count.
-struct ThreadBudget {
-    max: usize,
-    used: Mutex<usize>,
-    freed: Condvar,
-}
-
-impl ThreadBudget {
-    fn new(max: usize) -> ThreadBudget {
-        ThreadBudget {
-            max: max.max(1),
-            used: Mutex::new(0),
-            freed: Condvar::new(),
-        }
-    }
-
-    /// Acquire `weight` permits (clamped to the budget so one oversized job
-    /// can still run alone). Blocks until enough simulated threads retired.
-    fn acquire(&self, weight: usize) -> usize {
-        let weight = weight.clamp(1, self.max);
-        let mut used = self.used.lock().unwrap();
-        while *used + weight > self.max {
-            used = self.freed.wait(used).unwrap();
-        }
-        *used += weight;
-        weight
-    }
-
-    fn release(&self, weight: usize) {
-        let mut used = self.used.lock().unwrap();
-        *used -= weight;
-        drop(used);
-        self.freed.notify_all();
-    }
+/// Default watermark for [`ftmpi_sim::wait_live_below`] admission, or the
+/// `FTMPI_THREAD_CAP` override. 1024 parked rank threads at 256 KiB of
+/// stack is a modest footprint; the cap exists to stop a runaway sweep, not
+/// to serialize normal ones.
+fn default_thread_cap() -> usize {
+    std::env::var("FTMPI_THREAD_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
 }
 
 /// One planned job: a display label, an optional memoization key, and the
@@ -223,6 +380,7 @@ pub struct JobOutcome {
 pub struct SweepRunner {
     workers: usize,
     cache: Option<Arc<MemoCache>>,
+    thread_cap: usize,
     jobs: Vec<PlannedJob>,
 }
 
@@ -232,6 +390,7 @@ impl SweepRunner {
         SweepRunner {
             workers: workers.max(1),
             cache: None,
+            thread_cap: default_thread_cap(),
             jobs: Vec::new(),
         }
     }
@@ -239,6 +398,12 @@ impl SweepRunner {
     /// Attach a memo cache consulted for every keyed job.
     pub fn with_cache(mut self, cache: Arc<MemoCache>) -> SweepRunner {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Override the live-thread admission watermark (tests, tuning).
+    pub fn with_thread_cap(mut self, cap: usize) -> SweepRunner {
+        self.thread_cap = cap.max(1);
         self
     }
 
@@ -319,10 +484,7 @@ impl SweepRunner {
                 .map(|j| execute(j, cache.as_deref(), None))
                 .collect();
         }
-        let cores = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4);
-        let budget = ThreadBudget::new(4 * cores);
+        let cap = self.thread_cap;
         let slots: Vec<Mutex<Option<PlannedJob>>> =
             self.jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
         let outcomes: Vec<Mutex<Option<JobOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -335,7 +497,7 @@ impl SweepRunner {
                         break;
                     }
                     let job = slots[i].lock().unwrap().take().expect("job claimed twice");
-                    let outcome = execute(job, cache.as_deref(), Some(&budget));
+                    let outcome = execute(job, cache.as_deref(), Some(cap));
                     *outcomes[i].lock().unwrap() = Some(outcome);
                 });
             }
@@ -351,11 +513,7 @@ impl SweepRunner {
     }
 }
 
-fn execute(
-    job: PlannedJob,
-    cache: Option<&MemoCache>,
-    budget: Option<&ThreadBudget>,
-) -> JobOutcome {
+fn execute(job: PlannedJob, cache: Option<&MemoCache>, thread_cap: Option<usize>) -> JobOutcome {
     let start = Instant::now();
     let spec = (job.build)();
     if let (Some(cache), Some(key)) = (cache, job.key.as_deref()) {
@@ -368,11 +526,13 @@ fn execute(
             };
         }
     }
-    let permits = budget.map(|b| (b, b.acquire(spec.nranks.max(1))));
-    let result = run_job(spec);
-    if let Some((b, w)) = permits {
-        b.release(w);
+    // Live-thread admission: wait for the pool's gauge to dip below the
+    // watermark before the run spawns its ranks. No release step — leased
+    // threads retire themselves as the job's processes exit.
+    if let Some(cap) = thread_cap {
+        ftmpi_sim::wait_live_below(cap);
     }
+    let result = run_job(spec);
     if let (Some(cache), Some(key), Ok(res)) = (cache, job.key, result.as_ref()) {
         cache.put(key, res.clone());
     }
@@ -483,12 +643,119 @@ mod tests {
     }
 
     #[test]
-    fn thread_budget_clamps_oversized_jobs() {
-        let b = ThreadBudget::new(4);
-        // A 100-rank job still gets admitted (alone) instead of deadlocking.
-        let got = b.acquire(100);
-        assert_eq!(got, 4);
-        b.release(got);
-        assert_eq!(b.acquire(2), 2);
+    fn live_thread_admission_never_blocks_oversized_jobs() {
+        // The watermark is far below one job's rank count: the gauge-based
+        // gate admits each job as soon as occupancy dips below the cap
+        // instead of deadlocking on an unsatisfiable reservation.
+        let results = {
+            let mut runner = SweepRunner::new(2).with_thread_cap(1);
+            for laps in [3usize, 5, 7, 9] {
+                runner.add(format!("laps{laps}"), move || ring_spec(laps));
+            }
+            runner.run()
+        };
+        for (r, laps) in results.iter().zip([3u64, 5, 7, 9]) {
+            assert_eq!(r.as_ref().unwrap().rt.msgs_sent, laps * 4);
+        }
+    }
+
+    /// A unique scratch dir for one test (no wallclock involved).
+    struct ScratchDir(PathBuf);
+
+    impl ScratchDir {
+        fn new(tag: &str) -> ScratchDir {
+            let dir =
+                std::env::temp_dir().join(format!("ftmpi-sweep-test-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            ScratchDir(dir)
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn persistent_cache_survives_process_boundaries() {
+        let scratch = ScratchDir::new("persist");
+        let key = spec_fingerprint("ring12", &ring_spec(12));
+        // "Process one": simulate and store.
+        let first = {
+            let cache = MemoCache::persistent(&scratch.0);
+            let mut r = SweepRunner::new(1).with_cache(Arc::clone(&cache));
+            r.add_spec("job", "ring12", ring_spec(12));
+            let out = r.run_detailed().pop().unwrap();
+            assert!(!out.cached);
+            assert_eq!(cache.disk_hits(), 0);
+            out.result.unwrap()
+        };
+        // "Process two": a fresh cache instance over the same directory must
+        // serve the result from disk, bit-for-bit, without simulating.
+        let cache = MemoCache::persistent(&scratch.0);
+        assert!(cache.is_empty(), "fresh instance starts with empty memory");
+        let warm = cache.get(&key).expect("disk tier should hit");
+        assert_eq!(cache.disk_hits(), 1);
+        assert_eq!(digest(&warm), digest(&first));
+        assert_eq!(warm.encode(), first.encode());
+    }
+
+    #[test]
+    fn blob_tier_roundtrips_across_instances() {
+        let scratch = ScratchDir::new("blob");
+        let payload = "1,2,3\n4,5,6\n".to_string();
+        MemoCache::persistent(&scratch.0).put_blob("np/k".into(), payload.clone());
+        let cache = MemoCache::persistent(&scratch.0);
+        assert_eq!(cache.get_blob("np/k").as_deref(), Some(payload.as_str()));
+        assert_eq!(cache.disk_hits(), 1);
+    }
+
+    #[test]
+    fn corrupt_cache_entries_are_discarded_and_recomputed() {
+        let scratch = ScratchDir::new("corrupt");
+        let key = spec_fingerprint("ring12", &ring_spec(12));
+        {
+            let cache = MemoCache::persistent(&scratch.0);
+            let mut r = SweepRunner::new(1).with_cache(Arc::clone(&cache));
+            r.add_spec("job", "ring12", ring_spec(12));
+            r.run_detailed().pop().unwrap().result.unwrap();
+        }
+        let entry = std::fs::read_dir(&scratch.0)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().starts_with("r-"))
+            .expect("cache entry written")
+            .path();
+        let pristine = std::fs::read(&entry).unwrap();
+        // Every single-byte bit-flip (and a truncation, and a version swap)
+        // must read as a miss — recomputed, never a panic or a wrong result.
+        let corruptions: Vec<Vec<u8>> = (0..pristine.len().min(64))
+            .map(|i| {
+                let mut c = pristine.clone();
+                c[i] ^= 0x10;
+                c
+            })
+            .chain([
+                pristine[..pristine.len() / 2].to_vec(),
+                [b"ftmpi-cache v0\n".to_vec(), pristine.clone()].concat(),
+            ])
+            .collect();
+        for corrupt in corruptions {
+            std::fs::write(&entry, &corrupt).unwrap();
+            let cache = MemoCache::persistent(&scratch.0);
+            assert!(
+                cache.get(&key).is_none(),
+                "corrupt entry must miss, not decode"
+            );
+            assert!(!entry.exists(), "corrupt entry must be deleted");
+            // And the sweep transparently recomputes + rewrites it.
+            let mut r = SweepRunner::new(1).with_cache(Arc::clone(&cache));
+            r.add_spec("job", "ring12", ring_spec(12));
+            let out = r.run_detailed().pop().unwrap();
+            assert!(!out.cached);
+            out.result.unwrap();
+            assert!(entry.exists(), "entry rewritten after recompute");
+        }
     }
 }

@@ -31,6 +31,9 @@ pub mod suite;
 
 pub use fingerprint::trace_fingerprint;
 pub use invariants::{check_trace, CheckReport, Violation};
-pub use lint::{lint_source, run_lint, LintHit};
+pub use lint::{lane_audit_sources, lint_source, run_lint, LintHit};
 pub use perturb::{perturbation_check, PerturbReport};
-pub use suite::{figures_suite, run_checked, run_checked_with_churn, smoke_probes, ProbeOutcome};
+pub use suite::{
+    figure_smoke_probe, figures_suite, run_checked, run_checked_with_churn, smoke_probes,
+    ProbeOutcome,
+};

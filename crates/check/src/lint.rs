@@ -1,6 +1,6 @@
 //! Hand-rolled workspace lint (no external dependencies, no syn).
 //!
-//! Three rules guard the determinism contract of the simulation:
+//! Four rules guard the determinism contract of the simulation:
 //!
 //! * `wallclock-in-sim` — no `std::time::Instant` / `SystemTime` in the
 //!   simulation and protocol crates (`sim`, `net`, `mpi`, `core`, `nas`).
@@ -13,6 +13,11 @@
 //!   `any`, `all`, …) or followed by an explicit sort within a few lines.
 //! * `core-unwrap` — no `.unwrap()` in `crates/core/src`: protocol code
 //!   must carry an explanation (`expect`) or handle the `None`/`Err`.
+//! * `lane-audit` — cross-file: every `EventKind` variant in
+//!   `crates/sim/src/event.rs` must appear at a schedule site that
+//!   assigns an explicit tiebreak lane (a 3-argument `EventQueue::push`
+//!   whose lane argument is not `None`), so no event class can silently
+//!   reorder under the race detector's perturbation seeds.
 //!
 //! Escape hatch: a `lint:allow(<rule>)` comment on the offending line or
 //! the line above suppresses the finding.
@@ -28,6 +33,8 @@ pub const RULE_WALLCLOCK: &str = "wallclock-in-sim";
 pub const RULE_HASHMAP_ORDER: &str = "hashmap-order";
 /// Rule id: `.unwrap()` in `crates/core`.
 pub const RULE_CORE_UNWRAP: &str = "core-unwrap";
+/// Rule id: `EventKind` variant never scheduled on a tiebreak lane.
+pub const RULE_LANE_AUDIT: &str = "lane-audit";
 
 /// Crates whose `src/` must not read the wall clock.
 const WALLCLOCK_CRATES: &[&str] = &["sim", "net", "mpi", "core", "nas"];
@@ -236,6 +243,134 @@ fn contains_member_call(line: &str, name: &str, method: &str) -> bool {
     false
 }
 
+/// `EventKind` variant names and their 1-based line numbers, parsed from
+/// the text of `event.rs`.
+fn event_kind_variants(text: &str) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut depth = 0usize;
+    let mut in_enum = false;
+    for (i, line) in text.lines().enumerate() {
+        let s = scrub(line);
+        let t = s.trim();
+        if !in_enum {
+            if t.contains("enum EventKind") {
+                in_enum = true;
+                depth = t.matches('{').count();
+            }
+            continue;
+        }
+        if depth == 1 && t.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            let name: String = t.chars().take_while(|&c| is_ident_char(c)).collect();
+            if !name.is_empty() {
+                variants.push((name, i + 1));
+            }
+        }
+        depth += t.matches('{').count();
+        let closes = t.matches('}').count();
+        if closes >= depth {
+            break;
+        }
+        depth -= closes;
+    }
+    variants
+}
+
+/// Three-argument `.push(` call sites in comment/string-scrubbed source
+/// joined with newlines: `(line, [time, lane, kind])`. Arguments are
+/// split at top-level commas with paren/bracket/brace balancing, so
+/// multi-line sites and nested closures parse correctly.
+fn push_sites(joined: &str) -> Vec<(usize, Vec<String>)> {
+    const NEEDLE: &str = ".push(";
+    let mut sites = Vec::new();
+    let mut search = 0;
+    while let Some(found) = joined[search..].find(NEEDLE) {
+        let abs = search + found;
+        let lineno = joined[..abs].matches('\n').count() + 1;
+        let body = &joined[abs + NEEDLE.len()..];
+        let mut depth = 1usize;
+        let mut args = vec![String::new()];
+        let mut consumed = body.len();
+        for (off, c) in body.char_indices() {
+            match c {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        consumed = off;
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    args.push(String::new());
+                    continue;
+                }
+                _ => {}
+            }
+            args.last_mut().expect("args never empty").push(c);
+        }
+        if args.last().is_some_and(|a| a.trim().is_empty()) && args.len() > 1 {
+            args.pop(); // trailing comma in a multi-line call
+        }
+        if args.len() == 3 {
+            sites.push((lineno, args));
+        }
+        search = abs + NEEDLE.len() + consumed;
+    }
+    sites
+}
+
+/// Cross-file lane audit (rule `lane-audit`) over `(relpath, text)`
+/// sources from the sim crate. Every `EventKind` variant must be reachable
+/// from a lane-assigning schedule site — a 3-argument `EventQueue::push`
+/// whose lane argument is not the literal `None` and whose kind argument
+/// constructs that variant. A variant only ever pushed laneless would get
+/// a fresh perturbation tiekey per event, so its same-time ordering would
+/// drift under the race detector's seeds instead of staying pinned to its
+/// process lane.
+pub fn lane_audit_sources(sources: &[(String, String)]) -> Vec<LintHit> {
+    let Some((event_path, event_text)) = sources
+        .iter()
+        .find(|(p, _)| p.replace('\\', "/").ends_with("src/event.rs"))
+    else {
+        return Vec::new();
+    };
+    let variants = event_kind_variants(event_text);
+    let mut covered: Vec<bool> = vec![false; variants.len()];
+    for (_, text) in sources {
+        let joined: Vec<String> = text.lines().map(scrub).collect();
+        for (_, args) in push_sites(&joined.join("\n")) {
+            let lane = args[1].trim();
+            if lane.is_empty() || lane == "None" {
+                continue;
+            }
+            let kind = args[2].trim_start();
+            for (i, (v, _)) in variants.iter().enumerate() {
+                let ctor = format!("EventKind::{v}");
+                if kind.starts_with(&ctor)
+                    && !kind[ctor.len()..].chars().next().is_some_and(is_ident_char)
+                {
+                    covered[i] = true;
+                }
+            }
+        }
+    }
+    let event_lines: Vec<&str> = event_text.lines().collect();
+    variants
+        .iter()
+        .zip(&covered)
+        .filter(|&((_, line), &cov)| !cov && !allowed(&event_lines, line - 1, RULE_LANE_AUDIT))
+        .map(|((v, line), _)| LintHit {
+            file: event_path.replace('\\', "/"),
+            line: *line,
+            rule: RULE_LANE_AUDIT,
+            msg: format!(
+                "`EventKind::{v}` is never pushed with an explicit tiebreak \
+                 lane; laneless events reorder under perturbation seeds"
+            ),
+        })
+        .collect()
+}
+
 /// Recursively collect `.rs` files under `dir`, sorted for determinism.
 fn rust_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
     let Ok(rd) = std::fs::read_dir(dir) else {
@@ -256,10 +391,12 @@ fn rust_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
 }
 
 /// Lint every `.rs` file under `<root>/crates`, returning all findings.
+/// Includes the cross-file [`lane_audit_sources`] pass over the sim crate.
 pub fn run_lint(root: &Path) -> Vec<LintHit> {
     let mut files = Vec::new();
     rust_files(&root.join("crates"), &mut files);
     let mut hits = Vec::new();
+    let mut sim_sources: Vec<(String, String)> = Vec::new();
     for path in files {
         let Ok(text) = std::fs::read_to_string(&path) else {
             continue;
@@ -270,7 +407,11 @@ pub fn run_lint(root: &Path) -> Vec<LintHit> {
             .to_string_lossy()
             .into_owned();
         hits.extend(lint_source(&rel, &text));
+        if rel.replace('\\', "/").starts_with("crates/sim/src/") {
+            sim_sources.push((rel, text));
+        }
     }
+    hits.extend(lane_audit_sources(&sim_sources));
     hits
 }
 
@@ -324,6 +465,81 @@ mod tests {
         // An unrelated identifier sharing a suffix does not match.
         let other = format!("{decl}    best_requests.iter();\n");
         assert!(lint_source("crates/mpi/src/runtime.rs", &other).is_empty());
+    }
+
+    const FAKE_EVENT_RS: &str = "\
+pub(crate) enum EventKind {
+    /// Run a closure.
+    Call(Box<dyn FnOnce() + Send>),
+    /// Wake a process.
+    Resume(Pid, WakeKind),
+}
+";
+
+    fn sources(kernel: &str) -> Vec<(String, String)> {
+        vec![
+            ("crates/sim/src/event.rs".into(), FAKE_EVENT_RS.into()),
+            ("crates/sim/src/kernel.rs".into(), kernel.into()),
+        ]
+    }
+
+    #[test]
+    fn lane_audit_passes_when_every_variant_has_a_laned_push() {
+        let kernel = "
+    queue.push(at, Some(pid.lane()), EventKind::Resume(pid, kind));
+    queue.push(
+        at,
+        Some(pid.lane()),
+        EventKind::Call(Box::new(move || { nested(parens, here); })),
+    );
+";
+        assert!(lane_audit_sources(&sources(kernel)).is_empty());
+    }
+
+    #[test]
+    fn lane_audit_flags_variant_only_pushed_laneless() {
+        let kernel = "
+    queue.push(at, Some(pid.lane()), EventKind::Resume(pid, kind));
+    queue.push(at, None, EventKind::Call(Box::new(f)));
+";
+        let hits = lane_audit_sources(&sources(kernel));
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, RULE_LANE_AUDIT);
+        assert_eq!(hits[0].file, "crates/sim/src/event.rs");
+        assert!(hits[0].msg.contains("EventKind::Call"));
+        // A named lane variable (not the literal `None`) counts as laned.
+        let named = "
+    queue.push(at, Some(pid.lane()), EventKind::Resume(pid, kind));
+    queue.push(at.max(now), lane, EventKind::Call(Box::new(f)));
+";
+        assert!(lane_audit_sources(&sources(named)).is_empty());
+    }
+
+    #[test]
+    fn lane_audit_ignores_vec_pushes_and_comments() {
+        let kernel = "
+    queue.push(at, Some(pid.lane()), EventKind::Resume(pid, kind));
+    queue.push(at, Some(0), EventKind::Call(Box::new(f)));
+    out.push(x); // one-arg Vec push is not a schedule site
+    // queue.push(at, None, EventKind::Call(..)) — commented out
+";
+        assert!(lane_audit_sources(&sources(kernel)).is_empty());
+    }
+
+    #[test]
+    fn lane_audit_variant_parse_and_allow_escape() {
+        let vs = event_kind_variants(FAKE_EVENT_RS);
+        assert_eq!(vs, vec![("Call".to_string(), 3), ("Resume".to_string(), 5)]);
+        let allowed_src =
+            FAKE_EVENT_RS.replace("    /// Run a closure.", "    // lint:allow(lane-audit)");
+        let srcs = vec![
+            ("crates/sim/src/event.rs".to_string(), allowed_src),
+            (
+                "crates/sim/src/kernel.rs".to_string(),
+                "queue.push(at, Some(1), EventKind::Resume(pid, kind));".to_string(),
+            ),
+        ];
+        assert!(lane_audit_sources(&srcs).is_empty());
     }
 
     #[test]

@@ -16,7 +16,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ftmpi_check::{
-    figures_suite, perturbation_check, run_checked_with_churn, run_lint, smoke_probes, ProbeOutcome,
+    figure_smoke_probe, figures_suite, perturbation_check, run_checked_with_churn, run_lint,
+    smoke_probes, ProbeOutcome,
 };
 
 fn workspace_root() -> PathBuf {
@@ -95,20 +96,26 @@ fn cmd_smoke() -> ExitCode {
         }
     }
 
-    // Perturbation pass: the first clean probe of each protocol, three
-    // seeded tiebreak schedules each.
-    for (name, _) in smoke_probes().iter().filter(|(n, _)| !n.ends_with(".kill")) {
-        let label = name.clone();
-        let mk = {
-            let name = name.clone();
-            move || {
+    // Perturbation pass: every clean probe plus one class-S figure
+    // workload, three seeded tiebreak schedules each.
+    type SpecMk = Box<dyn Fn() -> ftmpi_core::JobSpec>;
+    let mut perturb_targets: Vec<(String, SpecMk)> = smoke_probes()
+        .into_iter()
+        .map(|(name, _)| {
+            let wanted = name.clone();
+            let mk: SpecMk = Box::new(move || {
                 smoke_probes()
                     .into_iter()
-                    .find(|(n, _)| *n == name)
+                    .find(|(n, _)| *n == wanted)
                     .expect("probe name stable")
                     .1
-            }
-        };
+            });
+            (name, mk)
+        })
+        .collect();
+    let (fig_name, _) = figure_smoke_probe();
+    perturb_targets.push((fig_name, Box::new(|| figure_smoke_probe().1)));
+    for (label, mk) in perturb_targets {
         match perturbation_check(mk, &[1, 2, 3]) {
             Ok(rep) => {
                 let div = rep.divergent();

@@ -115,6 +115,19 @@ pub fn smoke_probes() -> Vec<(String, JobSpec)> {
     probes
 }
 
+/// The class-S figure workload the smoke perturbation pass covers: the
+/// first entry of the bench crate's fast probe set (4-rank BT.S on the
+/// gigabit cluster under Pcl). Kept out of [`smoke_probes`] so the
+/// invariant+churn pass stays quick; the perturbation pass runs it with
+/// the same seeds as the synthetic probes so a real figure schedule —
+/// skeleton replay, placement, server traffic — is exercised too.
+pub fn figure_smoke_probe() -> (String, JobSpec) {
+    ftmpi_bench::figure_probe_specs(true)
+        .into_iter()
+        .next()
+        .expect("bench fast probe set is non-empty")
+}
+
 /// Run one spec with tracing enabled and check every invariant.
 pub fn run_checked(name: &str, spec: JobSpec) -> Result<ProbeOutcome, JobError> {
     let nranks = spec.nranks;

@@ -122,6 +122,144 @@ impl JobResult {
     pub fn completion_secs(&self) -> f64 {
         self.completion.as_secs_f64()
     }
+
+    /// Serialize for the persistent memo cache: one `key=value` line per
+    /// field, integers only (virtual times are raw nanosecond counts), so a
+    /// disk round-trip reproduces the result bit-for-bit and cached figure
+    /// output stays byte-identical to a fresh simulation.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let mut line = |k: &str, v: u64| {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        };
+        line("completion_ns", self.completion.as_nanos());
+        line("ft.waves_started", self.ft.waves_started);
+        line("ft.waves_committed", self.ft.waves_committed);
+        line("ft.image_bytes_sent", self.ft.image_bytes_sent);
+        line("ft.log_bytes_sent", self.ft.log_bytes_sent);
+        line("ft.msgs_logged", self.ft.msgs_logged);
+        line("ft.sends_delayed", self.ft.sends_delayed);
+        line("ft.arrivals_delayed", self.ft.arrivals_delayed);
+        line("ft.restarts", self.ft.restarts);
+        line("rt.msgs_sent", self.rt.msgs_sent);
+        line("rt.bytes_sent", self.rt.bytes_sent);
+        line("rt.msgs_delivered", self.rt.msgs_delivered);
+        line("rt.finished_ranks", self.rt.finished_ranks as u64);
+        line("rt.restarts", self.rt.restarts);
+        line("events", self.events);
+        line("leftover_unexpected", self.leftover_unexpected as u64);
+        line("leftover_posted", self.leftover_posted as u64);
+        out.push_str("rt.completion_time_ns=");
+        match self.rt.completion_time {
+            Some(t) => out.push_str(&t.as_nanos().to_string()),
+            None => out.push_str("none"),
+        }
+        out.push('\n');
+        out.push_str("ft.wave_timings=");
+        for (i, w) in self.ft.wave_timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{}:{}",
+                w.wave,
+                w.started_at.as_nanos(),
+                w.committed_at.as_nanos()
+            ));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Parse [`JobResult::encode`] output. Strict: every field must appear
+    /// exactly once with a well-formed value, and unknown keys are rejected,
+    /// so truncated or garbled cache entries decode to `None` (and get
+    /// recomputed) instead of yielding corrupt results.
+    pub fn decode(text: &str) -> Option<JobResult> {
+        let mut ints = std::collections::HashMap::new();
+        let mut completion_time: Option<Option<SimTime>> = None;
+        let mut wave_timings: Option<Vec<crate::stats::WaveTiming>> = None;
+        for raw in text.lines() {
+            let line = raw.trim_end_matches('\r');
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=')?;
+            match key {
+                "rt.completion_time_ns" => {
+                    let parsed = if value == "none" {
+                        None
+                    } else {
+                        Some(SimTime::from_nanos(value.parse().ok()?))
+                    };
+                    if completion_time.replace(parsed).is_some() {
+                        return None; // duplicate key
+                    }
+                }
+                "ft.wave_timings" => {
+                    let mut timings = Vec::new();
+                    if !value.is_empty() {
+                        for item in value.split(',') {
+                            let mut parts = item.split(':');
+                            let wave = parts.next()?.parse().ok()?;
+                            let started = parts.next()?.parse().ok()?;
+                            let committed = parts.next()?.parse().ok()?;
+                            if parts.next().is_some() {
+                                return None;
+                            }
+                            timings.push(crate::stats::WaveTiming {
+                                wave,
+                                started_at: SimTime::from_nanos(started),
+                                committed_at: SimTime::from_nanos(committed),
+                            });
+                        }
+                    }
+                    if wave_timings.replace(timings).is_some() {
+                        return None;
+                    }
+                }
+                _ => {
+                    let v: u64 = value.parse().ok()?;
+                    if ints.insert(key, v).is_some() {
+                        return None;
+                    }
+                }
+            }
+        }
+        let mut take = |k: &str| ints.remove(k);
+        let result = JobResult {
+            completion: SimDuration::from_nanos(take("completion_ns")?),
+            ft: FtStats {
+                waves_started: take("ft.waves_started")?,
+                waves_committed: take("ft.waves_committed")?,
+                wave_timings: wave_timings?,
+                image_bytes_sent: take("ft.image_bytes_sent")?,
+                log_bytes_sent: take("ft.log_bytes_sent")?,
+                msgs_logged: take("ft.msgs_logged")?,
+                sends_delayed: take("ft.sends_delayed")?,
+                arrivals_delayed: take("ft.arrivals_delayed")?,
+                restarts: take("ft.restarts")?,
+            },
+            rt: RuntimeStats {
+                msgs_sent: take("rt.msgs_sent")?,
+                bytes_sent: take("rt.bytes_sent")?,
+                msgs_delivered: take("rt.msgs_delivered")?,
+                finished_ranks: take("rt.finished_ranks")? as usize,
+                completion_time: completion_time?,
+                restarts: take("rt.restarts")?,
+            },
+            events: take("events")?,
+            leftover_unexpected: take("leftover_unexpected")? as usize,
+            leftover_posted: take("leftover_posted")? as usize,
+        };
+        if !ints.is_empty() {
+            return None; // unknown keys: not something encode() produced
+        }
+        Some(result)
+    }
 }
 
 /// Why a job could not run or finish.
@@ -320,4 +458,96 @@ pub fn run_job_with(
         },
         report.trace,
     ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::WaveTiming;
+
+    fn sample() -> JobResult {
+        JobResult {
+            completion: SimDuration::from_nanos(123_456_789_012),
+            ft: FtStats {
+                waves_started: 7,
+                waves_committed: 6,
+                wave_timings: vec![
+                    WaveTiming {
+                        wave: 1,
+                        started_at: SimTime::from_nanos(10),
+                        committed_at: SimTime::from_nanos(999),
+                    },
+                    WaveTiming {
+                        wave: 2,
+                        started_at: SimTime::from_nanos(2_000),
+                        committed_at: SimTime::from_nanos(3_500),
+                    },
+                ],
+                image_bytes_sent: 1 << 40,
+                log_bytes_sent: 42,
+                msgs_logged: 9,
+                sends_delayed: 3,
+                arrivals_delayed: 1,
+                restarts: 2,
+            },
+            rt: RuntimeStats {
+                msgs_sent: 1000,
+                bytes_sent: u64::MAX,
+                msgs_delivered: 998,
+                finished_ranks: 64,
+                completion_time: Some(SimTime::from_nanos(123_456_789_012)),
+                restarts: 2,
+            },
+            events: 555_555,
+            leftover_unexpected: 0,
+            leftover_posted: 0,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_bit_for_bit() {
+        let r = sample();
+        let decoded = JobResult::decode(&r.encode()).expect("decode");
+        // Integer-only fields: equality here is bit-for-bit identity.
+        assert_eq!(decoded.completion, r.completion);
+        assert_eq!(decoded.ft, r.ft);
+        assert_eq!(decoded.rt.msgs_sent, r.rt.msgs_sent);
+        assert_eq!(decoded.rt.bytes_sent, r.rt.bytes_sent);
+        assert_eq!(decoded.rt.msgs_delivered, r.rt.msgs_delivered);
+        assert_eq!(decoded.rt.finished_ranks, r.rt.finished_ranks);
+        assert_eq!(decoded.rt.completion_time, r.rt.completion_time);
+        assert_eq!(decoded.rt.restarts, r.rt.restarts);
+        assert_eq!(decoded.events, r.events);
+        assert_eq!(decoded.leftover_unexpected, r.leftover_unexpected);
+        assert_eq!(decoded.leftover_posted, r.leftover_posted);
+        // And the encoding itself is stable.
+        assert_eq!(decoded.encode(), r.encode());
+    }
+
+    #[test]
+    fn decode_roundtrips_empty_timings_and_running_job() {
+        let mut r = sample();
+        r.ft.wave_timings.clear();
+        r.rt.completion_time = None;
+        let decoded = JobResult::decode(&r.encode()).expect("decode");
+        assert!(decoded.ft.wave_timings.is_empty());
+        assert_eq!(decoded.rt.completion_time, None);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        let good = sample().encode();
+        // Truncation (drop the last line).
+        let truncated = good.lines().take(10).collect::<Vec<_>>().join("\n");
+        assert!(JobResult::decode(&truncated).is_none());
+        // Garbled value.
+        assert!(JobResult::decode(&good.replace("events=", "events=x")).is_none());
+        // Unknown key.
+        assert!(JobResult::decode(&format!("{good}bogus=1\n")).is_none());
+        // Duplicate key.
+        assert!(JobResult::decode(&format!("{good}events=1\n")).is_none());
+        // Missing separator.
+        assert!(JobResult::decode(&good.replace("ft.restarts=", "ft.restarts ")).is_none());
+        assert!(JobResult::decode("").is_none());
+    }
 }

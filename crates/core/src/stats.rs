@@ -3,7 +3,7 @@
 use ftmpi_sim::{SimDuration, SimTime};
 
 /// Per-wave timing record.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WaveTiming {
     /// Wave number (1-based).
     pub wave: u64,
@@ -21,7 +21,7 @@ impl WaveTiming {
 }
 
 /// Counters kept by the protocol engines.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FtStats {
     /// Waves initiated.
     pub waves_started: u64,

@@ -156,6 +156,26 @@ impl EventQueue {
         None
     }
 
+    /// Pop the next event only if `want` accepts it. Cancelled corpses at
+    /// the front are discarded either way (they would never execute), so a
+    /// refusal means the live head of the queue does not match. Used by the
+    /// kernel to coalesce consecutive same-time wakes for one process into a
+    /// single token handoff.
+    pub fn pop_if(&mut self, want: impl Fn(&Event) -> bool) -> Option<Event> {
+        loop {
+            let head = self.heap.peek()?;
+            if self.cancelled.contains(&head.seq) {
+                let corpse = self.heap.pop().expect("peeked event vanished");
+                self.cancelled.remove(&corpse.seq);
+                continue;
+            }
+            if !want(head) {
+                return None;
+            }
+            return self.heap.pop();
+        }
+    }
+
     #[allow(dead_code)] // used by tests and future schedulers
     pub fn is_empty(&self) -> bool {
         // Cancelled-but-unpopped events don't count as pending work.
@@ -201,6 +221,24 @@ mod tests {
         assert_eq!(q.len(), 1);
         let ev = q.pop().unwrap();
         assert_eq!(ev.time, SimTime::from_nanos(6));
+    }
+
+    #[test]
+    fn pop_if_refuses_nonmatching_head_and_skips_corpses() {
+        let mut q = EventQueue::default();
+        let a = q.push(SimTime::from_nanos(5), None, call());
+        q.push(SimTime::from_nanos(5), None, call());
+        q.push(SimTime::from_nanos(9), None, call());
+        // Head does not match: nothing is consumed.
+        assert!(q.pop_if(|ev| ev.time.as_nanos() == 9).is_none());
+        assert_eq!(q.len(), 3);
+        // Cancel the head; pop_if discards the corpse and matches the next.
+        q.cancel(a);
+        let ev = q.pop_if(|ev| ev.time.as_nanos() == 5).unwrap();
+        assert_eq!(ev.seq, 1);
+        assert!(q.pop_if(|ev| ev.time.as_nanos() == 5).is_none());
+        assert_eq!(q.pop().unwrap().time.as_nanos(), 9);
+        assert!(q.pop_if(|_| true).is_none());
     }
 
     #[test]

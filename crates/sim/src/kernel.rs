@@ -1,13 +1,15 @@
 //! The simulation kernel: event loop, process table, and the [`SimCtx`]
 //! service handle exposed to model code.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
-use crate::event::{EventId, EventKind, EventQueue};
+use crate::event::{Event, EventId, EventKind, EventQueue};
+use crate::pool::{self, LeaseGroup};
 use crate::process::{Handoff, Pid, ProcCtx, ProcessExit, ResumeOutcome, WakeKind};
 use crate::table::ProcTable;
 use crate::time::{SimDuration, SimTime};
@@ -18,6 +20,8 @@ struct ProcEntry {
     name: Arc<str>,
     handoff: Arc<Handoff>,
     alive: bool,
+    /// `Some` only for dedicated (`FTMPI_NO_POOL`) threads; pooled workers
+    /// are never joined — teardown quiesces the lease group instead.
     join: Option<JoinHandle<()>>,
     /// The event scheduled by the process's current `exec` call, if any.
     /// Cancelled when the process dies so a dead process's pending request
@@ -39,6 +43,20 @@ pub(crate) struct KernelState {
     tracer: Tracer,
     /// Exit records in completion order.
     exits: Vec<(Pid, Arc<str>, ProcessExit)>,
+    /// Condvar round-trips avoided by delivering same-time wake batches in
+    /// one token handoff (reported in [`RunReport::handoffs_saved`]).
+    handoffs_saved: u64,
+}
+
+/// `false` when `FTMPI_NO_BATCH` is set: every wake gets its own token
+/// handoff, as in the unbatched kernel. The batched and unbatched paths
+/// execute the same events in the same order (batches only coalesce
+/// consecutive same-time wakes for one process, which pop back-to-back
+/// anyway), so results are byte-identical either way; the toggle exists for
+/// CI to prove exactly that.
+fn batching_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("FTMPI_NO_BATCH").is_none())
 }
 
 /// Shared kernel handle. Internal; exposed types are [`Sim`] and [`SimCtx`].
@@ -49,6 +67,9 @@ pub struct Shared {
     /// skip the state mutex when tracing is off (the common case: only
     /// tests and debugging sessions enable it).
     trace_on: AtomicBool,
+    /// This simulation's leases on the rank-thread pool; teardown waits for
+    /// the count to reach zero (the pooled replacement for join-all).
+    leases: Arc<LeaseGroup>,
 }
 
 impl Shared {
@@ -167,6 +188,9 @@ pub struct RunReport {
     pub trace: Vec<TraceEvent>,
     /// Whether the run ended because [`SimCtx::request_stop`] was called.
     pub stopped: bool,
+    /// Condvar round-trips avoided by batched wake delivery (0 when
+    /// `FTMPI_NO_BATCH` is set or no same-time wake batches occurred).
+    pub handoffs_saved: u64,
 }
 
 /// Service handle available to model closures while they run on the kernel
@@ -353,36 +377,41 @@ fn spawn_inner(
     let thread_shared = Arc::clone(shared);
     let thread_handoff = Arc::clone(&handoff);
     let thread_name = Arc::clone(&name);
-    let join = std::thread::Builder::new()
-        .name(format!("sim-{pid}-{name}"))
-        .stack_size(256 * 1024)
-        .spawn(move || {
-            let (kind, now) = thread_handoff.wait_first_wake();
-            if matches!(kind, WakeKind::Killed) {
-                thread_handoff.exit(ProcessExit::Killed);
-                return;
-            }
-            let ctx = ProcCtx {
-                pid,
-                name: thread_name,
-                handoff: Arc::clone(&thread_handoff),
-                shared: thread_shared,
-                local_time: now,
-            };
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
-            let status = match result {
-                Ok(()) => ProcessExit::Normal,
-                Err(payload) => {
-                    if payload.downcast_ref::<KilledSignal>().is_some() {
-                        ProcessExit::Killed
-                    } else {
-                        ProcessExit::Panicked(panic_message(payload))
-                    }
+    let trampoline = move || {
+        let (kind, now) = thread_handoff.wait_first_wake();
+        if matches!(kind, WakeKind::Killed) {
+            thread_handoff.exit(ProcessExit::Killed);
+            return;
+        }
+        let ctx = ProcCtx {
+            pid,
+            name: thread_name,
+            handoff: Arc::clone(&thread_handoff),
+            shared: thread_shared,
+            local_time: now,
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
+        let status = match result {
+            Ok(()) => ProcessExit::Normal,
+            Err(payload) => {
+                if payload.downcast_ref::<KilledSignal>().is_some() {
+                    ProcessExit::Killed
+                } else {
+                    ProcessExit::Panicked(panic_message(payload))
                 }
-            };
-            thread_handoff.exit(status);
-        })
-        .expect("failed to spawn simulated process thread");
+            }
+        };
+        thread_handoff.exit(status);
+    };
+    // Pool checkout: an idle worker runs the trampoline, or (escape hatch /
+    // cold pool) a fresh thread is spawned. `join` is `Some` only for
+    // dedicated escape-hatch threads; pooled lifetimes are governed by the
+    // lease group, which teardown quiesces.
+    let join = pool::spawn_process(
+        format!("sim-{pid}-{name}"),
+        &shared.leases,
+        Box::new(trampoline),
+    );
     {
         let mut st = shared.state.lock();
         st.procs.insert(
@@ -391,7 +420,7 @@ fn spawn_inner(
                 name,
                 handoff,
                 alive: true,
-                join: Some(join),
+                join,
                 pending_exec: None,
             },
         );
@@ -418,6 +447,12 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// The simulation: owns the kernel state and drives the event loop.
 pub struct Sim {
     shared: Arc<Shared>,
+}
+
+/// One unit of work popped under the state lock and dispatched outside it.
+enum Dispatch {
+    Call(Box<dyn FnOnce(&SimCtx) + Send>, SimTime),
+    Wakes(Pid, SimTime, VecDeque<(WakeKind, SimTime)>),
 }
 
 impl Default for Sim {
@@ -459,8 +494,10 @@ impl Sim {
                     max_time: None,
                     tracer: Tracer::default(),
                     exits: Vec::new(),
+                    handoffs_saved: 0,
                 }),
                 trace_on: AtomicBool::new(false),
+                leases: Arc::new(LeaseGroup::default()),
             }),
         }
     }
@@ -545,14 +582,16 @@ impl Sim {
                 .collect(),
             trace: st.tracer.take(),
             stopped: st.stop_requested,
+            handoffs_saved: st.handoffs_saved,
         };
         drop(st);
         result.map(|()| report)
     }
 
     fn run_loop(&mut self) -> Result<(), SimError> {
+        let batching = batching_enabled();
         loop {
-            let (event, budget_hit) = {
+            let dispatch = {
                 let mut st = self.shared.state.lock();
                 if st.stop_requested {
                     return Ok(());
@@ -599,28 +638,49 @@ impl Sim {
                             return Ok(());
                         }
                         st.now = ev.time;
-                        st.executed += 1;
-                        (ev, false)
+                        match ev.kind {
+                            EventKind::Call(f) => {
+                                st.executed += 1;
+                                Dispatch::Call(f, ev.time)
+                            }
+                            EventKind::Resume(pid, kind) => {
+                                let mut wakes = VecDeque::with_capacity(1);
+                                wakes.push_back((kind, ev.time));
+                                if batching {
+                                    // Coalesce every immediately-following
+                                    // same-time wake for this process into one
+                                    // token handoff. Same-lane same-time
+                                    // events pop in scheduling order under any
+                                    // tiebreak seed, so the batch preserves
+                                    // exactly the order the unbatched loop
+                                    // would deliver. (`executed` for wake
+                                    // batches is accounted after delivery —
+                                    // see `resume_process`.)
+                                    while let Some(next) = st.queue.pop_if(|e: &Event| {
+                                        e.time == ev.time
+                                            && matches!(e.kind, EventKind::Resume(p, _) if p == pid)
+                                    }) {
+                                        if let EventKind::Resume(_, k) = next.kind {
+                                            wakes.push_back((k, next.time));
+                                        }
+                                    }
+                                }
+                                Dispatch::Wakes(pid, ev.time, wakes)
+                            }
+                        }
                     }
                 }
             };
-            if budget_hit {
-                // Past the configured horizon: stop silently (used by
-                // experiments that only care about a prefix of the run).
-                let mut st = self.shared.state.lock();
-                st.stop_requested = true;
-                return Ok(());
-            }
-            match event.kind {
-                EventKind::Call(f) => {
+            match dispatch {
+                Dispatch::Call(f, time) => {
                     let sc = SimCtx {
                         shared: Arc::clone(&self.shared),
-                        now: event.time,
+                        now: time,
                     };
                     f(&sc);
                 }
-                EventKind::Resume(pid, kind) => {
-                    if let Some(err) = self.resume_process(pid, kind, event.time) {
+                Dispatch::Wakes(pid, time, wakes) => {
+                    if let Some(err) = self.resume_process(pid, wakes, time) {
                         return Err(err);
                     }
                 }
@@ -628,8 +688,19 @@ impl Sim {
         }
     }
 
-    /// Hand the token to `pid`; returns an error for real panics.
-    fn resume_process(&self, pid: Pid, kind: WakeKind, now: SimTime) -> Option<SimError> {
+    /// Hand the token to `pid` with a batch of wakes; returns an error for
+    /// real panics. Event accounting happens here, after delivery: the
+    /// process consumed `delivered` of the batch, and each consumed wake is
+    /// one executed event — exactly what the unbatched loop would have
+    /// counted, because the wakes it left unconsumed (it exited mid-batch)
+    /// are the ones that loop would have dropped as stale. A process found
+    /// already dead still counts its one popped wake, as before.
+    fn resume_process(
+        &self,
+        pid: Pid,
+        wakes: VecDeque<(WakeKind, SimTime)>,
+        now: SimTime,
+    ) -> Option<SimError> {
         let handoff = {
             let st = self.shared.state.lock();
             match st.procs.get(pid) {
@@ -637,10 +708,13 @@ impl Sim {
                 _ => return None, // stale resume for a dead process
             }
         };
-        match handoff.resume(kind, now) {
+        let (outcome, delivered) = handoff.resume_batch(wakes);
+        let mut st = self.shared.state.lock();
+        st.executed += (delivered as u64).max(1);
+        st.handoffs_saved += delivered.saturating_sub(1) as u64;
+        match outcome {
             ResumeOutcome::Parked => None,
             ResumeOutcome::Exited(status) => {
-                let mut st = self.shared.state.lock();
                 let name = if let Some(e) = st.procs.get_mut(pid) {
                     e.alive = false;
                     let pending = e.pending_exec.take();
@@ -703,7 +777,9 @@ impl Sim {
                 }
             }
         }
-        // Join every thread.
+        // Join dedicated (escape-hatch) threads, then wait for every pooled
+        // worker leased by this simulation to finish its trampoline. After
+        // this, no thread still references this Sim's state.
         let joins: Vec<JoinHandle<()>> = {
             let mut st = self.shared.state.lock();
             st.procs
@@ -714,6 +790,7 @@ impl Sim {
         for j in joins {
             let _ = j.join();
         }
+        pool::wait_group_idle(&self.shared.leases);
     }
 }
 

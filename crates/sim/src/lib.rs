@@ -44,6 +44,7 @@
 
 mod event;
 mod kernel;
+mod pool;
 mod process;
 mod reply;
 mod table;
@@ -52,6 +53,7 @@ mod trace;
 
 pub use event::EventId;
 pub use kernel::{DeadlockInfo, RunReport, Sim, SimCtx, SimError};
+pub use pool::{pool_stats, wait_live_below, PoolStats};
 pub use process::{Pid, ProcCtx, ProcessExit, SharedFlag};
 pub use reply::Reply;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,234 @@
+//! The rank-thread pool: reusable OS worker threads for simulated processes.
+//!
+//! Spawning one OS thread per simulated rank per run is the dominant fixed
+//! cost of a sweep: a 14-figure session runs thousands of jobs, each of
+//! which used to spawn and join `nranks` threads. The pool keeps finished
+//! workers parked instead of joining them: a [`Sim`](crate::Sim) checks a
+//! worker out for the lifetime of one simulated process and the worker
+//! returns itself to the global free list when the process exits, so the
+//! whole sweep reuses a bounded set of OS threads.
+//!
+//! Leases are also the capacity signal for the experiment engine: every
+//! checked-out worker (pooled or not) counts toward the process-wide *live
+//! thread* gauge, which [`wait_live_below`] exposes so a sweep can gate job
+//! admission on actual thread occupancy instead of a pessimistic
+//! per-job reservation.
+//!
+//! Escape hatch: setting `FTMPI_NO_POOL` (to any value) restores the
+//! spawn-per-process behaviour — used by the byte-identity checks in CI and
+//! available for debugging (dedicated threads keep the `sim-<pid>-<name>`
+//! thread names).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A unit of work handed to a worker thread (one simulated process's
+/// trampoline, lease bookkeeping excluded — the pool owns that).
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Per-[`Sim`](crate::Sim) lease counter: how many of this simulation's
+/// process threads are still running their trampoline. Teardown waits for
+/// it to reach zero, which restores the old join-all guarantee without
+/// joining pooled workers.
+#[derive(Default)]
+pub(crate) struct LeaseGroup {
+    count: AtomicUsize,
+}
+
+/// One worker's mailbox: the pool delivers `(job, group)` pairs here.
+struct WorkerSlot {
+    job: Mutex<Option<(Job, Arc<LeaseGroup>)>>,
+    cv: Condvar,
+}
+
+struct PoolInner {
+    /// Workers waiting for a job.
+    idle: Mutex<VecDeque<Arc<WorkerSlot>>>,
+    /// Live (checked-out) process threads, pooled or dedicated. Guarded by
+    /// a mutex (not an atomic) so [`wait_live_below`] and the per-group
+    /// teardown wait can block on `released` without missed wakeups.
+    live: Mutex<usize>,
+    released: Condvar,
+    threads_created: AtomicU64,
+    checkouts: AtomicU64,
+    reused: AtomicU64,
+}
+
+fn pool() -> &'static PoolInner {
+    static POOL: OnceLock<PoolInner> = OnceLock::new();
+    POOL.get_or_init(|| PoolInner {
+        idle: Mutex::new(VecDeque::new()),
+        live: Mutex::new(0),
+        released: Condvar::new(),
+        threads_created: AtomicU64::new(0),
+        checkouts: AtomicU64::new(0),
+        reused: AtomicU64::new(0),
+    })
+}
+
+/// `false` when `FTMPI_NO_POOL` is set: every process gets a dedicated,
+/// joined OS thread as before. Read once per process.
+fn pooling_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("FTMPI_NO_POOL").is_none())
+}
+
+/// Stack size for simulated-process threads (pooled or not): the model
+/// parks almost immediately, so a small stack keeps hundreds of ranks
+/// cheap.
+const STACK_SIZE: usize = 256 * 1024;
+
+fn lease_begin(group: &Arc<LeaseGroup>) {
+    let p = pool();
+    *p.live.lock() += 1;
+    group.count.fetch_add(1, Ordering::SeqCst);
+    p.checkouts.fetch_add(1, Ordering::Relaxed);
+}
+
+fn lease_end(group: &Arc<LeaseGroup>) {
+    let p = pool();
+    {
+        let mut live = p.live.lock();
+        *live = live.saturating_sub(1);
+        // Decremented under the same lock the waiters hold, so a
+        // `wait_live_below` / `wait_group_idle` sleeper can never miss it.
+        group.count.fetch_sub(1, Ordering::SeqCst);
+    }
+    p.released.notify_all();
+}
+
+fn worker_loop(slot: Arc<WorkerSlot>, mut work: (Job, Arc<LeaseGroup>)) {
+    loop {
+        let (job, group) = work;
+        job();
+        lease_end(&group);
+        // Back to the free list, then wait for the next checkout. A
+        // checkout may deliver into the mailbox before we start waiting;
+        // the mutex-guarded `take` handles either order.
+        pool().idle.lock().push_back(Arc::clone(&slot));
+        let mut mailbox = slot.job.lock();
+        loop {
+            if let Some(next) = mailbox.take() {
+                work = next;
+                break;
+            }
+            slot.cv.wait(&mut mailbox);
+        }
+    }
+}
+
+/// Run `job` on a leased worker thread. Pooled mode reuses an idle worker
+/// (or grows the pool by one); the escape hatch spawns a dedicated thread
+/// and returns its handle for joining.
+pub(crate) fn spawn_process(
+    thread_name: String,
+    group: &Arc<LeaseGroup>,
+    job: Job,
+) -> Option<JoinHandle<()>> {
+    lease_begin(group);
+    let p = pool();
+    if !pooling_enabled() {
+        let group = Arc::clone(group);
+        p.threads_created.fetch_add(1, Ordering::Relaxed);
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .stack_size(STACK_SIZE)
+            .spawn(move || {
+                job();
+                lease_end(&group);
+            })
+            .expect("failed to spawn simulated process thread");
+        return Some(handle);
+    }
+    let reused = p.idle.lock().pop_front();
+    match reused {
+        Some(slot) => {
+            p.reused.fetch_add(1, Ordering::Relaxed);
+            let mut mailbox = slot.job.lock();
+            debug_assert!(mailbox.is_none(), "idle worker already holds a job");
+            *mailbox = Some((job, Arc::clone(group)));
+            slot.cv.notify_all();
+        }
+        None => {
+            let n = p.threads_created.fetch_add(1, Ordering::Relaxed);
+            let slot = Arc::new(WorkerSlot {
+                job: Mutex::new(None),
+                cv: Condvar::new(),
+            });
+            let group = Arc::clone(group);
+            std::thread::Builder::new()
+                .name(format!("sim-pool-{n}"))
+                .stack_size(STACK_SIZE)
+                .spawn(move || worker_loop(Arc::clone(&slot), (job, group)))
+                .expect("failed to spawn pool worker thread");
+        }
+    }
+    None
+}
+
+/// Block until every process thread leased through `group` has finished
+/// its trampoline (the pooled replacement for joining per-process threads).
+pub(crate) fn wait_group_idle(group: &LeaseGroup) {
+    let p = pool();
+    let mut live = p.live.lock();
+    while group.count.load(Ordering::SeqCst) > 0 {
+        p.released.wait(&mut live);
+    }
+}
+
+/// Block until fewer than `cap` simulated-process threads are live across
+/// the whole process (clamped to ≥1 so the wait always has an exit). Used
+/// by sweep engines to gate job admission on real thread occupancy: a job
+/// is admitted as soon as the gauge dips below the watermark, so two large
+/// jobs whose ranks are mostly parked can overlap instead of serializing
+/// behind an up-front `nranks` reservation.
+pub fn wait_live_below(cap: usize) {
+    let cap = cap.max(1);
+    let p = pool();
+    let mut live = p.live.lock();
+    while *live >= cap {
+        p.released.wait(&mut live);
+    }
+}
+
+/// Pool occupancy counters (process-wide, monotonic except `live`/`idle`).
+#[derive(Debug, Clone, Copy)]
+pub struct PoolStats {
+    /// OS threads ever created for simulated processes (pooled workers
+    /// plus dedicated escape-hatch threads).
+    pub threads_created: u64,
+    /// Process-thread leases granted (one per simulated process spawn).
+    pub checkouts: u64,
+    /// Leases served by re-using an idle pooled worker.
+    pub reused: u64,
+    /// Currently leased process threads.
+    pub live: usize,
+    /// Pooled workers currently parked on the free list.
+    pub idle: usize,
+}
+
+/// Snapshot the pool's counters.
+pub fn pool_stats() -> PoolStats {
+    let p = pool();
+    PoolStats {
+        threads_created: p.threads_created.load(Ordering::Relaxed),
+        checkouts: p.checkouts.load(Ordering::Relaxed),
+        reused: p.reused.load(Ordering::Relaxed),
+        live: *p.live.lock(),
+        idle: p.idle.lock().len(),
+    }
+}
+
+impl PoolStats {
+    /// One-line human summary, used by the bench binaries.
+    pub fn summary(&self) -> String {
+        format!(
+            "rank-thread pool: {} checkouts, {} reused, {} OS threads created, {} idle",
+            self.checkouts, self.reused, self.threads_created, self.idle
+        )
+    }
+}

@@ -6,6 +6,7 @@
 //! state never sees concurrent access even though it is shared across
 //! threads, and all scheduling decisions are deterministic.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -71,28 +72,57 @@ pub(crate) enum ResumeOutcome {
     Exited(ProcessExit),
 }
 
+struct HandoffInner {
+    state: HandoffState,
+    /// Wakes delivered with the current token handoff but not yet consumed.
+    /// A parked process drains this queue in FIFO order before giving the
+    /// token back, so a batch of same-time wakes costs one Condvar
+    /// round-trip instead of one per wake.
+    pending: VecDeque<(WakeKind, SimTime)>,
+    /// Wakes the process has consumed during the current `resume_batch`.
+    delivered: usize,
+}
+
 /// The token-passing rendezvous between the kernel loop and one process.
 pub(crate) struct Handoff {
-    state: Mutex<HandoffState>,
+    inner: Mutex<HandoffInner>,
     cv: Condvar,
 }
 
 impl Handoff {
     pub fn new() -> Arc<Handoff> {
         Arc::new(Handoff {
-            state: Mutex::new(HandoffState::KernelHeld),
+            inner: Mutex::new(HandoffInner {
+                state: HandoffState::KernelHeld,
+                pending: VecDeque::new(),
+                delivered: 0,
+            }),
             cv: Condvar::new(),
         })
     }
 
-    /// Kernel side: give the token to the process and wait until it parks or
-    /// exits. Must be called *without* holding the kernel state lock.
+    /// Kernel side: deliver a single wake (see [`Handoff::resume_batch`]).
     pub fn resume(&self, kind: WakeKind, now: SimTime) -> ResumeOutcome {
-        let mut st = self.state.lock();
-        match *st {
-            HandoffState::Exited(ref e) => return ResumeOutcome::Exited(e.clone()),
+        let mut wakes = VecDeque::with_capacity(1);
+        wakes.push_back((kind, now));
+        self.resume_batch(wakes).0
+    }
+
+    /// Kernel side: give the token to the process with a non-empty FIFO
+    /// batch of wakes and wait until it parks or exits. Returns the outcome
+    /// and how many of the wakes the process actually consumed (a process
+    /// that exits mid-batch leaves the rest undelivered, exactly like the
+    /// unbatched kernel dropping stale wakes for a dead process). Must be
+    /// called *without* holding the kernel state lock.
+    pub fn resume_batch(&self, mut wakes: VecDeque<(WakeKind, SimTime)>) -> (ResumeOutcome, usize) {
+        let mut st = self.inner.lock();
+        match st.state {
+            HandoffState::Exited(ref e) => return (ResumeOutcome::Exited(e.clone()), 0),
             HandoffState::KernelHeld => {
-                *st = HandoffState::ProcessHeld(kind, now);
+                let (kind, now) = wakes.pop_front().expect("resume_batch with no wakes");
+                st.pending = wakes;
+                st.delivered = 1;
+                st.state = HandoffState::ProcessHeld(kind, now);
                 self.cv.notify_all();
             }
             HandoffState::ProcessHeld(..) => {
@@ -100,9 +130,18 @@ impl Handoff {
             }
         }
         loop {
-            match *st {
-                HandoffState::KernelHeld => return ResumeOutcome::Parked,
-                HandoffState::Exited(ref e) => return ResumeOutcome::Exited(e.clone()),
+            match st.state {
+                HandoffState::KernelHeld => {
+                    debug_assert!(st.pending.is_empty(), "token returned with wakes pending");
+                    return (ResumeOutcome::Parked, st.delivered);
+                }
+                HandoffState::Exited(ref e) => {
+                    let status = e.clone();
+                    // Leftover wakes were aimed at a now-dead process; they
+                    // are stale by definition and must not be re-queued.
+                    st.pending.clear();
+                    return (ResumeOutcome::Exited(status), st.delivered);
+                }
                 HandoffState::ProcessHeld(..) => self.cv.wait(&mut st),
             }
         }
@@ -111,15 +150,22 @@ impl Handoff {
     /// Process side: give the token back and wait for the next wake.
     /// Returns the wake kind and the kernel time of the resume.
     pub fn park(&self) -> (WakeKind, SimTime) {
-        let mut st = self.state.lock();
+        let mut st = self.inner.lock();
         debug_assert!(
-            matches!(*st, HandoffState::ProcessHeld(..)),
+            matches!(st.state, HandoffState::ProcessHeld(..)),
             "park() called by a process that does not hold the token"
         );
-        *st = HandoffState::KernelHeld;
+        if let Some((kind, now)) = st.pending.pop_front() {
+            // Fast path: consume the next batched wake while keeping the
+            // token — no Condvar round-trip through the kernel.
+            st.delivered += 1;
+            st.state = HandoffState::ProcessHeld(kind, now);
+            return (kind, now);
+        }
+        st.state = HandoffState::KernelHeld;
         self.cv.notify_all();
         loop {
-            if let HandoffState::ProcessHeld(kind, now) = *st {
+            if let HandoffState::ProcessHeld(kind, now) = st.state {
                 return (kind, now);
             }
             self.cv.wait(&mut st);
@@ -128,9 +174,9 @@ impl Handoff {
 
     /// Process side: wait for the very first wake after spawn.
     pub fn wait_first_wake(&self) -> (WakeKind, SimTime) {
-        let mut st = self.state.lock();
+        let mut st = self.inner.lock();
         loop {
-            if let HandoffState::ProcessHeld(kind, now) = *st {
+            if let HandoffState::ProcessHeld(kind, now) = st.state {
                 return (kind, now);
             }
             self.cv.wait(&mut st);
@@ -139,8 +185,8 @@ impl Handoff {
 
     /// Process side: announce termination and release the token.
     pub fn exit(&self, status: ProcessExit) {
-        let mut st = self.state.lock();
-        *st = HandoffState::Exited(status);
+        let mut st = self.inner.lock();
+        st.state = HandoffState::Exited(status);
         self.cv.notify_all();
     }
 }

@@ -399,3 +399,62 @@ fn max_time_never_advances_past_the_horizon() {
         report.final_time
     );
 }
+
+#[test]
+fn same_time_wake_and_kill_batch_into_one_handoff() {
+    let mut sim = Sim::new();
+    let victim = sim.spawn("victim", |mut ctx| {
+        ctx.sleep(SimDuration::from_secs(5));
+        // The kill wake is already pending when this park happens, so the
+        // process unwinds here without another kernel round-trip.
+        ctx.sleep(SimDuration::from_secs(10));
+        unreachable!("killed at 5s");
+    });
+    // Route the kill through a t=1s hop so its 5s call is pushed *after*
+    // the sleeper's completion call: at 5s the sleep wake is queued first,
+    // then the Killed resume lands right behind it — two same-time wakes
+    // on one lane, delivered as one batch.
+    sim.schedule(SimTime::from_nanos(1_000_000_000), move |sc| {
+        sc.schedule_in(SimDuration::from_secs(4), move |sc| sc.kill(victim));
+    });
+    let report = sim.run().unwrap();
+    assert!(report
+        .exits
+        .iter()
+        .any(|(p, _, e)| *p == victim && *e == ProcessExit::Killed));
+    if std::env::var_os("FTMPI_NO_BATCH").is_none() {
+        assert_eq!(
+            report.handoffs_saved, 1,
+            "both wakes should share a handoff"
+        );
+    } else {
+        assert_eq!(report.handoffs_saved, 0);
+    }
+}
+
+#[test]
+fn pool_reuses_rank_threads_across_sims() {
+    let before = ftmpi_sim::pool_stats();
+    for round in 0..3 {
+        let mut sim = Sim::new();
+        for i in 0..4 {
+            sim.spawn(format!("r{round}-{i}"), |mut ctx| {
+                ctx.sleep(SimDuration::from_nanos(1));
+            });
+        }
+        sim.run().unwrap();
+        // Sim teardown quiesces its lease group, so every worker is back
+        // in the idle queue before the next round spawns.
+    }
+    let after = ftmpi_sim::pool_stats();
+    assert!(
+        after.checkouts >= before.checkouts + 12,
+        "12 spawns must be visible in the pool counters: {before:?} -> {after:?}"
+    );
+    if std::env::var_os("FTMPI_NO_POOL").is_none() {
+        assert!(
+            after.reused > before.reused,
+            "serial churn must reuse parked workers: {before:?} -> {after:?}"
+        );
+    }
+}

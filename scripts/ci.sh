@@ -27,4 +27,27 @@ cargo run -q --release -p ftmpi-check -- lint
 echo "==> ftmpi-check smoke (invariants + perturbation)"
 cargo run -q --release -p ftmpi-check -- smoke
 
+echo "==> result-cache round trip (fig5_servers cold, then warm from disk)"
+CACHE_TMP="${TMPDIR:-/tmp}/ftmpi-ci-cache-$$"
+rm -rf "$CACHE_TMP"
+mkdir -p "$CACHE_TMP"
+cargo run -q --release -p ftmpi-bench --bin fig5_servers -- \
+    --fast --out "$CACHE_TMP/results" > "$CACHE_TMP/cold.log"
+cp "$CACHE_TMP/results/fig5.json" "$CACHE_TMP/cold.json"
+# Same figure against the now-populated cache: every configuration must
+# come from disk (zero misses, zero simulations) and the JSON must be
+# byte-identical to the cold run's.
+cargo run -q --release -p ftmpi-bench --bin fig5_servers -- \
+    --fast --out "$CACHE_TMP/results" > "$CACHE_TMP/warm.log"
+grep -q "/ 0 misses" "$CACHE_TMP/warm.log"
+grep -q "rank-thread pool: 0 checkouts" "$CACHE_TMP/warm.log"
+cmp "$CACHE_TMP/cold.json" "$CACHE_TMP/results/fig5.json"
+# Pool, batching, and cache off: the figure must still be byte-identical.
+rm "$CACHE_TMP/results/fig5.json"
+FTMPI_NO_POOL=1 FTMPI_NO_BATCH=1 FTMPI_NO_CACHE=1 \
+    cargo run -q --release -p ftmpi-bench --bin fig5_servers -- \
+    --fast --out "$CACHE_TMP/results" > "$CACHE_TMP/plain.log"
+cmp "$CACHE_TMP/cold.json" "$CACHE_TMP/results/fig5.json"
+rm -rf "$CACHE_TMP"
+
 echo "CI green."
