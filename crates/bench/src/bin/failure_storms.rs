@@ -1,0 +1,12 @@
+//! Thin wrapper over [`ftmpi_bench::figures::failure_storms`] — see that module
+//! for the experiment's documentation.
+//!
+//! ```sh
+//! cargo run --release -p ftmpi-bench --bin failure_storms [-- --full] [-- --jobs N]
+//! ```
+
+use ftmpi_bench::figures;
+
+fn main() {
+    figures::run_standalone(figures::failure_storms::run);
+}

@@ -13,6 +13,7 @@ use crate::{HarnessArgs, MemoCache};
 
 pub mod ablation_design;
 pub mod calibrate;
+pub mod failure_storms;
 pub mod fig10_grid_scaling;
 pub mod fig5_servers;
 pub mod fig6_scaling;
@@ -50,6 +51,7 @@ pub const ALL: &[(&str, FigureFn)] = &[
     ("fig10_grid_scaling", fig10_grid_scaling::run),
     ("netpipe", netpipe::run),
     ("recovery_cost", recovery_cost::run),
+    ("failure_storms", failure_storms::run),
     ("ablation_design", ablation_design::run),
     ("mttf_period", mttf_period::run),
     ("logging_vs_coordinated", logging_vs_coordinated::run),

@@ -65,7 +65,7 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
     let ft = &spec.ft;
     let _ = write!(
         key,
-        "ft=({},{},{},{},{},{},{},{},{},{},{},{});",
+        "ft=({},{},{},{},{},{},{},{},{},{},{},{},{},{},{});",
         ft.period.as_nanos(),
         ft.first_wave_delay.as_nanos(),
         ft.image_bytes,
@@ -77,7 +77,10 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
         ft.vcl_process_limit,
         ft.control_bytes,
         ft.blocking_stream_drag.as_nanos(),
-        ft.pcl_async_markers
+        ft.pcl_async_markers,
+        ft.detection_delay.as_nanos(),
+        ft.replicas,
+        ft.retained_waves
     );
     let _ = write!(
         key,
@@ -101,7 +104,7 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
                 .collect::<Vec<_>>()
         );
     }
-    if !spec.failures.is_empty() {
+    if !spec.failures.kills.is_empty() {
         let _ = write!(
             key,
             "kills={:?};",
@@ -112,13 +115,24 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
                 .collect::<Vec<_>>()
         );
     }
+    if !spec.failures.server_kills.is_empty() {
+        let _ = write!(
+            key,
+            "skills={:?};",
+            spec.failures
+                .server_kills
+                .iter()
+                .map(|(t, s)| (t.as_nanos(), *s))
+                .collect::<Vec<_>>()
+        );
+    }
     key
 }
 
 /// On-disk entry header; bumped whenever [`JobResult::encode`] or the entry
 /// layout changes, so stale caches self-invalidate instead of decoding
 /// garbage.
-const CACHE_VERSION: &str = "ftmpi-cache v1";
+const CACHE_VERSION: &str = "ftmpi-cache v2";
 
 /// FNV-1a over `s` starting from `h` (two different bases give the two
 /// halves of the 128-bit cache filename, making accidental collisions
@@ -639,6 +653,23 @@ mod tests {
 
         let mut other = ring_spec(12);
         other.failures = ftmpi_core::FailurePlan::kill_at(ftmpi_sim::SimTime::from_nanos(5), 1);
+        assert_ne!(key(&base), key(&other));
+
+        let mut other = ring_spec(12);
+        other.failures =
+            ftmpi_core::FailurePlan::server_kill_at(ftmpi_sim::SimTime::from_nanos(5), 0);
+        assert_ne!(key(&base), key(&other));
+
+        let mut other = ring_spec(12);
+        other.ft.detection_delay = SimDuration::from_millis(200);
+        assert_ne!(key(&base), key(&other));
+
+        let mut other = ring_spec(12);
+        other.ft.replicas = 2;
+        assert_ne!(key(&base), key(&other));
+
+        let mut other = ring_spec(12);
+        other.ft.retained_waves = 3;
         assert_ne!(key(&base), key(&other));
     }
 

@@ -24,7 +24,7 @@
 //!   messages crossing the cut (sent before the source's fork, delivered
 //!   after the destination's).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ftmpi_core::ProtocolChoice;
 use ftmpi_sim::{ProtoEvent, TraceEvent};
@@ -159,6 +159,12 @@ pub enum Violation {
         /// Channel sequence number.
         seq: u64,
     },
+    /// A wave was both aborted and committed: the protocol garbage-collected
+    /// images for a cut it also declared durable.
+    AbortedWaveCommitted {
+        /// Wave number.
+        wave: u64,
+    },
     /// Vcl: a channel's log differs from the messages that actually
     /// crossed the cut.
     LogMismatch {
@@ -274,6 +280,9 @@ impl std::fmt::Display for Violation {
                 f,
                 "wave {wave}: channel {src}->{dst} not empty at fork (seq {seq} in transit)"
             ),
+            Violation::AbortedWaveCommitted { wave } => {
+                write!(f, "wave {wave}: both aborted and committed")
+            }
             Violation::LogMismatch {
                 wave,
                 src,
@@ -330,6 +339,8 @@ struct EraData {
     logs: BTreeMap<u64, Vec<(usize, usize, u64)>>,
     /// Per wave: trace idx of the commit.
     commits: BTreeMap<u64, usize>,
+    /// Waves whose in-flight checkpoint was aborted.
+    aborts: BTreeSet<u64>,
 }
 
 /// Check every invariant the trace supports for `protocol`.
@@ -460,7 +471,12 @@ fn collect_era(era: &Era, violations: &mut Vec<Violation>) -> EraData {
             ProtoEvent::WaveCommit { wave } => {
                 data.commits.insert(wave, ind.idx);
             }
-            ProtoEvent::WaveStart { .. } | ProtoEvent::Restart { .. } => {}
+            ProtoEvent::WaveAbort { wave } => {
+                data.aborts.insert(wave);
+            }
+            ProtoEvent::WaveStart { .. }
+            | ProtoEvent::Restart { .. }
+            | ProtoEvent::ServerFail { .. } => {}
         }
     }
     data
@@ -520,6 +536,11 @@ fn check_fifo(era: u64, data: &EraData, is_final: bool, violations: &mut Vec<Vio
 fn check_waves(protocol: ProtocolChoice, nranks: usize, data: &EraData, report: &mut CheckReport) {
     for (&wave, &commit_idx) in &data.commits {
         report.waves_checked += 1;
+        if data.aborts.contains(&wave) {
+            report
+                .violations
+                .push(Violation::AbortedWaveCommitted { wave });
+        }
         // Exactly one fork per rank, before the commit.
         let mut fork_of: Vec<Option<usize>> = vec![None; nranks];
         let mut fork_count = vec![0usize; nranks];

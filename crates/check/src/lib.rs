@@ -16,9 +16,13 @@
 //!   determinism rules (no wall-clock reads in simulation crates, no
 //!   iteration over `HashMap` feeding ordered output, no `unwrap()` in
 //!   `crates/core`).
+//! * [`storm`] — seeded fault-injection campaigns: kills and checkpoint-
+//!   server failures aimed at mid-wave, mid-recovery, and detection-lag
+//!   windows, each run re-checked by the invariant layer.
 //!
-//! The `ftmpi-check` binary exposes them as `lint`, `smoke`, and `figures`
-//! subcommands; `scripts/ci.sh` runs the first two on every change.
+//! The `ftmpi-check` binary exposes them as `lint`, `smoke`, `storm`, and
+//! `figures` subcommands; `scripts/ci.sh` runs `lint`, `smoke`, and
+//! `storm --smoke` on every change.
 
 #![warn(missing_docs)]
 
@@ -27,12 +31,14 @@ pub mod invariants;
 pub mod lint;
 pub mod perturb;
 pub mod proto;
+pub mod storm;
 pub mod suite;
 
 pub use fingerprint::trace_fingerprint;
 pub use invariants::{check_trace, CheckReport, Violation};
 pub use lint::{lane_audit_sources, lint_source, run_lint, LintHit};
 pub use perturb::{perturbation_check, PerturbReport};
+pub use storm::{run_storm, storm_campaign, StormOutcome};
 pub use suite::{
     figure_smoke_probe, figures_suite, run_checked, run_checked_with_churn, smoke_probes,
     ProbeOutcome,

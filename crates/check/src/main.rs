@@ -9,6 +9,10 @@
 //! * `smoke` — run the CI probe set (both protocols, 8 ranks, one
 //!   failure each) through the invariant checker, plus a perturbation
 //!   pass over seeded tiebreak schedules. Exits non-zero on violations.
+//! * `storm [--smoke]` — seeded fault-injection campaigns: rank kills and
+//!   checkpoint-server failures aimed at mid-wave, mid-recovery, and
+//!   detection-lag windows, every run re-checked against the trace
+//!   invariants. `--smoke` runs the reduced CI seed set.
 //! * `figures [--full]` — drive every figure workload family through the
 //!   checker with churn variants. `--full` uses the paper-sized classes.
 
@@ -17,7 +21,7 @@ use std::process::ExitCode;
 
 use ftmpi_check::{
     figure_smoke_probe, figures_suite, perturbation_check, run_checked_with_churn, run_lint,
-    smoke_probes, ProbeOutcome,
+    smoke_probes, storm_campaign, ProbeOutcome,
 };
 
 fn workspace_root() -> PathBuf {
@@ -147,6 +151,42 @@ fn cmd_smoke() -> ExitCode {
     }
 }
 
+fn cmd_storm(smoke: bool) -> ExitCode {
+    let outcomes = storm_campaign(smoke);
+    let mut failed = false;
+    for o in &outcomes {
+        println!(
+            "{:36} waves={:<3} restarts={:<2} aborted={:<2} depth={:<2} lost={:<9.3} {}",
+            o.name,
+            o.waves,
+            o.restarts,
+            o.waves_aborted,
+            o.rollback_depth_max,
+            o.lost_work_secs,
+            if o.ok() { "ok" } else { "FAIL" }
+        );
+        if let Some(rep) = &o.report {
+            for v in &rep.violations {
+                println!("    violation: {v}");
+            }
+        }
+        for f in &o.failures {
+            println!("    failure: {f}");
+        }
+        if !o.ok() {
+            failed = true;
+        }
+    }
+    let ran = outcomes.len();
+    if failed {
+        eprintln!("storm: FAILED ({ran} runs)");
+        ExitCode::FAILURE
+    } else {
+        println!("storm: ok ({ran} runs)");
+        ExitCode::SUCCESS
+    }
+}
+
 fn cmd_figures(full: bool) -> ExitCode {
     match figures_suite(!full) {
         Ok(outcomes) => {
@@ -181,9 +221,10 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(),
         Some("smoke") => cmd_smoke(),
+        Some("storm") => cmd_storm(args.iter().any(|a| a == "--smoke")),
         Some("figures") => cmd_figures(args.iter().any(|a| a == "--full")),
         _ => {
-            eprintln!("usage: ftmpi-check <lint|smoke|figures [--full]>");
+            eprintln!("usage: ftmpi-check <lint|smoke|storm [--smoke]|figures [--full]>");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,488 @@
+//! Failure-storm campaigns: seeded fault-injection over the failure paths
+//! the paper's experiments never stress.
+//!
+//! A *storm* is a schedule of rank kills and checkpoint-server failures
+//! aimed at the protocol's most fragile windows — mid-wave (partial images
+//! on the servers), mid-recovery (a second failure while the first restart
+//! is still respawning), and the detection-lag gap between a kill and the
+//! dispatcher noticing it. Every storm run is traced and pushed through the
+//! [`crate::invariants`] checker; on top of the per-wave cut proofs the
+//! campaign asserts the robustness contract end-to-end:
+//!
+//! * every run completes (no deadlock, no panic, no fatal recovery error);
+//! * no wave is both aborted and committed (partial commits);
+//! * rollback depth never exceeds the configured retention;
+//! * the server bookkeeping ends with zero orphaned partial images;
+//! * lost work grows monotonically with detection lag.
+//!
+//! [`storm_campaign`] runs deterministic scenarios covering each window for
+//! both protocols, then seeded randomized storms whose kill times are
+//! biased toward wave and recovery windows measured from a clean profiling
+//! run of the same workload.
+
+use ftmpi_core::{run_job_with, FailurePlan, JobSpec, ProtocolChoice, RunOptions};
+use ftmpi_sim::{ProtoEvent, SimDuration, SimTime, TraceKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::invariants::{check_trace, CheckReport};
+use crate::suite::{ring_app, stream_app};
+
+/// Outcome of one storm run: the invariant-checker verdict plus the
+/// robustness counters and any scenario-level assertion failures.
+#[derive(Debug)]
+pub struct StormOutcome {
+    /// Scenario label.
+    pub name: String,
+    /// Committed checkpoint waves.
+    pub waves: u64,
+    /// Failure-restarts performed.
+    pub restarts: u64,
+    /// In-flight waves aborted (restarts and server losses).
+    pub waves_aborted: u64,
+    /// Deepest rollback past the newest committed wave.
+    pub rollback_depth_max: u64,
+    /// Computation discarded by rollbacks, in seconds.
+    pub lost_work_secs: f64,
+    /// Partial images left in the server bookkeeping at the end.
+    pub orphan_images_end: u64,
+    /// The invariant-checker verdict (`None` when the run itself failed).
+    pub report: Option<CheckReport>,
+    /// Scenario assertions that did not hold, including run errors.
+    pub failures: Vec<String>,
+}
+
+impl StormOutcome {
+    /// `true` when the run completed, every invariant held, and every
+    /// scenario assertion passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty() && self.report.as_ref().is_some_and(CheckReport::ok)
+    }
+
+    fn expect(&mut self, cond: bool, msg: String) {
+        if !cond {
+            self.failures.push(msg);
+        }
+    }
+}
+
+/// Wave windows and completion time measured from a clean (failure-free)
+/// run, used to aim storms at the protocol's fragile windows.
+struct CleanProfile {
+    /// Completion time of the clean run, ns.
+    end_ns: u64,
+    /// `(start_ns, commit_ns)` of every committed wave, in commit order.
+    waves: Vec<(u64, u64)>,
+}
+
+fn profile(spec: JobSpec) -> Result<CleanProfile, String> {
+    let (res, trace) = run_job_with(
+        spec,
+        RunOptions {
+            trace: true,
+            tiebreak_seed: None,
+        },
+    )
+    .map_err(|e| format!("clean profiling run failed: {e}"))?;
+    let mut starts: Vec<(u64, u64)> = Vec::new();
+    let mut waves = Vec::new();
+    for te in &trace {
+        if let TraceKind::Proto(ev) = te.kind {
+            match ev {
+                ProtoEvent::WaveStart { wave } => starts.push((wave, te.time.as_nanos())),
+                ProtoEvent::WaveCommit { wave } => {
+                    if let Some(&(_, s)) = starts.iter().find(|&&(w, _)| w == wave) {
+                        waves.push((s, te.time.as_nanos()));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(CleanProfile {
+        end_ns: res.completion.as_nanos(),
+        waves,
+    })
+}
+
+/// The storm workload: the smoke ring at 8 ranks over two servers, long
+/// enough for several waves, short enough to run dozens of variants.
+fn ring_spec(proto: ProtocolChoice) -> JobSpec {
+    let mut spec = JobSpec::new(
+        8,
+        proto,
+        ring_app(100, 10_000, SimDuration::from_millis(200)),
+    );
+    spec.servers = 2;
+    spec.ft.period = SimDuration::from_secs(4);
+    spec.ft.first_wave_delay = SimDuration::from_secs(2);
+    spec.ft.image_bytes = 4 << 20;
+    spec.max_virtual_time = Some(SimTime::from_nanos(900_000_000_000));
+    spec
+}
+
+/// The logging-heavy two-rank Vcl stream (messages genuinely in the
+/// channel when the wave cuts through).
+fn stream_spec() -> JobSpec {
+    let mut spec = JobSpec::new(
+        2,
+        ProtocolChoice::Vcl,
+        stream_app(200, 256 << 10, SimDuration::from_millis(2)),
+    );
+    spec.servers = 2;
+    spec.ft.period = SimDuration::from_secs(1);
+    spec.ft.first_wave_delay = SimDuration::from_millis(200);
+    spec.ft.image_bytes = 4 << 20;
+    spec.max_virtual_time = Some(SimTime::from_nanos(900_000_000_000));
+    spec
+}
+
+/// Run one storm scenario: trace it, check every invariant, and apply the
+/// campaign-wide robustness assertions (bounded rollback, empty server
+/// bookkeeping).
+pub fn run_storm(name: &str, spec: JobSpec) -> StormOutcome {
+    let nranks = spec.nranks;
+    let protocol = spec.protocol;
+    let retained = spec.ft.retained_waves.max(1) as u64;
+    match run_job_with(
+        spec,
+        RunOptions {
+            trace: true,
+            tiebreak_seed: None,
+        },
+    ) {
+        Ok((res, trace)) => {
+            let mut o = StormOutcome {
+                name: name.to_string(),
+                waves: res.waves(),
+                restarts: res.rt.restarts,
+                waves_aborted: res.ft.waves_aborted,
+                rollback_depth_max: res.ft.rollback_depth_max,
+                lost_work_secs: res.ft.lost_work_secs(),
+                orphan_images_end: res.ft.orphan_images_end,
+                report: Some(check_trace(protocol, nranks, &trace)),
+                failures: Vec::new(),
+            };
+            let depth = o.rollback_depth_max;
+            o.expect(
+                depth <= retained,
+                format!("rollback depth {depth} exceeds the {retained} retained wave(s)"),
+            );
+            let orphans = o.orphan_images_end;
+            o.expect(
+                orphans == 0,
+                format!("{orphans} orphan image(s) left in the server bookkeeping"),
+            );
+            o
+        }
+        Err(e) => StormOutcome {
+            name: name.to_string(),
+            waves: 0,
+            restarts: 0,
+            waves_aborted: 0,
+            rollback_depth_max: 0,
+            lost_work_secs: 0.0,
+            orphan_images_end: 0,
+            report: None,
+            failures: vec![format!("run failed: {e}")],
+        },
+    }
+}
+
+fn profile_failure(name: &str, msg: String) -> StormOutcome {
+    StormOutcome {
+        name: name.to_string(),
+        waves: 0,
+        restarts: 0,
+        waves_aborted: 0,
+        rollback_depth_max: 0,
+        lost_work_secs: 0.0,
+        orphan_images_end: 0,
+        report: None,
+        failures: vec![msg],
+    }
+}
+
+/// Deterministic scenarios for one protocol on the ring workload.
+fn ring_scenarios(proto: ProtocolChoice, out: &mut Vec<StormOutcome>) {
+    let tag = match proto {
+        ProtocolChoice::Pcl => "pcl",
+        _ => "vcl",
+    };
+    let base = ring_spec(proto);
+    let prof = match profile(base.clone()) {
+        Ok(p) => p,
+        Err(e) => {
+            out.push(profile_failure(&format!("storm.profile.{tag}"), e));
+            return;
+        }
+    };
+    if prof.waves.len() < 2 {
+        out.push(profile_failure(
+            &format!("storm.profile.{tag}"),
+            format!("clean run committed only {} wave(s)", prof.waves.len()),
+        ));
+        return;
+    }
+    let n = base.nranks;
+    let (w0s, w0c) = prof.waves[0];
+    let (_, w1c) = prof.waves[1];
+
+    // Mid-wave rank kill: partial images must be garbage-collected and the
+    // wave aborted, not committed.
+    let mut spec = base.clone();
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(w0s + (w0c - w0s) * 3 / 10), n - 1);
+    let mut o = run_storm(&format!("storm.midwave.kill.{tag}"), spec);
+    let (restarts, aborted) = (o.restarts, o.waves_aborted);
+    o.expect(restarts == 1, format!("expected 1 restart, got {restarts}"));
+    o.expect(
+        aborted >= 1,
+        "a mid-wave kill must abort the in-flight wave".to_string(),
+    );
+    out.push(o);
+
+    // Mid-recovery kill: a second failure lands while the first restart is
+    // still respawning; the nested restart must recover cleanly.
+    let k1 = w0c + (prof.end_ns - w0c) / 4;
+    let k2 = k1 + base.ft.restart_delay.as_nanos() / 2;
+    let mut spec = base.clone();
+    spec.failures =
+        FailurePlan::kill_at(SimTime::from_nanos(k1), 1).with_kill(SimTime::from_nanos(k2), 2);
+    let mut o = run_storm(&format!("storm.midrecovery.kill.{tag}"), spec);
+    let restarts = o.restarts;
+    o.expect(
+        restarts == 2,
+        format!("expected 2 restarts, got {restarts}"),
+    );
+    out.push(o);
+
+    // Detection lag: the same kill with growing heartbeat-timeout lag; the
+    // work the survivors do while the victim sits undetected is discarded
+    // by the restart, so lost work must grow with the lag. The kill sits in
+    // the quiet zone right after a commit so no wave commits during any lag
+    // window (which would legitimately shrink the rollback).
+    let lag_kill = SimTime::from_nanos(w0c + 500_000_000);
+    let mut lag_outcomes = Vec::new();
+    for (label, lag) in [("0", 0.0), ("200ms", 0.2), ("1s", 1.0)] {
+        let mut spec = base.clone();
+        spec.ft = spec.ft.with_detection_delay_secs(lag);
+        spec.failures = FailurePlan::kill_at(lag_kill, 1);
+        let mut o = run_storm(&format!("storm.lag.{label}.{tag}"), spec);
+        let restarts = o.restarts;
+        o.expect(restarts == 1, format!("expected 1 restart, got {restarts}"));
+        lag_outcomes.push(o);
+    }
+    let lost: Vec<f64> = lag_outcomes.iter().map(|o| o.lost_work_secs).collect();
+    for i in 1..lost.len() {
+        if lost[i] + 1e-9 < lost[i - 1] {
+            lag_outcomes[i].failures.push(format!(
+                "lost work shrank as detection lag grew ({} < {})",
+                lost[i],
+                lost[i - 1]
+            ));
+        }
+    }
+    out.append(&mut lag_outcomes);
+
+    // Server loss, single copy: rank 1's images live on server 1 only, so
+    // killing that server forces the restore past every retained wave.
+    let sk = SimTime::from_nanos(w1c + 200_000_000);
+    let rk = SimTime::from_nanos(w1c + 500_000_000);
+    let mut spec = base.clone();
+    spec.ft = spec.ft.with_retained_waves(2);
+    spec.failures = FailurePlan::server_kill_at(sk, 1).with_kill(rk, 1);
+    let mut o = run_storm(&format!("storm.serverloss.fallback.{tag}"), spec);
+    let depth = o.rollback_depth_max;
+    o.expect(
+        depth >= 1,
+        "losing the victim's only server must roll back past the newest wave".to_string(),
+    );
+    out.push(o);
+
+    // Server loss, two replicas: the surviving copy keeps the newest wave
+    // restorable — no rollback at all.
+    let mut spec = base.clone();
+    spec.ft = spec.ft.with_replicas(2);
+    spec.failures = FailurePlan::server_kill_at(sk, 1).with_kill(rk, 1);
+    let mut o = run_storm(&format!("storm.serverloss.replicas.{tag}"), spec);
+    let depth = o.rollback_depth_max;
+    o.expect(
+        depth == 0,
+        format!("a surviving replica should keep the newest wave restorable (depth {depth})"),
+    );
+    out.push(o);
+
+    // Server loss mid-wave, no rank failure: the in-flight wave aborts, its
+    // partial images are collected, and checkpointing continues on the
+    // surviving server without any restart.
+    let mut spec = base.clone();
+    spec.failures = FailurePlan::server_kill_at(SimTime::from_nanos(w0s + (w0c - w0s) / 2), 0);
+    let mut o = run_storm(&format!("storm.serverloss.midwave.{tag}"), spec);
+    let (restarts, aborted, waves) = (o.restarts, o.waves_aborted, o.waves);
+    o.expect(
+        restarts == 0,
+        format!("expected no restart, got {restarts}"),
+    );
+    o.expect(
+        aborted >= 1,
+        "a mid-wave server loss must abort the in-flight wave".to_string(),
+    );
+    o.expect(
+        waves >= 1,
+        "checkpointing must continue on the surviving server".to_string(),
+    );
+    out.push(o);
+}
+
+/// Build a seeded random failure schedule biased toward the measured wave
+/// windows (partial-image exposure) and recovery windows (nested restarts).
+fn random_plan(rng: &mut StdRng, prof: &CleanProfile, spec: &JobSpec) -> FailurePlan {
+    let mut plan = FailurePlan::none();
+    let restart_ns = spec.ft.restart_delay.as_nanos().max(2);
+    let mut last_kill = 0u64;
+    for _ in 0..rng.gen_range(1usize..4) {
+        let at = match rng.gen_range(0u32..4) {
+            // Half the kills land inside a wave window.
+            0 | 1 => {
+                let (s, c) = prof.waves[rng.gen_range(0..prof.waves.len())];
+                rng.gen_range(s..c.max(s + 1))
+            }
+            // A quarter land inside the previous kill's recovery window.
+            2 if last_kill > 0 => last_kill + rng.gen_range(1..restart_ns),
+            // The rest anywhere in the clean run's lifetime.
+            _ => rng.gen_range(1..prof.end_ns),
+        };
+        last_kill = at;
+        plan = plan.with_kill(SimTime::from_nanos(at), rng.gen_range(0..spec.nranks));
+    }
+    // Half the storms also lose a checkpoint server (at most one, so the
+    // fleet keeps a survivor and checkpointing can continue).
+    if spec.servers > 1 && rng.gen_range(0u32..2) == 0 {
+        plan = plan.with_server_kill(
+            SimTime::from_nanos(rng.gen_range(1..prof.end_ns)),
+            rng.gen_range(0..spec.servers),
+        );
+    }
+    plan
+}
+
+/// Seeded randomized storms for one protocol.
+fn random_storms(proto: ProtocolChoice, seeds: &[u64], out: &mut Vec<StormOutcome>) {
+    let tag = match proto {
+        ProtocolChoice::Pcl => "pcl",
+        _ => "vcl",
+    };
+    let base = ring_spec(proto);
+    let prof = match profile(base.clone()) {
+        Ok(p) => p,
+        Err(e) => {
+            out.push(profile_failure(&format!("storm.random.{tag}"), e));
+            return;
+        }
+    };
+    if prof.waves.is_empty() {
+        out.push(profile_failure(
+            &format!("storm.random.{tag}"),
+            "clean run committed no waves".to_string(),
+        ));
+        return;
+    }
+    for &seed in seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut spec = base.clone();
+        spec.failures = random_plan(&mut rng, &prof, &spec);
+        // Half the storms run with a 200 ms heartbeat-timeout lag.
+        if rng.gen_range(0u32..2) == 0 {
+            spec.ft = spec.ft.with_detection_delay_secs(0.2);
+        }
+        out.push(run_storm(&format!("storm.random.{tag}.seed{seed}"), spec));
+    }
+}
+
+/// Mid-wave kill on the logging-heavy Vcl stream: the aborted wave holds
+/// real channel-log state.
+fn stream_scenario(out: &mut Vec<StormOutcome>) {
+    let base = stream_spec();
+    let prof = match profile(base.clone()) {
+        Ok(p) => p,
+        Err(e) => {
+            out.push(profile_failure("storm.midwave.kill.stream2", e));
+            return;
+        }
+    };
+    let Some(&(w0s, w0c)) = prof.waves.first() else {
+        out.push(profile_failure(
+            "storm.midwave.kill.stream2",
+            "clean stream run committed no waves".to_string(),
+        ));
+        return;
+    };
+    // The stream's wave can outlive the application (acks land after the
+    // last receive): aim inside the wave window but before completion.
+    let kill = w0s + (w0c.min(prof.end_ns) - w0s.min(prof.end_ns)) / 2;
+    let mut spec = base.clone();
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(kill), 1);
+    let mut o = run_storm("storm.midwave.kill.stream2", spec);
+    let (restarts, aborted) = (o.restarts, o.waves_aborted);
+    o.expect(restarts == 1, format!("expected 1 restart, got {restarts}"));
+    o.expect(
+        aborted >= 1,
+        "a mid-wave kill must abort the in-flight wave".to_string(),
+    );
+    out.push(o);
+}
+
+/// Run the whole campaign: deterministic window scenarios for both
+/// protocols, the stream variant, and seeded randomized storms (`smoke`
+/// uses fewer seeds; CI runs the smoke set).
+pub fn storm_campaign(smoke: bool) -> Vec<StormOutcome> {
+    let seeds: &[u64] = if smoke { &[1, 2] } else { &[1, 2, 3, 4, 5] };
+    let mut out = Vec::new();
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        ring_scenarios(proto, &mut out);
+    }
+    stream_scenario(&mut out);
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        random_storms(proto, seeds, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_profile_measures_a_wave_window() {
+        let p = profile(stream_spec()).expect("profile");
+        assert!(p.end_ns > 0);
+        let (start, commit) = *p.waves.first().expect("a committed wave");
+        assert!(start < commit);
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic_and_in_range() {
+        let spec = ring_spec(ProtocolChoice::Pcl);
+        let prof = CleanProfile {
+            end_ns: 40_000_000_000,
+            waves: vec![
+                (2_000_000_000, 4_000_000_000),
+                (9_000_000_000, 11_000_000_000),
+            ],
+        };
+        let mk = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_plan(&mut rng, &prof, &spec)
+        };
+        let (a, b) = (mk(7), mk(7));
+        assert_eq!(a.kills, b.kills);
+        assert_eq!(a.server_kills, b.server_kills);
+        assert!(!a.kills.is_empty() && a.kills.len() <= 3);
+        for &(_, victim) in &a.kills {
+            assert!(victim < spec.nranks);
+        }
+        for &(_, server) in &a.server_kills {
+            assert!(server < spec.servers);
+        }
+    }
+}

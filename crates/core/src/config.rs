@@ -49,6 +49,21 @@ pub struct FtConfig {
     /// how much of Pcl's overhead is progress-engine gating (the paper's
     /// explanation for the synchronization cost) versus channel flushing.
     pub pcl_async_markers: bool,
+    /// Heartbeat-timeout lag between a task kill and the dispatcher
+    /// noticing it (`fail_and_restart`). The paper assumes immediate
+    /// detection through the broken TCP connection — `ZERO` reproduces
+    /// that exactly; with a positive lag the victim sits dead while the
+    /// survivors keep computing work that the restart then discards.
+    pub detection_delay: SimDuration,
+    /// Number of checkpoint servers each rank's image is streamed to
+    /// (1 = the paper's single copy). With 2, the restore path survives a
+    /// server-node failure without falling back to an older wave.
+    pub replicas: usize,
+    /// Committed waves retained on the servers and in dispatcher memory
+    /// (1 = the paper's immediate garbage collection). Retaining more
+    /// lets a restore fall back to an older wave when a server failure
+    /// made the newest one unavailable.
+    pub retained_waves: usize,
 }
 
 impl Default for FtConfig {
@@ -66,6 +81,9 @@ impl Default for FtConfig {
             control_bytes: 64,
             blocking_stream_drag: SimDuration::from_millis(1),
             pcl_async_markers: false,
+            detection_delay: SimDuration::ZERO,
+            replicas: 1,
+            retained_waves: 1,
         }
     }
 }
@@ -80,6 +98,24 @@ impl FtConfig {
     /// Convenience: set the per-rank image size.
     pub fn with_image_bytes(mut self, b: u64) -> Self {
         self.image_bytes = b;
+        self
+    }
+
+    /// Convenience: set the failure-detection lag in seconds.
+    pub fn with_detection_delay_secs(mut self, s: f64) -> Self {
+        self.detection_delay = SimDuration::from_secs_f64(s);
+        self
+    }
+
+    /// Convenience: set the image replication factor.
+    pub fn with_replicas(mut self, r: usize) -> Self {
+        self.replicas = r;
+        self
+    }
+
+    /// Convenience: set the number of retained committed waves.
+    pub fn with_retained_waves(mut self, n: usize) -> Self {
+        self.retained_waves = n;
         self
     }
 }
@@ -98,5 +134,21 @@ mod tests {
         // Untouched fields keep their defaults.
         assert_eq!(cfg.control_bytes, 64);
         assert!(!cfg.pcl_async_markers);
+        // The robustness knobs default to the paper's assumptions:
+        // immediate detection, single copy, immediate garbage collection.
+        assert!(cfg.detection_delay.is_zero());
+        assert_eq!(cfg.replicas, 1);
+        assert_eq!(cfg.retained_waves, 1);
+    }
+
+    #[test]
+    fn robustness_builders_override_fields() {
+        let cfg = FtConfig::default()
+            .with_detection_delay_secs(0.5)
+            .with_replicas(2)
+            .with_retained_waves(3);
+        assert_eq!(cfg.detection_delay, SimDuration::from_secs_f64(0.5));
+        assert_eq!(cfg.replicas, 2);
+        assert_eq!(cfg.retained_waves, 3);
     }
 }

@@ -5,18 +5,39 @@
 //! [`FailurePlan`] expresses either explicit kills (deterministic tests and
 //! recovery experiments) or an MTTF-driven Poisson process (the extension
 //! experiments suggested by the paper's conclusion: the best wave period is
-//! tied to the system MTTF).
+//! tied to the system MTTF). Beyond the paper's model, a plan can also
+//! schedule checkpoint-*server* node failures: every image replica stored on
+//! the failed server becomes unavailable and a later restart must fall back
+//! to an older committed wave (or scratch) unless `replicas > 1` kept
+//! another copy alive.
+//!
+//! ## Kill semantics
+//!
+//! - Kill times in [`FailurePlan::poisson`] are **strictly increasing**:
+//!   exponential inter-arrival gaps are clamped to ≥ 1 ns so two kills never
+//!   share an instant (a sub-nanosecond gap would otherwise round to zero
+//!   and make recovery order tiebreak-dependent).
+//! - The **same victim back-to-back** is legal. If the second kill lands
+//!   while the first restart is still staging, it is a *mid-recovery* kill:
+//!   the restart restarts cleanly from the same committed wave. If it lands
+//!   during the detection lag while the victim is already dead, it is
+//!   absorbed as a no-op (one task cannot die twice).
+//! - A kill after job completion is a no-op.
 
 use ftmpi_mpi::Rank;
 use ftmpi_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// A schedule of task kills.
+/// A schedule of task kills and checkpoint-server failures.
 #[derive(Debug, Clone, Default)]
 pub struct FailurePlan {
     /// `(time, victim rank)` pairs, in any order.
     pub kills: Vec<(SimTime, Rank)>,
+    /// `(time, server index)` pairs, in any order. The index selects a
+    /// server within the deployment's server fleet (`0..servers`), not a
+    /// raw node id — plans stay valid across topology changes.
+    pub server_kills: Vec<(SimTime, usize)>,
 }
 
 impl FailurePlan {
@@ -29,12 +50,36 @@ impl FailurePlan {
     pub fn kill_at(at: SimTime, victim: Rank) -> FailurePlan {
         FailurePlan {
             kills: vec![(at, victim)],
+            server_kills: Vec::new(),
         }
+    }
+
+    /// A single checkpoint-server failure at `at`.
+    pub fn server_kill_at(at: SimTime, server: usize) -> FailurePlan {
+        FailurePlan {
+            kills: Vec::new(),
+            server_kills: vec![(at, server)],
+        }
+    }
+
+    /// Builder: add a rank kill.
+    pub fn with_kill(mut self, at: SimTime, victim: Rank) -> FailurePlan {
+        self.kills.push((at, victim));
+        self
+    }
+
+    /// Builder: add a checkpoint-server failure.
+    pub fn with_server_kill(mut self, at: SimTime, server: usize) -> FailurePlan {
+        self.server_kills.push((at, server));
+        self
     }
 
     /// Poisson failure process: system-wide exponential inter-arrival times
     /// with the given mean (`mttf`), uniformly random victims, until
-    /// `horizon`. Deterministic for a given seed.
+    /// `horizon`. Deterministic for a given seed. Kill times are strictly
+    /// increasing (gaps clamp to ≥ 1 ns, see the module docs); the same
+    /// victim may repeat back-to-back, which exercises the mid-recovery and
+    /// detection-lag paths.
     pub fn poisson(mttf: SimDuration, horizon: SimTime, nranks: usize, seed: u64) -> FailurePlan {
         assert!(nranks > 0 && !mttf.is_zero());
         let mut rng = StdRng::seed_from_u64(seed);
@@ -44,23 +89,28 @@ impl FailurePlan {
             // Inverse-CDF exponential sampling.
             let u: f64 = rng.gen_range(f64::EPSILON..1.0);
             let gap = SimDuration::from_secs_f64(-mttf.as_secs_f64() * u.ln());
-            t += gap;
+            // Tiny samples round to zero nanoseconds; clamp so no two kills
+            // share an instant.
+            t += gap.max(SimDuration::from_nanos(1));
             if t > horizon {
                 break;
             }
             kills.push((t, rng.gen_range(0..nranks)));
         }
-        FailurePlan { kills }
+        FailurePlan {
+            kills,
+            server_kills: Vec::new(),
+        }
     }
 
-    /// Number of scheduled kills.
+    /// Number of scheduled failures (rank kills plus server failures).
     pub fn len(&self) -> usize {
-        self.kills.len()
+        self.kills.len() + self.server_kills.len()
     }
 
-    /// True when no kills are scheduled.
+    /// True when no failures of any kind are scheduled.
     pub fn is_empty(&self) -> bool {
-        self.kills.is_empty()
+        self.kills.is_empty() && self.server_kills.is_empty()
     }
 }
 
@@ -110,10 +160,57 @@ mod tests {
     }
 
     #[test]
+    fn poisson_kill_times_strictly_increase() {
+        // A microscopic MTTF makes nearly every exponential sample round to
+        // zero nanoseconds; the 1 ns clamp must still keep times strictly
+        // increasing so same-instant kills cannot occur.
+        let plan = FailurePlan::poisson(
+            SimDuration::from_nanos(1),
+            SimTime::from_nanos(10_000),
+            4,
+            9,
+        );
+        assert!(
+            plan.len() > 100,
+            "expected a dense plan, got {}",
+            plan.len()
+        );
+        for w in plan.kills.windows(2) {
+            assert!(w[0].0 < w[1].0, "kills share an instant: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn poisson_can_repeat_a_victim_back_to_back() {
+        // Documented semantics: the same rank may be the next victim again
+        // before the previous recovery finishes. With one rank every kill
+        // repeats the victim — the plan must not dedupe them away.
+        let plan = FailurePlan::poisson(
+            SimDuration::from_secs(1),
+            SimTime::from_nanos(60_000_000_000),
+            1,
+            5,
+        );
+        assert!(plan.len() >= 2);
+        assert!(plan.kills.iter().all(|(_, v)| *v == 0));
+    }
+
+    #[test]
     fn kill_at_builds_single_entry() {
         let p = FailurePlan::kill_at(SimTime::from_nanos(5), 3);
         assert_eq!(p.len(), 1);
         assert!(!p.is_empty());
         assert!(FailurePlan::none().is_empty());
+    }
+
+    #[test]
+    fn server_kills_count_toward_len() {
+        let p = FailurePlan::server_kill_at(SimTime::from_nanos(7), 1);
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        let p = p.with_kill(SimTime::from_nanos(9), 0);
+        assert_eq!(p.len(), 2);
+        let p = FailurePlan::none().with_server_kill(SimTime::from_nanos(3), 0);
+        assert_eq!(p.server_kills, vec![(SimTime::from_nanos(3), 0)]);
     }
 }

@@ -65,6 +65,15 @@ impl WaveRecord {
         }
     }
 
+    /// Work discarded by restarting from this wave at `now`: everything the
+    /// job computed since the wave committed is lost. Feeds
+    /// `FtStats::lost_work` — with detection lag, this span grows by the
+    /// lag itself (survivors keep computing doomed work while the victim
+    /// sits undetected).
+    pub fn lost_work_at(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.committed_at)
+    }
+
     /// Total bytes of logged channel state.
     pub fn logged_bytes(&self) -> u64 {
         self.logs
@@ -89,6 +98,19 @@ mod tests {
             epoch: 0,
             posted_at: SimTime::ZERO,
         }
+    }
+
+    #[test]
+    fn lost_work_spans_commit_to_restart() {
+        let mut rec = WaveRecord::new(1, 1, SimTime::ZERO);
+        rec.committed_at = SimTime::from_nanos(100);
+        assert_eq!(
+            rec.lost_work_at(SimTime::from_nanos(350)),
+            SimDuration::from_nanos(250)
+        );
+        // A restart before the commit instant (cannot happen, but the API
+        // must not underflow) loses nothing.
+        assert_eq!(rec.lost_work_at(SimTime::from_nanos(50)), SimDuration::ZERO);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub use deploy::Deployment;
 pub use failure::FailurePlan;
 pub use mlog::Mlog;
 pub use pcl::Pcl;
+pub use recovery::RecoveryError;
 pub use runner::{
     run_job, run_job_with, JobError, JobResult, JobSpec, Platform, ProtocolChoice, RunOptions,
 };

@@ -37,7 +37,7 @@ use crate::config::FtConfig;
 use crate::deploy::Deployment;
 use crate::flow::{send_control, start_flow, FlowSpec};
 use crate::image::{RankImage, WaveRecord};
-use crate::server::{CheckpointStore, StoredImage};
+use crate::server::{replica_targets, CheckpointStore, StoredImage};
 use crate::stats::{FtStats, WaveTiming};
 
 /// Deferred control items awaiting the rank's next library activity.
@@ -70,6 +70,9 @@ struct PclWave {
     delayed_arrivals: Vec<Vec<AppMsg>>,
     /// Images reported stored to rank 0.
     images_stored: usize,
+    /// Replica flows still streaming, per rank (rank 0 is notified when a
+    /// rank's count drains to zero).
+    image_flows_left: Vec<usize>,
 }
 
 impl PclWave {
@@ -84,6 +87,7 @@ impl PclWave {
             delayed_sends: vec![Vec::new(); n],
             delayed_arrivals: vec![Vec::new(); n],
             images_stored: 0,
+            image_flows_left: vec![0; n],
         }
     }
 }
@@ -92,12 +96,15 @@ impl PclWave {
 pub struct Pcl {
     cfg: FtConfig,
     server_node_of: Vec<NodeId>,
+    /// The whole checkpoint-server fleet (replica targets, failure fallback).
+    server_nodes: Vec<NodeId>,
     /// Protocol statistics.
     pub stats: FtStats,
     /// Server control-plane state.
     pub store: CheckpointStore,
-    /// Last committed wave (restart source).
-    pub committed: Option<WaveRecord>,
+    /// Retained committed waves, oldest → newest (restart sources; older
+    /// entries are fallback targets after a server failure).
+    pub committed: Vec<WaveRecord>,
     cur: Option<PclWave>,
     wave_counter: u64,
     /// Wave-timer generation (see Vcl): stale timers die on mismatch.
@@ -108,12 +115,15 @@ impl Pcl {
     /// Build the engine for a deployment.
     pub fn new(cfg: FtConfig, dep: &Deployment) -> Pcl {
         let server_node_of = (0..dep.nranks()).map(|r| dep.server_node_of(r)).collect();
+        let mut store = CheckpointStore::default();
+        store.set_retention(cfg.retained_waves.max(1));
         Pcl {
             cfg,
             server_node_of,
+            server_nodes: dep.server_nodes.clone(),
             stats: FtStats::default(),
-            store: CheckpointStore::default(),
-            committed: None,
+            store,
+            committed: Vec::new(),
             cur: None,
             wave_counter: 0,
             timer_gen: 0,
@@ -125,6 +135,19 @@ impl Pcl {
         self.server_node_of.clone()
     }
 
+    /// Server node at `idx` in the deployment's fleet, if any.
+    pub(crate) fn server_fleet_node(&self, idx: usize) -> Option<NodeId> {
+        self.server_nodes.get(idx).copied()
+    }
+
+    /// Servers still alive.
+    pub(crate) fn live_server_count(&self) -> usize {
+        self.server_nodes
+            .iter()
+            .filter(|n| !self.store.server_failed(**n))
+            .count()
+    }
+
     /// Invalidate pending periodic wave timers; returns the new generation.
     pub(crate) fn bump_timer_gen(w: &mut World) -> u64 {
         Pcl::with(w, |p, _| {
@@ -133,9 +156,72 @@ impl Pcl {
         })
     }
 
-    /// Abort any in-flight wave (failure-restart).
-    pub(crate) fn abort_wave(w: &mut World) {
-        Pcl::with(w, |pcl, _| pcl.cur = None);
+    /// Abort any in-flight wave (failure-restart or server loss): drop the
+    /// wave state and garbage-collect its partial images from the server
+    /// bookkeeping. Returns whether a wave was actually aborted.
+    pub(crate) fn abort_wave(w: &mut World, sc: &SimCtx) -> bool {
+        let aborted = Pcl::with(w, |pcl, _| {
+            pcl.cur.take().map(|cur| {
+                pcl.stats.waves_aborted += 1;
+                pcl.store.abort(cur.rec.wave);
+                cur.rec.wave
+            })
+        });
+        if let Some(wave) = aborted {
+            sc.trace_proto(ftmpi_sim::ProtoEvent::WaveAbort { wave });
+        }
+        aborted.is_some()
+    }
+
+    /// A checkpoint-server node failed: drop every replica it held, abort
+    /// the in-flight wave if any (the commit database lost images the wave
+    /// needs; its surviving flows die on the wave-number guards), and re-arm
+    /// the periodic timer while live servers remain.
+    ///
+    /// Unlike a restart abort — where the whole job rolls back and delayed
+    /// messages are re-sent from the restored images — the job keeps running
+    /// here, so the aborted wave's held queues must be released or every
+    /// rank still synchronizing would hang forever.
+    pub(crate) fn on_server_failed(w: &mut World, sc: &SimCtx, node: NodeId) {
+        Pcl::with(w, |pcl, _| pcl.store.fail_server(node));
+        let taken = Pcl::with(w, |pcl, _| {
+            pcl.cur.take().map(|cur| {
+                pcl.stats.waves_aborted += 1;
+                pcl.store.abort(cur.rec.wave);
+                (cur.rec.wave, cur.delayed_sends, cur.delayed_arrivals)
+            })
+        });
+        let aborted = taken.is_some();
+        if let Some((wave, delayed_sends, delayed_arrivals)) = taken {
+            sc.trace_proto(ftmpi_sim::ProtoEvent::WaveAbort { wave });
+            for msg in delayed_sends.into_iter().flatten() {
+                w.rt.launch_send(sc, msg);
+            }
+            for msg in delayed_arrivals.into_iter().flatten() {
+                w.rt.deliver_to_matching(sc, msg);
+            }
+        }
+        if aborted && !w.rt.job_complete() {
+            let handle = w.rt.world_handle();
+            let epoch = w.rt.epoch;
+            let next = Pcl::with(w, |pcl, _| {
+                if pcl.live_server_count() == 0 {
+                    return None; // nowhere to checkpoint to any more
+                }
+                pcl.timer_gen += 1;
+                Some((sc.now() + pcl.cfg.period, pcl.timer_gen))
+            });
+            if let Some((at, gen)) = next {
+                Pcl::schedule_wave_at(sc, handle, at, epoch, gen);
+            }
+        }
+    }
+
+    /// Account end-of-run bookkeeping health (orphaned partial images).
+    pub(crate) fn finalize_stats(&mut self) {
+        self.stats.orphan_images_end = self
+            .store
+            .orphan_images(self.cur.as_ref().map(|c| c.rec.wave));
     }
 
     fn with<R>(w: &mut World, f: impl FnOnce(&mut Pcl, &mut RuntimeCore) -> R) -> R {
@@ -202,6 +288,9 @@ impl Pcl {
 
     /// Create the wave state and hand the initiation to rank 0.
     fn initiate_wave(w: &mut World, sc: &SimCtx) {
+        if Pcl::with(w, |pcl, _| pcl.live_server_count() == 0) {
+            return; // every checkpoint server is gone: no more waves
+        }
         let n = w.rt.size();
         let wave = Pcl::with(w, |pcl, _| {
             pcl.wave_counter += 1;
@@ -218,6 +307,12 @@ impl Pcl {
     /// is inside the library (parked in a blocking op) or no longer running
     /// application code.
     fn queue_ctl(w: &mut World, sc: &SimCtx, rank: Rank, ctl: PclCtl) {
+        if w.rt.ranks[rank].status == RankStatus::Dead {
+            // Undetected-dead rank (detection lag): its library is gone, so
+            // it can neither process nor defer control traffic. The wave
+            // stalls on it and is aborted by the eventual restart.
+            return;
+        }
         let in_lib = {
             let rs = &w.rt.ranks[rank];
             rs.blocked_in_lib || rs.status != RankStatus::Running
@@ -349,7 +444,7 @@ impl Pcl {
     /// send and receive any messages").
     fn take_checkpoint(w: &mut World, sc: &SimCtx, rank: Rank) {
         let _handle = w.rt.world_handle();
-        let mut image_flow: Option<(FlowSpec, u64)> = None;
+        let mut image_flows: Vec<(FlowSpec, u64, NodeId)> = Vec::new();
         let mut release_sends: Vec<AppMsg> = Vec::new();
         let mut release_arrivals: Vec<AppMsg> = Vec::new();
         let mut fork_info: Option<(u64, u64)> = None;
@@ -381,16 +476,28 @@ impl Pcl {
             // The delayed receive queue is delivered now (post-checkpoint);
             // on restart it is *discarded* — senders re-send.
             release_arrivals = std::mem::take(&mut cur.delayed_arrivals[rank]);
-            image_flow = Some((
-                FlowSpec {
-                    src: rt.placement.node_of(rank),
-                    dst: pcl.server_node_of[rank],
-                    bytes: pcl.cfg.image_bytes,
-                    chunk: pcl.cfg.chunk_bytes,
-                    also_disk: pcl.cfg.write_local_disk,
-                },
-                cur.rec.wave,
-            ));
+            // One stream per replica target; the local disk is written once.
+            let targets = replica_targets(
+                &pcl.server_nodes,
+                pcl.server_node_of[rank],
+                pcl.cfg.replicas,
+                &pcl.store,
+            );
+            cur.image_flows_left[rank] = targets.len();
+            let src = rt.placement.node_of(rank);
+            for (i, server) in targets.into_iter().enumerate() {
+                image_flows.push((
+                    FlowSpec {
+                        src,
+                        dst: server,
+                        bytes: pcl.cfg.image_bytes,
+                        chunk: pcl.cfg.chunk_bytes,
+                        also_disk: pcl.cfg.write_local_disk && i == 0,
+                    },
+                    cur.rec.wave,
+                    server,
+                ));
+            }
         });
         if let Some((wave, ops)) = fork_info {
             sc.trace_proto(ftmpi_sim::ProtoEvent::Fork { wave, rank, ops });
@@ -401,30 +508,54 @@ impl Pcl {
         for msg in release_arrivals {
             w.rt.deliver_to_matching(sc, msg);
         }
-        if let Some((spec, wave)) = image_flow {
+        for (spec, wave, server) in image_flows {
             start_flow(w, sc, spec, move |w, sc, done_at| {
-                Pcl::image_stored(w, sc, rank, wave, done_at);
+                Pcl::image_stored(w, sc, rank, wave, server, done_at);
             });
         }
     }
 
-    /// Image stored: notify rank 0 ("sends a message to the MPI process of
-    /// rank 0 such that a new checkpoint wave can be scheduled").
-    fn image_stored(w: &mut World, sc: &SimCtx, rank: Rank, wave: u64, done_at: SimTime) {
+    /// One replica stream landed on `server`. When the rank's last replica
+    /// lands, notify rank 0 ("sends a message to the MPI process of rank 0
+    /// such that a new checkpoint wave can be scheduled"). Streams whose
+    /// wave was aborted meanwhile (mid-wave server failure — restarts kill
+    /// flows on the epoch guard instead) are dropped here.
+    fn image_stored(
+        w: &mut World,
+        sc: &SimCtx,
+        rank: Rank,
+        wave: u64,
+        server: NodeId,
+        done_at: SimTime,
+    ) {
         let _handle = w.rt.world_handle();
         let mut notify: Option<(NodeId, NodeId, u64)> = None;
         Pcl::with(w, |pcl, rt| {
-            rt.ranks[rank].op_drag = ftmpi_sim::SimDuration::ZERO;
+            let current = pcl
+                .cur
+                .as_ref()
+                .is_some_and(|cur| cur.rec.wave == wave && cur.image_flows_left[rank] > 0);
+            if !current {
+                // Stale stream (wave aborted): the channel is idle again.
+                rt.ranks[rank].op_drag = ftmpi_sim::SimDuration::ZERO;
+                return;
+            }
             pcl.stats.image_bytes_sent += pcl.cfg.image_bytes;
             pcl.store.record_image(
                 wave,
                 rank,
                 StoredImage {
-                    server: pcl.server_node_of[rank],
+                    server,
                     bytes: pcl.cfg.image_bytes,
                     stored_at: done_at,
                 },
             );
+            let cur = pcl.cur.as_mut().expect("checked current above");
+            cur.image_flows_left[rank] -= 1;
+            if cur.image_flows_left[rank] > 0 {
+                return; // more replicas still streaming: the drag persists
+            }
+            rt.ranks[rank].op_drag = ftmpi_sim::SimDuration::ZERO;
             notify = Some((
                 rt.placement.node_of(rank),
                 rt.placement.node_of(0),
@@ -462,7 +593,11 @@ impl Pcl {
                 committed_at: sc.now(),
             });
             pcl.store.commit(wave);
-            pcl.committed = Some(wave_state.rec);
+            pcl.committed.push(wave_state.rec);
+            let retain = pcl.cfg.retained_waves.max(1);
+            while pcl.committed.len() > retain {
+                pcl.committed.remove(0);
+            }
             pcl.timer_gen += 1;
             next_at = Some((sc.now() + pcl.cfg.period, pcl.timer_gen));
         });

@@ -1,11 +1,24 @@
 //! The dispatcher's failure handling: kill the job, restore every rank from
-//! the last committed wave, replay channel state, and respawn.
+//! a committed wave, replay channel state, and respawn.
 //!
 //! Matches §4 of the paper: "the dispatcher signals all the other processes
-//! to exit" (coordinated checkpointing rolls *all* ranks back), failure
-//! detection is immediate (tasks are killed, sockets close), survivors
+//! to exit" (coordinated checkpointing rolls *all* ranks back), survivors
 //! restore "from the local checkpoint stored on the disk if it exists;
 //! otherwise they obtain it from the checkpoint server".
+//!
+//! Beyond the paper's model this module also covers:
+//!
+//! * **detection latency** ([`inject_kill`]): the paper assumes immediate
+//!   detection through the broken TCP connection; with
+//!   `FtConfig::detection_delay > 0` the victim sits dead (its library and
+//!   daemon unresponsive — in-flight waves stall on it) until a heartbeat
+//!   timeout fires `fail_and_restart`, so lost work grows with the lag;
+//! * **checkpoint-server failures** ([`server_fail`]): images on the dead
+//!   server vanish; the next restart falls back to the newest *retained*
+//!   committed wave whose needed images survive, or to scratch;
+//! * **nested restarts**: a kill landing mid-recovery restarts the restart
+//!   cleanly — stale respawns and delayed-send launches die on the epoch
+//!   guard, so nothing double-counts.
 
 use ftmpi_mpi::{spawn_rank, AppFn, RankStatus, World, WorldRef};
 use ftmpi_net::NodeId;
@@ -15,46 +28,258 @@ use crate::config::FtConfig;
 use crate::image::WaveRecord;
 use crate::pcl::Pcl;
 use crate::runner::ProtocolChoice;
+use crate::server::CheckpointStore;
+use crate::stats::FtStats;
 use crate::vcl::Vcl;
+
+/// A failure-path operation was routed to the wrong protocol engine.
+///
+/// Replaces the old `expect("protocol is not ...")` downcast panics so a
+/// fault-injection campaign reports which scenario broke instead of
+/// aborting the whole process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The world's installed protocol does not match the failure router's
+    /// `ProtocolChoice`.
+    ProtocolMismatch {
+        /// Engine the failure path expected.
+        expected: &'static str,
+        /// Engine actually installed in the world.
+        found: &'static str,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::ProtocolMismatch { expected, found } => write!(
+                f,
+                "failure path routed to the wrong protocol: expected {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
 
 /// Restore data pulled out of a protocol engine at failure time.
 pub(crate) struct RestoreData {
     pub wave: Option<WaveRecord>,
-    pub server_node_of: Vec<NodeId>,
+    /// Per-rank server node an image fetch would come from (the replica's
+    /// actual location, falling back to the rank's primary server).
+    pub image_source: Vec<NodeId>,
+}
+
+/// Pick the restore wave and account the rollback: the newest retained
+/// committed wave whose server-fetched images all survive, else older
+/// retained waves, else scratch. Shared by both coordinated engines.
+fn plan_restore(
+    committed: &[WaveRecord],
+    store: &CheckpointStore,
+    server_node_of: &[NodeId],
+    stats: &mut FtStats,
+    now: SimTime,
+    need_server: &[bool],
+) -> RestoreData {
+    let chosen = committed
+        .iter()
+        .rev()
+        .find(|rec| {
+            need_server
+                .iter()
+                .enumerate()
+                .all(|(r, need)| !need || store.has_image(rec.wave, r))
+        })
+        .cloned();
+    let depth = match &chosen {
+        Some(rec) => committed.iter().filter(|c| c.wave > rec.wave).count() as u64,
+        None => committed.len() as u64,
+    };
+    stats.rollback_depth_max = stats.rollback_depth_max.max(depth);
+    stats.lost_work += match &chosen {
+        Some(rec) => rec.lost_work_at(now),
+        None => now.saturating_since(SimTime::ZERO),
+    };
+    if chosen.is_some() {
+        stats.images_refetched += need_server.iter().filter(|&&b| b).count() as u64;
+    }
+    let image_source = (0..server_node_of.len())
+        .map(|r| {
+            chosen
+                .as_ref()
+                .and_then(|rec| store.locate(rec.wave, r))
+                .map(|img| img.server)
+                .unwrap_or(server_node_of[r])
+        })
+        .collect();
+    RestoreData {
+        wave: chosen,
+        image_source,
+    }
 }
 
 impl Vcl {
-    pub(crate) fn prepare_restart(w: &mut World) -> RestoreData {
+    pub(crate) fn prepare_restart(
+        w: &mut World,
+        now: SimTime,
+        need_server: &[bool],
+    ) -> Result<RestoreData, RecoveryError> {
         let World { proto, .. } = w;
-        let vcl = proto
-            .as_any_mut()
-            .downcast_mut::<Vcl>()
-            .expect("protocol is not Vcl");
+        let found = proto.name();
+        let Some(vcl) = proto.as_any_mut().downcast_mut::<Vcl>() else {
+            return Err(RecoveryError::ProtocolMismatch {
+                expected: "vcl",
+                found,
+            });
+        };
         vcl.stats.restarts += 1;
-        RestoreData {
-            wave: vcl.committed.clone(),
-            server_node_of: vcl.server_nodes_of_ranks(),
-        }
+        let server_node_of = vcl.server_nodes_of_ranks();
+        Ok(plan_restore(
+            &vcl.committed,
+            &vcl.store,
+            &server_node_of,
+            &mut vcl.stats,
+            now,
+            need_server,
+        ))
     }
 }
 
 impl Pcl {
-    pub(crate) fn prepare_restart(w: &mut World) -> RestoreData {
+    pub(crate) fn prepare_restart(
+        w: &mut World,
+        now: SimTime,
+        need_server: &[bool],
+    ) -> Result<RestoreData, RecoveryError> {
         let World { proto, .. } = w;
-        let pcl = proto
-            .as_any_mut()
-            .downcast_mut::<Pcl>()
-            .expect("protocol is not Pcl");
+        let found = proto.name();
+        let Some(pcl) = proto.as_any_mut().downcast_mut::<Pcl>() else {
+            return Err(RecoveryError::ProtocolMismatch {
+                expected: "pcl",
+                found,
+            });
+        };
         pcl.stats.restarts += 1;
-        RestoreData {
-            wave: pcl.committed.clone(),
-            server_node_of: pcl.server_nodes_of_ranks(),
-        }
+        let server_node_of = pcl.server_nodes_of_ranks();
+        Ok(plan_restore(
+            &pcl.committed,
+            &pcl.store,
+            &server_node_of,
+            &mut pcl.stats,
+            now,
+            need_server,
+        ))
     }
 }
 
+/// Inject a task kill, honoring the detection-latency model.
+///
+/// With `detection_delay == 0` this *is* [`fail_and_restart`] — the paper's
+/// immediate detection, bit-for-bit. With a positive lag, the victim's task
+/// dies now (its process killed, its rank marked [`RankStatus::Dead`]) but
+/// the dispatcher only notices — and restarts the job — one heartbeat
+/// timeout later. A kill of an already-dead rank during that window is
+/// absorbed (one task cannot die twice); a restart happening in between
+/// revives the victim and cancels the stale detection via the epoch guard.
+pub fn inject_kill(
+    sc: &SimCtx,
+    world: &WorldRef,
+    app: &AppFn,
+    kind: ProtocolChoice,
+    victim: usize,
+    ft: &FtConfig,
+) -> Result<(), RecoveryError> {
+    if ft.detection_delay.is_zero() {
+        return fail_and_restart(sc, world, app, kind, victim, ft);
+    }
+    let (handle, epoch) = {
+        let mut w = world.lock();
+        if w.rt.job_complete() {
+            return Ok(());
+        }
+        if w.rt.ranks[victim].status == RankStatus::Dead {
+            return Ok(()); // absorbed: the task is already dead
+        }
+        if let Some(pid) = w.rt.ranks[victim].pid.take() {
+            sc.kill(pid);
+        }
+        w.rt.ranks[victim].status = RankStatus::Dead;
+        (w.rt.world_handle(), w.rt.epoch)
+    };
+    let app = app.clone();
+    let ft = ft.clone();
+    sc.schedule(sc.now() + ft.detection_delay, move |sc| {
+        let Some(world) = handle.upgrade() else {
+            return;
+        };
+        {
+            let w = world.lock();
+            if w.rt.epoch != epoch {
+                return; // a restart already revived the victim
+            }
+        }
+        if let Err(e) = fail_and_restart(sc, &world, &app, kind, victim, &ft) {
+            world.lock().rt.record_fatal(&e.to_string());
+        }
+    });
+    Ok(())
+}
+
+/// Kill a checkpoint-server node (by index into the deployment's server
+/// fleet): every image replica it stored becomes unavailable, partial
+/// waves streaming to it abort, and later restarts fall back to older
+/// retained waves or scratch. Only the coordinated protocols model
+/// checkpoint servers this way; for `Dummy`/`Mlog` the call is a no-op, as
+/// is an out-of-range index or a kill after job completion.
+pub fn server_fail(
+    sc: &SimCtx,
+    world: &WorldRef,
+    kind: ProtocolChoice,
+    server_index: usize,
+) -> Result<(), RecoveryError> {
+    let mut w = world.lock();
+    if w.rt.job_complete() {
+        return Ok(());
+    }
+    let node = {
+        let World { proto, .. } = &mut *w;
+        let found = proto.name();
+        match kind {
+            ProtocolChoice::Dummy | ProtocolChoice::Mlog => None,
+            ProtocolChoice::Vcl => proto
+                .as_any_mut()
+                .downcast_mut::<Vcl>()
+                .ok_or(RecoveryError::ProtocolMismatch {
+                    expected: "vcl",
+                    found,
+                })?
+                .server_fleet_node(server_index),
+            ProtocolChoice::Pcl => proto
+                .as_any_mut()
+                .downcast_mut::<Pcl>()
+                .ok_or(RecoveryError::ProtocolMismatch {
+                    expected: "pcl",
+                    found,
+                })?
+                .server_fleet_node(server_index),
+        }
+    };
+    let Some(node) = node else {
+        return Ok(());
+    };
+    sc.trace_proto(ftmpi_sim::ProtoEvent::ServerFail {
+        node: node.0 as u64,
+    });
+    match kind {
+        ProtocolChoice::Dummy | ProtocolChoice::Mlog => {}
+        ProtocolChoice::Vcl => Vcl::on_server_failed(&mut w, sc, node),
+        ProtocolChoice::Pcl => Pcl::on_server_failed(&mut w, sc, node),
+    }
+    Ok(())
+}
+
 /// Fail the job (as if `victim`'s task was killed) and orchestrate the
-/// restart from the last committed wave (or from scratch if none).
+/// restart from a committed wave (or from scratch if none survives).
 ///
 /// No-op if the job already completed.
 pub fn fail_and_restart(
@@ -64,15 +289,21 @@ pub fn fail_and_restart(
     kind: ProtocolChoice,
     victim: usize,
     ft: &FtConfig,
-) {
+) -> Result<(), RecoveryError> {
+    if kind == ProtocolChoice::Mlog {
+        return Err(RecoveryError::ProtocolMismatch {
+            expected: "vcl, pcl or dummy",
+            found: "mlog",
+        });
+    }
     let mut w = world.lock();
     if w.rt.job_complete() {
-        return;
+        return Ok(());
     }
     let n = w.rt.size();
     let handle = w.rt.world_handle();
 
-    // 1. Detection is immediate; the dispatcher kills every process.
+    // 1. The dispatcher kills every process.
     for r in 0..n {
         let rs = &mut w.rt.ranks[r];
         if let Some(pid) = rs.pid.take() {
@@ -88,21 +319,25 @@ pub fn fail_and_restart(
     let now = sc.now();
     w.rt.net.reset_queues(now);
 
-    // 2. Pull restore data from the protocol (aborts any in-flight wave —
-    //    its flows and timers die on the epoch guards).
+    // Which ranks must fetch their image from a server (constrains the
+    // restore wave: a server failure may have lost the newest images).
+    let need_server: Vec<bool> = (0..n)
+        .map(|r| (r == victim && ft.fetch_failed_from_server) || !ft.write_local_disk)
+        .collect();
+
+    // 2. Pull restore data from the protocol and abort any in-flight wave
+    //    (its partial images are garbage-collected; its flows and timers
+    //    die on the epoch guards).
     let restore = match kind {
-        ProtocolChoice::Dummy => None,
-        ProtocolChoice::Mlog => {
-            unreachable!("Mlog failures route through mlog_fail_and_restart")
-        }
+        ProtocolChoice::Dummy | ProtocolChoice::Mlog => None, // Mlog rejected above
         ProtocolChoice::Vcl => {
-            let data = Vcl::prepare_restart(&mut w);
-            Vcl::abort_wave(&mut w);
+            let data = Vcl::prepare_restart(&mut w, now, &need_server)?;
+            Vcl::abort_wave(&mut w, sc);
             Some(data)
         }
         ProtocolChoice::Pcl => {
-            let data = Pcl::prepare_restart(&mut w);
-            Pcl::abort_wave(&mut w);
+            let data = Pcl::prepare_restart(&mut w, now, &need_server)?;
+            Pcl::abort_wave(&mut w, sc);
             Some(data)
         }
     };
@@ -112,7 +347,7 @@ pub fn fail_and_restart(
     //    the rank's image is back in memory, schedule replay + respawn.
     let base = now + ft.restart_delay;
     let mut latest_ready = base;
-    for r in 0..n {
+    for (r, &from_server) in need_server.iter().enumerate() {
         let (skip, credit) = match &wave {
             Some(rec) => (rec.images[r].ops_completed, rec.images[r].time_credit),
             None => (0, ftmpi_sim::SimDuration::ZERO),
@@ -121,11 +356,9 @@ pub fn fail_and_restart(
         let node = w.rt.placement.node_of(r);
         let ready: SimTime = match (&wave, &restore) {
             (Some(_), Some(data)) => {
-                let from_server =
-                    (r == victim && ft.fetch_failed_from_server) || !ft.write_local_disk;
                 if from_server {
                     w.rt.net
-                        .transfer(data.server_node_of[r], node, ft.image_bytes, base)
+                        .transfer(data.image_source[r], node, ft.image_bytes, base)
                         .delivered
                 } else {
                     w.rt.net.disk_read(node, ft.image_bytes, base)
@@ -184,6 +417,7 @@ pub fn fail_and_restart(
             Pcl::schedule_wave_at(sc, handle, next_wave, epoch, gen);
         }
     }
+    Ok(())
 }
 
 /// Single-rank failure handling for the uncoordinated message-logging
@@ -199,12 +433,12 @@ pub fn mlog_fail_and_restart(
     app: &AppFn,
     victim: usize,
     ft: &FtConfig,
-) {
+) -> Result<(), RecoveryError> {
     use crate::mlog::Mlog;
 
     let mut w = world.lock();
     if w.rt.job_complete() || w.rt.ranks[victim].status != RankStatus::Running {
-        return;
+        return Ok(());
     }
     let handle = w.rt.world_handle();
     let now = sc.now();
@@ -218,10 +452,13 @@ pub fn mlog_fail_and_restart(
     // Pull the victim's restore data out of the protocol.
     let (image, log, server, in_flight) = {
         let World { proto, .. } = &mut *w;
-        let mlog = proto
-            .as_any_mut()
-            .downcast_mut::<Mlog>()
-            .expect("protocol is not Mlog");
+        let found = proto.name();
+        let Some(mlog) = proto.as_any_mut().downcast_mut::<Mlog>() else {
+            return Err(RecoveryError::ProtocolMismatch {
+                expected: "mlog",
+                found,
+            });
+        };
         let (image, log, server) = mlog.restore_of(victim);
         let in_flight = mlog.take_in_flight(victim);
         mlog.on_rank_restarted(victim);
@@ -289,4 +526,5 @@ pub fn mlog_fail_and_restart(
         let handle2 = world.lock().rt.world_handle();
         Mlog::schedule_rank_ckpt_pub(sc, handle2, victim, sc.now() + period, incarnation);
     });
+    Ok(())
 }

@@ -15,7 +15,7 @@ use crate::deploy::Deployment;
 use crate::failure::FailurePlan;
 use crate::mlog::Mlog;
 use crate::pcl::Pcl;
-use crate::recovery::{fail_and_restart, mlog_fail_and_restart};
+use crate::recovery::{inject_kill, mlog_fail_and_restart, server_fail};
 use crate::stats::FtStats;
 use crate::vcl::Vcl;
 
@@ -42,7 +42,9 @@ pub enum Platform {
     Grid,
 }
 
-/// Everything needed to run one experiment configuration.
+/// Everything needed to run one experiment configuration. Cloning is cheap
+/// — the application closure is shared through its `Arc`.
+#[derive(Clone)]
 pub struct JobSpec {
     /// Number of MPI ranks.
     pub nranks: usize,
@@ -144,6 +146,11 @@ impl JobResult {
         line("ft.sends_delayed", self.ft.sends_delayed);
         line("ft.arrivals_delayed", self.ft.arrivals_delayed);
         line("ft.restarts", self.ft.restarts);
+        line("ft.waves_aborted", self.ft.waves_aborted);
+        line("ft.rollback_depth_max", self.ft.rollback_depth_max);
+        line("ft.lost_work_ns", self.ft.lost_work.as_nanos());
+        line("ft.images_refetched", self.ft.images_refetched);
+        line("ft.orphan_images_end", self.ft.orphan_images_end);
         line("rt.msgs_sent", self.rt.msgs_sent);
         line("rt.bytes_sent", self.rt.bytes_sent);
         line("rt.msgs_delivered", self.rt.msgs_delivered);
@@ -242,6 +249,11 @@ impl JobResult {
                 sends_delayed: take("ft.sends_delayed")?,
                 arrivals_delayed: take("ft.arrivals_delayed")?,
                 restarts: take("ft.restarts")?,
+                waves_aborted: take("ft.waves_aborted")?,
+                rollback_depth_max: take("ft.rollback_depth_max")?,
+                lost_work: SimDuration::from_nanos(take("ft.lost_work_ns")?),
+                images_refetched: take("ft.images_refetched")?,
+                orphan_images_end: take("ft.orphan_images_end")?,
             },
             rt: RuntimeStats {
                 msgs_sent: take("rt.msgs_sent")?,
@@ -275,6 +287,10 @@ pub enum JobError {
     },
     /// The simulation failed (deadlock or panic — a protocol/model bug).
     Sim(String),
+    /// The failure/recovery path hit a fatal routing error (see
+    /// [`crate::recovery::RecoveryError`]); the message names the broken
+    /// scenario instead of the old downcast panic aborting the process.
+    Recovery(String),
     /// The run ended without every rank finishing (hit the time guard).
     /// Carries a per-rank status dump for diagnosis.
     Incomplete {
@@ -292,6 +308,7 @@ impl std::fmt::Display for JobError {
                  caps it at {limit} (see §5.4)"
             ),
             JobError::Sim(e) => write!(f, "simulation error: {e}"),
+            JobError::Recovery(e) => write!(f, "recovery error: {e}"),
             JobError::Incomplete { ranks } => {
                 write!(f, "job did not complete; ranks: {}", ranks.join("; "))
             }
@@ -407,10 +424,22 @@ pub fn run_job_with(
         let app = Arc::clone(&spec.app);
         let ft = spec.ft.clone();
         sim.schedule(at, move |sc| {
-            if protocol == ProtocolChoice::Mlog {
-                mlog_fail_and_restart(sc, &w2, &app, victim, &ft);
+            let outcome = if protocol == ProtocolChoice::Mlog {
+                mlog_fail_and_restart(sc, &w2, &app, victim, &ft)
             } else {
-                fail_and_restart(sc, &w2, &app, protocol, victim, &ft);
+                inject_kill(sc, &w2, &app, protocol, victim, &ft)
+            };
+            if let Err(e) = outcome {
+                w2.lock().rt.record_fatal(&e.to_string());
+            }
+        });
+    }
+
+    for (at, server) in spec.failures.server_kills.clone() {
+        let w2 = Arc::clone(&world);
+        sim.schedule(at, move |sc| {
+            if let Err(e) = server_fail(sc, &w2, protocol, server) {
+                w2.lock().rt.record_fatal(&e.to_string());
             }
         });
     }
@@ -418,6 +447,9 @@ pub fn run_job_with(
     let report = sim.run().map_err(|e| JobError::Sim(e.to_string()))?;
 
     let w = world.lock();
+    if let Some(e) = &w.rt.fatal_error {
+        return Err(JobError::Recovery(e.clone()));
+    }
     let completion = match w.rt.stats.completion_time {
         Some(t) => t.saturating_since(SimTime::ZERO),
         None => {
@@ -438,8 +470,10 @@ pub fn run_job_with(
         let mut w = world.lock();
         let World { proto, .. } = &mut *w;
         if let Some(vcl) = proto.as_any_mut().downcast_mut::<Vcl>() {
+            vcl.finalize_stats();
             vcl.stats.clone()
         } else if let Some(pcl) = proto.as_any_mut().downcast_mut::<Pcl>() {
+            pcl.finalize_stats();
             pcl.stats.clone()
         } else if let Some(mlog) = proto.as_any_mut().downcast_mut::<Mlog>() {
             mlog.stats.clone()
@@ -489,6 +523,11 @@ mod tests {
                 sends_delayed: 3,
                 arrivals_delayed: 1,
                 restarts: 2,
+                waves_aborted: 1,
+                rollback_depth_max: 1,
+                lost_work: SimDuration::from_nanos(7_654_321),
+                images_refetched: 2,
+                orphan_images_end: 0,
             },
             rt: RuntimeStats {
                 msgs_sent: 1000,

@@ -3,17 +3,24 @@
 //! The data-plane cost of a checkpoint server is its node's NIC and the
 //! flows streaming into it (see [`crate::flow`]); this module keeps the
 //! control-plane state: which server stores which rank's image of which
-//! wave, and the commit status of waves — the distributed database the
-//! paper's FTPM maintains ("to locate which checkpoint server holds which
-//! local checkpoint").
+//! wave, the commit status of waves, and which server nodes have failed —
+//! the distributed database the paper's FTPM maintains ("to locate which
+//! checkpoint server holds which local checkpoint").
+//!
+//! Beyond the paper's always-available single copy, the store supports
+//! per-image replica lists (`replicas > 1` streams each image to two
+//! servers), a retention window of several committed waves (fallback
+//! targets when a server failure loses the newest wave), explicit abort of
+//! a partial wave (mid-wave kill garbage collection), and server-failure
+//! processing that drops every replica the dead node held.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ftmpi_mpi::Rank;
 use ftmpi_net::NodeId;
 use ftmpi_sim::SimTime;
 
-/// One stored image record.
+/// One stored image replica.
 #[derive(Debug, Clone, Copy)]
 pub struct StoredImage {
     /// Server node holding the image.
@@ -27,45 +34,167 @@ pub struct StoredImage {
 /// Control-plane state of the checkpoint-server fleet.
 #[derive(Debug, Default)]
 pub struct CheckpointStore {
-    /// (wave, rank) → stored image.
-    images: HashMap<(u64, Rank), StoredImage>,
-    /// Last committed wave number, if any.
-    committed: Option<u64>,
+    /// (wave, rank) → live replicas of that rank's image. Ordered map so
+    /// iteration (garbage-collection audits, orphan counts) is
+    /// deterministic.
+    images: BTreeMap<(u64, Rank), Vec<StoredImage>>,
+    /// Committed waves still retained, ascending. The last entry is the
+    /// restore default; earlier entries are fallback targets after a
+    /// server failure.
+    committed: Vec<u64>,
+    /// Failed server nodes; replicas they held are gone and new writes to
+    /// them are dropped.
+    failed: BTreeSet<NodeId>,
+    /// How many committed waves to retain (0 behaves as 1 — the paper's
+    /// immediate garbage collection).
+    retain: usize,
 }
 
 impl CheckpointStore {
-    /// Record a fully-received image.
+    /// Set the committed-wave retention window (see `FtConfig::retained_waves`).
+    pub fn set_retention(&mut self, retain: usize) {
+        self.retain = retain;
+    }
+
+    /// Record a fully-received image replica. Writes to a failed server are
+    /// dropped (the flow raced the failure); a duplicate replica on the
+    /// same server replaces the old record.
     pub fn record_image(&mut self, wave: u64, rank: Rank, img: StoredImage) {
-        self.images.insert((wave, rank), img);
+        if self.failed.contains(&img.server) {
+            return;
+        }
+        let replicas = self.images.entry((wave, rank)).or_default();
+        if let Some(existing) = replicas.iter_mut().find(|r| r.server == img.server) {
+            *existing = img;
+        } else {
+            replicas.push(img);
+        }
     }
 
-    /// Is the image of (wave, rank) fully stored?
+    /// Is at least one replica of (wave, rank) fully stored on a live
+    /// server?
     pub fn has_image(&self, wave: u64, rank: Rank) -> bool {
-        self.images.contains_key(&(wave, rank))
+        self.images
+            .get(&(wave, rank))
+            .is_some_and(|r| !r.is_empty())
     }
 
-    /// Which server holds rank `rank`'s image of `wave`?
+    /// Which server holds rank `rank`'s image of `wave`? With several live
+    /// replicas, deterministically picks the lowest server node id.
     pub fn locate(&self, wave: u64, rank: Rank) -> Option<StoredImage> {
-        self.images.get(&(wave, rank)).copied()
+        self.images
+            .get(&(wave, rank))?
+            .iter()
+            .min_by_key(|r| r.server)
+            .copied()
     }
 
     /// Mark `wave` committed and garbage-collect superseded waves —
     /// "simple garbage collection reduces the size needed to store the
-    /// checkpoints".
+    /// checkpoints" — keeping the newest `retain` committed waves as
+    /// fallback restore targets.
     pub fn commit(&mut self, wave: u64) {
-        self.committed = Some(wave);
-        self.images.retain(|(w, _), _| *w >= wave);
+        self.committed.push(wave);
+        let retain = self.retain.max(1);
+        while self.committed.len() > retain {
+            self.committed.remove(0);
+        }
+        let keep = std::mem::take(&mut self.committed);
+        self.images
+            .retain(|(w, _), _| keep.contains(w) || *w > wave);
+        self.committed = keep;
     }
 
-    /// Last committed wave.
+    /// Garbage-collect the partial images of an aborted (uncommitted) wave.
+    /// Returns how many replicas were dropped.
+    pub fn abort(&mut self, wave: u64) -> u64 {
+        let mut dropped = 0u64;
+        self.images.retain(|(w, _), replicas| {
+            if *w == wave {
+                dropped += replicas.len() as u64;
+                false
+            } else {
+                true
+            }
+        });
+        dropped
+    }
+
+    /// A checkpoint-server node failed: every replica it held becomes
+    /// unavailable and future writes to it are dropped. Returns how many
+    /// replicas were lost.
+    pub fn fail_server(&mut self, node: NodeId) -> u64 {
+        self.failed.insert(node);
+        let mut lost = 0u64;
+        for replicas in self.images.values_mut() {
+            let before = replicas.len();
+            replicas.retain(|r| r.server != node);
+            lost += (before - replicas.len()) as u64;
+        }
+        self.images.retain(|_, replicas| !replicas.is_empty());
+        lost
+    }
+
+    /// Has this server node failed?
+    pub fn server_failed(&self, node: NodeId) -> bool {
+        self.failed.contains(&node)
+    }
+
+    /// Replicas belonging to waves that are neither retained-committed nor
+    /// the in-flight wave `except`. Should be zero at any quiescent point —
+    /// a non-zero count is a garbage-collection leak.
+    pub fn orphan_images(&self, except: Option<u64>) -> u64 {
+        self.images
+            .iter()
+            .filter(|((w, _), _)| !self.committed.contains(w) && Some(*w) != except)
+            .map(|(_, replicas)| replicas.len() as u64)
+            .sum()
+    }
+
+    /// Newest retained committed wave.
     pub fn committed_wave(&self) -> Option<u64> {
-        self.committed
+        self.committed.last().copied()
+    }
+
+    /// All retained committed waves, ascending.
+    pub fn committed_waves(&self) -> &[u64] {
+        &self.committed
     }
 
     /// Bytes currently held across all servers.
     pub fn stored_bytes(&self) -> u64 {
-        self.images.values().map(|i| i.bytes).sum()
+        self.images
+            .values()
+            .flat_map(|r| r.iter())
+            .map(|i| i.bytes)
+            .sum()
     }
+}
+
+/// Live replica targets for an image whose primary server is `primary`:
+/// start at the primary's fleet position and walk the fleet circularly,
+/// skipping failed nodes, until `replicas` live targets are collected
+/// (fewer when not enough servers survive). With `replicas == 1` and no
+/// failures this is exactly the primary — the paper's single-copy path.
+pub(crate) fn replica_targets(
+    fleet: &[NodeId],
+    primary: NodeId,
+    replicas: usize,
+    store: &CheckpointStore,
+) -> Vec<NodeId> {
+    let start = fleet.iter().position(|&n| n == primary).unwrap_or(0);
+    let want = replicas.max(1);
+    let mut targets = Vec::new();
+    for i in 0..fleet.len() {
+        let node = fleet[(start + i) % fleet.len()];
+        if !store.server_failed(node) {
+            targets.push(node);
+            if targets.len() == want {
+                break;
+            }
+        }
+    }
+    targets
 }
 
 #[cfg(test)]
@@ -73,8 +202,12 @@ mod tests {
     use super::*;
 
     fn img(bytes: u64) -> StoredImage {
+        img_on(NodeId(0), bytes)
+    }
+
+    fn img_on(server: NodeId, bytes: u64) -> StoredImage {
         StoredImage {
-            server: NodeId(0),
+            server,
             bytes,
             stored_at: SimTime::ZERO,
         }
@@ -90,11 +223,74 @@ mod tests {
             store.record_image(2, r, img(100));
         }
         assert_eq!(store.stored_bytes(), 800);
+        store.commit(1);
         store.commit(2);
         assert_eq!(store.committed_wave(), Some(2));
         assert_eq!(store.stored_bytes(), 400);
         assert!(!store.has_image(1, 0));
         assert!(store.has_image(2, 3));
+        assert_eq!(store.orphan_images(None), 0);
+    }
+
+    #[test]
+    fn retention_keeps_fallback_waves() {
+        let mut store = CheckpointStore::default();
+        store.set_retention(2);
+        for w in 1..=3u64 {
+            for r in 0..2 {
+                store.record_image(w, r, img(10));
+            }
+            store.commit(w);
+        }
+        // Waves 2 and 3 retained, wave 1 collected.
+        assert_eq!(store.committed_waves(), &[2, 3]);
+        assert!(!store.has_image(1, 0));
+        assert!(store.has_image(2, 0) && store.has_image(3, 1));
+        assert_eq!(store.stored_bytes(), 40);
+    }
+
+    #[test]
+    fn abort_drops_partial_wave_only() {
+        let mut store = CheckpointStore::default();
+        store.record_image(1, 0, img(5));
+        store.commit(1);
+        store.record_image(2, 0, img(5));
+        store.record_image(2, 1, img(5));
+        assert_eq!(store.orphan_images(Some(2)), 0);
+        assert_eq!(store.abort(2), 2);
+        assert!(!store.has_image(2, 0));
+        assert!(store.has_image(1, 0));
+        assert_eq!(store.orphan_images(None), 0);
+    }
+
+    #[test]
+    fn server_failure_loses_its_replicas() {
+        let mut store = CheckpointStore::default();
+        store.record_image(1, 0, img_on(NodeId(8), 7));
+        store.record_image(1, 1, img_on(NodeId(9), 7));
+        store.commit(1);
+        assert_eq!(store.fail_server(NodeId(8)), 1);
+        assert!(store.server_failed(NodeId(8)));
+        assert!(!store.has_image(1, 0));
+        assert!(store.has_image(1, 1));
+        // Late writes to the dead server are dropped.
+        store.record_image(1, 0, img_on(NodeId(8), 7));
+        assert!(!store.has_image(1, 0));
+    }
+
+    #[test]
+    fn replicas_survive_single_server_loss() {
+        let mut store = CheckpointStore::default();
+        store.record_image(1, 0, img_on(NodeId(8), 7));
+        store.record_image(1, 0, img_on(NodeId(9), 7));
+        assert_eq!(store.stored_bytes(), 14);
+        store.fail_server(NodeId(8));
+        assert!(store.has_image(1, 0));
+        let found = store.locate(1, 0).expect("replica on node 9 survives");
+        assert_eq!(found.server, NodeId(9));
+        // Duplicate replica on the same server replaces, not accumulates.
+        store.record_image(1, 0, img_on(NodeId(9), 9));
+        assert_eq!(store.stored_bytes(), 9);
     }
 
     #[test]
@@ -112,5 +308,44 @@ mod tests {
         let found = store.locate(3, 7).expect("image recorded above");
         assert_eq!(found.server, NodeId(42));
         assert!(store.locate(3, 8).is_none());
+    }
+
+    #[test]
+    fn locate_prefers_lowest_server_id() {
+        let mut store = CheckpointStore::default();
+        store.record_image(1, 0, img_on(NodeId(9), 1));
+        store.record_image(1, 0, img_on(NodeId(8), 1));
+        let found = store.locate(1, 0).expect("two replicas recorded");
+        assert_eq!(found.server, NodeId(8));
+    }
+
+    #[test]
+    fn replica_targets_walk_the_fleet_past_failures() {
+        let fleet = [NodeId(10), NodeId(11), NodeId(12)];
+        let mut store = CheckpointStore::default();
+        // Single copy, healthy fleet: the primary itself.
+        assert_eq!(
+            replica_targets(&fleet, NodeId(11), 1, &store),
+            vec![NodeId(11)]
+        );
+        // Two replicas wrap around the fleet end.
+        assert_eq!(
+            replica_targets(&fleet, NodeId(12), 2, &store),
+            vec![NodeId(12), NodeId(10)]
+        );
+        // A failed primary is skipped.
+        store.fail_server(NodeId(11));
+        assert_eq!(
+            replica_targets(&fleet, NodeId(11), 2, &store),
+            vec![NodeId(12), NodeId(10)]
+        );
+        // Not enough live servers: degrade to what survives.
+        store.fail_server(NodeId(10));
+        assert_eq!(
+            replica_targets(&fleet, NodeId(11), 2, &store),
+            vec![NodeId(12)]
+        );
+        store.fail_server(NodeId(12));
+        assert!(replica_targets(&fleet, NodeId(11), 1, &store).is_empty());
     }
 }

@@ -41,9 +41,32 @@ pub struct FtStats {
     pub arrivals_delayed: u64,
     /// Failure-restarts performed.
     pub restarts: u64,
+    /// Checkpoint waves aborted before commit (failure restart or server
+    /// loss); their partial images were garbage-collected.
+    pub waves_aborted: u64,
+    /// Deepest rollback across all restarts: number of committed waves that
+    /// were newer than the wave actually restored (0 = always restored the
+    /// latest; a from-scratch restart counts every committed wave).
+    pub rollback_depth_max: u64,
+    /// Total computation discarded by restarts: for each restart, the span
+    /// from the restored wave's commit (job start when restoring from
+    /// scratch) to the restart instant.
+    pub lost_work: SimDuration,
+    /// Rank images fetched from a checkpoint server during restarts (the
+    /// failed rank when `fetch_failed_from_server`, every rank when local
+    /// disk is off).
+    pub images_refetched: u64,
+    /// Uncommitted (partial/orphaned) images still in server bookkeeping
+    /// when the run ended. Any non-zero value is a garbage-collection leak.
+    pub orphan_images_end: u64,
 }
 
 impl FtStats {
+    /// Lost work in seconds (see [`FtStats::lost_work`]).
+    pub fn lost_work_secs(&self) -> f64 {
+        self.lost_work.as_secs_f64()
+    }
+
     /// Mean committed-wave duration, if any wave committed.
     pub fn mean_wave_duration(&self) -> Option<SimDuration> {
         if self.wave_timings.is_empty() {

@@ -32,7 +32,7 @@ use crate::config::FtConfig;
 use crate::deploy::Deployment;
 use crate::flow::{send_control, start_flow, FlowSpec};
 use crate::image::{RankImage, WaveRecord};
-use crate::server::{CheckpointStore, StoredImage};
+use crate::server::{replica_targets, CheckpointStore, StoredImage};
 use crate::stats::{FtStats, WaveTiming};
 
 /// In-flight wave state.
@@ -54,6 +54,8 @@ struct VclWave {
     acked: Vec<bool>,
     /// Acknowledgements received by the scheduler.
     acks: usize,
+    /// Replica image streams still in flight, per rank.
+    image_flows_left: Vec<usize>,
 }
 
 impl VclWave {
@@ -69,6 +71,7 @@ impl VclWave {
             log_done: vec![n == 1; n],
             acked: vec![false; n],
             acks: 0,
+            image_flows_left: vec![0; n],
         }
     }
 }
@@ -79,14 +82,17 @@ pub struct Vcl {
     cfg: FtConfig,
     /// Checkpoint-server node of each rank.
     server_node_of: Vec<NodeId>,
+    /// The whole checkpoint-server fleet (replica targets, failure fallback).
+    server_nodes: Vec<NodeId>,
     /// Node hosting the checkpoint scheduler.
     scheduler_node: NodeId,
     /// Protocol statistics.
     pub stats: FtStats,
     /// Server control-plane state.
     pub store: CheckpointStore,
-    /// Last committed wave (restart source).
-    pub committed: Option<WaveRecord>,
+    /// Retained committed waves, oldest → newest (restart sources; older
+    /// entries are fallback targets after a server failure).
+    pub committed: Vec<WaveRecord>,
     cur: Option<VclWave>,
     wave_counter: u64,
     /// Wave-timer generation: stale periodic timers (superseded by a
@@ -98,13 +104,16 @@ impl Vcl {
     /// Build the engine for a deployment.
     pub fn new(cfg: FtConfig, dep: &Deployment) -> Vcl {
         let server_node_of = (0..dep.nranks()).map(|r| dep.server_node_of(r)).collect();
+        let mut store = CheckpointStore::default();
+        store.set_retention(cfg.retained_waves.max(1));
         Vcl {
             cfg,
             server_node_of,
+            server_nodes: dep.server_nodes.clone(),
             scheduler_node: dep.service_node,
             stats: FtStats::default(),
-            store: CheckpointStore::default(),
-            committed: None,
+            store,
+            committed: Vec::new(),
             cur: None,
             wave_counter: 0,
             timer_gen: 0,
@@ -116,6 +125,19 @@ impl Vcl {
         self.server_node_of.clone()
     }
 
+    /// Server node at `idx` in the deployment's fleet, if any.
+    pub(crate) fn server_fleet_node(&self, idx: usize) -> Option<NodeId> {
+        self.server_nodes.get(idx).copied()
+    }
+
+    /// Servers still alive.
+    pub(crate) fn live_server_count(&self) -> usize {
+        self.server_nodes
+            .iter()
+            .filter(|n| !self.store.server_failed(**n))
+            .count()
+    }
+
     /// Invalidate pending periodic wave timers; returns the new generation.
     pub(crate) fn bump_timer_gen(w: &mut World) -> u64 {
         Vcl::with(w, |p, _| {
@@ -124,10 +146,51 @@ impl Vcl {
         })
     }
 
-    /// Abort any in-flight wave (failure-restart): its events die on epoch
-    /// guards; the state is simply dropped.
-    pub(crate) fn abort_wave(w: &mut World) {
-        Vcl::with(w, |vcl, _| vcl.cur = None);
+    /// Abort any in-flight wave (failure-restart or server loss): drop the
+    /// wave state and garbage-collect its partial images from the server
+    /// bookkeeping. Returns whether a wave was actually aborted.
+    pub(crate) fn abort_wave(w: &mut World, sc: &SimCtx) -> bool {
+        let aborted = Vcl::with(w, |vcl, _| {
+            vcl.cur.take().map(|cur| {
+                vcl.stats.waves_aborted += 1;
+                vcl.store.abort(cur.rec.wave);
+                cur.rec.wave
+            })
+        });
+        if let Some(wave) = aborted {
+            sc.trace_proto(ftmpi_sim::ProtoEvent::WaveAbort { wave });
+        }
+        aborted.is_some()
+    }
+
+    /// A checkpoint-server node failed: drop every replica it held, abort
+    /// the in-flight wave if any (its surviving flows die on the
+    /// wave-number guards), and re-arm the periodic timer while live
+    /// servers remain.
+    pub(crate) fn on_server_failed(w: &mut World, sc: &SimCtx, node: NodeId) {
+        Vcl::with(w, |vcl, _| vcl.store.fail_server(node));
+        let aborted = Vcl::abort_wave(w, sc);
+        if aborted && !w.rt.job_complete() {
+            let handle = w.rt.world_handle();
+            let epoch = w.rt.epoch;
+            let next = Vcl::with(w, |vcl, _| {
+                if vcl.live_server_count() == 0 {
+                    return None; // nowhere to checkpoint to any more
+                }
+                vcl.timer_gen += 1;
+                Some((sc.now() + vcl.cfg.period, vcl.timer_gen))
+            });
+            if let Some((at, gen)) = next {
+                Vcl::schedule_wave_at(sc, handle, at, epoch, gen);
+            }
+        }
+    }
+
+    /// Account end-of-run bookkeeping health (orphaned partial images).
+    pub(crate) fn finalize_stats(&mut self) {
+        self.stats.orphan_images_end = self
+            .store
+            .orphan_images(self.cur.as_ref().map(|c| c.rec.wave));
     }
 
     /// Borrow the engine out of a world (it was installed as the protocol).
@@ -191,8 +254,10 @@ impl Vcl {
 
     /// Scheduler: send a marker to every rank.
     fn begin_wave(w: &mut World, sc: &SimCtx) {
-        if Vcl::with(w, |vcl, _| vcl.cur.is_some()) {
-            return; // a wave is already in flight
+        if Vcl::with(w, |vcl, _| {
+            vcl.cur.is_some() || vcl.live_server_count() == 0
+        }) {
+            return; // a wave is already in flight, or no servers survive
         }
         let handle = w.rt.world_handle();
         let n = w.rt.size();
@@ -234,10 +299,16 @@ impl Vcl {
     /// A rank's daemon starts its local checkpoint (first marker of the
     /// wave, from the scheduler or from a peer channel).
     fn start_local_ckpt(w: &mut World, sc: &SimCtx, r: Rank, wave: u64) {
+        if w.rt.ranks[r].status == RankStatus::Dead {
+            // Undetected-dead rank (detection lag): its daemon died with the
+            // task, so it cannot fork or forward markers. The wave stalls on
+            // it and is aborted by the eventual restart.
+            return;
+        }
         let handle = w.rt.world_handle();
         let n = w.rt.size();
         let mut marker_targets: Vec<(Rank, NodeId, NodeId)> = Vec::new();
-        let mut image_flow: Option<FlowSpec> = None;
+        let mut image_flows: Vec<(FlowSpec, NodeId)> = Vec::new();
         let mut fork_ops: Option<u64> = None;
         Vcl::with(w, |vcl, rt| {
             let Some(cur) = vcl.cur.as_mut() else { return };
@@ -277,13 +348,26 @@ impl Vcl {
                     marker_targets.push((s, src_node, rt.placement.node_of(s)));
                 }
             }
-            image_flow = Some(FlowSpec {
-                src: src_node,
-                dst: vcl.server_node_of[r],
-                bytes: vcl.cfg.image_bytes,
-                chunk: vcl.cfg.chunk_bytes,
-                also_disk: vcl.cfg.write_local_disk,
-            });
+            // One stream per replica target; the local disk is written once.
+            let targets = replica_targets(
+                &vcl.server_nodes,
+                vcl.server_node_of[r],
+                vcl.cfg.replicas,
+                &vcl.store,
+            );
+            cur.image_flows_left[r] = targets.len();
+            for (i, server) in targets.into_iter().enumerate() {
+                image_flows.push((
+                    FlowSpec {
+                        src: src_node,
+                        dst: server,
+                        bytes: vcl.cfg.image_bytes,
+                        chunk: vcl.cfg.chunk_bytes,
+                        also_disk: vcl.cfg.write_local_disk && i == 0,
+                    },
+                    server,
+                ));
+            }
         });
         if let Some(ops) = fork_ops {
             sc.trace_proto(ftmpi_sim::ProtoEvent::Fork { wave, rank: r, ops });
@@ -316,11 +400,11 @@ impl Vcl {
                 Vcl::on_channel_marker(&mut w, sc, r, s, wave);
             });
         }
-        if let Some(spec) = image_flow {
+        for (spec, server) in image_flows {
             let h = handle.clone();
             start_flow(w, sc, spec, move |w, sc, done_at| {
                 let _ = &h;
-                Vcl::image_stored(w, sc, r, wave, done_at);
+                Vcl::image_stored(w, sc, r, wave, server, done_at);
             });
         }
     }
@@ -383,23 +467,39 @@ impl Vcl {
         }
     }
 
-    /// A rank's image finished streaming to its server.
-    fn image_stored(w: &mut World, sc: &SimCtx, r: Rank, wave: u64, done_at: SimTime) {
+    /// One replica stream of rank `r`'s image landed on `server`. The image
+    /// is done once every replica landed; streams whose wave was aborted
+    /// meanwhile (mid-wave server failure) are dropped here.
+    fn image_stored(
+        w: &mut World,
+        sc: &SimCtx,
+        r: Rank,
+        wave: u64,
+        server: NodeId,
+        done_at: SimTime,
+    ) {
         Vcl::with(w, |vcl, _| {
+            let current = vcl
+                .cur
+                .as_ref()
+                .is_some_and(|cur| cur.rec.wave == wave && cur.image_flows_left[r] > 0);
+            if !current {
+                return;
+            }
             vcl.stats.image_bytes_sent += vcl.cfg.image_bytes;
             vcl.store.record_image(
                 wave,
                 r,
                 StoredImage {
-                    server: vcl.server_node_of[r],
+                    server,
                     bytes: vcl.cfg.image_bytes,
                     stored_at: done_at,
                 },
             );
-            if let Some(cur) = vcl.cur.as_mut() {
-                if cur.rec.wave == wave {
-                    cur.image_done[r] = true;
-                }
+            let cur = vcl.cur.as_mut().expect("checked current above");
+            cur.image_flows_left[r] -= 1;
+            if cur.image_flows_left[r] == 0 {
+                cur.image_done[r] = true;
             }
         });
         Vcl::maybe_ack(w, sc, r, wave);
@@ -469,7 +569,11 @@ impl Vcl {
                     );
                 }
             }
-            vcl.committed = Some(wave_state.rec);
+            vcl.committed.push(wave_state.rec);
+            let retain = vcl.cfg.retained_waves.max(1);
+            while vcl.committed.len() > retain {
+                vcl.committed.remove(0);
+            }
             vcl.timer_gen += 1;
             next_at = Some((sc.now() + vcl.cfg.period, vcl.timer_gen));
         });

@@ -307,6 +307,7 @@ fn survives_multiple_failures() {
             (SimTime::from_nanos(10_000_000_000), 1),
             (SimTime::from_nanos(25_000_000_000), 4),
         ],
+        server_kills: Vec::new(),
     };
     let res = run(spec);
     assert_eq!(res.rt.restarts, 2);
@@ -384,6 +385,7 @@ fn restore_from_a_wave_committed_after_an_earlier_restart() {
                 // Second kill: restore from a wave committed after restart 1.
                 (SimTime::from_nanos(14_000_000_000), 3),
             ],
+            server_kills: Vec::new(),
         };
         spec.max_virtual_time = Some(SimTime::from_nanos(600_000_000_000));
         let res = run(spec);
@@ -411,4 +413,153 @@ fn single_rank_vcl_commits_waves() {
         "solo Vcl must commit waves, got {}",
         res.waves()
     );
+}
+
+#[test]
+fn kill_at_time_zero_restarts_from_scratch() {
+    // Degenerate timing: the victim dies the instant it is spawned, before
+    // a single message or checkpoint exists.
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        let app = ring_app(20, 10_000, SimDuration::from_millis(100));
+        let mut spec = base_spec(4, proto, app);
+        spec.failures = FailurePlan::kill_at(SimTime::ZERO, 0);
+        let res = run(spec);
+        assert_eq!(res.rt.restarts, 1, "{proto:?}");
+        assert_eq!(
+            res.ft.rollback_depth_max, 0,
+            "{proto:?}: scratch restore of zero committed waves costs no depth"
+        );
+        assert_clean(&res);
+    }
+}
+
+#[test]
+fn kill_after_completion_is_ignored_despite_detection_lag() {
+    // The lagged detection event must be absorbed too, not fire a restart
+    // of a job that already finished.
+    let app = ring_app(5, 1_000, SimDuration::from_millis(10));
+    let mut spec = base_spec(4, ProtocolChoice::Vcl, app);
+    spec.ft = spec.ft.with_detection_delay_secs(1.0);
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(3_600_000_000_000), 0);
+    let res = run(spec);
+    assert_eq!(res.rt.restarts, 0);
+    assert!(res.ft.lost_work.is_zero());
+}
+
+#[test]
+fn second_kill_of_dead_rank_during_detection_lag_is_absorbed() {
+    // Two kills of the same victim inside one heartbeat window: the task
+    // cannot die twice, so exactly one detection → one restart.
+    let app = ring_app(150, 10_000, SimDuration::from_millis(150));
+    let mut spec = base_spec(6, ProtocolChoice::Vcl, app);
+    spec.ft = spec.ft.with_detection_delay_secs(1.0);
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(12_000_000_000), 2)
+        .with_kill(SimTime::from_nanos(12_300_000_000), 2);
+    let res = run(spec);
+    assert_eq!(res.rt.restarts, 1);
+    assert_clean(&res);
+}
+
+#[test]
+fn same_victim_back_to_back_kills_restart_twice() {
+    // With zero detection lag the first kill restarts immediately; the
+    // second lands mid-recovery on the revived rank and must produce a
+    // clean nested restart, not a panic or a double-count.
+    let app = ring_app(150, 10_000, SimDuration::from_millis(150));
+    let mut spec = base_spec(6, ProtocolChoice::Pcl, app);
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(12_000_000_000), 2)
+        .with_kill(SimTime::from_nanos(12_000_000_100), 2);
+    let res = run(spec);
+    assert_eq!(res.rt.restarts, 2);
+    assert_clean(&res);
+}
+
+#[test]
+fn detection_lag_grows_lost_work() {
+    // Same kill, longer heartbeat timeout: everything computed between the
+    // restored wave's commit and the (later) rollback is thrown away.
+    let mk = |lag_s: f64| {
+        let app = ring_app(150, 10_000, SimDuration::from_millis(150));
+        let mut spec = base_spec(6, ProtocolChoice::Vcl, app);
+        spec.ft = spec.ft.with_detection_delay_secs(lag_s);
+        spec.failures = FailurePlan::kill_at(SimTime::from_nanos(12_000_000_000), 1);
+        run(spec)
+    };
+    let instant = mk(0.0);
+    let lagged = mk(2.0);
+    assert_eq!(instant.rt.restarts, 1);
+    assert_eq!(lagged.rt.restarts, 1);
+    assert!(
+        lagged.ft.lost_work_secs() > instant.ft.lost_work_secs() + 1.9,
+        "lag must show up in lost work: {} vs {}",
+        lagged.ft.lost_work_secs(),
+        instant.ft.lost_work_secs()
+    );
+    assert!(
+        lagged.completion_secs() > instant.completion_secs(),
+        "and in completion time: {} vs {}",
+        lagged.completion_secs(),
+        instant.completion_secs()
+    );
+}
+
+#[test]
+fn midwave_kill_aborts_wave_and_leaves_no_orphan_images() {
+    // A huge image makes the wave slow enough that a kill reliably lands
+    // while it is streaming to the servers: the partial wave aborts, its
+    // images are garbage-collected, and the restart uses the previous cut.
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        let app = ring_app(200, 10_000, SimDuration::from_millis(150));
+        let mut spec = base_spec(6, proto, app);
+        spec.ft.image_bytes = 64 << 20;
+        spec.failures = FailurePlan::kill_at(SimTime::from_nanos(2_100_000_000), 3);
+        let res = run(spec);
+        assert_eq!(res.rt.restarts, 1, "{proto:?}");
+        assert!(
+            res.ft.waves_aborted >= 1,
+            "{proto:?}: kill at 2.1 s should land in the wave starting at 2 s"
+        );
+        assert_eq!(
+            res.ft.orphan_images_end, 0,
+            "{proto:?}: aborted images must be garbage-collected"
+        );
+        assert_clean(&res);
+    }
+}
+
+#[test]
+fn server_loss_falls_back_to_scratch_without_replicas() {
+    // One copy per image: killing the victim's primary server destroys all
+    // of its committed images, so the next restart starts from scratch.
+    let app = ring_app(100, 10_000, SimDuration::from_millis(100));
+    let mut spec = base_spec(6, ProtocolChoice::Vcl, app);
+    spec.failures = FailurePlan::server_kill_at(SimTime::from_nanos(4_000_000_000), 1)
+        .with_kill(SimTime::from_nanos(4_500_000_000), 1);
+    let res = run(spec);
+    assert_eq!(res.rt.restarts, 1);
+    assert!(
+        res.ft.rollback_depth_max >= 1,
+        "rank 1's images lived on server 1; rollback must reach past the lost wave, got depth {}",
+        res.ft.rollback_depth_max
+    );
+    assert_clean(&res);
+}
+
+#[test]
+fn server_loss_with_replicas_restores_from_survivor() {
+    // Two copies per image: the same server loss costs nothing — the
+    // restart fetches the victim's image from the surviving replica.
+    let app = ring_app(100, 10_000, SimDuration::from_millis(100));
+    let mut spec = base_spec(6, ProtocolChoice::Vcl, app);
+    spec.ft = spec.ft.with_replicas(2);
+    spec.failures = FailurePlan::server_kill_at(SimTime::from_nanos(4_000_000_000), 1)
+        .with_kill(SimTime::from_nanos(4_500_000_000), 1);
+    let res = run(spec);
+    assert_eq!(res.rt.restarts, 1);
+    assert_eq!(
+        res.ft.rollback_depth_max, 0,
+        "the surviving replica keeps the newest wave usable"
+    );
+    assert!(res.ft.images_refetched >= 1);
+    assert_clean(&res);
 }

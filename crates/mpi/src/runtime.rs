@@ -228,6 +228,10 @@ pub struct RuntimeCore {
     pub suppress_duplicate_seq: bool,
     /// Counters.
     pub stats: RuntimeStats,
+    /// First fatal error hit inside a scheduled event (failure-path routing
+    /// bugs that have no caller to return to). The runner surfaces it as a
+    /// job error after the simulation drains.
+    pub fatal_error: Option<String>,
     /// Back-reference for scheduling world events from core methods.
     pub(crate) world: Weak<Mutex<World>>,
 }
@@ -247,8 +251,14 @@ impl RuntimeCore {
             epoch: 0,
             suppress_duplicate_seq: false,
             stats: RuntimeStats::default(),
+            fatal_error: None,
             world: Weak::new(),
         }
+    }
+
+    /// Record a fatal error (first one wins).
+    pub fn record_fatal(&mut self, msg: &str) {
+        self.fatal_error.get_or_insert_with(|| msg.to_string());
     }
 
     /// Number of ranks in the job.

@@ -105,6 +105,18 @@ pub enum ProtoEvent {
         /// Wave number.
         wave: u64,
     },
+    /// A checkpoint wave was aborted before committing (failure restart or
+    /// checkpoint-server loss); its partial images are garbage-collected.
+    WaveAbort {
+        /// Wave number.
+        wave: u64,
+    },
+    /// A checkpoint-server node failed: every image replica it stored
+    /// became unavailable.
+    ServerFail {
+        /// The failed server's node id.
+        node: u64,
+    },
     /// A global failure-restart: all ranks rolled back, epoch bumped.
     Restart {
         /// The new job epoch.

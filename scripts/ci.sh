@@ -27,6 +27,9 @@ cargo run -q --release -p ftmpi-check -- lint
 echo "==> ftmpi-check smoke (invariants + perturbation)"
 cargo run -q --release -p ftmpi-check -- smoke
 
+echo "==> ftmpi-check storm --smoke (fault-injection campaign)"
+cargo run -q --release -p ftmpi-check -- storm --smoke
+
 echo "==> result-cache round trip (fig5_servers cold, then warm from disk)"
 CACHE_TMP="${TMPDIR:-/tmp}/ftmpi-ci-cache-$$"
 rm -rf "$CACHE_TMP"
