@@ -1,0 +1,12 @@
+//! Thin wrapper over [`ftmpi_bench::figures::partition_sweep`] — see that
+//! module for the experiment's documentation.
+//!
+//! ```sh
+//! cargo run --release -p ftmpi-bench --bin partition_sweep [-- --full] [-- --jobs N]
+//! ```
+
+use ftmpi_bench::figures;
+
+fn main() {
+    figures::run_standalone(figures::partition_sweep::run);
+}

@@ -24,6 +24,7 @@ pub mod future_work;
 pub mod logging_vs_coordinated;
 pub mod mttf_period;
 pub mod netpipe;
+pub mod partition_sweep;
 pub mod recovery_cost;
 
 /// Signature every figure harness implements.
@@ -52,6 +53,7 @@ pub const ALL: &[(&str, FigureFn)] = &[
     ("netpipe", netpipe::run),
     ("recovery_cost", recovery_cost::run),
     ("failure_storms", failure_storms::run),
+    ("partition_sweep", partition_sweep::run),
     ("ablation_design", ablation_design::run),
     ("mttf_period", mttf_period::run),
     ("logging_vs_coordinated", logging_vs_coordinated::run),

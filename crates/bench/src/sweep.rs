@@ -65,7 +65,7 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
     let ft = &spec.ft;
     let _ = write!(
         key,
-        "ft=({},{},{},{},{},{},{},{},{},{},{},{},{},{},{});",
+        "ft=({},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:?});",
         ft.period.as_nanos(),
         ft.first_wave_delay.as_nanos(),
         ft.image_bytes,
@@ -80,7 +80,11 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
         ft.pcl_async_markers,
         ft.detection_delay.as_nanos(),
         ft.replicas,
-        ft.retained_waves
+        ft.retained_waves,
+        ft.link_retry_base.as_nanos(),
+        ft.link_retry_cap.as_nanos(),
+        ft.link_retry_limit,
+        ft.partition_rollback_after.map(|d| d.as_nanos())
     );
     let _ = write!(
         key,
@@ -126,13 +130,57 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
                 .collect::<Vec<_>>()
         );
     }
+    if !spec.failures.node_kills.is_empty() {
+        let _ = write!(
+            key,
+            "nkills={:?};",
+            spec.failures
+                .node_kills
+                .iter()
+                .map(|(t, node)| (t.as_nanos(), *node))
+                .collect::<Vec<_>>()
+        );
+    }
+    if !spec.net_faults.is_empty() {
+        // Degrade factors are folded in via their exact bit pattern: two
+        // schedules differing only in a factor's last mantissa bit must not
+        // share a cache entry.
+        let _ = write!(
+            key,
+            "netf=(ev={:?},parts={:?});",
+            spec.net_faults
+                .link_events
+                .iter()
+                .map(|e| {
+                    let kind = match e.kind {
+                        ftmpi_net::LinkFaultKind::Down => (0u8, 0u64),
+                        ftmpi_net::LinkFaultKind::Degrade(f) => (1, f.to_bits()),
+                        ftmpi_net::LinkFaultKind::Restore => (2, 0),
+                    };
+                    (e.at.as_nanos(), e.from.0, e.to.0, kind)
+                })
+                .collect::<Vec<_>>(),
+            spec.net_faults
+                .partitions
+                .iter()
+                .map(|p| {
+                    (
+                        p.name.as_str(),
+                        p.nodes.iter().map(|n| n.0).collect::<Vec<_>>(),
+                        p.start.as_nanos(),
+                        p.heal.map(|t| t.as_nanos()),
+                    )
+                })
+                .collect::<Vec<_>>()
+        );
+    }
     key
 }
 
 /// On-disk entry header; bumped whenever [`JobResult::encode`] or the entry
 /// layout changes, so stale caches self-invalidate instead of decoding
 /// garbage.
-const CACHE_VERSION: &str = "ftmpi-cache v2";
+const CACHE_VERSION: &str = "ftmpi-cache v3";
 
 /// FNV-1a over `s` starting from `h` (two different bases give the two
 /// halves of the 128-bit cache filename, making accidental collisions
@@ -357,6 +405,102 @@ impl MemoCache {
             self.disk_hits()
         )
     }
+}
+
+/// What one [`prune_cache`] pass did.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Files examined (cache entries, temp leftovers, strangers).
+    pub scanned: usize,
+    /// Valid entries still present afterwards.
+    pub kept: usize,
+    /// Files deleted (invalid, stale-versioned, orphaned temps, or evicted
+    /// for the byte budget).
+    pub removed: usize,
+    /// Total size of the scanned files.
+    pub bytes_before: u64,
+    /// Total size of the kept entries.
+    pub bytes_after: u64,
+}
+
+/// Prune a persistent cache directory: delete leftover temp files and every
+/// entry that fails validation (wrong version header, filename not matching
+/// its own `key=` hash, truncated payload), then — if `max_bytes` is given —
+/// evict oldest-modified valid entries until the directory fits the budget.
+///
+/// Files not recognizably ours (no `r-`/`b-`/` .tmp-` prefix) are counted
+/// in `scanned` but never touched. A missing directory is an empty, already
+/// pruned cache, not an error.
+pub fn prune_cache(dir: &std::path::Path, max_bytes: Option<u64>) -> std::io::Result<PruneReport> {
+    let mut report = PruneReport::default();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(it) => it,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(e),
+    };
+    // (mtime, path, size) of valid entries, for oldest-first eviction.
+    let mut valid: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        let Ok(meta) = entry.metadata() else { continue };
+        if !meta.is_file() {
+            continue;
+        }
+        report.scanned += 1;
+        report.bytes_before += meta.len();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with(".tmp-") {
+            // A crashed writer's leftover: atomic renames never leave these.
+            if std::fs::remove_file(&path).is_ok() {
+                report.removed += 1;
+            }
+            continue;
+        }
+        let Some(kind) = name
+            .starts_with("r-")
+            .then_some("r")
+            .or_else(|| name.starts_with("b-").then_some("b"))
+        else {
+            continue; // not ours; leave it alone (but it was scanned)
+        };
+        let ok = std::fs::read_to_string(&path).ok().is_some_and(|text| {
+            (|| {
+                let rest = text.strip_prefix(CACHE_VERSION)?.strip_prefix('\n')?;
+                let rest = rest.strip_prefix("kind=")?.strip_prefix(kind)?;
+                let rest = rest.strip_prefix("\nkey=")?;
+                let (key, rest) = rest.split_once("\nlen=")?;
+                let (len_line, payload) = rest.split_once('\n')?;
+                let len: usize = len_line.parse().ok()?;
+                (payload.len() == len && name == format!("{kind}-{}", key_hash(key))).then_some(())
+            })()
+            .is_some()
+        });
+        if ok {
+            let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            valid.push((mtime, path, meta.len()));
+        } else if std::fs::remove_file(&path).is_ok() {
+            report.removed += 1;
+        }
+    }
+    // Budget eviction: oldest first; ties broken by path for determinism.
+    valid.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let mut total: u64 = valid.iter().map(|(_, _, s)| s).sum();
+    if let Some(budget) = max_bytes {
+        while total > budget {
+            let Some((_, path, size)) = valid.first().cloned() else {
+                break;
+            };
+            valid.remove(0);
+            if std::fs::remove_file(&path).is_ok() {
+                report.removed += 1;
+            }
+            total -= size;
+        }
+    }
+    report.kept = valid.len();
+    report.bytes_after = total;
+    Ok(report)
 }
 
 /// Default watermark for [`ftmpi_sim::wait_live_below`] admission, or the
@@ -671,6 +815,57 @@ mod tests {
         let mut other = ring_spec(12);
         other.ft.retained_waves = 3;
         assert_ne!(key(&base), key(&other));
+
+        let mut other = ring_spec(12);
+        other.ft.link_retry_limit = 3;
+        assert_ne!(key(&base), key(&other));
+
+        let mut other = ring_spec(12);
+        other.ft = other.ft.with_partition_rollback_after_secs(4.0);
+        assert_ne!(key(&base), key(&other));
+
+        let mut other = ring_spec(12);
+        other.failures =
+            ftmpi_core::FailurePlan::node_kill_at(ftmpi_sim::SimTime::from_nanos(5), 2);
+        assert_ne!(key(&base), key(&other));
+
+        use ftmpi_net::{NetFaultPlan, NodeId};
+        use ftmpi_sim::SimTime;
+        let mut other = ring_spec(12);
+        other.net_faults =
+            NetFaultPlan::none().with_link_down(SimTime::from_nanos(5), NodeId(0), NodeId(1));
+        assert_ne!(key(&base), key(&other));
+
+        let mut degraded = ring_spec(12);
+        degraded.net_faults = NetFaultPlan::none().with_link_degrade(
+            SimTime::from_nanos(5),
+            NodeId(0),
+            NodeId(1),
+            2.0,
+        );
+        assert_ne!(key(&base), key(&degraded));
+        let mut degraded_other = ring_spec(12);
+        degraded_other.net_faults = NetFaultPlan::none().with_link_degrade(
+            SimTime::from_nanos(5),
+            NodeId(0),
+            NodeId(1),
+            f64::from_bits(2.0f64.to_bits() + 1),
+        );
+        // A one-ulp factor difference is a different configuration.
+        assert_ne!(key(&degraded), key(&degraded_other));
+
+        let mut other = ring_spec(12);
+        other.net_faults =
+            NetFaultPlan::none().with_partition("p", vec![NodeId(0)], SimTime::from_nanos(5), None);
+        assert_ne!(key(&base), key(&other));
+        let mut healed = ring_spec(12);
+        healed.net_faults = NetFaultPlan::none().with_partition(
+            "p",
+            vec![NodeId(0)],
+            SimTime::from_nanos(5),
+            Some(SimTime::from_nanos(9)),
+        );
+        assert_ne!(key(&other), key(&healed));
     }
 
     #[test]
@@ -740,6 +935,59 @@ mod tests {
         let cache = MemoCache::persistent(&scratch.0);
         assert_eq!(cache.get_blob("np/k").as_deref(), Some(payload.as_str()));
         assert_eq!(cache.disk_hits(), 1);
+    }
+
+    #[test]
+    fn prune_removes_garbage_and_keeps_valid_entries() {
+        let scratch = ScratchDir::new("prune");
+        // Two valid entries: one result, one blob.
+        {
+            let cache = MemoCache::persistent(&scratch.0);
+            let mut r = SweepRunner::new(1).with_cache(Arc::clone(&cache));
+            r.add_spec("job", "ring12", ring_spec(12));
+            r.run_detailed().pop().unwrap().result.unwrap();
+            cache.put_blob("np/k".into(), "1,2,3\n".into());
+        }
+        // Garbage: an orphaned temp file, a corrupt entry, a stranger file.
+        std::fs::write(scratch.0.join(".tmp-999-0"), "half-written").unwrap();
+        std::fs::write(
+            scratch.0.join(format!("r-{}", key_hash("bogus"))),
+            "not a cache entry",
+        )
+        .unwrap();
+        std::fs::write(scratch.0.join("README"), "hands off").unwrap();
+
+        let report = prune_cache(&scratch.0, None).unwrap();
+        assert_eq!(report.scanned, 5);
+        assert_eq!(report.removed, 2, "temp + corrupt go, stranger stays");
+        assert_eq!(report.kept, 2);
+        assert!(scratch.0.join("README").exists());
+        // The surviving entries still decode.
+        let cache = MemoCache::persistent(&scratch.0);
+        let key = spec_fingerprint("ring12", &ring_spec(12));
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.get_blob("np/k").as_deref(), Some("1,2,3\n"));
+    }
+
+    #[test]
+    fn prune_budget_evicts_down_to_max_bytes() {
+        let scratch = ScratchDir::new("prune-budget");
+        let cache = MemoCache::persistent(&scratch.0);
+        for i in 0..4u64 {
+            cache.put_blob(format!("blob/{i}"), "x".repeat(64));
+        }
+        let full = prune_cache(&scratch.0, None).unwrap();
+        assert_eq!(full.kept, 4);
+        let budget = full.bytes_after / 2;
+        let report = prune_cache(&scratch.0, Some(budget)).unwrap();
+        assert!(report.bytes_after <= budget);
+        assert!(report.kept < 4 && report.removed > 0);
+        // A zero budget empties the cache; a missing dir is fine.
+        let report = prune_cache(&scratch.0, Some(0)).unwrap();
+        assert_eq!(report.kept, 0);
+        assert_eq!(report.bytes_after, 0);
+        let report = prune_cache(&scratch.0.join("nonexistent"), Some(0)).unwrap();
+        assert_eq!(report, PruneReport::default());
     }
 
     #[test]

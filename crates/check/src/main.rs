@@ -9,10 +9,12 @@
 //! * `smoke` — run the CI probe set (both protocols, 8 ranks, one
 //!   failure each) through the invariant checker, plus a perturbation
 //!   pass over seeded tiebreak schedules. Exits non-zero on violations.
-//! * `storm [--smoke]` — seeded fault-injection campaigns: rank kills and
-//!   checkpoint-server failures aimed at mid-wave, mid-recovery, and
-//!   detection-lag windows, every run re-checked against the trace
-//!   invariants. `--smoke` runs the reduced CI seed set.
+//! * `storm [--smoke]` — seeded fault-injection campaigns: rank kills,
+//!   checkpoint-server failures, correlated node deaths, and network
+//!   partitions aimed at mid-wave, mid-recovery, and detection-lag
+//!   windows, every run re-checked against the trace invariants. `--smoke`
+//!   runs the reduced CI seed set (the deterministic partition and
+//!   node-kill families run in both modes).
 //! * `figures [--full]` — drive every figure workload family through the
 //!   checker with churn variants. `--full` uses the paper-sized classes.
 
@@ -156,12 +158,15 @@ fn cmd_storm(smoke: bool) -> ExitCode {
     let mut failed = false;
     for o in &outcomes {
         println!(
-            "{:36} waves={:<3} restarts={:<2} aborted={:<2} depth={:<2} lost={:<9.3} {}",
+            "{:40} waves={:<3} restarts={:<2} aborted={:<2} depth={:<2} retries={:<3} \
+             suppr={:<2} lost={:<9.3} {}",
             o.name,
             o.waves,
             o.restarts,
             o.waves_aborted,
             o.rollback_depth_max,
+            o.link_retries,
+            o.partitions_suppressed,
             o.lost_work_secs,
             if o.ok() { "ok" } else { "FAIL" }
         );

@@ -15,13 +15,28 @@
 //! * the server bookkeeping ends with zero orphaned partial images;
 //! * lost work grows monotonically with detection lag.
 //!
+//! Correlated failures and network partitions get their own scenario
+//! families: node kills (every colocated rank and server dies atomically),
+//! partitions that heal inside the heartbeat grace window (the watchdog
+//! must suppress the false positive — zero rollbacks, zero aborted waves),
+//! partitions that outlive it (one correlated rollback of the cut-off
+//! side), and partitions straddling a restart's image fetch (the probe
+//! chain must resume across the heal without duplicating a fetch). On top
+//! of the invariant checker these assert:
+//!
+//! * no wave commits while a partition cuts a participant off;
+//! * link retries stay bounded (no livelock spinning on a dead path);
+//! * a heal inside the grace window causes zero restarts;
+//! * recovery across a heal fetches each image exactly once.
+//!
 //! [`storm_campaign`] runs deterministic scenarios covering each window for
 //! both protocols, then seeded randomized storms whose kill times are
 //! biased toward wave and recovery windows measured from a clean profiling
 //! run of the same workload.
 
 use ftmpi_core::{run_job_with, FailurePlan, JobSpec, ProtocolChoice, RunOptions};
-use ftmpi_sim::{ProtoEvent, SimDuration, SimTime, TraceKind};
+use ftmpi_net::{NetFaultPlan, NodeId};
+use ftmpi_sim::{ProtoEvent, SimDuration, SimTime, TraceEvent, TraceKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,6 +61,12 @@ pub struct StormOutcome {
     pub lost_work_secs: f64,
     /// Partial images left in the server bookkeeping at the end.
     pub orphan_images_end: u64,
+    /// Flow chunks / restore probes that paused on an unreachable path.
+    pub link_retries: u64,
+    /// Partition watchdog firings suppressed because the cut healed first.
+    pub partitions_suppressed: u64,
+    /// Images fetched back from servers during restores.
+    pub images_refetched: u64,
     /// The invariant-checker verdict (`None` when the run itself failed).
     pub report: Option<CheckReport>,
     /// Scenario assertions that did not hold, including run errors.
@@ -141,6 +162,14 @@ fn stream_spec() -> JobSpec {
 /// campaign-wide robustness assertions (bounded rollback, empty server
 /// bookkeeping).
 pub fn run_storm(name: &str, spec: JobSpec) -> StormOutcome {
+    run_storm_traced(name, spec).0
+}
+
+/// Like [`run_storm`] but hands the protocol trace back too, so scenario
+/// code can assert time-window properties (no wave commits across a
+/// partition cut) on top of the campaign-wide checks. The trace is empty
+/// when the run itself failed.
+pub fn run_storm_traced(name: &str, spec: JobSpec) -> (StormOutcome, Vec<TraceEvent>) {
     let nranks = spec.nranks;
     let protocol = spec.protocol;
     let retained = spec.ft.retained_waves.max(1) as u64;
@@ -160,6 +189,9 @@ pub fn run_storm(name: &str, spec: JobSpec) -> StormOutcome {
                 rollback_depth_max: res.ft.rollback_depth_max,
                 lost_work_secs: res.ft.lost_work_secs(),
                 orphan_images_end: res.ft.orphan_images_end,
+                link_retries: res.rt.link_retries,
+                partitions_suppressed: res.ft.partitions_suppressed,
+                images_refetched: res.ft.images_refetched,
                 report: Some(check_trace(protocol, nranks, &trace)),
                 failures: Vec::new(),
             };
@@ -173,19 +205,12 @@ pub fn run_storm(name: &str, spec: JobSpec) -> StormOutcome {
                 orphans == 0,
                 format!("{orphans} orphan image(s) left in the server bookkeeping"),
             );
-            o
+            (o, trace)
         }
-        Err(e) => StormOutcome {
-            name: name.to_string(),
-            waves: 0,
-            restarts: 0,
-            waves_aborted: 0,
-            rollback_depth_max: 0,
-            lost_work_secs: 0.0,
-            orphan_images_end: 0,
-            report: None,
-            failures: vec![format!("run failed: {e}")],
-        },
+        Err(e) => (
+            profile_failure(name, format!("run failed: {e}")),
+            Vec::new(),
+        ),
     }
 }
 
@@ -198,10 +223,33 @@ fn profile_failure(name: &str, msg: String) -> StormOutcome {
         rollback_depth_max: 0,
         lost_work_secs: 0.0,
         orphan_images_end: 0,
+        link_retries: 0,
+        partitions_suppressed: 0,
+        images_refetched: 0,
         report: None,
         failures: vec![msg],
     }
 }
+
+/// Wave ids whose `WaveCommit` lands strictly inside `(start_ns, end_ns)`.
+fn commits_within(trace: &[TraceEvent], start_ns: u64, end_ns: u64) -> Vec<u64> {
+    trace
+        .iter()
+        .filter_map(|te| match te.kind {
+            TraceKind::Proto(ProtoEvent::WaveCommit { wave })
+                if te.time.as_nanos() > start_ns && te.time.as_nanos() < end_ns =>
+            {
+                Some(wave)
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Retry-boundedness guard: a handful of stalled flows backing off over a
+/// few-second cut land well under this; a zero-delay livelock spinning on a
+/// dead path blows through it immediately.
+const RETRY_BOUND: u64 = 512;
 
 /// Deterministic scenarios for one protocol on the ring workload.
 fn ring_scenarios(proto: ProtocolChoice, out: &mut Vec<StormOutcome>) {
@@ -334,6 +382,287 @@ fn ring_scenarios(proto: ProtocolChoice, out: &mut Vec<StormOutcome>) {
     out.push(o);
 }
 
+/// Partition scenarios for one protocol on the ring workload. Node 0
+/// (hosting rank 0) is split from the rest of the platform — servers,
+/// dispatcher and every peer — so checkpoint pushes, wave control traffic
+/// and restore fetches touching it must pause, retry with bounded backoff,
+/// and resume at heal.
+fn partition_scenarios(proto: ProtocolChoice, out: &mut Vec<StormOutcome>) {
+    let tag = match proto {
+        ProtocolChoice::Pcl => "pcl",
+        _ => "vcl",
+    };
+    let base = ring_spec(proto);
+    let prof = match profile(base.clone()) {
+        Ok(p) => p,
+        Err(e) => {
+            out.push(profile_failure(
+                &format!("storm.partition.profile.{tag}"),
+                e,
+            ));
+            return;
+        }
+    };
+    if prof.waves.len() < 2 {
+        out.push(profile_failure(
+            &format!("storm.partition.profile.{tag}"),
+            format!("clean run committed only {} wave(s)", prof.waves.len()),
+        ));
+        return;
+    }
+    let cut_node = vec![NodeId(0)];
+    let (w0s, _) = prof.waves[0];
+    let (_, w1c) = prof.waves[1];
+
+    // Heal inside the grace window: the cut opens just before wave 0's
+    // first marker so none of rank 0's contribution precedes it, stalls the
+    // wave for 1.5 s, and heals 1.5 s before the 3 s watchdog. A false
+    // positive the layer must fully suppress: no restart, no aborted wave,
+    // no commit across the cut, every stall a bounded link retry, and zero
+    // image fetches (acceptance criterion for partition tolerance).
+    let cut = w0s - 1_000_000;
+    let heal = cut + 1_500_000_000;
+    let mut spec = base.clone();
+    spec.ft = spec.ft.with_partition_rollback_after_secs(3.0);
+    spec.net_faults = NetFaultPlan::none().with_partition(
+        "storm-heal",
+        cut_node.clone(),
+        SimTime::from_nanos(cut),
+        Some(SimTime::from_nanos(heal)),
+    );
+    let (mut o, trace) = run_storm_traced(&format!("storm.partition.heal.{tag}"), spec);
+    let (restarts, aborted, suppressed) = (o.restarts, o.waves_aborted, o.partitions_suppressed);
+    let (retries, refetched, waves) = (o.link_retries, o.images_refetched, o.waves);
+    o.expect(
+        restarts == 0,
+        format!("a cut healing inside the grace window must not restart anyone (got {restarts})"),
+    );
+    o.expect(
+        aborted == 0,
+        format!("a cut healing inside the grace window must not abort a wave (got {aborted})"),
+    );
+    o.expect(
+        suppressed == 1,
+        format!("the watchdog must record exactly one suppressed cut (got {suppressed})"),
+    );
+    o.expect(
+        retries >= 1,
+        "the stalled wave must show link retries".to_string(),
+    );
+    o.expect(
+        retries <= RETRY_BOUND,
+        format!("{retries} link retries for a 1.5 s cut — retry loop unbounded?"),
+    );
+    o.expect(
+        refetched == 0,
+        format!("no restart happened, so no image may be refetched (got {refetched})"),
+    );
+    o.expect(
+        waves >= 1,
+        "the stalled wave must still commit after the heal".to_string(),
+    );
+    let crossing = commits_within(&trace, cut, heal);
+    o.expect(
+        crossing.is_empty(),
+        format!("wave(s) {crossing:?} committed across the partition cut"),
+    );
+    out.push(o);
+
+    // Cut outliving the grace, mid-wave: the watchdog rolls the cut-off
+    // rank back (one correlated restart, the in-flight wave aborted), and
+    // still nothing commits while the cut stands.
+    let heal = cut + 3_000_000_000;
+    let mut spec = base.clone();
+    spec.ft = spec.ft.with_partition_rollback_after_secs(1.0);
+    spec.net_faults = NetFaultPlan::none().with_partition(
+        "storm-rollback",
+        cut_node.clone(),
+        SimTime::from_nanos(cut),
+        Some(SimTime::from_nanos(heal)),
+    );
+    let (mut o, trace) = run_storm_traced(&format!("storm.partition.midwave.{tag}"), spec);
+    let (restarts, aborted, suppressed) = (o.restarts, o.waves_aborted, o.partitions_suppressed);
+    o.expect(
+        restarts == 1,
+        format!("a cut outliving the grace must cost one correlated restart (got {restarts})"),
+    );
+    o.expect(
+        aborted >= 1,
+        "the wave in flight when the watchdog fired must abort".to_string(),
+    );
+    o.expect(
+        suppressed == 0,
+        format!("nothing to suppress when the cut outlives the grace (got {suppressed})"),
+    );
+    let retries = o.link_retries;
+    o.expect(
+        retries <= RETRY_BOUND,
+        format!("{retries} link retries for a 3 s cut — retry loop unbounded?"),
+    );
+    let crossing = commits_within(&trace, cut, heal);
+    o.expect(
+        crossing.is_empty(),
+        format!("wave(s) {crossing:?} committed across the partition cut"),
+    );
+    out.push(o);
+
+    // Cut outliving the grace in the quiet zone after a commit: the
+    // watchdog restart needs rank 0's image back from its server, but the
+    // rank is still cut off when the fetch first tries to reserve (the cut
+    // covers watchdog + restart delay) — the fetch rides the probe chain
+    // and lands after the heal (partition healing mid-recovery). Exactly
+    // one fetch.
+    let cut = w1c + 300_000_000;
+    let heal = cut + 6_000_000_000;
+    let mut spec = base.clone();
+    spec.ft = spec.ft.with_partition_rollback_after_secs(1.0);
+    spec.net_faults = NetFaultPlan::none().with_partition(
+        "storm-recovery",
+        cut_node.clone(),
+        SimTime::from_nanos(cut),
+        Some(SimTime::from_nanos(heal)),
+    );
+    let (mut o, trace) = run_storm_traced(&format!("storm.partition.recovery.{tag}"), spec);
+    let (restarts, refetched, retries) = (o.restarts, o.images_refetched, o.link_retries);
+    o.expect(
+        restarts == 1,
+        format!("expected the watchdog's single correlated restart, got {restarts}"),
+    );
+    o.expect(
+        refetched == 1,
+        format!("the blocked restore must fetch the victim's image exactly once (got {refetched})"),
+    );
+    o.expect(
+        retries >= 1,
+        "the blocked restore fetch must show probe retries".to_string(),
+    );
+    o.expect(
+        retries <= RETRY_BOUND,
+        format!("{retries} link retries for a 6 s cut — retry loop unbounded?"),
+    );
+    let crossing = commits_within(&trace, cut, heal);
+    o.expect(
+        crossing.is_empty(),
+        format!("wave(s) {crossing:?} committed across the partition cut"),
+    );
+    out.push(o);
+
+    // Rank kill with its node partitioned across the restart window (the
+    // cut covers the kill and the fetch's first reservation attempt),
+    // against a partition-free control: the probe chain must not duplicate
+    // the image fetch — both runs fetch exactly the same number of images.
+    let k = w1c + 500_000_000;
+    let mut control = base.clone();
+    control.failures = FailurePlan::kill_at(SimTime::from_nanos(k), 1);
+    let mut c = run_storm(&format!("storm.partition.fetchdup.control.{tag}"), control);
+    let (restarts, retries) = (c.restarts, c.link_retries);
+    c.expect(restarts == 1, format!("expected 1 restart, got {restarts}"));
+    c.expect(
+        retries == 0,
+        format!("the partition-free control saw {retries} link retries"),
+    );
+    let control_refetched = c.images_refetched;
+    out.push(c);
+    let mut spec = base.clone();
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(k), 1);
+    spec.net_faults = NetFaultPlan::none().with_partition(
+        "storm-fetchdup",
+        vec![NodeId(1)],
+        SimTime::from_nanos(k - 200_000_000),
+        Some(SimTime::from_nanos(k + 4_200_000_000)),
+    );
+    let mut o = run_storm(&format!("storm.partition.fetchdup.{tag}"), spec);
+    let (restarts, retries, refetched) = (o.restarts, o.link_retries, o.images_refetched);
+    o.expect(restarts == 1, format!("expected 1 restart, got {restarts}"));
+    o.expect(
+        retries >= 1,
+        "the partitioned fetch must ride the probe chain".to_string(),
+    );
+    o.expect(
+        refetched == control_refetched,
+        format!(
+            "recovery across the heal fetched {refetched} image(s), control fetched \
+             {control_refetched} — duplicate fetch after heal"
+        ),
+    );
+    out.push(o);
+}
+
+/// Correlated node-death scenarios for one protocol: a node kill takes out
+/// everything the node hosted in one atomic event.
+fn node_kill_scenarios(proto: ProtocolChoice, out: &mut Vec<StormOutcome>) {
+    let tag = match proto {
+        ProtocolChoice::Pcl => "pcl",
+        _ => "vcl",
+    };
+
+    // Colocated ranks: two ranks per node (threshold forced down), so one
+    // node death kills both in a single correlated restart.
+    let mut base = ring_spec(proto);
+    base.single_threshold = 4;
+    match profile(base.clone()) {
+        Ok(prof) if !prof.waves.is_empty() => {
+            let (_, w0c) = prof.waves[0];
+            let mut spec = base.clone();
+            spec.failures = FailurePlan::node_kill_at(SimTime::from_nanos(w0c + 500_000_000), 0);
+            let mut o = run_storm(&format!("storm.nodekill.colocated.{tag}"), spec);
+            let (restarts, refetched) = (o.restarts, o.images_refetched);
+            o.expect(
+                restarts == 1,
+                format!("both colocated ranks must die in one correlated restart (got {restarts})"),
+            );
+            o.expect(
+                refetched == 2,
+                format!("both colocated victims must refetch their image (got {refetched})"),
+            );
+            out.push(o);
+        }
+        Ok(prof) => out.push(profile_failure(
+            &format!("storm.nodekill.colocated.{tag}"),
+            format!("clean run committed only {} wave(s)", prof.waves.len()),
+        )),
+        Err(e) => out.push(profile_failure(
+            &format!("storm.nodekill.colocated.{tag}"),
+            e,
+        )),
+    }
+
+    // Server node and rank node die together, and the dead server held the
+    // victim's only replica (round-robin puts every one of rank 0's images
+    // on server 0): the restore must roll back past every retained wave.
+    let base = ring_spec(proto);
+    match profile(base.clone()) {
+        Ok(prof) if prof.waves.len() >= 2 => {
+            let (_, w1c) = prof.waves[1];
+            let t = SimTime::from_nanos(w1c + 300_000_000);
+            let mut spec = base.clone();
+            spec.ft = spec.ft.with_retained_waves(2);
+            // Node 8 hosts server 0; node 0 hosts rank 0 (its client).
+            spec.failures = FailurePlan::node_kill_at(t, 8).with_node_kill(t, 0);
+            let mut o = run_storm(&format!("storm.nodekill.soloreplica.{tag}"), spec);
+            let (restarts, depth) = (o.restarts, o.rollback_depth_max);
+            o.expect(
+                restarts == 1,
+                format!("expected one correlated restart, got {restarts}"),
+            );
+            o.expect(
+                depth >= 1,
+                "losing the victim's only replica server must roll back past the newest wave"
+                    .to_string(),
+            );
+            out.push(o);
+        }
+        Ok(prof) => out.push(profile_failure(
+            &format!("storm.nodekill.soloreplica.{tag}"),
+            format!("clean run committed only {} wave(s)", prof.waves.len()),
+        )),
+        Err(e) => out.push(profile_failure(
+            &format!("storm.nodekill.soloreplica.{tag}"),
+            e,
+        )),
+    }
+}
+
 /// Build a seeded random failure schedule biased toward the measured wave
 /// windows (partial-image exposure) and recovery windows (nested restarts).
 fn random_plan(rng: &mut StdRng, prof: &CleanProfile, spec: &JobSpec) -> FailurePlan {
@@ -433,13 +762,19 @@ fn stream_scenario(out: &mut Vec<StormOutcome>) {
 }
 
 /// Run the whole campaign: deterministic window scenarios for both
-/// protocols, the stream variant, and seeded randomized storms (`smoke`
-/// uses fewer seeds; CI runs the smoke set).
+/// protocols (kills, partitions, node deaths), the stream variant, and
+/// seeded randomized storms (`smoke` uses fewer seeds; CI runs the smoke
+/// set — the partition and node-kill families are deterministic and run in
+/// both modes).
 pub fn storm_campaign(smoke: bool) -> Vec<StormOutcome> {
     let seeds: &[u64] = if smoke { &[1, 2] } else { &[1, 2, 3, 4, 5] };
     let mut out = Vec::new();
     for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
         ring_scenarios(proto, &mut out);
+    }
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        partition_scenarios(proto, &mut out);
+        node_kill_scenarios(proto, &mut out);
     }
     stream_scenario(&mut out);
     for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {

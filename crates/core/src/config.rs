@@ -64,6 +64,28 @@ pub struct FtConfig {
     /// lets a restore fall back to an older wave when a server failure
     /// made the newest one unavailable.
     pub retained_waves: usize,
+    /// First retry delay after a checkpoint stream or restore fetch finds
+    /// its peer unreachable (link down or partition). Doubles per attempt
+    /// up to [`link_retry_cap`](FtConfig::link_retry_cap). Irrelevant
+    /// while no network faults are scheduled: reachability never fails.
+    pub link_retry_base: SimDuration,
+    /// Ceiling on the exponential retry backoff.
+    pub link_retry_cap: SimDuration,
+    /// Consecutive failed probes of one destination before the caller
+    /// gives up on it (image pushes fall back to the next replica server;
+    /// restore fetches walk to the next image source; a rank with no
+    /// sources left fails the job).
+    pub link_retry_limit: u32,
+    /// How long the dispatcher tolerates ranks being cut off by a
+    /// partition before declaring them failed and rolling the survivors
+    /// back. `None` (the default) models an operator-grade detector that
+    /// always waits the partition out: flows pause and retry, and a heal
+    /// causes *no* rollback. `Some(grace)` arms a watchdog per partition
+    /// cut: if the cut outlives `grace` the cut-off ranks are treated as
+    /// dead (same path as [`detection_delay`](FtConfig::detection_delay)
+    /// kills); if it heals first, the watchdog finds the epoch unchanged
+    /// and suppresses the false positive.
+    pub partition_rollback_after: Option<SimDuration>,
 }
 
 impl Default for FtConfig {
@@ -84,6 +106,10 @@ impl Default for FtConfig {
             detection_delay: SimDuration::ZERO,
             replicas: 1,
             retained_waves: 1,
+            link_retry_base: SimDuration::from_millis(50),
+            link_retry_cap: SimDuration::from_secs(2),
+            link_retry_limit: 8,
+            partition_rollback_after: None,
         }
     }
 }
@@ -118,6 +144,30 @@ impl FtConfig {
         self.retained_waves = n;
         self
     }
+
+    /// Convenience: set the link-retry backoff schedule (first delay,
+    /// cap, and per-destination attempt budget).
+    pub fn with_link_retry(mut self, base: SimDuration, cap: SimDuration, limit: u32) -> Self {
+        self.link_retry_base = base;
+        self.link_retry_cap = cap;
+        self.link_retry_limit = limit;
+        self
+    }
+
+    /// Convenience: arm the partition watchdog with a grace period in
+    /// seconds (cuts outliving it roll the survivors back).
+    pub fn with_partition_rollback_after_secs(mut self, s: f64) -> Self {
+        self.partition_rollback_after = Some(SimDuration::from_secs_f64(s));
+        self
+    }
+
+    /// The retry delay before attempt `attempt` (0-based): `base · 2^attempt`,
+    /// capped. Saturates instead of overflowing for absurd attempt counts.
+    pub fn link_retry_delay(&self, attempt: u32) -> SimDuration {
+        let base = self.link_retry_base.max(SimDuration::from_nanos(1));
+        let mult = 1u64 << attempt.min(32);
+        (base * mult).min(self.link_retry_cap.max(base))
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +200,48 @@ mod tests {
         assert_eq!(cfg.detection_delay, SimDuration::from_secs_f64(0.5));
         assert_eq!(cfg.replicas, 2);
         assert_eq!(cfg.retained_waves, 3);
+    }
+
+    #[test]
+    fn network_fault_knobs_default_off_and_build() {
+        let cfg = FtConfig::default();
+        // Defaults: retries exist but never trigger without scheduled
+        // faults, and the partition watchdog is disarmed.
+        assert_eq!(cfg.link_retry_base, SimDuration::from_millis(50));
+        assert_eq!(cfg.link_retry_cap, SimDuration::from_secs(2));
+        assert_eq!(cfg.link_retry_limit, 8);
+        assert!(cfg.partition_rollback_after.is_none());
+        let cfg = cfg
+            .with_link_retry(
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(80),
+                3,
+            )
+            .with_partition_rollback_after_secs(5.0);
+        assert_eq!(cfg.link_retry_limit, 3);
+        assert_eq!(
+            cfg.partition_rollback_after,
+            Some(SimDuration::from_secs(5))
+        );
+    }
+
+    #[test]
+    fn link_retry_delay_doubles_and_caps() {
+        let cfg = FtConfig::default().with_link_retry(
+            SimDuration::from_millis(50),
+            SimDuration::from_secs(2),
+            8,
+        );
+        assert_eq!(cfg.link_retry_delay(0), SimDuration::from_millis(50));
+        assert_eq!(cfg.link_retry_delay(1), SimDuration::from_millis(100));
+        assert_eq!(cfg.link_retry_delay(5), SimDuration::from_millis(1600));
+        // 50ms · 2^6 = 3.2s caps at 2s, and stays capped forever after.
+        assert_eq!(cfg.link_retry_delay(6), SimDuration::from_secs(2));
+        assert_eq!(cfg.link_retry_delay(63), SimDuration::from_secs(2));
+        // Degenerate inputs stay sane: a zero base becomes 1 ns, a cap
+        // below the base is lifted to the base.
+        let z = FtConfig::default().with_link_retry(SimDuration::ZERO, SimDuration::ZERO, 1);
+        assert_eq!(z.link_retry_delay(0), SimDuration::from_nanos(1));
+        assert_eq!(z.link_retry_delay(40), SimDuration::from_nanos(1));
     }
 }

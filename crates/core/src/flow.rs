@@ -12,10 +12,26 @@
 //! All entry points take `&mut World`: the caller already holds the world
 //! lock (the lock is not reentrant); only *later* chunks re-acquire it from
 //! their scheduled events.
+//!
+//! ## Network faults
+//!
+//! Every chunk (and every control message) checks
+//! [`reachable`](ftmpi_net::NetModel::reachable) before reserving the path.
+//! An unreachable destination *pauses* the flow — the chunk is not dropped;
+//! a backoff probe re-checks with capped exponential delays
+//! ([`FlowRetry`]), counting `rt.stats.link_retries`. Plain flows and
+//! control messages retry until the fault clears (a TCP stream blocked by
+//! a partition just stalls); [`start_flow_guarded`] flows carry an attempt
+//! budget and surrender to an `on_fail` hook when it runs out (checkpoint
+//! pushes fall back to the next replica server). With no scheduled faults
+//! `reachable` is always true and every code path is byte-identical to the
+//! fault-free model.
 
 use ftmpi_mpi::World;
 use ftmpi_net::NodeId;
 use ftmpi_sim::{SimCtx, SimDuration, SimTime};
+
+use crate::config::FtConfig;
 
 /// Parameters of one background flow.
 #[derive(Debug, Clone)]
@@ -33,6 +49,8 @@ pub struct FlowSpec {
 }
 
 type DoneFn = Box<dyn FnOnce(&mut World, &SimCtx, SimTime) + Send>;
+type FailFn = Box<dyn FnOnce(&mut World, &SimCtx) + Send>;
+type ArrivalFn = Box<dyn FnOnce(&mut World, &SimCtx) + Send>;
 
 /// Tiebreak-lane namespace for flow-chunk events, disjoint from process
 /// lanes by the high bit (a collision would only merge lanes, which is
@@ -43,9 +61,59 @@ const FLOW_LANE_BASE: u64 = 1 << 63;
 /// streams contend FIFO for the destination server's ingest queue, so the
 /// order of their same-instant chunk reservations is arbitration state that
 /// a perturbation seed must not scramble (it would swap which rank's image
-/// lands last and move the wave-commit instant).
-fn flow_lane(dst: NodeId) -> u64 {
+/// lands last and move the wave-commit instant). Retry probes aimed at
+/// `dst` share the lane, so a probe landing on the same instant as a
+/// scheduled fault transition keeps a deterministic canonical order.
+pub(crate) fn flow_lane(dst: NodeId) -> u64 {
     FLOW_LANE_BASE | dst.0 as u64
+}
+
+/// Backoff policy a flow applies while its destination is unreachable.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowRetry {
+    /// Delay before the first probe; doubles per consecutive failure.
+    pub base: SimDuration,
+    /// Ceiling on the doubled delay.
+    pub cap: SimDuration,
+    /// Consecutive failed probes before the flow gives up (`None`: retry
+    /// until the fault clears — the pure pause semantic).
+    pub limit: Option<u32>,
+}
+
+impl FlowRetry {
+    /// The unbounded pause policy with the default backoff constants,
+    /// used by control messages which have no per-job config in scope.
+    /// Matches the `FtConfig` defaults.
+    pub const PAUSE: FlowRetry = FlowRetry {
+        base: SimDuration::from_millis(50),
+        cap: SimDuration::from_secs(2),
+        limit: None,
+    };
+
+    /// Bounded policy from the job's retry knobs: after
+    /// `link_retry_limit` consecutive failures the flow's `on_fail` hook
+    /// fires.
+    pub fn bounded(cfg: &FtConfig) -> FlowRetry {
+        FlowRetry {
+            base: cfg.link_retry_base,
+            cap: cfg.link_retry_cap,
+            limit: Some(cfg.link_retry_limit),
+        }
+    }
+
+    /// Unbounded policy with the job's backoff constants.
+    pub fn unbounded(cfg: &FtConfig) -> FlowRetry {
+        FlowRetry {
+            limit: None,
+            ..FlowRetry::bounded(cfg)
+        }
+    }
+
+    /// Delay before 0-based probe `attempt`: `base · 2^attempt`, capped.
+    pub fn delay(&self, attempt: u32) -> SimDuration {
+        let base = self.base.max(SimDuration::from_nanos(1));
+        (base * (1u64 << attempt.min(32))).min(self.cap.max(base))
+    }
 }
 
 /// Start a flow; `on_done(world, sc, finish_time)` runs when the last chunk
@@ -67,11 +135,43 @@ pub fn start_flow(
     spec: FlowSpec,
     on_done: impl FnOnce(&mut World, &SimCtx, SimTime) + Send + 'static,
 ) {
+    start_flow_inner(w, sc, spec, FlowRetry::PAUSE, None, Box::new(on_done));
+}
+
+/// Like [`start_flow`], but with an explicit retry budget: when the
+/// destination stays unreachable for `retry.limit` consecutive probes the
+/// flow surrenders and `on_fail(world, sc)` runs instead of `on_done`
+/// (checkpoint pushes use this to fall back to the next replica server).
+pub fn start_flow_guarded(
+    w: &mut World,
+    sc: &SimCtx,
+    spec: FlowSpec,
+    retry: FlowRetry,
+    on_fail: impl FnOnce(&mut World, &SimCtx) + Send + 'static,
+    on_done: impl FnOnce(&mut World, &SimCtx, SimTime) + Send + 'static,
+) {
+    start_flow_inner(
+        w,
+        sc,
+        spec,
+        retry,
+        Some(Box::new(on_fail)),
+        Box::new(on_done),
+    );
+}
+
+fn start_flow_inner(
+    w: &mut World,
+    sc: &SimCtx,
+    spec: FlowSpec,
+    retry: FlowRetry,
+    on_fail: Option<FailFn>,
+    on_done: DoneFn,
+) {
     let epoch = w.rt.epoch;
     let at = sc.now() + SimDuration::from_nanos(spec.src.0 as u64);
     let handle = w.rt.world_handle();
     let lane = Some(flow_lane(spec.dst));
-    let on_done: DoneFn = Box::new(on_done);
     sc.schedule_keyed(at, lane, move |sc| {
         let Some(strong) = handle.upgrade() else {
             return;
@@ -80,21 +180,63 @@ pub fn start_flow(
         if w.rt.epoch != epoch {
             return; // the failure beat the stream's first byte
         }
-        advance_chunk(&mut w, sc, spec, 0, epoch, on_done);
+        advance_chunk(&mut w, sc, spec, 0, epoch, retry, 0, on_fail, on_done);
     });
 }
 
+#[allow(clippy::too_many_arguments)] // private recursion carrying flow state
 fn advance_chunk(
     w: &mut World,
     sc: &SimCtx,
     spec: FlowSpec,
     sent: u64,
     epoch: u64,
+    retry: FlowRetry,
+    attempt: u32,
+    on_fail: Option<FailFn>,
     on_done: DoneFn,
 ) {
     if sent >= spec.bytes {
         let now = sc.now();
         on_done(w, sc, now);
+        return;
+    }
+    let handle = w.rt.world_handle();
+    let lane = Some(flow_lane(spec.dst));
+    if !w.rt.net.reachable(spec.src, spec.dst) {
+        // Paused by a link fault or partition: nothing is dropped, the
+        // stream just stalls. Probe again after a capped exponential
+        // backoff — or surrender to `on_fail` once the budget is spent.
+        if let Some(limit) = retry.limit {
+            if attempt >= limit {
+                if let Some(f) = on_fail {
+                    f(w, sc);
+                }
+                return;
+            }
+        }
+        w.rt.stats.link_retries += 1;
+        let probe_at = sc.now() + retry.delay(attempt);
+        sc.schedule_keyed(probe_at, lane, move |sc| {
+            let Some(strong) = handle.upgrade() else {
+                return;
+            };
+            let mut w = strong.lock();
+            if w.rt.epoch != epoch {
+                return;
+            }
+            advance_chunk(
+                &mut w,
+                sc,
+                spec,
+                sent,
+                epoch,
+                retry,
+                attempt + 1,
+                on_fail,
+                on_done,
+            );
+        });
         return;
     }
     let len = spec.chunk.max(1).min(spec.bytes - sent);
@@ -108,8 +250,6 @@ fn advance_chunk(
     } else {
         net_done
     };
-    let handle = w.rt.world_handle();
-    let lane = Some(flow_lane(spec.dst));
     sc.schedule_keyed(done, lane, move |sc| {
         let Some(strong) = handle.upgrade() else {
             return;
@@ -118,7 +258,19 @@ fn advance_chunk(
         if w.rt.epoch != epoch {
             return; // stream died with the failure
         }
-        advance_chunk(&mut w, sc, spec, sent + len, epoch, on_done);
+        // A delivered chunk proves the link: the next stall starts a
+        // fresh backoff ladder.
+        advance_chunk(
+            &mut w,
+            sc,
+            spec,
+            sent + len,
+            epoch,
+            retry,
+            0,
+            on_fail,
+            on_done,
+        );
     });
 }
 
@@ -137,9 +289,44 @@ pub fn send_control(
     lane: Option<u64>,
     on_arrival: impl FnOnce(&mut World, &SimCtx) + Send + 'static,
 ) {
+    send_control_attempt(w, sc, src, dst, bytes, lane, 0, Box::new(on_arrival));
+}
+
+/// One delivery attempt of a control message. While the destination is
+/// unreachable the message waits — heartbeats and markers blocked by a
+/// partition arrive late rather than never — re-probing with the default
+/// unbounded backoff ([`FlowRetry::PAUSE`]).
+#[allow(clippy::too_many_arguments)] // private recursion carrying retry state
+fn send_control_attempt(
+    w: &mut World,
+    sc: &SimCtx,
+    src: NodeId,
+    dst: NodeId,
+    bytes: u64,
+    lane: Option<u64>,
+    attempt: u32,
+    on_arrival: ArrivalFn,
+) {
     let epoch = w.rt.epoch;
-    let at = w.rt.net.transfer(src, dst, bytes, sc.now()).delivered;
     let handle = w.rt.world_handle();
+    if !w.rt.net.reachable(src, dst) {
+        w.rt.stats.link_retries += 1;
+        let probe_at = sc.now() + FlowRetry::PAUSE.delay(attempt);
+        // Probes keep the caller's lane: a retried marker still races the
+        // same per-rank traffic it raced on first emission.
+        sc.schedule_keyed(probe_at, lane, move |sc| {
+            let Some(strong) = handle.upgrade() else {
+                return;
+            };
+            let mut w = strong.lock();
+            if w.rt.epoch != epoch {
+                return;
+            }
+            send_control_attempt(&mut w, sc, src, dst, bytes, lane, attempt + 1, on_arrival);
+        });
+        return;
+    }
+    let at = w.rt.net.transfer(src, dst, bytes, sc.now()).delivered;
     sc.schedule_keyed(at, lane, move |sc| {
         let Some(strong) = handle.upgrade() else {
             return;

@@ -35,7 +35,7 @@ use ftmpi_sim::{SimCtx, SimTime};
 
 use crate::config::FtConfig;
 use crate::deploy::Deployment;
-use crate::flow::{send_control, start_flow, FlowSpec};
+use crate::flow::{send_control, start_flow_guarded, FlowRetry, FlowSpec};
 use crate::image::{RankImage, WaveRecord};
 use crate::server::{replica_targets, CheckpointStore, StoredImage};
 use crate::stats::{FtStats, WaveTiming};
@@ -184,6 +184,13 @@ impl Pcl {
     /// rank still synchronizing would hang forever.
     pub(crate) fn on_server_failed(w: &mut World, sc: &SimCtx, node: NodeId) {
         Pcl::with(w, |pcl, _| pcl.store.fail_server(node));
+        Pcl::abort_wave_and_rearm(w, sc);
+    }
+
+    /// Abort the in-flight wave (if any), release its held queues, and
+    /// re-arm the periodic timer while live servers remain. The tail shared
+    /// by [`Pcl::on_server_failed`] and the network-fault push fallback.
+    fn abort_wave_and_rearm(w: &mut World, sc: &SimCtx) {
         let taken = Pcl::with(w, |pcl, _| {
             pcl.cur.take().map(|cur| {
                 pcl.stats.waves_aborted += 1;
@@ -509,9 +516,85 @@ impl Pcl {
             w.rt.deliver_to_matching(sc, msg);
         }
         for (spec, wave, server) in image_flows {
-            start_flow(w, sc, spec, move |w, sc, done_at| {
-                Pcl::image_stored(w, sc, rank, wave, server, done_at);
-            });
+            Pcl::start_image_stream(w, sc, spec, rank, wave, server);
+        }
+    }
+
+    /// Launch one replica stream of `rank`'s wave-`wave` image toward
+    /// `server`, under the job's bounded retry budget: if the target stays
+    /// unreachable behind a link fault or partition the push surrenders to
+    /// [`Pcl::image_push_failed`] and falls back to another replica.
+    fn start_image_stream(
+        w: &mut World,
+        sc: &SimCtx,
+        spec: FlowSpec,
+        rank: Rank,
+        wave: u64,
+        server: NodeId,
+    ) {
+        let retry = Pcl::with(w, |pcl, _| FlowRetry::bounded(&pcl.cfg));
+        let fail_spec = spec.clone();
+        start_flow_guarded(
+            w,
+            sc,
+            spec,
+            retry,
+            move |w, sc| Pcl::image_push_failed(w, sc, rank, wave, fail_spec),
+            move |w, sc, done_at| Pcl::image_stored(w, sc, rank, wave, server, done_at),
+        );
+    }
+
+    /// A replica stream of `rank`'s image spent its whole retry budget
+    /// against an unreachable server. Reroute the push to the next server
+    /// that is live, reachable from the source node, and not already
+    /// holding this image (the streaming drag persists — the channel is
+    /// still busy); with no such server the wave can never commit, so
+    /// abort it, release its held queues, and re-arm the timer.
+    fn image_push_failed(w: &mut World, sc: &SimCtx, rank: Rank, wave: u64, spec: FlowSpec) {
+        enum Fallback {
+            Stale,
+            Reroute(NodeId),
+            Abort,
+        }
+        let fb = Pcl::with(w, |pcl, rt| {
+            let current = pcl
+                .cur
+                .as_ref()
+                .is_some_and(|cur| cur.rec.wave == wave && cur.image_flows_left[rank] > 0);
+            if !current {
+                // Stale stream (wave aborted meanwhile): the channel is
+                // idle again.
+                rt.ranks[rank].op_drag = ftmpi_sim::SimDuration::ZERO;
+                return Fallback::Stale;
+            }
+            let fleet = &pcl.server_nodes;
+            let pos = fleet.iter().position(|n| *n == spec.dst).unwrap_or(0);
+            let replacement = (1..fleet.len())
+                .map(|i| fleet[(pos + i) % fleet.len()])
+                .find(|&cand| {
+                    !pcl.store.server_failed(cand)
+                        && rt.net.reachable(spec.src, cand)
+                        && !pcl.store.server_holds(wave, rank, cand)
+                });
+            match replacement {
+                Some(cand) => {
+                    pcl.stats.images_rerouted += 1;
+                    Fallback::Reroute(cand)
+                }
+                None => {
+                    // This rank's stream dies here; its drag ends with it.
+                    rt.ranks[rank].op_drag = ftmpi_sim::SimDuration::ZERO;
+                    Fallback::Abort
+                }
+            }
+        });
+        match fb {
+            Fallback::Stale => {}
+            Fallback::Reroute(cand) => {
+                let new_spec = FlowSpec { dst: cand, ..spec };
+                Pcl::start_image_stream(w, sc, new_spec, rank, wave, cand);
+            }
+            Fallback::Abort => Pcl::abort_wave_and_rearm(w, sc),
         }
     }
 

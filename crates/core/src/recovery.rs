@@ -18,13 +18,28 @@
 //!   committed wave whose needed images survive, or to scratch;
 //! * **nested restarts**: a kill landing mid-recovery restarts the restart
 //!   cleanly — stale respawns and delayed-send launches die on the epoch
-//!   guard, so nothing double-counts.
+//!   guard, so nothing double-counts;
+//! * **correlated failures** ([`inject_kill_many`]): a node death kills
+//!   every colocated rank atomically — one detection event, one restart,
+//!   not a cascade of nested restarts;
+//! * **network partitions** ([`partition_cut`]): a partition does not kill
+//!   anything by itself. Heartbeats to the cut-off side just stall, and
+//!   only if the cut outlives the grace window
+//!   (`FtConfig::partition_rollback_after`) does the dispatcher declare
+//!   the unreachable ranks failed. A cut that heals inside the window is
+//!   *suppressed* — zero rollbacks, counted in
+//!   `FtStats::partitions_suppressed`. Image fetches blocked by an active
+//!   fault retry with capped exponential backoff and fall back to the next
+//!   replica before giving up.
 
-use ftmpi_mpi::{spawn_rank, AppFn, RankStatus, World, WorldRef};
+use std::sync::{Arc, Mutex as StdMutex, Weak};
+
+use ftmpi_mpi::{spawn_rank, AppFn, AppMsg, RankStatus, World, WorldRef};
 use ftmpi_net::NodeId;
 use ftmpi_sim::{SimCtx, SimTime};
 
 use crate::config::FtConfig;
+use crate::flow::flow_lane;
 use crate::image::WaveRecord;
 use crate::pcl::Pcl;
 use crate::runner::ProtocolChoice;
@@ -68,6 +83,10 @@ pub(crate) struct RestoreData {
     /// Per-rank server node an image fetch would come from (the replica's
     /// actual location, falling back to the rank's primary server).
     pub image_source: Vec<NodeId>,
+    /// Per-rank *full* replica list, ascending by node id, first entry
+    /// equal to `image_source[r]` whenever the store holds the image. A
+    /// fetch blocked by a network fault walks this list before giving up.
+    pub image_sources: Vec<Vec<NodeId>>,
 }
 
 /// Pick the restore wave and account the rollback: the newest retained
@@ -112,9 +131,23 @@ fn plan_restore(
                 .unwrap_or(server_node_of[r])
         })
         .collect();
+    let image_sources = (0..server_node_of.len())
+        .map(|r| {
+            let all = chosen
+                .as_ref()
+                .map(|rec| store.locate_all(rec.wave, r))
+                .unwrap_or_default();
+            if all.is_empty() {
+                vec![server_node_of[r]]
+            } else {
+                all
+            }
+        })
+        .collect();
     RestoreData {
         wave: chosen,
         image_source,
+        image_sources,
     }
 }
 
@@ -189,25 +222,56 @@ pub fn inject_kill(
     victim: usize,
     ft: &FtConfig,
 ) -> Result<(), RecoveryError> {
+    inject_kill_many(sc, world, app, kind, &[victim], ft)
+}
+
+/// Inject a *correlated* kill: every rank in `victims` dies at the same
+/// instant (a node death takes all its colocated tasks with it). One
+/// detection event covers the whole group — the dispatcher sees the node's
+/// heartbeats vanish together and restarts the job exactly once, instead of
+/// stacking a nested restart per rank. Already-dead victims are absorbed
+/// individually; the kill is a no-op only if *every* victim was already
+/// dead. An empty group is also a no-op — the death of a node hosting no
+/// ranks (a dedicated server machine) is its colocated server failure
+/// alone, not a job restart.
+pub fn inject_kill_many(
+    sc: &SimCtx,
+    world: &WorldRef,
+    app: &AppFn,
+    kind: ProtocolChoice,
+    victims: &[usize],
+    ft: &FtConfig,
+) -> Result<(), RecoveryError> {
+    if victims.is_empty() {
+        return Ok(());
+    }
     if ft.detection_delay.is_zero() {
-        return fail_and_restart(sc, world, app, kind, victim, ft);
+        return fail_and_restart_many(sc, world, app, kind, victims, ft);
     }
     let (handle, epoch) = {
         let mut w = world.lock();
         if w.rt.job_complete() {
             return Ok(());
         }
-        if w.rt.ranks[victim].status == RankStatus::Dead {
-            return Ok(()); // absorbed: the task is already dead
+        let mut killed_any = false;
+        for &victim in victims {
+            if w.rt.ranks[victim].status == RankStatus::Dead {
+                continue; // absorbed: the task is already dead
+            }
+            if let Some(pid) = w.rt.ranks[victim].pid.take() {
+                sc.kill(pid);
+            }
+            w.rt.ranks[victim].status = RankStatus::Dead;
+            killed_any = true;
         }
-        if let Some(pid) = w.rt.ranks[victim].pid.take() {
-            sc.kill(pid);
+        if !killed_any {
+            return Ok(());
         }
-        w.rt.ranks[victim].status = RankStatus::Dead;
         (w.rt.world_handle(), w.rt.epoch)
     };
     let app = app.clone();
     let ft = ft.clone();
+    let victims = victims.to_vec();
     sc.schedule(sc.now() + ft.detection_delay, move |sc| {
         let Some(world) = handle.upgrade() else {
             return;
@@ -215,10 +279,10 @@ pub fn inject_kill(
         {
             let w = world.lock();
             if w.rt.epoch != epoch {
-                return; // a restart already revived the victim
+                return; // a restart already revived the victims
             }
         }
-        if let Err(e) = fail_and_restart(sc, &world, &app, kind, victim, &ft) {
+        if let Err(e) = fail_and_restart_many(sc, &world, &app, kind, &victims, &ft) {
             world.lock().rt.record_fatal(&e.to_string());
         }
     });
@@ -290,6 +354,30 @@ pub fn fail_and_restart(
     victim: usize,
     ft: &FtConfig,
 ) -> Result<(), RecoveryError> {
+    fail_and_restart_many(sc, world, app, kind, &[victim], ft)
+}
+
+/// [`fail_and_restart`] for a correlated group of victims: one restart
+/// covers every rank in `victims` (coordinated checkpointing rolls all
+/// ranks back anyway — the group only changes *which* ranks must re-fetch
+/// their image from a server).
+///
+/// An image fetch whose source server is unreachable (link down or
+/// partitioned) does not deadlock the restart: the rank's fetch turns into
+/// a probe chain with capped exponential backoff
+/// (`FtConfig::link_retry_delay`), walking the replica list when the
+/// per-fetch budget (`link_retry_limit`) runs out, and declaring the job
+/// fatally stuck only once every replica is exhausted. With no active
+/// faults the probe path is never entered and the restart is byte-for-byte
+/// the fault-free one.
+pub fn fail_and_restart_many(
+    sc: &SimCtx,
+    world: &WorldRef,
+    app: &AppFn,
+    kind: ProtocolChoice,
+    victims: &[usize],
+    ft: &FtConfig,
+) -> Result<(), RecoveryError> {
     if kind == ProtocolChoice::Mlog {
         return Err(RecoveryError::ProtocolMismatch {
             expected: "vcl, pcl or dummy",
@@ -322,7 +410,7 @@ pub fn fail_and_restart(
     // Which ranks must fetch their image from a server (constrains the
     // restore wave: a server failure may have lost the newest images).
     let need_server: Vec<bool> = (0..n)
-        .map(|r| (r == victim && ft.fetch_failed_from_server) || !ft.write_local_disk)
+        .map(|r| (victims.contains(&r) && ft.fetch_failed_from_server) || !ft.write_local_disk)
         .collect();
 
     // 2. Pull restore data from the protocol and abort any in-flight wave
@@ -345,8 +433,12 @@ pub fn fail_and_restart(
 
     // 3. Per-rank restore: reset runtime state, compute the time at which
     //    the rank's image is back in memory, schedule replay + respawn.
+    // A server fetch whose source is currently unreachable cannot reserve
+    // its transfer now — the rank joins `blocked` and a probe chain takes
+    // over after the loop.
     let base = now + ft.restart_delay;
     let mut latest_ready = base;
+    let mut blocked: Vec<BlockedFetch> = Vec::new();
     for (r, &from_server) in need_server.iter().enumerate() {
         let (skip, credit) = match &wave {
             Some(rec) => (rec.images[r].ops_completed, rec.images[r].time_credit),
@@ -354,19 +446,27 @@ pub fn fail_and_restart(
         };
         w.rt.ranks[r].reset_for_restart(skip, credit);
         let node = w.rt.placement.node_of(r);
-        let ready: SimTime = match (&wave, &restore) {
+        let ready: Option<SimTime> = match (&wave, &restore) {
             (Some(_), Some(data)) => {
                 if from_server {
-                    w.rt.net
-                        .transfer(data.image_source[r], node, ft.image_bytes, base)
-                        .delivered
+                    if w.rt.net.reachable(data.image_source[r], node) {
+                        Some(
+                            w.rt.net
+                                .transfer(data.image_source[r], node, ft.image_bytes, base)
+                                .delivered,
+                        )
+                    } else {
+                        None // fetch blocked by an active network fault
+                    }
                 } else {
-                    w.rt.net.disk_read(node, ft.image_bytes, base)
+                    Some(w.rt.net.disk_read(node, ft.image_bytes, base))
                 }
             }
-            _ => base,
+            _ => Some(base),
         };
-        latest_ready = latest_ready.max(ready);
+        if let Some(ready) = ready {
+            latest_ready = latest_ready.max(ready);
+        }
 
         // Restore the rank's library memory *now*, before any restarted
         // peer's re-executed sends can arrive: first the image's pending
@@ -386,38 +486,334 @@ pub fn fail_and_restart(
             .as_ref()
             .map(|rec| rec.delayed_sends[r].clone())
             .unwrap_or_default();
-        let h = handle.clone();
-        let app = app.clone();
-        sc.schedule(ready, move |sc| {
-            let Some(world) = h.upgrade() else { return };
-            {
-                let mut w = world.lock();
-                if w.rt.epoch != epoch {
-                    return;
-                }
-                for mut m in delayed_sends {
-                    m.epoch = epoch;
-                    w.rt.launch_send(sc, m);
-                }
-            }
-            spawn_rank(sc, &world, r, app);
-        });
+        let Some(ready) = ready else {
+            let sources = restore
+                .as_ref()
+                .map(|d| d.image_sources[r].clone())
+                .unwrap_or_default();
+            blocked.push(BlockedFetch {
+                rank: r,
+                node,
+                sources,
+                delayed_sends,
+            });
+            continue;
+        };
+        schedule_respawn(
+            sc,
+            handle.clone(),
+            epoch,
+            r,
+            ready,
+            delayed_sends,
+            app.clone(),
+        );
     }
 
-    // 4. Re-arm the wave timer once the platform is back.
-    let next_wave = latest_ready + ft.period;
-    match kind {
-        ProtocolChoice::Dummy | ProtocolChoice::Mlog => {}
-        ProtocolChoice::Vcl => {
-            let gen = Vcl::bump_timer_gen(&mut w);
-            Vcl::schedule_wave_at(sc, handle, next_wave, epoch, gen);
+    // 4. Re-arm the wave timer once the platform is back. With fetches
+    //    blocked behind a fault the re-arm waits for the last probe chain
+    //    to land (the join tracks the real latest-ready instant).
+    if blocked.is_empty() {
+        let next_wave = latest_ready + ft.period;
+        match kind {
+            ProtocolChoice::Dummy | ProtocolChoice::Mlog => {}
+            ProtocolChoice::Vcl => {
+                let gen = Vcl::bump_timer_gen(&mut w);
+                Vcl::schedule_wave_at(sc, handle, next_wave, epoch, gen);
+            }
+            ProtocolChoice::Pcl => {
+                let gen = Pcl::bump_timer_gen(&mut w);
+                Pcl::schedule_wave_at(sc, handle, next_wave, epoch, gen);
+            }
         }
-        ProtocolChoice::Pcl => {
-            let gen = Pcl::bump_timer_gen(&mut w);
-            Pcl::schedule_wave_at(sc, handle, next_wave, epoch, gen);
+    } else {
+        let join = Arc::new(StdMutex::new(FetchJoin {
+            remaining: blocked.len(),
+            latest_ready,
+        }));
+        for bf in blocked {
+            schedule_fetch_probe(
+                sc,
+                FetchProbe {
+                    handle: handle.clone(),
+                    epoch,
+                    kind,
+                    fetch: bf,
+                    src_idx: 0,
+                    attempt: 0,
+                    ft: ft.clone(),
+                    app: app.clone(),
+                    join: join.clone(),
+                },
+                base,
+            );
         }
     }
     Ok(())
+}
+
+/// One rank whose restart-time image fetch could not be reserved because
+/// its source server was unreachable.
+struct BlockedFetch {
+    rank: usize,
+    node: NodeId,
+    /// Replica nodes holding the image, tried in order.
+    sources: Vec<NodeId>,
+    delayed_sends: Vec<AppMsg>,
+}
+
+/// Shared completion state for the blocked fetches of one restart: the wave
+/// timer re-arms when the last one reserves its transfer.
+struct FetchJoin {
+    remaining: usize,
+    latest_ready: SimTime,
+}
+
+/// State carried by one fetch probe chain.
+struct FetchProbe {
+    handle: Weak<parking_lot::Mutex<World>>,
+    epoch: u64,
+    kind: ProtocolChoice,
+    fetch: BlockedFetch,
+    /// Replica currently being probed.
+    src_idx: usize,
+    /// Consecutive failed probes against `sources[src_idx]`.
+    attempt: u32,
+    ft: FtConfig,
+    app: AppFn,
+    join: Arc<StdMutex<FetchJoin>>,
+}
+
+/// Schedule the respawn of rank `r` at `ready`: launch its delayed sends
+/// under the new epoch and spawn the process. Exactly the tail of the
+/// classic restart path, shared by the synchronous and the probe-chain
+/// fetch.
+fn schedule_respawn(
+    sc: &SimCtx,
+    handle: Weak<parking_lot::Mutex<World>>,
+    epoch: u64,
+    r: usize,
+    ready: SimTime,
+    delayed_sends: Vec<AppMsg>,
+    app: AppFn,
+) {
+    sc.schedule(ready, move |sc| {
+        let Some(world) = handle.upgrade() else {
+            return;
+        };
+        {
+            let mut w = world.lock();
+            if w.rt.epoch != epoch {
+                return;
+            }
+            for mut m in delayed_sends {
+                m.epoch = epoch;
+                w.rt.launch_send(sc, m);
+            }
+        }
+        spawn_rank(sc, &world, r, app);
+    });
+}
+
+/// One probe of a blocked image fetch, on the destination node's flow lane
+/// (it races flow chunks and fault transitions touching the same node).
+///
+/// Reachable source → reserve the transfer, schedule the respawn, update
+/// the join (re-arming the wave timer if this was the last blocked fetch).
+/// Unreachable → back off exponentially; after `link_retry_limit` failed
+/// probes move to the next replica; after the last replica, record a fatal
+/// error and stop the simulation — a job whose every image replica sits
+/// behind a partition that never heals must terminate, not hang.
+fn schedule_fetch_probe(sc: &SimCtx, p: FetchProbe, at: SimTime) {
+    let lane = Some(flow_lane(p.fetch.node));
+    sc.schedule_keyed(at, lane, move |sc| {
+        let Some(world) = p.handle.upgrade() else {
+            return;
+        };
+        let mut w = world.lock();
+        if w.rt.epoch != p.epoch || w.rt.job_complete() {
+            return; // a newer restart owns recovery now
+        }
+        let FetchProbe {
+            handle,
+            epoch,
+            kind,
+            fetch,
+            mut src_idx,
+            mut attempt,
+            ft,
+            app,
+            join,
+        } = p;
+        let source = fetch.sources.get(src_idx).copied();
+        let reachable = source.is_some_and(|s| w.rt.net.reachable(s, fetch.node));
+        if !reachable {
+            w.rt.stats.link_retries += 1;
+            // The backoff ladder restarts per replica: delay(0), delay(1),
+            // … delay(limit-1), then the next source gets a fresh ladder.
+            let delay = ft.link_retry_delay(attempt);
+            attempt += 1;
+            if source.is_none() || attempt >= ft.link_retry_limit.max(1) {
+                src_idx += 1;
+                attempt = 0;
+            }
+            if src_idx >= fetch.sources.len() {
+                w.rt.record_fatal(&format!(
+                    "restart of rank {}: every image replica unreachable after retries",
+                    fetch.rank
+                ));
+                sc.request_stop();
+                return;
+            }
+            drop(w);
+            schedule_fetch_probe(
+                sc,
+                FetchProbe {
+                    handle,
+                    epoch,
+                    kind,
+                    fetch,
+                    src_idx,
+                    attempt,
+                    ft,
+                    app,
+                    join,
+                },
+                sc.now() + delay,
+            );
+            return;
+        }
+        let source = source.expect("reachable implies a source");
+        if src_idx > 0 {
+            with_ft_stats(&mut w, kind, |s| s.images_rerouted += 1);
+        }
+        let ready =
+            w.rt.net
+                .transfer(source, fetch.node, ft.image_bytes, sc.now())
+                .delivered;
+        schedule_respawn(
+            sc,
+            handle.clone(),
+            epoch,
+            fetch.rank,
+            ready,
+            fetch.delayed_sends,
+            app,
+        );
+        let rearm_at = {
+            let mut j = join.lock().expect("fetch join poisoned");
+            j.remaining -= 1;
+            j.latest_ready = j.latest_ready.max(ready);
+            (j.remaining == 0).then_some(j.latest_ready)
+        };
+        if let Some(latest) = rearm_at {
+            let next_wave = latest + ft.period;
+            match kind {
+                ProtocolChoice::Dummy | ProtocolChoice::Mlog => {}
+                ProtocolChoice::Vcl => {
+                    let gen = Vcl::bump_timer_gen(&mut w);
+                    Vcl::schedule_wave_at(sc, handle, next_wave, epoch, gen);
+                }
+                ProtocolChoice::Pcl => {
+                    let gen = Pcl::bump_timer_gen(&mut w);
+                    Pcl::schedule_wave_at(sc, handle, next_wave, epoch, gen);
+                }
+            }
+        }
+    });
+}
+
+/// Bump a counter in the coordinated engine's `FtStats`; no-op for
+/// `Dummy`/`Mlog` or on a downcast mismatch.
+fn with_ft_stats(w: &mut World, kind: ProtocolChoice, f: impl FnOnce(&mut FtStats)) {
+    let World { proto, .. } = w;
+    match kind {
+        ProtocolChoice::Dummy | ProtocolChoice::Mlog => {}
+        ProtocolChoice::Vcl => {
+            if let Some(v) = proto.as_any_mut().downcast_mut::<Vcl>() {
+                f(&mut v.stats);
+            }
+        }
+        ProtocolChoice::Pcl => {
+            if let Some(p) = proto.as_any_mut().downcast_mut::<Pcl>() {
+                f(&mut p.stats);
+            }
+        }
+    }
+}
+
+/// Apply a named partition cut and, if the job runs with a heartbeat grace
+/// window (`FtConfig::partition_rollback_after`), arm the watchdog that
+/// decides — one grace later — whether the cut was real.
+///
+/// The watchdog fires on the dispatcher's side of the cut:
+///
+/// * partition already healed → **false positive suppressed**: the stalled
+///   heartbeats arrived late, nobody is declared failed, no rollback
+///   (`FtStats::partitions_suppressed` counts the non-event);
+/// * a restart happened in between (epoch guard) → that recovery's probe
+///   chains already own the fault; the watchdog stands down;
+/// * partition still active → every rank cut off from the service node is
+///   declared failed and the job restarts once, correlated
+///   ([`fail_and_restart_many`]).
+///
+/// Without a grace window the cut is applied but never escalates: flows
+/// and heartbeats stall until the partition heals. `Mlog` does not use the
+/// dispatcher heartbeat model, so the watchdog is skipped.
+#[allow(clippy::too_many_arguments)] // a scheduling entry point, not a recursion
+pub fn partition_cut(
+    sc: &SimCtx,
+    world: &WorldRef,
+    app: &AppFn,
+    kind: ProtocolChoice,
+    ft: &FtConfig,
+    name: &str,
+    nodes: &[NodeId],
+    service_node: NodeId,
+) {
+    let (handle, epoch) = {
+        let mut w = world.lock();
+        w.rt.net.start_partition(name, nodes.iter().copied());
+        (w.rt.world_handle(), w.rt.epoch)
+    };
+    let Some(grace) = ft.partition_rollback_after else {
+        return;
+    };
+    if kind == ProtocolChoice::Mlog {
+        return;
+    }
+    let name = name.to_string();
+    let nodes = nodes.to_vec();
+    let app = app.clone();
+    let ft = ft.clone();
+    sc.schedule(sc.now() + grace, move |sc| {
+        let Some(world) = handle.upgrade() else {
+            return;
+        };
+        let victims: Vec<usize> = {
+            let mut w = world.lock();
+            if w.rt.job_complete() || w.rt.epoch != epoch {
+                return;
+            }
+            if !w.rt.net.partition_active(&name) {
+                // Healed inside the grace window: heartbeats were merely
+                // late. Zero rollbacks — the epoch-guard analogue of the
+                // detection-delay false-positive suppression.
+                with_ft_stats(&mut w, kind, |s| s.partitions_suppressed += 1);
+                return;
+            }
+            let service_cut = nodes.contains(&service_node);
+            (0..w.rt.size())
+                .filter(|&r| nodes.contains(&w.rt.placement.node_of(r)) != service_cut)
+                .collect()
+        };
+        if victims.is_empty() {
+            return;
+        }
+        if let Err(e) = fail_and_restart_many(sc, &world, &app, kind, &victims, &ft) {
+            world.lock().rt.record_fatal(&e.to_string());
+        }
+    });
 }
 
 /// Single-rank failure handling for the uncoordinated message-logging

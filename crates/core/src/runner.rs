@@ -7,7 +7,7 @@ use ftmpi_mpi::{
     spawn_rank, AppFn, DummyProtocol, Placement, Protocol, RuntimeConfig, RuntimeCore,
     RuntimeStats, World, WorldRef,
 };
-use ftmpi_net::{LinkConfig, NetModel, SoftwareStack};
+use ftmpi_net::{fault_lane, LinkConfig, LinkFaultKind, NetFaultPlan, NetModel, SoftwareStack};
 use ftmpi_sim::{Sim, SimDuration, SimTime};
 
 use crate::config::FtConfig;
@@ -15,7 +15,9 @@ use crate::deploy::Deployment;
 use crate::failure::FailurePlan;
 use crate::mlog::Mlog;
 use crate::pcl::Pcl;
-use crate::recovery::{inject_kill, mlog_fail_and_restart, server_fail};
+use crate::recovery::{
+    inject_kill, inject_kill_many, mlog_fail_and_restart, partition_cut, server_fail,
+};
 use crate::stats::FtStats;
 use crate::vcl::Vcl;
 
@@ -65,6 +67,10 @@ pub struct JobSpec {
     pub app: AppFn,
     /// Failure schedule.
     pub failures: FailurePlan,
+    /// Network-fault schedule (link down/degrade/restore events and named
+    /// partitions). Empty by default: the fault machinery is inert and the
+    /// run is byte-identical to a fault-free one.
+    pub net_faults: NetFaultPlan,
     /// Abort the run at this virtual time (guard against protocol bugs).
     pub max_virtual_time: Option<SimTime>,
     /// Override the deployment's rank→node placement (platform
@@ -89,6 +95,7 @@ impl JobSpec {
             single_threshold: 144,
             app,
             failures: FailurePlan::none(),
+            net_faults: NetFaultPlan::none(),
             max_virtual_time: None,
             placement_override: None,
             wave_triggers: Vec::new(),
@@ -151,11 +158,14 @@ impl JobResult {
         line("ft.lost_work_ns", self.ft.lost_work.as_nanos());
         line("ft.images_refetched", self.ft.images_refetched);
         line("ft.orphan_images_end", self.ft.orphan_images_end);
+        line("ft.images_rerouted", self.ft.images_rerouted);
+        line("ft.partitions_suppressed", self.ft.partitions_suppressed);
         line("rt.msgs_sent", self.rt.msgs_sent);
         line("rt.bytes_sent", self.rt.bytes_sent);
         line("rt.msgs_delivered", self.rt.msgs_delivered);
         line("rt.finished_ranks", self.rt.finished_ranks as u64);
         line("rt.restarts", self.rt.restarts);
+        line("rt.link_retries", self.rt.link_retries);
         line("events", self.events);
         line("leftover_unexpected", self.leftover_unexpected as u64);
         line("leftover_posted", self.leftover_posted as u64);
@@ -254,6 +264,8 @@ impl JobResult {
                 lost_work: SimDuration::from_nanos(take("ft.lost_work_ns")?),
                 images_refetched: take("ft.images_refetched")?,
                 orphan_images_end: take("ft.orphan_images_end")?,
+                images_rerouted: take("ft.images_rerouted")?,
+                partitions_suppressed: take("ft.partitions_suppressed")?,
             },
             rt: RuntimeStats {
                 msgs_sent: take("rt.msgs_sent")?,
@@ -262,6 +274,7 @@ impl JobResult {
                 finished_ranks: take("rt.finished_ranks")? as usize,
                 completion_time: completion_time?,
                 restarts: take("rt.restarts")?,
+                link_retries: take("rt.link_retries")?,
             },
             events: take("events")?,
             leftover_unexpected: take("leftover_unexpected")? as usize,
@@ -370,6 +383,8 @@ pub fn run_job_with(
         Some(nodes) => Placement::explicit(nodes.clone()),
         None => dep.placement.clone(),
     };
+    // Effective placement, kept for resolving node-kill victims below.
+    let placement_roles = placement.clone();
     let rt = RuntimeCore::new(
         NetModel::new(dep.topo.clone()),
         placement,
@@ -419,6 +434,20 @@ pub fn run_job_with(
         });
     }
 
+    // Server kills are scheduled before rank kills so that at equal times
+    // the server's images vanish first: a rank kill in the same nanosecond
+    // must not plan its restore against a server that is dying with it
+    // (independent Poisson schedules can legally collide — see
+    // `FailurePlan::merged`).
+    for (at, server) in spec.failures.server_kills.clone() {
+        let w2 = Arc::clone(&world);
+        sim.schedule(at, move |sc| {
+            if let Err(e) = server_fail(sc, &w2, protocol, server) {
+                w2.lock().rt.record_fatal(&e.to_string());
+            }
+        });
+    }
+
     for (at, victim) in spec.failures.kills.clone() {
         let w2 = Arc::clone(&world);
         let app = Arc::clone(&spec.app);
@@ -435,13 +464,72 @@ pub fn run_job_with(
         });
     }
 
-    for (at, server) in spec.failures.server_kills.clone() {
+    // Node deaths: the node's colocated server fails first (its replicas
+    // vanish before the restore wave is planned), then every rank the node
+    // hosted dies in one correlated kill. Roles are resolved eagerly from
+    // the deployment so the scheduled closure carries plain indices.
+    for (at, node) in spec.failures.node_kills.clone() {
+        let victims: Vec<usize> = (0..spec.nranks)
+            .filter(|&r| placement_roles.node_of(r).0 == node)
+            .collect();
+        let server_idx = dep.server_nodes.iter().position(|n| n.0 == node);
         let w2 = Arc::clone(&world);
+        let app = Arc::clone(&spec.app);
+        let ft = spec.ft.clone();
         sim.schedule(at, move |sc| {
-            if let Err(e) = server_fail(sc, &w2, protocol, server) {
+            if let Some(idx) = server_idx {
+                if let Err(e) = server_fail(sc, &w2, protocol, idx) {
+                    w2.lock().rt.record_fatal(&e.to_string());
+                }
+            }
+            let outcome = if protocol == ProtocolChoice::Mlog {
+                victims
+                    .iter()
+                    .try_for_each(|&v| mlog_fail_and_restart(sc, &w2, &app, v, &ft))
+            } else {
+                inject_kill_many(sc, &w2, &app, protocol, &victims, &ft)
+            };
+            if let Err(e) = outcome {
                 w2.lock().rt.record_fatal(&e.to_string());
             }
         });
+    }
+
+    // Network-fault schedule. Every transition runs as a `LinkFault` event
+    // on its own fault lane — the lane audit proves none is laneless, and a
+    // perturbation seed cannot reorder a transition against itself.
+    let mut fault_idx = 0u64;
+    for ev in spec.net_faults.link_events.clone() {
+        let w2 = Arc::clone(&world);
+        sim.schedule_link_fault(ev.at, fault_lane(fault_idx), move |_sc| {
+            let mut w = w2.lock();
+            match ev.kind {
+                LinkFaultKind::Down => w.rt.net.set_link_down(ev.from, ev.to),
+                LinkFaultKind::Degrade(f) => w.rt.net.degrade_link(ev.from, ev.to, f),
+                LinkFaultKind::Restore => w.rt.net.restore_link(ev.from, ev.to),
+            }
+        });
+        fault_idx += 1;
+    }
+    let service_node = dep.service_node;
+    for p in spec.net_faults.partitions.clone() {
+        let w2 = Arc::clone(&world);
+        let app = Arc::clone(&spec.app);
+        let ft = spec.ft.clone();
+        let name = p.name.clone();
+        let nodes = p.nodes.clone();
+        sim.schedule_link_fault(p.start, fault_lane(fault_idx), move |sc| {
+            partition_cut(sc, &w2, &app, protocol, &ft, &name, &nodes, service_node);
+        });
+        fault_idx += 1;
+        if let Some(heal) = p.heal {
+            let w2 = Arc::clone(&world);
+            let name = p.name.clone();
+            sim.schedule_link_fault(heal, fault_lane(fault_idx), move |_sc| {
+                w2.lock().rt.net.heal_partition(&name);
+            });
+            fault_idx += 1;
+        }
     }
 
     let report = sim.run().map_err(|e| JobError::Sim(e.to_string()))?;
@@ -528,6 +616,8 @@ mod tests {
                 lost_work: SimDuration::from_nanos(7_654_321),
                 images_refetched: 2,
                 orphan_images_end: 0,
+                images_rerouted: 1,
+                partitions_suppressed: 3,
             },
             rt: RuntimeStats {
                 msgs_sent: 1000,
@@ -536,6 +626,7 @@ mod tests {
                 finished_ranks: 64,
                 completion_time: Some(SimTime::from_nanos(123_456_789_012)),
                 restarts: 2,
+                link_retries: 17,
             },
             events: 555_555,
             leftover_unexpected: 0,
@@ -556,6 +647,7 @@ mod tests {
         assert_eq!(decoded.rt.finished_ranks, r.rt.finished_ranks);
         assert_eq!(decoded.rt.completion_time, r.rt.completion_time);
         assert_eq!(decoded.rt.restarts, r.rt.restarts);
+        assert_eq!(decoded.rt.link_retries, r.rt.link_retries);
         assert_eq!(decoded.events, r.events);
         assert_eq!(decoded.leftover_unexpected, r.leftover_unexpected);
         assert_eq!(decoded.leftover_posted, r.leftover_posted);

@@ -89,6 +89,29 @@ impl CheckpointStore {
             .copied()
     }
 
+    /// Every live server node holding rank `rank`'s image of `wave`,
+    /// ascending by node id — the fetch-candidate walk of a
+    /// partition-tolerant restore. The first entry equals
+    /// [`locate`](CheckpointStore::locate)'s choice.
+    pub fn locate_all(&self, wave: u64, rank: Rank) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .images
+            .get(&(wave, rank))
+            .map(|r| r.iter().map(|i| i.server).collect())
+            .unwrap_or_default();
+        nodes.sort();
+        nodes
+    }
+
+    /// Does this specific server node hold a fully-stored replica of
+    /// (`wave`, `rank`)? Used to keep a rerouted push from duplicating a
+    /// replica that already landed.
+    pub fn server_holds(&self, wave: u64, rank: Rank, node: NodeId) -> bool {
+        self.images
+            .get(&(wave, rank))
+            .is_some_and(|r| r.iter().any(|i| i.server == node))
+    }
+
     /// Mark `wave` committed and garbage-collect superseded waves —
     /// "simple garbage collection reduces the size needed to store the
     /// checkpoints" — keeping the newest `retain` committed waves as
@@ -317,6 +340,29 @@ mod tests {
         store.record_image(1, 0, img_on(NodeId(8), 1));
         let found = store.locate(1, 0).expect("two replicas recorded");
         assert_eq!(found.server, NodeId(8));
+    }
+
+    #[test]
+    fn locate_all_lists_live_replicas_ascending() {
+        let mut store = CheckpointStore::default();
+        assert!(store.locate_all(1, 0).is_empty());
+        store.record_image(1, 0, img_on(NodeId(9), 1));
+        store.record_image(1, 0, img_on(NodeId(8), 1));
+        store.record_image(1, 0, img_on(NodeId(12), 1));
+        assert_eq!(
+            store.locate_all(1, 0),
+            vec![NodeId(8), NodeId(9), NodeId(12)]
+        );
+        // First entry matches locate()'s deterministic choice.
+        assert_eq!(
+            store.locate(1, 0).expect("image recorded").server,
+            NodeId(8)
+        );
+        assert!(store.server_holds(1, 0, NodeId(9)));
+        assert!(!store.server_holds(1, 0, NodeId(10)));
+        store.fail_server(NodeId(8));
+        assert_eq!(store.locate_all(1, 0), vec![NodeId(9), NodeId(12)]);
+        assert!(!store.server_holds(1, 0, NodeId(8)));
     }
 
     #[test]

@@ -59,6 +59,14 @@ pub struct FtStats {
     /// Uncommitted (partial/orphaned) images still in server bookkeeping
     /// when the run ended. Any non-zero value is a garbage-collection leak.
     pub orphan_images_end: u64,
+    /// Checkpoint-image pushes that exhausted their retry budget against an
+    /// unreachable server and were re-aimed at the next reachable replica
+    /// target.
+    pub images_rerouted: u64,
+    /// Partition watchdog detections suppressed because the cut healed
+    /// before [`partition_rollback_after`](crate::FtConfig::partition_rollback_after)
+    /// expired (false positives the detection-delay epoch guard absorbed).
+    pub partitions_suppressed: u64,
 }
 
 impl FtStats {

@@ -30,7 +30,7 @@ use ftmpi_sim::{SimCtx, SimTime};
 
 use crate::config::FtConfig;
 use crate::deploy::Deployment;
-use crate::flow::{send_control, start_flow, FlowSpec};
+use crate::flow::{send_control, start_flow, start_flow_guarded, FlowRetry, FlowSpec};
 use crate::image::{RankImage, WaveRecord};
 use crate::server::{replica_targets, CheckpointStore, StoredImage};
 use crate::stats::{FtStats, WaveTiming};
@@ -401,11 +401,96 @@ impl Vcl {
             });
         }
         for (spec, server) in image_flows {
-            let h = handle.clone();
-            start_flow(w, sc, spec, move |w, sc, done_at| {
-                let _ = &h;
-                Vcl::image_stored(w, sc, r, wave, server, done_at);
-            });
+            Vcl::start_image_stream(w, sc, spec, r, wave, server);
+        }
+    }
+
+    /// Launch one replica stream of rank `r`'s wave-`wave` image toward
+    /// `server`, under the job's bounded retry budget: if the target stays
+    /// unreachable behind a link fault or partition the push surrenders to
+    /// [`Vcl::image_push_failed`] and falls back to another replica.
+    fn start_image_stream(
+        w: &mut World,
+        sc: &SimCtx,
+        spec: FlowSpec,
+        r: Rank,
+        wave: u64,
+        server: NodeId,
+    ) {
+        let retry = Vcl::with(w, |vcl, _| FlowRetry::bounded(&vcl.cfg));
+        let fail_spec = spec.clone();
+        start_flow_guarded(
+            w,
+            sc,
+            spec,
+            retry,
+            move |w, sc| Vcl::image_push_failed(w, sc, r, wave, fail_spec),
+            move |w, sc, done_at| Vcl::image_stored(w, sc, r, wave, server, done_at),
+        );
+    }
+
+    /// A replica stream of rank `r`'s image spent its whole retry budget
+    /// against an unreachable server. The server itself may be perfectly
+    /// healthy — nothing is dropped from the store — but this wave cannot
+    /// land its image there, so reroute the push to the next server that is
+    /// live, reachable from the source node, and not already holding this
+    /// image. With no such server the wave can never commit: abort it and
+    /// re-arm the periodic timer (the network-fault analogue of
+    /// [`Vcl::on_server_failed`]).
+    fn image_push_failed(w: &mut World, sc: &SimCtx, r: Rank, wave: u64, spec: FlowSpec) {
+        enum Fallback {
+            Stale,
+            Reroute(NodeId),
+            Abort,
+        }
+        let fb = Vcl::with(w, |vcl, rt| {
+            let current = vcl
+                .cur
+                .as_ref()
+                .is_some_and(|cur| cur.rec.wave == wave && cur.image_flows_left[r] > 0);
+            if !current {
+                return Fallback::Stale; // the wave died while we backed off
+            }
+            let fleet = &vcl.server_nodes;
+            let pos = fleet.iter().position(|n| *n == spec.dst).unwrap_or(0);
+            let replacement = (1..fleet.len())
+                .map(|i| fleet[(pos + i) % fleet.len()])
+                .find(|&cand| {
+                    !vcl.store.server_failed(cand)
+                        && rt.net.reachable(spec.src, cand)
+                        && !vcl.store.server_holds(wave, r, cand)
+                });
+            match replacement {
+                Some(cand) => {
+                    vcl.stats.images_rerouted += 1;
+                    Fallback::Reroute(cand)
+                }
+                None => Fallback::Abort,
+            }
+        });
+        match fb {
+            Fallback::Stale => {}
+            Fallback::Reroute(cand) => {
+                let new_spec = FlowSpec { dst: cand, ..spec };
+                Vcl::start_image_stream(w, sc, new_spec, r, wave, cand);
+            }
+            Fallback::Abort => {
+                let aborted = Vcl::abort_wave(w, sc);
+                if aborted && !w.rt.job_complete() {
+                    let handle = w.rt.world_handle();
+                    let epoch = w.rt.epoch;
+                    let next = Vcl::with(w, |vcl, _| {
+                        if vcl.live_server_count() == 0 {
+                            return None;
+                        }
+                        vcl.timer_gen += 1;
+                        Some((sc.now() + vcl.cfg.period, vcl.timer_gen))
+                    });
+                    if let Some((at, gen)) = next {
+                        Vcl::schedule_wave_at(sc, handle, at, epoch, gen);
+                    }
+                }
+            }
         }
     }
 

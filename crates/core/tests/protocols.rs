@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use ftmpi_core::{run_job, FailurePlan, FtConfig, JobError, JobResult, JobSpec, ProtocolChoice};
 use ftmpi_mpi::AppFn;
-use ftmpi_net::SoftwareStack;
+use ftmpi_net::{NetFaultPlan, NodeId, SoftwareStack};
 use ftmpi_sim::{SimDuration, SimTime};
 
 /// Ring workload: each iteration sends `bytes` to the right neighbour,
@@ -308,6 +308,7 @@ fn survives_multiple_failures() {
             (SimTime::from_nanos(25_000_000_000), 4),
         ],
         server_kills: Vec::new(),
+        node_kills: Vec::new(),
     };
     let res = run(spec);
     assert_eq!(res.rt.restarts, 2);
@@ -386,6 +387,7 @@ fn restore_from_a_wave_committed_after_an_earlier_restart() {
                 (SimTime::from_nanos(14_000_000_000), 3),
             ],
             server_kills: Vec::new(),
+            node_kills: Vec::new(),
         };
         spec.max_virtual_time = Some(SimTime::from_nanos(600_000_000_000));
         let res = run(spec);
@@ -543,6 +545,178 @@ fn server_loss_falls_back_to_scratch_without_replicas() {
         res.ft.rollback_depth_max
     );
     assert_clean(&res);
+}
+
+#[test]
+fn partition_from_time_zero_delays_the_first_wave_without_rollback() {
+    // Degenerate timing: rank 0's node is unreachable from the instant the
+    // job is spawned, healing shortly after the first wave starts. Without
+    // a partition watchdog this is pure delay: the wave's traffic to the
+    // cut-off node pauses and retries, nobody restarts, and the wave still
+    // commits once the cut heals.
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        let app = ring_app(100, 10_000, SimDuration::from_millis(200));
+        let mut spec = base_spec(6, proto, app);
+        spec.net_faults = NetFaultPlan::none().with_partition(
+            "from-boot",
+            vec![NodeId(0)],
+            SimTime::ZERO,
+            Some(SimTime::from_nanos(2_500_000_000)),
+        );
+        let res = run(spec);
+        assert_eq!(
+            res.rt.restarts, 0,
+            "{proto:?}: a healed cut must not restart anyone"
+        );
+        assert!(
+            res.waves() >= 1,
+            "{proto:?}: waves must resume after the heal"
+        );
+        assert!(
+            res.rt.link_retries >= 1,
+            "{proto:?}: the wave starting at 2 s must stall on the cut"
+        );
+        assert_clean(&res);
+    }
+}
+
+#[test]
+fn partition_outliving_the_job_surrenders_waves_but_completes() {
+    // Degenerate timing: the cut never heals. Every checkpoint wave needs
+    // rank 0's image, every push attempt exhausts its bounded retry budget
+    // and surrenders, so no wave ever commits — but application traffic is
+    // out of the partition's scope (it models stalled checkpoint transport,
+    // not node death), so the job itself must still finish.
+    let app = ring_app(100, 10_000, SimDuration::from_millis(200));
+    let mut spec = base_spec(6, ProtocolChoice::Pcl, app);
+    spec.net_faults = NetFaultPlan::none().with_partition(
+        "forever",
+        vec![NodeId(0)],
+        SimTime::from_nanos(1_500_000_000),
+        None,
+    );
+    // Paused control traffic to the dead side keeps probing until the cap.
+    spec.max_virtual_time = Some(SimTime::from_nanos(120_000_000_000));
+    let res = run(spec);
+    assert_eq!(res.waves(), 0, "no wave can commit without rank 0's image");
+    assert!(
+        res.ft.waves_aborted >= 1,
+        "the push retry budget must surrender, aborting the wave"
+    );
+    assert_eq!(res.rt.restarts, 0);
+    assert!(res.rt.link_retries >= u64::from(FtConfig::default().link_retry_limit));
+    assert_clean(&res);
+}
+
+#[test]
+fn heal_exactly_at_the_retry_deadline_lands_the_probe() {
+    // Degenerate timing: the victim's restore fetch is blocked by a cut
+    // that heals in the same nanosecond as a scheduled retry probe. Setup-
+    // scheduled fault transitions win same-time ties against runtime-
+    // scheduled probes, so that exact probe must see the healed link and
+    // succeed: two failed probes, not three. One nanosecond later and the
+    // probe loses the race, costing exactly one more rung of the ladder.
+    let kill = 9_000_000_000u64; // quiet zone: two waves committed by 9 s
+    let ft = FtConfig::default();
+    let first_probe = kill + ft.restart_delay.as_nanos();
+    // Failed probes at +0 and +base; the +3·base probe ties with the heal.
+    let deadline = first_probe + 3 * ft.link_retry_base.as_nanos();
+    for (heal, want_retries) in [(deadline, 2), (deadline + 1, 3)] {
+        let app = ring_app(100, 10_000, SimDuration::from_millis(200));
+        let mut spec = base_spec(6, ProtocolChoice::Vcl, app);
+        spec.failures = FailurePlan::kill_at(SimTime::from_nanos(kill), 1);
+        spec.net_faults = NetFaultPlan::none().with_partition(
+            "fetch-window",
+            vec![NodeId(1)],
+            SimTime::from_nanos(kill - 100_000_000),
+            Some(SimTime::from_nanos(heal)),
+        );
+        let res = run(spec);
+        assert_eq!(res.rt.restarts, 1);
+        assert_eq!(
+            res.rt.link_retries,
+            want_retries,
+            "heal at first_probe+{} ns must cost exactly {want_retries} probe retries",
+            heal - first_probe
+        );
+        assert_eq!(res.ft.images_refetched, 1, "one victim, one fetch");
+        assert_clean(&res);
+    }
+}
+
+#[test]
+fn node_kill_of_an_already_partitioned_node_recovers_after_heal() {
+    // Degenerate composition: the node dies while it is already cut off.
+    // The correlated restart's image fetch cannot reach the servers until
+    // the heal, so it rides the probe chain across it — one restart, one
+    // fetch, bounded retries, clean completion.
+    let t0 = 8_500_000_000u64;
+    let app = ring_app(100, 10_000, SimDuration::from_millis(200));
+    let mut spec = base_spec(6, ProtocolChoice::Vcl, app);
+    spec.failures = FailurePlan::node_kill_at(SimTime::from_nanos(t0 + 500_000_000), 2);
+    spec.net_faults = NetFaultPlan::none().with_partition(
+        "pre-cut",
+        vec![NodeId(2)],
+        SimTime::from_nanos(t0),
+        Some(SimTime::from_nanos(t0 + 6_500_000_000)),
+    );
+    let res = run(spec);
+    assert_eq!(res.rt.restarts, 1, "one node death, one correlated restart");
+    assert_eq!(res.ft.images_refetched, 1);
+    assert!(
+        res.rt.link_retries >= 1,
+        "the fetch must probe the cut before the heal lets it through"
+    );
+    assert!(
+        res.rt.link_retries <= u64::from(FtConfig::default().link_retry_limit) * 2,
+        "retries must stay on the bounded ladder, got {}",
+        res.rt.link_retries
+    );
+    assert_clean(&res);
+}
+
+#[test]
+fn coincident_server_and_rank_kill_falls_back_to_scratch() {
+    // Independent Poisson schedules can legally collide on the same
+    // nanosecond (see `FailurePlan::merged`). The runner orders the server
+    // kill first, so the rank's restore must already see its only image
+    // copy gone and fall back past it — never fetch from the dying server.
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        let t = SimTime::from_nanos(9_000_000_000);
+        let app = ring_app(100, 10_000, SimDuration::from_millis(200));
+        let mut spec = base_spec(6, proto, app);
+        spec.failures = FailurePlan::server_kill_at(t, 0).with_kill(t, 0);
+        let res = run(spec);
+        assert_eq!(res.rt.restarts, 1, "{proto:?}");
+        assert!(
+            res.ft.rollback_depth_max >= 1,
+            "{proto:?}: rank 0's images lived on server 0 alone; the same-instant \
+             restore must roll back past the lost wave, got depth {}",
+            res.ft.rollback_depth_max
+        );
+        assert_clean(&res);
+    }
+}
+
+#[test]
+fn coincident_server_and_rank_kill_restores_from_surviving_replica() {
+    // Same collision with two copies per image: the restore skips the
+    // just-dead primary and fetches the newest wave from the survivor.
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        let t = SimTime::from_nanos(9_000_000_000);
+        let app = ring_app(100, 10_000, SimDuration::from_millis(200));
+        let mut spec = base_spec(6, proto, app);
+        spec.ft = spec.ft.with_replicas(2);
+        spec.failures = FailurePlan::server_kill_at(t, 0).with_kill(t, 0);
+        let res = run(spec);
+        assert_eq!(res.rt.restarts, 1, "{proto:?}");
+        assert_eq!(
+            res.ft.rollback_depth_max, 0,
+            "{proto:?}: the surviving replica keeps the newest wave usable"
+        );
+        assert!(res.ft.images_refetched >= 1, "{proto:?}");
+        assert_clean(&res);
+    }
 }
 
 #[test]

@@ -209,6 +209,10 @@ pub struct RuntimeStats {
     pub completion_time: Option<SimTime>,
     /// Number of failure-restarts performed.
     pub restarts: u64,
+    /// Backoff probes scheduled because a checkpoint stream, control
+    /// message, or restore fetch found its destination unreachable (link
+    /// down or partition). Zero whenever no network faults are scheduled.
+    pub link_retries: u64,
 }
 
 /// The protocol-independent runtime: network, placement, ranks, stats.

@@ -1,0 +1,215 @@
+//! Scheduled network faults: directed link events and named partitions.
+//!
+//! The fault model is *declarative*: a [`NetFaultPlan`] lists transitions
+//! (link down / degrade / restore, partition start / heal) with their times,
+//! and the owning layer schedules them onto the simulation's event queue.
+//! [`crate::NetModel`] only holds the *current* fault state and answers
+//! [`reachable`](crate::NetModel::reachable) queries; it never drops traffic
+//! by itself. Callers (flow chunking, heartbeats, restore fetches) check
+//! reachability before reserving a path and pause-and-retry when the answer
+//! is no — a partition therefore *delays* in-flight traffic rather than
+//! silently losing it.
+//!
+//! Link-state machine (per directed pair):
+//!
+//! ```text
+//!        down                degrade(f)
+//!   Up ───────▶ Down     Up ───────────▶ Degraded(f)
+//!    ▲            │       ▲                  │
+//!    └──restore───┘       └────restore───────┘
+//! ```
+//!
+//! `restore` always returns a link to full-rate `Up`, whichever fault state
+//! it was in. A `degrade` while `Down` records the factor but the link stays
+//! unreachable until restored. Partitions are independent of link state: a
+//! pair is reachable iff no `down` edge covers it *and* no active partition
+//! separates the two endpoints.
+
+use ftmpi_sim::SimTime;
+
+use crate::topology::NodeId;
+
+/// Tiebreak-lane namespace for scheduled fault transitions. Fault events
+/// race with every flow chunk and retry probe touching the same link, so
+/// they are always scheduled keyed; the base is disjoint from the flow-lane
+/// namespace (`1 << 63 | server_node`) and from process lanes (small
+/// integers) for every realistic node count.
+pub const FAULT_LANE_BASE: u64 = 0b11 << 62;
+
+/// The tiebreak lane for the `idx`-th scheduled fault transition of a plan.
+pub fn fault_lane(idx: u64) -> u64 {
+    FAULT_LANE_BASE | idx
+}
+
+/// What a scheduled link transition does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkFaultKind {
+    /// The directed link stops carrying traffic (cable pull, NIC death).
+    Down,
+    /// The directed link keeps working at `1/factor` of its rated bandwidth
+    /// (flapping switch port, congested backbone). Factors are clamped to
+    /// at least `1.0`; only bulk traffic slows down — small control
+    /// messages still bypass at packet granularity.
+    Degrade(f64),
+    /// The directed link returns to full-rate service.
+    Restore,
+}
+
+/// One scheduled directed-link transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFaultEvent {
+    /// Simulated time the transition applies.
+    pub at: SimTime,
+    /// Transmitting endpoint of the directed link.
+    pub from: NodeId,
+    /// Receiving endpoint of the directed link.
+    pub to: NodeId,
+    /// The transition.
+    pub kind: LinkFaultKind,
+}
+
+/// A named partition window: every node in `nodes` is cut off from every
+/// node outside the set from `start` until `heal` (`None` = the partition
+/// outlives the job). Traffic *within* the set, and within the complement,
+/// is unaffected — this models a switch or WAN cut, not node death.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSpec {
+    /// Human-readable name, used in traces and scenario reports.
+    pub name: String,
+    /// The node set split off from the rest of the platform.
+    pub nodes: Vec<NodeId>,
+    /// When the cut happens.
+    pub start: SimTime,
+    /// When the cut heals; `None` leaves it in place forever.
+    pub heal: Option<SimTime>,
+}
+
+/// The full fault schedule attached to a job. The default (empty) plan
+/// schedules nothing and leaves every existing code path byte-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetFaultPlan {
+    /// Directed link transitions, in schedule order.
+    pub link_events: Vec<LinkFaultEvent>,
+    /// Named partition windows.
+    pub partitions: Vec<PartitionSpec>,
+}
+
+impl NetFaultPlan {
+    /// An empty plan: no faults, nothing scheduled.
+    pub fn none() -> NetFaultPlan {
+        NetFaultPlan::default()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.link_events.is_empty() && self.partitions.is_empty()
+    }
+
+    /// Number of kernel transitions this plan schedules (each partition
+    /// costs one for the cut plus one for the heal when it has one).
+    pub fn transition_count(&self) -> usize {
+        self.link_events.len()
+            + self
+                .partitions
+                .iter()
+                .map(|p| 1 + usize::from(p.heal.is_some()))
+                .sum::<usize>()
+    }
+
+    /// Schedule a directed link going down at `at`.
+    pub fn with_link_down(mut self, at: SimTime, from: NodeId, to: NodeId) -> NetFaultPlan {
+        self.link_events.push(LinkFaultEvent {
+            at,
+            from,
+            to,
+            kind: LinkFaultKind::Down,
+        });
+        self
+    }
+
+    /// Schedule a directed link degrading to `1/factor` bandwidth at `at`.
+    pub fn with_link_degrade(
+        mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        factor: f64,
+    ) -> NetFaultPlan {
+        self.link_events.push(LinkFaultEvent {
+            at,
+            from,
+            to,
+            kind: LinkFaultKind::Degrade(factor),
+        });
+        self
+    }
+
+    /// Schedule a directed link returning to full service at `at`.
+    pub fn with_link_restore(mut self, at: SimTime, from: NodeId, to: NodeId) -> NetFaultPlan {
+        self.link_events.push(LinkFaultEvent {
+            at,
+            from,
+            to,
+            kind: LinkFaultKind::Restore,
+        });
+        self
+    }
+
+    /// Schedule a named partition window.
+    pub fn with_partition(
+        mut self,
+        name: impl Into<String>,
+        nodes: Vec<NodeId>,
+        start: SimTime,
+        heal: Option<SimTime>,
+    ) -> NetFaultPlan {
+        self.partitions.push(PartitionSpec {
+            name: name.into(),
+            nodes,
+            start,
+            heal,
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmpi_sim::SimDuration;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let p = NetFaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.transition_count(), 0);
+    }
+
+    #[test]
+    fn builders_accumulate_and_count_transitions() {
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        let p = NetFaultPlan::none()
+            .with_link_down(t(1), NodeId(0), NodeId(1))
+            .with_link_degrade(t(2), NodeId(1), NodeId(2), 4.0)
+            .with_link_restore(t(3), NodeId(0), NodeId(1))
+            .with_partition("switch-a", vec![NodeId(0), NodeId(1)], t(4), Some(t(6)))
+            .with_partition("forever", vec![NodeId(2)], t(5), None);
+        assert!(!p.is_empty());
+        assert_eq!(p.link_events.len(), 3);
+        assert_eq!(p.partitions.len(), 2);
+        // 3 link events + (cut + heal) + (cut only).
+        assert_eq!(p.transition_count(), 6);
+        assert_eq!(p.partitions[0].name, "switch-a");
+        assert_eq!(
+            p.link_events[1].kind,
+            LinkFaultKind::Degrade(4.0),
+            "degrade factor carried through"
+        );
+    }
+
+    #[test]
+    fn fault_lanes_stay_in_their_namespace() {
+        assert_ne!(FAULT_LANE_BASE, 1 << 63, "disjoint from flow lanes");
+        assert_eq!(fault_lane(5), FAULT_LANE_BASE | 5);
+    }
+}

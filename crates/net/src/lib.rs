@@ -19,16 +19,24 @@
 //!
 //! The model is *passive*: it computes reservation times but schedules
 //! nothing. The MPI runtime and the checkpointing protocols own the event
-//! scheduling and call into [`NetModel`] under their own state lock.
+//! scheduling and call into [`NetModel`] under their own state lock. The
+//! same passivity extends to faults ([`fault`]): the model holds the
+//! current link/partition state and answers
+//! [`reachable`](NetModel::reachable); callers pause and retry rather than
+//! lose traffic.
 
 #![warn(missing_docs)]
 
 mod config;
+pub mod fault;
 mod model;
 mod resource;
 mod topology;
 
 pub use config::{LinkConfig, SoftwareStack, StackProfile, WanConfig};
+pub use fault::{
+    fault_lane, LinkFaultEvent, LinkFaultKind, NetFaultPlan, PartitionSpec, FAULT_LANE_BASE,
+};
 pub use model::{Delivery, NetModel, PathKind, SMALL_BYPASS_BYTES};
 pub use resource::Resource;
 pub use topology::{ClusterId, ClusterSpec, NodeId, Topology, TopologySpec};

@@ -1,7 +1,7 @@
 //! The platform model: resources instantiated from a [`Topology`] plus the
 //! path logic that computes message delivery times.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use ftmpi_sim::{SimDuration, SimTime};
 
@@ -60,6 +60,14 @@ pub struct NetModel {
     /// channel (TCP connections are FIFO; Chandy–Lamport markers rely on
     /// this).
     pair_last: HashMap<(NodeId, NodeId), SimTime>,
+    /// Directed links currently down (see [`crate::fault`]). BTree
+    /// containers so any iteration a future diagnostic adds is
+    /// deterministic.
+    link_down: BTreeSet<(NodeId, NodeId)>,
+    /// Directed links currently degraded to `1/factor` bandwidth.
+    degraded: BTreeMap<(NodeId, NodeId), f64>,
+    /// Active partitions by name: each set is cut off from its complement.
+    partitions: BTreeMap<String, BTreeSet<NodeId>>,
 }
 
 impl NetModel {
@@ -86,12 +94,88 @@ impl NetModel {
             nodes,
             clusters,
             pair_last: HashMap::new(),
+            link_down: BTreeSet::new(),
+            degraded: BTreeMap::new(),
+            partitions: BTreeMap::new(),
         }
     }
 
     /// The platform topology.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Take the directed link `from → to` out of service. Idempotent.
+    pub fn set_link_down(&mut self, from: NodeId, to: NodeId) {
+        self.link_down.insert((from, to));
+    }
+
+    /// Degrade the directed link `from → to` to `1/factor` of its rated
+    /// bandwidth (factors below `1.0` are clamped to `1.0`). Only bulk
+    /// traffic pays the factor — small messages still bypass at packet
+    /// granularity, modelling control packets slipping through a congested
+    /// port. If the link is also down it stays unreachable; the factor
+    /// applies once restored and degraded again.
+    pub fn degrade_link(&mut self, from: NodeId, to: NodeId, factor: f64) {
+        self.degraded.insert((from, to), factor.max(1.0));
+    }
+
+    /// Return the directed link `from → to` to full-rate service, clearing
+    /// both down and degraded state. Idempotent.
+    pub fn restore_link(&mut self, from: NodeId, to: NodeId) {
+        self.link_down.remove(&(from, to));
+        self.degraded.remove(&(from, to));
+    }
+
+    /// Activate the named partition: every node in `nodes` is cut off from
+    /// every node outside the set (both directions). Re-activating an
+    /// active name replaces its node set.
+    pub fn start_partition(
+        &mut self,
+        name: impl Into<String>,
+        nodes: impl IntoIterator<Item = NodeId>,
+    ) {
+        self.partitions
+            .insert(name.into(), nodes.into_iter().collect());
+    }
+
+    /// Heal the named partition. Healing an unknown name is a no-op (the
+    /// cut may have been replaced or never activated).
+    pub fn heal_partition(&mut self, name: &str) {
+        self.partitions.remove(name);
+    }
+
+    /// Whether the named partition is currently active.
+    pub fn partition_active(&self, name: &str) -> bool {
+        self.partitions.contains_key(name)
+    }
+
+    /// Whether any fault state (down links or partitions) currently cuts
+    /// traffic. Degraded links still deliver, so they don't count.
+    pub fn faults_cutting(&self) -> bool {
+        !self.link_down.is_empty() || !self.partitions.is_empty()
+    }
+
+    /// Whether a message from `src` can currently reach `dst`: true unless
+    /// the directed link is down or an active partition separates the two
+    /// endpoints. Loopback (`src == dst`) is always reachable — a node can
+    /// always talk to itself.
+    pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        if src == dst {
+            return true;
+        }
+        if self.link_down.contains(&(src, dst)) {
+            return false;
+        }
+        self.partitions
+            .values()
+            .all(|set| set.contains(&src) == set.contains(&dst))
+    }
+
+    /// The degrade factor currently applied to `src → dst` (`1.0` = full
+    /// rate).
+    fn degrade_factor(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.degraded.get(&(src, dst)).copied().unwrap_or(1.0)
     }
 
     /// Reserve the physical path for one message of `bytes` from `src` to
@@ -135,8 +219,19 @@ impl NetModel {
             )
         } else {
             let src_link = self.topo.link_of(src).clone();
+            let degrade = self.degrade_factor(src, dst);
             let (tx_start, tx_end) = if small {
                 self.nodes[src.0].nic_tx.bypass(earliest, bytes)
+            } else if degrade > 1.0 {
+                // Degraded link: the flow drains at 1/factor of the NIC
+                // rate, but occupies the NIC only for its normal share
+                // (other flows through the same NIC to healthy peers are
+                // not slowed).
+                self.nodes[src.0].nic_tx.reserve_with_rate(
+                    earliest,
+                    bytes,
+                    src_link.nic_bw / degrade,
+                )
             } else {
                 self.nodes[src.0].nic_tx.reserve(earliest, bytes)
             };
@@ -230,7 +325,9 @@ impl NetModel {
             c.wan_up.reset_queue(now);
             c.wan_down.reset_queue(now);
         }
-        // TCP connections died with the job: no FIFO carry-over.
+        // TCP connections died with the job: no FIFO carry-over. Fault
+        // state (down links, degradations, partitions) intentionally
+        // survives — restarting the job does not fix the network.
         self.pair_last.clear();
     }
 }
@@ -370,6 +467,104 @@ mod tests {
         let e2 = net.disk_write(NodeId(0), 60_000_000, SimTime::ZERO);
         assert_eq!(e1.as_secs_f64(), 1.0);
         assert_eq!(e2.as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn link_down_and_restore_flip_reachability() {
+        let mut net = gige4();
+        assert!(net.reachable(NodeId(0), NodeId(1)));
+        net.set_link_down(NodeId(0), NodeId(1));
+        assert!(!net.reachable(NodeId(0), NodeId(1)));
+        // Directed: the reverse link still works.
+        assert!(net.reachable(NodeId(1), NodeId(0)));
+        // Loopback always works.
+        assert!(net.reachable(NodeId(0), NodeId(0)));
+        net.restore_link(NodeId(0), NodeId(1));
+        assert!(net.reachable(NodeId(0), NodeId(1)));
+        assert!(!net.faults_cutting());
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_but_not_within_sides() {
+        let mut net = gige4();
+        net.start_partition("switch-a", [NodeId(0), NodeId(1)]);
+        assert!(net.partition_active("switch-a"));
+        assert!(net.faults_cutting());
+        assert!(!net.reachable(NodeId(0), NodeId(2)));
+        assert!(!net.reachable(NodeId(2), NodeId(0)));
+        // Within the cut set, and within the complement, traffic flows.
+        assert!(net.reachable(NodeId(0), NodeId(1)));
+        assert!(net.reachable(NodeId(2), NodeId(3)));
+        net.heal_partition("switch-a");
+        assert!(!net.partition_active("switch-a"));
+        assert!(net.reachable(NodeId(0), NodeId(2)));
+        // Healing twice (or an unknown name) is a no-op.
+        net.heal_partition("switch-a");
+        net.heal_partition("never-existed");
+    }
+
+    #[test]
+    fn overlapping_partitions_all_apply() {
+        let mut net = gige4();
+        net.start_partition("a", [NodeId(0), NodeId(1)]);
+        net.start_partition("b", [NodeId(1), NodeId(2)]);
+        // 1↔2 crosses partition "a" even though "b" groups them together.
+        assert!(!net.reachable(NodeId(1), NodeId(2)));
+        net.heal_partition("a");
+        assert!(net.reachable(NodeId(1), NodeId(2)));
+        assert!(!net.reachable(NodeId(2), NodeId(3)), "b still cuts");
+    }
+
+    #[test]
+    fn degraded_link_slows_bulk_by_the_factor() {
+        let mut net = gige4();
+        let clean = net.transfer(NodeId(0), NodeId(1), 1 << 20, SimTime::ZERO);
+        let mut slow = gige4();
+        slow.degrade_link(NodeId(0), NodeId(1), 4.0);
+        let deg = slow.transfer(NodeId(0), NodeId(1), 1 << 20, SimTime::ZERO);
+        assert!(slow.reachable(NodeId(0), NodeId(1)), "degraded still up");
+        // The factor applies at the transmit stage: the flow drains the
+        // link at 1/4 rate, adding 3 extra transmit times end-to-end.
+        let extra = 3.0 * SimDuration::for_transfer(1 << 20, 125e6).as_secs_f64();
+        let got = deg.delivered.as_secs_f64() - clean.delivered.as_secs_f64();
+        assert!(
+            (got - extra).abs() < 1e-9,
+            "1 MiB at 1/4 link rate: extra delay {got} want {extra}"
+        );
+        // Factors below 1.0 clamp: no speedup from a "degrade".
+        let mut fast = gige4();
+        fast.degrade_link(NodeId(0), NodeId(1), 0.25);
+        let f = fast.transfer(NodeId(0), NodeId(1), 1 << 20, SimTime::ZERO);
+        assert_eq!(f.delivered, clean.delivered);
+    }
+
+    #[test]
+    fn degraded_link_does_not_slow_small_bypass_or_other_peers() {
+        let mut net = gige4();
+        let clean_small = net.transfer(NodeId(0), NodeId(1), 64, SimTime::ZERO);
+        let clean_other = net.transfer(NodeId(0), NodeId(2), 1 << 20, SimTime::ZERO);
+        let mut deg = gige4();
+        deg.degrade_link(NodeId(0), NodeId(1), 8.0);
+        let small = deg.transfer(NodeId(0), NodeId(1), 64, SimTime::ZERO);
+        let other = deg.transfer(NodeId(0), NodeId(2), 1 << 20, SimTime::ZERO);
+        assert_eq!(small.delivered, clean_small.delivered, "bypass unaffected");
+        assert_eq!(
+            other.delivered, clean_other.delivered,
+            "other peer unaffected"
+        );
+    }
+
+    #[test]
+    fn fault_state_survives_reset_queues() {
+        let mut net = gige4();
+        net.set_link_down(NodeId(0), NodeId(1));
+        net.start_partition("wan", [NodeId(3)]);
+        net.reset_queues(SimTime::from_nanos(1));
+        assert!(
+            !net.reachable(NodeId(0), NodeId(1)),
+            "restart does not fix cables"
+        );
+        assert!(net.partition_active("wan"));
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub(crate) enum EventKind {
     Call(Box<dyn FnOnce(&SimCtx) + Send>),
     /// Hand the execution token to a parked process.
     Resume(Pid, crate::process::WakeKind),
+    /// Apply a scheduled network-fault transition (link down / degrade /
+    /// restore, partition start / heal). Dispatched exactly like `Call`;
+    /// kept as its own variant so the lane audit can prove that fault
+    /// transitions — which race with every flow chunk touching the same
+    /// link — are never scheduled laneless.
+    LinkFault(Box<dyn FnOnce(&SimCtx) + Send>),
 }
 
 pub(crate) struct Event {

@@ -561,6 +561,23 @@ impl Sim {
         self.shared.schedule_call(at, None, f)
     }
 
+    /// Schedule a network-fault transition (link down / degrade / restore,
+    /// partition start / heal) before the run starts. Fault transitions race
+    /// with every flow chunk and retry probe touching the same link, so a
+    /// tiebreak `lane` is mandatory: same-lane same-time events keep their
+    /// scheduling order under any perturbation seed.
+    pub fn schedule_link_fault(
+        &mut self,
+        at: SimTime,
+        lane: u64,
+        f: impl FnOnce(&SimCtx) + Send + 'static,
+    ) -> EventId {
+        let mut st = self.shared.state.lock();
+        let at = at.max(st.now);
+        st.queue
+            .push(at, Some(lane), EventKind::LinkFault(Box::new(f)))
+    }
+
     /// Drive the event loop to completion.
     ///
     /// Ends when the queue drains with no parked processes, when a stop is
@@ -639,7 +656,7 @@ impl Sim {
                         }
                         st.now = ev.time;
                         match ev.kind {
-                            EventKind::Call(f) => {
+                            EventKind::Call(f) | EventKind::LinkFault(f) => {
                                 st.executed += 1;
                                 Dispatch::Call(f, ev.time)
                             }

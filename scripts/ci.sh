@@ -27,8 +27,21 @@ cargo run -q --release -p ftmpi-check -- lint
 echo "==> ftmpi-check smoke (invariants + perturbation)"
 cargo run -q --release -p ftmpi-check -- smoke
 
-echo "==> ftmpi-check storm --smoke (fault-injection campaign)"
+echo "==> ftmpi-check storm --smoke (kills, partitions, node deaths)"
 cargo run -q --release -p ftmpi-check -- storm --smoke
+
+echo "==> cache prune round trip (ftmpi-bench cache --prune)"
+PRUNE_TMP="${TMPDIR:-/tmp}/ftmpi-ci-prune-$$"
+rm -rf "$PRUNE_TMP"
+mkdir -p "$PRUNE_TMP/results/.cache"
+# An orphaned temp file and a corrupt entry: both must be swept.
+printf 'half-written' > "$PRUNE_TMP/results/.cache/.tmp-123-0"
+printf 'not a cache entry' > "$PRUNE_TMP/results/.cache/r-deadbeef"
+cargo run -q --release -p ftmpi-bench --bin ftmpi-bench -- \
+    cache --prune --out "$PRUNE_TMP/results" | grep -q "removed 2"
+test ! -e "$PRUNE_TMP/results/.cache/.tmp-123-0"
+test ! -e "$PRUNE_TMP/results/.cache/r-deadbeef"
+rm -rf "$PRUNE_TMP"
 
 echo "==> result-cache round trip (fig5_servers cold, then warm from disk)"
 CACHE_TMP="${TMPDIR:-/tmp}/ftmpi-ci-cache-$$"

@@ -213,6 +213,7 @@ fn full_stack_determinism_with_failures() {
                 (SimTime::from_nanos(9_000_000_000), 7),
             ],
             server_kills: Vec::new(),
+            node_kills: Vec::new(),
         };
         let res = run_job(spec).expect("run");
         (res.completion.as_nanos(), res.waves(), res.events)
