@@ -40,6 +40,6 @@ pub use lint::{lane_audit_sources, lint_source, run_lint, LintHit};
 pub use perturb::{perturbation_check, PerturbReport};
 pub use storm::{run_storm, run_storm_traced, storm_campaign, StormOutcome};
 pub use suite::{
-    figure_smoke_probe, figures_suite, run_checked, run_checked_with_churn, smoke_probes,
+    figure_smoke_probes, figures_suite, run_checked, run_checked_with_churn, smoke_probes,
     ProbeOutcome,
 };

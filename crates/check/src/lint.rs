@@ -17,7 +17,11 @@
 //!   `crates/sim/src/event.rs` must appear at a schedule site that
 //!   assigns an explicit tiebreak lane (a 3-argument `EventQueue::push`
 //!   whose lane argument is not `None`), so no event class can silently
-//!   reorder under the race detector's perturbation seeds.
+//!   reorder under the race detector's perturbation seeds. The same rule
+//!   pins tiekey *derivation* to `event.rs`: no other sim-crate source may
+//!   mention `splitmix64`, so the queue backends (ladder rungs, heap) can
+//!   only order keys they were handed, never re-derive lane→tiekey
+//!   mappings of their own.
 //!
 //! Escape hatch: a `lint:allow(<rule>)` comment on the offending line or
 //! the line above suppresses the finding.
@@ -355,7 +359,7 @@ pub fn lane_audit_sources(sources: &[(String, String)]) -> Vec<LintHit> {
         }
     }
     let event_lines: Vec<&str> = event_text.lines().collect();
-    variants
+    let mut hits: Vec<LintHit> = variants
         .iter()
         .zip(&covered)
         .filter(|&((_, line), &cov)| !cov && !allowed(&event_lines, line - 1, RULE_LANE_AUDIT))
@@ -368,7 +372,47 @@ pub fn lane_audit_sources(sources: &[(String, String)]) -> Vec<LintHit> {
                  lane; laneless events reorder under perturbation seeds"
             ),
         })
-        .collect()
+        .collect();
+    hits.extend(tiekey_confinement(sources));
+    hits
+}
+
+/// Second half of the lane audit: the lane→tiekey derivation (the
+/// `splitmix64` mixer) must live in `event.rs` and nowhere else in the sim
+/// crate. The queue backends order the keys they are handed; a backend (or
+/// any other module) deriving its own tiekey would silently fork the
+/// ordering contract between the ladder and heap push paths.
+fn tiekey_confinement(sources: &[(String, String)]) -> Vec<LintHit> {
+    let mut hits = Vec::new();
+    for (path, text) in sources {
+        let norm = path.replace('\\', "/");
+        if norm.ends_with("src/event.rs") {
+            continue;
+        }
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            let s = scrub(line);
+            let Some(at) = s.find("splitmix64") else {
+                continue;
+            };
+            let pre = s[..at].chars().next_back().is_some_and(is_ident_char);
+            let post = s[at + "splitmix64".len()..]
+                .chars()
+                .next()
+                .is_some_and(is_ident_char);
+            if !pre && !post && !allowed(&lines, i, RULE_LANE_AUDIT) {
+                hits.push(LintHit {
+                    file: norm.clone(),
+                    line: i + 1,
+                    rule: RULE_LANE_AUDIT,
+                    msg: "tiekey derivation (`splitmix64`) outside event.rs: \
+                          queue backends must order keys, not derive them"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    hits
 }
 
 /// Recursively collect `.rs` files under `dir`, sorted for determinism.
@@ -539,6 +583,34 @@ pub(crate) enum EventKind {
                 "queue.push(at, Some(1), EventKind::Resume(pid, kind));".to_string(),
             ),
         ];
+        assert!(lane_audit_sources(&srcs).is_empty());
+    }
+
+    #[test]
+    fn tiekey_derivation_confined_to_event_rs() {
+        let mut srcs = sources(
+            "queue.push(at, Some(1), EventKind::Resume(pid, kind));\n\
+             queue.push(at, Some(2), EventKind::Call(Box::new(f)));\n",
+        );
+        assert!(lane_audit_sources(&srcs).is_empty());
+        // event.rs itself may (must) derive tiekeys.
+        srcs[0].1.push_str("fn splitmix64(x: u64) -> u64 { x }\n");
+        assert!(lane_audit_sources(&srcs).is_empty());
+        // Any other sim source deriving one is flagged...
+        srcs.push((
+            "crates/sim/src/ladder.rs".into(),
+            "let t = splitmix64(seed ^ lane);\n".into(),
+        ));
+        let hits = lane_audit_sources(&srcs);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, RULE_LANE_AUDIT);
+        assert_eq!(hits[0].file, "crates/sim/src/ladder.rs");
+        // ...unless escaped, mentioned in a comment, or a longer identifier.
+        srcs.last_mut().unwrap().1 =
+            "// splitmix64 is documented here only\nlet x = splitmix64_variant(y);\n".into();
+        assert!(lane_audit_sources(&srcs).is_empty());
+        srcs.last_mut().unwrap().1 =
+            "// lint:allow(lane-audit)\nlet t = splitmix64(seed);\n".into();
         assert!(lane_audit_sources(&srcs).is_empty());
     }
 

@@ -22,7 +22,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ftmpi_check::{
-    figure_smoke_probe, figures_suite, perturbation_check, run_checked_with_churn, run_lint,
+    figure_smoke_probes, figures_suite, perturbation_check, run_checked_with_churn, run_lint,
     smoke_probes, storm_campaign, ProbeOutcome,
 };
 
@@ -103,7 +103,8 @@ fn cmd_smoke() -> ExitCode {
     }
 
     // Perturbation pass: every clean probe plus one class-S figure
-    // workload, three seeded tiebreak schedules each.
+    // workload per covered family (GigE cluster, Myrinet stack), three
+    // seeded tiebreak schedules each.
     type SpecMk = Box<dyn Fn() -> ftmpi_core::JobSpec>;
     let mut perturb_targets: Vec<(String, SpecMk)> = smoke_probes()
         .into_iter()
@@ -119,8 +120,19 @@ fn cmd_smoke() -> ExitCode {
             (name, mk)
         })
         .collect();
-    let (fig_name, _) = figure_smoke_probe();
-    perturb_targets.push((fig_name, Box::new(|| figure_smoke_probe().1)));
+    for (fig_name, _) in figure_smoke_probes() {
+        let wanted = fig_name.clone();
+        perturb_targets.push((
+            fig_name,
+            Box::new(move || {
+                figure_smoke_probes()
+                    .into_iter()
+                    .find(|(n, _)| *n == wanted)
+                    .expect("figure probe name stable")
+                    .1
+            }),
+        ));
+    }
     for (label, mk) in perturb_targets {
         match perturbation_check(mk, &[1, 2, 3]) {
             Ok(rep) => {

@@ -115,17 +115,29 @@ pub fn smoke_probes() -> Vec<(String, JobSpec)> {
     probes
 }
 
-/// The class-S figure workload the smoke perturbation pass covers: the
+/// The class-S figure workloads the smoke perturbation pass covers: the
 /// first entry of the bench crate's fast probe set (4-rank BT.S on the
-/// gigabit cluster under Pcl). Kept out of [`smoke_probes`] so the
-/// invariant+churn pass stays quick; the perturbation pass runs it with
-/// the same seeds as the synthetic probes so a real figure schedule —
-/// skeleton replay, placement, server traffic — is exercised too.
-pub fn figure_smoke_probe() -> (String, JobSpec) {
-    ftmpi_bench::figure_probe_specs(true)
-        .into_iter()
-        .next()
-        .expect("bench fast probe set is non-empty")
+/// gigabit cluster under Pcl) plus the first Myrinet-stack entry, so both
+/// the shared-NIC cluster family and the daemon-stack Myrinet family (a
+/// different contention shape: software overheads dominate the wire) face
+/// the perturbation seeds. Kept out of [`smoke_probes`] so the
+/// invariant+churn pass stays quick; the perturbation pass runs them with
+/// the same seeds as the synthetic probes so real figure schedules —
+/// skeleton replay, placement, server traffic — are exercised too.
+pub fn figure_smoke_probes() -> Vec<(String, JobSpec)> {
+    let mut out: Vec<(String, JobSpec)> = Vec::new();
+    for (name, spec) in ftmpi_bench::figure_probe_specs(true) {
+        let want = out.is_empty()
+            || (name.contains(".myri.") && !out.iter().any(|(n, _)| n.contains(".myri.")));
+        if want {
+            out.push((name, spec));
+        }
+    }
+    assert!(
+        out.len() >= 2,
+        "bench fast probe set lost its Myrinet family"
+    );
+    out
 }
 
 /// Run one spec with tracing enabled and check every invariant.

@@ -29,7 +29,7 @@
 
 use ftmpi_mpi::World;
 use ftmpi_net::NodeId;
-use ftmpi_sim::{SimCtx, SimDuration, SimTime};
+use ftmpi_sim::{batching_enabled, SimCtx, SimDuration, SimTime};
 
 use crate::config::FtConfig;
 
@@ -239,17 +239,72 @@ fn advance_chunk(
         });
         return;
     }
-    let len = spec.chunk.max(1).min(spec.bytes - sent);
-    let net_done =
-        w.rt.net
-            .transfer(spec.src, spec.dst, len, sc.now())
-            .delivered;
-    let done = if spec.also_disk {
-        let disk_done = w.rt.net.disk_write(spec.src, len, sc.now());
-        net_done.max(disk_done)
-    } else {
-        net_done
+    // Reserve this chunk — and, with batching on, keep reserving inline for
+    // as long as the unbatched kernel would have done nothing else anyway.
+    // The unbatched loop schedules one completion event per chunk; when that
+    // event is strictly the earliest thing in the queue, its handler runs
+    // with exactly the model state visible here (nothing else executed in
+    // between, so reachability, the epoch, and every queue frontier are
+    // unchanged), and its reservation call `transfer(src, dst, len, done)`
+    // is replicated bit-for-bit by passing the previous completion time as
+    // `earliest`. Each swallowed completion is credited back to the event
+    // count so run reports — which feed calibration fingerprints — stay
+    // identical. The fast-forward stops at the first chunk whose completion
+    // is *not* strictly earliest (ties included: tiebreak order among
+    // same-time events must stay the kernel's call), at the stop horizon
+    // (the unbatched kernel halts on, without consuming, the first event
+    // past it), and before the final chunk (`on_done` must observe its
+    // completion as a real event time).
+    let batching = batching_enabled();
+    let mut sent = sent;
+    let mut at = sc.now();
+    let mut swallowed: u64 = 0;
+    #[cfg(debug_assertions)]
+    let mut touch_watch: Option<(u64, Option<u64>)> = None;
+    let done = loop {
+        let len = spec.chunk.max(1).min(spec.bytes - sent);
+        let net_done = w.rt.net.transfer(spec.src, spec.dst, len, at).delivered;
+        let done = if spec.also_disk {
+            let disk_done = w.rt.net.disk_write(spec.src, len, at);
+            net_done.max(disk_done)
+        } else {
+            net_done
+        };
+        sent += len;
+        #[cfg(debug_assertions)]
+        {
+            // The batching argument made manifest: within one quiescent
+            // window every chunk bumps the path's contention counters by
+            // exactly the same amount, because no competing reservation can
+            // interleave. (Measured as consecutive per-chunk deltas so the
+            // check is independent of traffic before the window.)
+            let now_touches = w.rt.net.path_touches(spec.src, spec.dst);
+            if let Some((prev_touches, prev_delta)) = touch_watch {
+                let delta = now_touches - prev_touches;
+                if let Some(expect) = prev_delta {
+                    debug_assert_eq!(
+                        delta, expect,
+                        "competing reservation interleaved a batched flow window"
+                    );
+                }
+                touch_watch = Some((now_touches, Some(delta)));
+            } else {
+                touch_watch = Some((now_touches, None));
+            }
+        }
+        let quiescent = batching
+            && sent < spec.bytes
+            && sc.next_event_time().is_none_or(|t| t > done)
+            && sc.horizon().is_none_or(|mt| done <= mt);
+        if !quiescent {
+            break done;
+        }
+        swallowed += 1;
+        at = done;
     };
+    if swallowed > 0 {
+        sc.credit_virtual_events(swallowed);
+    }
     sc.schedule_keyed(done, lane, move |sc| {
         let Some(strong) = handle.upgrade() else {
             return;
@@ -260,17 +315,7 @@ fn advance_chunk(
         }
         // A delivered chunk proves the link: the next stall starts a
         // fresh backoff ladder.
-        advance_chunk(
-            &mut w,
-            sc,
-            spec,
-            sent + len,
-            epoch,
-            retry,
-            0,
-            on_fail,
-            on_done,
-        );
+        advance_chunk(&mut w, sc, spec, sent, epoch, retry, 0, on_fail, on_done);
     });
 }
 

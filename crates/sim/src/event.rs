@@ -1,14 +1,29 @@
 //! The kernel event queue.
 //!
-//! Events are totally ordered by `(time, sequence)`. The sequence number is
-//! assigned when the event is scheduled; because simulated execution is
+//! Events are totally ordered by `(time, tiekey, seq)`. The sequence number
+//! is assigned when the event is scheduled; because simulated execution is
 //! sequential and cooperative, scheduling order — and therefore tie-breaking
 //! among same-time events — is deterministic.
+//!
+//! Two interchangeable backends implement the order:
+//!
+//! * the **ladder queue** ([`crate::ladder`]) — bucketed time wheels with a
+//!   sorted bottom rung, O(1) for the dense same/near-time traffic the
+//!   checkpoint protocols generate (the default), and
+//! * a **binary heap** of the same keys, kept behind the `FTMPI_NO_LADDER`
+//!   environment toggle so CI can prove the two produce byte-identical
+//!   figures.
+//!
+//! Both backends order 32-byte [`Key`](crate::ladder::Key)s; event payloads
+//! (boxed model closures) live in an [`EventArena`](crate::arena::EventArena)
+//! addressed by slot, so no closure is ever moved by a sort or a sift.
 
-use std::cmp::Ordering;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::arena::EventArena;
 use crate::kernel::SimCtx;
+use crate::ladder::{Key, LadderQueue};
 use crate::process::Pid;
 use crate::time::SimTime;
 
@@ -39,32 +54,10 @@ pub(crate) struct Event {
     pub kind: EventKind,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest
-        // (time, tiekey, seq) pops first. `seq` keeps the order total even
-        // if a perturbation seed produced colliding tiekeys.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.tiekey.cmp(&self.tiekey))
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// SplitMix64 finalizer: a cheap, well-mixed bijection on `u64` used to
-/// derive perturbed tiebreak keys from (seed, seq).
+/// derive perturbed tiebreak keys from (seed, seq). Tiekey derivation is
+/// confined to [`EventQueue::push`] — the lane audit enforces that no other
+/// sim-crate code (in particular the queue backends) re-derives one.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -72,15 +65,78 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Tombstone count below which [`EventQueue::cancel`] never compacts; keeps
-/// small queues (the common case: a handful of pending timers) from paying
-/// rebuild costs for no win.
+/// Default tombstone count below which [`EventQueue::cancel`] never
+/// compacts; keeps small queues (the common case: a handful of pending
+/// timers) from paying rebuild costs for no win. Configurable per queue for
+/// the kernel microbenchmark ([`EventQueue::set_compact_min_tombstones`]).
 const COMPACT_MIN_TOMBSTONES: usize = 64;
 
+/// The scheduling structure: either rung-based or heap-based, same total
+/// order. Chosen once per queue (`FTMPI_NO_LADDER` keeps the heap).
+enum Backend {
+    Ladder(LadderQueue),
+    Heap(BinaryHeap<Reverse<Key>>),
+}
+
+impl Backend {
+    fn push(&mut self, k: Key) {
+        match self {
+            Backend::Ladder(q) => q.push(k),
+            Backend::Heap(h) => h.push(Reverse(k)),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Key> {
+        match self {
+            Backend::Ladder(q) => q.pop(),
+            Backend::Heap(h) => h.pop().map(|Reverse(k)| k),
+        }
+    }
+
+    /// Peek needs `&mut`: the ladder may have to spill a bucket to know its
+    /// minimum.
+    fn peek(&mut self) -> Option<Key> {
+        match self {
+            Backend::Ladder(q) => q.peek(),
+            Backend::Heap(h) => h.peek().map(|Reverse(k)| *k),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Backend::Ladder(q) => q.len(),
+            Backend::Heap(h) => h.len(),
+        }
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<Key>) {
+        match self {
+            Backend::Ladder(q) => q.drain_into(out),
+            Backend::Heap(h) => out.extend(std::mem::take(h).into_vec().into_iter().map(|r| r.0)),
+        }
+    }
+
+    fn rebuild(&mut self, keys: Vec<Key>) {
+        match self {
+            Backend::Ladder(q) => q.rebuild(keys),
+            Backend::Heap(h) => *h = keys.into_iter().map(Reverse).collect(),
+        }
+    }
+}
+
+/// `false` when `FTMPI_NO_LADDER` is set: the queue keeps the binary-heap
+/// backend. Both backends realize the same total order, so results are
+/// byte-identical either way; the toggle exists for CI to prove exactly
+/// that across the full figure grid.
+fn ladder_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("FTMPI_NO_LADDER").is_none())
+}
+
 /// Min-queue of pending events plus a tombstone set for cancellation.
-#[derive(Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Event>,
+    backend: Backend,
+    arena: EventArena,
     next_seq: u64,
     cancelled: std::collections::HashSet<u64>,
     /// When set, same-time tiebreaks follow a seeded permutation of the
@@ -88,14 +144,46 @@ pub(crate) struct EventQueue {
     /// preserved (an event scheduled by another still runs after it); only
     /// the order of *independent* same-time events changes.
     tiebreak_seed: Option<u64>,
+    compact_min_tombstones: usize,
     /// Total number of events ever scheduled (for run reports).
     pub scheduled_total: u64,
 }
 
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::with_ladder(ladder_enabled())
+    }
+}
+
 impl EventQueue {
+    /// Construct with an explicit backend choice (tests, microbenchmark;
+    /// ordinary kernels go through `default()` and the env toggle).
+    pub fn with_ladder(ladder: bool) -> EventQueue {
+        EventQueue {
+            backend: if ladder {
+                Backend::Ladder(LadderQueue::new())
+            } else {
+                Backend::Heap(BinaryHeap::new())
+            },
+            arena: EventArena::default(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            tiebreak_seed: None,
+            compact_min_tombstones: COMPACT_MIN_TOMBSTONES,
+            scheduled_total: 0,
+        }
+    }
+
     /// Perturb same-time event ordering with `seed` (race detection).
     pub fn set_tiebreak_seed(&mut self, seed: u64) {
         self.tiebreak_seed = Some(seed);
+    }
+
+    /// Override the compaction trigger (kernel microbenchmark knob; the
+    /// default is [`COMPACT_MIN_TOMBSTONES`]).
+    #[allow(dead_code)] // microbench / tests
+    pub fn set_compact_min_tombstones(&mut self, n: usize) {
+        self.compact_min_tombstones = n.max(1);
     }
 
     /// Schedule an event. `lane` groups events that race on shared state
@@ -113,11 +201,12 @@ impl EventQueue {
             // scheduling order; distinct lanes land in a seeded order.
             Some(seed) => splitmix64(seed ^ lane.unwrap_or(seq)),
         };
-        self.heap.push(Event {
-            time,
-            seq,
+        let slot = self.arena.insert(kind);
+        self.backend.push(Key {
+            time_ns: time.as_nanos(),
             tiekey,
-            kind,
+            seq,
+            slot,
         });
         EventId(seq)
     }
@@ -128,69 +217,111 @@ impl EventQueue {
         // Once tombstones rival live events, pops spend more time skipping
         // corpses than returning work and `len`/`is_empty` drift (a tombstone
         // for an already-popped event is never reclaimed). Rebuilding is
-        // O(heap) but amortized: compaction empties the tombstone set, so it
+        // O(queue) but amortized: compaction empties the tombstone set, so it
         // takes as many fresh cancellations as there are live events before
         // it can trigger again.
-        if self.cancelled.len() >= COMPACT_MIN_TOMBSTONES
-            && self.cancelled.len() * 2 >= self.heap.len()
+        if self.cancelled.len() >= self.compact_min_tombstones
+            && self.cancelled.len() * 2 >= self.backend.len()
         {
             self.compact();
         }
     }
 
-    /// Drop every cancelled event from the heap and clear the tombstone set.
+    /// Drop every cancelled event from the backend and clear the tombstone
+    /// set, reclaiming the corpses' arena slots.
     ///
-    /// Tombstones that match nothing in the heap belong to events that were
-    /// already executed; discarding them restores exact `len`/`is_empty`
-    /// accounting.
+    /// Tombstones that match nothing in the backend belong to events that
+    /// were already executed; discarding them restores exact
+    /// `len`/`is_empty` accounting.
     fn compact(&mut self) {
         let cancelled = std::mem::take(&mut self.cancelled);
-        self.heap = std::mem::take(&mut self.heap)
-            .into_vec()
-            .into_iter()
-            .filter(|ev| !cancelled.contains(&ev.seq))
-            .collect();
+        let mut keys = Vec::with_capacity(self.backend.len());
+        self.backend.drain_into(&mut keys);
+        keys.retain(|k| {
+            if cancelled.contains(&k.seq) {
+                self.arena.discard(k.slot);
+                false
+            } else {
+                true
+            }
+        });
+        self.backend.rebuild(keys);
+    }
+
+    /// Reassemble the event at `k`, taking its payload out of the arena.
+    fn assemble(&mut self, k: Key) -> Event {
+        Event {
+            time: SimTime::from_nanos(k.time_ns),
+            seq: k.seq,
+            tiekey: k.tiekey,
+            kind: self.arena.take(k.slot),
+        }
+    }
+
+    /// Pop and reclaim the cancelled corpse at the queue head iff `k` is
+    /// one. `true` means the caller must re-examine the new head.
+    fn discard_if_corpse(&mut self, k: Key) -> bool {
+        // A single hash probe: `remove` both tests and clears the tombstone.
+        if self.cancelled.remove(&k.seq) {
+            self.backend.pop();
+            self.arena.discard(k.slot);
+            true
+        } else {
+            false
+        }
     }
 
     pub fn pop(&mut self) -> Option<Event> {
-        while let Some(ev) = self.heap.pop() {
-            if self.cancelled.remove(&ev.seq) {
+        loop {
+            let k = self.backend.pop()?;
+            if self.cancelled.remove(&k.seq) {
+                self.arena.discard(k.slot);
                 continue;
             }
-            return Some(ev);
+            return Some(self.assemble(k));
         }
-        None
     }
 
-    /// Pop the next event only if `want` accepts it. Cancelled corpses at
-    /// the front are discarded either way (they would never execute), so a
-    /// refusal means the live head of the queue does not match. Used by the
-    /// kernel to coalesce consecutive same-time wakes for one process into a
-    /// single token handoff.
-    pub fn pop_if(&mut self, want: impl Fn(&Event) -> bool) -> Option<Event> {
+    /// Pop the next event only if `want(time, kind)` accepts it. Cancelled
+    /// corpses at the front are discarded either way (they would never
+    /// execute), so a refusal means the live head of the queue does not
+    /// match. Used by the kernel to coalesce consecutive same-time wakes for
+    /// one process into a single token handoff.
+    pub fn pop_if(&mut self, want: impl Fn(SimTime, &EventKind) -> bool) -> Option<Event> {
         loop {
-            let head = self.heap.peek()?;
-            if self.cancelled.contains(&head.seq) {
-                let corpse = self.heap.pop().expect("peeked event vanished");
-                self.cancelled.remove(&corpse.seq);
+            let k = self.backend.peek()?;
+            if self.discard_if_corpse(k) {
                 continue;
             }
-            if !want(head) {
+            if !want(SimTime::from_nanos(k.time_ns), self.arena.get(k.slot)) {
                 return None;
             }
-            return self.heap.pop();
+            let k = self.backend.pop().expect("peeked event vanished");
+            return Some(self.assemble(k));
+        }
+    }
+
+    /// The time of the next live (non-cancelled) event, without consuming
+    /// it. Corpses discovered at the head are reclaimed on the way.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let k = self.backend.peek()?;
+            if self.discard_if_corpse(k) {
+                continue;
+            }
+            return Some(SimTime::from_nanos(k.time_ns));
         }
     }
 
     #[allow(dead_code)] // used by tests and future schedulers
     pub fn is_empty(&self) -> bool {
         // Cancelled-but-unpopped events don't count as pending work.
-        self.heap.len() <= self.cancelled.len()
+        self.backend.len() <= self.cancelled.len()
     }
 
     #[allow(dead_code)]
     pub fn len(&self) -> usize {
-        self.heap.len().saturating_sub(self.cancelled.len())
+        self.backend.len().saturating_sub(self.cancelled.len())
     }
 }
 
@@ -236,15 +367,30 @@ mod tests {
         q.push(SimTime::from_nanos(5), None, call());
         q.push(SimTime::from_nanos(9), None, call());
         // Head does not match: nothing is consumed.
-        assert!(q.pop_if(|ev| ev.time.as_nanos() == 9).is_none());
+        assert!(q.pop_if(|t, _| t.as_nanos() == 9).is_none());
         assert_eq!(q.len(), 3);
         // Cancel the head; pop_if discards the corpse and matches the next.
         q.cancel(a);
-        let ev = q.pop_if(|ev| ev.time.as_nanos() == 5).unwrap();
+        let ev = q.pop_if(|t, _| t.as_nanos() == 5).unwrap();
         assert_eq!(ev.seq, 1);
-        assert!(q.pop_if(|ev| ev.time.as_nanos() == 5).is_none());
+        assert!(q.pop_if(|t, _| t.as_nanos() == 5).is_none());
         assert_eq!(q.pop().unwrap().time.as_nanos(), 9);
-        assert!(q.pop_if(|_| true).is_none());
+        assert!(q.pop_if(|_, _| true).is_none());
+    }
+
+    #[test]
+    fn peek_time_reports_the_live_head_without_consuming() {
+        let mut q = EventQueue::default();
+        assert_eq!(q.peek_time(), None);
+        let a = q.push(SimTime::from_nanos(5), None, call());
+        q.push(SimTime::from_nanos(8), None, call());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(5)));
+        assert_eq!(q.len(), 2, "peek consumes nothing");
+        q.cancel(a);
+        // The corpse at the head is reclaimed on the way to the answer.
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(8)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().time.as_nanos(), 8);
     }
 
     #[test]
@@ -263,12 +409,13 @@ mod tests {
             .map(|i| q.push(SimTime::from_nanos(i), None, call()))
             .collect();
         // Cancelling half the queue crosses both thresholds (>= 64 tombstones
-        // and tombstones >= half the heap) exactly at the 100th cancel.
+        // and tombstones >= half the backend) exactly at the 100th cancel.
         for id in &ids[..100] {
             q.cancel(*id);
         }
         assert!(q.cancelled.is_empty(), "compaction should clear tombstones");
-        assert_eq!(q.heap.len(), 100, "cancelled events physically removed");
+        assert_eq!(q.backend.len(), 100, "cancelled events physically removed");
+        assert_eq!(q.arena.len(), 100, "corpse payloads reclaimed");
         // Below-threshold cancels stay lazy but len() remains exact.
         for id in &ids[100..150] {
             q.cancel(*id);
@@ -281,6 +428,22 @@ mod tests {
             .collect();
         assert_eq!(times, (150u64..200).collect::<Vec<_>>());
         assert!(q.is_empty());
+        assert_eq!(q.arena.len(), 0, "every payload taken or reclaimed");
+    }
+
+    #[test]
+    fn compaction_threshold_is_configurable() {
+        let mut q = EventQueue::default();
+        q.set_compact_min_tombstones(2);
+        let a = q.push(SimTime::from_nanos(1), None, call());
+        let b = q.push(SimTime::from_nanos(2), None, call());
+        q.push(SimTime::from_nanos(3), None, call());
+        q.push(SimTime::from_nanos(4), None, call());
+        q.cancel(a);
+        assert_eq!(q.cancelled.len(), 1, "below the lowered threshold");
+        q.cancel(b);
+        assert!(q.cancelled.is_empty(), "2 tombstones vs 4 events compacts");
+        assert_eq!(q.backend.len(), 2);
     }
 
     #[test]
@@ -360,10 +523,131 @@ mod tests {
         let mut q = EventQueue::default();
         let id = q.push(SimTime::from_nanos(1), None, call());
         q.cancel(id);
-        // Below COMPACT_MIN_TOMBSTONES the tombstone stays; lazily skipped on
-        // pop as before.
+        // Below the compaction threshold the tombstone stays; lazily skipped
+        // on pop as before.
         assert_eq!(q.cancelled.len(), 1);
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    /// Deterministic xorshift64* generator for the differential test (no
+    /// external RNG crates in the offline build).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 >> 12;
+            self.0 ^= self.0 << 25;
+            self.0 ^= self.0 >> 27;
+            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// Drive both backends through one pseudo-random op and assert their
+    /// answers match. Returns the advanced "now" floor after pops.
+    fn differential_step(
+        rng: &mut XorShift,
+        now: &mut u64,
+        live: &mut Vec<EventId>,
+        heap: &mut EventQueue,
+        ladder: &mut EventQueue,
+    ) {
+        let digest = |ev: &Event| (ev.time.as_nanos(), ev.seq, ev.tiekey);
+        match rng.next() % 10 {
+            // Pushes dominate, with a gap spectrum from exact ties to
+            // far-future: the mix that exercises bottom, wheel and overflow.
+            0..=4 => {
+                let r = rng.next();
+                let gap = match r % 16 {
+                    0..=6 => 0,
+                    7..=10 => r % 1_000,
+                    11..=13 => r % 1_000_000,
+                    _ => r % 2_000_000_000,
+                };
+                let lane = match rng.next() % 4 {
+                    0 => None,
+                    l => Some(l),
+                };
+                let t = SimTime::from_nanos(*now + gap);
+                let a = heap.push(t, lane, call());
+                let b = ladder.push(t, lane, call());
+                assert_eq!(a, b, "backends must assign identical event ids");
+                live.push(a);
+            }
+            // A same-instant burst across lanes: the marker-storm shape.
+            5 => {
+                let t = SimTime::from_nanos(*now + rng.next() % 50);
+                for lane in 0..8u64 {
+                    let a = heap.push(t, Some(lane), call());
+                    let b = ladder.push(t, Some(lane), call());
+                    assert_eq!(a, b);
+                    live.push(a);
+                }
+            }
+            6 | 7 => {
+                let a = heap.pop();
+                let b = ladder.pop();
+                assert_eq!(
+                    a.as_ref().map(&digest),
+                    b.as_ref().map(&digest),
+                    "pop sequences diverged"
+                );
+                if let Some(ev) = a {
+                    *now = ev.time.as_nanos();
+                }
+            }
+            8 => {
+                // pop_if against the actual head time: taken on both or
+                // refused on both.
+                let t = heap.peek_time();
+                assert_eq!(t, ladder.peek_time());
+                let Some(t) = t else { return };
+                let cut = t.as_nanos() + rng.next() % 2;
+                let a = heap.pop_if(|et, _| et.as_nanos() <= cut);
+                let b = ladder.pop_if(|et, _| et.as_nanos() <= cut);
+                assert_eq!(a.as_ref().map(&digest), b.as_ref().map(&digest));
+                if let Some(ev) = a {
+                    *now = ev.time.as_nanos();
+                }
+            }
+            _ => {
+                if !live.is_empty() {
+                    let id = live.swap_remove((rng.next() % live.len() as u64) as usize);
+                    heap.cancel(id);
+                    ladder.cancel(id);
+                }
+            }
+        }
+        assert_eq!(heap.len(), ladder.len(), "len accounting diverged");
+    }
+
+    #[test]
+    fn ladder_and_heap_backends_pop_identically_over_1e5_mixed_ops() {
+        for (seed, tiebreak) in [(0x5EED_0001u64, None), (0x5EED_0002, Some(42))] {
+            let mut heap = EventQueue::with_ladder(false);
+            let mut ladder = EventQueue::with_ladder(true);
+            if let Some(s) = tiebreak {
+                heap.set_tiebreak_seed(s);
+                ladder.set_tiebreak_seed(s);
+            }
+            let mut rng = XorShift(seed);
+            let mut now = 0u64;
+            let mut live: Vec<EventId> = Vec::new();
+            for _ in 0..100_000 {
+                differential_step(&mut rng, &mut now, &mut live, &mut heap, &mut ladder);
+            }
+            // Drain the survivors: the tails must agree too.
+            loop {
+                let a = heap.pop();
+                let b = ladder.pop();
+                assert_eq!(
+                    a.as_ref().map(|e| (e.time, e.seq, e.tiekey)),
+                    b.as_ref().map(|e| (e.time, e.seq, e.tiekey))
+                );
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

@@ -1,19 +1,19 @@
 //! The simulation kernel: event loop, process table, and the [`SimCtx`]
 //! service handle exposed to model code.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
-use crate::event::{Event, EventId, EventKind, EventQueue};
+use crate::event::{EventId, EventKind, EventQueue};
 use crate::pool::{self, LeaseGroup};
 use crate::process::{Handoff, Pid, ProcCtx, ProcessExit, ResumeOutcome, WakeKind};
 use crate::table::ProcTable;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, TraceKind, Tracer};
+use crate::wakes::WakeBatch;
 use crate::KilledSignal;
 
 struct ProcEntry {
@@ -49,12 +49,15 @@ pub(crate) struct KernelState {
 }
 
 /// `false` when `FTMPI_NO_BATCH` is set: every wake gets its own token
-/// handoff, as in the unbatched kernel. The batched and unbatched paths
-/// execute the same events in the same order (batches only coalesce
-/// consecutive same-time wakes for one process, which pop back-to-back
-/// anyway), so results are byte-identical either way; the toggle exists for
-/// CI to prove exactly that.
-fn batching_enabled() -> bool {
+/// handoff, as in the unbatched kernel, and flow transfers schedule one
+/// event per chunk instead of coalescing contention-free chunk runs. The
+/// batched and unbatched paths execute the same events in the same order
+/// (wake batches only coalesce consecutive same-time wakes for one process,
+/// which pop back-to-back anyway; flow batching only swallows completions no
+/// other event could observe), so results are byte-identical either way; the
+/// toggle exists for CI to prove exactly that. Exported for the flow layer
+/// in `ftmpi-core`, which gates its chunk batching on the same switch.
+pub fn batching_enabled() -> bool {
     static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *ON.get_or_init(|| std::env::var_os("FTMPI_NO_BATCH").is_none())
 }
@@ -208,6 +211,31 @@ impl SimCtx {
     /// The current event's virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The time of the next pending event, if any. Event handlers use this
+    /// to decide how far they may safely fast-forward: up to (but not
+    /// including) the next event, nothing else can observe or perturb model
+    /// state. The flow layer's chunk batching is built on exactly that
+    /// window.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.shared.state.lock().queue.peek_time()
+    }
+
+    /// The configured stop horizon ([`Sim::set_max_time`]), if any. Batched
+    /// fast-forwarding must not cross it: the unbatched kernel would have
+    /// stopped at the first event past the horizon.
+    pub fn horizon(&self) -> Option<SimTime> {
+        self.shared.state.lock().max_time
+    }
+
+    /// Account for `n` events that a batching optimization proved
+    /// equivalent to — and therefore did not schedule. Keeps
+    /// [`RunReport::events_executed`] (which feeds calibration tables and
+    /// cache fingerprints) identical between the batched and unbatched
+    /// kernels.
+    pub fn credit_virtual_events(&self, n: u64) {
+        self.shared.state.lock().executed += n;
     }
 
     /// Schedule `f` at absolute time `at` (clamped to now if in the past).
@@ -452,7 +480,7 @@ pub struct Sim {
 /// One unit of work popped under the state lock and dispatched outside it.
 enum Dispatch {
     Call(Box<dyn FnOnce(&SimCtx) + Send>, SimTime),
-    Wakes(Pid, SimTime, VecDeque<(WakeKind, SimTime)>),
+    Wakes(Pid, SimTime, WakeBatch),
 }
 
 impl Default for Sim {
@@ -661,8 +689,7 @@ impl Sim {
                                 Dispatch::Call(f, ev.time)
                             }
                             EventKind::Resume(pid, kind) => {
-                                let mut wakes = VecDeque::with_capacity(1);
-                                wakes.push_back((kind, ev.time));
+                                let mut wakes = WakeBatch::single(kind, ev.time);
                                 if batching {
                                     // Coalesce every immediately-following
                                     // same-time wake for this process into one
@@ -673,12 +700,12 @@ impl Sim {
                                     // would deliver. (`executed` for wake
                                     // batches is accounted after delivery —
                                     // see `resume_process`.)
-                                    while let Some(next) = st.queue.pop_if(|e: &Event| {
-                                        e.time == ev.time
-                                            && matches!(e.kind, EventKind::Resume(p, _) if p == pid)
+                                    while let Some(next) = st.queue.pop_if(|t, k| {
+                                        t == ev.time
+                                            && matches!(k, EventKind::Resume(p, _) if *p == pid)
                                     }) {
                                         if let EventKind::Resume(_, k) = next.kind {
-                                            wakes.push_back((k, next.time));
+                                            wakes.push_back(k, next.time);
                                         }
                                     }
                                 }
@@ -712,12 +739,7 @@ impl Sim {
     /// counted, because the wakes it left unconsumed (it exited mid-batch)
     /// are the ones that loop would have dropped as stale. A process found
     /// already dead still counts its one popped wake, as before.
-    fn resume_process(
-        &self,
-        pid: Pid,
-        wakes: VecDeque<(WakeKind, SimTime)>,
-        now: SimTime,
-    ) -> Option<SimError> {
+    fn resume_process(&self, pid: Pid, wakes: WakeBatch, now: SimTime) -> Option<SimError> {
         let handoff = {
             let st = self.shared.state.lock();
             match st.procs.get(pid) {

@@ -1,0 +1,487 @@
+//! Calendar/ladder queue: the event queue's O(1) backend for dense-time
+//! traffic.
+//!
+//! Three rungs, nearest first:
+//!
+//! * **bottom** — a sorted `Vec<Key>` with a head cursor. Holds every
+//!   pending key with time below `drained_until`. Pop is a cursor bump;
+//!   a push at or after the current tail (the overwhelmingly common case:
+//!   same-instant events appended in `seq` order) is a `Vec::push`.
+//! * **wheel** — [`WHEEL_BUCKETS`] unsorted buckets of `width` nanoseconds
+//!   each, covering `[wheel_start, wheel_start + WHEEL_BUCKETS·width)`.
+//!   A push in range is an O(1) append to its bucket; when the bottom
+//!   drains, the next non-empty bucket is sorted and *spilled* into it.
+//! * **overflow** — an unsorted `Vec` for keys beyond the wheel. When both
+//!   lower rungs drain, the wheel re-anchors at the overflow minimum and
+//!   redistributes what now fits.
+//!
+//! A bucket about to spill more than [`SPLIT_SPILL`] events is **split**
+//! instead: the wheel re-anchors at the bucket with a 256× narrower width
+//! (the ladder's "next rung down"), so the sorted bottom — and the cost of
+//! the O(len) inserts that pushes into the already-drained past pay — stays
+//! bounded no matter how densely events cluster.
+//!
+//! The bucket `width` also adapts to observed event-time density, but
+//! **only at re-anchor or split time** and only from what was already
+//! pushed — a deterministic function of the event sequence, never of
+//! wall-clock or memory state, so replays stay bit-identical.
+//!
+//! Ordering is total on [`Key`] `(time, tiekey, seq)` — identical to the
+//! heap backend, which is what the differential test in `event.rs` pins.
+
+/// Number of wheel buckets. Power of two, sized so the wheel covers a few
+/// thousand "typical gaps" between re-anchors without the array itself
+/// becoming a cache burden.
+pub(crate) const WHEEL_BUCKETS: usize = 256;
+
+/// Bucket width the queue starts with (1 µs) — microsecond-scale gaps are
+/// the NIC/latency granularity of the network model. Re-anchoring adapts it.
+const INITIAL_WIDTH_NS: u64 = 1_000;
+
+/// Widest allowed bucket (keeps `WHEEL_BUCKETS · width` far from overflow).
+const MAX_WIDTH_NS: u64 = 1 << 48;
+
+/// Spilled buckets averaging more events than this halve the width.
+const DENSE_PER_BUCKET: u64 = 16;
+
+/// Spilled buckets averaging fewer events than this double the width.
+const SPARSE_PER_BUCKET: u64 = 2;
+
+/// A bucket about to spill more events than this is *split* instead: the
+/// wheel re-anchors at the bucket with a 256× narrower width (recursively,
+/// down to 1 ns). Splitting bounds the bottom rung — and with it the cost
+/// of the sorted inserts near-past pushes pay — regardless of how many
+/// events pile into one bucket. Without it, a steady near-time workload
+/// (thousands of events within a microsecond, the chunked-flow shape)
+/// degenerates: one spill dumps the whole population into the bottom and
+/// every subsequent push becomes an O(n) memmove.
+const SPLIT_SPILL: usize = 64;
+
+/// Scheduling key: the total event order `(time, tiekey, seq)` plus the
+/// arena slot of the payload. Sorting moves only this 32-byte `Copy` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Key {
+    pub time_ns: u64,
+    pub tiekey: u64,
+    pub seq: u64,
+    pub slot: u32,
+}
+
+pub(crate) struct LadderQueue {
+    /// Sorted ascending; `bottom[head..]` are pending. Every key here is
+    /// strictly below `drained_until`.
+    bottom: Vec<Key>,
+    head: usize,
+    wheel: Vec<Vec<Key>>,
+    wheel_start: u64,
+    width: u64,
+    /// Next wheel bucket to spill; buckets below `cur` are empty.
+    cur: usize,
+    /// Times strictly below this belong to the bottom rung.
+    drained_until: u64,
+    /// Unsorted keys beyond the wheel span.
+    overflow: Vec<Key>,
+    len: usize,
+    /// Sweep statistics since the last re-anchor (width adaptation input).
+    spilled_events: u64,
+    spilled_buckets: u64,
+    /// Scratch vector recycled across re-anchors.
+    scratch: Vec<Key>,
+}
+
+impl LadderQueue {
+    pub fn new() -> LadderQueue {
+        LadderQueue::with_width(INITIAL_WIDTH_NS)
+    }
+
+    fn with_width(width: u64) -> LadderQueue {
+        LadderQueue {
+            bottom: Vec::new(),
+            head: 0,
+            wheel: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            wheel_start: 0,
+            width: width.clamp(1, MAX_WIDTH_NS),
+            cur: 0,
+            drained_until: 0,
+            overflow: Vec::new(),
+            len: 0,
+            spilled_events: 0,
+            spilled_buckets: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn push(&mut self, k: Key) {
+        self.len += 1;
+        if k.time_ns < self.drained_until {
+            // Below the drain point: the key must enter the sorted bottom.
+            // Appending covers the dense same-time case (new events carry
+            // fresh `seq`s, sorting at or after the current tail); anything
+            // else binary-searches into the live suffix.
+            if self.bottom.last().is_none_or(|tail| *tail <= k) {
+                self.bottom.push(k);
+            } else {
+                let at = match self.bottom[self.head..].binary_search(&k) {
+                    Ok(i) | Err(i) => self.head + i,
+                };
+                self.bottom.insert(at, k);
+            }
+            return;
+        }
+        let idx = (k.time_ns - self.wheel_start) / self.width;
+        if idx < WHEEL_BUCKETS as u64 {
+            self.wheel[idx as usize].push(k);
+        } else {
+            self.overflow.push(k);
+        }
+    }
+
+    pub fn peek(&mut self) -> Option<Key> {
+        if self.ensure_head() {
+            Some(self.bottom[self.head])
+        } else {
+            None
+        }
+    }
+
+    pub fn pop(&mut self) -> Option<Key> {
+        if !self.ensure_head() {
+            return None;
+        }
+        let k = self.bottom[self.head];
+        self.head += 1;
+        self.len -= 1;
+        // Reclaim the consumed prefix once it dominates the vector, so a
+        // long run through one spilled bucket doesn't pin its memory.
+        if self.head >= 64 && self.head * 2 >= self.bottom.len() {
+            self.bottom.drain(..self.head);
+            self.head = 0;
+        }
+        Some(k)
+    }
+
+    /// Make `bottom[head]` the queue minimum, spilling wheel buckets and
+    /// re-anchoring from the overflow as needed. `false` iff empty.
+    fn ensure_head(&mut self) -> bool {
+        loop {
+            if self.head < self.bottom.len() {
+                return true;
+            }
+            self.bottom.clear();
+            self.head = 0;
+            // Spill the next non-empty wheel bucket into the bottom.
+            while self.cur < WHEEL_BUCKETS {
+                if self.wheel[self.cur].is_empty() {
+                    self.cur += 1;
+                    self.drained_until = self
+                        .wheel_start
+                        .saturating_add(self.cur as u64 * self.width);
+                    continue;
+                }
+                if self.width > 1
+                    && self.wheel[self.cur].len() > SPLIT_SPILL
+                    && self.split_current()
+                {
+                    // Re-anchored narrower over the dense bucket: rescan
+                    // from the new wheel's first bucket.
+                    continue;
+                }
+                let bucket = &mut self.wheel[self.cur];
+                self.cur += 1;
+                self.drained_until = self
+                    .wheel_start
+                    .saturating_add(self.cur as u64 * self.width);
+                self.spilled_events += bucket.len() as u64;
+                self.spilled_buckets += 1;
+                // The bucket keeps its capacity inside the wheel — spilled
+                // storage is recycled on the next lap.
+                self.bottom.append(bucket);
+                self.bottom.sort_unstable();
+                return true;
+            }
+            if self.overflow.is_empty() {
+                return false;
+            }
+            self.reanchor();
+        }
+    }
+
+    /// Re-anchor the wheel *at the current dense bucket* with a 256×
+    /// narrower width, redistributing its keys over the new span; later
+    /// buckets (now beyond the span) move to the overflow. Returns `false`
+    /// when every key in the bucket sits at one instant — no width can
+    /// separate them, and a same-instant spill is cheap anyway (new pushes
+    /// at that instant carry fresh `seq`s and append at the bottom's tail).
+    fn split_current(&mut self) -> bool {
+        let bucket = &self.wheel[self.cur];
+        let min_t = bucket.iter().map(|k| k.time_ns).min();
+        let max_t = bucket.iter().map(|k| k.time_ns).max();
+        if min_t == max_t {
+            return false;
+        }
+        let start = self.wheel_start + self.cur as u64 * self.width;
+        // ceil: the new span must still cover the whole old bucket. The
+        // slack this adds means the new span can reach slightly *past* the
+        // old bucket, so keys from later buckets (and even the overflow)
+        // may belong on either side of the new wheel/overflow boundary —
+        // every key at or above the split point is re-placed under the new
+        // anchor to keep the rung invariants exact. Later rungs are near
+        // empty in the dense steady state that triggers splits, so this
+        // stays O(bucket).
+        let new_width = self.width.div_ceil(WHEEL_BUCKETS as u64).max(1);
+        let mut pending = std::mem::take(&mut self.scratch);
+        pending.clear();
+        for b in &mut self.wheel[self.cur..] {
+            pending.append(b);
+        }
+        pending.append(&mut self.overflow);
+        self.wheel_start = start;
+        self.width = new_width;
+        self.cur = 0;
+        self.drained_until = start;
+        for k in pending.drain(..) {
+            let idx = (k.time_ns - start) / new_width;
+            if idx < WHEEL_BUCKETS as u64 {
+                self.wheel[idx as usize].push(k);
+            } else {
+                self.overflow.push(k);
+            }
+        }
+        self.scratch = pending;
+        true
+    }
+
+    /// Re-anchor the wheel at the overflow minimum, redistributing every
+    /// key that now fits, and adapt the bucket width from the sweep
+    /// statistics of the finished lap.
+    fn reanchor(&mut self) {
+        if let Some(per_bucket) = self.spilled_events.checked_div(self.spilled_buckets) {
+            if per_bucket > DENSE_PER_BUCKET {
+                self.width = (self.width / 2).max(1);
+            } else if per_bucket < SPARSE_PER_BUCKET {
+                self.width = self.width.saturating_mul(2).min(MAX_WIDTH_NS);
+            }
+        }
+        self.spilled_events = 0;
+        self.spilled_buckets = 0;
+        let min_t = self
+            .overflow
+            .iter()
+            .map(|k| k.time_ns)
+            .min()
+            .expect("reanchor on empty overflow");
+        self.wheel_start = min_t;
+        self.drained_until = min_t;
+        self.cur = 0;
+        let mut pending = std::mem::take(&mut self.overflow);
+        self.scratch.clear();
+        for k in pending.drain(..) {
+            let idx = (k.time_ns - self.wheel_start) / self.width;
+            if idx < WHEEL_BUCKETS as u64 {
+                self.wheel[idx as usize].push(k);
+            } else {
+                self.scratch.push(k);
+            }
+        }
+        std::mem::swap(&mut self.overflow, &mut self.scratch);
+        self.scratch = pending; // recycle the drained vector's capacity
+    }
+
+    /// Move every pending key into `out` (compaction support). The queue is
+    /// left empty but keeps its anchor and learned width.
+    pub fn drain_into(&mut self, out: &mut Vec<Key>) {
+        out.extend_from_slice(&self.bottom[self.head..]);
+        self.bottom.clear();
+        self.head = 0;
+        for bucket in &mut self.wheel[self.cur..] {
+            out.append(bucket);
+        }
+        out.append(&mut self.overflow);
+        self.len = 0;
+    }
+
+    /// Rebuild from a key set (compaction support), keeping learned width.
+    pub fn rebuild(&mut self, keys: Vec<Key>) {
+        debug_assert_eq!(self.len, 0, "rebuild on a non-empty ladder");
+        for k in keys {
+            self.push(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(time_ns: u64, seq: u64) -> Key {
+        Key {
+            time_ns,
+            tiekey: seq,
+            seq,
+            slot: seq as u32,
+        }
+    }
+
+    fn drain(q: &mut LadderQueue) -> Vec<u64> {
+        std::iter::from_fn(|| q.pop()).map(|k| k.seq).collect()
+    }
+
+    #[test]
+    fn pops_in_total_key_order() {
+        let mut q = LadderQueue::new();
+        // Mixed placement: same-time burst (bottom/bucket 0), near-future
+        // (wheel), and far-future (overflow, forcing a re-anchor).
+        let times = [5u64, 5, 5, 900, 2_500, 40_000_000, 40_000_000, 7];
+        for (seq, t) in times.iter().enumerate() {
+            q.push(key(*t, seq as u64));
+        }
+        assert_eq!(q.len(), times.len());
+        assert_eq!(drain(&mut q), vec![0, 1, 2, 7, 3, 4, 5, 6]);
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pushes_below_the_drain_point_sort_into_the_bottom() {
+        let mut q = LadderQueue::new();
+        q.push(key(10, 0));
+        q.push(key(500, 1));
+        assert_eq!(q.pop().unwrap().seq, 0); // spills bucket 0, drained past 500
+                                             // Same-instant follow-ups (the dense hot path) append; an earlier
+                                             // time lands before the pending tail.
+        q.push(key(500, 2));
+        q.push(key(500, 3));
+        q.push(key(20, 4));
+        assert_eq!(drain(&mut q), vec![4, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reanchor_handles_wide_and_extreme_times() {
+        let mut q = LadderQueue::new();
+        q.push(key(u64::MAX, 0));
+        q.push(key(1 << 50, 1));
+        q.push(key(3, 2));
+        assert_eq!(drain(&mut q), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order_against_a_model_heap() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut q = LadderQueue::new();
+        let mut model: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
+        // Deterministic pseudo-random mix (xorshift64*), biased to pushes.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut step = || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        let mut now = 0u64;
+        for seq in 0..20_000u64 {
+            let r = step();
+            if r % 4 != 0 {
+                // Push at now + a spread of gaps: 0 (ties), ns, µs, ms.
+                let gap = match r % 16 {
+                    0..=7 => 0,
+                    8..=11 => r % 1_000,
+                    12..=14 => r % 1_000_000,
+                    _ => r % 1_000_000_000,
+                };
+                let k = key(now + gap, seq);
+                q.push(k);
+                model.push(Reverse(k));
+            } else {
+                let got = q.pop();
+                let want = model.pop().map(|Reverse(k)| k);
+                assert_eq!(got, want);
+                if let Some(k) = got {
+                    now = k.time_ns;
+                }
+            }
+            assert_eq!(q.len(), model.len());
+        }
+        while let Some(Reverse(want)) = model.pop() {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn dense_buckets_split_instead_of_flooding_the_bottom() {
+        // The near-time steady state that motivates splitting: thousands of
+        // events inside one initial-width bucket, popped and replenished at
+        // the head. Correctness: order must match the model heap exactly.
+        // (Performance is pinned by the kernel microbench, not here.)
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut q = LadderQueue::new();
+        let mut model: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
+        let mut x = 0xdeadbeefcafef00du64;
+        let mut step = || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        // Prefill: 4000 events within one 1 µs bucket.
+        for _ in 0..4_000 {
+            let k = key(now + step() % 1_000, seq);
+            seq += 1;
+            q.push(k);
+            model.push(Reverse(k));
+        }
+        // Steady near-time churn across the split-up wheel, with an
+        // occasional far-future key so splits must keep the wheel/overflow
+        // boundary exact.
+        for _ in 0..8_000 {
+            let r = step();
+            let gap = if r % 32 == 0 {
+                r % 1_000_000
+            } else {
+                r % 1_000
+            };
+            let k = key(now + gap, seq);
+            seq += 1;
+            q.push(k);
+            model.push(Reverse(k));
+            let got = q.pop();
+            let want = model.pop().map(|Reverse(k)| k);
+            assert_eq!(got, want);
+            now = got.unwrap().time_ns;
+        }
+        while let Some(Reverse(want)) = model.pop() {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn drain_and_rebuild_round_trip() {
+        let mut q = LadderQueue::new();
+        for seq in 0..100u64 {
+            q.push(key(seq * 37 % 1_000_000, seq));
+        }
+        let _ = q.pop();
+        let mut keys = Vec::new();
+        q.drain_into(&mut keys);
+        assert_eq!(keys.len(), 99);
+        assert_eq!(q.len(), 0);
+        keys.retain(|k| k.seq % 2 == 0);
+        let expect = keys.len();
+        q.rebuild(keys);
+        assert_eq!(q.len(), expect);
+        let mut last = None;
+        while let Some(k) = q.pop() {
+            assert!(last.is_none_or(|l| l <= k), "order after rebuild");
+            last = Some(k);
+        }
+    }
+}

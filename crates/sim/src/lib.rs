@@ -42,17 +42,21 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod event;
 mod kernel;
+mod ladder;
+pub mod microbench;
 mod pool;
 mod process;
 mod reply;
 mod table;
 mod time;
 mod trace;
+mod wakes;
 
 pub use event::EventId;
-pub use kernel::{DeadlockInfo, RunReport, Sim, SimCtx, SimError};
+pub use kernel::{batching_enabled, DeadlockInfo, RunReport, Sim, SimCtx, SimError};
 pub use pool::{pool_stats, wait_live_below, PoolStats};
 pub use process::{Pid, ProcCtx, ProcessExit, SharedFlag};
 pub use reply::Reply;

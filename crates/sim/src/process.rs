@@ -6,7 +6,6 @@
 //! state never sees concurrent access even though it is shared across
 //! threads, and all scheduling decisions are deterministic.
 
-use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -16,6 +15,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::kernel::SimCtx;
 use crate::reply::Reply;
 use crate::time::{SimDuration, SimTime};
+use crate::wakes::WakeBatch;
 use crate::KilledSignal;
 
 /// Identifier of a simulated process. Never reused within a simulation.
@@ -75,10 +75,12 @@ pub(crate) enum ResumeOutcome {
 struct HandoffInner {
     state: HandoffState,
     /// Wakes delivered with the current token handoff but not yet consumed.
-    /// A parked process drains this queue in FIFO order before giving the
+    /// A parked process drains this batch in FIFO order before giving the
     /// token back, so a batch of same-time wakes costs one Condvar
-    /// round-trip instead of one per wake.
-    pending: VecDeque<(WakeKind, SimTime)>,
+    /// round-trip instead of one per wake. The inline-storage batch keeps
+    /// the common cases (one wake, or a handful of coalesced ones) free of
+    /// heap allocation.
+    pending: WakeBatch,
     /// Wakes the process has consumed during the current `resume_batch`.
     delivered: usize,
 }
@@ -94,7 +96,7 @@ impl Handoff {
         Arc::new(Handoff {
             inner: Mutex::new(HandoffInner {
                 state: HandoffState::KernelHeld,
-                pending: VecDeque::new(),
+                pending: WakeBatch::new(),
                 delivered: 0,
             }),
             cv: Condvar::new(),
@@ -103,9 +105,7 @@ impl Handoff {
 
     /// Kernel side: deliver a single wake (see [`Handoff::resume_batch`]).
     pub fn resume(&self, kind: WakeKind, now: SimTime) -> ResumeOutcome {
-        let mut wakes = VecDeque::with_capacity(1);
-        wakes.push_back((kind, now));
-        self.resume_batch(wakes).0
+        self.resume_batch(WakeBatch::single(kind, now)).0
     }
 
     /// Kernel side: give the token to the process with a non-empty FIFO
@@ -114,7 +114,7 @@ impl Handoff {
     /// that exits mid-batch leaves the rest undelivered, exactly like the
     /// unbatched kernel dropping stale wakes for a dead process). Must be
     /// called *without* holding the kernel state lock.
-    pub fn resume_batch(&self, mut wakes: VecDeque<(WakeKind, SimTime)>) -> (ResumeOutcome, usize) {
+    pub fn resume_batch(&self, mut wakes: WakeBatch) -> (ResumeOutcome, usize) {
         let mut st = self.inner.lock();
         match st.state {
             HandoffState::Exited(ref e) => return (ResumeOutcome::Exited(e.clone()), 0),

@@ -58,12 +58,26 @@ cargo run -q --release -p ftmpi-bench --bin fig5_servers -- \
 grep -q "/ 0 misses" "$CACHE_TMP/warm.log"
 grep -q "rank-thread pool: 0 checkouts" "$CACHE_TMP/warm.log"
 cmp "$CACHE_TMP/cold.json" "$CACHE_TMP/results/fig5.json"
-# Pool, batching, and cache off: the figure must still be byte-identical.
+# Ladder, pool, batching, and cache off: the figure must still be
+# byte-identical — the heap backend and unbatched flows are the reference
+# semantics, not a degraded mode.
 rm "$CACHE_TMP/results/fig5.json"
-FTMPI_NO_POOL=1 FTMPI_NO_BATCH=1 FTMPI_NO_CACHE=1 \
+FTMPI_NO_LADDER=1 FTMPI_NO_POOL=1 FTMPI_NO_BATCH=1 FTMPI_NO_CACHE=1 \
     cargo run -q --release -p ftmpi-bench --bin fig5_servers -- \
     --fast --out "$CACHE_TMP/results" > "$CACHE_TMP/plain.log"
 cmp "$CACHE_TMP/cold.json" "$CACHE_TMP/results/fig5.json"
 rm -rf "$CACHE_TMP"
+
+echo "==> calibration seed cache (cold calibrate run, zero simulations)"
+SEED_TMP="${TMPDIR:-/tmp}/ftmpi-ci-seed-$$"
+rm -rf "$SEED_TMP"
+# A cold out dir must be served entirely by the committed seed entries.
+cargo run -q --release -p ftmpi-bench --bin calibrate -- \
+    --out "$SEED_TMP/results" > "$SEED_TMP.log"
+grep -q "6 hits (6 from disk) / 0 misses" "$SEED_TMP.log"
+rm -rf "$SEED_TMP" "$SEED_TMP.log"
+
+echo "==> kernel microbench (ladder vs heap, BENCH_kernel.json)"
+cargo run -q --release -p ftmpi-bench --bin kernel_bench -- --quick
 
 echo "CI green."
