@@ -1,0 +1,469 @@
+//! Happens-before oracle over protocol traces.
+//!
+//! The schedule explorer needs to know which pairs of same-instant events
+//! *commute* — produce the same final state in either order — so it can
+//! prune redundant interleavings. Two complementary views are provided:
+//!
+//! * **Vector clocks** ([`clock_trace`]): every typed [`ProtoEvent`] in a
+//!   trace is stamped with a vector clock over logical threads (one per
+//!   rank plus one control thread for wave/scheduler activity). Clock
+//!   edges are the protocol's real causality: program order per thread,
+//!   `Send → Deliver` matched on `(src, dst, seq, epoch)`, `MarkerSend →
+//!   MarkerRecv` matched on `(wave, from, to)`, `WaveStart → MarkerSend`
+//!   of the same wave (the wave's initiation causally precedes every
+//!   marker it spawns), and `Fork`/`LogMsg` → `WaveCommit`/`WaveAbort`
+//!   (a wave's outcome joins every contribution). Two events are
+//!   [`concurrent`] exactly when neither clock dominates.
+//!
+//! * **Resource footprints** ([`resources`], [`commutes`]): a syntactic
+//!   over-approximation of what state an event touches — the acting
+//!   rank, the channel, the wave-control state. Two *effect windows*
+//!   (the proto events one kernel step emitted) commute when their
+//!   footprints are disjoint. This is the fast path the DPOR loop uses
+//!   at branch points; the vector clocks are the ground truth it is
+//!   validated against: among *simultaneously enabled* events (the only
+//!   pairs the explorer ever compares — same-instant queue candidates),
+//!   a pair the footprints call commuting must be concurrent under the
+//!   clocks (see the `footprint_respects_clocks` test). Causally chained
+//!   events at different instants may well have disjoint footprints;
+//!   they are never candidates together, so the oracle never sees them.
+//!
+//! Both views are deliberately conservative: an empty effect window (a
+//! step that emitted no protocol events — pure compute, flow chunks,
+//! timer pops) has an *unknown* footprint and conflicts with everything;
+//! `Restart` and `ServerFail` touch global recovery state and conflict
+//! with everything. Conservatism costs exploration time, never
+//! soundness: the explorer's state-fingerprint memo recovers most of the
+//! pruning that footprints refuse.
+
+use std::collections::HashMap;
+
+use ftmpi_sim::{ProtoEvent, TraceEvent, TraceKind};
+
+/// A vector clock over `width` logical threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    fn new(width: usize) -> VClock {
+        VClock(vec![0; width])
+    }
+
+    fn tick(&mut self, thread: usize) {
+        self.0[thread] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Component-wise `self ≤ other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+}
+
+/// One protocol event with its causal stamp.
+#[derive(Debug, Clone)]
+pub struct ClockedEvent {
+    /// Index of the event in the (proto-filtered) trace.
+    pub index: usize,
+    /// The event itself.
+    pub event: ProtoEvent,
+    /// Logical thread the event executed on (rank, or `nranks` for the
+    /// control thread).
+    pub thread: usize,
+    /// The event's vector clock (after its own tick).
+    pub clock: VClock,
+}
+
+/// `true` when `a` causally precedes `b`.
+pub fn happens_before(a: &ClockedEvent, b: &ClockedEvent) -> bool {
+    a.index != b.index && a.clock.le(&b.clock)
+}
+
+/// `true` when neither event causally precedes the other.
+pub fn concurrent(a: &ClockedEvent, b: &ClockedEvent) -> bool {
+    !happens_before(a, b) && !happens_before(b, a)
+}
+
+/// The logical thread a proto event executes on: the acting rank, or the
+/// control thread (`nranks`) for wave lifecycle and recovery events.
+fn thread_of(nranks: usize, ev: &ProtoEvent) -> usize {
+    match *ev {
+        ProtoEvent::Send { src, .. } => src,
+        ProtoEvent::Deliver { dst, .. } | ProtoEvent::Replay { dst, .. } => dst,
+        ProtoEvent::MarkerSend { from, .. } => from,
+        ProtoEvent::MarkerRecv { to, .. } => to,
+        ProtoEvent::Fork { rank, .. } => rank,
+        ProtoEvent::LogMsg { dst, .. } => dst,
+        ProtoEvent::WaveStart { .. }
+        | ProtoEvent::WaveCommit { .. }
+        | ProtoEvent::WaveAbort { .. }
+        | ProtoEvent::ServerFail { .. }
+        | ProtoEvent::Restart { .. } => nranks,
+    }
+    .min(nranks)
+}
+
+/// Stamp every proto event in `trace` with a vector clock (threads =
+/// ranks `0..nranks` plus control thread `nranks`). Non-proto trace
+/// entries are skipped; `index` counts proto events only.
+pub fn clock_trace(nranks: usize, trace: &[TraceEvent]) -> Vec<ClockedEvent> {
+    let width = nranks + 1;
+    let mut threads: Vec<VClock> = vec![VClock::new(width); width];
+    // Pending cross-thread edges, keyed by the match the receiver makes.
+    let mut sends: HashMap<(usize, usize, u64, u64), VClock> = HashMap::new();
+    let mut markers: HashMap<(u64, usize, usize), VClock> = HashMap::new();
+    let mut wave_start: HashMap<u64, VClock> = HashMap::new();
+    // Accumulated join of every Fork/LogMsg contribution per wave.
+    let mut wave_parts: HashMap<u64, VClock> = HashMap::new();
+    let mut out = Vec::new();
+    for te in trace {
+        let TraceKind::Proto(ev) = te.kind else {
+            continue;
+        };
+        let t = thread_of(nranks, &ev);
+        let mut clock = threads[t].clone();
+        match ev {
+            ProtoEvent::Deliver {
+                src,
+                dst,
+                seq,
+                epoch,
+            } => {
+                if let Some(c) = sends.remove(&(src, dst, seq, epoch)) {
+                    clock.join(&c);
+                }
+            }
+            ProtoEvent::Replay {
+                src,
+                dst,
+                seq,
+                epoch,
+            } => {
+                // The original send may predate the restored era and be
+                // absent from this trace; join only if it is present.
+                if let Some(c) = sends.remove(&(src, dst, seq, epoch)) {
+                    clock.join(&c);
+                }
+            }
+            ProtoEvent::MarkerRecv { wave, from, to } => {
+                if let Some(c) = markers.remove(&(wave, from, to)) {
+                    clock.join(&c);
+                }
+            }
+            ProtoEvent::MarkerSend { wave, .. } => {
+                if let Some(c) = wave_start.get(&wave) {
+                    clock.join(c);
+                }
+            }
+            ProtoEvent::WaveCommit { wave } | ProtoEvent::WaveAbort { wave } => {
+                if let Some(c) = wave_parts.remove(&wave) {
+                    clock.join(&c);
+                }
+            }
+            _ => {}
+        }
+        clock.tick(t);
+        match ev {
+            ProtoEvent::Send {
+                src,
+                dst,
+                seq,
+                epoch,
+                ..
+            } => {
+                sends.insert((src, dst, seq, epoch), clock.clone());
+            }
+            ProtoEvent::MarkerSend { wave, from, to } => {
+                markers.insert((wave, from, to), clock.clone());
+            }
+            ProtoEvent::WaveStart { wave } => {
+                wave_start.insert(wave, clock.clone());
+            }
+            ProtoEvent::Fork { wave, .. } | ProtoEvent::LogMsg { wave, .. } => {
+                wave_parts
+                    .entry(wave)
+                    .or_insert_with(|| VClock::new(width))
+                    .join(&clock);
+            }
+            _ => {}
+        }
+        threads[t] = clock.clone();
+        out.push(ClockedEvent {
+            index: out.len(),
+            event: ev,
+            thread: t,
+            clock,
+        });
+    }
+    out
+}
+
+/// A unit of protocol state an event reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// One rank's runtime state (matching engine, protocol flags).
+    Rank(usize),
+    /// One directed channel's in-flight state.
+    Channel(usize, usize),
+    /// The wave lifecycle state (scheduler / initiator bookkeeping).
+    WaveControl,
+    /// Recovery-wide state; conflicts with everything.
+    Global,
+}
+
+impl Resource {
+    fn conflicts(self, other: Resource) -> bool {
+        self == other || self == Resource::Global || other == Resource::Global
+    }
+}
+
+/// The (over-approximate) resource footprint of one proto event.
+pub fn resources(ev: &ProtoEvent) -> Vec<Resource> {
+    match *ev {
+        ProtoEvent::Send { src, dst, .. } => {
+            vec![Resource::Rank(src), Resource::Channel(src, dst)]
+        }
+        ProtoEvent::Deliver { src, dst, .. } | ProtoEvent::Replay { src, dst, .. } => {
+            vec![Resource::Rank(dst), Resource::Channel(src, dst)]
+        }
+        ProtoEvent::MarkerSend { from, to, .. } => vec![
+            Resource::Rank(from),
+            Resource::Channel(from, to),
+            Resource::WaveControl,
+        ],
+        ProtoEvent::MarkerRecv { from, to, .. } => vec![
+            Resource::Rank(to),
+            Resource::Channel(from, to),
+            Resource::WaveControl,
+        ],
+        ProtoEvent::Fork { rank, .. } => vec![Resource::Rank(rank), Resource::WaveControl],
+        ProtoEvent::LogMsg { src, dst, .. } => vec![
+            Resource::Rank(dst),
+            Resource::Channel(src, dst),
+            Resource::WaveControl,
+        ],
+        ProtoEvent::WaveStart { .. }
+        | ProtoEvent::WaveCommit { .. }
+        | ProtoEvent::WaveAbort { .. } => vec![Resource::WaveControl],
+        ProtoEvent::ServerFail { .. } | ProtoEvent::Restart { .. } => vec![Resource::Global],
+    }
+}
+
+/// Decide whether two kernel-step effect windows commute.
+///
+/// `a` and `b` are the proto events each step emitted. An **empty**
+/// window means the step's footprint is unknown (it touched simulator
+/// state the trace cannot see) and is conservatively declared
+/// conflicting. Otherwise the windows commute iff no resource of one
+/// conflicts with a resource of the other.
+pub fn commutes(a: &[ProtoEvent], b: &[ProtoEvent]) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    let ra: Vec<Resource> = a.iter().flat_map(resources).collect();
+    for eb in b {
+        for rb in resources(eb) {
+            if ra.iter().any(|&r| r.conflicts(rb)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmpi_sim::SimTime;
+
+    fn te(ns: u64, ev: ProtoEvent) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_nanos(ns),
+            kind: TraceKind::Proto(ev),
+            pid: None,
+            detail: String::new(),
+        }
+    }
+
+    fn send(src: usize, dst: usize, seq: u64) -> ProtoEvent {
+        ProtoEvent::Send {
+            src,
+            dst,
+            seq,
+            bytes: 1,
+            epoch: 0,
+        }
+    }
+
+    fn deliver(src: usize, dst: usize, seq: u64) -> ProtoEvent {
+        ProtoEvent::Deliver {
+            src,
+            dst,
+            seq,
+            epoch: 0,
+        }
+    }
+
+    #[test]
+    fn send_happens_before_its_delivery() {
+        let trace = vec![
+            te(0, send(0, 1, 0)),
+            te(5, send(2, 1, 0)),
+            te(10, deliver(0, 1, 0)),
+        ];
+        let clocked = clock_trace(3, &trace);
+        assert_eq!(clocked.len(), 3);
+        assert!(happens_before(&clocked[0], &clocked[2]));
+        assert!(!happens_before(&clocked[2], &clocked[0]));
+        // The unrelated send from rank 2 is concurrent with both.
+        assert!(concurrent(&clocked[0], &clocked[1]));
+        assert!(concurrent(&clocked[1], &clocked[2]));
+    }
+
+    #[test]
+    fn program_order_chains_through_a_rank() {
+        // Deliver at rank 1, then a send from rank 1: the deliver precedes
+        // the send (program order), so the original sender precedes the
+        // second delivery transitively.
+        let trace = vec![
+            te(0, send(0, 1, 0)),
+            te(10, deliver(0, 1, 0)),
+            te(11, send(1, 2, 0)),
+            te(20, deliver(1, 2, 0)),
+        ];
+        let clocked = clock_trace(3, &trace);
+        assert!(happens_before(&clocked[0], &clocked[3]));
+    }
+
+    #[test]
+    fn marker_and_wave_edges() {
+        let trace = vec![
+            te(0, ProtoEvent::WaveStart { wave: 1 }),
+            te(
+                1,
+                ProtoEvent::MarkerSend {
+                    wave: 1,
+                    from: 0,
+                    to: 1,
+                },
+            ),
+            te(
+                9,
+                ProtoEvent::MarkerRecv {
+                    wave: 1,
+                    from: 0,
+                    to: 1,
+                },
+            ),
+            te(
+                10,
+                ProtoEvent::Fork {
+                    wave: 1,
+                    rank: 1,
+                    ops: 3,
+                },
+            ),
+            te(20, ProtoEvent::WaveCommit { wave: 1 }),
+        ];
+        let clocked = clock_trace(2, &trace);
+        // start → marker send → marker recv → fork → commit, transitively.
+        for i in 0..clocked.len() {
+            for j in i + 1..clocked.len() {
+                assert!(
+                    happens_before(&clocked[i], &clocked[j]),
+                    "expected {i} ≺ {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn footprints_decide_commutation() {
+        // Disjoint channels and ranks: commute.
+        assert!(commutes(&[send(0, 1, 0)], &[send(2, 3, 0)]));
+        // Same channel: conflict.
+        assert!(!commutes(&[send(0, 1, 0)], &[deliver(0, 1, 0)]));
+        // Same destination rank, different channels: conflict (ordering at
+        // the matching engine is observable).
+        assert!(!commutes(&[deliver(0, 2, 0)], &[deliver(1, 2, 0)]));
+        // Marker vs. data delivery at the same rank: conflict — this is
+        // exactly the pre/post-cut classification race.
+        assert!(!commutes(
+            &[ProtoEvent::MarkerRecv {
+                wave: 1,
+                from: 0,
+                to: 1
+            }],
+            &[deliver(0, 1, 7)]
+        ));
+        // Empty windows are unknown: never commute.
+        assert!(!commutes(&[], &[send(0, 1, 0)]));
+        assert!(!commutes(&[], &[]));
+        // Restart is global.
+        assert!(!commutes(
+            &[ProtoEvent::Restart { epoch: 1 }],
+            &[send(0, 1, 0)]
+        ));
+    }
+
+    #[test]
+    fn footprint_respects_clocks() {
+        // Validation: on a real-shaped trace, any two *same-instant*
+        // events (the simultaneously-enabled pairs the explorer compares)
+        // whose footprints commute must be concurrent under the vector
+        // clocks — commuting refines concurrency, never the reverse.
+        let trace = vec![
+            te(0, ProtoEvent::WaveStart { wave: 1 }),
+            te(0, send(0, 1, 0)),
+            te(1, send(2, 0, 0)),
+            te(
+                2,
+                ProtoEvent::MarkerSend {
+                    wave: 1,
+                    from: 0,
+                    to: 1,
+                },
+            ),
+            te(5, deliver(0, 1, 0)),
+            te(
+                5,
+                ProtoEvent::MarkerRecv {
+                    wave: 1,
+                    from: 0,
+                    to: 1,
+                },
+            ),
+            te(6, deliver(2, 0, 0)),
+            te(
+                7,
+                ProtoEvent::Fork {
+                    wave: 1,
+                    rank: 1,
+                    ops: 1,
+                },
+            ),
+            te(9, ProtoEvent::WaveCommit { wave: 1 }),
+        ];
+        let clocked = clock_trace(3, &trace);
+        for (a, ta) in clocked.iter().zip(&trace) {
+            for (b, tb) in clocked.iter().zip(&trace) {
+                if a.index == b.index || ta.time != tb.time {
+                    continue;
+                }
+                if commutes(&[a.event], &[b.event]) {
+                    assert!(
+                        concurrent(a, b),
+                        "footprints commute but clocks order {:?} vs {:?}",
+                        a.event,
+                        b.event
+                    );
+                }
+            }
+        }
+    }
+}

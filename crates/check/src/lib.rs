@@ -19,14 +19,21 @@
 //! * [`storm`] — seeded fault-injection campaigns: kills and checkpoint-
 //!   server failures aimed at mid-wave, mid-recovery, and detection-lag
 //!   windows, each run re-checked by the invariant layer.
+//! * [`explore`] + [`hb`] — exhaustive schedule exploration: a DPOR loop
+//!   over the kernel's schedule-policy hook enumerates every inequivalent
+//!   order of same-instant events in small configs, pruning with a
+//!   happens-before/resource-footprint commutation oracle, and shrinks any
+//!   violating schedule to a minimal replayable reproducer.
 //!
-//! The `ftmpi-check` binary exposes them as `lint`, `smoke`, `storm`, and
-//! `figures` subcommands; `scripts/ci.sh` runs `lint`, `smoke`, and
-//! `storm --smoke` on every change.
+//! The `ftmpi-check` binary exposes them as `lint`, `smoke`, `storm`,
+//! `figures`, and `explore` subcommands; `scripts/ci.sh` runs `lint`,
+//! `smoke`, `storm --smoke`, and `explore --smoke` on every change.
 
 #![warn(missing_docs)]
 
+pub mod explore;
 pub mod fingerprint;
+pub mod hb;
 pub mod invariants;
 pub mod lint;
 pub mod perturb;
@@ -34,7 +41,14 @@ pub mod proto;
 pub mod storm;
 pub mod suite;
 
+pub use explore::{
+    differential, explore, explore_configs, parse_artifact, replay, ExploreConfig, ExploreOptions,
+    ExploreOutcome, Repro, ViolationReport,
+};
 pub use fingerprint::trace_fingerprint;
+pub use hb::{
+    clock_trace, commutes, concurrent, happens_before, resources, ClockedEvent, Resource,
+};
 pub use invariants::{check_trace, CheckReport, Violation};
 pub use lint::{lane_audit_sources, lint_source, run_lint, LintHit};
 pub use perturb::{perturbation_check, PerturbReport};

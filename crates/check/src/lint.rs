@@ -1,6 +1,6 @@
 //! Hand-rolled workspace lint (no external dependencies, no syn).
 //!
-//! Four rules guard the determinism contract of the simulation:
+//! Six rules guard the determinism contract of the simulation:
 //!
 //! * `wallclock-in-sim` — no `std::time::Instant` / `SystemTime` in the
 //!   simulation and protocol crates (`sim`, `net`, `mpi`, `core`, `nas`).
@@ -21,7 +21,22 @@
 //!   pins tiekey *derivation* to `event.rs`: no other sim-crate source may
 //!   mention `splitmix64`, so the queue backends (ladder rungs, heap) can
 //!   only order keys they were handed, never re-derive lane→tiekey
-//!   mappings of their own.
+//!   mappings of their own. A second cross-file half confines the event
+//!   *push path*: `Key { .. }` construction, `arena.insert(`, and
+//!   `backend.push(` may appear only in `event.rs` (plus the defining
+//!   modules' own files), so neither the ladder nor any caller can mint
+//!   keys or slots that bypass the lane bookkeeping the schedule
+//!   explorer replays against.
+//! * `env-registry` — every `std::env::var`/`var_os` read in the
+//!   workspace must name a toggle from the declared [`ENV_TOGGLES`]
+//!   registry, and every registered toggle must be documented in the
+//!   README's environment-toggle table. Ad-hoc env reads are invisible
+//!   determinism knobs; the registry makes the full set auditable.
+//! * `sim-audit` — the event-kernel memory machinery
+//!   (`crates/sim/src/arena.rs`, `ladder.rs`) must contain no `unsafe`
+//!   and no `.unwrap()` outside its test module: the slab recycles slots
+//!   and the ladder re-buckets keys, and both must fail loudly with
+//!   `expect` invariant messages, never via unchecked access.
 //!
 //! Escape hatch: a `lint:allow(<rule>)` comment on the offending line or
 //! the line above suppresses the finding.
@@ -39,9 +54,28 @@ pub const RULE_HASHMAP_ORDER: &str = "hashmap-order";
 pub const RULE_CORE_UNWRAP: &str = "core-unwrap";
 /// Rule id: `EventKind` variant never scheduled on a tiebreak lane.
 pub const RULE_LANE_AUDIT: &str = "lane-audit";
+/// Rule id: unregistered or undocumented environment toggle.
+pub const RULE_ENV_REGISTRY: &str = "env-registry";
+/// Rule id: `unsafe` / bare `unwrap` in the kernel memory machinery.
+pub const RULE_SIM_AUDIT: &str = "sim-audit";
 
 /// Crates whose `src/` must not read the wall clock.
 const WALLCLOCK_CRATES: &[&str] = &["sim", "net", "mpi", "core", "nas"];
+
+/// The declared environment-toggle registry: the complete set of `FTMPI_*`
+/// variables the workspace may read. Every entry must also appear in the
+/// README's toggle table (checked by [`env_registry_hits`]).
+pub const ENV_TOGGLES: &[&str] = &[
+    "FTMPI_NO_LADDER",
+    "FTMPI_NO_POOL",
+    "FTMPI_NO_BATCH",
+    "FTMPI_NO_CACHE",
+    "FTMPI_THREAD_CAP",
+    "FTMPI_DEBUG",
+];
+
+/// Files audited by the `sim-audit` rule.
+const SIM_AUDIT_FILES: &[&str] = &["crates/sim/src/arena.rs", "crates/sim/src/ladder.rs"];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,6 +194,13 @@ pub fn lint_source(relpath: &str, text: &str) -> Vec<LintHit> {
         .iter()
         .any(|c| norm.starts_with(&format!("crates/{c}/src/")));
     let in_core_src = norm.starts_with("crates/core/src/");
+    let in_sim_audit = SIM_AUDIT_FILES.contains(&norm.as_str());
+    // The sim-audit unwrap ban covers production code only; `#[cfg(test)]`
+    // starts the file's test module and ends the audited region.
+    let test_start = scrubbed
+        .iter()
+        .position(|s| s.contains("#[cfg(test)]"))
+        .unwrap_or(scrubbed.len());
 
     // Pass 1: collect HashMap-typed bindings declared in this file.
     let mut map_names: Vec<String> = Vec::new();
@@ -204,6 +245,29 @@ pub fn lint_source(relpath: &str, text: &str) -> Vec<LintHit> {
                     .to_string(),
             });
         }
+        if in_sim_audit && !allowed(&lines, i, RULE_SIM_AUDIT) {
+            if contains_word(s, "unsafe") {
+                hits.push(LintHit {
+                    file: norm.clone(),
+                    line: lineno,
+                    rule: RULE_SIM_AUDIT,
+                    msg: "`unsafe` in the kernel memory machinery: the slab and \
+                          ladder stay entirely in safe Rust"
+                        .to_string(),
+                });
+            }
+            if i < test_start && s.contains(".unwrap()") {
+                hits.push(LintHit {
+                    file: norm.clone(),
+                    line: lineno,
+                    rule: RULE_SIM_AUDIT,
+                    msg: "`.unwrap()` in slot/key bookkeeping: recycled slots \
+                          and re-bucketed keys must fail with an `expect` \
+                          invariant message"
+                        .to_string(),
+                });
+            }
+        }
         for name in &map_names {
             let Some(call) = ITER_METHODS
                 .iter()
@@ -226,6 +290,104 @@ pub fn lint_source(relpath: &str, text: &str) -> Vec<LintHit> {
                     ),
                 });
             }
+        }
+    }
+    hits
+}
+
+/// `true` if `line` contains `word` delimited by non-identifier characters.
+fn contains_word(line: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = line[from..].find(word) {
+        let abs = from + at;
+        let pre = line[..abs].chars().next_back().is_some_and(is_ident_char);
+        let post = line[abs + word.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident_char);
+        if !pre && !post {
+            return true;
+        }
+        from = abs + word.len();
+    }
+    false
+}
+
+/// The `FTMPI_*` identifiers mentioned on a (raw, unscrubbed) line — env
+/// variable names live inside string literals, which `scrub` blanks.
+fn ftmpi_names(raw: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = raw[from..].find("FTMPI_") {
+        let abs = from + at;
+        let name: String = raw[abs..]
+            .chars()
+            .take_while(|&c| is_ident_char(c))
+            .collect();
+        from = abs + name.len();
+        if !out.contains(&name) {
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// Cross-file `env-registry` rule over every workspace source plus the
+/// README text: each `env::var`/`env::var_os` read must name a registered
+/// [`ENV_TOGGLES`] entry on the same line, and each registered toggle must
+/// be documented in the README.
+pub fn env_registry_hits(sources: &[(String, String)], readme: &str) -> Vec<LintHit> {
+    let mut hits = Vec::new();
+    for (path, text) in sources {
+        let norm = path.replace('\\', "/");
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, raw) in lines.iter().enumerate() {
+            let s = scrub(raw);
+            if !(s.contains("env::var") || s.contains("env::var_os")) {
+                continue;
+            }
+            if allowed(&lines, i, RULE_ENV_REGISTRY) {
+                continue;
+            }
+            let names = ftmpi_names(raw);
+            if names.is_empty() {
+                hits.push(LintHit {
+                    file: norm.clone(),
+                    line: i + 1,
+                    rule: RULE_ENV_REGISTRY,
+                    msg: "environment read without a registered `FTMPI_*` toggle \
+                          name on the line: every env knob must come from the \
+                          declared registry"
+                        .to_string(),
+                });
+                continue;
+            }
+            for name in names {
+                if !ENV_TOGGLES.contains(&name.as_str()) {
+                    hits.push(LintHit {
+                        file: norm.clone(),
+                        line: i + 1,
+                        rule: RULE_ENV_REGISTRY,
+                        msg: format!(
+                            "`{name}` is read but not in the declared toggle \
+                             registry (lint::ENV_TOGGLES)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for toggle in ENV_TOGGLES {
+        if !readme.contains(toggle) {
+            hits.push(LintHit {
+                file: "README.md".to_string(),
+                line: 1,
+                rule: RULE_ENV_REGISTRY,
+                msg: format!(
+                    "registered toggle `{toggle}` is missing from the README's \
+                     environment-toggle table"
+                ),
+            });
         }
     }
     hits
@@ -374,7 +536,85 @@ pub fn lane_audit_sources(sources: &[(String, String)]) -> Vec<LintHit> {
         })
         .collect();
     hits.extend(tiekey_confinement(sources));
+    hits.extend(push_confinement(sources));
     hits
+}
+
+/// Third half of the lane audit: the event *push path* is confined.
+/// `Key { .. }` construction, `arena.insert(` (slot allocation), and
+/// `backend.push(` (queue entry) may appear only in `event.rs` — plus the
+/// defining module's own file (`ladder.rs` owns `Key`, `arena.rs` owns the
+/// slab), whose internals and tests legitimately touch their own type.
+/// Everything else must go through `EventQueue::push`, which records the
+/// lane the schedule explorer replays against; a rogue push site would
+/// create events invisible to the exploration candidate sets.
+fn push_confinement(sources: &[(String, String)]) -> Vec<LintHit> {
+    const CONFINED: &[(&str, &[&str], &str)] = &[
+        (
+            "Key {",
+            &["src/event.rs", "src/ladder.rs"],
+            "`Key` construction outside the queue: events must enter through \
+             `EventQueue::push` so their lane is recorded",
+        ),
+        (
+            "arena.insert(",
+            &["src/event.rs", "src/arena.rs"],
+            "arena slot allocation outside the queue: a slot without a key \
+             leaks and is invisible to exploration",
+        ),
+        (
+            "backend.push(",
+            &["src/event.rs"],
+            "raw backend push outside the queue: bypasses lane bookkeeping \
+             (use `EventQueue::push` / `unpop`)",
+        ),
+    ];
+    let mut hits = Vec::new();
+    for (path, text) in sources {
+        let norm = path.replace('\\', "/");
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, raw) in lines.iter().enumerate() {
+            let s = scrub(raw);
+            for (needle, allowed_in, msg) in CONFINED {
+                if allowed_in.iter().any(|suffix| norm.ends_with(suffix)) {
+                    continue;
+                }
+                let found = if let Some(rest) = needle.strip_suffix(" {") {
+                    // Brace construction: match the bare type name too
+                    // (`Key{`), but not longer identifiers (`WakeKey {`).
+                    [format!("{rest} {{"), format!("{rest}{{")]
+                        .iter()
+                        .any(|n| contains_word_prefix(&s, rest, n))
+                } else {
+                    s.contains(needle)
+                };
+                if found && !allowed(&lines, i, RULE_LANE_AUDIT) {
+                    hits.push(LintHit {
+                        file: norm.clone(),
+                        line: i + 1,
+                        rule: RULE_LANE_AUDIT,
+                        msg: (*msg).to_string(),
+                    });
+                }
+            }
+        }
+    }
+    hits
+}
+
+/// `true` if `line` contains `needle` where the leading `word` part is not
+/// preceded by an identifier character.
+fn contains_word_prefix(line: &str, word: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = line[from..].find(needle) {
+        let abs = from + at;
+        let pre = line[..abs].chars().next_back().is_some_and(is_ident_char);
+        if !pre {
+            return true;
+        }
+        from = abs + word.len();
+    }
+    false
 }
 
 /// Second half of the lane audit: the lane→tiekey derivation (the
@@ -441,6 +681,7 @@ pub fn run_lint(root: &Path) -> Vec<LintHit> {
     rust_files(&root.join("crates"), &mut files);
     let mut hits = Vec::new();
     let mut sim_sources: Vec<(String, String)> = Vec::new();
+    let mut all_sources: Vec<(String, String)> = Vec::new();
     for path in files {
         let Ok(text) = std::fs::read_to_string(&path) else {
             continue;
@@ -452,10 +693,13 @@ pub fn run_lint(root: &Path) -> Vec<LintHit> {
             .into_owned();
         hits.extend(lint_source(&rel, &text));
         if rel.replace('\\', "/").starts_with("crates/sim/src/") {
-            sim_sources.push((rel, text));
+            sim_sources.push((rel.clone(), text.clone()));
         }
+        all_sources.push((rel, text));
     }
     hits.extend(lane_audit_sources(&sim_sources));
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    hits.extend(env_registry_hits(&all_sources, &readme));
     hits
 }
 
@@ -612,6 +856,121 @@ pub(crate) enum EventKind {
         srcs.last_mut().unwrap().1 =
             "// lint:allow(lane-audit)\nlet t = splitmix64(seed);\n".into();
         assert!(lane_audit_sources(&srcs).is_empty());
+    }
+
+    #[test]
+    fn push_path_confined_to_event_rs() {
+        let mut srcs = sources(
+            "queue.push(at, Some(1), EventKind::Resume(pid, kind));\n\
+             queue.push(at, Some(2), EventKind::Call(Box::new(f)));\n",
+        );
+        // The owning files may construct keys, insert slots, and push raw.
+        srcs[0].1.push_str(
+            "let k = Key { time, tiekey, slot };\nself.arena.insert(ev);\nself.backend.push(k);\n",
+        );
+        srcs.push((
+            "crates/sim/src/ladder.rs".into(),
+            "let probe = Key { time: t, tiekey: 0, slot };\n".into(),
+        ));
+        srcs.push((
+            "crates/sim/src/arena.rs".into(),
+            "let slot = self.arena.insert(ev);\n".into(),
+        ));
+        assert!(lane_audit_sources(&srcs).is_empty());
+        // Any other sim source minting a Key is flagged...
+        srcs.push((
+            "crates/sim/src/kernel2.rs".into(),
+            "let k = Key{ time, tiekey: 7, slot };\n".into(),
+        ));
+        let hits = lane_audit_sources(&srcs);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, RULE_LANE_AUDIT);
+        assert_eq!(hits[0].file, "crates/sim/src/kernel2.rs");
+        // ...as are raw arena inserts and backend pushes elsewhere.
+        srcs.last_mut().unwrap().1 = "self.arena.insert(ev);\nbackend.push(k);\n".into();
+        let hits = lane_audit_sources(&srcs);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        // Longer identifiers, comments, and the escape hatch don't trip it.
+        srcs.last_mut().unwrap().1 = "let w = WakeKey { pid };\n\
+             // a Key { .. } mentioned in a comment\n\
+             // lint:allow(lane-audit)\nlet k = Key { time, tiekey, slot };\n"
+            .into();
+        assert!(lane_audit_sources(&srcs).is_empty());
+    }
+
+    #[test]
+    fn env_registry_rules() {
+        let ok = vec![(
+            "crates/sim/src/pool.rs".to_string(),
+            "let off = std::env::var(\"FTMPI_NO_POOL\").is_ok();\n".to_string(),
+        )];
+        let readme: String = ENV_TOGGLES
+            .iter()
+            .map(|t| format!("| `{t}` | doc |\n"))
+            .collect();
+        assert!(env_registry_hits(&ok, &readme).is_empty());
+
+        // Unregistered name on an env read.
+        let rogue = vec![(
+            "crates/sim/src/pool.rs".to_string(),
+            "let x = std::env::var(\"FTMPI_SECRET\");\n".to_string(),
+        )];
+        let hits = env_registry_hits(&rogue, &readme);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, RULE_ENV_REGISTRY);
+        assert!(hits[0].msg.contains("FTMPI_SECRET"));
+
+        // Env read with no FTMPI_* name at all.
+        let anon = vec![(
+            "crates/bench/src/sweep.rs".to_string(),
+            "let home = std::env::var_os(\"HOME\");\n".to_string(),
+        )];
+        let hits = env_registry_hits(&anon, &readme);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].msg.contains("without a registered"));
+        // ...unless escaped.
+        let escaped = vec![(
+            "crates/bench/src/sweep.rs".to_string(),
+            "// lint:allow(env-registry)\nlet home = std::env::var_os(\"HOME\");\n".to_string(),
+        )];
+        assert!(env_registry_hits(&escaped, &readme).is_empty());
+
+        // A registered toggle missing from the README is flagged there.
+        let partial: String = ENV_TOGGLES[1..]
+            .iter()
+            .map(|t| format!("| `{t}` | doc |\n"))
+            .collect();
+        let hits = env_registry_hits(&ok, &partial);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].file, "README.md");
+        assert!(hits[0].msg.contains(ENV_TOGGLES[0]));
+    }
+
+    #[test]
+    fn sim_audit_unsafe_and_unwrap() {
+        let src = "let x = slots.get(i).unwrap();\n";
+        // Only the audited files are in scope.
+        assert!(lint_source("crates/sim/src/kernel.rs", src).is_empty());
+        let hits = lint_source("crates/sim/src/arena.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, RULE_SIM_AUDIT);
+
+        // Unwraps inside the test module are fine; `unsafe` never is.
+        let tested = "fn get(&self) {}\n#[cfg(test)]\nmod tests {\n    \
+             fn t() { x.unwrap(); }\n}\n";
+        assert!(lint_source("crates/sim/src/ladder.rs", tested).is_empty());
+        let unsafe_in_tests =
+            "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { ptr.read() } }\n}\n";
+        let hits = lint_source("crates/sim/src/ladder.rs", unsafe_in_tests);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].msg.contains("unsafe"));
+
+        // Comments, longer identifiers, and the escape hatch are ignored.
+        let benign = "// unsafe is banned here\n#![forbid(unsafe_code)]\n\
+             let y = x.unwrap_or(0);\n";
+        assert!(lint_source("crates/sim/src/arena.rs", benign).is_empty());
+        let escaped = "// lint:allow(sim-audit)\nlet x = y.unwrap();\n";
+        assert!(lint_source("crates/sim/src/arena.rs", escaped).is_empty());
     }
 
     #[test]

@@ -17,13 +17,22 @@
 //!   node-kill families run in both modes).
 //! * `figures [--full]` — drive every figure workload family through the
 //!   checker with churn variants. `--full` uses the paper-sized classes.
+//! * `explore [--smoke] [--replay FILE]` — exhaustively enumerate the
+//!   schedule space of the small explore configs (DPOR over the kernel's
+//!   schedule-policy hook). Clean configs must exhaust without violations
+//!   under **both** queue backends with identical state counts; the two
+//!   historical-race fixtures must be rediscovered with minimized
+//!   reproducers (dumped under `results/explore/`). Emits
+//!   `BENCH_explore.json`. `--replay FILE` re-runs one reproducer.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use ftmpi_bench::json::{to_string_pretty, JsonObject, JsonValue};
 use ftmpi_check::{
-    figure_smoke_probes, figures_suite, perturbation_check, run_checked_with_churn, run_lint,
-    smoke_probes, storm_campaign, ProbeOutcome,
+    differential, explore, explore_configs, figure_smoke_probes, figures_suite, parse_artifact,
+    perturbation_check, replay, run_checked_with_churn, run_lint, smoke_probes, storm_campaign,
+    ExploreOptions, ExploreOutcome, ProbeOutcome,
 };
 
 fn workspace_root() -> PathBuf {
@@ -233,6 +242,189 @@ fn cmd_figures(full: bool) -> ExitCode {
     }
 }
 
+fn explore_record(o: &ExploreOutcome, backend: &str) -> JsonObject {
+    let (kind, minimized) = match &o.violation {
+        Some(v) => (
+            v.kind.clone(),
+            v.minimized
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        ),
+        None => ("none".to_string(), String::new()),
+    };
+    vec![
+        ("config", JsonValue::Str(o.name.clone())),
+        ("backend", JsonValue::Str(backend.to_string())),
+        ("runs", JsonValue::UInt(o.runs)),
+        (
+            "distinct_outcomes",
+            JsonValue::UInt(o.distinct_outcomes as u64),
+        ),
+        ("max_decisions", JsonValue::UInt(o.max_decisions as u64)),
+        ("pruned", JsonValue::UInt(o.pruned)),
+        ("deduped", JsonValue::UInt(o.deduped)),
+        ("exhausted", JsonValue::UInt(o.exhausted as u64)),
+        ("violation", JsonValue::Str(kind)),
+        ("minimized_schedule", JsonValue::Str(minimized)),
+        (
+            "canonical_fp",
+            JsonValue::Str(format!("{:016x}", o.canonical_fp)),
+        ),
+        ("wall_ms", JsonValue::UInt(o.wall_ms)),
+    ]
+}
+
+fn print_explore(o: &ExploreOutcome, backend: &str) {
+    println!(
+        "{:36} runs={:<5} outcomes={:<2} decisions<={:<3} pruned={:<5} memo={:<5} {}",
+        format!("explore.{}.{backend}", o.name),
+        o.runs,
+        o.distinct_outcomes,
+        o.max_decisions,
+        o.pruned,
+        o.deduped,
+        match (&o.violation, o.exhausted) {
+            (Some(v), _) => format!("VIOLATION {} (minimized: [{}])", v.kind, {
+                v.minimized
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }),
+            (None, true) => "exhausted".to_string(),
+            (None, false) => "BUDGET EXCEEDED".to_string(),
+        }
+    );
+}
+
+fn cmd_explore(smoke: bool) -> ExitCode {
+    let root = workspace_root();
+    let artifact_dir = root.join("results").join("explore");
+    let max_runs = if smoke { 1500 } else { 6000 };
+    let mut failed = false;
+    let mut records: Vec<JsonObject> = Vec::new();
+    for cfg in explore_configs() {
+        let opts = ExploreOptions {
+            max_runs,
+            artifact_dir: Some(artifact_dir.clone()),
+            ..ExploreOptions::default()
+        };
+        if cfg.expect_violation {
+            // Fixture configs: the historical race must be rediscovered,
+            // minimized, under the default backend.
+            match explore(&cfg, &opts) {
+                Ok(o) => {
+                    print_explore(&o, "default");
+                    match &o.violation {
+                        Some(v) => {
+                            if let Some(p) = &v.artifact {
+                                println!("    reproducer: {}", p.display());
+                            }
+                        }
+                        None => {
+                            println!("    FAIL: fixture race not rediscovered");
+                            failed = true;
+                        }
+                    }
+                    records.push(explore_record(&o, "default"));
+                }
+                Err(e) => {
+                    println!("explore.{:26} error: {e}", cfg.name);
+                    failed = true;
+                }
+            }
+        } else {
+            // Clean configs: exhaust without violation, and the two queue
+            // backends must agree state-for-state.
+            match differential(&cfg, &opts) {
+                Ok((heap, ladder)) => {
+                    print_explore(&heap, "heap");
+                    print_explore(&ladder, "ladder");
+                    if heap.violation.is_some() || ladder.violation.is_some() {
+                        println!("    FAIL: clean config violated");
+                        failed = true;
+                    }
+                    if !heap.exhausted || !ladder.exhausted {
+                        println!("    FAIL: clean config not exhausted within {max_runs} runs");
+                        failed = true;
+                    }
+                    if heap.runs != ladder.runs
+                        || heap.canonical_fp != ladder.canonical_fp
+                        || heap.distinct_outcomes != ladder.distinct_outcomes
+                        || heap.pruned != ladder.pruned
+                        || heap.deduped != ladder.deduped
+                    {
+                        println!("    FAIL: backends disagree (heap vs ladder)");
+                        failed = true;
+                    }
+                    records.push(explore_record(&heap, "heap"));
+                    records.push(explore_record(&ladder, "ladder"));
+                }
+                Err(e) => {
+                    println!("explore.{:26} error: {e}", cfg.name);
+                    failed = true;
+                }
+            }
+        }
+    }
+    let bench_path = root.join("BENCH_explore.json");
+    let json = to_string_pretty(&records) + "\n";
+    if let Err(e) = std::fs::write(&bench_path, json) {
+        eprintln!("explore: could not write {}: {e}", bench_path.display());
+        failed = true;
+    } else {
+        println!("wrote {}", bench_path.display());
+    }
+    if failed {
+        eprintln!("explore: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("explore: ok");
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("replay: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let repro = match parse_artifact(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("replay: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match replay(&repro) {
+        Ok(Some(kind)) => {
+            println!(
+                "replay {path}: schedule [{}] still violates: {kind}",
+                repro
+                    .schedule
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(None) => {
+            eprintln!("replay {path}: violation no longer reproduces");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("replay: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -240,8 +432,24 @@ fn main() -> ExitCode {
         Some("smoke") => cmd_smoke(),
         Some("storm") => cmd_storm(args.iter().any(|a| a == "--smoke")),
         Some("figures") => cmd_figures(args.iter().any(|a| a == "--full")),
+        Some("explore") => {
+            if let Some(at) = args.iter().position(|a| a == "--replay") {
+                match args.get(at + 1) {
+                    Some(path) => cmd_replay(path),
+                    None => {
+                        eprintln!("usage: ftmpi-check explore --replay FILE");
+                        ExitCode::FAILURE
+                    }
+                }
+            } else {
+                cmd_explore(args.iter().any(|a| a == "--smoke"))
+            }
+        }
         _ => {
-            eprintln!("usage: ftmpi-check <lint|smoke|storm [--smoke]|figures [--full]>");
+            eprintln!(
+                "usage: ftmpi-check <lint|smoke|storm [--smoke]|figures [--full]|\
+                 explore [--smoke] [--replay FILE]>"
+            );
             ExitCode::FAILURE
         }
     }

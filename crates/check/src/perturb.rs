@@ -51,6 +51,7 @@ pub fn perturbation_check(
         RunOptions {
             trace: true,
             tiebreak_seed: None,
+            ..RunOptions::default()
         },
     )?;
     let baseline = trace_fingerprint(&trace);
@@ -61,6 +62,7 @@ pub fn perturbation_check(
             RunOptions {
                 trace: true,
                 tiebreak_seed: Some(seed),
+                ..RunOptions::default()
             },
         )?;
         perturbed.push((seed, trace_fingerprint(&t)));

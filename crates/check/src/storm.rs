@@ -102,6 +102,7 @@ fn profile(spec: JobSpec) -> Result<CleanProfile, String> {
         RunOptions {
             trace: true,
             tiebreak_seed: None,
+            ..RunOptions::default()
         },
     )
     .map_err(|e| format!("clean profiling run failed: {e}"))?;
@@ -178,6 +179,7 @@ pub fn run_storm_traced(name: &str, spec: JobSpec) -> (StormOutcome, Vec<TraceEv
         RunOptions {
             trace: true,
             tiebreak_seed: None,
+            ..RunOptions::default()
         },
     ) {
         Ok((res, trace)) => {

@@ -149,6 +149,7 @@ pub fn run_checked(name: &str, spec: JobSpec) -> Result<ProbeOutcome, JobError> 
         RunOptions {
             trace: true,
             tiebreak_seed: None,
+            ..RunOptions::default()
         },
     )?;
     Ok(ProbeOutcome {
@@ -175,6 +176,7 @@ pub fn run_checked_with_churn(
         RunOptions {
             trace: true,
             tiebreak_seed: None,
+            ..RunOptions::default()
         },
     )?;
     let first_commit = trace.iter().find_map(|te| match te.kind {

@@ -28,6 +28,7 @@ fn traced(name: &str) -> (ProtocolChoice, usize, Vec<TraceEvent>) {
         RunOptions {
             trace: true,
             tiebreak_seed: None,
+            ..RunOptions::default()
         },
     )
     .expect("smoke probe runs clean");

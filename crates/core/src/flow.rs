@@ -169,9 +169,22 @@ fn start_flow_inner(
     on_done: DoneFn,
 ) {
     let epoch = w.rt.epoch;
-    let at = sc.now() + SimDuration::from_nanos(spec.src.0 as u64);
+    // The per-source nanosecond stagger plus the destination lane are what
+    // keep same-instant flow starts on one server deterministically
+    // arbitrated; the `UnstaggeredFlows` regression fixture removes both to
+    // re-open the arbitration race for the schedule explorer.
+    let raced = w.rt.race_fixture == Some(ftmpi_mpi::RaceFixture::UnstaggeredFlows);
+    let at = if raced {
+        sc.now()
+    } else {
+        sc.now() + SimDuration::from_nanos(spec.src.0 as u64)
+    };
     let handle = w.rt.world_handle();
-    let lane = Some(flow_lane(spec.dst));
+    let lane = if raced {
+        None
+    } else {
+        Some(flow_lane(spec.dst))
+    };
     sc.schedule_keyed(at, lane, move |sc| {
         let Some(strong) = handle.upgrade() else {
             return;

@@ -50,7 +50,8 @@ pub use mlog::Mlog;
 pub use pcl::Pcl;
 pub use recovery::RecoveryError;
 pub use runner::{
-    run_job, run_job_with, JobError, JobResult, JobSpec, Platform, ProtocolChoice, RunOptions,
+    run_job, run_job_explored, run_job_with, JobError, JobResult, JobSpec, Platform,
+    ProtocolChoice, RunOptions, ScheduleLog,
 };
 pub use stats::FtStats;
 pub use vcl::Vcl;

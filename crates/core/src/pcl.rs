@@ -394,9 +394,17 @@ impl Pcl {
             cur.in_wave[rank] = true;
             wave = cur.rec.wave;
             let src_node = rt.placement.node_of(rank);
+            // `LanelessMarkers` regression fixture: schedule the arrivals
+            // without the destination lane, re-opening the marker-vs-message
+            // order race the lanes fixed (for the schedule explorer).
+            let laneless = rt.race_fixture == Some(ftmpi_mpi::RaceFixture::LanelessMarkers);
             for s in 0..cur.in_wave.len() {
                 if s != rank {
-                    let lane = rt.ranks[s].pid.map(ftmpi_sim::Pid::lane);
+                    let lane = if laneless {
+                        None
+                    } else {
+                        rt.ranks[s].pid.map(ftmpi_sim::Pid::lane)
+                    };
                     targets.push((s, src_node, rt.placement.node_of(s), lane));
                 }
             }

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use ftmpi_mpi::{
-    spawn_rank, AppFn, DummyProtocol, Placement, Protocol, RuntimeConfig, RuntimeCore,
+    spawn_rank, AppFn, DummyProtocol, Placement, Protocol, RaceFixture, RuntimeConfig, RuntimeCore,
     RuntimeStats, World, WorldRef,
 };
 use ftmpi_net::{fault_lane, LinkConfig, LinkFaultKind, NetFaultPlan, NetModel, SoftwareStack};
@@ -354,6 +354,31 @@ pub struct RunOptions {
     /// Perturb same-time event tiebreaks with this seed (race detection).
     /// `None` keeps the canonical deterministic schedule.
     pub tiebreak_seed: Option<u64>,
+    /// Drive the run under a prescribed schedule (exploration mode): at
+    /// each multi-candidate instant the kernel takes the next index from
+    /// this list, falling back to 0 (the canonical order) beyond its end.
+    /// `None` leaves the kernel policy-free — the ordinary fast path.
+    pub schedule: Option<Vec<usize>>,
+    /// Force the event-queue backend (`true` = ladder), overriding the
+    /// `FTMPI_NO_LADDER` environment default (the explorer's differential-
+    /// backend mode). `None` keeps the default.
+    pub ladder: Option<bool>,
+    /// Re-open one of the two historical races as a regression fixture for
+    /// the schedule explorer (see [`RaceFixture`]). `None` — always, outside
+    /// explorer tests — leaves every protocol path exactly as shipped.
+    pub race_fixture: Option<RaceFixture>,
+}
+
+/// The scheduling record of an explored run: every multi-candidate choice
+/// point and every executed step, as recorded by the kernel (see
+/// [`ftmpi_sim::Decision`] / [`ftmpi_sim::StepRecord`]). Empty unless
+/// [`RunOptions::schedule`] engaged exploration mode.
+#[derive(Debug, Default)]
+pub struct ScheduleLog {
+    /// Choice points in execution order.
+    pub decisions: Vec<ftmpi_sim::Decision>,
+    /// Executed steps with trace-effect windows.
+    pub steps: Vec<ftmpi_sim::StepRecord>,
 }
 
 /// Run one job to completion and collect its metrics.
@@ -367,6 +392,16 @@ pub fn run_job_with(
     spec: JobSpec,
     opts: RunOptions,
 ) -> Result<(JobResult, Vec<ftmpi_sim::TraceEvent>), JobError> {
+    run_job_explored(spec, opts).map(|(res, trace, _)| (res, trace))
+}
+
+/// Like [`run_job_with`] but also returning the [`ScheduleLog`] — the
+/// explorer's view of a run's choice points. Costs nothing extra when
+/// exploration mode is off (the log is empty).
+pub fn run_job_explored(
+    spec: JobSpec,
+    opts: RunOptions,
+) -> Result<(JobResult, Vec<ftmpi_sim::TraceEvent>, ScheduleLog), JobError> {
     if spec.protocol == ProtocolChoice::Vcl && spec.nranks > spec.ft.vcl_process_limit {
         return Err(JobError::VclProcessLimit {
             requested: spec.nranks,
@@ -385,11 +420,12 @@ pub fn run_job_with(
     };
     // Effective placement, kept for resolving node-kill victims below.
     let placement_roles = placement.clone();
-    let rt = RuntimeCore::new(
+    let mut rt = RuntimeCore::new(
         NetModel::new(dep.topo.clone()),
         placement,
         RuntimeConfig::for_stack(stack),
     );
+    rt.race_fixture = opts.race_fixture;
     let proto: Box<dyn Protocol> = match spec.protocol {
         ProtocolChoice::Dummy => Box::new(DummyProtocol),
         ProtocolChoice::Vcl => Box::new(Vcl::new(spec.ft.clone(), &dep)),
@@ -399,6 +435,14 @@ pub fn run_job_with(
     let world: WorldRef = World::new_ref(rt, proto);
 
     let mut sim = Sim::new();
+    // Backend override first (it replaces the still-empty queue), then the
+    // policy (it starts lane recording on whichever queue survives).
+    if let Some(ladder) = opts.ladder {
+        sim.force_queue_backend(ladder);
+    }
+    if let Some(prefix) = opts.schedule {
+        sim.set_schedule_policy(Box::new(ftmpi_sim::PrescribedPolicy::new(prefix)));
+    }
     if let Some(t) = spec.max_virtual_time {
         sim.set_max_time(t);
     }
@@ -579,6 +623,10 @@ pub fn run_job_with(
             leftover_posted,
         },
         report.trace,
+        ScheduleLog {
+            decisions: report.decisions,
+            steps: report.steps,
+        },
     ))
 }
 

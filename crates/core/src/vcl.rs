@@ -279,8 +279,13 @@ impl Vcl {
             let h = handle.clone();
             // Scheduler markers race data arrivals at each rank: key by the
             // destination process so the fork's op boundary is schedule-
-            // independent.
-            let lane = w.rt.ranks[r].pid.map(ftmpi_sim::Pid::lane);
+            // independent. The `LanelessMarkers` regression fixture drops
+            // the lane, re-opening that race for the schedule explorer.
+            let lane = if w.rt.race_fixture == Some(ftmpi_mpi::RaceFixture::LanelessMarkers) {
+                None
+            } else {
+                w.rt.ranks[r].pid.map(ftmpi_sim::Pid::lane)
+            };
             send_control(
                 w,
                 sc,
@@ -389,8 +394,13 @@ impl Vcl {
             let h = handle.clone();
             let epoch = w.rt.epoch;
             // Same lane as app messages to rank `s`: the marker's position
-            // in the channel relative to data arrivals is protocol state.
-            let lane = w.rt.ranks[s].pid.map(ftmpi_sim::Pid::lane);
+            // in the channel relative to data arrivals is protocol state
+            // (dropped under the `LanelessMarkers` regression fixture).
+            let lane = if w.rt.race_fixture == Some(ftmpi_mpi::RaceFixture::LanelessMarkers) {
+                None
+            } else {
+                w.rt.ranks[s].pid.map(ftmpi_sim::Pid::lane)
+            };
             sc.schedule_keyed(delivered, lane, move |sc| {
                 let Some(world) = h.upgrade() else { return };
                 let mut w = world.lock();

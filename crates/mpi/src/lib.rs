@@ -39,6 +39,6 @@ pub use config::RuntimeConfig;
 pub use handle::{Mpi, ReqHandle};
 pub use placement::Placement;
 pub use protocol::{ArrivalAction, DummyProtocol, Protocol, SendAction};
-pub use runtime::{RankState, RankStatus, RuntimeCore, RuntimeStats};
+pub use runtime::{RaceFixture, RankState, RankStatus, RuntimeCore, RuntimeStats};
 pub use types::{AppMsg, ChannelKey, MsgSeq, Rank, RecvInfo, Tag, ANY_SOURCE, ANY_TAG};
 pub use world::{spawn_rank, AppFn, World, WorldRef};

@@ -215,6 +215,23 @@ pub struct RuntimeStats {
     pub link_retries: u64,
 }
 
+/// Regression fixtures for the schedule explorer: each re-opens one of the
+/// two real races PR 2's perturbation detector caught (and tiebreak lanes
+/// fixed), so `ftmpi-check explore` can prove it rediscovers them and
+/// minimizes a reproducer. Default `None` everywhere — ordinary runs never
+/// take a fixture branch, keeping all figure outputs byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceFixture {
+    /// Schedule marker arrivals laneless: a marker racing a same-instant
+    /// data delivery at one rank loses its defined channel order, flipping
+    /// Vcl's logged-message set (the original race's symptom).
+    LanelessMarkers,
+    /// Start flows unstaggered and laneless: same-instant transfer starts
+    /// on one server arbitrate in whatever order the scheduler picks,
+    /// perturbing delivery timing (the original flow-arbitration race).
+    UnstaggeredFlows,
+}
+
 /// The protocol-independent runtime: network, placement, ranks, stats.
 pub struct RuntimeCore {
     /// The platform model.
@@ -236,6 +253,8 @@ pub struct RuntimeCore {
     /// bugs that have no caller to return to). The runner surfaces it as a
     /// job error after the simulation drains.
     pub fatal_error: Option<String>,
+    /// Active explorer regression fixture, if any (see [`RaceFixture`]).
+    pub race_fixture: Option<RaceFixture>,
     /// Back-reference for scheduling world events from core methods.
     pub(crate) world: Weak<Mutex<World>>,
 }
@@ -256,6 +275,7 @@ impl RuntimeCore {
             suppress_duplicate_seq: false,
             stats: RuntimeStats::default(),
             fatal_error: None,
+            race_fixture: None,
             world: Weak::new(),
         }
     }

@@ -147,6 +147,12 @@ pub(crate) struct EventQueue {
     compact_min_tombstones: usize,
     /// Total number of events ever scheduled (for run reports).
     pub scheduled_total: u64,
+    /// Side-map `seq → lane`, maintained only in exploration mode
+    /// ([`EventQueue::record_lanes`]): the schedule-policy hook needs each
+    /// pending event's tiebreak lane to build per-lane candidate fronts,
+    /// and `Key` deliberately does not carry it. Empty (and untouched) in
+    /// ordinary runs, so the hot push/pop paths pay nothing.
+    lanes: Option<std::collections::HashMap<u64, Option<u64>>>,
 }
 
 impl Default for EventQueue {
@@ -171,7 +177,20 @@ impl EventQueue {
             tiebreak_seed: None,
             compact_min_tombstones: COMPACT_MIN_TOMBSTONES,
             scheduled_total: 0,
+            lanes: None,
         }
+    }
+
+    /// Start recording each event's tiebreak lane (exploration mode). Must
+    /// be enabled before the first push so every pending event is covered.
+    pub fn record_lanes(&mut self) {
+        debug_assert_eq!(self.scheduled_total, 0, "record_lanes after pushes");
+        self.lanes = Some(std::collections::HashMap::new());
+    }
+
+    /// The recorded lane of a pending event (exploration mode only).
+    pub fn lane_of(&self, seq: u64) -> Option<u64> {
+        self.lanes.as_ref().and_then(|m| m.get(&seq).copied())?
     }
 
     /// Perturb same-time event ordering with `seed` (race detection).
@@ -201,6 +220,9 @@ impl EventQueue {
             // scheduling order; distinct lanes land in a seeded order.
             Some(seed) => splitmix64(seed ^ lane.unwrap_or(seq)),
         };
+        if let Some(m) = self.lanes.as_mut() {
+            m.insert(seq, lane);
+        }
         let slot = self.arena.insert(kind);
         self.backend.push(Key {
             time_ns: time.as_nanos(),
@@ -240,6 +262,9 @@ impl EventQueue {
         keys.retain(|k| {
             if cancelled.contains(&k.seq) {
                 self.arena.discard(k.slot);
+                if let Some(m) = self.lanes.as_mut() {
+                    m.remove(&k.seq);
+                }
                 false
             } else {
                 true
@@ -248,8 +273,16 @@ impl EventQueue {
         self.backend.rebuild(keys);
     }
 
+    /// Forget a key's lane record (the event left the queue).
+    fn forget_lane(&mut self, seq: u64) {
+        if let Some(m) = self.lanes.as_mut() {
+            m.remove(&seq);
+        }
+    }
+
     /// Reassemble the event at `k`, taking its payload out of the arena.
     fn assemble(&mut self, k: Key) -> Event {
+        self.forget_lane(k.seq);
         Event {
             time: SimTime::from_nanos(k.time_ns),
             seq: k.seq,
@@ -265,6 +298,7 @@ impl EventQueue {
         if self.cancelled.remove(&k.seq) {
             self.backend.pop();
             self.arena.discard(k.slot);
+            self.forget_lane(k.seq);
             true
         } else {
             false
@@ -276,6 +310,7 @@ impl EventQueue {
             let k = self.backend.pop()?;
             if self.cancelled.remove(&k.seq) {
                 self.arena.discard(k.slot);
+                self.forget_lane(k.seq);
                 continue;
             }
             return Some(self.assemble(k));
@@ -310,6 +345,58 @@ impl EventQueue {
                 continue;
             }
             return Some(SimTime::from_nanos(k.time_ns));
+        }
+    }
+
+    /// Pop every live key at the earliest pending instant, in canonical
+    /// pop order (exploration mode). The caller inspects them through
+    /// [`EventQueue::peek_kind`], executes exactly one via
+    /// [`EventQueue::take_key`], and pushes the rest back with
+    /// [`EventQueue::unpop`] — which exercises the backends' push-below-
+    /// current-minimum paths, so exploration doubles as a backend-order
+    /// proof. Cancelled corpses encountered on the way are reclaimed.
+    pub fn pop_ready_keys(&mut self) -> Vec<Key> {
+        let mut out = Vec::new();
+        let Some(t) = self.peek_time() else {
+            return out;
+        };
+        let t = t.as_nanos();
+        while let Some(k) = self.backend.peek() {
+            if k.time_ns != t {
+                break;
+            }
+            self.backend.pop();
+            if self.cancelled.remove(&k.seq) {
+                self.arena.discard(k.slot);
+                self.forget_lane(k.seq);
+                continue;
+            }
+            out.push(k);
+        }
+        out
+    }
+
+    /// Borrow the payload behind a popped-but-unconsumed key.
+    pub fn peek_kind(&self, k: Key) -> &EventKind {
+        self.arena.get(k.slot)
+    }
+
+    /// Consume a key popped by [`EventQueue::pop_ready_keys`].
+    pub fn take_key(&mut self, k: Key) -> Event {
+        self.assemble(k)
+    }
+
+    /// Drop a key popped by [`EventQueue::pop_ready_keys`] without running
+    /// it (stale resumes for dead processes).
+    pub fn discard_key(&mut self, k: Key) {
+        self.arena.discard(k.slot);
+        self.forget_lane(k.seq);
+    }
+
+    /// Return unconsumed ready keys to the backend.
+    pub fn unpop(&mut self, keys: impl IntoIterator<Item = Key>) {
+        for k in keys {
+            self.backend.push(k);
         }
     }
 
@@ -516,6 +603,50 @@ mod tests {
             assert!(pos(a0) < pos(a1), "lane 1 order violated under seed {seed}");
             assert!(pos(b0) < pos(b1), "lane 2 order violated under seed {seed}");
         }
+    }
+
+    #[test]
+    fn ready_keys_collect_the_tied_instant_and_unpop_restores_order() {
+        for ladder in [false, true] {
+            let mut q = EventQueue::with_ladder(ladder);
+            q.record_lanes();
+            let a = q.push(SimTime::from_nanos(10), Some(1), call());
+            let b = q.push(SimTime::from_nanos(10), None, call());
+            let c = q.push(SimTime::from_nanos(10), Some(1), call());
+            let d = q.push(SimTime::from_nanos(20), Some(2), call());
+            let corpse = q.push(SimTime::from_nanos(10), None, call());
+            q.cancel(corpse);
+            let ready = q.pop_ready_keys();
+            assert_eq!(
+                ready.iter().map(|k| k.seq).collect::<Vec<_>>(),
+                [a.0, b.0, c.0],
+                "ladder={ladder}: ready set is the live t=10 bucket in pop order"
+            );
+            assert_eq!(q.lane_of(a.0), Some(1));
+            assert_eq!(q.lane_of(b.0), None);
+            assert!(matches!(q.peek_kind(ready[0]), EventKind::Call(_)));
+            // Execute the *middle* candidate, push the rest back: the
+            // backend must accept keys at (or below) its drained minimum.
+            let ev = q.take_key(ready[1]);
+            assert_eq!(ev.seq, b.0);
+            q.unpop([ready[0], ready[2]]);
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+            assert_eq!(order, [a.0, c.0, d.0], "unpopped keys keep their order");
+            assert_eq!(q.lane_of(d.0), None, "consumed events forget lanes");
+        }
+    }
+
+    #[test]
+    fn discard_key_reclaims_without_running() {
+        let mut q = EventQueue::default();
+        q.record_lanes();
+        q.push(SimTime::from_nanos(5), Some(3), call());
+        let ready = q.pop_ready_keys();
+        assert_eq!(ready.len(), 1);
+        q.discard_key(ready[0]);
+        assert_eq!(q.arena.len(), 0, "payload reclaimed");
+        assert!(q.is_empty());
+        assert_eq!(q.lane_of(ready[0].seq), None);
     }
 
     #[test]

@@ -7,9 +7,10 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
-use crate::event::{EventId, EventKind, EventQueue};
+use crate::event::{Event, EventId, EventKind, EventQueue};
 use crate::pool::{self, LeaseGroup};
 use crate::process::{Handoff, Pid, ProcCtx, ProcessExit, ResumeOutcome, WakeKind};
+use crate::schedule::{Candidate, CandidateKind, Decision, SchedulePolicy, StepRecord};
 use crate::table::ProcTable;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, TraceKind, Tracer};
@@ -46,6 +47,132 @@ pub(crate) struct KernelState {
     /// Condvar round-trips avoided by delivering same-time wake batches in
     /// one token handoff (reported in [`RunReport::handoffs_saved`]).
     handoffs_saved: u64,
+    /// Exploration mode: a controller choosing among same-instant
+    /// candidates ([`Sim::set_schedule_policy`]). `None` in ordinary runs —
+    /// the pop path is then exactly the policy-free fast path.
+    policy: Option<Box<dyn SchedulePolicy>>,
+    /// Multi-candidate instants recorded in exploration mode.
+    decisions: Vec<Decision>,
+    /// One record per executed event in exploration mode (effect windows
+    /// into the trace).
+    steps: Vec<StepRecord>,
+}
+
+/// Outcome of one exploration-mode pop attempt.
+enum PolicyPop {
+    /// The queue is empty (deadlock check decides success).
+    Drained,
+    /// The next instant lies past `max_time`; stop was requested.
+    Horizon,
+    /// Everything at the earliest instant was stale; look again.
+    Retry,
+    /// The policy's pick, removed from the queue and ready to dispatch.
+    Run(Event),
+}
+
+impl KernelState {
+    /// The exploration-mode pop: gather every live event at the earliest
+    /// instant, offer the per-lane fronts (plus all laneless events) to the
+    /// policy, execute its pick, and return the rest to the queue. Records
+    /// a [`Decision`] for every real choice point and a [`StepRecord`] for
+    /// every executed event.
+    fn pop_with_policy(&mut self) -> PolicyPop {
+        let Some(t) = self.queue.peek_time() else {
+            return PolicyPop::Drained;
+        };
+        if self.max_time.map(|mt| t > mt).unwrap_or(false) {
+            // Past the horizon: stop without consuming anything, same
+            // outcome as the policy-free loop (the clock never advances
+            // beyond max_time).
+            self.stop_requested = true;
+            return PolicyPop::Horizon;
+        }
+        let mut keys = self.queue.pop_ready_keys();
+        // Resumes aimed at dead processes are stale: reclaim them before
+        // building candidates, so the policy is never offered an event the
+        // policy-free loop would silently drop.
+        keys.retain(|&k| {
+            let stale = matches!(
+                self.queue.peek_kind(k),
+                &EventKind::Resume(pid, _)
+                    if !self.procs.get(pid).map(|e| e.alive).unwrap_or(false)
+            );
+            if stale {
+                self.queue.discard_key(k);
+            }
+            !stale
+        });
+        if keys.is_empty() {
+            return PolicyPop::Retry;
+        }
+        // Candidates: the front event of each tiebreak lane (later same-lane
+        // events are blocked behind it — intra-lane order is model
+        // semantics) plus every laneless event (freely permutable).
+        let mut seen_lanes = std::collections::HashSet::new();
+        let mut candidates = Vec::new();
+        let mut candidate_keys = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            let lane = self.queue.lane_of(k.seq);
+            if let Some(l) = lane {
+                if !seen_lanes.insert(l) {
+                    continue;
+                }
+            }
+            let kind = match self.queue.peek_kind(k) {
+                EventKind::Call(_) => CandidateKind::Call,
+                EventKind::Resume(pid, _) => CandidateKind::Resume(*pid),
+                EventKind::LinkFault(_) => CandidateKind::LinkFault,
+            };
+            candidates.push(Candidate {
+                seq: k.seq,
+                lane,
+                kind,
+            });
+            candidate_keys.push(i);
+        }
+        let chosen = if candidates.len() > 1 {
+            let policy = self
+                .policy
+                .as_mut()
+                .expect("pop_with_policy without policy");
+            let c = policy.choose(t, &candidates).min(candidates.len() - 1);
+            self.decisions.push(Decision {
+                time: t,
+                step: self.steps.len(),
+                candidates,
+                chosen: c,
+            });
+            c
+        } else {
+            0
+        };
+        let key = keys.swap_remove(candidate_keys[chosen]);
+        let ev = self.queue.take_key(key);
+        self.queue.unpop(keys);
+        self.steps.push(StepRecord {
+            seq: ev.seq,
+            time: ev.time,
+            trace_lo: self.tracer.len(),
+        });
+        PolicyPop::Run(ev)
+    }
+
+    /// The drained-queue outcome: success iff no process is still parked.
+    fn drained(&self) -> Result<(), SimError> {
+        let parked: Vec<String> = self
+            .procs
+            .values()
+            .filter(|e| e.alive)
+            .map(|e| e.name.to_string())
+            .collect();
+        if parked.is_empty() {
+            return Ok(());
+        }
+        Err(SimError::Deadlock(DeadlockInfo {
+            time: self.now,
+            parked,
+        }))
+    }
 }
 
 /// `false` when `FTMPI_NO_BATCH` is set: every wake gets its own token
@@ -194,6 +321,13 @@ pub struct RunReport {
     /// Condvar round-trips avoided by batched wake delivery (0 when
     /// `FTMPI_NO_BATCH` is set or no same-time wake batches occurred).
     pub handoffs_saved: u64,
+    /// Exploration mode only: every instant at which more than one
+    /// candidate was ready, with the policy's choice. Empty otherwise.
+    pub decisions: Vec<Decision>,
+    /// Exploration mode only: one record per executed event, in execution
+    /// order; each step's trace effects are
+    /// `trace[step.trace_lo..next_step.trace_lo]`. Empty otherwise.
+    pub steps: Vec<StepRecord>,
 }
 
 /// Service handle available to model closures while they run on the kernel
@@ -523,6 +657,9 @@ impl Sim {
                     tracer: Tracer::default(),
                     exits: Vec::new(),
                     handoffs_saved: 0,
+                    policy: None,
+                    decisions: Vec::new(),
+                    steps: Vec::new(),
                 }),
                 trace_on: AtomicBool::new(false),
                 leases: Arc::new(LeaseGroup::default()),
@@ -558,6 +695,34 @@ impl Sim {
     /// depends on the arbitrary tie order. Call before the run starts.
     pub fn set_tiebreak_seed(&mut self, seed: u64) {
         self.shared.state.lock().queue.set_tiebreak_seed(seed);
+    }
+
+    /// Install a [`SchedulePolicy`] (exploration mode). Every pop with more
+    /// than one ready candidate consults the policy; [`RunReport::decisions`]
+    /// and [`RunReport::steps`] record the run's choice points and step
+    /// effects. Wake batching is bypassed in this mode so each wake stays an
+    /// individually choosable scheduling unit. Call before scheduling
+    /// anything (the queue starts recording lanes here).
+    pub fn set_schedule_policy(&mut self, policy: Box<dyn SchedulePolicy>) {
+        let mut st = self.shared.state.lock();
+        st.queue.record_lanes();
+        st.policy = Some(policy);
+    }
+
+    /// Replace the (still empty) event queue with one on the requested
+    /// backend, overriding the `FTMPI_NO_LADDER` default. Exploration's
+    /// differential-backend mode drives the same schedule space through both
+    /// backends and compares state-for-state.
+    pub fn force_queue_backend(&mut self, ladder: bool) {
+        let mut st = self.shared.state.lock();
+        debug_assert_eq!(
+            st.queue.scheduled_total, 0,
+            "switch backends before scheduling"
+        );
+        st.queue = EventQueue::with_ladder(ladder);
+        if st.policy.is_some() {
+            st.queue.record_lanes();
+        }
     }
 
     /// Convenience constructor for a [`SharedFlag`].
@@ -628,6 +793,8 @@ impl Sim {
             trace: st.tracer.take(),
             stopped: st.stop_requested,
             handoffs_saved: st.handoffs_saved,
+            decisions: std::mem::take(&mut st.decisions),
+            steps: std::mem::take(&mut st.steps),
         };
         drop(st);
         result.map(|()| report)
@@ -648,68 +815,76 @@ impl Sim {
                         });
                     }
                 }
-                match st.queue.pop() {
-                    None => {
-                        // Queue drained: success if nothing is parked.
-                        let parked: Vec<String> = st
-                            .procs
-                            .values()
-                            .filter(|e| e.alive)
-                            .map(|e| e.name.to_string())
-                            .collect();
-                        if parked.is_empty() {
-                            return Ok(());
+                if st.policy.is_some() {
+                    match st.pop_with_policy() {
+                        PolicyPop::Drained => return st.drained(),
+                        PolicyPop::Horizon => return Ok(()),
+                        PolicyPop::Retry => continue,
+                        PolicyPop::Run(ev) => {
+                            debug_assert!(ev.time >= st.now, "event queue went backwards");
+                            st.now = ev.time;
+                            match ev.kind {
+                                EventKind::Call(f) | EventKind::LinkFault(f) => {
+                                    st.executed += 1;
+                                    Dispatch::Call(f, ev.time)
+                                }
+                                // No wake coalescing: each wake must remain
+                                // an individually orderable scheduling unit.
+                                EventKind::Resume(pid, kind) => {
+                                    Dispatch::Wakes(pid, ev.time, WakeBatch::single(kind, ev.time))
+                                }
+                            }
                         }
-                        return Err(SimError::Deadlock(DeadlockInfo {
-                            time: st.now,
-                            parked,
-                        }));
                     }
-                    Some(ev) => {
-                        // Resumes aimed at dead processes are stale: drop them
-                        // without advancing the clock, so a killed process's
-                        // pending wakes don't distort the final time.
-                        if let EventKind::Resume(pid, _) = ev.kind {
-                            let alive = st.procs.get(pid).map(|e| e.alive).unwrap_or(false);
-                            if !alive {
-                                continue;
+                } else {
+                    match st.queue.pop() {
+                        None => return st.drained(),
+                        Some(ev) => {
+                            // Resumes aimed at dead processes are stale: drop them
+                            // without advancing the clock, so a killed process's
+                            // pending wakes don't distort the final time.
+                            if let EventKind::Resume(pid, _) = ev.kind {
+                                let alive = st.procs.get(pid).map(|e| e.alive).unwrap_or(false);
+                                if !alive {
+                                    continue;
+                                }
                             }
-                        }
-                        debug_assert!(ev.time >= st.now, "event queue went backwards");
-                        // Past the horizon: stop without consuming the event
-                        // (the clock must not advance beyond max_time).
-                        if st.max_time.map(|mt| ev.time > mt).unwrap_or(false) {
-                            st.stop_requested = true;
-                            return Ok(());
-                        }
-                        st.now = ev.time;
-                        match ev.kind {
-                            EventKind::Call(f) | EventKind::LinkFault(f) => {
-                                st.executed += 1;
-                                Dispatch::Call(f, ev.time)
+                            debug_assert!(ev.time >= st.now, "event queue went backwards");
+                            // Past the horizon: stop without consuming the event
+                            // (the clock must not advance beyond max_time).
+                            if st.max_time.map(|mt| ev.time > mt).unwrap_or(false) {
+                                st.stop_requested = true;
+                                return Ok(());
                             }
-                            EventKind::Resume(pid, kind) => {
-                                let mut wakes = WakeBatch::single(kind, ev.time);
-                                if batching {
-                                    // Coalesce every immediately-following
-                                    // same-time wake for this process into one
-                                    // token handoff. Same-lane same-time
-                                    // events pop in scheduling order under any
-                                    // tiebreak seed, so the batch preserves
-                                    // exactly the order the unbatched loop
-                                    // would deliver. (`executed` for wake
-                                    // batches is accounted after delivery —
-                                    // see `resume_process`.)
-                                    while let Some(next) = st.queue.pop_if(|t, k| {
-                                        t == ev.time
-                                            && matches!(k, EventKind::Resume(p, _) if *p == pid)
-                                    }) {
-                                        if let EventKind::Resume(_, k) = next.kind {
-                                            wakes.push_back(k, next.time);
+                            st.now = ev.time;
+                            match ev.kind {
+                                EventKind::Call(f) | EventKind::LinkFault(f) => {
+                                    st.executed += 1;
+                                    Dispatch::Call(f, ev.time)
+                                }
+                                EventKind::Resume(pid, kind) => {
+                                    let mut wakes = WakeBatch::single(kind, ev.time);
+                                    if batching {
+                                        // Coalesce every immediately-following
+                                        // same-time wake for this process into one
+                                        // token handoff. Same-lane same-time
+                                        // events pop in scheduling order under any
+                                        // tiebreak seed, so the batch preserves
+                                        // exactly the order the unbatched loop
+                                        // would deliver. (`executed` for wake
+                                        // batches is accounted after delivery —
+                                        // see `resume_process`.)
+                                        while let Some(next) = st.queue.pop_if(|t, k| {
+                                            t == ev.time
+                                                && matches!(k, EventKind::Resume(p, _) if *p == pid)
+                                        }) {
+                                            if let EventKind::Resume(_, k) = next.kind {
+                                                wakes.push_back(k, next.time);
+                                            }
                                         }
                                     }
+                                    Dispatch::Wakes(pid, ev.time, wakes)
                                 }
-                                Dispatch::Wakes(pid, ev.time, wakes)
                             }
                         }
                     }

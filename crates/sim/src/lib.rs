@@ -50,6 +50,7 @@ pub mod microbench;
 mod pool;
 mod process;
 mod reply;
+mod schedule;
 mod table;
 mod time;
 mod trace;
@@ -60,6 +61,9 @@ pub use kernel::{batching_enabled, DeadlockInfo, RunReport, Sim, SimCtx, SimErro
 pub use pool::{pool_stats, wait_live_below, PoolStats};
 pub use process::{Pid, ProcCtx, ProcessExit, SharedFlag};
 pub use reply::Reply;
+pub use schedule::{
+    Candidate, CandidateKind, Decision, PrescribedPolicy, SchedulePolicy, StepRecord,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{ProtoEvent, TraceEvent, TraceKind, Tracer};
 

@@ -177,4 +177,10 @@ impl Tracer {
     pub(crate) fn take(&mut self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.events)
     }
+
+    /// Number of records captured so far. Step-effect attribution in
+    /// exploration mode snapshots this before dispatching each event.
+    pub(crate) fn len(&self) -> usize {
+        self.events.len()
+    }
 }

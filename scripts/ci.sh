@@ -30,6 +30,9 @@ cargo run -q --release -p ftmpi-check -- smoke
 echo "==> ftmpi-check storm --smoke (kills, partitions, node deaths)"
 cargo run -q --release -p ftmpi-check -- storm --smoke
 
+echo "==> ftmpi-check explore --smoke (DPOR over tied schedules, BENCH_explore.json)"
+cargo run -q --release -p ftmpi-check -- explore --smoke
+
 echo "==> cache prune round trip (ftmpi-bench cache --prune)"
 PRUNE_TMP="${TMPDIR:-/tmp}/ftmpi-ci-prune-$$"
 rm -rf "$PRUNE_TMP"
