@@ -35,9 +35,9 @@ fn bench_process_handoff(c: &mut Criterion) {
                 b.iter(|| {
                     let mut sim = Sim::new();
                     for p in 0..procs {
-                        sim.spawn(format!("p{p}"), move |mut ctx| {
+                        sim.spawn(format!("p{p}"), move |mut ctx| async move {
                             for _ in 0..steps {
-                                ctx.sleep(SimDuration::from_nanos(10));
+                                ctx.sleep(SimDuration::from_nanos(10)).await;
                             }
                         });
                     }

@@ -8,20 +8,21 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use ftmpi_core::{run_job, FtConfig, JobSpec, ProtocolChoice};
-use ftmpi_mpi::AppFn;
+use ftmpi_mpi::{app_fn, AppFn};
 use ftmpi_sim::SimDuration;
 
 fn ring(iters: usize) -> AppFn {
-    Arc::new(move |mpi| {
+    app_fn(move |mut mpi| async move {
         let n = mpi.size();
         let right = (mpi.rank() + 1) % n;
         let left = (mpi.rank() + n - 1) % n;
         for i in 0..iters {
-            let req = mpi.irecv(Some(left), Some((i % 1000) as i32));
-            mpi.send(right, (i % 1000) as i32, 4096);
-            mpi.wait(req);
+            let req = mpi.irecv(Some(left), Some((i % 1000) as i32)).await;
+            mpi.send(right, (i % 1000) as i32, 4096).await;
+            mpi.wait(req).await;
             mpi.compute(SimDuration::from_millis(10));
         }
+        mpi
     })
 }
 
@@ -58,11 +59,12 @@ fn bench_collectives_sim_cost(c: &mut Criterion) {
     g.sample_size(10);
     for n in [8usize, 32, 64] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let app: AppFn = Arc::new(|mpi| {
+            let app: AppFn = app_fn(|mut mpi| async move {
                 for _ in 0..50 {
-                    mpi.allreduce(8 * 1024);
+                    mpi.allreduce(8 * 1024).await;
                     mpi.compute(SimDuration::from_millis(5));
                 }
+                mpi
             });
             b.iter(|| run_job(JobSpec::new(n, ProtocolChoice::Dummy, Arc::clone(&app))).unwrap());
         });

@@ -67,6 +67,7 @@ const WALLCLOCK_CRATES: &[&str] = &["sim", "net", "mpi", "core", "nas"];
 /// README's toggle table (checked by [`env_registry_hits`]).
 pub const ENV_TOGGLES: &[&str] = &[
     "FTMPI_NO_LADDER",
+    "FTMPI_THREADED",
     "FTMPI_NO_POOL",
     "FTMPI_NO_BATCH",
     "FTMPI_NO_CACHE",
@@ -75,7 +76,11 @@ pub const ENV_TOGGLES: &[&str] = &[
 ];
 
 /// Files audited by the `sim-audit` rule.
-const SIM_AUDIT_FILES: &[&str] = &["crates/sim/src/arena.rs", "crates/sim/src/ladder.rs"];
+const SIM_AUDIT_FILES: &[&str] = &[
+    "crates/sim/src/arena.rs",
+    "crates/sim/src/ladder.rs",
+    "crates/sim/src/process.rs",
+];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -567,6 +572,20 @@ fn push_confinement(sources: &[(String, String)]) -> Vec<LintHit> {
             &["src/event.rs"],
             "raw backend push outside the queue: bypasses lane bookkeeping \
              (use `EventQueue::push` / `unpop`)",
+        ),
+        (
+            ".as_mut().poll(",
+            &["src/kernel.rs"],
+            "coroutine stepping outside the kernel drive loop: a process \
+             state machine may only be polled by `drive_coro`, where the \
+             dispatched wake and its lane are recorded",
+        ),
+        (
+            "resume_batch(",
+            &["src/kernel.rs", "src/process.rs"],
+            "threaded wake delivery outside the kernel drive loop: handoff \
+             resumes must come from the dispatcher so both process backends \
+             see the same wake order",
         ),
     ];
     let mut hits = Vec::new();

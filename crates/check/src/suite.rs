@@ -7,12 +7,10 @@
 //! bench crate through the checker, adding a churn variant that kills a
 //! rank shortly after the first committed wave.
 
-use std::sync::Arc;
-
 use ftmpi_core::{
     run_job_with, FailurePlan, FtConfig, JobError, JobSpec, ProtocolChoice, RunOptions,
 };
-use ftmpi_mpi::AppFn;
+use ftmpi_mpi::{app_fn, AppFn};
 use ftmpi_sim::{ProtoEvent, SimDuration, SimTime, TraceKind};
 
 use crate::invariants::{check_trace, CheckReport};
@@ -40,16 +38,17 @@ impl ProbeOutcome {
 /// Ring workload: each iteration sends to the right neighbour, receives
 /// from the left, then computes (the BT-like probe app).
 pub fn ring_app(iters: usize, bytes: u64, compute: SimDuration) -> AppFn {
-    Arc::new(move |mpi| {
+    app_fn(move |mut mpi| async move {
         let n = mpi.size();
         let right = (mpi.rank() + 1) % n;
         let left = (mpi.rank() + n - 1) % n;
         for i in 0..iters {
-            let req = mpi.irecv(Some(left), Some(i as i32));
-            mpi.send(right, i as i32, bytes);
-            mpi.wait(req);
+            let req = mpi.irecv(Some(left), Some(i as i32)).await;
+            mpi.send(right, i as i32, bytes).await;
+            mpi.wait(req).await;
             mpi.compute(compute);
         }
+        mpi
     })
 }
 
@@ -57,19 +56,22 @@ pub fn ring_app(iters: usize, bytes: u64, compute: SimDuration) -> AppFn {
 /// consumes slowly — a wave arriving mid-stream finds messages genuinely
 /// in the channel (the Vcl logging probe).
 pub fn stream_app(count: usize, bytes: u64, consume: SimDuration) -> AppFn {
-    Arc::new(move |mpi| match mpi.rank() {
-        0 => {
-            for i in 0..count {
-                mpi.send(1, (i % 1000) as i32, bytes);
+    app_fn(move |mut mpi| async move {
+        match mpi.rank() {
+            0 => {
+                for i in 0..count {
+                    mpi.send(1, (i % 1000) as i32, bytes).await;
+                }
             }
-        }
-        1 => {
-            for i in 0..count {
-                mpi.recv(Some(0), Some((i % 1000) as i32));
-                mpi.compute(consume);
+            1 => {
+                for i in 0..count {
+                    mpi.recv(Some(0), Some((i % 1000) as i32)).await;
+                    mpi.compute(consume);
+                }
             }
+            _ => {}
         }
-        _ => {}
+        mpi
     })
 }
 

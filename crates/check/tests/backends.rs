@@ -1,0 +1,167 @@
+//! Differential process-backend tests: every probe must be state-for-state
+//! identical whether ranks run as stackless coroutines (the default) or on
+//! legacy pooled OS threads (`FTMPI_THREADED=1`). Equality is asserted on
+//! the full encoded [`ftmpi_core::JobResult`] (the byte representation the
+//! persistent memo cache stores) and on the order-canonical fingerprint of
+//! the structured protocol trace — the same evidence the figure JSONs and
+//! the invariant checker consume.
+
+use ftmpi_check::{
+    check_trace, explore, explore_configs, smoke_probes, trace_fingerprint, ExploreOptions,
+};
+use ftmpi_core::{
+    run_job_with, FailurePlan, FtConfig, JobResult, JobSpec, ProtocolChoice, RunOptions,
+};
+use ftmpi_mpi::{app_fn, AppFn};
+use ftmpi_sim::{SimDuration, SimTime, TraceEvent};
+
+/// Run `spec` under one forced process backend, with tracing.
+fn run_backend(spec: JobSpec, threaded: bool) -> (JobResult, Vec<TraceEvent>) {
+    run_job_with(
+        spec,
+        RunOptions {
+            trace: true,
+            threaded: Some(threaded),
+            ..RunOptions::default()
+        },
+    )
+    .expect("differential run")
+}
+
+/// Run `spec` under both backends and assert full state equality; returns
+/// the coroutine run for further scenario assertions.
+fn assert_backends_agree(name: &str, spec: JobSpec) -> (JobResult, Vec<TraceEvent>) {
+    let (coro_res, coro_trace) = run_backend(spec.clone(), false);
+    let (thr_res, thr_trace) = run_backend(spec, true);
+    assert_eq!(
+        coro_res.encode(),
+        thr_res.encode(),
+        "{name}: encoded results diverged between backends"
+    );
+    assert_eq!(
+        coro_trace.len(),
+        thr_trace.len(),
+        "{name}: trace lengths diverged between backends"
+    );
+    assert_eq!(
+        trace_fingerprint(&coro_trace),
+        trace_fingerprint(&thr_trace),
+        "{name}: trace fingerprints diverged between backends"
+    );
+    (coro_res, coro_trace)
+}
+
+#[test]
+fn smoke_probe_set_identical_across_backends() {
+    for (name, spec) in smoke_probes() {
+        let (protocol, nranks) = (spec.protocol, spec.nranks);
+        let (_, trace) = assert_backends_agree(&name, spec);
+        let report = check_trace(protocol, nranks, &trace);
+        assert!(report.ok(), "{name}: {:?}", report.violations);
+    }
+}
+
+#[test]
+fn explorations_agree_across_process_backends() {
+    let cfg = explore_configs()
+        .into_iter()
+        .find(|c| c.name == "vcl3.ring")
+        .expect("vcl3.ring explore config");
+    let run = |threaded| {
+        explore(
+            &cfg,
+            &ExploreOptions {
+                threaded: Some(threaded),
+                ..ExploreOptions::default()
+            },
+        )
+        .expect("exploration runs")
+    };
+    let (coro, thr) = (run(false), run(true));
+    assert!(coro.exhausted && thr.exhausted);
+    assert!(coro.violation.is_none() && thr.violation.is_none());
+    assert_eq!(coro.runs, thr.runs, "backends explored different spaces");
+    assert_eq!(coro.canonical_fp, thr.canonical_fp);
+    assert_eq!(coro.distinct_outcomes, thr.distinct_outcomes);
+    assert_eq!(coro.pruned, thr.pruned, "commutation pruning diverged");
+    assert_eq!(coro.deduped, thr.deduped, "state memoization diverged");
+    assert_eq!(coro.max_decisions, thr.max_decisions);
+}
+
+fn ring_app(iters: usize, bytes: u64, compute: SimDuration) -> AppFn {
+    app_fn(move |mut mpi| async move {
+        let n = mpi.size();
+        let right = (mpi.rank() + 1) % n;
+        let left = (mpi.rank() + n - 1) % n;
+        for i in 0..iters {
+            let req = mpi.irecv(Some(left), Some((i % 997) as i32)).await;
+            mpi.send(right, (i % 997) as i32, bytes).await;
+            mpi.wait(req).await;
+            mpi.compute(compute);
+        }
+        mpi
+    })
+}
+
+fn killable_spec(proto: ProtocolChoice) -> JobSpec {
+    let mut spec = JobSpec::new(8, proto, ring_app(80, 8_192, SimDuration::from_millis(200)));
+    spec.servers = 2;
+    spec.ft = FtConfig {
+        period: SimDuration::from_secs(3),
+        first_wave_delay: SimDuration::from_secs(1),
+        image_bytes: 4 << 20,
+        ..FtConfig::default()
+    };
+    spec.max_virtual_time = Some(SimTime::from_nanos(900_000_000_000));
+    spec
+}
+
+/// A kill landing while the victim is parked in a blocked receive: under
+/// the threaded backend this unwinds the rank's stack; under coroutines it
+/// drops the rank's suspended future. Both must recover identically.
+#[test]
+fn kill_while_suspended_identical_across_backends() {
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        let mut spec = killable_spec(proto);
+        // Mid-compute/wait, well inside the run and clear of wave windows.
+        spec.failures = FailurePlan::kill_at(SimTime::from_nanos(5_700_000_000), 3);
+        let (protocol, nranks) = (spec.protocol, spec.nranks);
+        let (res, trace) = assert_backends_agree("kill-suspended", spec);
+        assert_eq!(res.rt.restarts, 1);
+        assert_eq!(res.leftover_unexpected, 0);
+        let report = check_trace(protocol, nranks, &trace);
+        assert!(report.ok(), "{proto:?}: {:?}", report.violations);
+    }
+}
+
+/// A second rank dies while the first failure's recovery is still in
+/// flight (inside the dispatcher's `restart_delay` window): the restart
+/// state machine must take the same transitions under both backends.
+#[test]
+fn kill_during_recovery_identical_across_backends() {
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        let mut spec = killable_spec(proto);
+        let first = SimTime::from_nanos(5_700_000_000);
+        // Default restart_delay is 3 s: the second kill lands 800 ms into
+        // the first recovery.
+        let second = SimTime::from_nanos(6_500_000_000);
+        spec.failures = FailurePlan::kill_at(first, 3).with_kill(second, 6);
+        let (protocol, nranks) = (spec.protocol, spec.nranks);
+        let (res, trace) = assert_backends_agree("kill-mid-recovery", spec);
+        assert_eq!(res.rt.restarts, 2);
+        assert_eq!(res.leftover_unexpected, 0);
+        let report = check_trace(protocol, nranks, &trace);
+        assert!(report.ok(), "{proto:?}: {:?}", report.violations);
+    }
+}
+
+/// The uncoordinated logging protocol's per-rank checkpoint cycles and
+/// synchronous log writes must also be backend-independent.
+#[test]
+fn mlog_restart_identical_across_backends() {
+    let mut spec = killable_spec(ProtocolChoice::Mlog);
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(5_700_000_000), 3);
+    let (res, _) = assert_backends_agree("mlog-kill", spec);
+    assert_eq!(res.rt.restarts, 1);
+    assert_eq!(res.leftover_unexpected, 0);
+}

@@ -23,14 +23,16 @@ pub struct RankImage {
     /// queue and matched-but-unwaited requests). Re-injected at restart
     /// before any channel-state replay.
     pub pending: Vec<ftmpi_mpi::AppMsg>,
-    /// Per-source duplicate-suppression watermarks at capture time (used by
+    /// Per-source duplicate-suppression watermarks at capture time, as
+    /// sparse `(peer, watermark)` pairs sorted by peer (used by
     /// single-rank-restart protocols; empty for the coordinated protocols,
     /// whose global restarts reset every counter).
-    pub expect_seq: Vec<u64>,
-    /// Per-destination send sequence counters at capture time (restored by
-    /// single-rank-restart protocols so re-executed sends keep numbering
-    /// where the receivers' duplicate filters expect it).
-    pub send_seq: Vec<u64>,
+    pub expect_seq: Vec<(ftmpi_mpi::Rank, u64)>,
+    /// Per-destination send sequence counters at capture time, sparse and
+    /// sorted like `expect_seq` (restored by single-rank-restart protocols
+    /// so re-executed sends keep numbering where the receivers' duplicate
+    /// filters expect it).
+    pub send_seq: Vec<(ftmpi_mpi::Rank, u64)>,
 }
 
 /// A committed checkpoint wave: everything needed to restart the job.

@@ -49,6 +49,12 @@ struct MlogRank {
     image_version: u64,
     /// An image capture+stream is in flight.
     ckpt_in_flight: bool,
+    /// The captured-but-not-yet-landed image, keyed by its version. Kept
+    /// per rank (at most one capture is in flight, the `ckpt_in_flight`
+    /// guard) so a saturated checkpoint server — thousands of streams
+    /// backed up at once — costs O(1) per completion, not a scan of the
+    /// whole backlog.
+    pending: Option<(u64, RankImage)>,
 }
 
 /// The uncoordinated message-logging engine.
@@ -60,8 +66,6 @@ pub struct Mlog {
     /// Server control-plane state.
     pub store: CheckpointStore,
     ranks: Vec<MlogRank>,
-    /// Images captured but whose stream has not landed yet.
-    pending_images: Vec<(Rank, u64, RankImage)>,
 }
 
 impl Mlog {
@@ -79,9 +83,9 @@ impl Mlog {
                     image: None,
                     image_version: 0,
                     ckpt_in_flight: false,
+                    pending: None,
                 })
                 .collect(),
-            pending_images: Vec::new(),
         }
     }
 
@@ -185,8 +189,10 @@ impl Mlog {
                 version,
                 log_mark,
             ));
-            // The image commits only when the stream lands.
-            m.pending_images.push((r, version, image));
+            // The image commits only when the stream lands. Overwriting a
+            // leftover entry from before a restart is fine: that capture
+            // was superseded and its completion no longer matches.
+            mr.pending = Some((version, image));
         });
         if let Some((spec, version, log_mark)) = flow {
             start_flow(w, sc, spec, move |w, sc, done_at| {
@@ -210,14 +216,15 @@ impl Mlog {
         let handle = w.rt.world_handle();
         let mut next: Option<SimTime> = None;
         Mlog::with(w, |m, rt| {
-            let Some(pos) = m
-                .pending_images
-                .iter()
-                .position(|(pr, pv, _)| *pr == r && *pv == version)
-            else {
-                return;
+            let image = match m.ranks[r].pending.take() {
+                Some((pv, image)) if pv == version => image,
+                // A completion for a superseded capture: put back whatever
+                // newer in-flight image it raced with.
+                other => {
+                    m.ranks[r].pending = other;
+                    return;
+                }
             };
-            let (_, _, image) = m.pending_images.remove(pos);
             let taken_at = image.taken_at;
             let mr = &mut m.ranks[r];
             if mr.image_version != version {

@@ -869,13 +869,14 @@ pub fn mlog_fail_and_restart(
         .unwrap_or((0, ftmpi_sim::SimDuration::ZERO));
     w.rt.ranks[victim].reset_for_restart(skip, credit);
     let incarnation = w.rt.ranks[victim].incarnation;
-    let n = w.rt.size();
     match &image {
         Some(img) => {
             w.rt.set_expect_seq(victim, img.expect_seq.clone());
             w.rt.set_send_seq(victim, img.send_seq.clone());
         }
-        None => w.rt.set_expect_seq(victim, vec![0; n]),
+        // No image: the rank restarts from scratch with empty (all-zero)
+        // sparse watermarks.
+        None => w.rt.set_expect_seq(victim, Vec::new()),
     }
     if let Some(img) = &image {
         for m in img.pending.clone() {

@@ -5,19 +5,20 @@
 use std::sync::Arc;
 
 use ftmpi_core::{run_job, FailurePlan, FtConfig, JobSpec, ProtocolChoice};
-use ftmpi_mpi::AppFn;
+use ftmpi_mpi::{app_fn, AppFn};
 use ftmpi_net::SoftwareStack;
 use ftmpi_sim::{SimDuration, SimTime};
 
 fn ring_app(iters: usize, bytes: u64, compute: SimDuration) -> AppFn {
-    Arc::new(move |mpi| {
+    app_fn(move |mut mpi| async move {
         let n = mpi.size();
         let right = (mpi.rank() + 1) % n;
         let left = (mpi.rank() + n - 1) % n;
         for i in 0..iters {
-            mpi.shift(right, left, (i % 997) as i32, bytes);
+            mpi.shift(right, left, (i % 997) as i32, bytes).await;
             mpi.compute(compute);
         }
+        mpi
     })
 }
 

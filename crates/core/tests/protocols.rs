@@ -4,33 +4,35 @@
 use std::sync::Arc;
 
 use ftmpi_core::{run_job, FailurePlan, FtConfig, JobError, JobResult, JobSpec, ProtocolChoice};
-use ftmpi_mpi::AppFn;
+use ftmpi_mpi::{app_fn, AppFn};
 use ftmpi_net::{NetFaultPlan, NodeId, SoftwareStack};
 use ftmpi_sim::{SimDuration, SimTime};
 
 /// Ring workload: each iteration sends `bytes` to the right neighbour,
 /// receives from the left, then computes.
 fn ring_app(iters: usize, bytes: u64, compute: SimDuration) -> AppFn {
-    Arc::new(move |mpi| {
+    app_fn(move |mut mpi| async move {
         let n = mpi.size();
         let right = (mpi.rank() + 1) % n;
         let left = (mpi.rank() + n - 1) % n;
         for i in 0..iters {
-            let req = mpi.irecv(Some(left), Some(i as i32));
-            mpi.send(right, i as i32, bytes);
-            mpi.wait(req);
+            let req = mpi.irecv(Some(left), Some(i as i32)).await;
+            mpi.send(right, i as i32, bytes).await;
+            mpi.wait(req).await;
             mpi.compute(compute);
         }
+        mpi
     })
 }
 
 /// Allreduce-heavy workload (CG-like: latency bound, frequent syncs).
 fn allreduce_app(iters: usize, bytes: u64, compute: SimDuration) -> AppFn {
-    Arc::new(move |mpi| {
+    app_fn(move |mut mpi| async move {
         for _ in 0..iters {
             mpi.compute(compute);
-            mpi.allreduce(bytes);
+            mpi.allreduce(bytes).await;
         }
+        mpi
     })
 }
 
@@ -116,19 +118,22 @@ fn pcl_overhead_grows_with_checkpoint_frequency() {
 /// (building a deep NIC backlog), rank 1 consumes slowly. A checkpoint wave
 /// arriving mid-stream finds messages genuinely *in the channel*.
 fn stream_app(count: usize, bytes: u64, consume: SimDuration) -> AppFn {
-    Arc::new(move |mpi| match mpi.rank() {
-        0 => {
-            for i in 0..count {
-                mpi.send(1, (i % 1000) as i32, bytes);
+    app_fn(move |mut mpi| async move {
+        match mpi.rank() {
+            0 => {
+                for i in 0..count {
+                    mpi.send(1, (i % 1000) as i32, bytes).await;
+                }
             }
-        }
-        1 => {
-            for i in 0..count {
-                mpi.recv(Some(0), Some((i % 1000) as i32));
-                mpi.compute(consume);
+            1 => {
+                for i in 0..count {
+                    mpi.recv(Some(0), Some((i % 1000) as i32)).await;
+                    mpi.compute(consume);
+                }
             }
+            _ => {}
         }
-        _ => {}
+        mpi
     })
 }
 
@@ -158,31 +163,32 @@ fn vcl_recovers_with_logged_channel_state() {
     // phase (lets the wave commit), then more exchanges. Killing during the
     // quiet phase forces a restart whose correctness depends on replaying
     // the logged channel state.
-    let app: AppFn = Arc::new(|mpi| {
+    let app: AppFn = app_fn(|mut mpi| async move {
         let count = 100usize;
         match mpi.rank() {
             0 => {
                 for i in 0..count {
-                    mpi.send(1, (i % 1000) as i32, 256 << 10);
+                    mpi.send(1, (i % 1000) as i32, 256 << 10).await;
                 }
                 mpi.compute(SimDuration::from_secs(3));
                 for i in 0..10 {
-                    mpi.send(1, 2000 + i, 64);
-                    mpi.recv(Some(1), Some(3000 + i));
+                    mpi.send(1, 2000 + i, 64).await;
+                    mpi.recv(Some(1), Some(3000 + i)).await;
                 }
             }
             _ => {
                 for i in 0..count {
-                    mpi.recv(Some(0), Some((i % 1000) as i32));
+                    mpi.recv(Some(0), Some((i % 1000) as i32)).await;
                     mpi.compute(SimDuration::from_millis(2));
                 }
                 mpi.compute(SimDuration::from_secs(3));
                 for i in 0..10 {
-                    mpi.recv(Some(0), Some(2000 + i));
-                    mpi.send(0, 3000 + i, 64);
+                    mpi.recv(Some(0), Some(2000 + i)).await;
+                    mpi.send(0, 3000 + i, 64).await;
                 }
             }
         }
+        mpi
     });
     let mut spec = base_spec(2, ProtocolChoice::Vcl, app);
     spec.ft.first_wave_delay = SimDuration::from_millis(100);
@@ -401,10 +407,11 @@ fn restore_from_a_wave_committed_after_an_earlier_restart() {
 fn single_rank_vcl_commits_waves() {
     // Regression: a solo job has no channels, so log_done must not wait for
     // channel markers that will never arrive.
-    let app: AppFn = Arc::new(|mpi| {
+    let app: AppFn = app_fn(|mut mpi| async move {
         for _ in 0..40 {
             mpi.compute(SimDuration::from_millis(100));
         }
+        mpi
     });
     let mut spec = base_spec(1, ProtocolChoice::Vcl, app);
     spec.ft.first_wave_delay = SimDuration::from_millis(200);

@@ -33,7 +33,7 @@ impl Mpi {
     }
 
     /// Dissemination barrier: ceil(log2 n) rounds of pairwise exchange.
-    pub fn barrier(&mut self) {
+    pub async fn barrier(&mut self) {
         self.begin_coll();
         let n = self.size();
         if n <= 1 {
@@ -45,13 +45,13 @@ impl Mpi {
         while dist < n {
             let to = (me + dist) % n;
             let from = (me + n - dist) % n;
-            self.shift(to, from, tag, 1);
+            self.shift(to, from, tag, 1).await;
             dist <<= 1;
         }
     }
 
     /// Binomial-tree broadcast of `bytes` from `root`.
-    pub fn bcast(&mut self, root: Rank, bytes: u64) {
+    pub async fn bcast(&mut self, root: Rank, bytes: u64) {
         self.begin_coll();
         let n = self.size();
         if n <= 1 {
@@ -64,7 +64,7 @@ impl Mpi {
         while mask < n {
             if vrank & mask != 0 {
                 let vsrc = vrank - mask;
-                self.recv(Some((vsrc + root) % n), Some(tag));
+                self.recv(Some((vsrc + root) % n), Some(tag)).await;
                 break;
             }
             mask <<= 1;
@@ -73,14 +73,14 @@ impl Mpi {
         while mask > 0 {
             if vrank + mask < n && vrank & (mask - 1) == 0 && vrank & mask == 0 {
                 let vdst = vrank + mask;
-                self.send((vdst + root) % n, tag, bytes);
+                self.send((vdst + root) % n, tag, bytes).await;
             }
             mask >>= 1;
         }
     }
 
     /// Binomial-tree reduction of `bytes` to `root`.
-    pub fn reduce(&mut self, root: Rank, bytes: u64) {
+    pub async fn reduce(&mut self, root: Rank, bytes: u64) {
         self.begin_coll();
         let n = self.size();
         if n <= 1 {
@@ -94,11 +94,11 @@ impl Mpi {
             if vrank & mask == 0 {
                 let vsrc = vrank + mask;
                 if vsrc < n {
-                    self.recv(Some((vsrc + root) % n), Some(tag));
+                    self.recv(Some((vsrc + root) % n), Some(tag)).await;
                 }
             } else {
                 let vdst = vrank - mask;
-                self.send((vdst + root) % n, tag, bytes);
+                self.send((vdst + root) % n, tag, bytes).await;
                 break;
             }
             mask <<= 1;
@@ -107,7 +107,7 @@ impl Mpi {
 
     /// Allreduce of `bytes`: recursive doubling when the size is a power of
     /// two, reduce-to-0 + bcast otherwise.
-    pub fn allreduce(&mut self, bytes: u64) {
+    pub async fn allreduce(&mut self, bytes: u64) {
         let n = self.size();
         if n <= 1 {
             self.begin_coll();
@@ -120,17 +120,17 @@ impl Mpi {
             let mut mask = 1usize;
             while mask < n {
                 let partner = me ^ mask;
-                self.exchange(partner, tag, bytes);
+                self.exchange(partner, tag, bytes).await;
                 mask <<= 1;
             }
         } else {
-            self.reduce(0, bytes);
-            self.bcast(0, bytes);
+            self.reduce(0, bytes).await;
+            self.bcast(0, bytes).await;
         }
     }
 
     /// Ring allgather: each rank contributes a block of `block_bytes`.
-    pub fn allgather(&mut self, block_bytes: u64) {
+    pub async fn allgather(&mut self, block_bytes: u64) {
         self.begin_coll();
         let n = self.size();
         if n <= 1 {
@@ -141,13 +141,13 @@ impl Mpi {
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
         for _ in 0..n - 1 {
-            self.shift(right, left, tag, block_bytes);
+            self.shift(right, left, tag, block_bytes).await;
         }
     }
 
     /// Pairwise alltoall: each rank sends a distinct block of `block_bytes`
     /// to every other rank.
-    pub fn alltoall(&mut self, block_bytes: u64) {
+    pub async fn alltoall(&mut self, block_bytes: u64) {
         self.begin_coll();
         let n = self.size();
         if n <= 1 {
@@ -158,12 +158,12 @@ impl Mpi {
         for i in 1..n {
             let to = (me + i) % n;
             let from = (me + n - i) % n;
-            self.shift(to, from, tag, block_bytes);
+            self.shift(to, from, tag, block_bytes).await;
         }
     }
 
     /// Linear gather of one `block_bytes` block per rank to `root`.
-    pub fn gather(&mut self, root: Rank, block_bytes: u64) {
+    pub async fn gather(&mut self, root: Rank, block_bytes: u64) {
         self.begin_coll();
         let n = self.size();
         if n <= 1 {
@@ -174,16 +174,16 @@ impl Mpi {
         if me == root {
             for r in 0..n {
                 if r != root {
-                    self.recv(Some(r), Some(tag));
+                    self.recv(Some(r), Some(tag)).await;
                 }
             }
         } else {
-            self.send(root, tag, block_bytes);
+            self.send(root, tag, block_bytes).await;
         }
     }
 
     /// Linear scatter of one `block_bytes` block per rank from `root`.
-    pub fn scatter(&mut self, root: Rank, block_bytes: u64) {
+    pub async fn scatter(&mut self, root: Rank, block_bytes: u64) {
         self.begin_coll();
         let n = self.size();
         if n <= 1 {
@@ -194,11 +194,11 @@ impl Mpi {
         if me == root {
             for r in 0..n {
                 if r != root {
-                    self.send(r, tag, block_bytes);
+                    self.send(r, tag, block_bytes).await;
                 }
             }
         } else {
-            self.recv(Some(root), Some(tag));
+            self.recv(Some(root), Some(tag)).await;
         }
     }
 }

@@ -120,32 +120,36 @@ impl Mpi {
     }
 
     /// Blocking standard send (eager/buffered completion semantics).
-    pub fn send(&mut self, dst: Rank, tag: Tag, bytes: u64) {
+    pub async fn send(&mut self, dst: Rank, tag: Tag, bytes: u64) {
         assert!(dst < self.size, "send to invalid rank {dst}");
         if self.next_op_skipped() {
             return;
         }
         let world = Arc::clone(&self.world);
         let src = self.rank;
-        self.ctx.exec::<(), _>(move |sc, reply| {
-            world.lock().post_send(sc, src, dst, tag, bytes, reply);
-        });
+        self.ctx
+            .exec::<(), _>(move |sc, reply| {
+                world.lock().post_send(sc, src, dst, tag, bytes, reply);
+            })
+            .await;
     }
 
     /// Blocking receive; `None` matches any source / any tag.
-    pub fn recv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> RecvInfo {
+    pub async fn recv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> RecvInfo {
         if self.next_op_skipped() {
             return RecvInfo::replayed();
         }
         let world = Arc::clone(&self.world);
         let dst = self.rank;
-        self.ctx.exec::<RecvInfo, _>(move |sc, reply| {
-            world.lock().post_recv_blocking(sc, dst, src, tag, reply);
-        })
+        self.ctx
+            .exec::<RecvInfo, _>(move |sc, reply| {
+                world.lock().post_recv_blocking(sc, dst, src, tag, reply);
+            })
+            .await
     }
 
     /// Nonblocking receive: returns a request to [`wait`](Mpi::wait) on.
-    pub fn irecv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> ReqHandle {
+    pub async fn irecv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> ReqHandle {
         if self.next_op_skipped() {
             // If the matching wait is *also* inside the skip region it will
             // be a no-op; otherwise it re-posts a blocking receive with the
@@ -156,9 +160,12 @@ impl Mpi {
         }
         let world = Arc::clone(&self.world);
         let dst = self.rank;
-        let id = self.ctx.exec::<u64, _>(move |sc, reply| {
-            world.lock().post_irecv(sc, dst, src, tag, reply);
-        });
+        let id = self
+            .ctx
+            .exec::<u64, _>(move |sc, reply| {
+                world.lock().post_irecv(sc, dst, src, tag, reply);
+            })
+            .await;
         ReqHandle {
             kind: ReqKind::Recv { id },
         }
@@ -166,15 +173,15 @@ impl Mpi {
 
     /// Nonblocking send. With the runtime's eager semantics the message is
     /// buffered at posting time, so the request is complete on return.
-    pub fn isend(&mut self, dst: Rank, tag: Tag, bytes: u64) -> ReqHandle {
-        self.send(dst, tag, bytes);
+    pub async fn isend(&mut self, dst: Rank, tag: Tag, bytes: u64) -> ReqHandle {
+        self.send(dst, tag, bytes).await;
         ReqHandle {
             kind: ReqKind::Send,
         }
     }
 
     /// Wait for a nonblocking operation.
-    pub fn wait(&mut self, req: ReqHandle) -> RecvInfo {
+    pub async fn wait(&mut self, req: ReqHandle) -> RecvInfo {
         match req.kind {
             ReqKind::Send => {
                 if self.next_op_skipped() {
@@ -183,12 +190,14 @@ impl Mpi {
                 // Complete immediately (library entry with negligible cost).
                 let world = Arc::clone(&self.world);
                 let rank = self.rank;
-                self.ctx.exec::<(), _>(move |sc, reply| {
-                    let mut w = world.lock();
-                    let _ = &mut w.rt.ranks[rank]; // runtime entry
-                    w.proto_entry(sc, rank);
-                    reply.complete(sc, ());
-                });
+                self.ctx
+                    .exec::<(), _>(move |sc, reply| {
+                        let mut w = world.lock();
+                        let _ = &mut w.rt.ranks[rank]; // runtime entry
+                        w.proto_entry(sc, rank);
+                        reply.complete(sc, ());
+                    })
+                    .await;
                 RecvInfo::replayed()
             }
             ReqKind::ReplayRecv { src, tag } => {
@@ -198,9 +207,11 @@ impl Mpi {
                 // The posting was replayed away; issue the receive now.
                 let world = Arc::clone(&self.world);
                 let dst = self.rank;
-                self.ctx.exec::<RecvInfo, _>(move |sc, reply| {
-                    world.lock().post_recv_blocking(sc, dst, src, tag, reply);
-                })
+                self.ctx
+                    .exec::<RecvInfo, _>(move |sc, reply| {
+                        world.lock().post_recv_blocking(sc, dst, src, tag, reply);
+                    })
+                    .await
             }
             ReqKind::Recv { id } => {
                 if self.next_op_skipped() {
@@ -210,17 +221,19 @@ impl Mpi {
                 }
                 let world = Arc::clone(&self.world);
                 let rank = self.rank;
-                self.ctx.exec::<RecvInfo, _>(move |sc, reply| {
-                    world.lock().wait_request(sc, rank, id, reply);
-                })
+                self.ctx
+                    .exec::<RecvInfo, _>(move |sc, reply| {
+                        world.lock().wait_request(sc, rank, id, reply);
+                    })
+                    .await
             }
         }
     }
 
     /// Wait for all requests (in order).
-    pub fn waitall(&mut self, reqs: impl IntoIterator<Item = ReqHandle>) {
+    pub async fn waitall(&mut self, reqs: impl IntoIterator<Item = ReqHandle>) {
         for r in reqs {
-            self.wait(r);
+            self.wait(r).await;
         }
     }
 
@@ -230,7 +243,7 @@ impl Mpi {
     /// operations*, so a checkpoint cut landing between the completed send
     /// and the pending receive replays only the receive half (re-sending
     /// would duplicate the pre-cut message).
-    pub fn shift(&mut self, to: Rank, from: Rank, tag: Tag, bytes: u64) -> RecvInfo {
+    pub async fn shift(&mut self, to: Rank, from: Rank, tag: Tag, bytes: u64) -> RecvInfo {
         assert!(to < self.size && from < self.size);
         let send_idx = self.ops_done;
         self.ops_done += 2;
@@ -241,27 +254,31 @@ impl Mpi {
         let me = self.rank;
         if send_idx >= self.skip_until {
             // Both halves live: the fused fast path.
-            self.ctx.exec::<RecvInfo, _>(move |sc, reply| {
-                world.lock().post_shift(sc, me, to, from, tag, bytes, reply);
-            })
+            self.ctx
+                .exec::<RecvInfo, _>(move |sc, reply| {
+                    world.lock().post_shift(sc, me, to, from, tag, bytes, reply);
+                })
+                .await
         } else {
             // Send was completed before the checkpoint; only the receive
             // replays (the message comes from the restored channel state).
-            self.ctx.exec::<RecvInfo, _>(move |sc, reply| {
-                world
-                    .lock()
-                    .post_recv_blocking(sc, me, Some(from), Some(tag), reply);
-            })
+            self.ctx
+                .exec::<RecvInfo, _>(move |sc, reply| {
+                    world
+                        .lock()
+                        .post_recv_blocking(sc, me, Some(from), Some(tag), reply);
+                })
+                .await
         }
     }
 
     /// Fused pairwise exchange with a single partner (both directions).
-    pub fn exchange(&mut self, partner: Rank, tag: Tag, bytes: u64) -> RecvInfo {
-        self.shift(partner, partner, tag, bytes)
+    pub async fn exchange(&mut self, partner: Rank, tag: Tag, bytes: u64) -> RecvInfo {
+        self.shift(partner, partner, tag, bytes).await
     }
 
     /// Combined send+receive (deadlock-free pairwise exchange).
-    pub fn sendrecv(
+    pub async fn sendrecv(
         &mut self,
         dst: Rank,
         stag: Tag,
@@ -269,14 +286,14 @@ impl Mpi {
         src: Option<Rank>,
         rtag: Option<Tag>,
     ) -> RecvInfo {
-        let r = self.irecv(src, rtag);
-        self.send(dst, stag, sbytes);
-        self.wait(r)
+        let r = self.irecv(src, rtag).await;
+        self.send(dst, stag, sbytes).await;
+        self.wait(r).await
     }
 
     /// Mark this rank's application code complete. Called automatically by
     /// the rank trampoline; idempotent.
-    pub fn finalize(&mut self) {
+    pub async fn finalize(&mut self) {
         if self.finished {
             return;
         }
@@ -286,8 +303,10 @@ impl Mpi {
                             // before the rank finished.
         let world = Arc::clone(&self.world);
         let rank = self.rank;
-        self.ctx.exec::<(), _>(move |sc, reply| {
-            world.lock().mark_finished(sc, rank, reply);
-        });
+        self.ctx
+            .exec::<(), _>(move |sc, reply| {
+                world.lock().mark_finished(sc, rank, reply);
+            })
+            .await;
     }
 }

@@ -41,4 +41,4 @@ pub use placement::Placement;
 pub use protocol::{ArrivalAction, DummyProtocol, Protocol, SendAction};
 pub use runtime::{RaceFixture, RankState, RankStatus, RuntimeCore, RuntimeStats};
 pub use types::{AppMsg, ChannelKey, MsgSeq, Rank, RecvInfo, Tag, ANY_SOURCE, ANY_TAG};
-pub use world::{spawn_rank, AppFn, World, WorldRef};
+pub use world::{app_fn, spawn_rank, AppFn, AppFuture, World, WorldRef};

@@ -96,12 +96,16 @@ pub struct RankState {
     /// Nonblocking request table.
     pub(crate) requests: HashMap<u64, ReqState>,
     pub(crate) next_req_id: u64,
-    /// Next app sequence number per destination rank.
-    pub(crate) next_seq_to: Vec<u64>,
+    /// Next app sequence number per destination rank. Sparse: a missing
+    /// entry means 0, so a rank only pays for peers it actually talks to —
+    /// dense per-peer vectors are O(n²) across the job and at 10⁵ ranks
+    /// would dwarf every other runtime structure.
+    pub(crate) next_seq_to: HashMap<Rank, u64>,
     /// Next expected sequence number per source rank (duplicate
     /// suppression for single-rank-restart protocols; only consulted when
-    /// `RuntimeCore::suppress_duplicate_seq` is set).
-    pub(crate) expect_seq_from: Vec<u64>,
+    /// `RuntimeCore::suppress_duplicate_seq` is set). Sparse like
+    /// `next_seq_to`: a missing entry means 0.
+    pub(crate) expect_seq_from: HashMap<Rank, u64>,
     /// Local time at which the rank posted its current blocking operation
     /// (valid while `blocked_in_lib`); bounds checkpoint time credits.
     pub last_post: SimTime,
@@ -111,7 +115,7 @@ pub struct RankState {
 }
 
 impl RankState {
-    fn new(node: NodeId, nranks: usize) -> RankState {
+    fn new(node: NodeId) -> RankState {
         RankState {
             node,
             pid: None,
@@ -128,8 +132,8 @@ impl RankState {
             arrival_counter: 0,
             requests: HashMap::new(),
             next_req_id: 0,
-            next_seq_to: vec![0; nranks],
-            expect_seq_from: vec![0; nranks],
+            next_seq_to: HashMap::new(),
+            expect_seq_from: HashMap::new(),
             last_post: SimTime::ZERO,
             incarnation: 0,
         }
@@ -184,9 +188,7 @@ impl RankState {
         self.requests.clear();
         self.next_req_id = 0;
         self.incarnation += 1;
-        for s in &mut self.next_seq_to {
-            *s = 0;
-        }
+        self.next_seq_to.clear();
         // `expect_seq_from` is deliberately *not* reset: duplicate
         // suppression must remember what was delivered before the restart
         // (single-rank-restart protocols restore the watermarks from the
@@ -264,7 +266,7 @@ impl RuntimeCore {
     pub fn new(net: NetModel, placement: Placement, cfg: RuntimeConfig) -> RuntimeCore {
         let nranks = placement.ranks();
         let ranks = (0..nranks)
-            .map(|r| RankState::new(placement.node_of(r), nranks))
+            .map(|r| RankState::new(placement.node_of(r)))
             .collect();
         RuntimeCore {
             net,
@@ -352,10 +354,11 @@ impl RuntimeCore {
     pub fn deliver_to_matching(&mut self, sc: &SimCtx, msg: AppMsg) {
         if self.suppress_duplicate_seq {
             let rank = &mut self.ranks[msg.dst];
-            if msg.seq < rank.expect_seq_from[msg.src] {
+            let e = rank.expect_seq_from.entry(msg.src).or_insert(0);
+            if msg.seq < *e {
                 return; // replayed duplicate of an already-delivered message
             }
-            rank.expect_seq_from[msg.src] = msg.seq + 1;
+            *e = msg.seq + 1;
         }
         self.stats.msgs_delivered += 1;
         sc.trace_proto(ftmpi_sim::ProtoEvent::Deliver {
@@ -428,7 +431,7 @@ impl RuntimeCore {
         });
         {
             let rank = &mut self.ranks[msg.dst];
-            let e = &mut rank.expect_seq_from[msg.src];
+            let e = rank.expect_seq_from.entry(msg.src).or_insert(0);
             *e = (*e).max(msg.seq + 1);
         }
         let suppress = std::mem::replace(&mut self.suppress_duplicate_seq, false);
@@ -451,25 +454,26 @@ impl RuntimeCore {
     }
 
     /// Current duplicate-suppression watermarks of a rank (image capture).
-    pub fn expect_seq_snapshot(&self, rank: Rank) -> Vec<u64> {
-        self.ranks[rank].expect_seq_from.clone()
+    /// Sparse and sorted by peer so images are deterministic byte-for-byte.
+    pub fn expect_seq_snapshot(&self, rank: Rank) -> Vec<(Rank, u64)> {
+        sorted_seq_pairs(&self.ranks[rank].expect_seq_from)
     }
 
     /// Current per-destination send sequence counters (image capture —
     /// restored so a rolled-back rank's re-executed sends continue the
-    /// sequence its peers already advanced through).
-    pub fn send_seq_snapshot(&self, rank: Rank) -> Vec<u64> {
-        self.ranks[rank].next_seq_to.clone()
+    /// sequence its peers already advanced through). Sparse and sorted.
+    pub fn send_seq_snapshot(&self, rank: Rank) -> Vec<(Rank, u64)> {
+        sorted_seq_pairs(&self.ranks[rank].next_seq_to)
     }
 
     /// Restore per-destination send sequence counters (image restore).
-    pub fn set_send_seq(&mut self, rank: Rank, counters: Vec<u64>) {
-        self.ranks[rank].next_seq_to = counters;
+    pub fn set_send_seq(&mut self, rank: Rank, counters: Vec<(Rank, u64)>) {
+        self.ranks[rank].next_seq_to = counters.into_iter().collect();
     }
 
     /// Restore duplicate-suppression watermarks (image restore).
-    pub fn set_expect_seq(&mut self, rank: Rank, watermarks: Vec<u64>) {
-        self.ranks[rank].expect_seq_from = watermarks;
+    pub fn set_expect_seq(&mut self, rank: Rank, watermarks: Vec<(Rank, u64)>) {
+        self.ranks[rank].expect_seq_from = watermarks.into_iter().collect();
     }
 
     /// Snapshot messages that reached this rank's runtime but have not been
@@ -558,11 +562,24 @@ impl RuntimeCore {
 
     /// Next per-channel sequence number for `src → dst`.
     pub(crate) fn next_seq(&mut self, src: Rank, dst: Rank) -> u64 {
-        let s = &mut self.ranks[src].next_seq_to[dst];
+        let s = self.ranks[src].next_seq_to.entry(dst).or_insert(0);
         let v = *s;
         *s += 1;
         v
     }
+}
+
+/// Flatten a sparse per-peer counter map into `(peer, value)` pairs sorted
+/// by peer, dropping zero entries (a missing key already means 0). Sorting
+/// keeps image contents independent of hash-map iteration order.
+fn sorted_seq_pairs(map: &HashMap<Rank, u64>) -> Vec<(Rank, u64)> {
+    let mut pairs: Vec<(Rank, u64)> = map
+        .iter()
+        .filter(|(_, &v)| v != 0)
+        .map(|(&k, &v)| (k, v))
+        .collect();
+    pairs.sort_unstable();
+    pairs
 }
 
 /// Cheap handle pattern: `Arc<Mutex<World>>` with a weak back-reference

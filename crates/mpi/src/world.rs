@@ -26,8 +26,31 @@ pub struct World {
 /// Shared handle to the world.
 pub type WorldRef = Arc<Mutex<World>>;
 
+/// The future returned by one invocation of a rank's application function.
+pub type AppFuture = std::pin::Pin<Box<dyn std::future::Future<Output = Mpi> + Send>>;
+
 /// A rank's application function (shared so restarts can respawn it).
-pub type AppFn = Arc<dyn Fn(&mut Mpi) + Send + Sync>;
+///
+/// The function takes ownership of the rank's [`Mpi`] handle and returns it
+/// when the application code completes; the rank trampoline then finalizes.
+/// Build one with [`app_fn`], which boxes an ordinary `async` closure body:
+///
+/// ```ignore
+/// let app = app_fn(move |mut mpi| async move {
+///     mpi.barrier().await;
+///     mpi
+/// });
+/// ```
+pub type AppFn = Arc<dyn Fn(Mpi) -> AppFuture + Send + Sync>;
+
+/// Wrap an async application body as an [`AppFn`].
+pub fn app_fn<F, Fut>(f: F) -> AppFn
+where
+    F: Fn(Mpi) -> Fut + Send + Sync + 'static,
+    Fut: std::future::Future<Output = Mpi> + Send + 'static,
+{
+    Arc::new(move |mpi| Box::pin(f(mpi)))
+}
 
 impl World {
     /// Build the world and wire the internal back-reference used to
@@ -272,22 +295,17 @@ impl World {
 /// The image parameters (`skip_ops`, `time_credit`) are read from the rank
 /// state at spawn time: zero for an initial launch, restored values after a
 /// failure-restart.
-pub fn spawn_rank(
-    sc: &SimCtx,
-    world: &WorldRef,
-    rank: Rank,
-    app: Arc<dyn Fn(&mut Mpi) + Send + Sync>,
-) {
+pub fn spawn_rank(sc: &SimCtx, world: &WorldRef, rank: Rank, app: AppFn) {
     let (size, skip_ops, time_credit, start_at) = {
         let w = world.lock();
         let r = &w.rt.ranks[rank];
         (w.rt.size(), r.skip_ops, r.time_credit, sc.now())
     };
     let world2 = Arc::clone(world);
-    let pid = sc.spawn_at(start_at, format!("rank{rank}"), move |ctx| {
-        let mut mpi = Mpi::new(ctx, world2, rank, size, skip_ops, time_credit);
-        app(&mut mpi);
-        mpi.finalize();
+    let pid = sc.spawn_at(start_at, format!("rank{rank}"), move |ctx| async move {
+        let mpi = Mpi::new(ctx, world2, rank, size, skip_ops, time_credit);
+        let mut mpi = app(mpi).await;
+        mpi.finalize().await;
     });
     {
         let mut w = world.lock();

@@ -11,9 +11,7 @@
 //! nearest-neighbour messages separated by compute that makes BT the
 //! paper's bandwidth/compute stress test.
 
-use std::sync::Arc;
-
-use ftmpi_mpi::{AppFn, Rank};
+use ftmpi_mpi::{app_fn, AppFn, Rank};
 
 use crate::machine::Machine;
 use crate::params::BtParams;
@@ -73,7 +71,7 @@ pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
     let flops_per_iter = params.total_flops / (params.niter as f64 * nprocs as f64);
     let niter = params.niter as usize;
 
-    Arc::new(move |mpi| {
+    app_fn(move |mut mpi| async move {
         let me = mpi.rank();
         let (row, col) = (me / p, me % p);
         let at = |r: usize, c: usize| -> Rank { (r % p) * p + (c % p) };
@@ -107,18 +105,19 @@ pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
                 // Forward substitution: recv from prev, send to next, one
                 // cell per stage (multi-partition keeps every rank busy).
                 for _ in 0..stages {
-                    mpi.shift(next, prev, tag, stage_bytes);
+                    mpi.shift(next, prev, tag, stage_bytes).await;
                     mpi.compute(t_slice);
                 }
                 // Backward substitution runs the pipeline in reverse.
                 for _ in 0..stages {
-                    mpi.shift(prev, next, tag + 1, stage_bytes);
+                    mpi.shift(prev, next, tag + 1, stage_bytes).await;
                     mpi.compute(t_slice);
                 }
             }
         }
         // Verification step: a reduction of the residual norms.
-        mpi.allreduce(5 * 8);
+        mpi.allreduce(5 * 8).await;
+        mpi
     })
 }
 

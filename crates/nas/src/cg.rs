@@ -9,9 +9,7 @@
 //! which is what exposes the Vcl daemon's per-message overhead on fast
 //! networks (Fig. 7).
 
-use std::sync::Arc;
-
-use ftmpi_mpi::AppFn;
+use ftmpi_mpi::{app_fn, AppFn};
 
 use crate::machine::Machine;
 use crate::params::CgParams;
@@ -53,7 +51,7 @@ pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
     let niter = params.niter as usize;
     let cgitmax = params.cgitmax as usize;
 
-    Arc::new(move |mpi| {
+    app_fn(move |mut mpi| async move {
         let me = mpi.rank();
         let t_spmv = machine.time_for(flops_per_inner * 0.85);
         let t_axpy = machine.time_for(flops_per_inner * 0.15);
@@ -67,16 +65,17 @@ pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
                 for step in 0..exchange_steps {
                     let partner = me ^ (1 << step);
                     if partner < mpi.size() {
-                        mpi.exchange(partner, tag, seg_bytes);
+                        mpi.exchange(partner, tag, seg_bytes).await;
                     }
                 }
                 mpi.compute(t_axpy);
                 // ρ reduction: one tiny allreduce per inner iteration.
-                mpi.allreduce(8);
+                mpi.allreduce(8).await;
             }
             // Residual norm at the end of the outer iteration.
-            mpi.allreduce(8);
+            mpi.allreduce(8).await;
         }
+        mpi
     })
 }
 

@@ -4,9 +4,7 @@
 //! iteration: one large `alltoall` whose aggregate volume is the whole
 //! dataset. (Named `ftb` to avoid clashing with the crate prefix.)
 
-use std::sync::Arc;
-
-use ftmpi_mpi::AppFn;
+use ftmpi_mpi::{app_fn, AppFn};
 
 use crate::machine::Machine;
 use crate::params::FtParams;
@@ -27,15 +25,16 @@ pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
     let flops_per_iter = params.total_flops / (params.niter as f64 * nprocs as f64);
     let niter = params.niter as usize;
 
-    Arc::new(move |mpi| {
+    app_fn(move |mut mpi| async move {
         let t_fft = machine.time_for(flops_per_iter);
         for _ in 0..niter {
             mpi.compute(t_fft);
             // Global transpose.
-            mpi.alltoall(block);
+            mpi.alltoall(block).await;
             // Checksum reduction.
-            mpi.allreduce(16);
+            mpi.allreduce(16).await;
         }
+        mpi
     })
 }
 

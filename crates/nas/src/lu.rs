@@ -5,9 +5,7 @@
 //! receives thin pencil messages from its north/west neighbours, computes,
 //! and forwards south/east — many small messages with tight dependencies.
 
-use std::sync::Arc;
-
-use ftmpi_mpi::AppFn;
+use ftmpi_mpi::{app_fn, AppFn};
 
 use crate::machine::Machine;
 use crate::params::LuParams;
@@ -40,7 +38,7 @@ pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
     let flops_per_iter = params.total_flops / (params.niter as f64 * nprocs as f64);
     let niter = params.niter as usize;
 
-    Arc::new(move |mpi| {
+    app_fn(move |mut mpi| async move {
         let me = mpi.rank();
         let (r, c) = (me / cols, me % cols);
         let north = if r > 0 { Some(me - cols) } else { None };
@@ -52,35 +50,36 @@ pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
             let tag = (iter % 1000) as i32;
             // Lower-triangular sweep: wavefront from the north-west.
             if let Some(n) = north {
-                mpi.recv(Some(n), Some(tag));
+                mpi.recv(Some(n), Some(tag)).await;
             }
             if let Some(w) = west {
-                mpi.recv(Some(w), Some(tag));
+                mpi.recv(Some(w), Some(tag)).await;
             }
             mpi.compute(t_block * 2);
             if let Some(s) = south {
-                mpi.send(s, tag, pencil);
+                mpi.send(s, tag, pencil).await;
             }
             if let Some(e) = east {
-                mpi.send(e, tag, pencil);
+                mpi.send(e, tag, pencil).await;
             }
             // Upper-triangular sweep: wavefront from the south-east.
             let utag = tag + 1000;
             if let Some(s) = south {
-                mpi.recv(Some(s), Some(utag));
+                mpi.recv(Some(s), Some(utag)).await;
             }
             if let Some(e) = east {
-                mpi.recv(Some(e), Some(utag));
+                mpi.recv(Some(e), Some(utag)).await;
             }
             mpi.compute(t_block * 2);
             if let Some(n) = north {
-                mpi.send(n, utag, pencil);
+                mpi.send(n, utag, pencil).await;
             }
             if let Some(w) = west {
-                mpi.send(w, utag, pencil);
+                mpi.send(w, utag, pencil).await;
             }
         }
-        mpi.allreduce(5 * 8);
+        mpi.allreduce(5 * 8).await;
+        mpi
     })
 }
 

@@ -4,9 +4,7 @@
 //! message sizes shrink geometrically towards the coarse levels and grow
 //! back — a mix of large and tiny messages in quick succession.
 
-use std::sync::Arc;
-
-use ftmpi_mpi::AppFn;
+use ftmpi_mpi::{app_fn, AppFn};
 
 use crate::machine::Machine;
 use crate::params::MgParams;
@@ -27,7 +25,7 @@ pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
     let flops_per_iter = params.total_flops / (params.niter as f64 * nprocs as f64);
     let niter = params.niter as usize;
 
-    Arc::new(move |mpi| {
+    app_fn(move |mut mpi| async move {
         let me = mpi.rank();
         let p = mpi.size();
         let right = (me + 1) % p;
@@ -40,7 +38,7 @@ pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
                 let face = face.max(64);
                 let tag = ((iter * 64 + level) % 1000) as i32;
                 if p > 1 {
-                    mpi.shift(right, left, tag, face);
+                    mpi.shift(right, left, tag, face).await;
                 }
                 mpi.compute(t_level);
             }
@@ -50,12 +48,13 @@ pub fn app(class: NasClass, nprocs: usize, machine: Machine) -> AppFn {
                 let face = face.max(64);
                 let tag = ((iter * 64 + level) % 1000) as i32 + 1000;
                 if p > 1 {
-                    mpi.shift(left, right, tag, face);
+                    mpi.shift(left, right, tag, face).await;
                 }
                 mpi.compute(t_level);
             }
         }
-        mpi.allreduce(8);
+        mpi.allreduce(8).await;
+        mpi
     })
 }
 

@@ -1,15 +1,20 @@
 //! The simulation kernel: event loop, process table, and the [`SimCtx`]
 //! service handle exposed to model code.
 
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
 use crate::event::{Event, EventId, EventKind, EventQueue};
 use crate::pool::{self, LeaseGroup};
-use crate::process::{Handoff, Pid, ProcCtx, ProcessExit, ResumeOutcome, WakeKind};
+use crate::process::{
+    Driver, Handoff, Pid, ProcCtx, ProcessExit, ResumeOutcome, WakeKind, WakeSlot,
+};
 use crate::schedule::{Candidate, CandidateKind, Decision, SchedulePolicy, StepRecord};
 use crate::table::ProcTable;
 use crate::time::{SimDuration, SimTime};
@@ -17,13 +22,45 @@ use crate::trace::{TraceEvent, TraceKind, Tracer};
 use crate::wakes::WakeBatch;
 use crate::KilledSignal;
 
+/// A process body compiled to a resumable state machine, owned by the kernel
+/// and stepped inline from the drive loop.
+type CoroFuture = Pin<Box<dyn Future<Output = ()> + Send>>;
+/// Deferred coroutine constructor: runs at the first Normal wake so the
+/// process's local clock starts at its actual start time (the coroutine
+/// analogue of the threaded backend's `wait_first_wake`).
+type EmbryoFn = Box<dyn FnOnce(ProcCtx) -> CoroFuture + Send>;
+
+/// Execution state of one simulated process.
+enum ProcBody {
+    /// Coroutine backend, not yet started: the constructor runs at the
+    /// first Normal wake (a first wake of Killed drops it unstarted).
+    Embryo(EmbryoFn),
+    /// Coroutine backend, parked between wakes: the kernel deposits the
+    /// next wake in `slot` and polls `fut` inline — a Resume event is a
+    /// direct method call, no thread, no Condvar round-trip.
+    Coro {
+        fut: CoroFuture,
+        slot: Arc<WakeSlot>,
+    },
+    /// Checked out by the drive loop for a poll. The machine cannot stay in
+    /// the table while polled: polling reenters the kernel state lock
+    /// through `schedule_exec`.
+    Running,
+    /// Threaded backend (`FTMPI_THREADED=1`): the token-handoff rendezvous,
+    /// plus the join handle of a dedicated (`FTMPI_NO_POOL`) thread; pooled
+    /// workers are never joined — teardown quiesces the lease group instead.
+    Threaded {
+        handoff: Arc<Handoff>,
+        join: Option<JoinHandle<()>>,
+    },
+    /// Exited; nothing left to drive.
+    Gone,
+}
+
 struct ProcEntry {
     name: Arc<str>,
-    handoff: Arc<Handoff>,
+    body: ProcBody,
     alive: bool,
-    /// `Some` only for dedicated (`FTMPI_NO_POOL`) threads; pooled workers
-    /// are never joined — teardown quiesces the lease group instead.
-    join: Option<JoinHandle<()>>,
     /// The event scheduled by the process's current `exec` call, if any.
     /// Cancelled when the process dies so a dead process's pending request
     /// neither mutates model state nor advances the clock.
@@ -37,6 +74,10 @@ pub(crate) struct KernelState {
     /// the kernel hot path (resume/kill/exec) avoids hashing entirely.
     procs: ProcTable<ProcEntry>,
     next_pid: u64,
+    /// `true`: spawn processes on the legacy OS-thread backend
+    /// (`FTMPI_THREADED` / [`Sim::force_threaded`]). `false` (default):
+    /// processes are kernel-driven stackless coroutines.
+    threaded: bool,
     stop_requested: bool,
     executed: u64,
     max_events: Option<u64>,
@@ -157,6 +198,15 @@ impl KernelState {
         PolicyPop::Run(ev)
     }
 
+    /// Does `pid` run on the coroutine backend? Decides how the drive loop
+    /// dispatches its Resume events (inline poll vs. token handoff).
+    fn proc_is_coro(&self, pid: Pid) -> bool {
+        matches!(
+            self.procs.get(pid).map(|e| &e.body),
+            Some(ProcBody::Embryo(_) | ProcBody::Coro { .. } | ProcBody::Running)
+        )
+    }
+
     /// The drained-queue outcome: success iff no process is still parked.
     fn drained(&self) -> Result<(), SimError> {
         let parked: Vec<String> = self
@@ -187,6 +237,20 @@ impl KernelState {
 pub fn batching_enabled() -> bool {
     static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *ON.get_or_init(|| std::env::var_os("FTMPI_NO_BATCH").is_none())
+}
+
+/// `true` when `FTMPI_THREADED` is set: simulated processes run on the
+/// legacy token-handoff OS-thread backend (one pooled thread per live rank,
+/// Condvar rendezvous per wake) instead of being driven as stackless
+/// coroutines inline on the kernel loop. The two backends execute the same
+/// events in the same order and produce byte-identical results (see
+/// DESIGN.md "Rank execution" for the equivalence argument); the toggle
+/// keeps the threaded backend as the reference implementation for
+/// differential testing. Overridable per-simulation with
+/// [`Sim::force_threaded`].
+pub fn threaded_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("FTMPI_THREADED").is_some())
 }
 
 /// Shared kernel handle. Internal; exposed types are [`Sim`] and [`SimCtx`].
@@ -415,8 +479,10 @@ impl SimCtx {
         self.shared.schedule_resume(at, pid, WakeKind::Normal);
     }
 
-    /// Kill a process: its next kernel interaction (or its current park)
-    /// unwinds the thread. No-op for already-dead processes.
+    /// Kill a process. On the coroutine backend the kernel drops the
+    /// process's state machine at the kill wake (a pure state transition);
+    /// on the threaded backend the next kernel interaction (or the current
+    /// park) unwinds the thread. No-op for already-dead processes.
     pub fn kill(&self, pid: Pid) {
         // Pre-format the trace detail outside the lock; with tracing off
         // (the common case) the whole call takes one lock acquisition.
@@ -459,18 +525,24 @@ impl SimCtx {
             .unwrap_or(false)
     }
 
-    /// Spawn a new simulated process that starts at time `at`.
-    pub fn spawn_at(
-        &self,
-        at: SimTime,
-        name: impl Into<String>,
-        f: impl FnOnce(ProcCtx) + Send + 'static,
-    ) -> Pid {
+    /// Spawn a new simulated process that starts at time `at`. The body is
+    /// an async function of the process's [`ProcCtx`]; its suspension points
+    /// are the kernel interactions ([`ProcCtx::exec`] and the sleep
+    /// helpers).
+    pub fn spawn_at<F, Fut>(&self, at: SimTime, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(ProcCtx) -> Fut + Send + 'static,
+        Fut: Future<Output = ()> + Send + 'static,
+    {
         spawn_inner(&self.shared, at.max(self.now), name.into(), f)
     }
 
     /// Spawn a new simulated process that starts immediately.
-    pub fn spawn(&self, name: impl Into<String>, f: impl FnOnce(ProcCtx) + Send + 'static) -> Pid {
+    pub fn spawn<F, Fut>(&self, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(ProcCtx) -> Fut + Send + 'static,
+        Fut: Future<Output = ()> + Send + 'static,
+    {
         self.spawn_at(self.now, name, f)
     }
 
@@ -512,19 +584,19 @@ impl SimCtx {
     }
 }
 
-fn spawn_inner(
-    shared: &Arc<Shared>,
-    start_at: SimTime,
-    name: String,
-    f: impl FnOnce(ProcCtx) + Send + 'static,
-) -> Pid {
+fn spawn_inner<F, Fut>(shared: &Arc<Shared>, start_at: SimTime, name: String, f: F) -> Pid
+where
+    F: FnOnce(ProcCtx) -> Fut + Send + 'static,
+    Fut: Future<Output = ()> + Send + 'static,
+{
     let name: Arc<str> = Arc::from(name.as_str());
-    let handoff = Handoff::new();
     let pid;
+    let threaded;
     {
         let mut st = shared.state.lock();
         pid = Pid(st.next_pid);
         st.next_pid += 1;
+        threaded = st.threaded;
         if st.tracer.enabled() {
             let detail = format!("spawn '{name}'");
             let now = st.now;
@@ -536,53 +608,73 @@ fn spawn_inner(
             });
         }
     }
-    let thread_shared = Arc::clone(shared);
-    let thread_handoff = Arc::clone(&handoff);
-    let thread_name = Arc::clone(&name);
-    let trampoline = move || {
-        let (kind, now) = thread_handoff.wait_first_wake();
-        if matches!(kind, WakeKind::Killed) {
-            thread_handoff.exit(ProcessExit::Killed);
-            return;
-        }
-        let ctx = ProcCtx {
-            pid,
-            name: thread_name,
-            handoff: Arc::clone(&thread_handoff),
-            shared: thread_shared,
-            local_time: now,
-        };
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
-        let status = match result {
-            Ok(()) => ProcessExit::Normal,
-            Err(payload) => {
-                if payload.downcast_ref::<KilledSignal>().is_some() {
-                    ProcessExit::Killed
-                } else {
-                    ProcessExit::Panicked(panic_message(payload))
-                }
+    let body = if threaded {
+        let handoff = Handoff::new();
+        let thread_shared = Arc::clone(shared);
+        let thread_handoff = Arc::clone(&handoff);
+        let thread_name = Arc::clone(&name);
+        let trampoline = move || {
+            let (kind, now) = thread_handoff.wait_first_wake();
+            if matches!(kind, WakeKind::Killed) {
+                thread_handoff.exit(ProcessExit::Killed);
+                return;
             }
+            let driver_handoff = Arc::clone(&thread_handoff);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let ctx = ProcCtx {
+                    pid,
+                    name: thread_name,
+                    driver: Driver::Threaded(driver_handoff),
+                    shared: thread_shared,
+                    local_time: now,
+                };
+                // The whole body runs inside a single poll: on this backend
+                // every suspension point blocks on the token handoff and
+                // resolves immediately, so a live process never observes
+                // `Pending` — a kill unwinds the thread out of the poll via
+                // `KilledSignal` instead.
+                let mut fut = Box::pin(f(ctx));
+                let mut cx = Context::from_waker(Waker::noop());
+                match fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(()) => {}
+                    Poll::Pending => unreachable!("threaded suspension returned Pending"),
+                }
+            }));
+            let status = match result {
+                Ok(()) => ProcessExit::Normal,
+                Err(payload) => {
+                    if payload.downcast_ref::<KilledSignal>().is_some() {
+                        ProcessExit::Killed
+                    } else {
+                        ProcessExit::Panicked(panic_message(payload))
+                    }
+                }
+            };
+            thread_handoff.exit(status);
         };
-        thread_handoff.exit(status);
+        // Pool checkout: an idle worker runs the trampoline, or (escape
+        // hatch / cold pool) a fresh thread is spawned. `join` is `Some`
+        // only for dedicated escape-hatch threads; pooled lifetimes are
+        // governed by the lease group, which teardown quiesces.
+        let join = pool::spawn_process(
+            format!("sim-{pid}-{name}"),
+            &shared.leases,
+            Box::new(trampoline),
+        );
+        ProcBody::Threaded { handoff, join }
+    } else {
+        // Coroutine backend: no thread at all. The body is materialized as
+        // a kernel-owned state machine at its first Normal wake.
+        ProcBody::Embryo(Box::new(move |ctx| Box::pin(f(ctx))))
     };
-    // Pool checkout: an idle worker runs the trampoline, or (escape hatch /
-    // cold pool) a fresh thread is spawned. `join` is `Some` only for
-    // dedicated escape-hatch threads; pooled lifetimes are governed by the
-    // lease group, which teardown quiesces.
-    let join = pool::spawn_process(
-        format!("sim-{pid}-{name}"),
-        &shared.leases,
-        Box::new(trampoline),
-    );
     {
         let mut st = shared.state.lock();
         st.procs.insert(
             pid,
             ProcEntry {
                 name,
-                handoff,
+                body,
                 alive: true,
-                join,
                 pending_exec: None,
             },
         );
@@ -614,7 +706,11 @@ pub struct Sim {
 /// One unit of work popped under the state lock and dispatched outside it.
 enum Dispatch {
     Call(Box<dyn FnOnce(&SimCtx) + Send>, SimTime),
+    /// Threaded backend: hand the token (with a wake batch) to the process
+    /// thread and wait for it to park or exit.
     Wakes(Pid, SimTime, WakeBatch),
+    /// Coroutine backend: step the process's state machine inline.
+    Poll(Pid, SimTime, WakeKind),
 }
 
 impl Default for Sim {
@@ -650,6 +746,7 @@ impl Sim {
                     now: SimTime::ZERO,
                     procs: ProcTable::default(),
                     next_pid: 0,
+                    threaded: threaded_enabled(),
                     stop_requested: false,
                     executed: 0,
                     max_events: None,
@@ -725,27 +822,38 @@ impl Sim {
         }
     }
 
+    /// Override the `FTMPI_THREADED` backend choice for this simulation:
+    /// `true` runs processes on the legacy OS-thread backend, `false` on the
+    /// coroutine backend. Differential tests drive the same workload through
+    /// both backends in one process and compare results byte for byte. Call
+    /// before spawning anything.
+    pub fn force_threaded(&mut self, threaded: bool) {
+        let mut st = self.shared.state.lock();
+        debug_assert_eq!(st.next_pid, 0, "switch process backends before spawning");
+        st.threaded = threaded;
+    }
+
     /// Convenience constructor for a [`SharedFlag`].
     pub fn shared_flag(&self) -> crate::process::SharedFlag {
         crate::process::SharedFlag::new()
     }
 
-    /// Spawn an initial process starting at time zero.
-    pub fn spawn(
-        &mut self,
-        name: impl Into<String>,
-        f: impl FnOnce(ProcCtx) + Send + 'static,
-    ) -> Pid {
+    /// Spawn an initial process starting at time zero. See
+    /// [`SimCtx::spawn_at`] for the async body contract.
+    pub fn spawn<F, Fut>(&mut self, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(ProcCtx) -> Fut + Send + 'static,
+        Fut: Future<Output = ()> + Send + 'static,
+    {
         spawn_inner(&self.shared, SimTime::ZERO, name.into(), f)
     }
 
     /// Spawn an initial process starting at `at`.
-    pub fn spawn_at(
-        &mut self,
-        at: SimTime,
-        name: impl Into<String>,
-        f: impl FnOnce(ProcCtx) + Send + 'static,
-    ) -> Pid {
+    pub fn spawn_at<F, Fut>(&mut self, at: SimTime, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(ProcCtx) -> Fut + Send + 'static,
+        Fut: Future<Output = ()> + Send + 'static,
+    {
         spawn_inner(&self.shared, at, name.into(), f)
     }
 
@@ -831,7 +939,15 @@ impl Sim {
                                 // No wake coalescing: each wake must remain
                                 // an individually orderable scheduling unit.
                                 EventKind::Resume(pid, kind) => {
-                                    Dispatch::Wakes(pid, ev.time, WakeBatch::single(kind, ev.time))
+                                    if st.proc_is_coro(pid) {
+                                        Dispatch::Poll(pid, ev.time, kind)
+                                    } else {
+                                        Dispatch::Wakes(
+                                            pid,
+                                            ev.time,
+                                            WakeBatch::single(kind, ev.time),
+                                        )
+                                    }
                                 }
                             }
                         }
@@ -863,27 +979,40 @@ impl Sim {
                                     Dispatch::Call(f, ev.time)
                                 }
                                 EventKind::Resume(pid, kind) => {
-                                    let mut wakes = WakeBatch::single(kind, ev.time);
-                                    if batching {
-                                        // Coalesce every immediately-following
-                                        // same-time wake for this process into one
-                                        // token handoff. Same-lane same-time
-                                        // events pop in scheduling order under any
-                                        // tiebreak seed, so the batch preserves
-                                        // exactly the order the unbatched loop
-                                        // would deliver. (`executed` for wake
-                                        // batches is accounted after delivery —
-                                        // see `resume_process`.)
-                                        while let Some(next) = st.queue.pop_if(|t, k| {
-                                            t == ev.time
-                                                && matches!(k, EventKind::Resume(p, _) if *p == pid)
-                                        }) {
-                                            if let EventKind::Resume(_, k) = next.kind {
-                                                wakes.push_back(k, next.time);
+                                    if st.proc_is_coro(pid) {
+                                        // Coroutine backend: no wake batching
+                                        // — there is no handoff to save, each
+                                        // wake is one inline poll. Consecutive
+                                        // same-time wakes pop back-to-back
+                                        // with nothing in between (they share
+                                        // the process's tiebreak lane), so
+                                        // delivery order matches the threaded
+                                        // backend's batched order exactly.
+                                        Dispatch::Poll(pid, ev.time, kind)
+                                    } else {
+                                        let mut wakes = WakeBatch::single(kind, ev.time);
+                                        if batching {
+                                            // Coalesce every immediately-following
+                                            // same-time wake for this process into
+                                            // one token handoff. Same-lane same-time
+                                            // events pop in scheduling order under
+                                            // any tiebreak seed, so the batch
+                                            // preserves exactly the order the
+                                            // unbatched loop would deliver.
+                                            // (`executed` for wake batches is
+                                            // accounted after delivery — see
+                                            // `resume_process`.)
+                                            while let Some(next) = st.queue.pop_if(|t, k| {
+                                                t == ev.time
+                                                    && matches!(k, EventKind::Resume(p, _) if *p == pid)
+                                            }) {
+                                                if let EventKind::Resume(_, k) = next.kind {
+                                                    wakes.push_back(k, next.time);
+                                                }
                                             }
                                         }
+                                        Dispatch::Wakes(pid, ev.time, wakes)
                                     }
-                                    Dispatch::Wakes(pid, ev.time, wakes)
                                 }
                             }
                         }
@@ -903,8 +1032,149 @@ impl Sim {
                         return Err(err);
                     }
                 }
+                Dispatch::Poll(pid, time, kind) => {
+                    if let Some(err) = self.drive_coro(pid, kind, time) {
+                        return Err(err);
+                    }
+                }
             }
         }
+    }
+
+    /// Step a coroutine-backed process: deposit the wake and poll its state
+    /// machine inline. The machine is taken out of the table and polled
+    /// *outside* the state lock — polling reenters the kernel (`exec`
+    /// schedules its Call event). A kill wake never reaches the machine:
+    /// killing is a state transition in which the kernel drops the machine
+    /// (running its Drop impls, the analogue of the threaded backend's
+    /// `KilledSignal` unwind) and records the exit.
+    fn drive_coro(&self, pid: Pid, kind: WakeKind, now: SimTime) -> Option<SimError> {
+        enum Step {
+            Drop(ProcBody),
+            Start(EmbryoFn, Arc<WakeSlot>, ProcCtx),
+            Poll(CoroFuture, Arc<WakeSlot>),
+        }
+        let step = {
+            let mut st = self.shared.state.lock();
+            // One executed event per delivered wake, matching the threaded
+            // backend's per-wake accounting (a kill delivery also counts 1).
+            st.executed += 1;
+            let e = st.procs.get_mut(pid)?;
+            if !e.alive {
+                return None;
+            }
+            match kind {
+                WakeKind::Killed => {
+                    let body = std::mem::replace(&mut e.body, ProcBody::Gone);
+                    Step::Drop(body)
+                }
+                WakeKind::Normal => match std::mem::replace(&mut e.body, ProcBody::Running) {
+                    ProcBody::Embryo(factory) => {
+                        let slot = WakeSlot::new();
+                        let ctx = ProcCtx {
+                            pid,
+                            name: Arc::clone(&e.name),
+                            driver: Driver::Coro(Arc::clone(&slot)),
+                            shared: Arc::clone(&self.shared),
+                            local_time: now,
+                        };
+                        Step::Start(factory, slot, ctx)
+                    }
+                    ProcBody::Coro { fut, slot } => {
+                        slot.put(WakeKind::Normal, now);
+                        Step::Poll(fut, slot)
+                    }
+                    other => {
+                        // A live coroutine is always parked between wakes.
+                        e.body = other;
+                        debug_assert!(false, "coroutine resumed in an undrivable state");
+                        return None;
+                    }
+                },
+            }
+        };
+        let (pending, slot) = match step {
+            Step::Drop(body) => {
+                // Drop outside the lock: the machine's Drop impls may run
+                // arbitrary model-state destructors.
+                drop(body);
+                return self.record_coro_exit(pid, now, ProcessExit::Killed);
+            }
+            Step::Start(factory, slot, ctx) => (CoroStep::New(factory, ctx), slot),
+            Step::Poll(fut, slot) => (CoroStep::Existing(fut), slot),
+        };
+        enum CoroStep {
+            New(EmbryoFn, ProcCtx),
+            Existing(CoroFuture),
+        }
+        // Construct (first wake) and poll with panics contained, exactly as
+        // the threaded trampoline's catch_unwind does.
+        let polled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut fut = match pending {
+                CoroStep::New(factory, ctx) => factory(ctx),
+                CoroStep::Existing(fut) => fut,
+            };
+            let mut cx = Context::from_waker(Waker::noop());
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Pending => Some(fut),
+                Poll::Ready(()) => None,
+            }
+        }));
+        match polled {
+            Ok(Some(fut)) => {
+                // Parked at a suspension point: store the machine back.
+                let mut st = self.shared.state.lock();
+                if let Some(e) = st.procs.get_mut(pid) {
+                    e.body = ProcBody::Coro { fut, slot };
+                }
+                None
+            }
+            Ok(None) => self.record_coro_exit(pid, now, ProcessExit::Normal),
+            Err(payload) => {
+                let status = if payload.downcast_ref::<KilledSignal>().is_some() {
+                    ProcessExit::Killed
+                } else {
+                    ProcessExit::Panicked(panic_message(payload))
+                };
+                self.record_coro_exit(pid, now, status)
+            }
+        }
+    }
+
+    /// Exit bookkeeping for a coroutine-backed process: mirror of the
+    /// threaded backend's `resume_process` exit branch (dead-mark, pending
+    /// `exec` cancellation, exit trace and record, panic escalation).
+    fn record_coro_exit(&self, pid: Pid, now: SimTime, status: ProcessExit) -> Option<SimError> {
+        let mut st = self.shared.state.lock();
+        let name = if let Some(e) = st.procs.get_mut(pid) {
+            e.alive = false;
+            e.body = ProcBody::Gone;
+            let pending = e.pending_exec.take();
+            let name = Arc::clone(&e.name);
+            if let Some(id) = pending {
+                st.queue.cancel(id);
+            }
+            name
+        } else {
+            Arc::from("?")
+        };
+        if st.tracer.enabled() {
+            let detail = format!("exit '{name}': {status:?}");
+            st.tracer.record(TraceEvent {
+                time: now,
+                kind: TraceKind::Exit,
+                pid: Some(pid),
+                detail,
+            });
+        }
+        st.exits.push((pid, Arc::clone(&name), status.clone()));
+        if let ProcessExit::Panicked(message) = status {
+            return Some(SimError::ProcessPanicked {
+                name: name.to_string(),
+                message,
+            });
+        }
+        None
     }
 
     /// Hand the token to `pid` with a batch of wakes; returns an error for
@@ -918,7 +1188,11 @@ impl Sim {
         let handoff = {
             let st = self.shared.state.lock();
             match st.procs.get(pid) {
-                Some(e) if e.alive => Arc::clone(&e.handoff),
+                Some(e) if e.alive => match &e.body {
+                    ProcBody::Threaded { handoff, .. } => Arc::clone(handoff),
+                    // Only threaded processes are dispatched as wake batches.
+                    _ => return None,
+                },
                 _ => return None, // stale resume for a dead process
             }
         };
@@ -961,33 +1235,62 @@ impl Sim {
         }
     }
 
-    /// Kill every remaining process and join all threads.
+    /// Kill every remaining process (lowest pid first) and join all threads.
     fn teardown(&mut self) {
+        // Decide each victim's backend under the lock but act outside it:
+        // threaded kills rendezvous with the process thread, and coroutine
+        // drops may run arbitrary Drop impls.
+        enum Victim {
+            Coro(Pid, ProcBody, SimTime),
+            Threaded(Pid, Arc<Handoff>, Arc<str>, SimTime),
+        }
         loop {
             let victim = {
-                let st = self.shared.state.lock();
-                st.procs
+                let mut st = self.shared.state.lock();
+                let now = st.now;
+                let Some(pid) = st
+                    .procs
                     .iter()
                     .filter(|(_, e)| e.alive)
-                    .map(|(pid, e)| (pid, Arc::clone(&e.handoff), Arc::clone(&e.name)))
-                    .min_by_key(|(pid, _, _)| *pid)
-            };
-            let Some((pid, handoff, name)) = victim else {
-                break;
-            };
-            let now = self.shared.state.lock().now;
-            if let ResumeOutcome::Exited(status) = handoff.resume(WakeKind::Killed, now) {
-                let mut st = self.shared.state.lock();
-                if let Some(e) = st.procs.get_mut(pid) {
-                    e.alive = false;
+                    .map(|(pid, _)| pid)
+                    .min()
+                else {
+                    break;
+                };
+                let Some(e) = st.procs.get_mut(pid) else {
+                    break;
+                };
+                match &e.body {
+                    ProcBody::Threaded { handoff, .. } => {
+                        Victim::Threaded(pid, Arc::clone(handoff), Arc::clone(&e.name), now)
+                    }
+                    _ => {
+                        let body = std::mem::replace(&mut e.body, ProcBody::Gone);
+                        e.alive = false;
+                        let name = Arc::clone(&e.name);
+                        st.exits.push((pid, name, ProcessExit::Killed));
+                        Victim::Coro(pid, body, now)
+                    }
                 }
-                st.exits.push((pid, name, status));
-            } else {
-                // A process that parks again after a kill wake would be a
-                // trampoline bug; mark it dead to guarantee loop progress.
-                let mut st = self.shared.state.lock();
-                if let Some(e) = st.procs.get_mut(pid) {
-                    e.alive = false;
+            };
+            match victim {
+                Victim::Coro(_pid, body, _now) => drop(body),
+                Victim::Threaded(pid, handoff, name, now) => {
+                    if let ResumeOutcome::Exited(status) = handoff.resume(WakeKind::Killed, now) {
+                        let mut st = self.shared.state.lock();
+                        if let Some(e) = st.procs.get_mut(pid) {
+                            e.alive = false;
+                        }
+                        st.exits.push((pid, name, status));
+                    } else {
+                        // A process that parks again after a kill wake would
+                        // be a trampoline bug; mark it dead to guarantee
+                        // loop progress.
+                        let mut st = self.shared.state.lock();
+                        if let Some(e) = st.procs.get_mut(pid) {
+                            e.alive = false;
+                        }
+                    }
                 }
             }
         }
@@ -998,7 +1301,10 @@ impl Sim {
             let mut st = self.shared.state.lock();
             st.procs
                 .values_mut()
-                .filter_map(|e| e.join.take())
+                .filter_map(|e| match &mut e.body {
+                    ProcBody::Threaded { join, .. } => join.take(),
+                    _ => None,
+                })
                 .collect()
         };
         for j in joins {

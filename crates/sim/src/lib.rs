@@ -2,27 +2,34 @@
 //!
 //! This crate is the substrate every other `ftmpi` crate runs on. It provides
 //! a virtual clock, an event queue ordered by `(time, sequence)`, and
-//! *simulated processes*: ordinary Rust closures running on dedicated OS
-//! threads that are scheduled **cooperatively** — exactly one thread (either
-//! the kernel loop or a single simulated process) runs at any instant, so
-//! every run with the same inputs takes the same scheduling decisions and
-//! produces bit-identical virtual timings.
+//! *simulated processes*: `async` Rust bodies compiled into resumable state
+//! machines that the kernel owns and steps **inline** from its event loop —
+//! no OS thread per process, so topologies with 10⁵⁺ processes fit in one
+//! scheduler thread. Execution stays strictly sequential (one machine steps
+//! at a time), so every run with the same inputs takes the same scheduling
+//! decisions and produces bit-identical virtual timings. Setting
+//! `FTMPI_THREADED=1` (or [`Sim::force_threaded`]) runs the same bodies on
+//! the legacy cooperative OS-thread backend instead; both backends execute
+//! the same events in the same order and produce byte-identical results.
 //!
 //! # Lazy local clocks
 //!
 //! Simulated computation is free: [`ProcCtx::advance`] only bumps the
 //! process-local clock. The kernel is involved only when a process interacts
 //! with shared model state through [`ProcCtx::exec`], which schedules a
-//! closure *at the process's local time* and parks the thread until the model
-//! wakes it through a [`Reply`]. This keeps event counts proportional to
-//! communication operations, not compute phases.
+//! closure *at the process's local time* and suspends the state machine until
+//! the model wakes it through a [`Reply`]. This keeps event counts
+//! proportional to communication operations, not compute phases.
 //!
 //! # Failure injection
 //!
-//! Processes can be killed at any virtual time ([`SimCtx::kill`]). A killed
-//! process unwinds at its next kernel interaction via a panic payload that the
-//! process trampoline catches, mirroring the "task killed by the operating
-//! system" failure model of the paper this workspace reproduces.
+//! Processes can be killed at any virtual time ([`SimCtx::kill`]). The kernel
+//! drops a killed process's state machine at the kill wake — a pure state
+//! transition that runs the machine's destructors, mirroring the "task killed
+//! by the operating system" failure model of the paper this workspace
+//! reproduces. (On the threaded backend the kill is delivered as a panic
+//! payload that unwinds the process thread; the observable effects are
+//! identical.)
 //!
 //! # Example
 //!
@@ -31,9 +38,9 @@
 //!
 //! let mut sim = Sim::new();
 //! let done = sim.shared_flag();
-//! sim.spawn("worker", move |mut ctx| {
+//! sim.spawn("worker", move |mut ctx| async move {
 //!     ctx.advance(SimDuration::from_secs_f64(2.5)); // simulated compute
-//!     ctx.sleep_until_local();                      // sync with the kernel
+//!     ctx.sleep_until_local().await;                // sync with the kernel
 //!     done.set();
 //! });
 //! let report = sim.run().unwrap();
@@ -57,7 +64,9 @@ mod trace;
 mod wakes;
 
 pub use event::EventId;
-pub use kernel::{batching_enabled, DeadlockInfo, RunReport, Sim, SimCtx, SimError};
+pub use kernel::{
+    batching_enabled, threaded_enabled, DeadlockInfo, RunReport, Sim, SimCtx, SimError,
+};
 pub use pool::{pool_stats, wait_live_below, PoolStats};
 pub use process::{Pid, ProcCtx, ProcessExit, SharedFlag};
 pub use reply::Reply;
@@ -67,7 +76,9 @@ pub use schedule::{
 pub use time::{SimDuration, SimTime};
 pub use trace::{ProtoEvent, TraceEvent, TraceKind, Tracer};
 
-/// Panic payload used to unwind a simulated process that has been killed.
+/// Panic payload used by the threaded backend (`FTMPI_THREADED=1`) to unwind
+/// a simulated process that has been killed. The coroutine backend never
+/// unwinds: the kernel drops the killed process's state machine instead.
 ///
 /// Process code never observes this type: the trampoline installed by
 /// [`Sim::spawn`] catches it and records a [`ProcessExit::Killed`].

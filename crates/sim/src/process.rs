@@ -1,14 +1,26 @@
-//! Simulated processes: OS threads scheduled cooperatively by the kernel.
+//! Simulated processes: resumable state machines driven by the kernel.
 //!
-//! Exactly one thread runs at a time. The kernel hands the *execution token*
-//! to a process through its [`Handoff`] slot and blocks until the process
-//! either parks again or exits. Because of this strict alternation, model
-//! state never sees concurrent access even though it is shared across
-//! threads, and all scheduling decisions are deterministic.
+//! A simulated process is an `async` body compiled by rustc into an
+//! enum-encoded state machine with one suspension point per kernel
+//! interaction ([`ProcCtx::exec`] and the sleep helpers built on it). The
+//! kernel owns the machine and steps it inline from the event loop: a
+//! Resume event is a direct `poll` call on the scheduler's own thread — no
+//! OS thread, no Condvar round-trip, no execution token.
+//!
+//! The legacy *threaded* backend (`FTMPI_THREADED=1`) drives the same async
+//! body on a pooled OS thread instead: the whole body runs inside a single
+//! `poll` whose suspension points block on the token-handoff rendezvous
+//! ([`Handoff`]), preserving the historical cooperative-thread semantics
+//! bit for bit. Exactly one thread runs at a time under that backend —
+//! either the kernel loop or one simulated process — so model state never
+//! sees concurrent access in either mode.
 
 use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -57,6 +69,34 @@ pub(crate) enum WakeKind {
     Killed,
 }
 
+/// The wake mailbox of a coroutine-backed process: the kernel drive loop
+/// deposits exactly one `(kind, time)` wake here immediately before polling
+/// the process's state machine, and the machine's pending suspension point
+/// consumes it. Single-threaded in practice (only the kernel loop touches
+/// it); the mutex exists so the future stays `Send` for storage in the
+/// shared kernel state.
+pub(crate) struct WakeSlot(Mutex<Option<(WakeKind, SimTime)>>);
+
+impl WakeSlot {
+    pub fn new() -> Arc<WakeSlot> {
+        Arc::new(WakeSlot(Mutex::new(None)))
+    }
+
+    /// Kernel side: deposit the wake the next poll will consume.
+    pub fn put(&self, kind: WakeKind, now: SimTime) {
+        let prev = self.0.lock().replace((kind, now));
+        debug_assert!(
+            prev.is_none(),
+            "wake deposited while a previous wake was still unconsumed"
+        );
+    }
+
+    /// Suspension side: consume the pending wake, if any.
+    pub fn take(&self) -> Option<(WakeKind, SimTime)> {
+        self.0.lock().take()
+    }
+}
+
 enum HandoffState {
     /// The kernel (or nobody yet) holds the token.
     KernelHeld,
@@ -85,7 +125,8 @@ struct HandoffInner {
     delivered: usize,
 }
 
-/// The token-passing rendezvous between the kernel loop and one process.
+/// The token-passing rendezvous between the kernel loop and one process
+/// (threaded backend only).
 pub(crate) struct Handoff {
     inner: Mutex<HandoffInner>,
     cv: Condvar,
@@ -191,7 +232,38 @@ impl Handoff {
     }
 }
 
-/// Per-process handle given to the process closure.
+/// How this process's suspension points synchronize with the kernel.
+pub(crate) enum Driver {
+    /// Default backend: the kernel polls the state machine inline; a
+    /// suspension returns `Pending` and the next wake arrives through the
+    /// [`WakeSlot`] immediately before the next poll.
+    Coro(Arc<WakeSlot>),
+    /// Legacy backend (`FTMPI_THREADED=1`): a suspension blocks the pooled
+    /// OS thread on the token handoff and returns `Ready` once woken, so
+    /// the whole process body completes in a single outer poll.
+    Threaded(Arc<Handoff>),
+}
+
+/// One suspension point: resolves to the next `(kind, time)` wake.
+struct Suspend<'a> {
+    driver: &'a Driver,
+}
+
+impl Future for Suspend<'_> {
+    type Output = (WakeKind, SimTime);
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match self.driver {
+            Driver::Coro(slot) => match slot.take() {
+                Some(wake) => Poll::Ready(wake),
+                None => Poll::Pending,
+            },
+            Driver::Threaded(handoff) => Poll::Ready(handoff.park()),
+        }
+    }
+}
+
+/// Per-process handle given to the process body.
 ///
 /// Carries the *lazy local clock*: [`advance`](ProcCtx::advance) models
 /// computation without kernel interaction, while [`exec`](ProcCtx::exec)
@@ -199,7 +271,7 @@ impl Handoff {
 pub struct ProcCtx {
     pub(crate) pid: Pid,
     pub(crate) name: Arc<str>,
-    pub(crate) handoff: Arc<Handoff>,
+    pub(crate) driver: Driver,
     pub(crate) shared: Arc<crate::kernel::Shared>,
     pub(crate) local_time: SimTime,
 }
@@ -225,15 +297,15 @@ impl ProcCtx {
         self.local_time += d;
     }
 
-    /// Schedule `f` on the kernel at this process's local time and park until
-    /// the model completes the [`Reply`]. Returns the reply value; the local
-    /// clock is advanced to the completion time.
+    /// Schedule `f` on the kernel at this process's local time and suspend
+    /// until the model completes the [`Reply`]. Returns the reply value; the
+    /// local clock is advanced to the completion time.
     ///
     /// `f` must either call [`Reply::complete`] (or a variant) before
     /// returning, or stash the reply in model state so that a later event
     /// completes it. Waking a process without filling its reply is a model
     /// bug and panics.
-    pub fn exec<R, F>(&mut self, f: F) -> R
+    pub async fn exec<R, F>(&mut self, f: F) -> R
     where
         R: Send + 'static,
         F: FnOnce(&SimCtx, Reply<R>) + Send + 'static,
@@ -242,8 +314,14 @@ impl ProcCtx {
         let reply = Reply::new(self.pid, Arc::clone(&slot));
         self.shared
             .schedule_exec(self.pid, self.local_time, move |sc| f(sc, reply));
-        let (kind, resume_time) = self.handoff.park();
+        let (kind, resume_time) = Suspend {
+            driver: &self.driver,
+        }
+        .await;
         if matches!(kind, WakeKind::Killed) {
+            // Threaded backend only: unwind the OS thread. The coroutine
+            // backend never delivers a kill wake — the kernel drops the
+            // state machine instead (the suspension simply never resolves).
             std::panic::panic_any(KilledSignal);
         }
         if resume_time > self.local_time {
@@ -256,19 +334,19 @@ impl ProcCtx {
         value
     }
 
-    /// Park until the kernel clock catches up with the local clock.
+    /// Suspend until the kernel clock catches up with the local clock.
     ///
     /// Useful to make locally-accumulated compute time observable (e.g. at
     /// the end of a process, or before reading shared state).
-    pub fn sleep_until_local(&mut self) {
-        self.exec::<(), _>(|sc, reply| reply.complete(sc, ()));
+    pub async fn sleep_until_local(&mut self) {
+        self.exec::<(), _>(|sc, reply| reply.complete(sc, ())).await
     }
 
     /// Advance the local clock by `d` and synchronize with the kernel:
     /// a timed wait during which other processes run.
-    pub fn sleep(&mut self, d: SimDuration) {
+    pub async fn sleep(&mut self, d: SimDuration) {
         self.advance(d);
-        self.sleep_until_local();
+        self.sleep_until_local().await;
     }
 }
 

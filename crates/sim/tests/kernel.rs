@@ -1,5 +1,6 @@
 //! Integration tests for the simulation kernel: scheduling, lazy clocks,
-//! parking/waking, kill semantics, determinism and deadlock detection.
+//! suspension/waking, kill semantics, determinism, deadlock detection, and
+//! coroutine/threaded backend equivalence.
 
 use std::sync::Arc;
 
@@ -33,9 +34,9 @@ fn scheduled_closures_run_in_time_order() {
 #[test]
 fn lazy_compute_advances_virtual_time_without_events() {
     let mut sim = Sim::new();
-    sim.spawn("computer", |mut ctx| {
+    sim.spawn("computer", |mut ctx| async move {
         ctx.advance(SimDuration::from_secs(100));
-        ctx.sleep_until_local();
+        ctx.sleep_until_local().await;
     });
     let report = sim.run().unwrap();
     assert_eq!(report.final_time, SimTime::from_nanos(100_000_000_000));
@@ -53,9 +54,9 @@ fn sleep_interleaves_processes_deterministically() {
     let log: Arc<Mutex<Vec<(String, u64)>>> = Arc::new(Mutex::new(Vec::new()));
     for (name, step) in [("a", 3u64), ("b", 5u64)] {
         let log = Arc::clone(&log);
-        sim.spawn(name, move |mut ctx| {
+        sim.spawn(name, move |mut ctx| async move {
             for _ in 0..3 {
-                ctx.sleep(SimDuration::from_secs(step));
+                ctx.sleep(SimDuration::from_secs(step)).await;
                 log.lock()
                     .push((ctx.name().to_string(), ctx.now().as_nanos() / 1_000_000_000));
             }
@@ -75,7 +76,7 @@ fn sleep_interleaves_processes_deterministically() {
 }
 
 /// A tiny one-slot mailbox model: demonstrates (and tests) the
-/// park/Reply/complete protocol between processes and model state.
+/// suspend/Reply/complete protocol between processes and model state.
 #[derive(Default)]
 struct Mailbox {
     value: Option<u64>,
@@ -88,15 +89,17 @@ fn reply_wakes_parked_process_with_value() {
     let mbox: Arc<Mutex<Mailbox>> = Arc::new(Mutex::new(Mailbox::default()));
 
     let mb = Arc::clone(&mbox);
-    sim.spawn("receiver", move |mut ctx| {
-        let got = ctx.exec::<u64, _>(move |sc, reply| {
-            let mut m = mb.lock();
-            if let Some(v) = m.value.take() {
-                reply.complete(sc, v);
-            } else {
-                m.waiter = Some(reply);
-            }
-        });
+    sim.spawn("receiver", move |mut ctx| async move {
+        let got = ctx
+            .exec::<u64, _>(move |sc, reply| {
+                let mut m = mb.lock();
+                if let Some(v) = m.value.take() {
+                    reply.complete(sc, v);
+                } else {
+                    m.waiter = Some(reply);
+                }
+            })
+            .await;
         assert_eq!(got, 42);
         assert_eq!(ctx.now(), SimTime::from_nanos(7));
     });
@@ -121,11 +124,13 @@ fn reply_wakes_parked_process_with_value() {
 #[test]
 fn complete_at_delays_the_wake() {
     let mut sim = Sim::new();
-    sim.spawn("sleeper", |mut ctx| {
-        let v = ctx.exec::<u32, _>(|sc, reply| {
-            let at = sc.now() + SimDuration::from_secs(9);
-            reply.complete_at(sc, at, 5);
-        });
+    sim.spawn("sleeper", |mut ctx| async move {
+        let v = ctx
+            .exec::<u32, _>(|sc, reply| {
+                let at = sc.now() + SimDuration::from_secs(9);
+                reply.complete_at(sc, at, 5);
+            })
+            .await;
         assert_eq!(v, 5);
         assert_eq!(ctx.now().as_secs_f64(), 9.0);
     });
@@ -138,8 +143,8 @@ fn killed_process_unwinds_and_reports_killed_exit() {
     let mut sim = Sim::new();
     let flag = sim.shared_flag();
     let f2 = flag.clone();
-    let victim = sim.spawn("victim", move |mut ctx| {
-        ctx.sleep(SimDuration::from_secs(1_000_000));
+    let victim = sim.spawn("victim", move |mut ctx| async move {
+        ctx.sleep(SimDuration::from_secs(1_000_000)).await;
         f2.set(); // must never run
     });
     sim.schedule(SimTime::from_nanos(5), move |sc| sc.kill(victim));
@@ -159,7 +164,7 @@ fn killed_process_unwinds_and_reports_killed_exit() {
 #[test]
 fn kill_is_noop_for_finished_process() {
     let mut sim = Sim::new();
-    let p = sim.spawn("quick", |_ctx| {});
+    let p = sim.spawn("quick", |_ctx| async {});
     sim.schedule(SimTime::from_nanos(100), move |sc| {
         assert!(!sc.is_alive(p));
         sc.kill(p); // must not panic or hang
@@ -170,7 +175,7 @@ fn kill_is_noop_for_finished_process() {
 #[test]
 fn process_panic_surfaces_as_error() {
     let mut sim = Sim::new();
-    sim.spawn("buggy", |_ctx| panic!("boom"));
+    sim.spawn("buggy", |_ctx| async { panic!("boom") });
     match sim.run() {
         Err(SimError::ProcessPanicked { name, message }) => {
             assert_eq!(name, "buggy");
@@ -183,11 +188,12 @@ fn process_panic_surfaces_as_error() {
 #[test]
 fn unwakeable_process_is_reported_as_deadlock() {
     let mut sim = Sim::new();
-    sim.spawn("stuck", |mut ctx| {
-        // Park with a reply nobody will ever complete.
+    sim.spawn("stuck", |mut ctx| async move {
+        // Suspend with a reply nobody will ever complete.
         ctx.exec::<(), _>(|_sc, _reply| {
             // drop the reply
-        });
+        })
+        .await;
     });
     match sim.run() {
         Err(SimError::Deadlock(info)) => {
@@ -215,8 +221,8 @@ fn event_budget_guards_against_runaway_models() {
 fn max_time_stops_the_run() {
     let mut sim = Sim::new();
     sim.set_max_time(SimTime::from_nanos(50));
-    sim.spawn("late", |mut ctx| {
-        ctx.sleep(SimDuration::from_nanos(200));
+    sim.spawn("late", |mut ctx| async move {
+        ctx.sleep(SimDuration::from_nanos(200)).await;
         panic!("must not run past the horizon");
     });
     let report = sim.run().unwrap();
@@ -231,8 +237,8 @@ fn processes_spawned_from_events_run() {
     let f2 = flag.clone();
     sim.schedule(SimTime::from_nanos(10), move |sc| {
         let f3 = f2.clone();
-        sc.spawn("child", move |mut ctx| {
-            ctx.sleep(SimDuration::from_nanos(5));
+        sc.spawn("child", move |mut ctx| async move {
+            ctx.sleep(SimDuration::from_nanos(5)).await;
             f3.set();
         });
     });
@@ -246,9 +252,10 @@ fn identical_runs_produce_identical_reports() {
     fn run_once() -> (u64, u64) {
         let mut sim = Sim::new();
         for i in 0..10u64 {
-            sim.spawn(format!("p{i}"), move |mut ctx| {
+            sim.spawn(format!("p{i}"), move |mut ctx| async move {
                 for k in 0..5 {
-                    ctx.sleep(SimDuration::from_nanos(1 + (i * 7 + k) % 13));
+                    ctx.sleep(SimDuration::from_nanos(1 + (i * 7 + k) % 13))
+                        .await;
                 }
             });
         }
@@ -262,7 +269,9 @@ fn identical_runs_produce_identical_reports() {
 fn trace_collects_lifecycle_events() {
     let mut sim = Sim::new();
     sim.enable_trace();
-    let p = sim.spawn("traced", |mut ctx| ctx.sleep(SimDuration::from_nanos(3)));
+    let p = sim.spawn("traced", |mut ctx| async move {
+        ctx.sleep(SimDuration::from_nanos(3)).await
+    });
     sim.schedule(SimTime::from_nanos(1), move |sc| {
         sc.trace("test", Some(p), || "hello".to_string());
     });
@@ -287,13 +296,32 @@ fn many_processes_scale() {
     let counter = Arc::new(Mutex::new(0u64));
     for i in 0..600 {
         let c = Arc::clone(&counter);
-        sim.spawn(format!("w{i}"), move |mut ctx| {
-            ctx.sleep(SimDuration::from_nanos(i));
+        sim.spawn(format!("w{i}"), move |mut ctx| async move {
+            ctx.sleep(SimDuration::from_nanos(i)).await;
             *c.lock() += 1;
         });
     }
     sim.run().unwrap();
     assert_eq!(*counter.lock(), 600);
+}
+
+/// The coroutine backend must host far more processes than any thread pool
+/// could: 50k sleepers complete with bounded OS threads (the scale_bench
+/// binary exercises the full 10⁵-rank workload).
+#[test]
+fn coroutine_backend_hosts_tens_of_thousands_of_processes() {
+    let mut sim = Sim::new();
+    sim.force_threaded(false);
+    let counter = Arc::new(Mutex::new(0u64));
+    for i in 0..50_000u64 {
+        let c = Arc::clone(&counter);
+        sim.spawn(format!("w{i}"), move |mut ctx| async move {
+            ctx.sleep(SimDuration::from_nanos(1 + i % 97)).await;
+            *c.lock() += 1;
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(*counter.lock(), 50_000);
 }
 
 /// Kill/respawn churn: pids stay sequential and are never reused, killed
@@ -307,8 +335,8 @@ fn kill_respawn_churn_keeps_pids_distinct() {
     let mut pids = Vec::new();
     for i in 0..8u64 {
         let f = Arc::clone(&finished);
-        pids.push(sim.spawn(format!("gen0-{i}"), move |mut ctx| {
-            ctx.sleep(SimDuration::from_secs(10));
+        pids.push(sim.spawn(format!("gen0-{i}"), move |mut ctx| async move {
+            ctx.sleep(SimDuration::from_secs(10)).await;
             f.lock().push(i);
         }));
     }
@@ -329,8 +357,8 @@ fn kill_respawn_churn_keeps_pids_distinct() {
         }
         for (k, pid) in v2.iter().enumerate() {
             let f = f.clone();
-            let new = sc.spawn(format!("gen1-{k}"), move |mut ctx| {
-                ctx.sleep(SimDuration::from_secs(1));
+            let new = sc.spawn(format!("gen1-{k}"), move |mut ctx| async move {
+                ctx.sleep(SimDuration::from_secs(1)).await;
                 f.lock().push(100 + k as u64);
             });
             assert!(new > *pid, "pid {new} reused or preceded {pid}");
@@ -368,7 +396,9 @@ fn kill_traces_only_when_tracing_enabled() {
         if tracing {
             sim.enable_trace();
         }
-        let victim = sim.spawn("victim", |mut ctx| ctx.sleep(SimDuration::from_secs(5)));
+        let victim = sim.spawn("victim", |mut ctx| async move {
+            ctx.sleep(SimDuration::from_secs(5)).await
+        });
         sim.schedule(SimTime::from_nanos(3), move |sc| sc.kill(victim));
         let report = sim.run().unwrap();
         let kills = report
@@ -402,12 +432,17 @@ fn max_time_never_advances_past_the_horizon() {
 
 #[test]
 fn same_time_wake_and_kill_batch_into_one_handoff() {
+    // Threaded backend: a wake and a kill landing at the same instant share
+    // one token handoff (PR 3's batching). The coroutine backend has no
+    // handoffs to save — the equivalent schedule is checked by the
+    // differential test below.
     let mut sim = Sim::new();
-    let victim = sim.spawn("victim", |mut ctx| {
-        ctx.sleep(SimDuration::from_secs(5));
-        // The kill wake is already pending when this park happens, so the
-        // process unwinds here without another kernel round-trip.
-        ctx.sleep(SimDuration::from_secs(10));
+    sim.force_threaded(true);
+    let victim = sim.spawn("victim", |mut ctx| async move {
+        ctx.sleep(SimDuration::from_secs(5)).await;
+        // The kill wake is already pending when this suspension happens, so
+        // the process unwinds here without another kernel round-trip.
+        ctx.sleep(SimDuration::from_secs(10)).await;
         unreachable!("killed at 5s");
     });
     // Route the kill through a t=1s hop so its 5s call is pushed *after*
@@ -434,12 +469,15 @@ fn same_time_wake_and_kill_batch_into_one_handoff() {
 
 #[test]
 fn pool_reuses_rank_threads_across_sims() {
+    // The lease pool serves the threaded backend only; force it so the test
+    // keeps covering the pool when the coroutine backend is the default.
     let before = ftmpi_sim::pool_stats();
     for round in 0..3 {
         let mut sim = Sim::new();
+        sim.force_threaded(true);
         for i in 0..4 {
-            sim.spawn(format!("r{round}-{i}"), |mut ctx| {
-                ctx.sleep(SimDuration::from_nanos(1));
+            sim.spawn(format!("r{round}-{i}"), |mut ctx| async move {
+                ctx.sleep(SimDuration::from_nanos(1)).await;
             });
         }
         sim.run().unwrap();
@@ -457,4 +495,126 @@ fn pool_reuses_rank_threads_across_sims() {
             "serial churn must reuse parked workers: {before:?} -> {after:?}"
         );
     }
+}
+
+/// Drive one mixed workload (sleep chains, reply-completed execs, kills at
+/// degenerate instants, a panicless respawn) through both backends and
+/// compare every observable of the run report.
+#[test]
+fn backends_produce_identical_reports() {
+    fn run(threaded: bool) -> (u64, u64, Vec<(String, ProcessExit)>, usize) {
+        let mut sim = Sim::new();
+        sim.force_threaded(threaded);
+        sim.enable_trace();
+        let log: Arc<Mutex<Vec<(String, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        for (name, step) in [("a", 3u64), ("b", 5u64), ("c", 7u64)] {
+            let log = Arc::clone(&log);
+            sim.spawn(name, move |mut ctx| async move {
+                for _ in 0..4 {
+                    ctx.sleep(SimDuration::from_secs(step)).await;
+                    log.lock()
+                        .push((ctx.name().to_string(), ctx.now().as_nanos()));
+                }
+            });
+        }
+        let victim = sim.spawn("victim", |mut ctx| async move {
+            ctx.sleep(SimDuration::from_secs(60)).await;
+        });
+        // Kill lands at the exact instant of a's second sleep completion.
+        sim.schedule(SimTime::from_nanos(6_000_000_000), move |sc| {
+            sc.kill(victim)
+        });
+        let report = sim.run().unwrap();
+        let exits = report
+            .exits
+            .iter()
+            .map(|(_, n, e)| (n.clone(), e.clone()))
+            .collect();
+        (
+            report.final_time.as_nanos(),
+            report.events_executed,
+            exits,
+            report.trace.len(),
+        )
+    }
+    assert_eq!(run(false), run(true));
+}
+
+/// Kill delivered while the process is suspended mid-`exec` (its model call
+/// already queued but not yet run): the pending call must be cancelled and
+/// the exit recorded at the kill instant, identically on both backends.
+#[test]
+fn kill_during_suspension_cancels_pending_exec() {
+    fn run(threaded: bool) -> (u64, u64, bool) {
+        let mut sim = Sim::new();
+        sim.force_threaded(threaded);
+        let side_effect = sim.shared_flag();
+        let fx = side_effect.clone();
+        let victim = sim.spawn("victim", move |mut ctx| async move {
+            // Suspend on an exec whose model call runs far in the future;
+            // the kill arrives first, so the call must never run.
+            ctx.advance(SimDuration::from_secs(100));
+            ctx.exec::<(), _>(move |sc, reply| {
+                fx.set();
+                reply.complete(sc, ());
+            })
+            .await;
+        });
+        sim.schedule(SimTime::from_nanos(10), move |sc| sc.kill(victim));
+        let report = sim.run().unwrap();
+        let killed = report
+            .exits
+            .iter()
+            .any(|(p, _, e)| *p == victim && *e == ProcessExit::Killed);
+        assert!(killed);
+        (
+            report.final_time.as_nanos(),
+            report.events_executed,
+            side_effect.get(),
+        )
+    }
+    let coro = run(false);
+    let threaded = run(true);
+    assert_eq!(coro, threaded);
+    assert!(!coro.2, "cancelled exec must not mutate model state");
+}
+
+/// A process killed before its first wake (spawned at a later start time)
+/// never starts; the replacement spawned in the same event sequence runs to
+/// completion — the restart-while-embryonic state transition.
+#[test]
+fn kill_before_first_wake_drops_the_unstarted_process() {
+    fn run(threaded: bool) -> (u64, bool, bool) {
+        let mut sim = Sim::new();
+        sim.force_threaded(threaded);
+        let started = sim.shared_flag();
+        let replaced = sim.shared_flag();
+        let s2 = started.clone();
+        let victim = sim.spawn_at(
+            SimTime::from_nanos(100),
+            "late-starter",
+            move |mut ctx| async move {
+                s2.set();
+                ctx.sleep(SimDuration::from_nanos(1)).await;
+            },
+        );
+        let r2 = replaced.clone();
+        sim.schedule(SimTime::from_nanos(10), move |sc| {
+            sc.kill(victim);
+            sc.spawn("replacement", move |mut ctx| async move {
+                ctx.sleep(SimDuration::from_nanos(5)).await;
+                r2.set();
+            });
+        });
+        let report = sim.run().unwrap();
+        assert!(report
+            .exits
+            .iter()
+            .any(|(p, _, e)| *p == victim && *e == ProcessExit::Killed));
+        (report.events_executed, started.get(), replaced.get())
+    }
+    let coro = run(false);
+    assert_eq!(coro, run(true));
+    assert!(!coro.1, "killed-before-start process must never run");
+    assert!(coro.2, "replacement must complete");
 }

@@ -9,23 +9,24 @@
 use std::sync::Arc;
 
 use ftmpi::ft::{run_job, FailurePlan, JobSpec, ProtocolChoice};
-use ftmpi::mpi::AppFn;
+use ftmpi::mpi::{app_fn, AppFn};
 use ftmpi::sim::{SimDuration, SimTime};
 
 fn main() {
     // A 6-rank ring: every iteration each rank passes 4 kB to its right
     // neighbour and then "computes" for 50 ms of virtual time.
     let iterations = 200;
-    let app: AppFn = Arc::new(move |mpi| {
+    let app: AppFn = app_fn(move |mut mpi| async move {
         let n = mpi.size();
         let right = (mpi.rank() + 1) % n;
         let left = (mpi.rank() + n - 1) % n;
         for i in 0..iterations {
-            let req = mpi.irecv(Some(left), Some(i % 1000));
-            mpi.send(right, i % 1000, 4096);
-            mpi.wait(req);
+            let req = mpi.irecv(Some(left), Some(i % 1000)).await;
+            mpi.send(right, i % 1000, 4096).await;
+            mpi.wait(req).await;
             mpi.compute(SimDuration::from_millis(50));
         }
+        mpi
     });
 
     // Failure-free baseline without any checkpointing.

@@ -21,6 +21,9 @@ cargo build --release --workspace
 echo "==> tier-1: cargo test -q"
 cargo test -q --workspace
 
+echo "==> tier-1 again under the legacy threaded backend (FTMPI_THREADED=1)"
+FTMPI_THREADED=1 cargo test -q --workspace
+
 echo "==> ftmpi-check lint"
 cargo run -q --release -p ftmpi-check -- lint
 
@@ -28,10 +31,24 @@ echo "==> ftmpi-check smoke (invariants + perturbation)"
 cargo run -q --release -p ftmpi-check -- smoke
 
 echo "==> ftmpi-check storm --smoke (kills, partitions, node deaths)"
-cargo run -q --release -p ftmpi-check -- storm --smoke
+DIFF_TMP="${TMPDIR:-/tmp}/ftmpi-ci-backends-$$"
+rm -rf "$DIFF_TMP"
+mkdir -p "$DIFF_TMP"
+cargo run -q --release -p ftmpi-check -- storm --smoke | tee "$DIFF_TMP/storm-coro.log"
+
+echo "==> storm --smoke under FTMPI_THREADED=1 (must match state-for-state)"
+FTMPI_THREADED=1 cargo run -q --release -p ftmpi-check -- storm --smoke \
+    > "$DIFF_TMP/storm-threaded.log"
+cmp "$DIFF_TMP/storm-coro.log" "$DIFF_TMP/storm-threaded.log"
 
 echo "==> ftmpi-check explore --smoke (DPOR over tied schedules, BENCH_explore.json)"
-cargo run -q --release -p ftmpi-check -- explore --smoke
+cargo run -q --release -p ftmpi-check -- explore --smoke | tee "$DIFF_TMP/explore-coro.log"
+
+echo "==> explore --smoke under FTMPI_THREADED=1 (must match state-for-state)"
+FTMPI_THREADED=1 cargo run -q --release -p ftmpi-check -- explore --smoke \
+    > "$DIFF_TMP/explore-threaded.log"
+cmp "$DIFF_TMP/explore-coro.log" "$DIFF_TMP/explore-threaded.log"
+rm -rf "$DIFF_TMP"
 
 echo "==> cache prune round trip (ftmpi-bench cache --prune)"
 PRUNE_TMP="${TMPDIR:-/tmp}/ftmpi-ci-prune-$$"
@@ -69,6 +86,13 @@ FTMPI_NO_LADDER=1 FTMPI_NO_POOL=1 FTMPI_NO_BATCH=1 FTMPI_NO_CACHE=1 \
     cargo run -q --release -p ftmpi-bench --bin fig5_servers -- \
     --fast --out "$CACHE_TMP/results" > "$CACHE_TMP/plain.log"
 cmp "$CACHE_TMP/cold.json" "$CACHE_TMP/results/fig5.json"
+# Legacy threaded rank backend: still byte-identical — the coroutine and
+# thread-per-rank executions are interchangeable wherever both can run.
+rm "$CACHE_TMP/results/fig5.json"
+FTMPI_THREADED=1 FTMPI_NO_CACHE=1 \
+    cargo run -q --release -p ftmpi-bench --bin fig5_servers -- \
+    --fast --out "$CACHE_TMP/results" > "$CACHE_TMP/threaded.log"
+cmp "$CACHE_TMP/cold.json" "$CACHE_TMP/results/fig5.json"
 rm -rf "$CACHE_TMP"
 
 echo "==> calibration seed cache (cold calibrate run, zero simulations)"
@@ -82,5 +106,8 @@ rm -rf "$SEED_TMP" "$SEED_TMP.log"
 
 echo "==> kernel microbench (ladder vs heap, BENCH_kernel.json)"
 cargo run -q --release -p ftmpi-bench --bin kernel_bench -- --quick
+
+echo "==> rank-scale bench (coroutines vs threads, 10^5-rank runs, BENCH_scale.json)"
+cargo run -q --release -p ftmpi-bench --bin scale_bench -- --quick
 
 echo "CI green."

@@ -13,21 +13,22 @@
 //! # Quickstart
 //!
 //! ```
-//! use std::sync::Arc;
 //! use ftmpi::ft::{run_job, JobSpec, ProtocolChoice};
+//! use ftmpi::mpi::app_fn;
 //! use ftmpi::sim::SimDuration;
 //!
 //! // Four ranks exchange a ring token 50 times under the blocking
 //! // checkpointing protocol.
-//! let app: ftmpi::mpi::AppFn = Arc::new(|mpi| {
+//! let app: ftmpi::mpi::AppFn = app_fn(|mut mpi| async move {
 //!     let n = mpi.size();
 //!     let (right, left) = ((mpi.rank() + 1) % n, (mpi.rank() + n - 1) % n);
 //!     for i in 0..50 {
-//!         let req = mpi.irecv(Some(left), Some(i));
-//!         mpi.send(right, i, 1024);
-//!         mpi.wait(req);
+//!         let req = mpi.irecv(Some(left), Some(i)).await;
+//!         mpi.send(right, i, 1024).await;
+//!         mpi.wait(req).await;
 //!         mpi.compute(SimDuration::from_millis(20));
 //!     }
+//!     mpi
 //! });
 //! let mut spec = JobSpec::new(4, ProtocolChoice::Pcl, app);
 //! spec.ft.period = SimDuration::from_millis(300);

@@ -17,22 +17,23 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ftmpi::ft::{run_job, FailurePlan, FtConfig, JobSpec, ProtocolChoice};
-use ftmpi::mpi::AppFn;
+use ftmpi::mpi::{app_fn, AppFn};
 use ftmpi::net::{LinkConfig, NetModel, NodeId, Topology};
 use ftmpi::sim::{Sim, SimDuration, SimTime};
 
 /// Ring workload used by the recovery properties.
 fn ring_app(iters: usize, bytes: u64, compute_ms: u64) -> AppFn {
-    Arc::new(move |mpi| {
+    app_fn(move |mut mpi| async move {
         let n = mpi.size();
         let right = (mpi.rank() + 1) % n;
         let left = (mpi.rank() + n - 1) % n;
         for i in 0..iters {
-            let req = mpi.irecv(Some(left), Some((i % 997) as i32));
-            mpi.send(right, (i % 997) as i32, bytes);
-            mpi.wait(req);
+            let req = mpi.irecv(Some(left), Some((i % 997) as i32)).await;
+            mpi.send(right, (i % 997) as i32, bytes).await;
+            mpi.wait(req).await;
             mpi.compute(SimDuration::from_millis(compute_ms));
         }
+        mpi
     })
 }
 
@@ -53,9 +54,9 @@ fn kernel_determinism() {
             let mut sim = Sim::new();
             for (i, plan) in steps.iter().enumerate() {
                 let plan = plan.clone();
-                sim.spawn(format!("p{i}"), move |mut ctx| {
+                sim.spawn(format!("p{i}"), move |mut ctx| async move {
                     for &d in &plan {
-                        ctx.sleep(SimDuration::from_nanos(d));
+                        ctx.sleep(SimDuration::from_nanos(d)).await;
                     }
                 });
             }
@@ -216,14 +217,15 @@ fn shift_recovery_is_clean() {
         } else {
             ProtocolChoice::Pcl
         };
-        let app: AppFn = Arc::new(|mpi| {
+        let app: AppFn = app_fn(|mut mpi| async move {
             let n = mpi.size();
             let right = (mpi.rank() + 1) % n;
             let left = (mpi.rank() + n - 1) % n;
             for lap in 0..70 {
-                mpi.shift(right, left, lap % 997, 8_192);
+                mpi.shift(right, left, lap % 997, 8_192).await;
                 mpi.compute(SimDuration::from_millis(60));
             }
+            mpi
         });
         let mut spec = JobSpec::new(4, proto, app);
         spec.servers = 2;
