@@ -1,0 +1,12 @@
+//! Thin wrapper over [`ftmpi_bench::figures::flap_sweep`] — see that
+//! module for the experiment's documentation.
+//!
+//! ```sh
+//! cargo run --release -p ftmpi-bench --bin flap_sweep [-- --full] [-- --jobs N]
+//! ```
+
+use ftmpi_bench::figures;
+
+fn main() {
+    figures::run_standalone(figures::flap_sweep::run);
+}

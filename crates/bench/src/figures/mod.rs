@@ -20,6 +20,7 @@ pub mod fig6_scaling;
 pub mod fig7_myrinet;
 pub mod fig8_myrinet_scaling;
 pub mod fig9_grid400;
+pub mod flap_sweep;
 pub mod future_work;
 pub mod logging_vs_coordinated;
 pub mod mttf_period;
@@ -54,6 +55,7 @@ pub const ALL: &[(&str, FigureFn)] = &[
     ("recovery_cost", recovery_cost::run),
     ("failure_storms", failure_storms::run),
     ("partition_sweep", partition_sweep::run),
+    ("flap_sweep", flap_sweep::run),
     ("ablation_design", ablation_design::run),
     ("mttf_period", mttf_period::run),
     ("logging_vs_coordinated", logging_vs_coordinated::run),

@@ -167,12 +167,56 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
                     (
                         p.name.as_str(),
                         p.nodes.iter().map(|n| n.0).collect::<Vec<_>>(),
+                        format!("{}", p.direction),
                         p.start.as_nanos(),
                         p.heal.map(|t| t.as_nanos()),
                     )
                 })
                 .collect::<Vec<_>>()
         );
+        // Flaps and server-group partitions fold in separately; both lists
+        // are empty for every pre-existing plan, so the extra terms leave
+        // old fingerprints untouched.
+        if !spec.net_faults.flaps.is_empty() {
+            let _ = write!(
+                key,
+                "flaps={:?};",
+                spec.net_faults
+                    .flaps
+                    .iter()
+                    .map(|fl| {
+                        (
+                            fl.from.0,
+                            fl.to.0,
+                            fl.start.as_nanos(),
+                            fl.end.as_nanos(),
+                            fl.mttf.as_nanos(),
+                            fl.mttr.as_nanos(),
+                            fl.seed,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            );
+        }
+        if !spec.net_faults.server_partitions.is_empty() {
+            let _ = write!(
+                key,
+                "sparts={:?};",
+                spec.net_faults
+                    .server_partitions
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.name.as_str(),
+                            p.servers.clone(),
+                            format!("{}", p.direction),
+                            p.start.as_nanos(),
+                            p.heal.map(|t| t.as_nanos()),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            );
+        }
     }
     key
 }
@@ -180,7 +224,7 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
 /// On-disk entry header; bumped whenever [`JobResult::encode`] or the entry
 /// layout changes, so stale caches self-invalidate instead of decoding
 /// garbage.
-const CACHE_VERSION: &str = "ftmpi-cache v3";
+const CACHE_VERSION: &str = "ftmpi-cache v4";
 
 /// FNV-1a over `s` starting from `h` (two different bases give the two
 /// halves of the 128-bit cache filename, making accidental collisions

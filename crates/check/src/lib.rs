@@ -19,15 +19,21 @@
 //! * [`storm`] — seeded fault-injection campaigns: kills and checkpoint-
 //!   server failures aimed at mid-wave, mid-recovery, and detection-lag
 //!   windows, each run re-checked by the invariant layer.
+//! * [`miner`] — a coverage-guided failure-storm miner: a seeded mutation
+//!   loop over fault schedules (kills, directed partitions, server-group
+//!   cuts, link flaps), driven by a coverage map of invariant-checker and
+//!   `FtStats` observables, keeping a corpus of schedules that light new
+//!   coverage states and shrinking violations to minimal reproducers.
 //! * [`explore`] + [`hb`] — exhaustive schedule exploration: a DPOR loop
 //!   over the kernel's schedule-policy hook enumerates every inequivalent
 //!   order of same-instant events in small configs, pruning with a
 //!   happens-before/resource-footprint commutation oracle, and shrinks any
 //!   violating schedule to a minimal replayable reproducer.
 //!
-//! The `ftmpi-check` binary exposes them as `lint`, `smoke`, `storm`,
-//! `figures`, and `explore` subcommands; `scripts/ci.sh` runs `lint`,
-//! `smoke`, `storm --smoke`, and `explore --smoke` on every change.
+//! The `ftmpi-check` binary exposes them as `lint`, `smoke`, `storm`
+//! (with `--mine` for the miner), `figures`, and `explore` subcommands;
+//! `scripts/ci.sh` runs `lint`, `smoke`, `storm --smoke`,
+//! `storm --mine --smoke`, and `explore --smoke` on every change.
 
 #![warn(missing_docs)]
 
@@ -36,6 +42,7 @@ pub mod fingerprint;
 pub mod hb;
 pub mod invariants;
 pub mod lint;
+pub mod miner;
 pub mod perturb;
 pub mod proto;
 pub mod storm;
@@ -51,6 +58,10 @@ pub use hb::{
 };
 pub use invariants::{check_trace, CheckReport, Violation};
 pub use lint::{lane_audit_sources, lint_source, run_lint, LintHit};
+pub use miner::{
+    classify, coverage_key, encode_artifact, mine, parse_mined_artifact, CoverageKey, Gene, Genome,
+    MineOptions, MineReport, MinedViolation, OutcomeClass,
+};
 pub use perturb::{perturbation_check, PerturbReport};
 pub use storm::{run_storm, run_storm_traced, storm_campaign, StormOutcome};
 pub use suite::{

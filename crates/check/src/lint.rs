@@ -73,6 +73,8 @@ pub const ENV_TOGGLES: &[&str] = &[
     "FTMPI_NO_CACHE",
     "FTMPI_THREAD_CAP",
     "FTMPI_DEBUG",
+    "FTMPI_MINE_BUDGET",
+    "FTMPI_NO_MINE",
 ];
 
 /// Files audited by the `sim-audit` rule.

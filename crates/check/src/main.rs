@@ -15,6 +15,13 @@
 //!   windows, every run re-checked against the trace invariants. `--smoke`
 //!   runs the reduced CI seed set (the deterministic partition and
 //!   node-kill families run in both modes).
+//! * `storm --mine [--smoke]` — the coverage-guided failure-storm miner:
+//!   seeded mutation over fault schedules (kills, directed partitions,
+//!   server-group cuts, link flaps), keeping a corpus of schedules that
+//!   light new coverage states under `results/storm/` and shrinking any
+//!   violation to a minimal reproducer. Emits `BENCH_storm.json`.
+//!   `FTMPI_MINE_BUDGET` overrides the mutation budget; `FTMPI_NO_MINE`
+//!   skips the pass. `storm --replay FILE` re-runs a mined reproducer.
 //! * `figures [--full]` — drive every figure workload family through the
 //!   checker with churn variants. `--full` uses the paper-sized classes.
 //! * `explore [--smoke] [--replay FILE]` — exhaustively enumerate the
@@ -30,9 +37,9 @@ use std::process::ExitCode;
 
 use ftmpi_bench::json::{to_string_pretty, JsonObject, JsonValue};
 use ftmpi_check::{
-    differential, explore, explore_configs, figure_smoke_probes, figures_suite, parse_artifact,
-    perturbation_check, replay, run_checked_with_churn, run_lint, smoke_probes, storm_campaign,
-    ExploreOptions, ExploreOutcome, ProbeOutcome,
+    differential, encode_artifact, explore, explore_configs, figure_smoke_probes, figures_suite,
+    mine, parse_artifact, perturbation_check, replay, run_checked_with_churn, run_lint,
+    smoke_probes, storm_campaign, ExploreOptions, ExploreOutcome, MineOptions, ProbeOutcome,
 };
 
 fn workspace_root() -> PathBuf {
@@ -210,6 +217,115 @@ fn cmd_storm(smoke: bool) -> ExitCode {
     } else {
         println!("storm: ok ({ran} runs)");
         ExitCode::SUCCESS
+    }
+}
+
+fn mine_record(report: &ftmpi_check::MineReport) -> Vec<JsonObject> {
+    // No wall-clock fields: two invocations with the same seed and budget
+    // must produce a byte-identical file (CI diffs it across backends).
+    vec![vec![
+        ("runs", JsonValue::UInt(report.runs)),
+        ("discarded", JsonValue::UInt(report.discarded)),
+        (
+            "coverage_states",
+            JsonValue::UInt(report.coverage.len() as u64),
+        ),
+        ("corpus", JsonValue::UInt(report.corpus.len() as u64)),
+        (
+            "violations",
+            JsonValue::UInt(report.violations.len() as u64),
+        ),
+    ]]
+}
+
+fn cmd_mine(smoke: bool) -> ExitCode {
+    // CI off-switch: skip the mining pass entirely under FTMPI_NO_MINE.
+    if std::env::var_os("FTMPI_NO_MINE").is_some() {
+        println!("mine: skipped (FTMPI_NO_MINE)");
+        return ExitCode::SUCCESS;
+    }
+    // Mutation budget per protocol; FTMPI_MINE_BUDGET overrides.
+    let rounds = std::env::var("FTMPI_MINE_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 12 } else { 96 });
+    let report = mine(MineOptions {
+        rounds,
+        seed: 0xf17a,
+    });
+    let root = workspace_root();
+    let dir = root.join("results").join("storm");
+    let mut failed = false;
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("mine: could not create {}: {e}", dir.display());
+        failed = true;
+    }
+    let mut corpus_text = String::from("# ftmpi-check storm miner corpus\n");
+    for (g, class) in &report.corpus {
+        println!("mine.corpus {:16} {}", class.as_str(), g.encode());
+        corpus_text.push_str(&g.encode());
+        corpus_text.push_str(&format!(" kind={}\n", class.as_str()));
+    }
+    let corpus_path = dir.join("corpus.txt");
+    if let Err(e) = std::fs::write(&corpus_path, corpus_text) {
+        eprintln!("mine: could not write {}: {e}", corpus_path.display());
+        failed = true;
+    }
+    for (i, v) in report.violations.iter().enumerate() {
+        let path = dir.join(format!("mine-{}-{i}.repro", v.class.as_str()));
+        println!(
+            "mine.violation {}: {} ({})",
+            v.class.as_str(),
+            v.genome.encode(),
+            v.detail
+        );
+        if let Err(e) = std::fs::write(&path, encode_artifact(v)) {
+            eprintln!("mine: could not write {}: {e}", path.display());
+        } else {
+            println!("    reproducer: {}", path.display());
+        }
+        failed = true;
+    }
+    let bench_path = root.join("BENCH_storm.json");
+    let json = to_string_pretty(&mine_record(&report)) + "\n";
+    if let Err(e) = std::fs::write(&bench_path, json) {
+        eprintln!("mine: could not write {}: {e}", bench_path.display());
+        failed = true;
+    } else {
+        println!("wrote {}", bench_path.display());
+    }
+    println!(
+        "mine: {} runs ({} mutants discarded), {} coverage states, corpus {}, {} violation(s)",
+        report.runs,
+        report.discarded,
+        report.coverage.len(),
+        report.corpus.len(),
+        report.violations.len()
+    );
+    if failed {
+        eprintln!("mine: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("mine: ok");
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_mine_replay(path: &str) -> ExitCode {
+    match ftmpi_check::miner::replay(std::path::Path::new(path)) {
+        Ok((class, reproduces)) => {
+            if reproduces {
+                println!("replay {path}: still reproduces ({})", class.as_str());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("replay {path}: outcome changed (now {})", class.as_str());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("replay: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -430,7 +546,21 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(),
         Some("smoke") => cmd_smoke(),
-        Some("storm") => cmd_storm(args.iter().any(|a| a == "--smoke")),
+        Some("storm") => {
+            if let Some(at) = args.iter().position(|a| a == "--replay") {
+                match args.get(at + 1) {
+                    Some(path) => cmd_mine_replay(path),
+                    None => {
+                        eprintln!("usage: ftmpi-check storm --replay FILE");
+                        ExitCode::FAILURE
+                    }
+                }
+            } else if args.iter().any(|a| a == "--mine") {
+                cmd_mine(args.iter().any(|a| a == "--smoke"))
+            } else {
+                cmd_storm(args.iter().any(|a| a == "--smoke"))
+            }
+        }
         Some("figures") => cmd_figures(args.iter().any(|a| a == "--full")),
         Some("explore") => {
             if let Some(at) = args.iter().position(|a| a == "--replay") {
@@ -447,8 +577,8 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: ftmpi-check <lint|smoke|storm [--smoke]|figures [--full]|\
-                 explore [--smoke] [--replay FILE]>"
+                "usage: ftmpi-check <lint|smoke|storm [--mine] [--smoke] [--replay FILE]|\
+                 figures [--full]|explore [--smoke] [--replay FILE]>"
             );
             ExitCode::FAILURE
         }

@@ -35,7 +35,7 @@
 //! run of the same workload.
 
 use ftmpi_core::{run_job_with, FailurePlan, JobSpec, ProtocolChoice, RunOptions};
-use ftmpi_net::{NetFaultPlan, NodeId};
+use ftmpi_net::{CutDirection, LinkFlapSpec, NetFaultPlan, NodeId};
 use ftmpi_sim::{ProtoEvent, SimDuration, SimTime, TraceEvent, TraceKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,6 +65,14 @@ pub struct StormOutcome {
     pub link_retries: u64,
     /// Partition watchdog firings suppressed because the cut healed first.
     pub partitions_suppressed: u64,
+    /// Partition watchdog grace windows that expired with the cut active.
+    pub partitions_expired: u64,
+    /// Bounded retry ladders that ran out (pushes rerouted, replica walks).
+    pub retries_exhausted: u64,
+    /// Deepest replica index a restore fetch had to walk to.
+    pub replica_depth_max: u64,
+    /// Image pushes re-aimed at another server after retry exhaustion.
+    pub images_rerouted: u64,
     /// Images fetched back from servers during restores.
     pub images_refetched: u64,
     /// The invariant-checker verdict (`None` when the run itself failed).
@@ -89,14 +97,14 @@ impl StormOutcome {
 
 /// Wave windows and completion time measured from a clean (failure-free)
 /// run, used to aim storms at the protocol's fragile windows.
-struct CleanProfile {
+pub(crate) struct CleanProfile {
     /// Completion time of the clean run, ns.
-    end_ns: u64,
+    pub(crate) end_ns: u64,
     /// `(start_ns, commit_ns)` of every committed wave, in commit order.
-    waves: Vec<(u64, u64)>,
+    pub(crate) waves: Vec<(u64, u64)>,
 }
 
-fn profile(spec: JobSpec) -> Result<CleanProfile, String> {
+pub(crate) fn profile(spec: JobSpec) -> Result<CleanProfile, String> {
     let (res, trace) = run_job_with(
         spec,
         RunOptions {
@@ -129,7 +137,7 @@ fn profile(spec: JobSpec) -> Result<CleanProfile, String> {
 
 /// The storm workload: the smoke ring at 8 ranks over two servers, long
 /// enough for several waves, short enough to run dozens of variants.
-fn ring_spec(proto: ProtocolChoice) -> JobSpec {
+pub(crate) fn ring_spec(proto: ProtocolChoice) -> JobSpec {
     let mut spec = JobSpec::new(
         8,
         proto,
@@ -193,6 +201,10 @@ pub fn run_storm_traced(name: &str, spec: JobSpec) -> (StormOutcome, Vec<TraceEv
                 orphan_images_end: res.ft.orphan_images_end,
                 link_retries: res.rt.link_retries,
                 partitions_suppressed: res.ft.partitions_suppressed,
+                partitions_expired: res.ft.partitions_expired,
+                retries_exhausted: res.ft.retries_exhausted,
+                replica_depth_max: res.ft.replica_depth_max,
+                images_rerouted: res.ft.images_rerouted,
                 images_refetched: res.ft.images_refetched,
                 report: Some(check_trace(protocol, nranks, &trace)),
                 failures: Vec::new(),
@@ -216,7 +228,7 @@ pub fn run_storm_traced(name: &str, spec: JobSpec) -> (StormOutcome, Vec<TraceEv
     }
 }
 
-fn profile_failure(name: &str, msg: String) -> StormOutcome {
+pub(crate) fn profile_failure(name: &str, msg: String) -> StormOutcome {
     StormOutcome {
         name: name.to_string(),
         waves: 0,
@@ -227,6 +239,10 @@ fn profile_failure(name: &str, msg: String) -> StormOutcome {
         orphan_images_end: 0,
         link_retries: 0,
         partitions_suppressed: 0,
+        partitions_expired: 0,
+        retries_exhausted: 0,
+        replica_depth_max: 0,
+        images_rerouted: 0,
         images_refetched: 0,
         report: None,
         failures: vec![msg],
@@ -665,6 +681,196 @@ fn node_kill_scenarios(proto: ProtocolChoice, out: &mut Vec<StormOutcome>) {
     }
 }
 
+/// Asymmetric-fault scenarios for one protocol: flapping push links,
+/// one-directional partitions, and server-group cuts. These exercise the
+/// directed reachability model end-to-end — transport must stall (not
+/// double-send) across half-open cuts, pushes must reroute or walk replicas
+/// when a server group goes dark, and the watchdog must classify every
+/// grace window as suppressed or expired.
+fn asymmetry_scenarios(proto: ProtocolChoice, out: &mut Vec<StormOutcome>) {
+    let tag = match proto {
+        ProtocolChoice::Pcl => "pcl",
+        _ => "vcl",
+    };
+    let base = ring_spec(proto);
+    let prof = match profile(base.clone()) {
+        Ok(p) => p,
+        Err(e) => {
+            out.push(profile_failure(&format!("storm.asym.profile.{tag}"), e));
+            return;
+        }
+    };
+    if prof.waves.len() < 2 {
+        out.push(profile_failure(
+            &format!("storm.asym.profile.{tag}"),
+            format!("clean run committed only {} wave(s)", prof.waves.len()),
+        ));
+        return;
+    }
+    let (w0s, _) = prof.waves[0];
+    let (_, w1c) = prof.waves[1];
+
+    // Flapping push link: rank 0's image path (node 0 → server node 8)
+    // alternates seeded up/down intervals across the first two waves. The
+    // retry ladder must ride every down interval out — no restart, no
+    // unbounded spinning, and checkpointing still makes progress.
+    let mut spec = base.clone();
+    spec.net_faults = NetFaultPlan::none().with_link_flap(LinkFlapSpec {
+        from: NodeId(0),
+        to: NodeId(8),
+        start: SimTime::from_nanos(w0s.saturating_sub(500_000_000)),
+        end: SimTime::from_nanos(w1c + 2_000_000_000),
+        mttf: SimDuration::from_secs(2),
+        mttr: SimDuration::from_millis(300),
+        seed: 11,
+    });
+    let mut o = run_storm(&format!("storm.flap.push.{tag}"), spec);
+    let (restarts, retries, waves) = (o.restarts, o.link_retries, o.waves);
+    o.expect(
+        restarts == 0,
+        format!("a flapping push link must not kill anyone (got {restarts} restarts)"),
+    );
+    o.expect(
+        retries <= RETRY_BOUND,
+        format!("{retries} link retries across a flap window — retry loop unbounded?"),
+    );
+    o.expect(
+        waves >= 1,
+        "checkpointing must make progress through the flap window".to_string(),
+    );
+    out.push(o);
+
+    // Outbound-only cut of rank 0's node, healing inside the grace window:
+    // data still reaches node 0 but nothing (pushes, acks) gets out — at
+    // the wave controller this is indistinguishable from a full cut, so
+    // the same false-positive suppression contract applies, and nothing
+    // may commit across the half-open window.
+    let cut = w0s - 1_000_000;
+    let heal = cut + 1_500_000_000;
+    let mut spec = base.clone();
+    spec.ft = spec.ft.with_partition_rollback_after_secs(3.0);
+    spec.net_faults = NetFaultPlan::none().with_partition_directed(
+        "storm-outbound",
+        vec![NodeId(0)],
+        CutDirection::Outbound,
+        SimTime::from_nanos(cut),
+        Some(SimTime::from_nanos(heal)),
+    );
+    let (mut o, trace) = run_storm_traced(&format!("storm.partition.outbound.{tag}"), spec);
+    let (restarts, aborted, suppressed) = (o.restarts, o.waves_aborted, o.partitions_suppressed);
+    o.expect(
+        restarts == 0,
+        format!(
+            "a half-open cut healing inside the grace must not restart anyone (got {restarts})"
+        ),
+    );
+    o.expect(
+        aborted == 0,
+        format!("a half-open cut healing inside the grace must not abort a wave (got {aborted})"),
+    );
+    o.expect(
+        suppressed == 1,
+        format!("the watchdog must suppress exactly one half-open cut (got {suppressed})"),
+    );
+    let retries = o.link_retries;
+    o.expect(
+        retries >= 1,
+        "the stalled outbound traffic must show link retries".to_string(),
+    );
+    o.expect(
+        retries <= RETRY_BOUND,
+        format!("{retries} link retries for a 1.5 s half-open cut — retry loop unbounded?"),
+    );
+    let crossing = commits_within(&trace, cut, heal);
+    o.expect(
+        crossing.is_empty(),
+        format!("wave(s) {crossing:?} committed across the half-open cut"),
+    );
+    out.push(o);
+
+    // Server-group partition, single replica: checkpoint server 0 goes
+    // dark behind a cut while the ranks and dispatcher stay connected. The
+    // watchdog's grace expires without victims (no rank is cut off), and
+    // every push aimed at the dark server must exhaust its ladder and
+    // reroute to the surviving server — checkpointing continues.
+    let cut = w0s.saturating_sub(200_000_000);
+    let mut spec = base.clone();
+    spec.ft = spec.ft.with_partition_rollback_after_secs(1.5);
+    spec.net_faults = NetFaultPlan::none().with_server_partition(
+        "storm-server-dark",
+        vec![0],
+        CutDirection::Both,
+        SimTime::from_nanos(cut),
+        Some(SimTime::from_nanos(cut + 8_000_000_000)),
+    );
+    let mut o = run_storm(&format!("storm.serverpart.reroute.{tag}"), spec);
+    let (restarts, expired, exhausted, rerouted, waves) = (
+        o.restarts,
+        o.partitions_expired,
+        o.retries_exhausted,
+        o.images_rerouted,
+        o.waves,
+    );
+    o.expect(
+        restarts == 0,
+        format!("a server-only cut must not restart any rank (got {restarts})"),
+    );
+    o.expect(
+        expired == 1,
+        format!("the grace window must expire exactly once, without victims (got {expired})"),
+    );
+    o.expect(
+        exhausted >= 1,
+        "pushes at the dark server must exhaust their retry ladder".to_string(),
+    );
+    o.expect(
+        rerouted >= 1,
+        "pushes must reroute to the surviving server".to_string(),
+    );
+    o.expect(
+        waves >= 1,
+        "checkpointing must continue on the surviving server".to_string(),
+    );
+    out.push(o);
+
+    // Server-group partition plus a rank kill: rank 0's primary server is
+    // dark when its restore fetch fires, so the probe chain must exhaust
+    // the primary's ladder and walk to the replica copy on the surviving
+    // server (replica depth 1) instead of waiting out the cut.
+    let kill = w1c + 300_000_000;
+    let mut spec = base.clone();
+    spec.ft = spec.ft.with_replicas(2);
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(kill), 0);
+    spec.net_faults = NetFaultPlan::none().with_server_partition(
+        "storm-server-fetch",
+        vec![0],
+        CutDirection::Both,
+        SimTime::from_nanos(w1c + 100_000_000),
+        Some(SimTime::from_nanos(w1c + 20_000_000_000)),
+    );
+    let mut o = run_storm(&format!("storm.serverpart.fetch.{tag}"), spec);
+    let (restarts, depth, rdepth, exhausted) = (
+        o.restarts,
+        o.rollback_depth_max,
+        o.replica_depth_max,
+        o.retries_exhausted,
+    );
+    o.expect(restarts == 1, format!("expected 1 restart, got {restarts}"));
+    o.expect(
+        rdepth >= 1,
+        format!("the restore must walk to a replica copy (replica depth {rdepth})"),
+    );
+    o.expect(
+        exhausted >= 1,
+        "the dark primary's ladder must exhaust before the replica walk".to_string(),
+    );
+    o.expect(
+        depth == 0,
+        format!("the replica copy keeps the newest wave restorable (depth {depth})"),
+    );
+    out.push(o);
+}
+
 /// Build a seeded random failure schedule biased toward the measured wave
 /// windows (partial-image exposure) and recovery windows (nested restarts).
 fn random_plan(rng: &mut StdRng, prof: &CleanProfile, spec: &JobSpec) -> FailurePlan {
@@ -777,6 +983,7 @@ pub fn storm_campaign(smoke: bool) -> Vec<StormOutcome> {
     for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
         partition_scenarios(proto, &mut out);
         node_kill_scenarios(proto, &mut out);
+        asymmetry_scenarios(proto, &mut out);
     }
     stream_scenario(&mut out);
     for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {

@@ -119,25 +119,32 @@ pub fn smoke_probes() -> Vec<(String, JobSpec)> {
 
 /// The class-S figure workloads the smoke perturbation pass covers: the
 /// first entry of the bench crate's fast probe set (4-rank BT.S on the
-/// gigabit cluster under Pcl) plus the first Myrinet-stack entry, so both
-/// the shared-NIC cluster family and the daemon-stack Myrinet family (a
-/// different contention shape: software overheads dominate the wire) face
-/// the perturbation seeds. Kept out of [`smoke_probes`] so the
+/// gigabit cluster under Pcl) plus every protocol's first Myrinet-stack
+/// entry, so the shared-NIC cluster family and *both* daemon-stack
+/// Myrinet variants (Pcl rides raw TCP sockets, Vcl the logging daemon —
+/// different contention shapes: software overheads dominate the wire)
+/// face the perturbation seeds. Kept out of [`smoke_probes`] so the
 /// invariant+churn pass stays quick; the perturbation pass runs them with
 /// the same seeds as the synthetic probes so real figure schedules —
 /// skeleton replay, placement, server traffic — are exercised too.
 pub fn figure_smoke_probes() -> Vec<(String, JobSpec)> {
     let mut out: Vec<(String, JobSpec)> = Vec::new();
     for (name, spec) in ftmpi_bench::figure_probe_specs(true) {
+        let myri_proto = name
+            .contains(".myri.")
+            .then(|| name.rsplit('.').next().unwrap_or("").to_string());
         let want = out.is_empty()
-            || (name.contains(".myri.") && !out.iter().any(|(n, _)| n.contains(".myri.")));
+            || myri_proto.is_some_and(|p| {
+                !out.iter()
+                    .any(|(n, _)| n.contains(".myri.") && n.ends_with(&format!(".{p}")))
+            });
         if want {
             out.push((name, spec));
         }
     }
     assert!(
-        out.len() >= 2,
-        "bench fast probe set lost its Myrinet family"
+        out.iter().filter(|(n, _)| n.contains(".myri.")).count() >= 2,
+        "bench fast probe set lost a protocol's Myrinet family"
     );
     out
 }

@@ -216,7 +216,12 @@ fn advance_chunk(
     }
     let handle = w.rt.world_handle();
     let lane = Some(flow_lane(spec.dst));
-    if !w.rt.net.reachable(spec.src, spec.dst) {
+    // Bulk flows model a reliable stream: each chunk needs the data path
+    // *and* the acknowledgement path back. Under a one-directional cut the
+    // sender's window closes — data may physically arrive but nothing is
+    // committed, so the stream stalls exactly like a full cut and no chunk
+    // is double-sent when the cut heals.
+    if !w.rt.net.reachable(spec.src, spec.dst) || !w.rt.net.reachable(spec.dst, spec.src) {
         // Paused by a link fault or partition: nothing is dropped, the
         // stream just stalls. Probe again after a capped exponential
         // backoff — or surrender to `on_fail` once the budget is spent.

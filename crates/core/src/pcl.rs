@@ -575,13 +575,19 @@ impl Pcl {
                 rt.ranks[rank].op_drag = ftmpi_sim::SimDuration::ZERO;
                 return Fallback::Stale;
             }
+            pcl.stats.retries_exhausted += 1;
             let fleet = &pcl.server_nodes;
             let pos = fleet.iter().position(|n| *n == spec.dst).unwrap_or(0);
+            // A candidate must be reachable round-trip: the push streams
+            // source → server, the store acknowledgement comes back.
+            // Rerouting across a half-open cut would commit an image the
+            // wave controller can never hear about.
             let replacement = (1..fleet.len())
                 .map(|i| fleet[(pos + i) % fleet.len()])
                 .find(|&cand| {
                     !pcl.store.server_failed(cand)
                         && rt.net.reachable(spec.src, cand)
+                        && rt.net.reachable(cand, spec.src)
                         && !pcl.store.server_holds(wave, rank, cand)
                 });
             match replacement {

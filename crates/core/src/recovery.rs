@@ -449,7 +449,14 @@ pub fn fail_and_restart_many(
         let ready: Option<SimTime> = match (&wave, &restore) {
             (Some(_), Some(data)) => {
                 if from_server {
-                    if w.rt.net.reachable(data.image_source[r], node) {
+                    // A fetch is a round trip: the request must reach the
+                    // server and the image must come back. A half-open cut
+                    // in either direction blocks it — fetching across one
+                    // would commit a restore whose acknowledgement path is
+                    // dead.
+                    if w.rt.net.reachable(data.image_source[r], node)
+                        && w.rt.net.reachable(node, data.image_source[r])
+                    {
                         Some(
                             w.rt.net
                                 .transfer(data.image_source[r], node, ft.image_bytes, base)
@@ -646,7 +653,13 @@ fn schedule_fetch_probe(sc: &SimCtx, p: FetchProbe, at: SimTime) {
             join,
         } = p;
         let source = fetch.sources.get(src_idx).copied();
-        let reachable = source.is_some_and(|s| w.rt.net.reachable(s, fetch.node));
+        // Round-trip reachability: the fetch request goes rank → server,
+        // the image comes back server → rank. A one-directional cut on
+        // either leg keeps the fetch blocked (no double-fetch across a
+        // half-open partition).
+        let reachable = source.is_some_and(|s| {
+            w.rt.net.reachable(s, fetch.node) && w.rt.net.reachable(fetch.node, s)
+        });
         if !reachable {
             w.rt.stats.link_retries += 1;
             // The backoff ladder restarts per replica: delay(0), delay(1),
@@ -654,6 +667,9 @@ fn schedule_fetch_probe(sc: &SimCtx, p: FetchProbe, at: SimTime) {
             let delay = ft.link_retry_delay(attempt);
             attempt += 1;
             if source.is_none() || attempt >= ft.link_retry_limit.max(1) {
+                if source.is_some() {
+                    with_ft_stats(&mut w, kind, |s| s.retries_exhausted += 1);
+                }
                 src_idx += 1;
                 attempt = 0;
             }
@@ -685,7 +701,10 @@ fn schedule_fetch_probe(sc: &SimCtx, p: FetchProbe, at: SimTime) {
         }
         let source = source.expect("reachable implies a source");
         if src_idx > 0 {
-            with_ft_stats(&mut w, kind, |s| s.images_rerouted += 1);
+            with_ft_stats(&mut w, kind, |s| {
+                s.images_rerouted += 1;
+                s.replica_depth_max = s.replica_depth_max.max(src_idx as u64);
+            });
         }
         let ready =
             w.rt.net
@@ -753,13 +772,20 @@ fn with_ft_stats(w: &mut World, kind: ProtocolChoice, f: impl FnOnce(&mut FtStat
 ///   (`FtStats::partitions_suppressed` counts the non-event);
 /// * a restart happened in between (epoch guard) → that recovery's probe
 ///   chains already own the fault; the watchdog stands down;
-/// * partition still active → every rank cut off from the service node is
-///   declared failed and the job restarts once, correlated
-///   ([`fail_and_restart_many`]).
+/// * partition still active → the grace window *expired*
+///   (`FtStats::partitions_expired`): every rank cut off from the service
+///   node is declared failed and the job restarts once, correlated
+///   ([`fail_and_restart_many`]). A cut that isolates only servers (no
+///   ranks on the far side) expires without victims — the watchdog stands
+///   down and the stalled pushes keep walking their retry ladders.
 ///
 /// Without a grace window the cut is applied but never escalates: flows
 /// and heartbeats stall until the partition heals. `Mlog` does not use the
 /// dispatcher heartbeat model, so the watchdog is skipped.
+///
+/// Directed cuts arm the same watchdog: a half-open partition stalls one
+/// direction of the heartbeat round-trip, which is indistinguishable from
+/// a full cut at the dispatcher.
 #[allow(clippy::too_many_arguments)] // a scheduling entry point, not a recursion
 pub fn partition_cut(
     sc: &SimCtx,
@@ -769,11 +795,13 @@ pub fn partition_cut(
     ft: &FtConfig,
     name: &str,
     nodes: &[NodeId],
+    direction: ftmpi_net::CutDirection,
     service_node: NodeId,
 ) {
     let (handle, epoch) = {
         let mut w = world.lock();
-        w.rt.net.start_partition(name, nodes.iter().copied());
+        w.rt.net
+            .start_partition_directed(name, nodes.iter().copied(), direction);
         (w.rt.world_handle(), w.rt.epoch)
     };
     let Some(grace) = ft.partition_rollback_after else {
@@ -802,6 +830,7 @@ pub fn partition_cut(
                 with_ft_stats(&mut w, kind, |s| s.partitions_suppressed += 1);
                 return;
             }
+            with_ft_stats(&mut w, kind, |s| s.partitions_expired += 1);
             let service_cut = nodes.contains(&service_node);
             (0..w.rt.size())
                 .filter(|&r| nodes.contains(&w.rt.placement.node_of(r)) != service_cut)

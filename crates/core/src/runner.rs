@@ -160,6 +160,9 @@ impl JobResult {
         line("ft.orphan_images_end", self.ft.orphan_images_end);
         line("ft.images_rerouted", self.ft.images_rerouted);
         line("ft.partitions_suppressed", self.ft.partitions_suppressed);
+        line("ft.partitions_expired", self.ft.partitions_expired);
+        line("ft.retries_exhausted", self.ft.retries_exhausted);
+        line("ft.replica_depth_max", self.ft.replica_depth_max);
         line("rt.msgs_sent", self.rt.msgs_sent);
         line("rt.bytes_sent", self.rt.bytes_sent);
         line("rt.msgs_delivered", self.rt.msgs_delivered);
@@ -266,6 +269,9 @@ impl JobResult {
                 orphan_images_end: take("ft.orphan_images_end")?,
                 images_rerouted: take("ft.images_rerouted")?,
                 partitions_suppressed: take("ft.partitions_suppressed")?,
+                partitions_expired: take("ft.partitions_expired")?,
+                retries_exhausted: take("ft.retries_exhausted")?,
+                replica_depth_max: take("ft.replica_depth_max")?,
             },
             rt: RuntimeStats {
                 msgs_sent: take("rt.msgs_sent")?,
@@ -310,6 +316,9 @@ pub enum JobError {
         /// One line per rank: status, ops completed, blocked flag.
         ranks: Vec<String>,
     },
+    /// The job's network-fault plan is structurally invalid (see
+    /// [`ftmpi_net::FaultPlanError`]); nothing was scheduled.
+    FaultPlan(ftmpi_net::FaultPlanError),
 }
 
 impl std::fmt::Display for JobError {
@@ -325,6 +334,7 @@ impl std::fmt::Display for JobError {
             JobError::Incomplete { ranks } => {
                 write!(f, "job did not complete; ranks: {}", ranks.join("; "))
             }
+            JobError::FaultPlan(e) => write!(f, "invalid fault plan: {e}"),
         }
     }
 }
@@ -548,9 +558,14 @@ pub fn run_job_explored(
 
     // Network-fault schedule. Every transition runs as a `LinkFault` event
     // on its own fault lane — the lane audit proves none is laneless, and a
-    // perturbation seed cannot reorder a transition against itself.
+    // perturbation seed cannot reorder a transition against itself. The
+    // plan is validated up front (and flaps expanded): a structurally
+    // broken schedule is a spec bug, not a silent last-writer-wins run.
+    if !spec.net_faults.is_empty() {
+        spec.net_faults.validate().map_err(JobError::FaultPlan)?;
+    }
     let mut fault_idx = 0u64;
-    for ev in spec.net_faults.link_events.clone() {
+    for ev in spec.net_faults.expanded_link_events() {
         let w2 = Arc::clone(&world);
         sim.schedule_link_fault(ev.at, fault_lane(fault_idx), move |_sc| {
             let mut w = w2.lock();
@@ -563,14 +578,52 @@ pub fn run_job_explored(
         fault_idx += 1;
     }
     let service_node = dep.service_node;
-    for p in spec.net_faults.partitions.clone() {
+    // Server-group partitions resolve their fleet indices to nodes now that
+    // placement is known, then schedule exactly like node-set partitions.
+    let mut partitions = spec.net_faults.partitions.clone();
+    for sp in &spec.net_faults.server_partitions {
+        let mut nodes = Vec::with_capacity(sp.servers.len());
+        for &idx in &sp.servers {
+            match dep.server_nodes.get(idx) {
+                Some(&n) => nodes.push(n),
+                None => {
+                    return Err(JobError::FaultPlan(
+                        ftmpi_net::FaultPlanError::BadServerIndex {
+                            name: sp.name.clone(),
+                            index: idx,
+                            fleet: dep.server_nodes.len(),
+                        },
+                    ))
+                }
+            }
+        }
+        partitions.push(ftmpi_net::PartitionSpec {
+            name: sp.name.clone(),
+            nodes,
+            direction: sp.direction,
+            start: sp.start,
+            heal: sp.heal,
+        });
+    }
+    for p in partitions {
         let w2 = Arc::clone(&world);
         let app = Arc::clone(&spec.app);
         let ft = spec.ft.clone();
         let name = p.name.clone();
         let nodes = p.nodes.clone();
+        let direction = p.direction;
         sim.schedule_link_fault(p.start, fault_lane(fault_idx), move |sc| {
-            partition_cut(sc, &w2, &app, protocol, &ft, &name, &nodes, service_node);
+            partition_cut(
+                sc,
+                &w2,
+                &app,
+                protocol,
+                &ft,
+                &name,
+                &nodes,
+                direction,
+                service_node,
+            );
         });
         fault_idx += 1;
         if let Some(heal) = p.heal {
@@ -673,6 +726,9 @@ mod tests {
                 orphan_images_end: 0,
                 images_rerouted: 1,
                 partitions_suppressed: 3,
+                partitions_expired: 1,
+                retries_exhausted: 4,
+                replica_depth_max: 2,
             },
             rt: RuntimeStats {
                 msgs_sent: 1000,

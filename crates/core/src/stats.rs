@@ -67,6 +67,18 @@ pub struct FtStats {
     /// before [`partition_rollback_after`](crate::FtConfig::partition_rollback_after)
     /// expired (false positives the detection-delay epoch guard absorbed).
     pub partitions_suppressed: u64,
+    /// Partition watchdog grace windows that *expired*: the cut outlived
+    /// [`partition_rollback_after`](crate::FtConfig::partition_rollback_after)
+    /// and the ranks across it were declared failed.
+    pub partitions_expired: u64,
+    /// Retry ladders that ran out: image pushes or restore fetches that
+    /// exhausted their bounded per-target retry budget and had to reroute,
+    /// walk to another replica, or give up.
+    pub retries_exhausted: u64,
+    /// Deepest replica walked during restore fetches (0 = every image came
+    /// from its primary server; 1 = some fetch fell back to the first
+    /// replica copy, and so on).
+    pub replica_depth_max: u64,
 }
 
 impl FtStats {

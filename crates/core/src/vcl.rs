@@ -461,13 +461,17 @@ impl Vcl {
             if !current {
                 return Fallback::Stale; // the wave died while we backed off
             }
+            vcl.stats.retries_exhausted += 1;
             let fleet = &vcl.server_nodes;
             let pos = fleet.iter().position(|n| *n == spec.dst).unwrap_or(0);
+            // Round-trip reachability, as in Pcl: never reroute an image
+            // push across a half-open cut whose ack path is dead.
             let replacement = (1..fleet.len())
                 .map(|i| fleet[(pos + i) % fleet.len()])
                 .find(|&cand| {
                     !vcl.store.server_failed(cand)
                         && rt.net.reachable(spec.src, cand)
+                        && rt.net.reachable(cand, spec.src)
                         && !vcl.store.server_holds(wave, r, cand)
                 });
             match replacement {

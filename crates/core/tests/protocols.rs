@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use ftmpi_core::{run_job, FailurePlan, FtConfig, JobError, JobResult, JobSpec, ProtocolChoice};
 use ftmpi_mpi::{app_fn, AppFn};
-use ftmpi_net::{NetFaultPlan, NodeId, SoftwareStack};
+use ftmpi_net::{CutDirection, LinkFlapSpec, NetFaultPlan, NodeId, SoftwareStack};
 use ftmpi_sim::{SimDuration, SimTime};
 
 /// Ring workload: each iteration sends `bytes` to the right neighbour,
@@ -743,4 +743,146 @@ fn server_loss_with_replicas_restores_from_survivor() {
     );
     assert!(res.ft.images_refetched >= 1);
     assert_clean(&res);
+}
+
+#[test]
+fn flap_period_shorter_than_the_retry_ladder_base_still_converges() {
+    // Degenerate timing: the push link flaps with a full up/down period of
+    // ~25 ms — half the 50 ms retry-ladder base — so a paused chunk's
+    // retry probe lands a whole flap period (or more) later and samples an
+    // essentially independent link state. The ladder must neither lock
+    // onto the flap phase (livelock) nor surrender spuriously: nobody
+    // restarts, retries stay bounded, and waves keep committing.
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        let base = FtConfig::default().link_retry_base;
+        let app = ring_app(100, 10_000, SimDuration::from_millis(200));
+        let mut spec = base_spec(6, proto, app);
+        spec.net_faults = NetFaultPlan::none().with_link_flap(LinkFlapSpec {
+            from: NodeId(0),
+            to: NodeId(6), // rank 0's push path to server 0
+            start: SimTime::from_nanos(1_500_000_000),
+            end: SimTime::from_nanos(9_000_000_000),
+            mttf: SimDuration::from_nanos(base.as_nanos() / 4),
+            mttr: SimDuration::from_nanos(base.as_nanos() / 4),
+            seed: 23,
+        });
+        let res = run(spec);
+        assert_eq!(
+            res.rt.restarts, 0,
+            "{proto:?}: a flapping push link must not kill anyone"
+        );
+        assert!(
+            res.rt.link_retries >= 1,
+            "{proto:?}: a sub-period flap across two waves must stall at least one chunk"
+        );
+        assert!(
+            res.rt.link_retries <= 2_000,
+            "{proto:?}: {} retries across a 7.5 s flap window — phase-locked livelock?",
+            res.rt.link_retries
+        );
+        assert!(
+            res.waves() >= 1,
+            "{proto:?}: checkpointing must make progress through the flap"
+        );
+        assert_clean(&res);
+    }
+}
+
+#[test]
+fn directed_heal_exactly_at_the_retry_deadline_lands_the_probe() {
+    // Degenerate timing, asymmetric edition: the victim's restore fetch is
+    // blocked by an *outbound-only* cut (requests can't leave the node;
+    // inbound delivery is fine) that heals in the same nanosecond as a
+    // scheduled retry probe. Fetches need the round trip, so a half-open
+    // cut must cost exactly the same probe schedule as a full cut: the
+    // tie-winning heal lands the +3·base probe, one nanosecond later costs
+    // one more rung.
+    let kill = 9_000_000_000u64; // quiet zone: two waves committed by 9 s
+    let ft = FtConfig::default();
+    let first_probe = kill + ft.restart_delay.as_nanos();
+    let deadline = first_probe + 3 * ft.link_retry_base.as_nanos();
+    for (heal, want_retries) in [(deadline, 2), (deadline + 1, 3)] {
+        let app = ring_app(100, 10_000, SimDuration::from_millis(200));
+        let mut spec = base_spec(6, ProtocolChoice::Vcl, app);
+        spec.failures = FailurePlan::kill_at(SimTime::from_nanos(kill), 1);
+        spec.net_faults = NetFaultPlan::none().with_partition_directed(
+            "fetch-window-outbound",
+            vec![NodeId(1)],
+            CutDirection::Outbound,
+            SimTime::from_nanos(kill - 100_000_000),
+            Some(SimTime::from_nanos(heal)),
+        );
+        let res = run(spec);
+        assert_eq!(res.rt.restarts, 1);
+        assert_eq!(
+            res.rt.link_retries,
+            want_retries,
+            "outbound-only heal at first_probe+{} ns must cost exactly {want_retries} probe \
+             retries, same as a symmetric cut",
+            heal - first_probe
+        );
+        assert_eq!(res.ft.images_refetched, 1, "one victim, one fetch");
+        assert_clean(&res);
+    }
+}
+
+#[test]
+fn server_partition_coinciding_with_midwave_kill_walks_to_the_replica() {
+    // Degenerate composition: a rank dies mid-wave while a never-healing
+    // partition isolates its primary checkpoint server. The tie matters:
+    // at exact coincidence the restart's detection-time reachability check
+    // samples the pre-cut state and the restore fetches synchronously from
+    // the primary (no walk); start the cut one nanosecond earlier and the
+    // fetch blocks, so the probe ladder must exhaust on the dark primary
+    // and walk to the replica copy on the surviving server. Either way the
+    // newest wave stays restorable and nobody waits for a heal that never
+    // comes.
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        let t = 7_200_000_000u64; // inside the second wave (period 5 s)
+        for (cut, want_walk) in [(t, false), (t - 1, true)] {
+            let app = ring_app(100, 10_000, SimDuration::from_millis(200));
+            let mut spec = base_spec(6, proto, app);
+            spec.ft = spec.ft.with_replicas(2);
+            spec.failures = FailurePlan::kill_at(SimTime::from_nanos(t), 0);
+            spec.net_faults = NetFaultPlan::none().with_server_partition(
+                "primary-dark",
+                vec![0],
+                CutDirection::Both,
+                SimTime::from_nanos(cut),
+                None,
+            );
+            spec.max_virtual_time = Some(SimTime::from_nanos(300_000_000_000));
+            let res = run(spec);
+            assert_eq!(res.rt.restarts, 1, "{proto:?} cut@{cut}");
+            if want_walk {
+                assert!(
+                    res.ft.replica_depth_max >= 1,
+                    "{proto:?}: a cut 1 ns ahead of the kill must force the replica walk"
+                );
+                assert!(
+                    res.ft.images_rerouted >= 1,
+                    "{proto:?}: the walked fetch counts as a reroute"
+                );
+            } else {
+                assert_eq!(
+                    res.ft.replica_depth_max, 0,
+                    "{proto:?}: at exact coincidence the pre-cut fetch wins the tie"
+                );
+            }
+            assert!(
+                res.ft.retries_exhausted >= 1,
+                "{proto:?} cut@{cut}: pushes at the dark primary must exhaust a ladder"
+            );
+            assert!(
+                res.ft.waves_aborted >= 1,
+                "{proto:?} cut@{cut}: with both replicas required, waves behind the cut abort"
+            );
+            assert_eq!(
+                res.ft.rollback_depth_max, 0,
+                "{proto:?} cut@{cut}: the newest committed wave stays restorable"
+            );
+            assert!(res.ft.images_refetched >= 1, "{proto:?} cut@{cut}");
+            assert_clean(&res);
+        }
+    }
 }

@@ -35,7 +35,8 @@ mod topology;
 
 pub use config::{LinkConfig, SoftwareStack, StackProfile, WanConfig};
 pub use fault::{
-    fault_lane, LinkFaultEvent, LinkFaultKind, NetFaultPlan, PartitionSpec, FAULT_LANE_BASE,
+    fault_lane, CutDirection, FaultPlanError, LinkFaultEvent, LinkFaultKind, LinkFlapSpec,
+    NetFaultPlan, PartitionSpec, ServerPartitionSpec, FAULT_LANE_BASE,
 };
 pub use model::{Delivery, NetModel, PathKind, SMALL_BYPASS_BYTES};
 pub use resource::Resource;

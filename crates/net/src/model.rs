@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use ftmpi_sim::{SimDuration, SimTime};
 
+use crate::fault::CutDirection;
 use crate::resource::Resource;
 use crate::topology::{NodeId, Topology};
 
@@ -66,8 +67,9 @@ pub struct NetModel {
     link_down: BTreeSet<(NodeId, NodeId)>,
     /// Directed links currently degraded to `1/factor` bandwidth.
     degraded: BTreeMap<(NodeId, NodeId), f64>,
-    /// Active partitions by name: each set is cut off from its complement.
-    partitions: BTreeMap<String, BTreeSet<NodeId>>,
+    /// Active partitions by name: each set is cut off from its complement
+    /// in the recorded direction(s).
+    partitions: BTreeMap<String, (CutDirection, BTreeSet<NodeId>)>,
 }
 
 impl NetModel {
@@ -135,8 +137,20 @@ impl NetModel {
         name: impl Into<String>,
         nodes: impl IntoIterator<Item = NodeId>,
     ) {
+        self.start_partition_directed(name, nodes, CutDirection::Both);
+    }
+
+    /// Activate the named partition cutting only the given direction of
+    /// boundary-crossing traffic (relative to `nodes`). Re-activating an
+    /// active name replaces its node set and direction.
+    pub fn start_partition_directed(
+        &mut self,
+        name: impl Into<String>,
+        nodes: impl IntoIterator<Item = NodeId>,
+        direction: CutDirection,
+    ) {
         self.partitions
-            .insert(name.into(), nodes.into_iter().collect());
+            .insert(name.into(), (direction, nodes.into_iter().collect()));
     }
 
     /// Heal the named partition. Healing an unknown name is a no-op (the
@@ -157,9 +171,13 @@ impl NetModel {
     }
 
     /// Whether a message from `src` can currently reach `dst`: true unless
-    /// the directed link is down or an active partition separates the two
-    /// endpoints. Loopback (`src == dst`) is always reachable — a node can
-    /// always talk to itself.
+    /// the directed link is down or an active partition cuts `src → dst`.
+    /// A `Both` partition separates the set from its complement entirely;
+    /// `Outbound` kills only messages leaving the set, `Inbound` only
+    /// messages entering it — the query is directional, so a half-open cut
+    /// can pass data one way while the acknowledgement path answers false.
+    /// Loopback (`src == dst`) is always reachable — a node can always
+    /// talk to itself.
     pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
         if src == dst {
             return true;
@@ -167,9 +185,16 @@ impl NetModel {
         if self.link_down.contains(&(src, dst)) {
             return false;
         }
-        self.partitions
-            .values()
-            .all(|set| set.contains(&src) == set.contains(&dst))
+        self.partitions.values().all(|(direction, set)| {
+            let (src_in, dst_in) = (set.contains(&src), set.contains(&dst));
+            match direction {
+                CutDirection::Both => src_in == dst_in,
+                // Blocked iff the message crosses the cut in the named
+                // direction (leaves the set for Outbound, enters for Inbound).
+                CutDirection::Outbound => !src_in || dst_in,
+                CutDirection::Inbound => src_in || !dst_in,
+            }
+        })
     }
 
     /// The degrade factor currently applied to `src → dst` (`1.0` = full
@@ -541,6 +566,33 @@ mod tests {
         // Healing twice (or an unknown name) is a no-op.
         net.heal_partition("switch-a");
         net.heal_partition("never-existed");
+    }
+
+    #[test]
+    fn directed_partition_cuts_only_one_way() {
+        let mut net = gige4();
+        // Outbound: nothing leaves {0,1}, but traffic still flows in.
+        net.start_partition_directed("half-open", [NodeId(0), NodeId(1)], CutDirection::Outbound);
+        assert!(!net.reachable(NodeId(0), NodeId(2)), "outbound cut");
+        assert!(net.reachable(NodeId(2), NodeId(0)), "inbound still flows");
+        // Within the set and within the complement, unaffected.
+        assert!(net.reachable(NodeId(0), NodeId(1)));
+        assert!(net.reachable(NodeId(2), NodeId(3)));
+        // Re-activating the name flips the direction in place.
+        net.start_partition_directed("half-open", [NodeId(0), NodeId(1)], CutDirection::Inbound);
+        assert!(net.reachable(NodeId(0), NodeId(2)), "outbound restored");
+        assert!(!net.reachable(NodeId(2), NodeId(0)), "inbound now cut");
+        net.heal_partition("half-open");
+        assert!(net.reachable(NodeId(2), NodeId(0)));
+    }
+
+    #[test]
+    fn directed_partition_survives_reset_queues() {
+        let mut net = gige4();
+        net.start_partition_directed("asym", [NodeId(3)], CutDirection::Inbound);
+        net.reset_queues(SimTime::from_nanos(1));
+        assert!(!net.reachable(NodeId(0), NodeId(3)));
+        assert!(net.reachable(NodeId(3), NodeId(0)));
     }
 
     #[test]

@@ -48,6 +48,18 @@ echo "==> explore --smoke under FTMPI_THREADED=1 (must match state-for-state)"
 FTMPI_THREADED=1 cargo run -q --release -p ftmpi-check -- explore --smoke \
     > "$DIFF_TMP/explore-threaded.log"
 cmp "$DIFF_TMP/explore-coro.log" "$DIFF_TMP/explore-threaded.log"
+
+echo "==> ftmpi-check storm --mine --smoke (coverage-guided miner, BENCH_storm.json)"
+cargo run -q --release -p ftmpi-check -- storm --mine --smoke | tee "$DIFF_TMP/mine-1.log"
+cp BENCH_storm.json "$DIFF_TMP/mine-1.json"
+cp results/storm/corpus.txt "$DIFF_TMP/mine-1-corpus.txt"
+
+echo "==> storm --mine --smoke under the heap backend (must be byte-identical)"
+FTMPI_NO_LADDER=1 cargo run -q --release -p ftmpi-check -- storm --mine --smoke \
+    > "$DIFF_TMP/mine-2.log"
+cmp "$DIFF_TMP/mine-1.log" "$DIFF_TMP/mine-2.log"
+cmp "$DIFF_TMP/mine-1.json" BENCH_storm.json
+cmp "$DIFF_TMP/mine-1-corpus.txt" results/storm/corpus.txt
 rm -rf "$DIFF_TMP"
 
 echo "==> cache prune round trip (ftmpi-bench cache --prune)"
