@@ -1,0 +1,12 @@
+//! Thin wrapper over [`ftmpi_bench::figures::integrity_sweep`] — see that
+//! module for the experiment's documentation.
+//!
+//! ```sh
+//! cargo run --release -p ftmpi-bench --bin integrity_sweep [-- --full] [-- --jobs N]
+//! ```
+
+use ftmpi_bench::figures;
+
+fn main() {
+    figures::run_standalone(figures::integrity_sweep::run);
+}

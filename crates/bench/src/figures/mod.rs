@@ -22,6 +22,7 @@ pub mod fig8_myrinet_scaling;
 pub mod fig9_grid400;
 pub mod flap_sweep;
 pub mod future_work;
+pub mod integrity_sweep;
 pub mod logging_vs_coordinated;
 pub mod mttf_period;
 pub mod netpipe;
@@ -56,6 +57,7 @@ pub const ALL: &[(&str, FigureFn)] = &[
     ("failure_storms", failure_storms::run),
     ("partition_sweep", partition_sweep::run),
     ("flap_sweep", flap_sweep::run),
+    ("integrity_sweep", integrity_sweep::run),
     ("ablation_design", ablation_design::run),
     ("mttf_period", mttf_period::run),
     ("logging_vs_coordinated", logging_vs_coordinated::run),

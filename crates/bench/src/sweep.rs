@@ -65,7 +65,7 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
     let ft = &spec.ft;
     let _ = write!(
         key,
-        "ft=({},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:?});",
+        "ft=({},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:?},{:?},{},{});",
         ft.period.as_nanos(),
         ft.first_wave_delay.as_nanos(),
         ft.image_bytes,
@@ -84,7 +84,10 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
         ft.link_retry_base.as_nanos(),
         ft.link_retry_cap.as_nanos(),
         ft.link_retry_limit,
-        ft.partition_rollback_after.map(|d| d.as_nanos())
+        ft.partition_rollback_after.map(|d| d.as_nanos()),
+        ft.scrub_interval.map(|d| d.as_nanos()),
+        ft.quarantine_threshold,
+        ft.torn_writes
     );
     let _ = write!(
         key,
@@ -141,6 +144,37 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
                 .collect::<Vec<_>>()
         );
     }
+    if !spec.failures.corruptions.is_empty() {
+        let _ = write!(
+            key,
+            "corrupt={:?};",
+            spec.failures
+                .corruptions
+                .iter()
+                .map(|e| (e.at.as_nanos(), e.server, e.rank))
+                .collect::<Vec<_>>()
+        );
+    }
+    if !spec.failures.silent_corruption.is_empty() {
+        let _ = write!(
+            key,
+            "rot={:?};",
+            spec.failures
+                .silent_corruption
+                .iter()
+                .map(|s| {
+                    (
+                        s.server,
+                        s.mtbc.as_nanos(),
+                        s.start.as_nanos(),
+                        s.end.as_nanos(),
+                        s.ranks,
+                        s.seed,
+                    )
+                })
+                .collect::<Vec<_>>()
+        );
+    }
     if !spec.net_faults.is_empty() {
         // Degrade factors are folded in via their exact bit pattern: two
         // schedules differing only in a factor's last mantissa bit must not
@@ -170,6 +204,7 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
                         format!("{}", p.direction),
                         p.start.as_nanos(),
                         p.heal.map(|t| t.as_nanos()),
+                        p.tear,
                     )
                 })
                 .collect::<Vec<_>>()
@@ -212,6 +247,7 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
                             format!("{}", p.direction),
                             p.start.as_nanos(),
                             p.heal.map(|t| t.as_nanos()),
+                            p.tear,
                         )
                     })
                     .collect::<Vec<_>>()
@@ -224,7 +260,7 @@ pub fn spec_fingerprint(workload_tag: &str, spec: &JobSpec) -> String {
 /// On-disk entry header; bumped whenever [`JobResult::encode`] or the entry
 /// layout changes, so stale caches self-invalidate instead of decoding
 /// garbage.
-const CACHE_VERSION: &str = "ftmpi-cache v4";
+const CACHE_VERSION: &str = "ftmpi-cache v5";
 
 /// FNV-1a over `s` starting from `h` (two different bases give the two
 /// halves of the 128-bit cache filename, making accidental collisions

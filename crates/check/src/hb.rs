@@ -104,6 +104,15 @@ fn thread_of(nranks: usize, ev: &ProtoEvent) -> usize {
         | ProtoEvent::WaveAbort { .. }
         | ProtoEvent::ServerFail { .. }
         | ProtoEvent::Restart { .. } => nranks,
+        // Store-side integrity events (replica landings, damage, scrub
+        // repairs, quarantines) execute on the checkpoint fleet, which the
+        // trace models as control-thread activity.
+        ProtoEvent::ImageStore { .. }
+        | ProtoEvent::Corrupt { .. }
+        | ProtoEvent::CorruptDetected { .. }
+        | ProtoEvent::Repair { .. }
+        | ProtoEvent::RestoreImage { .. }
+        | ProtoEvent::Quarantine { .. } => nranks,
     }
     .min(nranks)
 }
@@ -251,6 +260,14 @@ pub fn resources(ev: &ProtoEvent) -> Vec<Resource> {
         | ProtoEvent::WaveCommit { .. }
         | ProtoEvent::WaveAbort { .. } => vec![Resource::WaveControl],
         ProtoEvent::ServerFail { .. } | ProtoEvent::Restart { .. } => vec![Resource::Global],
+        // Integrity events mutate shared store bookkeeping (replica maps,
+        // corruption tallies, quarantine sets): conservatively global.
+        ProtoEvent::ImageStore { .. }
+        | ProtoEvent::Corrupt { .. }
+        | ProtoEvent::CorruptDetected { .. }
+        | ProtoEvent::Repair { .. }
+        | ProtoEvent::RestoreImage { .. }
+        | ProtoEvent::Quarantine { .. } => vec![Resource::Global],
     }
 }
 

@@ -179,6 +179,26 @@ pub enum Violation {
         /// Seqnos actually logged.
         logged: Vec<u64>,
     },
+    /// A restore consumed a replica whose recorded damage was never
+    /// repaired: verify-on-fetch let corrupt bits through.
+    CorruptRestore {
+        /// Wave number restored from.
+        wave: u64,
+        /// Rank whose image was fetched.
+        rank: usize,
+        /// Server node the damaged replica lived on.
+        node: u64,
+    },
+    /// A replica landed on a server after its quarantine: placement and
+    /// reroute must exclude quarantined servers.
+    QuarantinedPlacement {
+        /// Wave number of the replica.
+        wave: u64,
+        /// Rank whose image landed.
+        rank: usize,
+        /// The quarantined server node.
+        node: u64,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -294,6 +314,14 @@ impl std::fmt::Display for Violation {
                 "wave {wave}: channel {src}->{dst} log mismatch: crossing seqs {crossing:?} \
                  vs logged {logged:?}"
             ),
+            Violation::CorruptRestore { wave, rank, node } => write!(
+                f,
+                "wave {wave}: rank {rank} restored from damaged replica on node {node}"
+            ),
+            Violation::QuarantinedPlacement { wave, rank, node } => write!(
+                f,
+                "wave {wave}: rank {rank}'s replica placed on quarantined node {node}"
+            ),
         }
     }
 }
@@ -365,7 +393,55 @@ pub fn check_trace(protocol: ProtocolChoice, nranks: usize, trace: &[TraceEvent]
         let is_final = pos + 1 == split.len();
         check_era(protocol, nranks, era, is_final, &mut report);
     }
+    check_integrity(trace, &mut report);
     report
+}
+
+/// Checkpoint-image integrity, proven over the whole trace (the store and
+/// its quarantine set belong to the fleet, not a job era, so the state
+/// machine must not reset at restarts):
+///
+/// * a `RestoreImage` must never name a `(wave, rank, node)` whose damage
+///   (`Corrupt`) was not overwritten by a verified write (`ImageStore` /
+///   `Repair`) first — verify-on-fetch walked past every damaged copy;
+/// * after a node's `Quarantine`, no replica may land on it — placement,
+///   reroute, and scrub re-replication all exclude quarantined servers
+///   (fetching a pre-quarantine replica *from* it stays legal).
+fn check_integrity(trace: &[TraceEvent], report: &mut CheckReport) {
+    use ftmpi_sim::TraceKind;
+    let mut damaged: BTreeSet<(u64, usize, u64)> = BTreeSet::new();
+    let mut quarantined: BTreeSet<u64> = BTreeSet::new();
+    for te in trace {
+        let TraceKind::Proto(ev) = te.kind else {
+            continue;
+        };
+        match ev {
+            ProtoEvent::Corrupt { wave, rank, node } => {
+                damaged.insert((wave, rank, node));
+            }
+            ProtoEvent::ImageStore { wave, rank, node }
+            | ProtoEvent::Repair { wave, rank, node } => {
+                // A verified write replaces whatever bits the slot held.
+                damaged.remove(&(wave, rank, node));
+                if quarantined.contains(&node) {
+                    report
+                        .violations
+                        .push(Violation::QuarantinedPlacement { wave, rank, node });
+                }
+            }
+            ProtoEvent::RestoreImage { wave, rank, node }
+                if damaged.contains(&(wave, rank, node)) =>
+            {
+                report
+                    .violations
+                    .push(Violation::CorruptRestore { wave, rank, node });
+            }
+            ProtoEvent::Quarantine { node } => {
+                quarantined.insert(node);
+            }
+            _ => {}
+        }
+    }
 }
 
 fn check_era(
@@ -477,6 +553,14 @@ fn collect_era(era: &Era, violations: &mut Vec<Violation>) -> EraData {
             ProtoEvent::WaveStart { .. }
             | ProtoEvent::Restart { .. }
             | ProtoEvent::ServerFail { .. } => {}
+            // Integrity events are checked in a whole-trace pass (the
+            // store outlives eras); see `check_integrity`.
+            ProtoEvent::ImageStore { .. }
+            | ProtoEvent::Corrupt { .. }
+            | ProtoEvent::CorruptDetected { .. }
+            | ProtoEvent::Repair { .. }
+            | ProtoEvent::RestoreImage { .. }
+            | ProtoEvent::Quarantine { .. } => {}
         }
     }
     data

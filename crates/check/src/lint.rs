@@ -75,13 +75,17 @@ pub const ENV_TOGGLES: &[&str] = &[
     "FTMPI_DEBUG",
     "FTMPI_MINE_BUDGET",
     "FTMPI_NO_MINE",
+    "FTMPI_NO_SCRUB",
 ];
 
-/// Files audited by the `sim-audit` rule.
+/// Files audited by the `sim-audit` rule. The checkpoint store rides
+/// along with the kernel memory files: replica lookups must surface
+/// typed `StoreError`s, never panic on a missing or damaged slot.
 const SIM_AUDIT_FILES: &[&str] = &[
     "crates/sim/src/arena.rs",
     "crates/sim/src/ladder.rs",
     "crates/sim/src/process.rs",
+    "crates/core/src/server.rs",
 ];
 
 /// One lint finding.

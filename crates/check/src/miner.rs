@@ -4,8 +4,9 @@
 //! windows; the miner searches *between* them. A fault schedule is a
 //! [`Genome`] — a protocol choice, a replication factor, and a list of
 //! [`Gene`]s (rank kills, server kills, directed partitions, server-group
-//! partitions, link flaps). A seeded mutation loop (shift, widen,
-//! flip-direction, retarget, add-flap, drop) evolves genomes starting from
+//! partitions, link flaps, stored-image corruption). A seeded mutation
+//! loop (shift, widen, flip-direction, retarget, add-flap, add-corrupt,
+//! drop) evolves genomes starting from
 //! hand-seeded schedules aimed at the measured wave windows; every mutant
 //! that passes [`ftmpi_net::NetFaultPlan::validate`] is run through
 //! [`crate::storm::run_storm`] and the full invariant checker.
@@ -29,7 +30,7 @@
 use std::collections::BTreeSet;
 use std::path::Path;
 
-use ftmpi_core::{FailurePlan, JobSpec, ProtocolChoice};
+use ftmpi_core::{FailurePlan, JobSpec, ProtocolChoice, SilentCorruptionSpec};
 use ftmpi_net::{CutDirection, LinkFlapSpec, NetFaultPlan, NodeId};
 use ftmpi_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -102,6 +103,28 @@ pub enum Gene {
         /// Renewal-stream seed.
         seed: u64,
     },
+    /// Flip stored bits of one replica (or every replica) on a server.
+    Corrupt {
+        /// Flip time, ns.
+        at_ns: u64,
+        /// Server fleet index whose disk is damaged.
+        server: usize,
+        /// Rank whose image is hit, or `None` for every replica held.
+        rank: Option<usize>,
+    },
+    /// A seeded silent-corruption renewal process on one server.
+    Rot {
+        /// Server fleet index the bad disk lives on.
+        server: usize,
+        /// Window start, ns.
+        start_ns: u64,
+        /// Window length, ns.
+        dur_ns: u64,
+        /// Mean time between corruption events, ns.
+        mtbc_ns: u64,
+        /// Renewal-stream seed.
+        seed: u64,
+    },
 }
 
 /// A complete mined fault schedule.
@@ -159,6 +182,21 @@ impl Gene {
                 mttr_ns,
                 seed,
             } => format!("flap@{start_ns}+{dur_ns}:n{from}-n{to}:f{mttf_ns}:r{mttr_ns}:x{seed}"),
+            Gene::Corrupt {
+                at_ns,
+                server,
+                rank,
+            } => match rank {
+                Some(r) => format!("corrupt@{at_ns}:s{server}:r{r}"),
+                None => format!("corrupt@{at_ns}:s{server}:all"),
+            },
+            Gene::Rot {
+                server,
+                start_ns,
+                dur_ns,
+                mtbc_ns,
+                seed,
+            } => format!("rot@{start_ns}+{dur_ns}:s{server}:m{mtbc_ns}:x{seed}"),
         }
     }
 
@@ -219,6 +257,25 @@ impl Gene {
                     dur_ns,
                     mttf_ns: num(mttf, "f")?,
                     mttr_ns: num(mttr, "r")?,
+                    seed: num(seed, "x")?,
+                })
+            }
+            ("corrupt", [at, server, target]) => Ok(Gene::Corrupt {
+                at_ns: num(at, "")?,
+                server: num(server, "s")? as usize,
+                rank: if *target == "all" {
+                    None
+                } else {
+                    Some(num(target, "r")? as usize)
+                },
+            }),
+            ("rot", [win, server, mtbc, seed]) => {
+                let (start_ns, dur_ns) = window(win)?;
+                Ok(Gene::Rot {
+                    server: num(server, "s")? as usize,
+                    start_ns,
+                    dur_ns,
+                    mtbc_ns: num(mtbc, "m")?,
                     seed: num(seed, "x")?,
                 })
             }
@@ -286,6 +343,21 @@ impl Genome {
             .with_replicas(self.replicas)
             .with_retained_waves(2)
             .with_partition_rollback_after_secs(1.5);
+        // Genomes that damage stored images also get the integrity
+        // machinery armed (scrub + quarantine), so the search can reach
+        // repair and quarantine interleavings. Keying the knobs off the
+        // genome keeps corruption-free schedules byte-identical to the
+        // pre-integrity corpus.
+        if self
+            .genes
+            .iter()
+            .any(|g| matches!(g, Gene::Corrupt { .. } | Gene::Rot { .. }))
+        {
+            spec.ft = spec
+                .ft
+                .with_scrub_interval_secs(0.5)
+                .with_quarantine_threshold(3);
+        }
         let mut failures = FailurePlan::none();
         let mut faults = NetFaultPlan::none();
         for (i, g) in self.genes.iter().enumerate() {
@@ -343,6 +415,32 @@ impl Genome {
                         seed,
                     });
                 }
+                Gene::Corrupt {
+                    at_ns,
+                    server,
+                    rank,
+                } => {
+                    failures = match rank {
+                        Some(r) => failures.with_corruption(SimTime::from_nanos(at_ns), server, r),
+                        None => failures.with_server_corruption(SimTime::from_nanos(at_ns), server),
+                    };
+                }
+                Gene::Rot {
+                    server,
+                    start_ns,
+                    dur_ns,
+                    mtbc_ns,
+                    seed,
+                } => {
+                    failures = failures.with_silent_corruption(SilentCorruptionSpec {
+                        server,
+                        mtbc: SimDuration::from_nanos(mtbc_ns),
+                        start: SimTime::from_nanos(start_ns),
+                        end: SimTime::from_nanos(start_ns + dur_ns),
+                        ranks: NRANKS,
+                        seed,
+                    });
+                }
             }
         }
         spec.failures = failures;
@@ -378,6 +476,17 @@ impl Genome {
                         && mttf_ns > 0
                         && mttr_ns > 0
                 }
+                Gene::Corrupt {
+                    at_ns,
+                    server,
+                    rank,
+                } => server < NSERVERS && at_ns < HORIZON_NS && rank.is_none_or(|r| r < NRANKS),
+                Gene::Rot {
+                    server,
+                    dur_ns,
+                    mtbc_ns,
+                    ..
+                } => server < NSERVERS && dur_ns > 0 && mtbc_ns > 0,
             };
             if !ok {
                 return false;
@@ -393,7 +502,8 @@ pub enum OutcomeClass {
     /// Completed with every invariant and robustness assertion holding.
     Ok,
     /// Completed, but legal terminal state: a restart found every image
-    /// replica unreachable. Coverage, not a violation.
+    /// replica unreachable (or corrupt with no older retained wave to
+    /// fall back to). Coverage, not a violation.
     ReplicaExhausted,
     /// The run itself errored (deadlock guard, fatal recovery error).
     RunError,
@@ -431,10 +541,10 @@ impl OutcomeClass {
 pub fn classify(o: &StormOutcome) -> OutcomeClass {
     match &o.report {
         None => {
-            if o.failures
-                .iter()
-                .any(|f| f.contains("every image replica unreachable"))
-            {
+            if o.failures.iter().any(|f| {
+                f.contains("every image replica unreachable")
+                    || f.contains("every image replica corrupt")
+            }) {
                 OutcomeClass::ReplicaExhausted
             } else {
                 OutcomeClass::RunError
@@ -471,6 +581,12 @@ pub struct CoverageKey {
     pub expired: bool,
     /// At least one push rerouted to another server.
     pub rerouted: bool,
+    /// A digest mismatch was caught on fetch or scrub.
+    pub corrupt_detected: bool,
+    /// A damaged replica was re-replicated from a good copy.
+    pub repaired: bool,
+    /// A server crossed the corruption quarantine threshold.
+    pub quarantined: bool,
     /// log₂ bucket of link retries (0 for none), capped at 15.
     pub retries_log2: u8,
 }
@@ -492,6 +608,9 @@ pub fn coverage_key(proto: ProtocolChoice, class: OutcomeClass, o: &StormOutcome
         suppressed: o.partitions_suppressed > 0,
         expired: o.partitions_expired > 0,
         rerouted: o.images_rerouted > 0,
+        corrupt_detected: o.images_corrupt_detected > 0,
+        repaired: o.images_repaired > 0,
+        quarantined: o.servers_quarantined > 0,
         retries_log2: if o.link_retries == 0 {
             0
         } else {
@@ -539,8 +658,9 @@ pub struct MineReport {
 
 /// Hand-seeded starting corpus for one protocol, aimed at the measured
 /// wave windows: a mid-wave kill, a half-open cut healing inside the
-/// grace, a dark server group behind a restore fetch, and a flapping push
-/// link.
+/// grace, a dark server group behind a restore fetch, a flapping push
+/// link, a bit-flip raced against a restore fetch, and a rotting server
+/// disk under a later restart.
 fn seed_genomes(proto: ProtocolChoice, w0s: u64, w0c: u64, w1c: u64) -> Vec<Genome> {
     vec![
         Genome {
@@ -590,6 +710,38 @@ fn seed_genomes(proto: ProtocolChoice, w0s: u64, w0c: u64, w1c: u64) -> Vec<Geno
                 seed: 11,
             }],
         },
+        Genome {
+            proto,
+            replicas: 2,
+            genes: vec![
+                Gene::Corrupt {
+                    at_ns: w1c + 100_000_000,
+                    server: 1,
+                    rank: Some(1),
+                },
+                Gene::Kill {
+                    at_ns: w1c + 300_000_000,
+                    victim: 1,
+                },
+            ],
+        },
+        Genome {
+            proto,
+            replicas: 2,
+            genes: vec![
+                Gene::Rot {
+                    server: 0,
+                    start_ns: w0s,
+                    dur_ns: (w1c + 10_000_000_000).saturating_sub(w0s),
+                    mtbc_ns: 900_000_000,
+                    seed: 23,
+                },
+                Gene::Kill {
+                    at_ns: w1c + 500_000_000,
+                    victim: 0,
+                },
+            ],
+        },
     ]
 }
 
@@ -599,33 +751,35 @@ fn shift_ns(rng: &mut StdRng, t: u64) -> u64 {
 }
 
 /// Apply one seeded mutation. The operator set is the tentpole's:
-/// shift, widen, flip-direction, add-flap, retarget, plus gene drop so
-/// schedules can shrink during search too.
+/// shift, widen, flip-direction, add-flap, add-corrupt, retarget, plus
+/// gene drop so schedules can shrink during search too.
 fn mutate(rng: &mut StdRng, parent: &Genome) -> Genome {
     let mut g = parent.clone();
-    let op = rng.gen_range(0u32..6);
+    let op = rng.gen_range(0u32..7);
     let idx = rng.gen_range(0..g.genes.len());
     match op {
         // Shift a gene in time.
         0 => match &mut g.genes[idx] {
-            Gene::Kill { at_ns, .. } | Gene::ServerKill { at_ns, .. } => {
-                *at_ns = shift_ns(rng, *at_ns)
-            }
+            Gene::Kill { at_ns, .. }
+            | Gene::ServerKill { at_ns, .. }
+            | Gene::Corrupt { at_ns, .. } => *at_ns = shift_ns(rng, *at_ns),
             Gene::Partition { start_ns, .. }
             | Gene::ServerPartition { start_ns, .. }
-            | Gene::Flap { start_ns, .. } => *start_ns = shift_ns(rng, *start_ns),
+            | Gene::Flap { start_ns, .. }
+            | Gene::Rot { start_ns, .. } => *start_ns = shift_ns(rng, *start_ns),
         },
         // Widen (or shrink) a window.
         1 => match &mut g.genes[idx] {
             Gene::Partition { dur_ns, .. }
             | Gene::ServerPartition { dur_ns, .. }
-            | Gene::Flap { dur_ns, .. } => {
+            | Gene::Flap { dur_ns, .. }
+            | Gene::Rot { dur_ns, .. } => {
                 let delta = rng.gen_range(-1_500_000_000i64..3_000_000_001i64);
                 *dur_ns = (*dur_ns as i64 + delta).clamp(100_000_000, 30_000_000_000) as u64;
             }
-            Gene::Kill { at_ns, .. } | Gene::ServerKill { at_ns, .. } => {
-                *at_ns = shift_ns(rng, *at_ns)
-            }
+            Gene::Kill { at_ns, .. }
+            | Gene::ServerKill { at_ns, .. }
+            | Gene::Corrupt { at_ns, .. } => *at_ns = shift_ns(rng, *at_ns),
         },
         // Flip a cut direction.
         2 => {
@@ -657,12 +811,26 @@ fn mutate(rng: &mut StdRng, parent: &Genome) -> Genome {
         // Retarget a victim/node/server.
         4 => match &mut g.genes[idx] {
             Gene::Kill { victim, .. } => *victim = rng.gen_range(0..NRANKS),
-            Gene::ServerKill { server, .. } | Gene::ServerPartition { server, .. } => {
-                *server = rng.gen_range(0..NSERVERS)
-            }
+            Gene::ServerKill { server, .. }
+            | Gene::ServerPartition { server, .. }
+            | Gene::Corrupt { server, .. }
+            | Gene::Rot { server, .. } => *server = rng.gen_range(0..NSERVERS),
             Gene::Partition { node, .. } => *node = rng.gen_range(0..NRANKS),
             Gene::Flap { from, .. } => *from = rng.gen_range(0..NRANKS),
         },
+        // Add a bit-flip on a random stored replica (or a whole server).
+        5 => {
+            let rank = if rng.gen_bool(0.5) {
+                Some(rng.gen_range(0..NRANKS))
+            } else {
+                None
+            };
+            g.genes.push(Gene::Corrupt {
+                at_ns: rng.gen_range(1_000_000_000..30_000_000_000u64),
+                server: rng.gen_range(0..NSERVERS),
+                rank,
+            });
+        }
         // Drop a gene.
         _ => {
             if g.genes.len() > 1 {
@@ -703,9 +871,9 @@ fn shrink(genome: &Genome, class: OutcomeClass, runs: &mut u64) -> Genome {
     let mut rounded = best.clone();
     for g in &mut rounded.genes {
         match g {
-            Gene::Kill { at_ns, .. } | Gene::ServerKill { at_ns, .. } => {
-                *at_ns = (*at_ns / GRAIN).max(1) * GRAIN
-            }
+            Gene::Kill { at_ns, .. }
+            | Gene::ServerKill { at_ns, .. }
+            | Gene::Corrupt { at_ns, .. } => *at_ns = (*at_ns / GRAIN).max(1) * GRAIN,
             Gene::Partition {
                 start_ns, dur_ns, ..
             }
@@ -713,6 +881,9 @@ fn shrink(genome: &Genome, class: OutcomeClass, runs: &mut u64) -> Genome {
                 start_ns, dur_ns, ..
             }
             | Gene::Flap {
+                start_ns, dur_ns, ..
+            }
+            | Gene::Rot {
                 start_ns, dur_ns, ..
             } => {
                 *start_ns = (*start_ns / GRAIN).max(1) * GRAIN;
@@ -887,6 +1058,23 @@ mod tests {
                     mttf_ns: 800_000_000,
                     mttr_ns: 200_000_000,
                     seed: 42,
+                },
+                Gene::Corrupt {
+                    at_ns: 4_200_000_000,
+                    server: 0,
+                    rank: Some(5),
+                },
+                Gene::Corrupt {
+                    at_ns: 4_700_000_000,
+                    server: 1,
+                    rank: None,
+                },
+                Gene::Rot {
+                    server: 0,
+                    start_ns: 2_000_000_000,
+                    dur_ns: 8_000_000_000,
+                    mtbc_ns: 700_000_000,
+                    seed: 9,
                 },
             ],
         }

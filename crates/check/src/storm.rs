@@ -75,6 +75,12 @@ pub struct StormOutcome {
     pub images_rerouted: u64,
     /// Images fetched back from servers during restores.
     pub images_refetched: u64,
+    /// Damaged replicas caught by verify-on-fetch or the scrubber.
+    pub images_corrupt_detected: u64,
+    /// Slots walked past damage to a verified copy, or re-replicated.
+    pub images_repaired: u64,
+    /// Servers quarantined for exceeding the corruption threshold.
+    pub servers_quarantined: u64,
     /// The invariant-checker verdict (`None` when the run itself failed).
     pub report: Option<CheckReport>,
     /// Scenario assertions that did not hold, including run errors.
@@ -206,6 +212,9 @@ pub fn run_storm_traced(name: &str, spec: JobSpec) -> (StormOutcome, Vec<TraceEv
                 replica_depth_max: res.ft.replica_depth_max,
                 images_rerouted: res.ft.images_rerouted,
                 images_refetched: res.ft.images_refetched,
+                images_corrupt_detected: res.ft.images_corrupt_detected,
+                images_repaired: res.ft.images_repaired,
+                servers_quarantined: res.ft.servers_quarantined,
                 report: Some(check_trace(protocol, nranks, &trace)),
                 failures: Vec::new(),
             };
@@ -244,6 +253,9 @@ pub(crate) fn profile_failure(name: &str, msg: String) -> StormOutcome {
         replica_depth_max: 0,
         images_rerouted: 0,
         images_refetched: 0,
+        images_corrupt_detected: 0,
+        images_repaired: 0,
+        servers_quarantined: 0,
         report: None,
         failures: vec![msg],
     }
@@ -871,6 +883,216 @@ fn asymmetry_scenarios(proto: ProtocolChoice, out: &mut Vec<StormOutcome>) {
     out.push(o);
 }
 
+/// Checkpoint-image integrity scenarios for one protocol: injected
+/// bit-flips, torn writes behind tearing cuts, the scrubber racing a
+/// restart, and a newest wave whose only replica is damaged. On top of the
+/// invariant checker's whole-trace integrity rules (no restore from a
+/// damaged replica, no placement on a quarantined server) these assert the
+/// repair accounting: every injected corruption is either walked past /
+/// re-replicated (counted) or pushes the restore to an older retained wave.
+fn integrity_scenarios(proto: ProtocolChoice, out: &mut Vec<StormOutcome>) {
+    let tag = match proto {
+        ProtocolChoice::Pcl => "pcl",
+        _ => "vcl",
+    };
+    let base = ring_spec(proto);
+
+    // Flip-under-restore and scrubber-races-restart share a two-replica
+    // spec; its wave windows differ from the single-replica base (a second
+    // stream per rank), so profile the spec actually run.
+    let mut twin = base.clone();
+    twin.ft = twin.ft.with_replicas(2);
+    match profile(twin.clone()) {
+        Ok(prof) if prof.waves.len() >= 2 => {
+            let (_, w1c) = prof.waves[1];
+
+            // Flip-under-restore: rank 1's newest image is damaged on its
+            // primary server right before the rank dies. Verify-on-fetch
+            // must walk to the intact replica on the other server — the
+            // newest wave stays restorable, the damage is detected and
+            // counted as repaired-by-walk.
+            let mut spec = twin.clone();
+            spec.failures = FailurePlan::none()
+                .with_corruption(SimTime::from_nanos(w1c + 100_000_000), 1, 1)
+                .with_kill(SimTime::from_nanos(w1c + 300_000_000), 1);
+            let mut o = run_storm(&format!("storm.corrupt.flipfetch.{tag}"), spec);
+            let (restarts, depth) = (o.restarts, o.rollback_depth_max);
+            let (detected, repaired) = (o.images_corrupt_detected, o.images_repaired);
+            o.expect(restarts == 1, format!("expected 1 restart, got {restarts}"));
+            o.expect(
+                depth == 0,
+                format!("the intact replica keeps the newest wave restorable (depth {depth})"),
+            );
+            o.expect(
+                detected >= 1,
+                "the damaged replica must be detected at fetch".to_string(),
+            );
+            o.expect(
+                repaired >= 1,
+                "walking past the damaged replica must count as a repair".to_string(),
+            );
+            out.push(o);
+
+            // Scrubber-races-restart: same damage, but a 500 ms scrub pass
+            // runs concurrently and the kill lands right around a tick, so
+            // the repair flow and the restart's fetch race. Whichever wins,
+            // the damage is detected, the slot ends verified, and the
+            // restore never consumes corrupt bits (checker-proven).
+            let mut spec = twin.clone();
+            spec.ft = spec.ft.with_scrub_interval_secs(0.5);
+            spec.failures = FailurePlan::none()
+                .with_corruption(SimTime::from_nanos(w1c + 100_000_000), 1, 1)
+                .with_kill(SimTime::from_nanos(w1c + 550_000_000), 1);
+            let mut o = run_storm(&format!("storm.corrupt.scrubrace.{tag}"), spec);
+            let (restarts, depth) = (o.restarts, o.rollback_depth_max);
+            let (detected, repaired) = (o.images_corrupt_detected, o.images_repaired);
+            o.expect(restarts == 1, format!("expected 1 restart, got {restarts}"));
+            o.expect(
+                depth == 0,
+                format!("scrub or walk must keep the newest wave restorable (depth {depth})"),
+            );
+            o.expect(
+                detected >= 1,
+                "the scrubber or the fetch must detect the damage".to_string(),
+            );
+            o.expect(
+                repaired >= 1,
+                "the race must end with the slot repaired or walked past".to_string(),
+            );
+            out.push(o);
+        }
+        Ok(prof) => out.push(profile_failure(
+            &format!("storm.corrupt.flipfetch.{tag}"),
+            format!("clean run committed only {} wave(s)", prof.waves.len()),
+        )),
+        Err(e) => out.push(profile_failure(
+            &format!("storm.corrupt.flipfetch.{tag}"),
+            e,
+        )),
+    }
+
+    let prof = match profile(base.clone()) {
+        Ok(p) => p,
+        Err(e) => {
+            out.push(profile_failure(&format!("storm.corrupt.profile.{tag}"), e));
+            return;
+        }
+    };
+    if prof.waves.len() < 2 {
+        out.push(profile_failure(
+            &format!("storm.corrupt.profile.{tag}"),
+            format!("clean run committed only {} wave(s)", prof.waves.len()),
+        ));
+        return;
+    }
+    let (w0s, w0c) = prof.waves[0];
+    let (_, w1c) = prof.waves[1];
+
+    // All replicas corrupt: the single copy of rank 1's newest image is
+    // damaged, so the restore must reject the newest wave and fall back to
+    // the older retained one — rollback past the corruption, never through
+    // it.
+    let mut spec = base.clone();
+    spec.ft = spec.ft.with_retained_waves(2);
+    spec.failures = FailurePlan::none()
+        .with_corruption(SimTime::from_nanos(w1c + 200_000_000), 1, 1)
+        .with_kill(SimTime::from_nanos(w1c + 500_000_000), 1);
+    let mut o = run_storm(&format!("storm.corrupt.allreplicas.{tag}"), spec);
+    let (restarts, depth) = (o.restarts, o.rollback_depth_max);
+    let (detected, repaired) = (o.images_corrupt_detected, o.images_repaired);
+    o.expect(restarts == 1, format!("expected 1 restart, got {restarts}"));
+    o.expect(
+        depth >= 1,
+        "a fully-damaged newest wave must roll back to the older retained one".to_string(),
+    );
+    o.expect(
+        detected >= 1,
+        "the damaged copy must be detected while planning the restore".to_string(),
+    );
+    o.expect(
+        repaired >= 1,
+        "salvaging the slot from the older wave must count as a repair".to_string(),
+    );
+    out.push(o);
+
+    // Torn-write-then-fallback: a *tearing* cut darkens server 0 across a
+    // wave, so the severed push leaves a truncated replica there and
+    // reroutes to server 1. The scrubber keeps re-detecting the torn copy
+    // (and re-replicates it after the heal); the post-heal restart must
+    // restore from verified bits only.
+    let cut = w0s.saturating_sub(200_000_000);
+    let heal = cut + 8_000_000_000;
+    let mut spec = base.clone();
+    spec.ft = spec
+        .ft
+        .with_retained_waves(2)
+        .with_torn_writes()
+        .with_scrub_interval_secs(0.5)
+        .with_partition_rollback_after_secs(1.5);
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(heal + 1_000_000_000), 0);
+    spec.net_faults = NetFaultPlan::none().with_server_partition_tearing(
+        "storm-torn",
+        vec![0],
+        CutDirection::Both,
+        SimTime::from_nanos(cut),
+        Some(SimTime::from_nanos(heal)),
+    );
+    let mut o = run_storm(&format!("storm.corrupt.tornwrite.{tag}"), spec);
+    let (restarts, exhausted, rerouted) = (o.restarts, o.retries_exhausted, o.images_rerouted);
+    let detected = o.images_corrupt_detected;
+    o.expect(restarts == 1, format!("expected 1 restart, got {restarts}"));
+    o.expect(
+        exhausted >= 1,
+        "pushes at the dark server must exhaust their retry ladder".to_string(),
+    );
+    o.expect(
+        rerouted >= 1,
+        "the severed push must reroute to the surviving server".to_string(),
+    );
+    o.expect(
+        detected >= 1,
+        "the torn replica must be detected (scrub or fetch walk)".to_string(),
+    );
+    out.push(o);
+
+    // Quarantine: whole-disk rot on server 0 with a threshold of one
+    // detection. The scrubber's first pass over the damage must quarantine
+    // the server; every later placement lands on server 1 only
+    // (checker-proven via `QuarantinedPlacement`), and checkpointing
+    // continues.
+    let mut spec = base.clone();
+    spec.ft = spec
+        .ft
+        .with_scrub_interval_secs(0.5)
+        .with_quarantine_threshold(1);
+    spec.failures =
+        FailurePlan::none().with_server_corruption(SimTime::from_nanos(w0c + 200_000_000), 0);
+    let mut o = run_storm(&format!("storm.corrupt.quarantine.{tag}"), spec);
+    let (restarts, detected, quarantined, waves) = (
+        o.restarts,
+        o.images_corrupt_detected,
+        o.servers_quarantined,
+        o.waves,
+    );
+    o.expect(
+        restarts == 0,
+        format!("disk rot alone must not restart anyone (got {restarts})"),
+    );
+    o.expect(
+        detected >= 1,
+        "the scrubber must detect the rotted replicas".to_string(),
+    );
+    o.expect(
+        quarantined == 1,
+        format!("one detection must quarantine the server exactly once (got {quarantined})"),
+    );
+    o.expect(
+        waves >= 1,
+        "checkpointing must continue on the surviving server".to_string(),
+    );
+    out.push(o);
+}
+
 /// Build a seeded random failure schedule biased toward the measured wave
 /// windows (partial-image exposure) and recovery windows (nested restarts).
 fn random_plan(rng: &mut StdRng, prof: &CleanProfile, spec: &JobSpec) -> FailurePlan {
@@ -984,6 +1206,7 @@ pub fn storm_campaign(smoke: bool) -> Vec<StormOutcome> {
         partition_scenarios(proto, &mut out);
         node_kill_scenarios(proto, &mut out);
         asymmetry_scenarios(proto, &mut out);
+        integrity_scenarios(proto, &mut out);
     }
     stream_scenario(&mut out);
     for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {

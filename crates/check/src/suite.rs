@@ -119,10 +119,11 @@ pub fn smoke_probes() -> Vec<(String, JobSpec)> {
 
 /// The class-S figure workloads the smoke perturbation pass covers: the
 /// first entry of the bench crate's fast probe set (4-rank BT.S on the
-/// gigabit cluster under Pcl) plus every protocol's first Myrinet-stack
-/// entry, so the shared-NIC cluster family and *both* daemon-stack
-/// Myrinet variants (Pcl rides raw TCP sockets, Vcl the logging daemon —
-/// different contention shapes: software overheads dominate the wire)
+/// gigabit cluster under Pcl), every protocol's first Myrinet-stack
+/// entry (Pcl rides raw TCP sockets, Vcl the logging daemon — different
+/// contention shapes: software overheads dominate the wire), plus the
+/// first grid-deployment entry, so the shared-NIC cluster, both
+/// daemon-stack Myrinet variants, and the multi-cluster WAN topology all
 /// face the perturbation seeds. Kept out of [`smoke_probes`] so the
 /// invariant+churn pass stays quick; the perturbation pass runs them with
 /// the same seeds as the synthetic probes so real figure schedules —
@@ -137,7 +138,8 @@ pub fn figure_smoke_probes() -> Vec<(String, JobSpec)> {
             || myri_proto.is_some_and(|p| {
                 !out.iter()
                     .any(|(n, _)| n.contains(".myri.") && n.ends_with(&format!(".{p}")))
-            });
+            })
+            || (name.contains(".grid.") && !out.iter().any(|(n, _)| n.contains(".grid.")));
         if want {
             out.push((name, spec));
         }
@@ -145,6 +147,10 @@ pub fn figure_smoke_probes() -> Vec<(String, JobSpec)> {
     assert!(
         out.iter().filter(|(n, _)| n.contains(".myri.")).count() >= 2,
         "bench fast probe set lost a protocol's Myrinet family"
+    );
+    assert!(
+        out.iter().any(|(n, _)| n.contains(".grid.")),
+        "bench fast probe set lost the grid family"
     );
     out
 }

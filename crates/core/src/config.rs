@@ -86,6 +86,25 @@ pub struct FtConfig {
     /// kills); if it heals first, the watchdog finds the epoch unchanged
     /// and suppresses the false positive.
     pub partition_rollback_after: Option<SimDuration>,
+    /// Period of the background scrub pass re-verifying every retained
+    /// replica's digest and re-replicating damaged copies from a good one.
+    /// `None` (the default) schedules no scrub ticks, keeping failure-free
+    /// runs byte-identical to the pre-integrity code. The `FTMPI_NO_SCRUB`
+    /// environment toggle force-disables a configured scrubber for A/B
+    /// determinism checks.
+    pub scrub_interval: Option<SimDuration>,
+    /// Quarantine a checkpoint server after this many digest-verification
+    /// failures were attributed to it: the server stops receiving
+    /// placements and reroutes (mirroring dead-server processing), though
+    /// replicas already on it remain verified fetch candidates. `0` (the
+    /// default) disables quarantine.
+    pub quarantine_threshold: u64,
+    /// Record torn (truncated) writes: when a tearing partition cuts an
+    /// image push mid-stream, the target server keeps the received prefix
+    /// as a replica whose digest can never verify, instead of the prefix
+    /// silently vanishing. Off by default — existing fault schedules keep
+    /// their exact behavior.
+    pub torn_writes: bool,
 }
 
 impl Default for FtConfig {
@@ -110,6 +129,9 @@ impl Default for FtConfig {
             link_retry_cap: SimDuration::from_secs(2),
             link_retry_limit: 8,
             partition_rollback_after: None,
+            scrub_interval: None,
+            quarantine_threshold: 0,
+            torn_writes: false,
         }
     }
 }
@@ -158,6 +180,27 @@ impl FtConfig {
     /// seconds (cuts outliving it roll the survivors back).
     pub fn with_partition_rollback_after_secs(mut self, s: f64) -> Self {
         self.partition_rollback_after = Some(SimDuration::from_secs_f64(s));
+        self
+    }
+
+    /// Convenience: arm the background scrub pass with a period in
+    /// seconds.
+    pub fn with_scrub_interval_secs(mut self, s: f64) -> Self {
+        self.scrub_interval = Some(SimDuration::from_secs_f64(s));
+        self
+    }
+
+    /// Convenience: set the per-server corruption-detection count that
+    /// triggers quarantine (0 disables).
+    pub fn with_quarantine_threshold(mut self, n: u64) -> Self {
+        self.quarantine_threshold = n;
+        self
+    }
+
+    /// Convenience: record torn writes when a tearing partition cuts an
+    /// image push mid-stream.
+    pub fn with_torn_writes(mut self) -> Self {
+        self.torn_writes = true;
         self
     }
 
@@ -223,6 +266,24 @@ mod tests {
             cfg.partition_rollback_after,
             Some(SimDuration::from_secs(5))
         );
+    }
+
+    #[test]
+    fn integrity_knobs_default_off_and_build() {
+        let cfg = FtConfig::default();
+        // Defaults: no scrub ticks, no quarantine, no torn-write
+        // recording — the integrity layer is observation-only, so every
+        // pre-existing schedule stays byte-identical.
+        assert!(cfg.scrub_interval.is_none());
+        assert_eq!(cfg.quarantine_threshold, 0);
+        assert!(!cfg.torn_writes);
+        let cfg = cfg
+            .with_scrub_interval_secs(2.5)
+            .with_quarantine_threshold(3)
+            .with_torn_writes();
+        assert_eq!(cfg.scrub_interval, Some(SimDuration::from_secs_f64(2.5)));
+        assert_eq!(cfg.quarantine_threshold, 3);
+        assert!(cfg.torn_writes);
     }
 
     #[test]

@@ -45,6 +45,101 @@ use ftmpi_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// One scheduled bit-flip on a checkpoint server's stored replicas.
+///
+/// The server is named by fleet index (like
+/// [`FailurePlan::server_kills`]), so plans stay valid across topology
+/// changes. With `rank: Some(r)` the flip damages the replica of `r`'s
+/// image belonging to the newest wave the server currently holds it for;
+/// with `rank: None` it is a whole-disk rot event flipping every replica
+/// on the server. Either way the event is *silent*: nothing in the
+/// runtime reacts until verify-on-fetch or the scrubber reads the
+/// damaged copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionEvent {
+    /// When the stored bits flip.
+    pub at: SimTime,
+    /// Checkpoint-server fleet index whose disk is damaged.
+    pub server: usize,
+    /// Rank whose stored image is hit, or `None` for every replica on the
+    /// server.
+    pub rank: Option<Rank>,
+}
+
+/// A seeded silent-corruption process on one checkpoint server: from
+/// `start` to `end`, replica damage arrives with exponentially
+/// distributed gaps (mean `mtbc` — mean time between corruptions), each
+/// event hitting a uniformly drawn rank's stored image. Expansion to
+/// concrete [`CorruptionEvent`]s is a pure function of the spec
+/// (splitmix64 stream keyed by `seed` and `server`, mirroring
+/// `LinkFlapSpec`), so two runs of the same plan damage the identical
+/// replicas at the identical instants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SilentCorruptionSpec {
+    /// Checkpoint-server fleet index the process runs on.
+    pub server: usize,
+    /// Mean time between corruption events.
+    pub mtbc: SimDuration,
+    /// Window start.
+    pub start: SimTime,
+    /// Window end.
+    pub end: SimTime,
+    /// Rank universe the per-event target is drawn from (`0..ranks`).
+    pub ranks: usize,
+    /// PRNG seed; the stream is also keyed by the server index so several
+    /// specs may share a seed without sharing a schedule.
+    pub seed: u64,
+}
+
+/// One step of the splitmix64 generator — the workspace's standard tiny
+/// PRNG for seeded, dependency-free randomness (same recurrence as the
+/// flap expansion in `ftmpi-net`).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// An exponential draw with the given mean, never shorter than one
+/// nanosecond (a zero-length gap would schedule two corruption events at
+/// the same instant on the same lane).
+fn exp_draw(state: &mut u64, mean: SimDuration) -> SimDuration {
+    let u = ((splitmix64(state) >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+    let ns = -(mean.as_nanos() as f64) * u.ln();
+    SimDuration::from_nanos((ns.max(1.0)) as u64)
+}
+
+impl SilentCorruptionSpec {
+    /// Expand the renewal process into concrete per-rank bit-flip events,
+    /// strictly increasing in time within the window.
+    pub fn expand(&self) -> Vec<CorruptionEvent> {
+        if self.end <= self.start || self.mtbc.is_zero() || self.ranks == 0 {
+            return Vec::new();
+        }
+        // Fold the server index into the stream so specs sharing a seed
+        // get distinct schedules.
+        let mut key = self.server as u64;
+        let mut state = self.seed ^ splitmix64(&mut key);
+        let mut events = Vec::new();
+        let mut t = self.start;
+        loop {
+            t += exp_draw(&mut state, self.mtbc);
+            if t >= self.end {
+                break;
+            }
+            let rank = (splitmix64(&mut state) % self.ranks as u64) as Rank;
+            events.push(CorruptionEvent {
+                at: t,
+                server: self.server,
+                rank: Some(rank),
+            });
+        }
+        events
+    }
+}
+
 /// A schedule of task kills and checkpoint-server failures.
 #[derive(Debug, Clone, Default)]
 pub struct FailurePlan {
@@ -60,6 +155,12 @@ pub struct FailurePlan {
     /// fails first (see the module docs). Node ids are raw topology ids —
     /// unlike server indices they are inherently placement-specific.
     pub node_kills: Vec<(SimTime, usize)>,
+    /// Explicit bit-flip events on stored replicas, in any order.
+    pub corruptions: Vec<CorruptionEvent>,
+    /// Seeded silent-corruption processes, expanded to explicit events at
+    /// schedule time (see
+    /// [`expanded_corruptions`](FailurePlan::expanded_corruptions)).
+    pub silent_corruption: Vec<SilentCorruptionSpec>,
 }
 
 impl FailurePlan {
@@ -99,6 +200,47 @@ impl FailurePlan {
     pub fn with_node_kill(mut self, at: SimTime, node: usize) -> FailurePlan {
         self.node_kills.push((at, node));
         self
+    }
+
+    /// Builder: add a bit-flip of `rank`'s newest stored image on fleet
+    /// server `server` at `at`.
+    pub fn with_corruption(mut self, at: SimTime, server: usize, rank: Rank) -> FailurePlan {
+        self.corruptions.push(CorruptionEvent {
+            at,
+            server,
+            rank: Some(rank),
+        });
+        self
+    }
+
+    /// Builder: add a whole-disk rot event flipping every replica stored
+    /// on fleet server `server` at `at`.
+    pub fn with_server_corruption(mut self, at: SimTime, server: usize) -> FailurePlan {
+        self.corruptions.push(CorruptionEvent {
+            at,
+            server,
+            rank: None,
+        });
+        self
+    }
+
+    /// Builder: add a seeded silent-corruption process.
+    pub fn with_silent_corruption(mut self, spec: SilentCorruptionSpec) -> FailurePlan {
+        self.silent_corruption.push(spec);
+        self
+    }
+
+    /// Explicit corruption events plus every silent-process expansion, in
+    /// plan order (explicit events first, then each spec's schedule).
+    /// This is the list the runner actually schedules; its order fixes
+    /// the corruption-lane assignment, so it must stay a pure function of
+    /// the plan — mirroring `NetFaultPlan::expanded_link_events`.
+    pub fn expanded_corruptions(&self) -> Vec<CorruptionEvent> {
+        let mut evs = self.corruptions.clone();
+        for spec in &self.silent_corruption {
+            evs.extend(spec.expand());
+        }
+        evs
     }
 
     /// Poisson failure process: system-wide exponential inter-arrival times
@@ -167,18 +309,27 @@ impl FailurePlan {
         self.kills.extend(other.kills);
         self.server_kills.extend(other.server_kills);
         self.node_kills.extend(other.node_kills);
+        self.corruptions.extend(other.corruptions);
+        self.silent_corruption.extend(other.silent_corruption);
         self
     }
 
     /// Number of scheduled failures (rank kills plus server failures plus
-    /// node deaths).
+    /// node deaths plus expanded corruption events).
     pub fn len(&self) -> usize {
-        self.kills.len() + self.server_kills.len() + self.node_kills.len()
+        self.kills.len()
+            + self.server_kills.len()
+            + self.node_kills.len()
+            + self.expanded_corruptions().len()
     }
 
     /// True when no failures of any kind are scheduled.
     pub fn is_empty(&self) -> bool {
-        self.kills.is_empty() && self.server_kills.is_empty() && self.node_kills.is_empty()
+        self.kills.is_empty()
+            && self.server_kills.is_empty()
+            && self.node_kills.is_empty()
+            && self.corruptions.is_empty()
+            && self.silent_corruption.is_empty()
     }
 }
 
@@ -311,6 +462,64 @@ mod tests {
         for w in a.server_kills.windows(2) {
             assert!(w[0].0 < w[1].0, "server kills share an instant: {w:?}");
         }
+    }
+
+    #[test]
+    fn corruption_builders_count_and_merge() {
+        let p = FailurePlan::none()
+            .with_corruption(SimTime::from_nanos(5), 0, 3)
+            .with_server_corruption(SimTime::from_nanos(9), 1);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.corruptions[0].rank, Some(3));
+        assert_eq!(p.corruptions[1].rank, None);
+        let merged = FailurePlan::kill_at(SimTime::from_nanos(1), 0).merged(p);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.corruptions.len(), 2);
+    }
+
+    #[test]
+    fn silent_corruption_expands_deterministically() {
+        let spec = SilentCorruptionSpec {
+            server: 1,
+            mtbc: SimDuration::from_secs(2),
+            start: SimTime::from_nanos(0),
+            end: SimTime::from_nanos(60_000_000_000),
+            ranks: 8,
+            seed: 17,
+        };
+        let a = spec.expand();
+        let b = spec.expand();
+        assert_eq!(a, b, "expansion must be a pure function of the spec");
+        assert!(!a.is_empty(), "a 60s window at 2s MTBC should fire");
+        for (i, ev) in a.iter().enumerate() {
+            assert_eq!(ev.server, 1);
+            assert!(ev.rank.is_some_and(|r| r < 8), "target drawn in range");
+            assert!(ev.at > spec.start && ev.at < spec.end);
+            if i > 0 {
+                assert!(a[i - 1].at < ev.at, "times strictly increase");
+            }
+        }
+        // Seed and server key the stream.
+        let reseeded = SilentCorruptionSpec { seed: 18, ..spec };
+        assert_ne!(a, reseeded.expand());
+        let moved = SilentCorruptionSpec { server: 0, ..spec };
+        let times = |evs: &[CorruptionEvent]| evs.iter().map(|e| e.at).collect::<Vec<_>>();
+        assert_ne!(times(&a), times(&moved.expand()));
+        // Degenerate windows expand to nothing instead of looping.
+        let empty = SilentCorruptionSpec {
+            end: spec.start,
+            ..spec
+        };
+        assert!(empty.expand().is_empty());
+        let no_ranks = SilentCorruptionSpec { ranks: 0, ..spec };
+        assert!(no_ranks.expand().is_empty());
+        // A plan carrying only a silent spec is non-empty and its len
+        // counts the expansion.
+        let p = FailurePlan::none().with_silent_corruption(spec);
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), a.len());
+        assert_eq!(p.expanded_corruptions(), a);
     }
 
     #[test]

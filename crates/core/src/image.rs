@@ -1,7 +1,15 @@
 //! Checkpoint images and wave records.
 
-use ftmpi_mpi::AppMsg;
+use ftmpi_mpi::{AppMsg, Rank};
 use ftmpi_sim::{SimDuration, SimTime};
+
+/// One FNV-1a step over a 64-bit word (byte-at-a-time, little-endian).
+fn fnv_word(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// The restart-relevant content of one rank's checkpoint image.
 ///
@@ -33,6 +41,40 @@ pub struct RankImage {
     /// so re-executed sends keep numbering where the receivers' duplicate
     /// filters expect it).
     pub send_seq: Vec<(ftmpi_mpi::Rank, u64)>,
+}
+
+impl RankImage {
+    /// Content digest of the image, keyed by the `(wave, rank)` slot it
+    /// occupies so identical logical positions in different slots still
+    /// hash apart. Computed once at capture and stamped on every stored
+    /// replica; verify-on-fetch recomputes it from the authoritative wave
+    /// record and rejects any replica whose stored digest disagrees (a
+    /// bit-flip or torn write mutated the stored copy). FNV-1a over the
+    /// restart-relevant fields — a pure function of the image, so the
+    /// digest itself never perturbs scheduling.
+    pub fn digest(&self, wave: u64, rank: Rank) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fnv_word(h, wave);
+        h = fnv_word(h, rank as u64);
+        h = fnv_word(h, self.ops_completed);
+        h = fnv_word(h, self.time_credit.as_nanos());
+        h = fnv_word(h, self.taken_at.as_nanos());
+        h = fnv_word(h, self.pending.len() as u64);
+        for m in &self.pending {
+            h = fnv_word(h, m.src as u64);
+            h = fnv_word(h, m.seq);
+            h = fnv_word(h, m.bytes);
+        }
+        for &(peer, mark) in &self.expect_seq {
+            h = fnv_word(h, peer as u64);
+            h = fnv_word(h, mark);
+        }
+        for &(peer, seq) in &self.send_seq {
+            h = fnv_word(h, peer as u64);
+            h = fnv_word(h, seq);
+        }
+        h
+    }
 }
 
 /// A committed checkpoint wave: everything needed to restart the job.
@@ -113,6 +155,25 @@ mod tests {
         // A restart before the commit instant (cannot happen, but the API
         // must not underflow) loses nothing.
         assert_eq!(rec.lost_work_at(SimTime::from_nanos(50)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn digest_is_pure_and_distinguishes_content_and_slot() {
+        let mut img = RankImage {
+            ops_completed: 42,
+            time_credit: SimDuration::from_nanos(17),
+            taken_at: SimTime::from_nanos(900),
+            ..RankImage::default()
+        };
+        let d = img.digest(3, 1);
+        assert_eq!(d, img.digest(3, 1), "digest is a pure function");
+        assert_ne!(d, img.digest(3, 2), "rank keys the digest");
+        assert_ne!(d, img.digest(4, 1), "wave keys the digest");
+        img.ops_completed = 43;
+        assert_ne!(d, img.digest(3, 1), "content changes the digest");
+        img.ops_completed = 42;
+        img.pending.push(msg(9));
+        assert_ne!(d, img.digest(3, 1), "pending messages are covered");
     }
 
     #[test]

@@ -45,7 +45,8 @@ pub mod vcl;
 
 pub use config::FtConfig;
 pub use deploy::Deployment;
-pub use failure::FailurePlan;
+pub use failure::{CorruptionEvent, FailurePlan, SilentCorruptionSpec};
+pub use image::RankImage;
 pub use mlog::Mlog;
 pub use pcl::Pcl;
 pub use recovery::RecoveryError;
@@ -53,5 +54,6 @@ pub use runner::{
     run_job, run_job_explored, run_job_with, JobError, JobResult, JobSpec, Platform,
     ProtocolChoice, RunOptions, ScheduleLog,
 };
+pub use server::StoreError;
 pub use stats::FtStats;
 pub use vcl::Vcl;

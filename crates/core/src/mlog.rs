@@ -248,6 +248,9 @@ impl Mlog {
                     server: m.server_node_of[r],
                     bytes: m.cfg.image_bytes,
                     stored_at: done_at,
+                    // Uncoordinated restores keep the image in-engine and
+                    // never digest-verify a fetch; the slot is bookkeeping.
+                    digest: 0,
                 },
             );
             if rt.ranks[r].incarnation == incarnation {

@@ -37,7 +37,7 @@ use crate::config::FtConfig;
 use crate::deploy::Deployment;
 use crate::flow::{send_control, start_flow_guarded, FlowRetry, FlowSpec};
 use crate::image::{RankImage, WaveRecord};
-use crate::server::{replica_targets, CheckpointStore, StoredImage};
+use crate::server::{replica_targets, CheckpointStore, StoredImage, TORN_WRITE};
 use crate::stats::{FtStats, WaveTiming};
 
 /// Deferred control items awaiting the rank's next library activity.
@@ -133,6 +133,11 @@ impl Pcl {
     /// Checkpoint-server node of every rank (restore planning).
     pub(crate) fn server_nodes_of_ranks(&self) -> Vec<NodeId> {
         self.server_node_of.clone()
+    }
+
+    /// Fault-tolerance knobs (restore planning, scrubber).
+    pub(crate) fn ft_cfg(&self) -> &FtConfig {
+        &self.cfg
     }
 
     /// Server node at `idx` in the deployment's fleet, if any.
@@ -576,16 +581,51 @@ impl Pcl {
                 return Fallback::Stale;
             }
             pcl.stats.retries_exhausted += 1;
+            // A *tearing* cut severed this stream mid-flight: the server is
+            // left holding a truncated prefix that can never hash to the
+            // image's digest. Record the torn replica (damaged bits, not a
+            // placement — no `ImageStore` trace) so fetches and scrubs must
+            // walk past it; the `server_holds` reroute filter below then
+            // keeps this wave from re-targeting the torn server. A dead or
+            // quarantined target keeps nothing (`record_image` drops the
+            // write), matching a store that died with its server.
+            if pcl.cfg.torn_writes && rt.net.cut_tears(spec.src, spec.dst) {
+                let expected = pcl
+                    .cur
+                    .as_ref()
+                    .map(|cur| cur.rec.images[rank].digest(wave, rank))
+                    .unwrap_or(0);
+                let torn = pcl.store.record_image(
+                    wave,
+                    rank,
+                    StoredImage {
+                        server: spec.dst,
+                        // The store tracks logical slots, not physical
+                        // bytes; the truncated prefix occupies the slot.
+                        bytes: spec.bytes,
+                        stored_at: sc.now(),
+                        digest: expected ^ TORN_WRITE,
+                    },
+                );
+                if torn {
+                    sc.trace_proto(ftmpi_sim::ProtoEvent::Corrupt {
+                        wave,
+                        rank,
+                        node: spec.dst.0 as u64,
+                    });
+                }
+            }
             let fleet = &pcl.server_nodes;
             let pos = fleet.iter().position(|n| *n == spec.dst).unwrap_or(0);
             // A candidate must be reachable round-trip: the push streams
             // source → server, the store acknowledgement comes back.
             // Rerouting across a half-open cut would commit an image the
-            // wave controller can never hear about.
+            // wave controller can never hear about. A quarantined server is
+            // as unplaceable as a dead one.
             let replacement = (1..fleet.len())
                 .map(|i| fleet[(pos + i) % fleet.len()])
                 .find(|&cand| {
-                    !pcl.store.server_failed(cand)
+                    !pcl.store.server_unplaceable(cand)
                         && rt.net.reachable(spec.src, cand)
                         && rt.net.reachable(cand, spec.src)
                         && !pcl.store.server_holds(wave, rank, cand)
@@ -616,7 +656,12 @@ impl Pcl {
     /// lands, notify rank 0 ("sends a message to the MPI process of rank 0
     /// such that a new checkpoint wave can be scheduled"). Streams whose
     /// wave was aborted meanwhile (mid-wave server failure — restarts kill
-    /// flows on the epoch guard instead) are dropped here.
+    /// flows on the epoch guard instead) are dropped here. The stored
+    /// record carries the image's content digest — what verify-on-fetch
+    /// later checks against. A write the store drops because the target was
+    /// quarantined while the stream was in flight re-enters the reroute
+    /// path (the streaming drag persists — the channel is still busy): the
+    /// replica must land on a placeable server for the wave to commit.
     fn image_stored(
         w: &mut World,
         sc: &SimCtx,
@@ -625,9 +670,14 @@ impl Pcl {
         server: NodeId,
         done_at: SimTime,
     ) {
+        enum Landing {
+            Stale,
+            Stored,
+            Dropped(FlowSpec),
+        }
         let _handle = w.rt.world_handle();
         let mut notify: Option<(NodeId, NodeId, u64)> = None;
-        Pcl::with(w, |pcl, rt| {
+        let landing = Pcl::with(w, |pcl, rt| {
             let current = pcl
                 .cur
                 .as_ref()
@@ -635,34 +685,60 @@ impl Pcl {
             if !current {
                 // Stale stream (wave aborted): the channel is idle again.
                 rt.ranks[rank].op_drag = ftmpi_sim::SimDuration::ZERO;
-                return;
+                return Landing::Stale;
             }
             pcl.stats.image_bytes_sent += pcl.cfg.image_bytes;
-            pcl.store.record_image(
+            let digest = pcl
+                .cur
+                .as_ref()
+                .map(|cur| cur.rec.images[rank].digest(wave, rank))
+                .unwrap_or(0);
+            let recorded = pcl.store.record_image(
                 wave,
                 rank,
                 StoredImage {
                     server,
                     bytes: pcl.cfg.image_bytes,
                     stored_at: done_at,
+                    digest,
                 },
             );
+            if !recorded {
+                return Landing::Dropped(FlowSpec {
+                    src: rt.placement.node_of(rank),
+                    dst: server,
+                    bytes: pcl.cfg.image_bytes,
+                    chunk: pcl.cfg.chunk_bytes,
+                    also_disk: false,
+                });
+            }
             let cur = pcl.cur.as_mut().expect("checked current above");
             cur.image_flows_left[rank] -= 1;
-            if cur.image_flows_left[rank] > 0 {
-                return; // more replicas still streaming: the drag persists
+            if cur.image_flows_left[rank] == 0 {
+                rt.ranks[rank].op_drag = ftmpi_sim::SimDuration::ZERO;
+                notify = Some((
+                    rt.placement.node_of(rank),
+                    rt.placement.node_of(0),
+                    pcl.cfg.control_bytes,
+                ));
             }
-            rt.ranks[rank].op_drag = ftmpi_sim::SimDuration::ZERO;
-            notify = Some((
-                rt.placement.node_of(rank),
-                rt.placement.node_of(0),
-                pcl.cfg.control_bytes,
-            ));
+            Landing::Stored
         });
-        if let Some((src, dst, bytes)) = notify {
-            send_control(w, sc, src, dst, bytes, None, move |w, sc| {
-                Pcl::on_image_report(w, sc, wave);
-            });
+        match landing {
+            Landing::Stale => {}
+            Landing::Stored => {
+                sc.trace_proto(ftmpi_sim::ProtoEvent::ImageStore {
+                    wave,
+                    rank,
+                    node: server.0 as u64,
+                });
+                if let Some((src, dst, bytes)) = notify {
+                    send_control(w, sc, src, dst, bytes, None, move |w, sc| {
+                        Pcl::on_image_report(w, sc, wave);
+                    });
+                }
+            }
+            Landing::Dropped(spec) => Pcl::image_push_failed(w, sc, rank, wave, spec),
         }
     }
 

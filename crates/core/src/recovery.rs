@@ -38,12 +38,14 @@ use ftmpi_mpi::{spawn_rank, AppFn, AppMsg, RankStatus, World, WorldRef};
 use ftmpi_net::NodeId;
 use ftmpi_sim::{SimCtx, SimTime};
 
+use ftmpi_sim::SimDuration;
+
 use crate::config::FtConfig;
-use crate::flow::flow_lane;
+use crate::flow::{flow_lane, start_flow_guarded, FlowRetry, FlowSpec};
 use crate::image::WaveRecord;
 use crate::pcl::Pcl;
 use crate::runner::ProtocolChoice;
-use crate::server::CheckpointStore;
+use crate::server::{CheckpointStore, StoreError, StoredImage};
 use crate::stats::FtStats;
 use crate::vcl::Vcl;
 
@@ -80,36 +82,141 @@ impl std::error::Error for RecoveryError {}
 /// Restore data pulled out of a protocol engine at failure time.
 pub(crate) struct RestoreData {
     pub wave: Option<WaveRecord>,
-    /// Per-rank server node an image fetch would come from (the replica's
-    /// actual location, falling back to the rank's primary server).
+    /// Per-rank server node an image fetch would come from (the lowest
+    /// replica whose digest verifies, falling back to the rank's primary
+    /// server).
     pub image_source: Vec<NodeId>,
-    /// Per-rank *full* replica list, ascending by node id, first entry
-    /// equal to `image_source[r]` whenever the store holds the image. A
-    /// fetch blocked by a network fault walks this list before giving up.
+    /// Per-rank *full* replica list, ascending by node id. A fetch blocked
+    /// by a network fault walks this list — re-verifying each candidate's
+    /// digest at fetch time — before giving up.
     pub image_sources: Vec<Vec<NodeId>>,
+    /// Per-rank digest the chosen wave's image must hash to (0 when
+    /// restoring from scratch; never consulted then).
+    pub expected_digest: Vec<u64>,
+    /// Damaged replicas the planner's verification walked past, as
+    /// (wave, rank, node) — the caller traces them (the planner has no
+    /// `SimCtx`).
+    pub detections: Vec<(u64, usize, NodeId)>,
+    /// Servers the planner pushed over the corruption threshold.
+    pub quarantines: Vec<NodeId>,
+}
+
+/// Inspect every replica of one (wave, rank) slot against the digest its
+/// wave record implies, recording each failure as a detection and
+/// quarantining servers that cross the threshold (0 disables quarantine).
+/// Returns how many replicas were damaged. Re-detections of a replica
+/// nothing has repaired or dropped yet count again — matching the
+/// [`FtStats::images_corrupt_detected`] contract.
+#[allow(clippy::too_many_arguments)] // an accounting sink, not an API
+fn detect_slot_damage(
+    store: &mut CheckpointStore,
+    wave: u64,
+    rank: usize,
+    expected: u64,
+    threshold: u64,
+    stats: &mut FtStats,
+    detections: &mut Vec<(u64, usize, NodeId)>,
+    quarantines: &mut Vec<NodeId>,
+) -> u64 {
+    let mut damaged = 0;
+    for node in store.locate_all(wave, rank) {
+        if store.verify_replica(wave, rank, node, expected).is_ok() {
+            continue;
+        }
+        damaged += 1;
+        stats.images_corrupt_detected += 1;
+        detections.push((wave, rank, node));
+        let seen = store.note_corruption(node);
+        if threshold > 0 && seen >= threshold && store.quarantine_server(node) {
+            stats.servers_quarantined += 1;
+            quarantines.push(node);
+        }
+    }
+    damaged
 }
 
 /// Pick the restore wave and account the rollback: the newest retained
-/// committed wave whose server-fetched images all survive, else older
-/// retained waves, else scratch. Shared by both coordinated engines.
+/// committed wave whose server-fetched images all survive *with a
+/// verifying digest*, else older retained waves, else scratch. Shared by
+/// both coordinated engines.
+///
+/// Verification is part of wave choice: a slot whose every replica fails
+/// its digest blocks the candidate exactly like a slot the server failure
+/// erased, so an all-copies-corrupt newest wave falls back to an older
+/// retained one instead of committing a doomed fetch. Damage seen along
+/// the way feeds the detection/quarantine counters; slots the fallback or
+/// the replica walk salvages count as repairs.
 fn plan_restore(
     committed: &[WaveRecord],
-    store: &CheckpointStore,
+    store: &mut CheckpointStore,
     server_node_of: &[NodeId],
     stats: &mut FtStats,
     now: SimTime,
     need_server: &[bool],
+    quarantine_threshold: u64,
 ) -> RestoreData {
-    let chosen = committed
-        .iter()
-        .rev()
-        .find(|rec| {
-            need_server
-                .iter()
-                .enumerate()
-                .all(|(r, need)| !need || store.has_image(rec.wave, r))
-        })
-        .cloned();
+    let mut detections = Vec::new();
+    let mut quarantines = Vec::new();
+    let mut chosen: Option<WaveRecord> = None;
+    let mut fallback_repairs = 0u64;
+    for rec in committed.iter().rev() {
+        let mut viable = true;
+        let mut blocked_by_corruption = 0u64;
+        for (r, need) in need_server.iter().enumerate() {
+            if !need {
+                continue;
+            }
+            let expected = rec.images[r].digest(rec.wave, r);
+            if store.has_intact_image(rec.wave, r, expected) {
+                continue;
+            }
+            viable = false;
+            if store.has_image(rec.wave, r) {
+                // Replicas exist but every copy fails verification:
+                // corruption, not server loss, blocked this wave here.
+                blocked_by_corruption += 1;
+                detect_slot_damage(
+                    store,
+                    rec.wave,
+                    r,
+                    expected,
+                    quarantine_threshold,
+                    stats,
+                    &mut detections,
+                    &mut quarantines,
+                );
+            }
+        }
+        if viable {
+            // Damaged copies on the chosen wave are walked past by the
+            // verified fetch: each affected slot is one repair.
+            for (r, need) in need_server.iter().enumerate() {
+                if !need {
+                    continue;
+                }
+                let expected = rec.images[r].digest(rec.wave, r);
+                let damaged = detect_slot_damage(
+                    store,
+                    rec.wave,
+                    r,
+                    expected,
+                    quarantine_threshold,
+                    stats,
+                    &mut detections,
+                    &mut quarantines,
+                );
+                stats.images_repaired += u64::from(damaged > 0);
+            }
+            chosen = Some(rec.clone());
+            break;
+        }
+        fallback_repairs += blocked_by_corruption;
+    }
+    if chosen.is_some() {
+        // Slots salvaged by falling back past a corruption-blocked newer
+        // wave: the older retained copy is the repair.
+        stats.images_repaired += fallback_repairs;
+    }
     let depth = match &chosen {
         Some(rec) => committed.iter().filter(|c| c.wave > rec.wave).count() as u64,
         None => committed.len() as u64,
@@ -122,11 +229,19 @@ fn plan_restore(
     if chosen.is_some() {
         stats.images_refetched += need_server.iter().filter(|&&b| b).count() as u64;
     }
+    let expected_digest: Vec<u64> = (0..server_node_of.len())
+        .map(|r| {
+            chosen
+                .as_ref()
+                .map(|rec| rec.images[r].digest(rec.wave, r))
+                .unwrap_or(0)
+        })
+        .collect();
     let image_source = (0..server_node_of.len())
         .map(|r| {
             chosen
                 .as_ref()
-                .and_then(|rec| store.locate(rec.wave, r))
+                .and_then(|rec| store.locate_intact(rec.wave, r, expected_digest[r]))
                 .map(|img| img.server)
                 .unwrap_or(server_node_of[r])
         })
@@ -148,6 +263,9 @@ fn plan_restore(
         wave: chosen,
         image_source,
         image_sources,
+        expected_digest,
+        detections,
+        quarantines,
     }
 }
 
@@ -167,13 +285,15 @@ impl Vcl {
         };
         vcl.stats.restarts += 1;
         let server_node_of = vcl.server_nodes_of_ranks();
+        let threshold = vcl.ft_cfg().quarantine_threshold;
         Ok(plan_restore(
             &vcl.committed,
-            &vcl.store,
+            &mut vcl.store,
             &server_node_of,
             &mut vcl.stats,
             now,
             need_server,
+            threshold,
         ))
     }
 }
@@ -194,13 +314,15 @@ impl Pcl {
         };
         pcl.stats.restarts += 1;
         let server_node_of = pcl.server_nodes_of_ranks();
+        let threshold = pcl.ft_cfg().quarantine_threshold;
         Ok(plan_restore(
             &pcl.committed,
-            &pcl.store,
+            &mut pcl.store,
             &server_node_of,
             &mut pcl.stats,
             now,
             need_server,
+            threshold,
         ))
     }
 }
@@ -305,30 +427,7 @@ pub fn server_fail(
     if w.rt.job_complete() {
         return Ok(());
     }
-    let node = {
-        let World { proto, .. } = &mut *w;
-        let found = proto.name();
-        match kind {
-            ProtocolChoice::Dummy | ProtocolChoice::Mlog => None,
-            ProtocolChoice::Vcl => proto
-                .as_any_mut()
-                .downcast_mut::<Vcl>()
-                .ok_or(RecoveryError::ProtocolMismatch {
-                    expected: "vcl",
-                    found,
-                })?
-                .server_fleet_node(server_index),
-            ProtocolChoice::Pcl => proto
-                .as_any_mut()
-                .downcast_mut::<Pcl>()
-                .ok_or(RecoveryError::ProtocolMismatch {
-                    expected: "pcl",
-                    found,
-                })?
-                .server_fleet_node(server_index),
-        }
-    };
-    let Some(node) = node else {
+    let Some(node) = fleet_node_of(&mut w, kind, server_index)? else {
         return Ok(());
     };
     sc.trace_proto(ftmpi_sim::ProtoEvent::ServerFail {
@@ -338,6 +437,75 @@ pub fn server_fail(
         ProtocolChoice::Dummy | ProtocolChoice::Mlog => {}
         ProtocolChoice::Vcl => Vcl::on_server_failed(&mut w, sc, node),
         ProtocolChoice::Pcl => Pcl::on_server_failed(&mut w, sc, node),
+    }
+    Ok(())
+}
+
+/// Resolve a checkpoint-server fleet index to its node for the coordinated
+/// engines; `Ok(None)` for `Dummy`/`Mlog` or an out-of-range index.
+fn fleet_node_of(
+    w: &mut World,
+    kind: ProtocolChoice,
+    server_index: usize,
+) -> Result<Option<NodeId>, RecoveryError> {
+    let World { proto, .. } = w;
+    let found = proto.name();
+    Ok(match kind {
+        ProtocolChoice::Dummy | ProtocolChoice::Mlog => None,
+        ProtocolChoice::Vcl => proto
+            .as_any_mut()
+            .downcast_mut::<Vcl>()
+            .ok_or(RecoveryError::ProtocolMismatch {
+                expected: "vcl",
+                found,
+            })?
+            .server_fleet_node(server_index),
+        ProtocolChoice::Pcl => proto
+            .as_any_mut()
+            .downcast_mut::<Pcl>()
+            .ok_or(RecoveryError::ProtocolMismatch {
+                expected: "pcl",
+                found,
+            })?
+            .server_fleet_node(server_index),
+    })
+}
+
+/// Silently damage stored image replicas on a checkpoint-server node (by
+/// fleet index): `rank: Some(r)` flips the replica of `r`'s image
+/// belonging to the newest wave stored there; `rank: None` flips every
+/// replica the node holds (whole-disk bit rot). Nothing in the runtime
+/// notices *now* — detection happens when a fetch or scrub pass verifies a
+/// digest, which is the whole point of the injection. No-ops mirror
+/// [`server_fail`]: `Dummy`/`Mlog`, an out-of-range index, a completed
+/// job, or a server holding nothing to damage.
+pub fn corrupt_images(
+    sc: &SimCtx,
+    world: &WorldRef,
+    kind: ProtocolChoice,
+    server_index: usize,
+    rank: Option<usize>,
+) -> Result<(), RecoveryError> {
+    let mut w = world.lock();
+    if w.rt.job_complete() {
+        return Ok(());
+    }
+    let Some(node) = fleet_node_of(&mut w, kind, server_index)? else {
+        return Ok(());
+    };
+    let damaged: Vec<(u64, usize)> = match rank {
+        Some(r) => with_store(&mut w, kind, |s| s.corrupt_newest(r, node))
+            .flatten()
+            .map(|wave| vec![(wave, r)])
+            .unwrap_or_default(),
+        None => with_store(&mut w, kind, |s| s.corrupt_server(node)).unwrap_or_default(),
+    };
+    for (wave, r) in damaged {
+        sc.trace_proto(ftmpi_sim::ProtoEvent::Corrupt {
+            wave,
+            rank: r,
+            node: node.0 as u64,
+        });
     }
     Ok(())
 }
@@ -430,6 +598,20 @@ pub fn fail_and_restart_many(
         }
     };
     let wave = restore.as_ref().and_then(|d| d.wave.clone());
+    if let Some(data) = &restore {
+        for &(cw, cr, cnode) in &data.detections {
+            sc.trace_proto(ftmpi_sim::ProtoEvent::CorruptDetected {
+                wave: cw,
+                rank: cr,
+                node: cnode.0 as u64,
+            });
+        }
+        for &qnode in &data.quarantines {
+            sc.trace_proto(ftmpi_sim::ProtoEvent::Quarantine {
+                node: qnode.0 as u64,
+            });
+        }
+    }
 
     // 3. Per-rank restore: reset runtime state, compute the time at which
     //    the rank's image is back in memory, schedule replay + respawn.
@@ -447,7 +629,7 @@ pub fn fail_and_restart_many(
         w.rt.ranks[r].reset_for_restart(skip, credit);
         let node = w.rt.placement.node_of(r);
         let ready: Option<SimTime> = match (&wave, &restore) {
-            (Some(_), Some(data)) => {
+            (Some(rec), Some(data)) => {
                 if from_server {
                     // A fetch is a round trip: the request must reach the
                     // server and the image must come back. A half-open cut
@@ -457,6 +639,13 @@ pub fn fail_and_restart_many(
                     if w.rt.net.reachable(data.image_source[r], node)
                         && w.rt.net.reachable(node, data.image_source[r])
                     {
+                        // The planner picked this source under the same
+                        // lock, digest-verified — record the consumption.
+                        sc.trace_proto(ftmpi_sim::ProtoEvent::RestoreImage {
+                            wave: rec.wave,
+                            rank: r,
+                            node: data.image_source[r].0 as u64,
+                        });
                         Some(
                             w.rt.net
                                 .transfer(data.image_source[r], node, ft.image_bytes, base)
@@ -503,6 +692,8 @@ pub fn fail_and_restart_many(
                 node,
                 sources,
                 delayed_sends,
+                wave: wave.as_ref().map_or(0, |rec| rec.wave),
+                expected: restore.as_ref().map_or(0, |d| d.expected_digest[r]),
             });
             continue;
         };
@@ -548,6 +739,7 @@ pub fn fail_and_restart_many(
                     fetch: bf,
                     src_idx: 0,
                     attempt: 0,
+                    saw_corrupt: false,
                     ft: ft.clone(),
                     app: app.clone(),
                     join: join.clone(),
@@ -567,6 +759,10 @@ struct BlockedFetch {
     /// Replica nodes holding the image, tried in order.
     sources: Vec<NodeId>,
     delayed_sends: Vec<AppMsg>,
+    /// Wave being restored (for digest verification and tracing).
+    wave: u64,
+    /// Digest the fetched image must hash to.
+    expected: u64,
 }
 
 /// Shared completion state for the blocked fetches of one restart: the wave
@@ -586,6 +782,9 @@ struct FetchProbe {
     src_idx: usize,
     /// Consecutive failed probes against `sources[src_idx]`.
     attempt: u32,
+    /// Whether this chain walked past at least one damaged replica — the
+    /// successful fetch then counts as a repair.
+    saw_corrupt: bool,
     ft: FtConfig,
     app: AppFn,
     join: Arc<StdMutex<FetchJoin>>,
@@ -625,12 +824,16 @@ fn schedule_respawn(
 /// One probe of a blocked image fetch, on the destination node's flow lane
 /// (it races flow chunks and fault transitions touching the same node).
 ///
-/// Reachable source → reserve the transfer, schedule the respawn, update
-/// the join (re-arming the wave timer if this was the last blocked fetch).
-/// Unreachable → back off exponentially; after `link_retry_limit` failed
-/// probes move to the next replica; after the last replica, record a fatal
-/// error and stop the simulation — a job whose every image replica sits
-/// behind a partition that never heals must terminate, not hang.
+/// Reachable source → verify the replica's digest; intact → reserve the
+/// transfer, schedule the respawn, update the join (re-arming the wave
+/// timer if this was the last blocked fetch). A replica that fails
+/// verification is a typed detection — counted, traced, fed to the
+/// quarantine threshold — and the chain walks to the next replica
+/// immediately (no point retrying damaged bits). Unreachable → back off
+/// exponentially; after `link_retry_limit` failed probes move to the next
+/// replica; after the last replica, record a fatal error and stop the
+/// simulation — a job whose every image replica sits behind a partition
+/// that never heals (or is damaged) must terminate, not hang.
 fn schedule_fetch_probe(sc: &SimCtx, p: FetchProbe, at: SimTime) {
     let lane = Some(flow_lane(p.fetch.node));
     sc.schedule_keyed(at, lane, move |sc| {
@@ -648,6 +851,7 @@ fn schedule_fetch_probe(sc: &SimCtx, p: FetchProbe, at: SimTime) {
             fetch,
             mut src_idx,
             mut attempt,
+            mut saw_corrupt,
             ft,
             app,
             join,
@@ -691,6 +895,7 @@ fn schedule_fetch_probe(sc: &SimCtx, p: FetchProbe, at: SimTime) {
                     fetch,
                     src_idx,
                     attempt,
+                    saw_corrupt,
                     ft,
                     app,
                     join,
@@ -699,11 +904,86 @@ fn schedule_fetch_probe(sc: &SimCtx, p: FetchProbe, at: SimTime) {
             );
             return;
         }
-        let source = source.expect("reachable implies a source");
+        let Some(source) = source else {
+            return; // unreachable by construction: reachable implies a source
+        };
+        // Verify-on-fetch: the replica must hash to the digest the wave
+        // record implies before the restore commits to it.
+        let verdict = with_store(&mut w, kind, |store| {
+            store
+                .verify_replica(fetch.wave, fetch.rank, source, fetch.expected)
+                .map(|_| ())
+        });
+        if let Some(Err(err)) = verdict {
+            if matches!(err, StoreError::CorruptImage { .. }) {
+                saw_corrupt = true;
+                with_ft_stats(&mut w, kind, |s| s.images_corrupt_detected += 1);
+                sc.trace_proto(ftmpi_sim::ProtoEvent::CorruptDetected {
+                    wave: fetch.wave,
+                    rank: fetch.rank,
+                    node: source.0 as u64,
+                });
+                let quarantined = with_store(&mut w, kind, |store| {
+                    let seen = store.note_corruption(source);
+                    ft.quarantine_threshold > 0
+                        && seen >= ft.quarantine_threshold
+                        && store.quarantine_server(source)
+                })
+                .unwrap_or(false);
+                if quarantined {
+                    with_ft_stats(&mut w, kind, |s| s.servers_quarantined += 1);
+                    sc.trace_proto(ftmpi_sim::ProtoEvent::Quarantine {
+                        node: source.0 as u64,
+                    });
+                }
+            }
+            // NoReplica: the holder dropped the copy after the restore was
+            // planned (it died mid-walk) — walk on without blaming a disk.
+            // Either way the next replica gets a fresh backoff ladder.
+            src_idx += 1;
+            attempt = 0;
+            if src_idx >= fetch.sources.len() {
+                w.rt.record_fatal(&format!(
+                    "restart of rank {}: every image replica corrupt, missing, or unreachable",
+                    fetch.rank
+                ));
+                sc.request_stop();
+                return;
+            }
+            drop(w);
+            schedule_fetch_probe(
+                sc,
+                FetchProbe {
+                    handle,
+                    epoch,
+                    kind,
+                    fetch,
+                    src_idx,
+                    attempt,
+                    saw_corrupt,
+                    ft,
+                    app,
+                    join,
+                },
+                sc.now(),
+            );
+            return;
+        }
         if src_idx > 0 {
             with_ft_stats(&mut w, kind, |s| {
                 s.images_rerouted += 1;
                 s.replica_depth_max = s.replica_depth_max.max(src_idx as u64);
+            });
+        }
+        if saw_corrupt {
+            // The walk recovered past damaged bits to a verified copy.
+            with_ft_stats(&mut w, kind, |s| s.images_repaired += 1);
+        }
+        if verdict.is_some() {
+            sc.trace_proto(ftmpi_sim::ProtoEvent::RestoreImage {
+                wave: fetch.wave,
+                rank: fetch.rank,
+                node: source.0 as u64,
             });
         }
         let ready =
@@ -720,7 +1000,12 @@ fn schedule_fetch_probe(sc: &SimCtx, p: FetchProbe, at: SimTime) {
             app,
         );
         let rearm_at = {
-            let mut j = join.lock().expect("fetch join poisoned");
+            // A poisoned join only means another probe's closure panicked
+            // mid-update; the counters are plain integers, safe to reuse.
+            let mut j = match join.lock() {
+                Ok(j) => j,
+                Err(poisoned) => poisoned.into_inner(),
+            };
             j.remaining -= 1;
             j.latest_ready = j.latest_ready.max(ready);
             (j.remaining == 0).then_some(j.latest_ready)
@@ -742,6 +1027,27 @@ fn schedule_fetch_probe(sc: &SimCtx, p: FetchProbe, at: SimTime) {
     });
 }
 
+/// Run `f` against the coordinated engine's checkpoint store; `None` for
+/// `Dummy`/`Mlog` or on a downcast mismatch.
+fn with_store<T>(
+    w: &mut World,
+    kind: ProtocolChoice,
+    f: impl FnOnce(&mut CheckpointStore) -> T,
+) -> Option<T> {
+    let World { proto, .. } = w;
+    match kind {
+        ProtocolChoice::Dummy | ProtocolChoice::Mlog => None,
+        ProtocolChoice::Vcl => proto
+            .as_any_mut()
+            .downcast_mut::<Vcl>()
+            .map(|v| f(&mut v.store)),
+        ProtocolChoice::Pcl => proto
+            .as_any_mut()
+            .downcast_mut::<Pcl>()
+            .map(|p| f(&mut p.store)),
+    }
+}
+
 /// Bump a counter in the coordinated engine's `FtStats`; no-op for
 /// `Dummy`/`Mlog` or on a downcast mismatch.
 fn with_ft_stats(w: &mut World, kind: ProtocolChoice, f: impl FnOnce(&mut FtStats)) {
@@ -758,6 +1064,228 @@ fn with_ft_stats(w: &mut World, kind: ProtocolChoice, f: impl FnOnce(&mut FtStat
                 f(&mut p.stats);
             }
         }
+    }
+}
+
+/// Tiebreak lane for scrub ticks. The scrubber is a fleet-wide background
+/// service whose wakeups race flow chunks and fault transitions; the lane
+/// (bit 62 alone) is disjoint from flow lanes (bit 63 | node), fault lanes
+/// (bits 63|62 | idx), and process lanes (small integers).
+const SCRUB_LANE: u64 = 1 << 62;
+
+/// Arm the background scrub service: every `interval` the scrubber
+/// re-verifies every retained replica's digest against its wave record,
+/// launches a re-replication flow from a verified good copy over each
+/// damaged one, and feeds the quarantine threshold. Coordinated engines
+/// only. The service belongs to the checkpoint fleet, not the job epoch —
+/// it survives restarts and stands down only when the job completes.
+pub fn arm_scrubber(sc: &SimCtx, world: &WorldRef, kind: ProtocolChoice, interval: SimDuration) {
+    if matches!(kind, ProtocolChoice::Dummy | ProtocolChoice::Mlog) {
+        return;
+    }
+    let handle = world.lock().rt.world_handle();
+    schedule_scrub_tick(sc, handle, kind, interval, sc.now() + interval);
+}
+
+fn schedule_scrub_tick(
+    sc: &SimCtx,
+    handle: Weak<parking_lot::Mutex<World>>,
+    kind: ProtocolChoice,
+    interval: SimDuration,
+    at: SimTime,
+) {
+    sc.schedule_keyed(at, Some(SCRUB_LANE), move |sc| {
+        let Some(world) = handle.upgrade() else {
+            return;
+        };
+        {
+            let mut w = world.lock();
+            if w.rt.job_complete() {
+                return;
+            }
+            scrub_pass(&mut w, sc, kind);
+        }
+        let handle = world.lock().rt.world_handle();
+        schedule_scrub_tick(sc, handle, kind, interval, sc.now() + interval);
+    });
+}
+
+/// One repair the scrub pass decided on: overwrite the damaged replica of
+/// (wave, rank) on `node` by streaming `bytes` from the verified copy on
+/// `src`.
+struct ScrubRepair {
+    wave: u64,
+    rank: usize,
+    node: NodeId,
+    expected: u64,
+    src: NodeId,
+    bytes: u64,
+}
+
+/// What one scrub scan decided: damaged `(wave, rank, holder)` slots to
+/// trace, servers that crossed the quarantine threshold, and the repairs
+/// to launch.
+type ScrubFindings = (Vec<(u64, usize, NodeId)>, Vec<NodeId>, Vec<ScrubRepair>);
+
+/// Verify every retained (wave, rank, replica) slot of one engine in
+/// deterministic store order, doing the detection/quarantine accounting
+/// in place and returning what to trace and which repairs to launch. A
+/// damaged copy is repaired only when its holder can still take writes
+/// (not dead, not quarantined — including a quarantine this very pass
+/// triggered) and some replica of the slot still verifies; otherwise the
+/// next restore's replica walk or retained-wave fallback deals with it.
+fn scrub_engine(
+    committed: &[WaveRecord],
+    store: &mut CheckpointStore,
+    stats: &mut FtStats,
+    threshold: u64,
+) -> ScrubFindings {
+    let mut detections = Vec::new();
+    let mut quarantines = Vec::new();
+    let mut repairs = Vec::new();
+    for rec in committed {
+        for r in 0..rec.images.len() {
+            let expected = rec.images[r].digest(rec.wave, r);
+            let before = detections.len();
+            detect_slot_damage(
+                store,
+                rec.wave,
+                r,
+                expected,
+                threshold,
+                stats,
+                &mut detections,
+                &mut quarantines,
+            );
+            for &(wave, rank, node) in &detections[before..] {
+                if store.server_unplaceable(node) {
+                    continue;
+                }
+                let Some(good) = store.locate_intact(wave, rank, expected) else {
+                    continue;
+                };
+                repairs.push(ScrubRepair {
+                    wave,
+                    rank,
+                    node,
+                    expected,
+                    src: good.server,
+                    bytes: good.bytes,
+                });
+            }
+        }
+    }
+    (detections, quarantines, repairs)
+}
+
+/// One scrub pass over the engine's retained waves: account and trace the
+/// damage, then launch one bounded re-replication flow per damaged copy.
+/// The repair write lands only if, when the stream completes, the slot is
+/// still retained, still damaged (an earlier repair may have won), and the
+/// target still takes writes — checked under the lock at completion time.
+fn scrub_pass(w: &mut World, sc: &SimCtx, kind: ProtocolChoice) {
+    let scanned = {
+        let World { proto, .. } = &mut *w;
+        match kind {
+            ProtocolChoice::Dummy | ProtocolChoice::Mlog => None,
+            ProtocolChoice::Vcl => proto.as_any_mut().downcast_mut::<Vcl>().map(|v| {
+                let cfg = v.ft_cfg();
+                let (threshold, chunk, retry) = (
+                    cfg.quarantine_threshold,
+                    cfg.chunk_bytes,
+                    FlowRetry::bounded(cfg),
+                );
+                let (d, q, jobs) =
+                    scrub_engine(&v.committed, &mut v.store, &mut v.stats, threshold);
+                (d, q, jobs, chunk, retry)
+            }),
+            ProtocolChoice::Pcl => proto.as_any_mut().downcast_mut::<Pcl>().map(|p| {
+                let cfg = p.ft_cfg();
+                let (threshold, chunk, retry) = (
+                    cfg.quarantine_threshold,
+                    cfg.chunk_bytes,
+                    FlowRetry::bounded(cfg),
+                );
+                let (d, q, jobs) =
+                    scrub_engine(&p.committed, &mut p.store, &mut p.stats, threshold);
+                (d, q, jobs, chunk, retry)
+            }),
+        }
+    };
+    let Some((detections, quarantines, repairs, chunk, retry)) = scanned else {
+        return;
+    };
+    for &(wave, rank, node) in &detections {
+        sc.trace_proto(ftmpi_sim::ProtoEvent::CorruptDetected {
+            wave,
+            rank,
+            node: node.0 as u64,
+        });
+    }
+    for &node in &quarantines {
+        sc.trace_proto(ftmpi_sim::ProtoEvent::Quarantine {
+            node: node.0 as u64,
+        });
+    }
+    for job in repairs {
+        let ScrubRepair {
+            wave,
+            rank,
+            node,
+            expected,
+            src,
+            bytes,
+        } = job;
+        let spec = FlowSpec {
+            src,
+            dst: node,
+            bytes,
+            chunk,
+            also_disk: false,
+        };
+        start_flow_guarded(
+            w,
+            sc,
+            spec,
+            retry,
+            // Target unreachable past the retry budget: surrender — the
+            // next tick re-detects and tries again.
+            |_, _| {},
+            move |w, sc, done| {
+                let recorded = with_store(w, kind, |s| {
+                    if !s.server_holds(wave, rank, node) {
+                        return false; // wave GC'd or the holder died mid-repair
+                    }
+                    if s.verify_replica(wave, rank, node, expected).is_ok() {
+                        return false; // an earlier repair already landed
+                    }
+                    s.record_image(
+                        wave,
+                        rank,
+                        StoredImage {
+                            server: node,
+                            bytes,
+                            stored_at: done,
+                            digest: expected,
+                        },
+                    )
+                })
+                .unwrap_or(false);
+                if recorded {
+                    with_ft_stats(w, kind, |st| st.images_repaired += 1);
+                    sc.trace_proto(ftmpi_sim::ProtoEvent::Repair {
+                        wave,
+                        rank,
+                        node: node.0 as u64,
+                    });
+                    sc.trace_proto(ftmpi_sim::ProtoEvent::ImageStore {
+                        wave,
+                        rank,
+                        node: node.0 as u64,
+                    });
+                }
+            },
+        );
     }
 }
 
@@ -796,12 +1324,13 @@ pub fn partition_cut(
     name: &str,
     nodes: &[NodeId],
     direction: ftmpi_net::CutDirection,
+    tear: bool,
     service_node: NodeId,
 ) {
     let (handle, epoch) = {
         let mut w = world.lock();
         w.rt.net
-            .start_partition_directed(name, nodes.iter().copied(), direction);
+            .start_partition_with(name, nodes.iter().copied(), direction, tear);
         (w.rt.world_handle(), w.rt.epoch)
     };
     let Some(grace) = ft.partition_rollback_after else {

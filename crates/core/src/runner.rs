@@ -16,7 +16,8 @@ use crate::failure::FailurePlan;
 use crate::mlog::Mlog;
 use crate::pcl::Pcl;
 use crate::recovery::{
-    inject_kill, inject_kill_many, mlog_fail_and_restart, partition_cut, server_fail,
+    arm_scrubber, corrupt_images, inject_kill, inject_kill_many, mlog_fail_and_restart,
+    partition_cut, server_fail,
 };
 use crate::stats::FtStats;
 use crate::vcl::Vcl;
@@ -163,6 +164,12 @@ impl JobResult {
         line("ft.partitions_expired", self.ft.partitions_expired);
         line("ft.retries_exhausted", self.ft.retries_exhausted);
         line("ft.replica_depth_max", self.ft.replica_depth_max);
+        line(
+            "ft.images_corrupt_detected",
+            self.ft.images_corrupt_detected,
+        );
+        line("ft.images_repaired", self.ft.images_repaired);
+        line("ft.servers_quarantined", self.ft.servers_quarantined);
         line("rt.msgs_sent", self.rt.msgs_sent);
         line("rt.bytes_sent", self.rt.bytes_sent);
         line("rt.msgs_delivered", self.rt.msgs_delivered);
@@ -272,6 +279,9 @@ impl JobResult {
                 partitions_expired: take("ft.partitions_expired")?,
                 retries_exhausted: take("ft.retries_exhausted")?,
                 replica_depth_max: take("ft.replica_depth_max")?,
+                images_corrupt_detected: take("ft.images_corrupt_detected")?,
+                images_repaired: take("ft.images_repaired")?,
+                servers_quarantined: take("ft.servers_quarantined")?,
             },
             rt: RuntimeStats {
                 msgs_sent: take("rt.msgs_sent")?,
@@ -603,6 +613,7 @@ pub fn run_job_explored(
             direction: sp.direction,
             start: sp.start,
             heal: sp.heal,
+            tear: sp.tear,
         });
     }
     for p in partitions {
@@ -612,6 +623,7 @@ pub fn run_job_explored(
         let name = p.name.clone();
         let nodes = p.nodes.clone();
         let direction = p.direction;
+        let tear = p.tear;
         sim.schedule_link_fault(p.start, fault_lane(fault_idx), move |sc| {
             partition_cut(
                 sc,
@@ -622,6 +634,7 @@ pub fn run_job_explored(
                 &name,
                 &nodes,
                 direction,
+                tear,
                 service_node,
             );
         });
@@ -633,6 +646,34 @@ pub fn run_job_explored(
                 w2.lock().rt.net.heal_partition(&name);
             });
             fault_idx += 1;
+        }
+    }
+
+    // Corruption schedule: explicit bit-flips plus expanded silent-rot
+    // events, each on its own fault lane (continuing the network-fault
+    // counter — corruption races flows and fetch probes touching the same
+    // replica exactly like a link transition would).
+    for ev in spec.failures.expanded_corruptions() {
+        let w2 = Arc::clone(&world);
+        sim.schedule_link_fault(ev.at, fault_lane(fault_idx), move |sc| {
+            if let Err(e) = corrupt_images(sc, &w2, protocol, ev.server, ev.rank) {
+                w2.lock().rt.record_fatal(&e.to_string());
+            }
+        });
+        fault_idx += 1;
+    }
+
+    // Background scrubber (off by default). `FTMPI_NO_SCRUB` force-disables
+    // it regardless of the spec — the operational kill switch when a scrub
+    // storm needs to be ruled out in the field.
+    if let Some(interval) = spec.ft.scrub_interval {
+        if std::env::var_os("FTMPI_NO_SCRUB").is_none()
+            && matches!(protocol, ProtocolChoice::Vcl | ProtocolChoice::Pcl)
+        {
+            let w2 = Arc::clone(&world);
+            sim.schedule(SimTime::ZERO, move |sc| {
+                arm_scrubber(sc, &w2, protocol, interval);
+            });
         }
     }
 
@@ -729,6 +770,9 @@ mod tests {
                 partitions_expired: 1,
                 retries_exhausted: 4,
                 replica_depth_max: 2,
+                images_corrupt_detected: 5,
+                images_repaired: 3,
+                servers_quarantined: 1,
             },
             rt: RuntimeStats {
                 msgs_sent: 1000,

@@ -79,6 +79,20 @@ pub struct FtStats {
     /// from its primary server; 1 = some fetch fell back to the first
     /// replica copy, and so on).
     pub replica_depth_max: u64,
+    /// Digest-verification failures caught by verify-on-fetch or the
+    /// background scrub pass: each count is one damaged replica detected
+    /// (the same replica may be detected more than once if nothing
+    /// repaired or dropped it between fetches).
+    pub images_corrupt_detected: u64,
+    /// Damaged images the runtime recovered from anyway: a fetch that
+    /// walked the replica ladder past corrupt copies to a good one, a
+    /// restore that fell back to an older retained wave because every copy
+    /// of the newer one was damaged, or a scrub re-replication that
+    /// overwrote a corrupt replica from a good copy.
+    pub images_repaired: u64,
+    /// Checkpoint servers quarantined after exceeding the corruption
+    /// threshold (excluded from placement and reroute from then on).
+    pub servers_quarantined: u64,
 }
 
 impl FtStats {

@@ -32,7 +32,7 @@ use crate::config::FtConfig;
 use crate::deploy::Deployment;
 use crate::flow::{send_control, start_flow, start_flow_guarded, FlowRetry, FlowSpec};
 use crate::image::{RankImage, WaveRecord};
-use crate::server::{replica_targets, CheckpointStore, StoredImage};
+use crate::server::{replica_targets, CheckpointStore, StoredImage, TORN_WRITE};
 use crate::stats::{FtStats, WaveTiming};
 
 /// In-flight wave state.
@@ -123,6 +123,12 @@ impl Vcl {
     /// Checkpoint-server node of every rank (restore planning).
     pub(crate) fn server_nodes_of_ranks(&self) -> Vec<NodeId> {
         self.server_node_of.clone()
+    }
+
+    /// The engine's fault-tolerance config, for the recovery and scrub
+    /// paths that live outside this module (`cfg` itself stays private).
+    pub(crate) fn ft_cfg(&self) -> &FtConfig {
+        &self.cfg
     }
 
     /// Server node at `idx` in the deployment's fleet, if any.
@@ -462,14 +468,49 @@ impl Vcl {
                 return Fallback::Stale; // the wave died while we backed off
             }
             vcl.stats.retries_exhausted += 1;
+            // A *tearing* cut severed this stream mid-flight: the server is
+            // left holding a truncated prefix that can never hash to the
+            // image's digest. Record the torn replica (damaged bits, not a
+            // placement — no `ImageStore` trace) so fetches and scrubs must
+            // walk past it; the `server_holds` reroute filter below then
+            // keeps this wave from re-targeting the torn server. A dead or
+            // quarantined target keeps nothing (`record_image` drops the
+            // write), matching a store that died with its server.
+            if vcl.cfg.torn_writes && rt.net.cut_tears(spec.src, spec.dst) {
+                let expected = vcl
+                    .cur
+                    .as_ref()
+                    .map(|cur| cur.rec.images[r].digest(wave, r))
+                    .unwrap_or(0);
+                let torn = vcl.store.record_image(
+                    wave,
+                    r,
+                    StoredImage {
+                        server: spec.dst,
+                        // The store tracks logical slots, not physical
+                        // bytes; the truncated prefix occupies the slot.
+                        bytes: spec.bytes,
+                        stored_at: sc.now(),
+                        digest: expected ^ TORN_WRITE,
+                    },
+                );
+                if torn {
+                    sc.trace_proto(ftmpi_sim::ProtoEvent::Corrupt {
+                        wave,
+                        rank: r,
+                        node: spec.dst.0 as u64,
+                    });
+                }
+            }
             let fleet = &vcl.server_nodes;
             let pos = fleet.iter().position(|n| *n == spec.dst).unwrap_or(0);
             // Round-trip reachability, as in Pcl: never reroute an image
-            // push across a half-open cut whose ack path is dead.
+            // push across a half-open cut whose ack path is dead. A
+            // quarantined server is as unplaceable as a dead one.
             let replacement = (1..fleet.len())
                 .map(|i| fleet[(pos + i) % fleet.len()])
                 .find(|&cand| {
-                    !vcl.store.server_failed(cand)
+                    !vcl.store.server_unplaceable(cand)
                         && rt.net.reachable(spec.src, cand)
                         && rt.net.reachable(cand, spec.src)
                         && !vcl.store.server_holds(wave, r, cand)
@@ -568,7 +609,12 @@ impl Vcl {
 
     /// One replica stream of rank `r`'s image landed on `server`. The image
     /// is done once every replica landed; streams whose wave was aborted
-    /// meanwhile (mid-wave server failure) are dropped here.
+    /// meanwhile (mid-wave server failure) are dropped here. The stored
+    /// record carries the image's content digest — what verify-on-fetch
+    /// later checks against. A write the store drops because the target was
+    /// quarantined while the stream was in flight re-enters the reroute
+    /// path: the replica must land on a placeable server for the wave to
+    /// commit.
     fn image_stored(
         w: &mut World,
         sc: &SimCtx,
@@ -577,31 +623,63 @@ impl Vcl {
         server: NodeId,
         done_at: SimTime,
     ) {
-        Vcl::with(w, |vcl, _| {
+        enum Landing {
+            Stale,
+            Stored,
+            Dropped(FlowSpec),
+        }
+        let landing = Vcl::with(w, |vcl, rt| {
             let current = vcl
                 .cur
                 .as_ref()
                 .is_some_and(|cur| cur.rec.wave == wave && cur.image_flows_left[r] > 0);
             if !current {
-                return;
+                return Landing::Stale;
             }
             vcl.stats.image_bytes_sent += vcl.cfg.image_bytes;
-            vcl.store.record_image(
+            let digest = vcl
+                .cur
+                .as_ref()
+                .map(|cur| cur.rec.images[r].digest(wave, r))
+                .unwrap_or(0);
+            let recorded = vcl.store.record_image(
                 wave,
                 r,
                 StoredImage {
                     server,
                     bytes: vcl.cfg.image_bytes,
                     stored_at: done_at,
+                    digest,
                 },
             );
+            if !recorded {
+                return Landing::Dropped(FlowSpec {
+                    src: rt.placement.node_of(r),
+                    dst: server,
+                    bytes: vcl.cfg.image_bytes,
+                    chunk: vcl.cfg.chunk_bytes,
+                    also_disk: false,
+                });
+            }
             let cur = vcl.cur.as_mut().expect("checked current above");
             cur.image_flows_left[r] -= 1;
             if cur.image_flows_left[r] == 0 {
                 cur.image_done[r] = true;
             }
+            Landing::Stored
         });
-        Vcl::maybe_ack(w, sc, r, wave);
+        match landing {
+            Landing::Stale => {}
+            Landing::Stored => {
+                sc.trace_proto(ftmpi_sim::ProtoEvent::ImageStore {
+                    wave,
+                    rank: r,
+                    node: server.0 as u64,
+                });
+                Vcl::maybe_ack(w, sc, r, wave);
+            }
+            Landing::Dropped(spec) => Vcl::image_push_failed(w, sc, r, wave, spec),
+        }
     }
 
     /// Send the scheduler acknowledgement once image + channels + log are

@@ -120,8 +120,7 @@ fn survives_repeated_failures_of_different_ranks() {
             (SimTime::from_nanos(5_000_000_000), 3),
             (SimTime::from_nanos(8_000_000_000), 1),
         ],
-        server_kills: Vec::new(),
-        node_kills: Vec::new(),
+        ..FailurePlan::default()
     };
     let res = run_job(spec).expect("run");
     assert_eq!(res.rt.restarts, 3);

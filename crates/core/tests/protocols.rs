@@ -313,8 +313,7 @@ fn survives_multiple_failures() {
             (SimTime::from_nanos(10_000_000_000), 1),
             (SimTime::from_nanos(25_000_000_000), 4),
         ],
-        server_kills: Vec::new(),
-        node_kills: Vec::new(),
+        ..FailurePlan::default()
     };
     let res = run(spec);
     assert_eq!(res.rt.restarts, 2);
@@ -392,8 +391,7 @@ fn restore_from_a_wave_committed_after_an_earlier_restart() {
                 // Second kill: restore from a wave committed after restart 1.
                 (SimTime::from_nanos(14_000_000_000), 3),
             ],
-            server_kills: Vec::new(),
-            node_kills: Vec::new(),
+            ..FailurePlan::default()
         };
         spec.max_virtual_time = Some(SimTime::from_nanos(600_000_000_000));
         let res = run(spec);
@@ -885,4 +883,112 @@ fn server_partition_coinciding_with_midwave_kill_walks_to_the_replica() {
             assert_clean(&res);
         }
     }
+}
+
+#[test]
+fn corruption_landing_at_the_exact_retry_deadline_walks_to_the_replica() {
+    // Degenerate timing: the victim's restore fetch is blocked by a cut
+    // that heals in the same nanosecond as a scheduled retry probe — and
+    // in that same nanosecond the primary replica's stored bits flip.
+    // Setup-scheduled fault transitions win same-time ties against
+    // runtime-scheduled probes, so the probe that finally finds the link
+    // up must also find the damage: verify-on-fetch rejects the primary
+    // with a typed mismatch and the walk salvages the sibling copy, with
+    // no extra rungs of the probe ladder.
+    let kill = 9_000_000_000u64; // quiet zone: two waves committed by 9 s
+    let ft = FtConfig::default();
+    let first_probe = kill + ft.restart_delay.as_nanos();
+    // Failed probes at +0 and +base; the +3·base probe ties with the heal.
+    let deadline = first_probe + 3 * ft.link_retry_base.as_nanos();
+    let app = ring_app(100, 10_000, SimDuration::from_millis(200));
+    let mut spec = base_spec(6, ProtocolChoice::Vcl, app);
+    spec.ft = spec.ft.with_replicas(2);
+    spec.failures = FailurePlan::kill_at(SimTime::from_nanos(kill), 1)
+        // The walk visits servers in ascending node order, so fleet
+        // index 0 is the copy the planned fetch tries first.
+        .with_corruption(SimTime::from_nanos(deadline), 0, 1);
+    spec.net_faults = NetFaultPlan::none().with_partition(
+        "fetch-window",
+        vec![NodeId(1)],
+        SimTime::from_nanos(kill - 100_000_000),
+        Some(SimTime::from_nanos(deadline)),
+    );
+    let res = run(spec);
+    assert_eq!(res.rt.restarts, 1);
+    assert_eq!(
+        res.rt.link_retries, 2,
+        "the corrupt copy is rejected at verify time, not by more probes"
+    );
+    assert_eq!(res.ft.images_corrupt_detected, 1, "one flip, one detection");
+    assert_eq!(res.ft.images_repaired, 1, "the walk salvages the sibling");
+    assert_eq!(res.ft.images_rerouted, 1);
+    assert_eq!(res.ft.replica_depth_max, 1);
+    assert_clean(&res);
+}
+
+#[test]
+fn scrub_tick_coinciding_with_the_restart_fetch_stays_clean() {
+    // Degenerate timing: a 500 ms scrubber ticks exactly at 12 s — the
+    // same instant the restart's image fetch goes out (kill at 9 s plus
+    // the 3 s restart delay) — and both race for a replica damaged after
+    // the previous tick. Whichever sees the mismatch first, the damage is
+    // detected, a good copy serves the restore, and the slot ends the run
+    // repaired; the coincidence must not deadlock, double-respawn, or
+    // leave the restart consuming damaged bits.
+    for proto in [ProtocolChoice::Pcl, ProtocolChoice::Vcl] {
+        let kill = 9_000_000_000u64;
+        let app = ring_app(100, 10_000, SimDuration::from_millis(200));
+        let mut spec = base_spec(6, proto, app);
+        spec.ft = spec.ft.with_replicas(2).with_scrub_interval_secs(0.5);
+        spec.failures = FailurePlan::kill_at(SimTime::from_nanos(kill), 1)
+            // After the 11.5 s tick, before the 12.0 s tick-and-fetch tie.
+            .with_corruption(SimTime::from_nanos(11_750_000_000), 0, 1);
+        let res = run(spec);
+        assert_eq!(res.rt.restarts, 1, "{proto:?}");
+        assert!(
+            res.ft.images_corrupt_detected >= 1,
+            "{proto:?}: the damaged replica must be noticed by scrub or fetch"
+        );
+        assert!(
+            res.ft.images_repaired >= 1,
+            "{proto:?}: the slot must end the run salvaged"
+        );
+        assert_eq!(res.rt.link_retries, 0, "{proto:?}: no cuts, no probes");
+        assert_clean(&res);
+    }
+}
+
+#[test]
+fn corrupting_an_empty_store_at_time_zero_is_a_noop() {
+    // Degenerate timing: corruption events for every rank on both servers
+    // fire at t=0, before any wave has stored a single byte. An empty
+    // slot cannot be damaged — the events must expand, schedule, and
+    // apply as no-ops, and a later kill restores from the (untouched)
+    // images pushed afterwards exactly like a corruption-free twin.
+    let mk = |corrupt: bool| {
+        let app = ring_app(100, 10_000, SimDuration::from_millis(200));
+        let mut spec = base_spec(6, ProtocolChoice::Vcl, app);
+        spec.failures = FailurePlan::kill_at(SimTime::from_nanos(9_000_000_000), 2);
+        if corrupt {
+            spec.failures = spec
+                .failures
+                .with_server_corruption(SimTime::ZERO, 0)
+                .with_server_corruption(SimTime::ZERO, 1);
+        }
+        run(spec)
+    };
+    let twin = mk(false);
+    let res = mk(true);
+    assert_eq!(
+        res.ft.images_corrupt_detected, 0,
+        "nothing stored, nothing damaged"
+    );
+    assert_eq!(res.ft.images_repaired, 0);
+    assert_eq!(res.rt.restarts, 1);
+    assert_eq!(
+        res.completion_secs(),
+        twin.completion_secs(),
+        "a no-op corruption schedule must not perturb the restart timing"
+    );
+    assert_clean(&res);
 }

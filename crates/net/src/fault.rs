@@ -128,6 +128,12 @@ pub struct PartitionSpec {
     pub start: SimTime,
     /// When the cut heals; `None` leaves it in place forever.
     pub heal: Option<SimTime>,
+    /// When set, checkpoint-image flows caught mid-stream by the cut leave
+    /// a *torn* (truncated, digest-failing) replica on the destination
+    /// server instead of cleanly pausing. Models a storage write severed
+    /// partway through. Off by default: plain partitions delay traffic
+    /// without damaging anything.
+    pub tear: bool,
 }
 
 /// A partition isolating a *checkpoint-server group* from the rest of the
@@ -150,6 +156,8 @@ pub struct ServerPartitionSpec {
     pub start: SimTime,
     /// When the cut heals; `None` leaves it in place forever.
     pub heal: Option<SimTime>,
+    /// Tear image flows severed by the cut (see [`PartitionSpec::tear`]).
+    pub tear: bool,
 }
 
 /// A seeded up/down renewal process on one directed link: starting at
@@ -466,6 +474,7 @@ impl NetFaultPlan {
             direction: CutDirection::Both,
             start,
             heal,
+            tear: false,
         });
         self
     }
@@ -486,6 +495,32 @@ impl NetFaultPlan {
             direction,
             start,
             heal,
+            tear: false,
+        });
+        self
+    }
+
+    /// Schedule a partition window that additionally *tears* any
+    /// checkpoint-image flow it severs mid-stream: the destination server
+    /// is left holding a truncated, digest-failing replica (see
+    /// [`PartitionSpec::tear`]). Only takes effect when the job enables
+    /// torn writes; otherwise behaves exactly like
+    /// [`with_partition_directed`](NetFaultPlan::with_partition_directed).
+    pub fn with_partition_tearing(
+        mut self,
+        name: impl Into<String>,
+        nodes: Vec<NodeId>,
+        direction: CutDirection,
+        start: SimTime,
+        heal: Option<SimTime>,
+    ) -> NetFaultPlan {
+        self.partitions.push(PartitionSpec {
+            name: name.into(),
+            nodes,
+            direction,
+            start,
+            heal,
+            tear: true,
         });
         self
     }
@@ -506,6 +541,28 @@ impl NetFaultPlan {
             direction,
             start,
             heal,
+            tear: false,
+        });
+        self
+    }
+
+    /// Schedule a server-group partition that tears severed image flows
+    /// (see [`PartitionSpec::tear`]).
+    pub fn with_server_partition_tearing(
+        mut self,
+        name: impl Into<String>,
+        servers: Vec<usize>,
+        direction: CutDirection,
+        start: SimTime,
+        heal: Option<SimTime>,
+    ) -> NetFaultPlan {
+        self.server_partitions.push(ServerPartitionSpec {
+            name: name.into(),
+            servers,
+            direction,
+            start,
+            heal,
+            tear: true,
         });
         self
     }
@@ -830,6 +887,36 @@ mod tests {
         assert_eq!(
             NetFaultPlan::none().with_link_flap(ok_spec).validate(),
             Ok(())
+        );
+    }
+
+    #[test]
+    fn tearing_builders_set_the_flag_and_validate_like_plain_cuts() {
+        let p = NetFaultPlan::none()
+            .with_partition("plain", vec![NodeId(0)], t(1), Some(t(2)))
+            .with_partition_tearing(
+                "torn",
+                vec![NodeId(1)],
+                CutDirection::Both,
+                t(3),
+                Some(t(4)),
+            )
+            .with_server_partition_tearing("torn-srv", vec![0], CutDirection::Inbound, t(5), None);
+        assert!(!p.partitions[0].tear);
+        assert!(p.partitions[1].tear);
+        assert!(p.server_partitions[0].tear);
+        assert_eq!(p.validate(), Ok(()));
+        // Same structural checks apply to tearing windows.
+        let bad = NetFaultPlan::none().with_partition_tearing(
+            "z",
+            vec![NodeId(0)],
+            CutDirection::Both,
+            t(4),
+            Some(t(4)),
+        );
+        assert_eq!(
+            bad.validate(),
+            Err(FaultPlanError::ZeroLengthPartition { name: "z".into() })
         );
     }
 

@@ -68,8 +68,11 @@ pub struct NetModel {
     /// Directed links currently degraded to `1/factor` bandwidth.
     degraded: BTreeMap<(NodeId, NodeId), f64>,
     /// Active partitions by name: each set is cut off from its complement
-    /// in the recorded direction(s).
-    partitions: BTreeMap<String, (CutDirection, BTreeSet<NodeId>)>,
+    /// in the recorded direction(s). The `bool` is the *tearing* flag: a
+    /// tearing cut severs in-flight streams mid-transfer (a switch losing
+    /// its forwarding table) instead of merely stalling new reservations,
+    /// so a bulk write it interrupts leaves a truncated prefix behind.
+    partitions: BTreeMap<String, (CutDirection, bool, BTreeSet<NodeId>)>,
 }
 
 impl NetModel {
@@ -149,8 +152,23 @@ impl NetModel {
         nodes: impl IntoIterator<Item = NodeId>,
         direction: CutDirection,
     ) {
+        self.start_partition_with(name, nodes, direction, false);
+    }
+
+    /// Activate a named partition with an explicit tearing flag: a tearing
+    /// cut severs streams mid-transfer, so a bulk write it interrupts can
+    /// leave a truncated (torn) prefix on the receiver — see
+    /// [`cut_tears`](NetModel::cut_tears). Re-activating an active name
+    /// replaces its node set, direction, and flag.
+    pub fn start_partition_with(
+        &mut self,
+        name: impl Into<String>,
+        nodes: impl IntoIterator<Item = NodeId>,
+        direction: CutDirection,
+        tear: bool,
+    ) {
         self.partitions
-            .insert(name.into(), (direction, nodes.into_iter().collect()));
+            .insert(name.into(), (direction, tear, nodes.into_iter().collect()));
     }
 
     /// Heal the named partition. Healing an unknown name is a no-op (the
@@ -185,7 +203,7 @@ impl NetModel {
         if self.link_down.contains(&(src, dst)) {
             return false;
         }
-        self.partitions.values().all(|(direction, set)| {
+        self.partitions.values().all(|(direction, _, set)| {
             let (src_in, dst_in) = (set.contains(&src), set.contains(&dst));
             match direction {
                 CutDirection::Both => src_in == dst_in,
@@ -193,6 +211,28 @@ impl NetModel {
                 // direction (leaves the set for Outbound, enters for Inbound).
                 CutDirection::Outbound => !src_in || dst_in,
                 CutDirection::Inbound => src_in || !dst_in,
+            }
+        })
+    }
+
+    /// Whether an active *tearing* partition currently cuts `src → dst`:
+    /// a stream between the pair was not merely stalled but severed
+    /// mid-transfer, so whatever prefix already landed at `dst` sits there
+    /// truncated. False for ordinary (stall-semantics) partitions and for
+    /// down links — those pause reliable streams without data loss.
+    pub fn cut_tears(&self, src: NodeId, dst: NodeId) -> bool {
+        if src == dst {
+            return false;
+        }
+        self.partitions.values().any(|(direction, tear, set)| {
+            if !tear {
+                return false;
+            }
+            let (src_in, dst_in) = (set.contains(&src), set.contains(&dst));
+            match direction {
+                CutDirection::Both => src_in != dst_in,
+                CutDirection::Outbound => src_in && !dst_in,
+                CutDirection::Inbound => !src_in && dst_in,
             }
         })
     }
@@ -584,6 +624,30 @@ mod tests {
         assert!(!net.reachable(NodeId(2), NodeId(0)), "inbound now cut");
         net.heal_partition("half-open");
         assert!(net.reachable(NodeId(2), NodeId(0)));
+    }
+
+    #[test]
+    fn tearing_partition_reports_cut_tears() {
+        let mut net = gige4();
+        // A plain partition cuts but does not tear.
+        net.start_partition("clean", [NodeId(0)]);
+        assert!(!net.reachable(NodeId(0), NodeId(2)));
+        assert!(!net.cut_tears(NodeId(0), NodeId(2)));
+        net.heal_partition("clean");
+        // A tearing partition reports tears across the cut, honouring
+        // direction, and never for loopback.
+        net.start_partition_with("torn", [NodeId(0)], CutDirection::Outbound, true);
+        assert!(
+            net.cut_tears(NodeId(0), NodeId(2)),
+            "outbound crossing tears"
+        );
+        assert!(
+            !net.cut_tears(NodeId(2), NodeId(0)),
+            "inbound side untouched"
+        );
+        assert!(!net.cut_tears(NodeId(0), NodeId(0)), "loopback never tears");
+        net.heal_partition("torn");
+        assert!(!net.cut_tears(NodeId(0), NodeId(2)));
     }
 
     #[test]

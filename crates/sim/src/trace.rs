@@ -117,6 +117,64 @@ pub enum ProtoEvent {
         /// The failed server's node id.
         node: u64,
     },
+    /// An image replica finished storing on a server (initial push,
+    /// reroute, or scrub re-replication). The integrity checker uses
+    /// these to prove quarantined servers receive no placements.
+    ImageStore {
+        /// Wave number the image belongs to.
+        wave: u64,
+        /// Rank whose image was stored.
+        rank: usize,
+        /// Server node the replica landed on.
+        node: u64,
+    },
+    /// A stored replica's bits were damaged (injected bit-flip or torn
+    /// write). Silent to the runtime; the checker pairs these with
+    /// `RestoreImage` records to prove no restore consumed a damaged
+    /// copy.
+    Corrupt {
+        /// Wave number of the damaged replica.
+        wave: u64,
+        /// Rank of the damaged replica.
+        rank: usize,
+        /// Server node holding the damaged replica.
+        node: u64,
+    },
+    /// Verify-on-fetch or the scrubber caught a damaged replica.
+    CorruptDetected {
+        /// Wave number of the damaged replica.
+        wave: u64,
+        /// Rank of the damaged replica.
+        rank: usize,
+        /// Server node holding the damaged replica.
+        node: u64,
+    },
+    /// A damaged replica was overwritten from a verified good copy
+    /// (scrub re-replication).
+    Repair {
+        /// Wave number of the repaired replica.
+        wave: u64,
+        /// Rank of the repaired replica.
+        rank: usize,
+        /// Server node the clean copy landed on.
+        node: u64,
+    },
+    /// A restore consumed rank `rank`'s image of `wave` from server
+    /// `node` (after digest verification).
+    RestoreImage {
+        /// Wave number restored from.
+        wave: u64,
+        /// Rank whose image was fetched.
+        rank: usize,
+        /// Server node the image came from.
+        node: u64,
+    },
+    /// A checkpoint server exceeded the corruption threshold and was
+    /// quarantined: no further placements may target it.
+    Quarantine {
+        /// The quarantined server's node id.
+        node: u64,
+    },
     /// A global failure-restart: all ranks rolled back, epoch bumped.
     Restart {
         /// The new job epoch.

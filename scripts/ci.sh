@@ -30,11 +30,17 @@ cargo run -q --release -p ftmpi-check -- lint
 echo "==> ftmpi-check smoke (invariants + perturbation)"
 cargo run -q --release -p ftmpi-check -- smoke
 
-echo "==> ftmpi-check storm --smoke (kills, partitions, node deaths)"
+echo "==> ftmpi-check storm --smoke (kills, partitions, node deaths, corruption)"
 DIFF_TMP="${TMPDIR:-/tmp}/ftmpi-ci-backends-$$"
 rm -rf "$DIFF_TMP"
 mkdir -p "$DIFF_TMP"
 cargo run -q --release -p ftmpi-check -- storm --smoke | tee "$DIFF_TMP/storm-coro.log"
+# The integrity families must actually be in the campaign for both
+# protocols — a silent drop here would un-pin the corruption machinery.
+for fam in flipfetch scrubrace allreplicas tornwrite quarantine; do
+    grep -q "storm.corrupt.$fam.pcl" "$DIFF_TMP/storm-coro.log"
+    grep -q "storm.corrupt.$fam.vcl" "$DIFF_TMP/storm-coro.log"
+done
 
 echo "==> storm --smoke under FTMPI_THREADED=1 (must match state-for-state)"
 FTMPI_THREADED=1 cargo run -q --release -p ftmpi-check -- storm --smoke \
@@ -53,6 +59,10 @@ echo "==> ftmpi-check storm --mine --smoke (coverage-guided miner, BENCH_storm.j
 cargo run -q --release -p ftmpi-check -- storm --mine --smoke | tee "$DIFF_TMP/mine-1.log"
 cp BENCH_storm.json "$DIFF_TMP/mine-1.json"
 cp results/storm/corpus.txt "$DIFF_TMP/mine-1-corpus.txt"
+# The corruption genes must survive into the mined corpus: the seed
+# genomes carry a targeted flip and a rotting disk, and both encode.
+grep -q "corrupt@" "$DIFF_TMP/mine-1-corpus.txt"
+grep -q "rot@" "$DIFF_TMP/mine-1-corpus.txt"
 
 echo "==> storm --mine --smoke under the heap backend (must be byte-identical)"
 FTMPI_NO_LADDER=1 cargo run -q --release -p ftmpi-check -- storm --mine --smoke \

@@ -212,8 +212,7 @@ fn full_stack_determinism_with_failures() {
                 (SimTime::from_nanos(3_000_000_000), 2),
                 (SimTime::from_nanos(9_000_000_000), 7),
             ],
-            server_kills: Vec::new(),
-            node_kills: Vec::new(),
+            ..FailurePlan::default()
         };
         let res = run_job(spec).expect("run");
         (res.completion.as_nanos(), res.waves(), res.events)

@@ -163,8 +163,7 @@ fn double_failures_recover() {
                 (SimTime::from_nanos(k1_ms * 1_000_000), v1),
                 (SimTime::from_nanos((k1_ms + gap_ms) * 1_000_000), v2),
             ],
-            server_kills: Vec::new(),
-            node_kills: Vec::new(),
+            ..FailurePlan::default()
         };
         let res = run_job(spec).unwrap();
         let ctx = format!(
